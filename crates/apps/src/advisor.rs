@@ -1,0 +1,322 @@
+//! Scheme selection: the paper's framework process, codified.
+//!
+//! The paper's proposal is a *process*: "determine which of these
+//! properties of signatures are needed, and then seek out examples of
+//! signatures already known or design new ones which will have those
+//! properties" (Section I). Tables I–III are that process in tabular
+//! form:
+//!
+//! * **Table I** — application → required property levels;
+//! * **Table II** — graph characteristic → properties it yields;
+//! * **Table III** — scheme → characteristics it exploits.
+//!
+//! This module encodes all three and [`recommend`]s schemes for an
+//! application by matching provided properties against required ones —
+//! reproducing the paper's per-application scheme choices (TT for
+//! multiusage, RWR^h for masquerading, RWR for anomaly detection).
+
+use std::fmt;
+
+/// The three fundamental signature properties (Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// Stability of one node's signature across time.
+    Persistence,
+    /// Separation between different nodes' signatures.
+    Uniqueness,
+    /// Stability of a signature under graph perturbation.
+    Robustness,
+}
+
+/// How strongly an application needs a property (Table I's levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Need {
+    /// The property is not load-bearing for the task.
+    Low,
+    /// Helpful but not critical.
+    Medium,
+    /// The task fails without it.
+    High,
+}
+
+impl Need {
+    fn weight(self) -> f64 {
+        match self {
+            Need::Low => 0.0,
+            Need::Medium => 1.0,
+            Need::High => 2.0,
+        }
+    }
+}
+
+/// The communication-graph characteristics of Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Characteristic {
+    /// Edge weights measure interaction strength.
+    Engagement,
+    /// Skewed in-degree distribution: rare neighbours are informative.
+    Novelty,
+    /// Sparse graphs with meaningful hop distances.
+    Locality,
+    /// Many connecting paths between related nodes.
+    Transitivity,
+}
+
+impl Characteristic {
+    /// Table II: which properties a characteristic yields.
+    pub fn yields(self) -> &'static [Property] {
+        match self {
+            Characteristic::Engagement => &[Property::Persistence, Property::Robustness],
+            Characteristic::Novelty => &[Property::Uniqueness],
+            Characteristic::Locality => &[Property::Uniqueness],
+            Characteristic::Transitivity => &[Property::Persistence, Property::Robustness],
+        }
+    }
+}
+
+/// The applications analysed in Section II-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Application {
+    /// One individual behind several labels in one window.
+    MultiusageDetection,
+    /// An individual moving all communication to a new label.
+    LabelMasquerading,
+    /// Abrupt behaviour change behind a fixed label.
+    AnomalyDetection,
+}
+
+impl Application {
+    /// Table I: the property levels the application requires.
+    pub fn requirements(self) -> [(Property, Need); 3] {
+        match self {
+            Application::MultiusageDetection => [
+                (Property::Persistence, Need::Low),
+                (Property::Uniqueness, Need::High),
+                (Property::Robustness, Need::High),
+            ],
+            Application::LabelMasquerading => [
+                (Property::Persistence, Need::High),
+                (Property::Uniqueness, Need::High),
+                (Property::Robustness, Need::Medium),
+            ],
+            Application::AnomalyDetection => [
+                (Property::Persistence, Need::High),
+                (Property::Uniqueness, Need::Low),
+                (Property::Robustness, Need::High),
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Application::MultiusageDetection => "multiusage detection",
+            Application::LabelMasquerading => "label masquerading",
+            Application::AnomalyDetection => "anomaly detection",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A scheme's declared profile: the characteristics it exploits
+/// (Table III) and, derived via Table II, the properties it provides.
+#[derive(Debug, Clone)]
+pub struct SchemeProfile {
+    /// Scheme name (e.g. `"TT"`).
+    pub name: String,
+    /// Characteristics the scheme exploits.
+    pub characteristics: Vec<Characteristic>,
+    /// Properties the paper credits the scheme with (Table III's right
+    /// column — a curated subset of what Table II would derive).
+    pub provides: Vec<Property>,
+}
+
+impl SchemeProfile {
+    /// Whether the scheme provides `p`.
+    pub fn provides(&self, p: Property) -> bool {
+        self.provides.contains(&p)
+    }
+}
+
+/// Table III, as printed.
+pub fn paper_profiles() -> Vec<SchemeProfile> {
+    vec![
+        SchemeProfile {
+            name: "TT".into(),
+            characteristics: vec![Characteristic::Locality, Characteristic::Engagement],
+            provides: vec![Property::Uniqueness, Property::Robustness],
+        },
+        SchemeProfile {
+            name: "UT".into(),
+            characteristics: vec![Characteristic::Novelty, Characteristic::Locality],
+            provides: vec![Property::Uniqueness],
+        },
+        SchemeProfile {
+            name: "RWR".into(),
+            characteristics: vec![Characteristic::Transitivity, Characteristic::Engagement],
+            provides: vec![Property::Persistence, Property::Robustness],
+        },
+        SchemeProfile {
+            name: "RWR^h".into(),
+            characteristics: vec![Characteristic::Locality, Characteristic::Transitivity],
+            provides: vec![
+                Property::Persistence,
+                Property::Uniqueness,
+                Property::Robustness,
+            ],
+        },
+    ]
+}
+
+/// A scored recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Scheme name.
+    pub scheme: String,
+    /// Matching score (higher is better).
+    pub score: f64,
+    /// Required properties the scheme does *not* provide, with the level
+    /// at which they were required.
+    pub gaps: Vec<(Property, Need)>,
+}
+
+/// Ranks `profiles` for `application`: a scheme earns each requirement's
+/// weight if it provides the property; missing a requirement is recorded
+/// as a gap. Ties break toward the more *specialised* scheme (fewer
+/// provided properties — no reason to pay for machinery the task does
+/// not need), then fewer exploited characteristics, then name. This
+/// reproduces the paper's choices: TT over RWR^h for multiusage, the
+/// plain RWR over RWR^h for anomaly detection.
+pub fn recommend(application: Application, profiles: &[SchemeProfile]) -> Vec<Recommendation> {
+    let reqs = application.requirements();
+    let mut out: Vec<Recommendation> = profiles
+        .iter()
+        .map(|profile| {
+            let mut score = 0.0;
+            let mut gaps = Vec::new();
+            for &(property, need) in &reqs {
+                if profile.provides(property) {
+                    score += need.weight();
+                } else if need > Need::Low {
+                    gaps.push((property, need));
+                }
+            }
+            Recommendation {
+                scheme: profile.name.clone(),
+                score,
+                gaps,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| {
+                let spec = |name: &str| {
+                    profiles
+                        .iter()
+                        .find(|p| p.name == name)
+                        .map_or((0, 0), |p| (p.provides.len(), p.characteristics.len()))
+                };
+                spec(&a.scheme).cmp(&spec(&b.scheme))
+            })
+            .then_with(|| a.scheme.cmp(&b.scheme))
+    });
+    out
+}
+
+/// Table II consistency check: every property a scheme claims must be
+/// derivable from at least one of its characteristics. Returns the
+/// violations (empty for the paper's profiles).
+pub fn validate_profile(profile: &SchemeProfile) -> Vec<Property> {
+    profile
+        .provides
+        .iter()
+        .copied()
+        .filter(|&p| {
+            !profile
+                .characteristics
+                .iter()
+                .any(|c| c.yields().contains(&p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profiles_are_table_ii_consistent() {
+        for profile in paper_profiles() {
+            assert!(
+                validate_profile(&profile).is_empty(),
+                "{} claims a property its characteristics cannot yield",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn multiusage_recommends_tt() {
+        let recs = recommend(Application::MultiusageDetection, &paper_profiles());
+        // TT and RWR^h both cover uniqueness+robustness (score 4), but TT
+        // is the simpler scheme — the paper's choice.
+        assert_eq!(recs[0].scheme, "TT");
+        assert!(recs[0].gaps.is_empty());
+    }
+
+    #[test]
+    fn masquerading_recommends_rwr_h() {
+        let recs = recommend(Application::LabelMasquerading, &paper_profiles());
+        assert_eq!(recs[0].scheme, "RWR^h");
+        assert!(recs[0].gaps.is_empty());
+        // TT misses persistence at High need.
+        let tt = recs.iter().find(|r| r.scheme == "TT").unwrap();
+        assert!(tt
+            .gaps
+            .contains(&(Property::Persistence, Need::High)));
+    }
+
+    #[test]
+    fn anomaly_recommends_rwr_family() {
+        let recs = recommend(Application::AnomalyDetection, &paper_profiles());
+        // RWR and RWR^h both cover persistence+robustness at score 4;
+        // the plain RWR is the more specialised profile — the paper's
+        // Section III prediction ("RWR will perform well at anomaly
+        // detection").
+        assert_eq!(recs[0].scheme, "RWR");
+        let ut = recs.iter().find(|r| r.scheme == "UT").unwrap();
+        assert_eq!(ut.gaps.len(), 2); // misses persistence and robustness
+    }
+
+    #[test]
+    fn needs_are_ordered() {
+        assert!(Need::High > Need::Medium && Need::Medium > Need::Low);
+        assert_eq!(Need::Low.weight(), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            Application::MultiusageDetection.to_string(),
+            "multiusage detection"
+        );
+        assert_eq!(
+            Application::LabelMasquerading.to_string(),
+            "label masquerading"
+        );
+    }
+
+    #[test]
+    fn custom_profile_with_gap_detected() {
+        let bogus = SchemeProfile {
+            name: "Bogus".into(),
+            characteristics: vec![Characteristic::Novelty],
+            provides: vec![Property::Persistence], // novelty cannot yield it
+        };
+        assert_eq!(validate_profile(&bogus), vec![Property::Persistence]);
+    }
+}

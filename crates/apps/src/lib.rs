@@ -1,0 +1,30 @@
+//! # comsig-apps
+//!
+//! The three applications of communication-graph signatures the paper
+//! analyses (Sections II-D and V), built on `comsig-core` and
+//! `comsig-eval`:
+//!
+//! * [`multiusage`] — *Multiusage detection / anti-aliasing*: find node
+//!   labels operated by the same hidden individual within one window.
+//!   Needs **uniqueness** and **robustness** → TT is the method of
+//!   choice (Figure 5).
+//! * [`masquerade`] — *Label masquerading*: find individuals who moved
+//!   all their communication from one label to another between windows
+//!   (repetitive debtors). Needs **persistence + uniqueness** → RWR wins
+//!   at realistic (small) masquerade rates (Figure 6). Includes the
+//!   paper's Algorithm 1 and its simulation methodology (bijective
+//!   relabelling of `f·|V|` nodes).
+//! * [`anomaly`] — *Anomaly detection*: flag labels whose behaviour
+//!   changes abruptly across windows. Needs **persistence +
+//!   robustness** → RWR-family schemes score best. (Described in
+//!   Section II-D; the paper gives no figure, we evaluate it against
+//!   injected ground truth.)
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advisor;
+pub mod anomaly;
+pub mod masquerade;
+pub mod measure;
+pub mod multiusage;

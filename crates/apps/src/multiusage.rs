@@ -1,0 +1,221 @@
+//! Multiusage detection ("anti-aliasing", Sections II-D and V).
+//!
+//! A single individual exhibits similar behaviour via multiple node
+//! labels in the same window — multiple connection points (home, office,
+//! hotspot), message-board aliases, link farms. Detection looks for label
+//! pairs with unusually similar signatures; evaluation against ground
+//! truth uses the multi-target ROC of Figure 5.
+
+use rayon::prelude::*;
+use rustc_hash::FxHashSet;
+
+use comsig_core::distance::SignatureDistance;
+use comsig_core::SignatureSet;
+use comsig_eval::roc::{multi_target_auc, RocCurve};
+use comsig_graph::NodeId;
+
+/// A candidate multiusage pair: two labels whose signatures are closer
+/// than the detection threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiusagePair {
+    /// First label (smaller id).
+    pub a: NodeId,
+    /// Second label.
+    pub b: NodeId,
+    /// Their signature distance.
+    pub distance: f64,
+}
+
+/// Finds all label pairs with `Dist(σ(a), σ(b)) <= threshold` within one
+/// window — the paper's detection rule ("report those nodes u with low
+/// Dist-values"). Pairs are returned sorted by ascending distance.
+pub fn detect_pairs(
+    dist: &dyn SignatureDistance,
+    sigs: &SignatureSet,
+    threshold: f64,
+) -> Vec<MultiusagePair> {
+    let subjects = sigs.subjects();
+    let mut pairs: Vec<MultiusagePair> = (0..subjects.len())
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let a = subjects[i];
+            let sig_a = sigs.get(a).expect("subject has signature");
+            ((i + 1)..subjects.len()).filter_map(move |j| {
+                let b = subjects[j];
+                let sig_b = sigs.get(b).expect("subject has signature");
+                let d = dist.distance(sig_a, sig_b);
+                (d <= threshold).then_some(MultiusagePair { a, b, distance: d })
+            })
+        })
+        .collect();
+    pairs.sort_by(|x, y| {
+        x.distance
+            .partial_cmp(&y.distance)
+            .expect("distances are finite")
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
+    pairs
+}
+
+/// For one query label, the `top_n` most similar other labels — the
+/// interactive "who else might this user be?" query.
+pub fn most_similar(
+    dist: &dyn SignatureDistance,
+    sigs: &SignatureSet,
+    query: NodeId,
+    top_n: usize,
+) -> Vec<(NodeId, f64)> {
+    let Some(q) = sigs.get(query) else {
+        return Vec::new();
+    };
+    let mut scored: Vec<(NodeId, f64)> = sigs
+        .iter()
+        .filter(|&(u, _)| u != query)
+        .map(|(u, s)| (u, dist.distance(q, s)))
+        .collect();
+    scored.sort_by(|x, y| {
+        x.1.partial_cmp(&y.1)
+            .expect("distances are finite")
+            .then(x.0.cmp(&y.0))
+    });
+    scored.truncate(top_n);
+    scored
+}
+
+/// Result of the ground-truth evaluation (Figure 5).
+#[derive(Debug, Clone)]
+pub struct MultiusageEval {
+    /// Per-query AUC: one entry per label that belongs to a multi-label
+    /// individual.
+    pub per_query: Vec<(NodeId, f64)>,
+    /// Mean AUC over all queries.
+    pub mean_auc: f64,
+    /// The averaged ROC curve (the series plotted in Figure 5).
+    pub mean_curve: RocCurve,
+}
+
+/// Evaluates signatures for multiusage detection against ground truth:
+/// for each label `v` in a ground-truth group `S_u`, ranks every other
+/// label by signature distance and scores how highly the co-labels of
+/// `v` rank (multi-target ROC, Section V). Groups of size < 2 and labels
+/// with empty signatures are skipped.
+pub fn evaluate(
+    dist: &dyn SignatureDistance,
+    sigs: &SignatureSet,
+    groups: &[Vec<NodeId>],
+) -> MultiusageEval {
+    let queries: Vec<(NodeId, FxHashSet<NodeId>)> = groups
+        .iter()
+        .filter(|g| g.len() >= 2)
+        .flat_map(|g| {
+            let set: FxHashSet<NodeId> = g.iter().copied().collect();
+            g.iter().map(move |&v| (v, set.clone()))
+        })
+        .collect();
+
+    let results: Vec<(NodeId, f64, RocCurve)> = queries
+        .par_iter()
+        .filter_map(|(v, targets)| {
+            let (auc, curve) = multi_target_auc(dist, *v, targets, sigs)?;
+            Some((*v, auc, curve))
+        })
+        .collect();
+
+    let per_query: Vec<(NodeId, f64)> = results.iter().map(|&(v, a, _)| (v, a)).collect();
+    let mean_auc = if per_query.is_empty() {
+        0.0
+    } else {
+        per_query.iter().map(|&(_, a)| a).sum::<f64>() / per_query.len() as f64
+    };
+    let curves: Vec<RocCurve> = results.into_iter().map(|(_, _, c)| c).collect();
+    let mean_curve = if curves.is_empty() {
+        RocCurve {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        }
+    } else {
+        RocCurve::average(&curves, 101)
+    };
+    MultiusageEval {
+        per_query,
+        mean_auc,
+        mean_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::Jaccard;
+    use comsig_core::Signature;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            ids.iter().map(|&i| (n(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    /// Labels 0 & 1 belong to one individual; 2 and 3 are loners.
+    fn set() -> SignatureSet {
+        SignatureSet::new(
+            vec![n(0), n(1), n(2), n(3)],
+            vec![
+                sig(&[10, 11, 12]),
+                sig(&[10, 11, 13]),
+                sig(&[20, 21]),
+                sig(&[30, 31]),
+            ],
+        )
+    }
+
+    #[test]
+    fn detect_pairs_finds_the_alias() {
+        let pairs = detect_pairs(&Jaccard, &set(), 0.6);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a, pairs[0].b), (n(0), n(1)));
+        assert!(pairs[0].distance < 0.6);
+    }
+
+    #[test]
+    fn detect_pairs_threshold_zero_requires_identity() {
+        let pairs = detect_pairs(&Jaccard, &set(), 0.0);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn most_similar_ranks_alias_first() {
+        let sims = most_similar(&Jaccard, &set(), n(0), 2);
+        assert_eq!(sims[0].0, n(1));
+        assert_eq!(sims.len(), 2);
+        assert!(most_similar(&Jaccard, &set(), n(99), 2).is_empty());
+    }
+
+    #[test]
+    fn evaluate_perfect_separation() {
+        let eval = evaluate(&Jaccard, &set(), &[vec![n(0), n(1)]]);
+        assert_eq!(eval.per_query.len(), 2);
+        assert!((eval.mean_auc - 1.0).abs() < 1e-12);
+        assert!(eval.mean_curve.auc() > 0.99);
+    }
+
+    #[test]
+    fn evaluate_skips_singleton_groups() {
+        let eval = evaluate(&Jaccard, &set(), &[vec![n(2)]]);
+        assert!(eval.per_query.is_empty());
+        assert_eq!(eval.mean_auc, 0.0);
+    }
+
+    #[test]
+    fn evaluate_poor_when_alias_behaves_differently() {
+        // Claim 2 & 3 are the same individual — but their signatures are
+        // disjoint, so the AUC should be at chance or below.
+        let eval = evaluate(&Jaccard, &set(), &[vec![n(2), n(3)]]);
+        assert!(eval.mean_auc <= 0.6, "auc = {}", eval.mean_auc);
+    }
+}

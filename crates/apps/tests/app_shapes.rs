@@ -1,0 +1,118 @@
+//! Application-level shape tests against synthetic ground truth:
+//! the Figure 5 and Figure 6 orderings at reduced scale.
+
+use comsig_apps::masquerade::{
+    accuracy, apply_masquerade, detect_label_masquerading, plan_masquerade, DetectorConfig,
+};
+use comsig_apps::multiusage;
+use comsig_apps::anomaly::{self, anomaly_scores};
+use comsig_core::distance::SHel;
+use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_datagen::{flownet, FlowNetConfig, MultiusageConfig};
+use comsig_datagen::flownet::AnomalyConfig;
+
+const K: usize = 10;
+
+#[test]
+fn multiusage_tt_beats_ut_at_reduced_scale() {
+    // Paper Figure 5: "TT consistently dominates the other two schemes."
+    // The TT > RWR part of that ordering emerges at the paper's full
+    // scale (300 hosts — asserted by `fig5_full_ordering` in
+    // comsig-bench); at this reduced scale RWR's smoothing still wins,
+    // so here we assert the scale-stable parts: TT > UT and strong
+    // absolute levels.
+    let d = flownet::generate(&FlowNetConfig {
+        num_locals: 100,
+        num_externals: 3000,
+        num_groups: 10,
+        num_windows: 2,
+        multiusage: MultiusageConfig {
+            individuals: 12,
+            min_labels: 2,
+            max_labels: 3,
+        },
+        seed: 31,
+        ..FlowNetConfig::default()
+    });
+    let subjects = d.local_nodes();
+    let g = d.windows.window(0).unwrap();
+    let dist = SHel;
+
+    let auc = |scheme: &dyn SignatureScheme| {
+        let sigs = scheme.signature_set(g, &subjects, K);
+        multiusage::evaluate(&dist, &sigs, &d.truth.multiusage_groups).mean_auc
+    };
+    let a_tt = auc(&TopTalkers);
+    let a_ut = auc(&UnexpectedTalkers::new());
+    let a_rwr = auc(&Rwr::truncated(0.1, 3).undirected());
+    assert!(a_tt > a_ut, "TT {a_tt} should beat UT {a_ut}");
+    assert!(a_rwr > a_ut, "RWR {a_rwr} should beat UT {a_ut}");
+    assert!(a_tt > 0.85, "TT multiusage AUC too low: {a_tt}");
+}
+
+#[test]
+fn masquerading_rwr_beats_onehop_at_small_f() {
+    // Paper Figure 6: at small masquerade fractions RWR outperforms TT
+    // and UT.
+    let d = flownet::generate(&FlowNetConfig {
+        num_locals: 100,
+        num_externals: 3000,
+        num_groups: 10,
+        num_windows: 2,
+        seed: 32,
+        ..FlowNetConfig::default()
+    });
+    let subjects = d.local_nodes();
+    let g1 = d.windows.window(0).unwrap();
+    let plan = plan_masquerade(&subjects, 0.1, 77);
+    let g2 = apply_masquerade(d.windows.window(1).unwrap(), &plan);
+
+    let cfg = DetectorConfig {
+        k: K,
+        threshold_divisor: 5.0,
+        top_l: 3,
+    };
+    let acc = |scheme: &dyn SignatureScheme| {
+        let det = detect_label_masquerading(scheme, &SHel, g1, &g2, &subjects, &cfg);
+        accuracy(&det, &plan, subjects.len())
+    };
+    let acc_rwr = acc(&Rwr::truncated(0.1, 3).undirected());
+    let acc_tt = acc(&TopTalkers);
+    let acc_ut = acc(&UnexpectedTalkers::new());
+    assert!(
+        acc_rwr >= acc_tt,
+        "RWR {acc_rwr} should be at least TT {acc_tt}"
+    );
+    assert!(acc_rwr > acc_ut, "RWR {acc_rwr} should beat UT {acc_ut}");
+    assert!(acc_rwr > 0.6, "RWR accuracy too low: {acc_rwr}");
+}
+
+#[test]
+fn anomaly_detection_catches_injected_changes() {
+    let d = flownet::generate(&FlowNetConfig {
+        num_locals: 100,
+        num_externals: 3000,
+        num_groups: 10,
+        num_windows: 3,
+        anomaly: AnomalyConfig { count: 8, window: 1 },
+        // Keep background churn moderate so injected anomalies stand out
+        // the way real incidents do against normal weeks.
+        disruption_rate: 0.05,
+        seed: 33,
+        ..FlowNetConfig::default()
+    });
+    let subjects = d.local_nodes();
+    let g1 = d.windows.window(0).unwrap();
+    let g2 = d.windows.window(1).unwrap();
+
+    let scheme = Rwr::truncated(0.1, 3).undirected();
+    let scores = anomaly_scores(&scheme, &SHel, g1, g2, &subjects, K);
+    let eval = anomaly::evaluate(&scores, &d.truth.anomalous).unwrap();
+    assert!(eval.auc > 0.8, "anomaly AUC = {}", eval.auc);
+    assert!(
+        eval.r_precision >= 0.5,
+        "r-precision = {}",
+        eval.r_precision
+    );
+    assert_eq!(eval.positives, 8);
+}

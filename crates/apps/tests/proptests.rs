@@ -1,0 +1,151 @@
+//! Property-based tests for the application layer.
+
+use comsig_apps::anomaly::{alarms, Alarm, AnomalyScore};
+use comsig_apps::masquerade::{accuracy, apply_masquerade, plan_masquerade, Detection, MasqueradePlan};
+use comsig_apps::multiusage;
+use comsig_core::distance::Jaccard;
+use comsig_core::{Signature, SignatureSet};
+use comsig_graph::{GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+proptest! {
+    /// Masquerade plans are always fixed-point-free bijections on their
+    /// node set, for any fraction and seed.
+    #[test]
+    fn masquerade_plan_invariants(
+        num_nodes in 2usize..60,
+        fraction in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let candidates: Vec<NodeId> = (0..num_nodes).map(n).collect();
+        let plan = plan_masquerade(&candidates, fraction, seed);
+        let mut sources: Vec<_> = plan.mapping.iter().map(|&(v, _)| v).collect();
+        let mut targets: Vec<_> = plan.mapping.iter().map(|&(_, u)| u).collect();
+        sources.sort_unstable();
+        targets.sort_unstable();
+        prop_assert_eq!(&sources, &targets, "must be a bijection on P");
+        let dedup: std::collections::HashSet<_> = sources.iter().collect();
+        prop_assert_eq!(dedup.len(), sources.len(), "sources must be unique");
+        for &(v, u) in &plan.mapping {
+            prop_assert_ne!(v, u, "no fixed points");
+        }
+        if fraction > 0.0 {
+            prop_assert!(plan.mapping.len() >= 2 || candidates.len() < 2);
+        } else {
+            prop_assert!(plan.mapping.is_empty());
+        }
+    }
+
+    /// Applying a masquerade conserves total weight and node count, and
+    /// applying the inverse mapping restores the original graph.
+    #[test]
+    fn masquerade_application_reversible(
+        edges in prop::collection::vec((0u32..10, 10u32..30, 1.0f64..9.0), 1..40),
+        fraction in 0.1f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let mut b = GraphBuilder::new();
+        for &(s, d, w) in &edges {
+            b.add_event(n(s as usize), n(d as usize), w);
+        }
+        let g = b.build(30);
+        let sources: Vec<NodeId> = (0..10).map(n).collect();
+        let plan = plan_masquerade(&sources, fraction, seed);
+        let masked = apply_masquerade(&g, &plan);
+        prop_assert_eq!(masked.num_nodes(), g.num_nodes());
+        prop_assert!((masked.total_weight() - g.total_weight()).abs() < 1e-9);
+
+        let inverse = MasqueradePlan {
+            mapping: plan.mapping.iter().map(|&(v, u)| (u, v)).collect(),
+        };
+        let restored = apply_masquerade(&masked, &inverse);
+        prop_assert_eq!(restored.num_edges(), g.num_edges());
+        for e in g.edges() {
+            prop_assert_eq!(restored.edge_weight(e.src, e.dst), Some(e.weight));
+        }
+    }
+
+    /// Accuracy is a probability and equals 1 for a detector that clears
+    /// everyone when nothing was perturbed.
+    #[test]
+    fn accuracy_bounds(num_nodes in 2usize..40, cleared in 0usize..40) {
+        let subjects: Vec<NodeId> = (0..num_nodes).map(n).collect();
+        let det = Detection {
+            non_suspects: subjects.iter().copied().take(cleared).collect(),
+            detected: vec![],
+            delta: 0.1,
+        };
+        let empty_plan = MasqueradePlan { mapping: vec![] };
+        let acc = accuracy(&det, &empty_plan, num_nodes);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((acc - (cleared.min(num_nodes) as f64 / num_nodes as f64)).abs() < 1e-12);
+    }
+
+    /// Alarm rules never invent scores: every alarm is one of the inputs,
+    /// TopN respects its budget, and Threshold respects its cut.
+    #[test]
+    fn alarm_rules_sound(
+        scores in prop::collection::vec(0.0f64..1.0, 0..30),
+        top in 0usize..40,
+        cut in 0.0f64..1.0,
+        lambda in 0.0f64..3.0,
+    ) {
+        let scored: Vec<AnomalyScore> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| AnomalyScore { node: n(i), score: s })
+            .collect();
+        let by_top = alarms(&scored, Alarm::TopN(top));
+        prop_assert!(by_top.len() <= top.min(scored.len()));
+        let by_cut = alarms(&scored, Alarm::Threshold(cut));
+        for a in &by_cut {
+            prop_assert!(a.score > cut);
+        }
+        let by_sigma = alarms(&scored, Alarm::Sigma { lambda });
+        prop_assert!(by_sigma.len() <= scored.len());
+    }
+
+    /// Multiusage pair detection is symmetric in construction (a < b) and
+    /// respects the threshold; most_similar returns at most top_n
+    /// candidates sorted by distance.
+    #[test]
+    fn multiusage_detection_invariants(
+        sig_ids in prop::collection::vec(prop::collection::vec(0usize..40, 1..6), 2..12),
+        threshold in 0.0f64..1.0,
+        top_n in 1usize..6,
+    ) {
+        let subjects: Vec<NodeId> = (0..sig_ids.len()).map(|i| n(100 + i)).collect();
+        let sigs: Vec<Signature> = sig_ids
+            .iter()
+            .map(|ids| {
+                Signature::top_k(
+                    n(999_999),
+                    ids.iter().map(|&i| (n(i), 1.0)),
+                    ids.len(),
+                )
+            })
+            .collect();
+        let set = SignatureSet::new(subjects.clone(), sigs);
+        let pairs = multiusage::detect_pairs(&Jaccard, &set, threshold);
+        for p in &pairs {
+            prop_assert!(p.a < p.b);
+            prop_assert!(p.distance <= threshold + 1e-12);
+        }
+        // Sorted ascending by distance.
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+        let sims = multiusage::most_similar(&Jaccard, &set, subjects[0], top_n);
+        prop_assert!(sims.len() <= top_n);
+        for w in sims.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        for &(u, _) in &sims {
+            prop_assert_ne!(u, subjects[0]);
+        }
+    }
+}

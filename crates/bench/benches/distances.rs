@@ -1,0 +1,47 @@
+//! Criterion benches: distance-function evaluation cost.
+//!
+//! Distances are the inner loop of every evaluation (all-pairs matching
+//! is `O(|V|²)` distance calls), so per-call cost matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use comsig_core::distance::all_distances;
+use comsig_core::Signature;
+use comsig_graph::NodeId;
+
+fn sig(ids_from: usize, len: usize) -> Signature {
+    Signature::top_k(
+        NodeId::new(999_999),
+        (0..len).map(|i| (NodeId::new(ids_from + i), 1.0 / (i + 1) as f64)),
+        len,
+    )
+}
+
+fn bench_distances(c: &mut Criterion) {
+    // Half-overlapping signatures of the paper's length k = 10.
+    let a = sig(0, 10);
+    let b = sig(5, 10);
+
+    let mut group = c.benchmark_group("distance_k10");
+    for d in all_distances() {
+        group.bench_function(d.name(), |bench| {
+            bench.iter(|| black_box(d.distance(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+
+    // Longer signatures (k = 100) to expose the O(k) merge-join.
+    let a = sig(0, 100);
+    let b = sig(50, 100);
+    let mut group = c.benchmark_group("distance_k100");
+    for d in all_distances() {
+        group.bench_function(d.name(), |bench| {
+            bench.iter(|| black_box(d.distance(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

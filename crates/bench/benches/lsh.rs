@@ -1,0 +1,63 @@
+//! Criterion benches: approximate vs exact nearest-neighbour signature
+//! search (Section VI, "Scalable signature comparison").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use comsig_bench::datasets;
+use comsig_bench::Scale;
+use comsig_core::distance::{Jaccard, SignatureDistance};
+use comsig_core::scheme::{SignatureScheme, TopTalkers};
+use comsig_sketch::lsh::LshIndex;
+use comsig_sketch::minhash::MinHasher;
+
+fn bench_lsh(c: &mut Criterion) {
+    let d = datasets::flow(Scale::Medium, 7);
+    let g = d.windows.window(0).expect("window 0");
+    let subjects = d.local_nodes();
+    let sigs = TopTalkers.signature_set(g, &subjects, 10);
+    let query = subjects[0];
+    let q = sigs.get(query).expect("query signature");
+
+    let mut group = c.benchmark_group("nearest_neighbor");
+    group.bench_function("exact_scan", |b| {
+        b.iter(|| {
+            let best = subjects
+                .iter()
+                .filter(|&&u| u != query)
+                .map(|&u| (u, Jaccard.distance(q, sigs.get(u).expect("sig"))))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            black_box(best)
+        })
+    });
+    let mut index = LshIndex::new(24, 3, 9);
+    index.insert_set(&sigs);
+    group.bench_function("lsh_query", |b| {
+        b.iter(|| black_box(index.nearest(black_box(q), 1, Some(query))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("minhash");
+    let hasher = MinHasher::new(72, 9);
+    group.bench_function("minhash_k10_m72", |b| {
+        b.iter(|| black_box(hasher.minhash(black_box(q))))
+    });
+    let mh_a = hasher.minhash(q);
+    let mh_b = hasher.minhash(sigs.get(subjects[1]).expect("sig"));
+    group.bench_function("estimate_distance_m72", |b| {
+        b.iter(|| black_box(hasher.estimate_distance(black_box(&mh_a), black_box(&mh_b))))
+    });
+    group.bench_function("index_insert", |b| {
+        b.iter(|| {
+            let mut idx = LshIndex::new(24, 3, 9);
+            for (node, sig) in sigs.iter().take(20) {
+                idx.insert(node, sig);
+            }
+            black_box(idx.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lsh);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches: signature-scheme computation cost.
+//!
+//! One-hop schemes are linear in a node's degree; RWR^h grows with the
+//! reachable neighbourhood. These benches quantify the gap the paper's
+//! Section VI worries about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use comsig_bench::datasets;
+use comsig_bench::Scale;
+use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+
+fn bench_schemes(c: &mut Criterion) {
+    let d = datasets::flow(Scale::Medium, 7);
+    let g = d.windows.window(0).expect("window 0");
+    let subjects = d.local_nodes();
+    let k = 10;
+
+    let mut group = c.benchmark_group("scheme_single_signature");
+    let v = subjects[0];
+    group.bench_function("TT", |b| {
+        b.iter(|| black_box(TopTalkers.signature(g, black_box(v), k)))
+    });
+    group.bench_function("UT", |b| {
+        let ut = UnexpectedTalkers::new();
+        b.iter(|| black_box(ut.signature(g, black_box(v), k)))
+    });
+    for h in [1u32, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("RWR_undirected", h), &h, |b, &h| {
+            let rwr = Rwr::truncated(0.1, h).undirected();
+            b.iter(|| black_box(rwr.signature(g, black_box(v), k)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scheme_full_population");
+    group.sample_size(10);
+    group.bench_function("TT_all", |b| {
+        b.iter(|| black_box(TopTalkers.signature_set(g, &subjects, k)))
+    });
+    group.bench_function("RWR3_all", |b| {
+        let rwr = Rwr::truncated(0.1, 3).undirected();
+        b.iter(|| black_box(rwr.signature_set(g, &subjects, k)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

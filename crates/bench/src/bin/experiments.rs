@@ -1,0 +1,99 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale small|medium|full] [--out DIR] [all | <id>...]
+//! experiments --list
+//! ```
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use comsig_bench::experiments;
+use comsig_bench::Scale;
+
+fn usage() -> &'static str {
+    "usage: experiments [--scale small|medium|full] [--out DIR] [--list] [all | <id>...]\n\
+     run `experiments --list` to see the experiment ids"
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next().and_then(|s| Scale::parse(&s)) else {
+                    eprintln!("invalid --scale value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                scale = v;
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out_dir = Some(PathBuf::from(v));
+            }
+            "--list" => {
+                for e in experiments::all() {
+                    println!("{:10}  {}", e.id, e.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::all().iter().map(|e| e.id.to_owned()).collect();
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for id in &ids {
+        let Some(exp) = experiments::find(id) else {
+            eprintln!("unknown experiment `{id}`\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let start = Instant::now();
+        println!("### {} — {} [scale: {:?}]", exp.id, exp.title, scale);
+        let tables = (exp.run)(scale);
+        for table in &tables {
+            println!("{}", table.render());
+        }
+        println!("({} finished in {:.1?})\n", exp.id, start.elapsed());
+
+        if let Some(dir) = &out_dir {
+            for (i, table) in tables.iter().enumerate() {
+                let base = dir.join(format!("{}_{}", exp.id, i));
+                if let Err(e) = fs::write(base.with_extension("csv"), table.to_csv()) {
+                    eprintln!("write failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let json = serde_json::to_string_pretty(&table.to_json())
+                    .expect("tables serialise");
+                if let Err(e) = fs::write(base.with_extension("json"), json) {
+                    eprintln!("write failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    // Ensure everything is flushed before exit.
+    std::io::stdout().flush().ok();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,160 @@
+//! Canonical experiment datasets at selectable scales.
+
+use comsig_datagen::flownet::{self, AnomalyConfig, FlowDataset, FlowNetConfig, MultiusageConfig};
+use comsig_datagen::querylog::{self, QueryLogConfig, QueryLogDataset};
+
+/// Experiment scale: trade fidelity against runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Tiny smoke-test scale (CI-friendly, seconds).
+    Small,
+    /// One-third population scale — the scale the shape tests pin.
+    #[default]
+    Medium,
+    /// The paper's scale: ~300 hosts / 20K externals / 6 windows, and the
+    /// full 851 × 979 query log.
+    Full,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The signature length used for flow data (`k = 10` in the paper,
+    /// half the average host out-degree).
+    pub fn flow_k(self) -> usize {
+        10
+    }
+
+    /// The signature length used for query logs (`k = 3` in the paper).
+    pub fn query_k(self) -> usize {
+        3
+    }
+}
+
+/// Flow-network configuration for a scale (no ground truth).
+pub fn flow_config(scale: Scale, seed: u64) -> FlowNetConfig {
+    match scale {
+        Scale::Small => FlowNetConfig {
+            num_locals: 40,
+            num_externals: 2700,
+            num_groups: 4,
+            num_windows: 3,
+            seed,
+            ..FlowNetConfig::default()
+        },
+        Scale::Medium => FlowNetConfig {
+            num_locals: 100,
+            num_externals: 6700,
+            num_groups: 10,
+            num_windows: 4,
+            seed,
+            ..FlowNetConfig::default()
+        },
+        Scale::Full => FlowNetConfig {
+            seed,
+            ..FlowNetConfig::default()
+        },
+    }
+}
+
+/// The flow dataset used by the property/ROC experiments (Figures 1–4).
+pub fn flow(scale: Scale, seed: u64) -> FlowDataset {
+    flownet::generate(&flow_config(scale, seed))
+}
+
+/// Flow dataset with multiusage ground truth (Figure 5).
+pub fn flow_with_multiusage(scale: Scale, seed: u64) -> FlowDataset {
+    let mut cfg = flow_config(scale, seed);
+    cfg.multiusage = MultiusageConfig {
+        individuals: match scale {
+            Scale::Small => 6,
+            Scale::Medium => 12,
+            Scale::Full => 30,
+        },
+        min_labels: 2,
+        max_labels: 3,
+    };
+    flownet::generate(&cfg)
+}
+
+/// Flow dataset with injected anomalies (experiment A7).
+pub fn flow_with_anomalies(scale: Scale, seed: u64) -> FlowDataset {
+    let mut cfg = flow_config(scale, seed);
+    cfg.anomaly = AnomalyConfig {
+        count: match scale {
+            Scale::Small => 4,
+            Scale::Medium => 8,
+            Scale::Full => 20,
+        },
+        window: 1,
+    };
+    cfg.disruption_rate = 0.05;
+    flownet::generate(&cfg)
+}
+
+/// The query-log dataset (Figure 1 right column, Figure 3(b)).
+pub fn querylog(scale: Scale, seed: u64) -> QueryLogDataset {
+    let cfg = match scale {
+        Scale::Small => QueryLogConfig {
+            num_users: 80,
+            num_tables: 120,
+            num_roles: 8,
+            num_windows: 3,
+            seed,
+            ..QueryLogConfig::default()
+        },
+        Scale::Medium => QueryLogConfig {
+            num_users: 250,
+            num_tables: 400,
+            num_roles: 20,
+            num_windows: 4,
+            seed,
+            ..QueryLogConfig::default()
+        },
+        Scale::Full => QueryLogConfig {
+            seed,
+            ..QueryLogConfig::default()
+        },
+    };
+    querylog::generate(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::default(), Scale::Medium);
+    }
+
+    #[test]
+    fn small_datasets_materialise() {
+        let f = flow(Scale::Small, 1);
+        assert_eq!(f.windows.len(), 3);
+        assert_eq!(f.local_nodes().len(), 40);
+
+        let m = flow_with_multiusage(Scale::Small, 1);
+        assert_eq!(m.truth.multiusage_groups.len(), 6);
+
+        let a = flow_with_anomalies(Scale::Small, 1);
+        assert_eq!(a.truth.anomalous.len(), 4);
+
+        let q = querylog(Scale::Small, 1);
+        assert_eq!(q.user_nodes().len(), 80);
+        assert_eq!(Scale::Small.flow_k(), 10);
+        assert_eq!(Scale::Small.query_k(), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 2: ROC curves from network data under `Dist_SHel`.
+//!
+//! One averaged self-identification ROC curve per scheme between two
+//! consecutive flow windows, reported as TPR at a fixed FPR grid (the
+//! series one would plot).
+
+use comsig_core::distance::SHel;
+use comsig_eval::report::{f3, f4, Table};
+use comsig_eval::roc::self_identification;
+
+use crate::datasets::{self, Scale};
+use crate::registry;
+
+const FPR_GRID: [f64; 9] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let flow = datasets::flow(scale, 99);
+    let subjects = flow.local_nodes();
+    let g1 = flow.windows.window(0).expect("window 0");
+    let g2 = flow.windows.window(1).expect("window 1");
+    let k = scale.flow_k();
+    let dist = SHel;
+
+    let mut headers: Vec<String> = vec!["scheme".into(), "AUC".into()];
+    headers.extend(FPR_GRID.iter().map(|f| format!("TPR@{f}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Figure 2: average ROC curves, network data, Dist_SHel",
+        &header_refs,
+    );
+
+    for scheme in registry::paper_schemes() {
+        let a = scheme.signature_set(g1, &subjects, k);
+        let b = scheme.signature_set(g2, &subjects, k);
+        let result = self_identification(&dist, &a, &b);
+        let mut row = vec![scheme.name(), f4(result.mean_auc)];
+        row.extend(
+            FPR_GRID
+                .iter()
+                .map(|&f| f3(result.mean_curve.tpr_at(f))),
+        );
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roc_table_has_all_schemes_and_monotone_rows() {
+        let tables = run(Scale::Small);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].num_rows(), 5);
+        let json = tables[0].to_json();
+        for row in json["rows"].as_array().unwrap() {
+            // TPR must not decrease along the FPR grid.
+            let mut prev = -1.0;
+            for &f in &FPR_GRID {
+                let tpr = row[&format!("TPR@{f}")].as_f64().unwrap();
+                assert!(tpr >= prev - 1e-9, "TPR not monotone");
+                prev = tpr;
+            }
+            assert!((row["TPR@1"].as_f64().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 4: robustness on network data.
+//!
+//! Each node of `G_t` is used as a query against the perturbed window
+//! `G'_t` (α insertions, β unit decrements); the AUC of self-matching
+//! measures how well identity survives perturbation.
+
+use comsig_eval::report::{f4, Table};
+use comsig_eval::roc::self_identification;
+use comsig_graph::perturb::perturbed;
+
+use crate::datasets::{self, Scale};
+use crate::registry;
+
+/// Runs the experiment for the paper's two settings
+/// `α = β ∈ {0.1, 0.4}`.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let flow = datasets::flow(scale, 99);
+    let subjects = flow.local_nodes();
+    let g = flow.windows.window(0).expect("window 0");
+    let k = scale.flow_k();
+
+    let schemes = registry::paper_schemes();
+    let mut tables = Vec::new();
+    for &rate in &[0.1f64, 0.4] {
+        let gp = perturbed(g, rate, rate, 4242);
+        let mut headers: Vec<String> = vec!["AUC".into()];
+        headers.extend(schemes.iter().map(|s| s.name()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!("Figure 4: robustness, alpha = beta = {rate}"),
+            &header_refs,
+        );
+        let sets: Vec<_> = schemes
+            .iter()
+            .map(|s| {
+                (
+                    s.signature_set(g, &subjects, k),
+                    s.signature_set(&gp, &subjects, k),
+                )
+            })
+            .collect();
+        for dist in registry::distances() {
+            let mut row = vec![format!("Dist_{}", dist.name())];
+            for (clean, pert) in &sets {
+                row.push(f4(self_identification(dist.as_ref(), clean, pert).mean_auc));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_settings_and_light_perturbation_is_easier() {
+        let tables = run(Scale::Small);
+        assert_eq!(tables.len(), 2);
+        let light = tables[0].to_json();
+        let heavy = tables[1].to_json();
+        // On average, alpha = 0.1 must yield AUC >= alpha = 0.4.
+        let mean = |json: &serde_json::Value| {
+            let rows = json["rows"].as_array().unwrap();
+            let mut sum = 0.0;
+            let mut n = 0;
+            for row in rows {
+                for (key, v) in row.as_object().unwrap() {
+                    if key != "AUC" {
+                        sum += v.as_f64().unwrap();
+                        n += 1;
+                    }
+                }
+            }
+            sum / n as f64
+        };
+        assert!(mean(&light) + 1e-9 >= mean(&heavy));
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 5: multiusage detection ROC curves.
+//!
+//! Using the multiusage ground truth (individuals controlling 2–3 local
+//! labels), each member label queries the population; its co-labels are
+//! the targets. One AUC table across all four distances plus the
+//! `Dist_SHel` ROC series.
+
+use comsig_apps::multiusage;
+use comsig_core::distance::SHel;
+use comsig_eval::report::{f3, f4, Table};
+
+use crate::datasets::{self, Scale};
+use crate::registry;
+
+const FPR_GRID: [f64; 9] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let d = datasets::flow_with_multiusage(scale, 99);
+    let subjects = d.local_nodes();
+    let g = d.windows.window(0).expect("window 0");
+    let k = scale.flow_k();
+    let schemes = registry::application_schemes();
+
+    let sets: Vec<_> = schemes
+        .iter()
+        .map(|s| s.signature_set(g, &subjects, k))
+        .collect();
+
+    // AUC across all distances.
+    let mut headers: Vec<String> = vec!["AUC".into()];
+    headers.extend(schemes.iter().map(|s| s.name()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut auc_table = Table::new("Figure 5: multiusage detection AUC", &header_refs);
+    for dist in registry::distances() {
+        let mut row = vec![format!("Dist_{}", dist.name())];
+        for set in &sets {
+            let eval = multiusage::evaluate(dist.as_ref(), set, &d.truth.multiusage_groups);
+            row.push(f4(eval.mean_auc));
+        }
+        auc_table.push_row(row);
+    }
+
+    // ROC series under SHel.
+    let mut headers: Vec<String> = vec!["scheme".into(), "AUC".into()];
+    headers.extend(FPR_GRID.iter().map(|f| format!("TPR@{f}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut roc_table = Table::new(
+        "Figure 5: multiusage ROC curves (Dist_SHel)",
+        &header_refs,
+    );
+    for (scheme, set) in schemes.iter().zip(&sets) {
+        let eval = multiusage::evaluate(&SHel, set, &d.truth.multiusage_groups);
+        let mut row = vec![scheme.name(), f4(eval.mean_auc)];
+        row.extend(FPR_GRID.iter().map(|&f| f3(eval.mean_curve.tpr_at(f))));
+        roc_table.push_row(row);
+    }
+
+    vec![auc_table, roc_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_shaped_correctly() {
+        let tables = run(Scale::Small);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].num_rows(), 4); // distances
+        assert_eq!(tables[1].num_rows(), 3); // application schemes
+    }
+}
+
+#[cfg(test)]
+mod full_scale_tests {
+    use super::*;
+
+    /// The paper-scale Figure 5 ordering: TT dominates RWR^3 and UT.
+    /// Run explicitly with `cargo test -p comsig-bench --release -- --ignored`.
+    #[test]
+    #[ignore = "full-scale run (~20 s in release)"]
+    fn fig5_full_ordering() {
+        let tables = run(Scale::Full);
+        let json = tables[0].to_json();
+        for row in json["rows"].as_array().unwrap() {
+            let tt = row["TT"].as_f64().unwrap();
+            let ut = row["UT"].as_f64().unwrap();
+            let rwr = row["RWR^3_0.1"].as_f64().unwrap();
+            assert!(tt > rwr, "{}: TT {tt} !> RWR {rwr}", row["AUC"]);
+            assert!(rwr > ut, "{}: RWR {rwr} !> UT {ut}", row["AUC"]);
+        }
+    }
+}

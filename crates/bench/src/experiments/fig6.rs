@@ -1,0 +1,88 @@
+//! Figure 6: accuracy of label-masquerading detection.
+//!
+//! For each masquerade fraction `f`, a bijective relabelling of `f·|V|`
+//! hosts is applied to window `t+1`; Algorithm 1 (with `δ` = mean
+//! self-similarity / 5 and top-ℓ matching) recovers the mapping. Accuracy
+//! = fraction of hosts correctly cleared or correctly re-paired.
+
+use comsig_apps::masquerade::{
+    accuracy, apply_masquerade, detect_label_masquerading, plan_masquerade, DetectorConfig,
+};
+use comsig_core::distance::SHel;
+use comsig_eval::report::{f3, Table};
+
+use crate::datasets::{self, Scale};
+use crate::registry;
+
+const FRACTIONS: [f64; 6] = [0.02, 0.05, 0.1, 0.2, 0.3, 0.4];
+const ELLS: [usize; 3] = [1, 3, 5];
+
+/// Runs the experiment (one table per ℓ, columns = schemes, rows = f).
+pub fn run(scale: Scale) -> Vec<Table> {
+    let d = datasets::flow(scale, 99);
+    let subjects = d.local_nodes();
+    let g1 = d.windows.window(0).expect("window 0");
+    let g2 = d.windows.window(1).expect("window 1");
+    let schemes = registry::application_schemes();
+
+    let mut tables = Vec::new();
+    for &ell in &ELLS {
+        let mut headers: Vec<String> = vec!["f".into()];
+        headers.extend(schemes.iter().map(|s| s.name()));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!("Figure 6: masquerading accuracy, l = {ell}, c = 5, Dist_SHel"),
+            &header_refs,
+        );
+        for &f in &FRACTIONS {
+            let plan = plan_masquerade(&subjects, f, 7000 + (f * 1000.0) as u64);
+            let g2_masqueraded = apply_masquerade(g2, &plan);
+            let mut row = vec![f3(f)];
+            for scheme in &schemes {
+                let cfg = DetectorConfig {
+                    k: scale.flow_k(),
+                    threshold_divisor: 5.0,
+                    top_l: ell,
+                };
+                let det = detect_label_masquerading(
+                    scheme.as_ref(),
+                    &SHel,
+                    g1,
+                    &g2_masqueraded,
+                    &subjects,
+                    &cfg,
+                );
+                row.push(f3(accuracy(&det, &plan, subjects.len())));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_table_per_ell_with_all_fractions() {
+        let tables = run(Scale::Small);
+        assert_eq!(tables.len(), ELLS.len());
+        for t in &tables {
+            assert_eq!(t.num_rows(), FRACTIONS.len());
+        }
+        // Accuracies are probabilities.
+        for t in &tables {
+            let json = t.to_json();
+            for row in json["rows"].as_array().unwrap() {
+                for (key, v) in row.as_object().unwrap() {
+                    if key != "f" {
+                        let a = v.as_f64().unwrap();
+                        assert!((0.0..=1.0).contains(&a), "{key} = {a}");
+                    }
+                }
+            }
+        }
+    }
+}

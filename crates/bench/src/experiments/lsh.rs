@@ -1,0 +1,90 @@
+//! Extension A6: LSH vs exact nearest-neighbour signature search
+//! (Section VI, "Scalable signature comparison").
+//!
+//! For each banding, the fraction of queries whose LSH-retrieved
+//! neighbour matches (or nearly matches) the exact scan, and the mean
+//! fraction of the population examined per query — the speed/recall
+//! trade-off.
+
+use comsig_core::distance::{Jaccard, SignatureDistance};
+use comsig_core::scheme::{SignatureScheme, TopTalkers};
+use comsig_eval::report::{f3, Table};
+use comsig_sketch::lsh::LshIndex;
+
+use crate::datasets::{self, Scale};
+
+/// Runs the experiment across band/row settings.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let d = datasets::flow(scale, 99);
+    let subjects = d.local_nodes();
+    let g = d.windows.window(0).expect("window 0");
+    let sigs = TopTalkers.signature_set(g, &subjects, scale.flow_k());
+
+    let mut table = Table::new(
+        "Extension A6: LSH approximate NN vs exact scan (TT signatures)",
+        &[
+            "bands",
+            "rows",
+            "sim threshold",
+            "NN agreement",
+            "mean candidates/|V|",
+        ],
+    );
+    for (bands, rows) in [(8usize, 4usize), (16, 3), (24, 3), (32, 2)] {
+        let mut index = LshIndex::new(bands, rows, 9);
+        index.insert_set(&sigs);
+
+        let mut agree = 0usize;
+        let mut evaluated = 0usize;
+        let mut candidate_total = 0usize;
+        for &v in &subjects {
+            let q = sigs.get(v).expect("subject signature");
+            let exact = subjects
+                .iter()
+                .filter(|&&u| u != v)
+                .map(|&u| (u, Jaccard.distance(q, sigs.get(u).expect("sig"))))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+            let Some((exact_u, exact_d)) = exact else {
+                continue;
+            };
+            candidate_total += index.candidates(q).len();
+            if exact_d > 0.6 {
+                continue; // below the retrieval band of every setting
+            }
+            evaluated += 1;
+            if let Some(&(u, _)) = index.nearest(q, 1, Some(v)).first() {
+                let approx_d = Jaccard.distance(q, sigs.get(u).expect("sig"));
+                if u == exact_u || approx_d <= exact_d + 0.1 {
+                    agree += 1;
+                }
+            }
+        }
+        let recall = agree as f64 / evaluated.max(1) as f64;
+        let frac = candidate_total as f64 / (subjects.len() * subjects.len()).max(1) as f64;
+        table.push_row(vec![
+            bands.to_string(),
+            rows.to_string(),
+            f3(LshIndex::new(bands, rows, 9).similarity_threshold()),
+            f3(recall),
+            f3(frac),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsh_examines_fewer_candidates_than_full_scan() {
+        let tables = run(Scale::Small);
+        let json = tables[0].to_json();
+        for row in json["rows"].as_array().unwrap() {
+            let frac = row["mean candidates/|V|"].as_f64().unwrap();
+            assert!(frac < 1.0, "candidate fraction {frac} not sub-linear");
+            let recall = row["NN agreement"].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&recall));
+        }
+    }
+}

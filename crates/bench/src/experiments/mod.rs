@@ -1,0 +1,142 @@
+//! One module per regenerated table/figure. See DESIGN.md §4 for the
+//! experiment index.
+
+pub mod ablations;
+pub mod anomaly;
+pub mod callgraph;
+pub mod decay;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod lsh;
+pub mod pushrwr;
+pub mod sketches;
+pub mod table4;
+
+use comsig_eval::report::Table;
+
+use crate::datasets::Scale;
+
+/// A runnable experiment.
+pub struct Experiment {
+    /// Identifier used on the command line (e.g. `fig3`).
+    pub id: &'static str,
+    /// Which paper artifact it regenerates.
+    pub title: &'static str,
+    /// Produces the result tables.
+    pub run: fn(Scale) -> Vec<Table>,
+}
+
+/// Every registered experiment, in DESIGN.md order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1",
+            title: "Figure 1: signature persistence & uniqueness ellipses",
+            run: fig1::run,
+        },
+        Experiment {
+            id: "fig2",
+            title: "Figure 2: ROC curves from network data (Dist_SHel)",
+            run: fig2::run,
+        },
+        Experiment {
+            id: "fig3",
+            title: "Figure 3: AUC across signature schemes (both datasets)",
+            run: fig3::run,
+        },
+        Experiment {
+            id: "fig4",
+            title: "Figure 4: robustness on network data",
+            run: fig4::run,
+        },
+        Experiment {
+            id: "fig5",
+            title: "Figure 5: multiusage detection ROC",
+            run: fig5::run,
+        },
+        Experiment {
+            id: "fig6",
+            title: "Figure 6: accuracy of label-masquerading detection",
+            run: fig6::run,
+        },
+        Experiment {
+            id: "table4",
+            title: "Table IV: relative behaviour of the signature schemes",
+            run: table4::run,
+        },
+        Experiment {
+            id: "ablate-h",
+            title: "Ablation A1: hop-count sweep (RWR^h -> RWR^inf)",
+            run: ablations::run_h_sweep,
+        },
+        Experiment {
+            id: "ablate-c",
+            title: "Ablation A2: restart-probability sweep (c -> TT)",
+            run: ablations::run_c_sweep,
+        },
+        Experiment {
+            id: "ablate-k",
+            title: "Ablation A3: signature-length sweep",
+            run: ablations::run_k_sweep,
+        },
+        Experiment {
+            id: "ablate-ut",
+            title: "Ablation A4: UT scaling functions",
+            run: ablations::run_ut_scalings,
+        },
+        Experiment {
+            id: "sketches",
+            title: "Extension A5: semi-streaming signatures vs exact",
+            run: sketches::run,
+        },
+        Experiment {
+            id: "lsh",
+            title: "Extension A6: LSH vs exact nearest-neighbour search",
+            run: lsh::run,
+        },
+        Experiment {
+            id: "anomaly",
+            title: "Extension A7: anomaly detection on injected ground truth",
+            run: anomaly::run,
+        },
+        Experiment {
+            id: "decay",
+            title: "Extension A8: time-decayed signature histories (COI)",
+            run: decay::run,
+        },
+        Experiment {
+            id: "push-rwr",
+            title: "Extension A9: forward-push approximate RWR",
+            run: pushrwr::run,
+        },
+        Experiment {
+            id: "callgraph",
+            title: "Extension A10: telephone call graph (one-hop sufficiency)",
+            run: callgraph::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 17);
+        let set: std::collections::HashSet<&&str> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len(), "duplicate experiment ids");
+        assert!(find("fig3").is_some());
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # comsig-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Sections IV and V), plus the ablations and
+//! Section VI extension experiments listed in DESIGN.md.
+//!
+//! The `experiments` binary drives it:
+//!
+//! ```text
+//! experiments all                 # every experiment at the default scale
+//! experiments fig1 fig3 fig6     # a subset
+//! experiments --scale small all  # reduced-scale smoke run
+//! ```
+//!
+//! Each experiment prints fixed-width tables mirroring the paper's
+//! figure/table layout; absolute values come from the synthetic
+//! workloads, so the *shape* (orderings, approximate gaps, crossovers) is
+//! the comparison target — see EXPERIMENTS.md for the side-by-side.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod registry;
+
+pub use datasets::Scale;

@@ -1,0 +1,49 @@
+//! Scheme and distance registries shared by all experiments.
+
+use comsig_core::distance::{paper_distances, SignatureDistance};
+use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+
+/// The scheme line-up of the paper's evaluation: TT, UT and
+/// `RWR^h_0.1` for `h ∈ {3, 5, 7}`. RWR walks are undirected — on the
+/// flow data only `local → external` edges exist, so the multi-hop
+/// schemes must traverse edges both ways to see beyond one hop (cf. the
+/// movie-rental discussion of Section III-B).
+pub fn paper_schemes() -> Vec<Box<dyn SignatureScheme>> {
+    vec![
+        Box::new(TopTalkers),
+        Box::new(UnexpectedTalkers::new()),
+        Box::new(Rwr::truncated(0.1, 3).undirected()),
+        Box::new(Rwr::truncated(0.1, 5).undirected()),
+        Box::new(Rwr::truncated(0.1, 7).undirected()),
+    ]
+}
+
+/// The three representative schemes used in the application experiments
+/// (Figures 5 and 6): TT, UT, and `RWR^3_0.1` — "the best representative
+/// of the RWR schemes".
+pub fn application_schemes() -> Vec<Box<dyn SignatureScheme>> {
+    vec![
+        Box::new(TopTalkers),
+        Box::new(UnexpectedTalkers::new()),
+        Box::new(Rwr::truncated(0.1, 3).undirected()),
+    ]
+}
+
+/// The paper's four distance functions in presentation order.
+pub fn distances() -> Vec<Box<dyn SignatureDistance>> {
+    paper_distances()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_have_expected_lineups() {
+        let names: Vec<String> = paper_schemes().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["TT", "UT", "RWR^3_0.1", "RWR^5_0.1", "RWR^7_0.1"]);
+        assert_eq!(application_schemes().len(), 3);
+        let dnames: Vec<&str> = distances().iter().map(|d| d.name()).collect();
+        assert_eq!(dnames, vec!["Jac", "Dice", "SDice", "SHel"]);
+    }
+}

@@ -1,0 +1,696 @@
+//! Command implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use comsig_apps::advisor::{self, Application};
+use comsig_apps::anomaly::{anomaly_scores, Alarm};
+use comsig_apps::masquerade::{detect_label_masquerading, DetectorConfig};
+use comsig_apps::measure::{measure, rank_levels, MeasureConfig};
+use comsig_apps::multiusage;
+use comsig_core::scheme::SignatureScheme;
+use comsig_datagen::flownet::{self, AnomalyConfig, FlowNetConfig, MultiusageConfig};
+use comsig_datagen::querylog::{self, QueryLogConfig};
+use comsig_eval::ranking::Ranking;
+use comsig_eval::roc::self_identification;
+use comsig_graph::io::{read_events, write_events};
+use comsig_graph::stats::graph_stats;
+use comsig_graph::window::{GraphSequence, WindowSpec};
+use comsig_graph::{CommGraph, EdgeEvent, Interner, NodeId};
+
+use crate::spec::{parse_distance, parse_scheme, Parsed};
+use crate::CliError;
+
+const USAGE: &str = "\
+comsig — signatures for communication graphs
+
+commands:
+  gen flow|querylog   generate a synthetic workload (edge-list events)
+  stats               per-window graph statistics of an event file
+  sign                print node signatures
+  match               cross-window identity matching (self-ID ranking/AUC)
+  detect multiusage   similar-signature label pairs within one window
+  detect masquerade   Algorithm 1 across two windows
+  detect anomaly      persistence-based anomaly scores
+  compare             measure persistence/uniqueness/robustness of the
+                      standard schemes on an event file (derived Table IV)
+  advise              recommend a scheme for an application (Tables I-III)
+  help                this message
+
+common flags:
+  --input FILE        event file (`time src dst [weight]` per line)
+  --window-width W    window width in time units (default 1)
+  --scheme SPEC       tt | ut[:ratio|tfidf|log] | rwr:h=3,c=0.1[,undirected]
+                      | push:c=0.1,eps=1e-4[,undirected]   (default tt)
+  --dist NAME         jac|dice|sdice|shel|cos|ovl (default shel)
+  --k K               signature length (default 10)
+";
+
+/// Runs the CLI with `args` (excluding the program name), writing human
+/// output to `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = Parsed::from_args(args);
+    let command = parsed.positional.first().map(String::as_str);
+    match command {
+        Some("gen") => cmd_gen(&parsed, out),
+        Some("stats") => cmd_stats(&parsed, out),
+        Some("sign") => cmd_sign(&parsed, out),
+        Some("match") => cmd_match(&parsed, out),
+        Some("detect") => cmd_detect(&parsed, out),
+        Some("compare") => cmd_compare(&parsed, out),
+        Some("advise") => cmd_advise(&parsed, out),
+        Some("help") | None => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command `{other}`; run `comsig help`"
+        ))),
+    }
+}
+
+// --- shared loading ------------------------------------------------------
+
+struct Loaded {
+    interner: Interner,
+    windows: GraphSequence,
+}
+
+fn load(parsed: &Parsed) -> Result<Loaded, CliError> {
+    let path = parsed.require("input")?;
+    let file = File::open(path)
+        .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+    let mut interner = Interner::new();
+    let events = read_events(BufReader::new(file), &mut interner)?;
+    if events.is_empty() {
+        return Err(CliError::Failed(format!("{path} contains no events")));
+    }
+    let width: u64 = parsed.num("window-width", 1)?;
+    if width == 0 {
+        return Err(CliError::Usage("--window-width must be >= 1".into()));
+    }
+    let start = events.iter().map(|e| e.time).min().unwrap_or(0);
+    let windows =
+        GraphSequence::from_events(interner.len(), WindowSpec::new(start, width), &events);
+    Ok(Loaded { interner, windows })
+}
+
+fn window(loaded: &Loaded, idx: usize) -> Result<&CommGraph, CliError> {
+    loaded.windows.window(idx).ok_or_else(|| {
+        CliError::Usage(format!(
+            "window {idx} out of range (have {})",
+            loaded.windows.len()
+        ))
+    })
+}
+
+fn active_sources(g: &CommGraph) -> Vec<NodeId> {
+    g.active_sources().collect()
+}
+
+fn resolve_node(loaded: &Loaded, label: &str) -> Result<NodeId, CliError> {
+    loaded
+        .interner
+        .get(label)
+        .ok_or_else(|| CliError::Failed(format!("unknown node label `{label}`")))
+}
+
+fn scheme_of(parsed: &Parsed) -> Result<Box<dyn SignatureScheme>, CliError> {
+    parse_scheme(parsed.get("scheme").unwrap_or("tt"))
+}
+
+fn dist_of(
+    parsed: &Parsed,
+) -> Result<Box<dyn comsig_core::distance::SignatureDistance>, CliError> {
+    parse_distance(parsed.get("dist").unwrap_or("shel"))
+}
+
+// --- gen ------------------------------------------------------------------
+
+fn cmd_gen(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let kind = parsed
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage("gen needs `flow` or `querylog`".into()))?;
+    let out_path = parsed.require("out")?;
+    let seed: u64 = parsed.num("seed", 42)?;
+
+    let (interner, events, truth_json): (Interner, Vec<EdgeEvent>, Option<String>) = match kind {
+        "flow" => {
+            let cfg = FlowNetConfig {
+                num_locals: parsed.num("locals", 300)?,
+                num_externals: parsed.num("externals", 20_000)?,
+                num_windows: parsed.num("windows", 6)?,
+                num_groups: parsed.num("groups", 30)?,
+                multiusage: MultiusageConfig {
+                    individuals: parsed.num("multiusage", 0)?,
+                    min_labels: 2,
+                    max_labels: 3,
+                },
+                anomaly: AnomalyConfig {
+                    count: parsed.num("anomalies", 0)?,
+                    window: parsed.num("anomaly-window", 1)?,
+                },
+                seed,
+                ..FlowNetConfig::default()
+            };
+            let data = flownet::generate(&cfg);
+            let truth = if cfg.multiusage.individuals > 0 || cfg.anomaly.count > 0 {
+                let groups: Vec<Vec<String>> = data
+                    .truth
+                    .multiusage_groups
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .map(|&l| data.interner.label(l).unwrap_or("?").to_owned())
+                            .collect()
+                    })
+                    .collect();
+                let anomalous: Vec<String> = data
+                    .truth
+                    .anomalous
+                    .iter()
+                    .map(|&l| data.interner.label(l).unwrap_or("?").to_owned())
+                    .collect();
+                Some(
+                    serde_json::json!({
+                        "multiusage_groups": groups,
+                        "anomalous": anomalous,
+                        "anomaly_window": data.truth.anomaly_window,
+                    })
+                    .to_string(),
+                )
+            } else {
+                None
+            };
+            let events = graphs_to_events(&data.windows);
+            (data.interner, events, truth)
+        }
+        "querylog" => {
+            let cfg = QueryLogConfig {
+                num_users: parsed.num("users", 851)?,
+                num_tables: parsed.num("tables", 979)?,
+                num_windows: parsed.num("windows", 5)?,
+                seed,
+                ..QueryLogConfig::default()
+            };
+            let data = querylog::generate(&cfg);
+            let events = graphs_to_events(&data.windows);
+            (data.interner, events, None)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown generator `{other}` (flow|querylog)"
+            )));
+        }
+    };
+
+    let file = File::create(out_path)
+        .map_err(|e| CliError::Failed(format!("cannot create {out_path}: {e}")))?;
+    let mut writer = BufWriter::new(file);
+    write_events(&mut writer, &interner, &events)?;
+    writer.flush()?;
+    writeln!(
+        out,
+        "wrote {} events over {} nodes to {out_path}",
+        events.len(),
+        interner.len()
+    )?;
+
+    if let Some(json) = truth_json {
+        if let Some(truth_path) = parsed.get("truth") {
+            std::fs::write(truth_path, &json)
+                .map_err(|e| CliError::Failed(format!("cannot write {truth_path}: {e}")))?;
+            writeln!(out, "wrote ground truth to {truth_path}")?;
+        } else {
+            writeln!(out, "ground truth: {json}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Re-serialises window graphs as aggregated events (one per edge, with
+/// the window index as the timestamp) — the exchange format of the tool.
+fn graphs_to_events(seq: &GraphSequence) -> Vec<EdgeEvent> {
+    let mut events = Vec::new();
+    for (w, g) in seq.iter().enumerate() {
+        for e in g.edges() {
+            events.push(EdgeEvent {
+                time: w as u64,
+                src: e.src,
+                dst: e.dst,
+                weight: e.weight,
+            });
+        }
+    }
+    events
+}
+
+// --- stats ------------------------------------------------------------------
+
+fn cmd_stats(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let loaded = load(parsed)?;
+    writeln!(
+        out,
+        "{} nodes, {} windows",
+        loaded.interner.len(),
+        loaded.windows.len()
+    )?;
+    writeln!(
+        out,
+        "{:>6} {:>9} {:>9} {:>12} {:>10} {:>10} {:>8}",
+        "window", "active", "edges", "weight", "mean-out", "max-in", "gini-in"
+    )?;
+    for (w, g) in loaded.windows.iter().enumerate() {
+        let s = graph_stats(g);
+        writeln!(
+            out,
+            "{:>6} {:>9} {:>9} {:>12.1} {:>10.2} {:>10} {:>8.3}",
+            w,
+            s.active_nodes,
+            s.num_edges,
+            s.total_weight,
+            s.mean_out_degree,
+            s.max_in_degree,
+            s.in_degree_gini
+        )?;
+    }
+    Ok(())
+}
+
+// --- sign ------------------------------------------------------------------
+
+fn cmd_sign(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let loaded = load(parsed)?;
+    let scheme = scheme_of(parsed)?;
+    let k: usize = parsed.num("k", 10)?;
+    let w: usize = parsed.num("window", 0)?;
+    let g = window(&loaded, w)?;
+
+    let nodes: Vec<NodeId> = match parsed.get("node") {
+        Some(label) => vec![resolve_node(&loaded, label)?],
+        None => active_sources(g),
+    };
+    for v in nodes {
+        let sig = scheme.signature(g, v, k);
+        let rendered: Vec<String> = sig
+            .ranked()
+            .into_iter()
+            .map(|(u, weight)| {
+                format!("{}={weight:.4}", loaded.interner.label(u).unwrap_or("?"))
+            })
+            .collect();
+        writeln!(
+            out,
+            "{:16} {}",
+            loaded.interner.label(v).unwrap_or("?"),
+            rendered.join(" ")
+        )?;
+    }
+    Ok(())
+}
+
+// --- match ------------------------------------------------------------------
+
+fn cmd_match(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let loaded = load(parsed)?;
+    let scheme = scheme_of(parsed)?;
+    let dist = dist_of(parsed)?;
+    let k: usize = parsed.num("k", 10)?;
+    let t: usize = parsed.num("from", 0)?;
+    let t1: usize = parsed.num("to", t + 1)?;
+    let g1 = window(&loaded, t)?;
+    let g2 = window(&loaded, t1)?;
+
+    let subjects = active_sources(g1);
+    let sigs1 = scheme.signature_set(g1, &subjects, k);
+    let sigs2 = scheme.signature_set(g2, &subjects, k);
+
+    match parsed.get("query") {
+        Some(label) => {
+            let v = resolve_node(&loaded, label)?;
+            let query = sigs1
+                .get(v)
+                .ok_or_else(|| CliError::Failed(format!("`{label}` has no signature")))?;
+            let ranking = Ranking::rank(dist.as_ref(), query, &sigs2);
+            let top: usize = parsed.num("top", 5)?;
+            writeln!(out, "window-{t1} candidates closest to {label}@window-{t}:")?;
+            for &(u, d) in ranking.top(top) {
+                writeln!(
+                    out,
+                    "  {:16} dist = {d:.4}",
+                    loaded.interner.label(u).unwrap_or("?")
+                )?;
+            }
+        }
+        None => {
+            let result = self_identification(dist.as_ref(), &sigs1, &sigs2);
+            writeln!(
+                out,
+                "self-identification over {} hosts ({} -> {}), scheme {}, dist {}:",
+                result.per_query.len(),
+                t,
+                t1,
+                scheme.name(),
+                dist.name()
+            )?;
+            writeln!(out, "mean AUC = {:.4}", result.mean_auc)?;
+            let mut worst = result.per_query.clone();
+            worst.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            writeln!(out, "hardest hosts:")?;
+            for &(v, auc) in worst.iter().take(parsed.num("top", 5)?) {
+                writeln!(
+                    out,
+                    "  {:16} AUC = {auc:.4}",
+                    loaded.interner.label(v).unwrap_or("?")
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// --- detect ------------------------------------------------------------------
+
+fn cmd_detect(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let task = parsed
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| {
+            CliError::Usage("detect needs `multiusage`, `masquerade` or `anomaly`".into())
+        })?;
+    if !matches!(task, "multiusage" | "masquerade" | "anomaly") {
+        return Err(CliError::Usage(format!(
+            "unknown detector `{task}` (multiusage|masquerade|anomaly)"
+        )));
+    }
+    let loaded = load(parsed)?;
+    let scheme = scheme_of(parsed)?;
+    let dist = dist_of(parsed)?;
+    let k: usize = parsed.num("k", 10)?;
+
+    match task {
+        "multiusage" => {
+            let w: usize = parsed.num("window", 0)?;
+            let g = window(&loaded, w)?;
+            let subjects = active_sources(g);
+            let sigs = scheme.signature_set(g, &subjects, k);
+            let threshold: f64 = parsed.num("threshold", 0.5)?;
+            let pairs = multiusage::detect_pairs(dist.as_ref(), &sigs, threshold);
+            writeln!(
+                out,
+                "{} label pairs with {} distance <= {threshold}:",
+                pairs.len(),
+                dist.name()
+            )?;
+            for p in pairs {
+                writeln!(
+                    out,
+                    "  {} <-> {}  dist = {:.4}",
+                    loaded.interner.label(p.a).unwrap_or("?"),
+                    loaded.interner.label(p.b).unwrap_or("?"),
+                    p.distance
+                )?;
+            }
+        }
+        "masquerade" => {
+            let t: usize = parsed.num("from", 0)?;
+            let t1: usize = parsed.num("to", t + 1)?;
+            let g1 = window(&loaded, t)?;
+            let g2 = window(&loaded, t1)?;
+            let subjects = active_sources(g1);
+            let cfg = DetectorConfig {
+                k,
+                threshold_divisor: parsed.num("c", 5.0)?,
+                top_l: parsed.num("l", 3)?,
+            };
+            let det =
+                detect_label_masquerading(scheme.as_ref(), dist.as_ref(), g1, g2, &subjects, &cfg);
+            writeln!(
+                out,
+                "delta = {:.4}; {} suspects re-paired, {} cleared:",
+                det.delta,
+                det.detected.len(),
+                det.non_suspects.len()
+            )?;
+            for (v, u) in det.detected {
+                writeln!(
+                    out,
+                    "  {} -> {}",
+                    loaded.interner.label(v).unwrap_or("?"),
+                    loaded.interner.label(u).unwrap_or("?")
+                )?;
+            }
+        }
+        "anomaly" => {
+            let t: usize = parsed.num("from", 0)?;
+            let t1: usize = parsed.num("to", t + 1)?;
+            let g1 = window(&loaded, t)?;
+            let g2 = window(&loaded, t1)?;
+            let subjects = active_sources(g1);
+            let scores = anomaly_scores(scheme.as_ref(), dist.as_ref(), g1, g2, &subjects, k);
+            let top: usize = parsed.num("top", 10)?;
+            writeln!(out, "top {top} anomaly scores ({} -> {}):", t, t1)?;
+            for s in comsig_apps::anomaly::alarms(&scores, Alarm::TopN(top)) {
+                writeln!(
+                    out,
+                    "  {:16} score = {:.4}",
+                    loaded.interner.label(s.node).unwrap_or("?"),
+                    s.score
+                )?;
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown detector `{other}` (multiusage|masquerade|anomaly)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// --- compare ------------------------------------------------------------------
+
+fn cmd_compare(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let loaded = load(parsed)?;
+    if loaded.windows.len() < 2 {
+        return Err(CliError::Failed(
+            "compare needs at least two windows".into(),
+        ));
+    }
+    let dist = dist_of(parsed)?;
+    let t: usize = parsed.num("from", 0)?;
+    let t1: usize = parsed.num("to", t + 1)?;
+    let g1 = window(&loaded, t)?;
+    let g2 = window(&loaded, t1)?;
+    let subjects = active_sources(g1);
+    let cfg = MeasureConfig {
+        k: parsed.num("k", 10)?,
+        perturbation: parsed.num("perturbation", 0.4)?,
+        seed: parsed.num("seed", 4242)?,
+    };
+
+    let schemes: Vec<Box<dyn SignatureScheme>> = vec![
+        parse_scheme("tt")?,
+        parse_scheme("ut")?,
+        parse_scheme("rwr:h=3,c=0.1,undirected")?,
+    ];
+    let measured: Vec<_> = schemes
+        .iter()
+        .map(|s| measure(s.as_ref(), dist.as_ref(), g1, g2, &subjects, &cfg))
+        .collect();
+
+    writeln!(
+        out,
+        "{:12} {:>12} {:>11} {:>11}",
+        "scheme", "persistence", "uniqueness", "robustness"
+    )?;
+    for m in &measured {
+        writeln!(
+            out,
+            "{:12} {:>12.3} {:>11.3} {:>11.3}",
+            m.scheme, m.persistence, m.uniqueness, m.robustness
+        )?;
+    }
+    let p = rank_levels(&measured.iter().map(|m| m.persistence).collect::<Vec<_>>());
+    let u = rank_levels(&measured.iter().map(|m| m.uniqueness).collect::<Vec<_>>());
+    let r = rank_levels(&measured.iter().map(|m| m.robustness).collect::<Vec<_>>());
+    writeln!(out, "derived levels (paper Table IV layout):")?;
+    for (i, m) in measured.iter().enumerate() {
+        writeln!(out, "{:12} {:>12} {:>11} {:>11}", m.scheme, p[i], u[i], r[i])?;
+    }
+    Ok(())
+}
+
+// --- advise ------------------------------------------------------------------
+
+fn cmd_advise(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let app = match parsed.positional.get(1).map(String::as_str) {
+        Some("multiusage") => Application::MultiusageDetection,
+        Some("masquerading" | "masquerade") => Application::LabelMasquerading,
+        Some("anomaly") => Application::AnomalyDetection,
+        other => {
+            return Err(CliError::Usage(format!(
+                "advise needs multiusage|masquerading|anomaly, got {other:?}"
+            )));
+        }
+    };
+    writeln!(out, "requirements for {app} (paper Table I):")?;
+    for (property, need) in app.requirements() {
+        writeln!(out, "  {property:?}: {need:?}")?;
+    }
+    writeln!(out, "recommendations (paper Tables II & III):")?;
+    for rec in advisor::recommend(app, &advisor::paper_profiles()) {
+        let gaps = if rec.gaps.is_empty() {
+            "covers all requirements".to_owned()
+        } else {
+            format!("missing {:?}", rec.gaps)
+        };
+        writeln!(out, "  {:6} score = {}  ({gaps})", rec.scheme, rec.score)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("comsig-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let help = run_to_string(&["help"]).unwrap();
+        assert!(help.contains("comsig"));
+        assert!(run_to_string(&[]).unwrap().contains("commands:"));
+        assert!(matches!(
+            run_to_string(&["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn gen_stats_sign_match_pipeline() {
+        let events = temp_path("pipeline.events");
+        let msg = run_to_string(&[
+            "gen", "flow", "--locals", "30", "--externals", "500", "--groups", "3",
+            "--windows", "2", "--seed", "5", "--out", &events,
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let stats = run_to_string(&["stats", "--input", &events]).unwrap();
+        assert!(stats.contains("2 windows"), "{stats}");
+
+        let sigs = run_to_string(&[
+            "sign", "--input", &events, "--node", "local0", "--k", "5",
+        ])
+        .unwrap();
+        assert!(sigs.starts_with("local0"), "{sigs}");
+
+        let matched = run_to_string(&[
+            "match", "--input", &events, "--scheme", "rwr:h=3,c=0.1,undirected",
+            "--dist", "shel",
+        ])
+        .unwrap();
+        assert!(matched.contains("mean AUC"), "{matched}");
+
+        let query = run_to_string(&[
+            "match", "--input", &events, "--query", "local1", "--top", "3",
+        ])
+        .unwrap();
+        assert!(query.contains("closest to local1"), "{query}");
+
+        let compared = run_to_string(&["compare", "--input", &events]).unwrap();
+        assert!(compared.contains("derived levels"), "{compared}");
+        assert!(compared.contains("RWR^3_0.1"), "{compared}");
+    }
+
+    #[test]
+    fn gen_with_truth_and_detectors() {
+        let events = temp_path("truth.events");
+        let truth = temp_path("truth.json");
+        run_to_string(&[
+            "gen", "flow", "--locals", "30", "--externals", "500", "--groups", "3",
+            "--windows", "2", "--multiusage", "3", "--seed", "6",
+            "--out", &events, "--truth", &truth,
+        ])
+        .unwrap();
+        let truth_text = std::fs::read_to_string(&truth).unwrap();
+        assert!(truth_text.contains("multiusage_groups"));
+
+        let pairs = run_to_string(&[
+            "detect", "multiusage", "--input", &events, "--threshold", "0.8",
+        ])
+        .unwrap();
+        assert!(pairs.contains("label pairs"), "{pairs}");
+
+        let anomalies = run_to_string(&[
+            "detect", "anomaly", "--input", &events, "--top", "3",
+        ])
+        .unwrap();
+        assert!(anomalies.contains("anomaly scores"), "{anomalies}");
+
+        let masq = run_to_string(&[
+            "detect", "masquerade", "--input", &events, "--l", "2",
+        ])
+        .unwrap();
+        assert!(masq.contains("delta"), "{masq}");
+    }
+
+    #[test]
+    fn gen_querylog() {
+        let events = temp_path("ql.events");
+        let msg = run_to_string(&[
+            "gen", "querylog", "--users", "40", "--tables", "60", "--windows", "2",
+            "--out", &events,
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let stats = run_to_string(&["stats", "--input", &events]).unwrap();
+        assert!(stats.contains("2 windows"));
+    }
+
+    #[test]
+    fn advise_all_applications() {
+        let m = run_to_string(&["advise", "multiusage"]).unwrap();
+        assert!(m.lines().any(|l| l.contains("TT") && l.contains("covers")));
+        let q = run_to_string(&["advise", "masquerading"]).unwrap();
+        assert!(q.contains("RWR^h"));
+        let a = run_to_string(&["advise", "anomaly"]).unwrap();
+        assert!(a.contains("RWR"));
+        assert!(run_to_string(&["advise", "nope"]).is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(
+            run_to_string(&["stats"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["stats", "--input", "/nonexistent/x.events"]),
+            Err(CliError::Failed(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["gen", "wat", "--out", "/tmp/x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["detect", "wat", "--input", "/tmp/x"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,60 @@
+//! # comsig-cli
+//!
+//! The `comsig` command-line tool: the workspace's functionality on
+//! plain-text edge-list files (`time src dst [weight]` per line, the
+//! format of [`comsig_graph::io`]).
+//!
+//! ```text
+//! comsig gen flow --locals 100 --out events.txt     # synthetic workload
+//! comsig stats --input events.txt                   # per-window stats
+//! comsig sign --input events.txt --scheme rwr:h=3,c=0.1,undirected \
+//!             --node local0 --k 10                  # one signature
+//! comsig match --input events.txt --windows 0 1     # who-is-who ranking
+//! comsig detect multiusage --input events.txt --threshold 0.5
+//! comsig detect anomaly --input events.txt --windows 0 1 --top 10
+//! comsig advise masquerading                        # scheme selection
+//! ```
+//!
+//! The library layer ([`run`]) takes an argument vector and a writer, so
+//! the whole surface is unit-testable without spawning processes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod commands;
+pub mod spec;
+
+pub use commands::run;
+pub use spec::{parse_distance, parse_scheme};
+
+/// CLI errors: bad usage or I/O/parse failures, both rendered to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is invalid; the string is the usage hint.
+    Usage(String),
+    /// The command failed while running.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Failed(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}
+
+impl From<comsig_graph::GraphError> for CliError {
+    fn from(e: comsig_graph::GraphError) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}

@@ -1,0 +1,226 @@
+//! Parsing of scheme/distance specifications and flag maps.
+
+use rustc_hash::FxHashMap;
+
+use comsig_core::distance::{
+    Cosine, Dice, Jaccard, Overlap, SDice, SHel, SignatureDistance,
+};
+use comsig_core::scheme::{PushRwr, Rwr, Scaling, SignatureScheme, TopTalkers, UnexpectedTalkers};
+
+use crate::CliError;
+
+/// Parses a scheme specification:
+///
+/// * `tt`
+/// * `ut`, `ut:tfidf`, `ut:log`
+/// * `rwr:h=3,c=0.1[,undirected]` (omit `h` for the steady state)
+/// * `push:c=0.1,eps=1e-4[,undirected]`
+pub fn parse_scheme(spec: &str) -> Result<Box<dyn SignatureScheme>, CliError> {
+    let (head, rest) = match spec.split_once(':') {
+        Some((h, r)) => (h, r),
+        None => (spec, ""),
+    };
+    match head {
+        "tt" => Ok(Box::new(TopTalkers)),
+        "ut" => match rest {
+            "" | "ratio" => Ok(Box::new(UnexpectedTalkers::new())),
+            "tfidf" => Ok(Box::new(UnexpectedTalkers::with_scaling(Scaling::TfIdf))),
+            "log" => Ok(Box::new(UnexpectedTalkers::with_scaling(
+                Scaling::LogNovelty,
+            ))),
+            other => Err(CliError::Usage(format!(
+                "unknown UT scaling `{other}` (ratio|tfidf|log)"
+            ))),
+        },
+        "rwr" => {
+            let opts = parse_kv(rest)?;
+            let c = get_f64(&opts, "c")?.unwrap_or(0.1);
+            let mut scheme = match get_f64(&opts, "h")? {
+                Some(h) if h >= 1.0 => Rwr::truncated(c, h as u32),
+                Some(h) => {
+                    return Err(CliError::Usage(format!("h must be >= 1, got {h}")));
+                }
+                None => Rwr::full(c),
+            };
+            if opts.contains_key("undirected") {
+                scheme = scheme.undirected();
+            }
+            Ok(Box::new(scheme))
+        }
+        "push" => {
+            let opts = parse_kv(rest)?;
+            let c = get_f64(&opts, "c")?.unwrap_or(0.1);
+            let eps = get_f64(&opts, "eps")?.unwrap_or(1e-4);
+            let mut scheme = PushRwr::new(c, eps);
+            if opts.contains_key("undirected") {
+                scheme = scheme.undirected();
+            }
+            Ok(Box::new(scheme))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown scheme `{other}` (tt|ut|rwr|push)"
+        ))),
+    }
+}
+
+/// Parses a distance name: `jac|dice|sdice|shel|cos|ovl`.
+pub fn parse_distance(name: &str) -> Result<Box<dyn SignatureDistance>, CliError> {
+    match name {
+        "jac" | "jaccard" => Ok(Box::new(Jaccard)),
+        "dice" => Ok(Box::new(Dice)),
+        "sdice" => Ok(Box::new(SDice)),
+        "shel" => Ok(Box::new(SHel)),
+        "cos" | "cosine" => Ok(Box::new(Cosine)),
+        "ovl" | "overlap" => Ok(Box::new(Overlap)),
+        other => Err(CliError::Usage(format!(
+            "unknown distance `{other}` (jac|dice|sdice|shel|cos|ovl)"
+        ))),
+    }
+}
+
+fn parse_kv(rest: &str) -> Result<FxHashMap<String, String>, CliError> {
+    let mut map = FxHashMap::default();
+    if rest.is_empty() {
+        return Ok(map);
+    }
+    for part in rest.split(',') {
+        match part.split_once('=') {
+            Some((k, v)) => {
+                map.insert(k.trim().to_owned(), v.trim().to_owned());
+            }
+            None => {
+                map.insert(part.trim().to_owned(), String::new());
+            }
+        }
+    }
+    Ok(map)
+}
+
+fn get_f64(opts: &FxHashMap<String, String>, key: &str) -> Result<Option<f64>, CliError> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("`{key}` must be a number, got `{v}`"))),
+    }
+}
+
+/// A parsed command line: positional arguments plus `--flag [value]`
+/// options (a flag immediately followed by another flag is boolean).
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// Flag map: `--k 10` becomes `("k", "10")`; bare flags map to `""`.
+    pub flags: FxHashMap<String, String>,
+}
+
+impl Parsed {
+    /// Splits an argument vector into positionals and flags.
+    pub fn from_args(args: &[String]) -> Parsed {
+        let mut parsed = Parsed::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .unwrap_or_default();
+                if !value.is_empty() {
+                    i += 1;
+                }
+                parsed.flags.insert(name.to_owned(), value);
+            } else {
+                parsed.positional.push(arg.clone());
+            }
+            i += 1;
+        }
+        parsed
+    }
+
+    /// A flag value, if present and non-empty.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str).filter(|s| !s.is_empty())
+    }
+
+    /// Whether a (possibly bare) flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A required flag.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing --{name}")))
+    }
+
+    /// A flag parsed as a number, with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| CliError::Usage(format!("--{name} must be a number, got `{v}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_specs_parse() {
+        assert_eq!(parse_scheme("tt").unwrap().name(), "TT");
+        assert_eq!(parse_scheme("ut").unwrap().name(), "UT");
+        assert_eq!(parse_scheme("ut:tfidf").unwrap().name(), "UT-tfidf");
+        assert_eq!(
+            parse_scheme("rwr:h=3,c=0.1").unwrap().name(),
+            "RWR^3_0.1"
+        );
+        assert_eq!(
+            parse_scheme("rwr:h=5,c=0.2,undirected").unwrap().name(),
+            "RWR^5_0.2"
+        );
+        assert_eq!(parse_scheme("rwr:c=0.3").unwrap().name(), "RWR_0.3");
+        assert!(parse_scheme("push:eps=1e-5").unwrap().name().starts_with("PushRWR"));
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(parse_scheme("bogus").is_err());
+        assert!(parse_scheme("ut:wat").is_err());
+        assert!(parse_scheme("rwr:h=abc").is_err());
+        assert!(parse_scheme("rwr:h=0").is_err());
+        assert!(parse_distance("nope").is_err());
+    }
+
+    #[test]
+    fn distance_names_parse() {
+        for name in ["jac", "dice", "sdice", "shel", "cos", "ovl"] {
+            assert!(parse_distance(name).is_ok(), "{name}");
+        }
+        assert_eq!(parse_distance("jaccard").unwrap().name(), "Jac");
+    }
+
+    #[test]
+    fn arg_splitting() {
+        let args: Vec<String> = ["gen", "flow", "--locals", "50", "--quiet", "--out", "x.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let p = Parsed::from_args(&args);
+        assert_eq!(p.positional, vec!["gen", "flow"]);
+        assert_eq!(p.get("locals"), Some("50"));
+        assert_eq!(p.get("out"), Some("x.txt"));
+        assert!(p.has("quiet"));
+        assert_eq!(p.get("quiet"), None); // bare flag has no value
+        assert_eq!(p.num::<usize>("locals", 1).unwrap(), 50);
+        assert_eq!(p.num::<usize>("missing", 7).unwrap(), 7);
+        assert!(p.require("nope").is_err());
+        assert!(p.num::<usize>("out", 1).is_err());
+    }
+}

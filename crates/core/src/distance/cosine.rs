@@ -1,0 +1,74 @@
+//! Cosine distance (extension; not in the paper's four).
+
+use super::{empty_rule, SignatureDistance};
+use crate::signature::Signature;
+
+/// `Dist_Cos(σ₁, σ₂) = 1 − (σ₁ · σ₂) / (‖σ₁‖·‖σ₂‖)`.
+///
+/// Included as an extension because signatures are sparse non-negative
+/// vectors, making cosine the de-facto baseline in neighbouring
+/// literature (collaborative filtering, document similarity). With
+/// non-negative weights the value stays in `[0, 1]`. Scale-invariant,
+/// unlike [`SDice`](super::SDice)/[`SHel`](super::SHel).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cosine;
+
+impl SignatureDistance for Cosine {
+    fn name(&self) -> &'static str {
+        "Cos"
+    }
+
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (_, w1, w2) in a.union_weights(b) {
+            dot += w1 * w2;
+            na += w1 * w1;
+            nb += w2 * w2;
+        }
+        if na <= 0.0 || nb <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::NodeId;
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            pairs.iter().map(|&(i, w)| (NodeId::new(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = sig(&[(1, 1.0), (2, 2.0)]);
+        let b = sig(&[(1, 10.0), (2, 20.0)]);
+        assert!(Cosine.distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_is_one() {
+        let a = sig(&[(1, 1.0)]);
+        let b = sig(&[(2, 1.0)]);
+        assert_eq!(Cosine.distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let a = sig(&[(1, 1.0), (2, 1.0)]);
+        let b = sig(&[(2, 1.0), (3, 1.0)]);
+        let d = Cosine.distance(&a, &b);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Weighted Dice distance.
+
+use super::{empty_rule, SignatureDistance};
+use crate::signature::Signature;
+
+/// `Dist_Dice(σ₁, σ₂) = 1 − Σ_{j∈S₁∩S₂}(w₁ⱼ + w₂ⱼ) / Σ_{j∈S₁∪S₂}(w₁ⱼ + w₂ⱼ)`.
+///
+/// An extension of the Dice criterion used in the repetitive-debtor work:
+/// shared nodes contribute both sides' weights, so heavily weighted common
+/// members dominate, but the *relationship between* `w₁ⱼ` and `w₂ⱼ` is not
+/// examined (contrast [`SDice`](super::SDice)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dice;
+
+impl SignatureDistance for Dice {
+    fn name(&self) -> &'static str {
+        "Dice"
+    }
+
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (_, w1, w2) in a.union_weights(b) {
+            den += w1 + w2;
+            if w1 > 0.0 && w2 > 0.0 {
+                num += w1 + w2;
+            }
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        1.0 - num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            pairs.iter().map(|&(i, w)| (n(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    #[test]
+    fn shared_heavy_node_dominates() {
+        let a = sig(&[(1, 10.0), (2, 1.0)]);
+        let b = sig(&[(1, 10.0), (3, 1.0)]);
+        // num = 20, den = 22 -> dist = 2/22
+        let d = Dice.distance(&a, &b);
+        assert!((d - 2.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_different_weights_still_zero() {
+        // Dice only checks membership; same node set -> distance 0 even
+        // with different weights (this is what SDice improves on).
+        let a = sig(&[(1, 9.0)]);
+        let b = sig(&[(1, 1.0)]);
+        assert_eq!(Dice.distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn light_shared_node_contributes_little() {
+        let a = sig(&[(1, 1.0), (2, 10.0)]);
+        let b = sig(&[(1, 1.0), (3, 10.0)]);
+        // num = 2, den = 22 -> dist = 20/22
+        let d = Dice.distance(&a, &b);
+        assert!((d - 20.0 / 22.0).abs() < 1e-12);
+    }
+}

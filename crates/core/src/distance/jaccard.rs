@@ -1,0 +1,69 @@
+//! Jaccard set distance.
+
+use super::{empty_rule, SignatureDistance};
+use crate::signature::Signature;
+
+/// `Dist_Jac(σ₁, σ₂) = 1 − |S₁ ∩ S₂| / |S₁ ∪ S₂|`.
+///
+/// Pure set overlap of the signature node sets; weights are ignored. It is
+/// 0 exactly when the node sets coincide and 1 when they are disjoint.
+/// Because it discards weights it is the natural target for MinHash/LSH
+/// acceleration (Section VI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaccard;
+
+impl SignatureDistance for Jaccard {
+    fn name(&self) -> &'static str {
+        "Jac"
+    }
+
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        for (_, w1, w2) in a.union_weights(b) {
+            union += 1;
+            if w1 > 0.0 && w2 > 0.0 {
+                inter += 1;
+            }
+        }
+        1.0 - inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::NodeId;
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            ids.iter().map(|&i| (NodeId::new(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    #[test]
+    fn half_overlap() {
+        // |∩| = 1, |∪| = 3 -> dist = 2/3
+        let d = Jaccard.distance(&sig(&[1, 2]), &sig(&[2, 3]));
+        assert!((d - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_ignored() {
+        let a = Signature::top_k(NodeId::new(99), vec![(NodeId::new(1), 0.9)], 1);
+        let b = Signature::top_k(NodeId::new(99), vec![(NodeId::new(1), 0.1)], 1);
+        assert_eq!(Jaccard.distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn subset_distance() {
+        // |∩| = 2, |∪| = 3 -> 1/3
+        let d = Jaccard.distance(&sig(&[1, 2]), &sig(&[1, 2, 3]));
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Signature distance functions (Section IV-B of the paper).
+//!
+//! All distances map a pair of signatures into `[0, 1]`, with 0 meaning
+//! identical and 1 meaning disjoint. The paper's four measures are
+//! implemented exactly as printed:
+//!
+//! * [`Jaccard`] — `1 − |S₁∩S₂| / |S₁∪S₂|` (set overlap, weights ignored);
+//! * [`Dice`] — `1 − Σ_{j∈∩}(w₁ⱼ+w₂ⱼ) / Σ_{j∈∪}(w₁ⱼ+w₂ⱼ)`;
+//! * [`SDice`] — `1 − Σ_{j∈∩} min(w₁ⱼ,w₂ⱼ) / Σ_{j∈∪} max(w₁ⱼ,w₂ⱼ)`
+//!   (scaled Dice: rewards *similar* weights, not just co-occurrence);
+//! * [`SHel`] — `1 − Σ_{j∈∩} √(w₁ⱼ·w₂ⱼ) / Σ_{j∈∪} max(w₁ⱼ,w₂ⱼ)`
+//!   (Hellinger-style: softer than `min` on unequal weights).
+//!
+//! Two extensions round out the library: [`Cosine`] and [`Overlap`].
+//!
+//! **Empty-signature convention**: two empty signatures are identical
+//! (distance 0); an empty vs a non-empty signature are maximally far
+//! (distance 1). The paper never divides 0 by 0 because it only evaluates
+//! nodes with non-empty signatures; the convention makes the functions
+//! total without affecting those evaluations.
+
+mod cosine;
+mod dice;
+mod jaccard;
+mod overlap;
+mod ruzicka;
+mod sdice;
+mod shel;
+
+pub use cosine::Cosine;
+pub use dice::Dice;
+pub use jaccard::Jaccard;
+pub use overlap::Overlap;
+pub use ruzicka::Ruzicka;
+pub use sdice::SDice;
+pub use shel::SHel;
+
+use crate::signature::Signature;
+
+/// A bounded distance between two signatures.
+pub trait SignatureDistance: Sync {
+    /// Name used in reports (e.g. `"SHel"`).
+    fn name(&self) -> &'static str;
+
+    /// The distance `Dist(σ₁, σ₂) ∈ [0, 1]`.
+    fn distance(&self, a: &Signature, b: &Signature) -> f64;
+
+    /// The similarity `1 − Dist(σ₁, σ₂)`.
+    fn similarity(&self, a: &Signature, b: &Signature) -> f64 {
+        1.0 - self.distance(a, b)
+    }
+}
+
+/// Resolves the empty-signature edge cases shared by every measure;
+/// returns `None` when the regular formula should run.
+pub(crate) fn empty_rule(a: &Signature, b: &Signature) -> Option<f64> {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => Some(0.0),
+        (true, false) | (false, true) => Some(1.0),
+        (false, false) => None,
+    }
+}
+
+/// The paper's four distance functions, boxed, in presentation order —
+/// convenient for experiments that sweep "all distances".
+pub fn paper_distances() -> Vec<Box<dyn SignatureDistance>> {
+    vec![
+        Box::new(Jaccard),
+        Box::new(Dice),
+        Box::new(SDice),
+        Box::new(SHel),
+    ]
+}
+
+/// All implemented distance functions (the paper's four plus extensions).
+pub fn all_distances() -> Vec<Box<dyn SignatureDistance>> {
+    vec![
+        Box::new(Jaccard),
+        Box::new(Dice),
+        Box::new(SDice),
+        Box::new(SHel),
+        Box::new(Cosine),
+        Box::new(Overlap),
+        Box::new(Ruzicka),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            pairs.iter().map(|&(i, w)| (n(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    #[test]
+    fn all_distances_identity_and_bounds() {
+        let a = sig(&[(1, 0.5), (2, 0.3), (3, 0.2)]);
+        let b = sig(&[(3, 0.1), (4, 0.9)]);
+        let disjoint = sig(&[(7, 1.0)]);
+        for d in all_distances() {
+            assert!(
+                d.distance(&a, &a) < 1e-12,
+                "{}: self-distance not 0",
+                d.name()
+            );
+            let x = d.distance(&a, &b);
+            assert!((0.0..=1.0).contains(&x), "{}: out of range", d.name());
+            assert!(
+                (d.distance(&a, &disjoint) - 1.0).abs() < 1e-12,
+                "{}: disjoint not 1",
+                d.name()
+            );
+            // symmetry
+            assert!(
+                (d.distance(&a, &b) - d.distance(&b, &a)).abs() < 1e-12,
+                "{}: asymmetric",
+                d.name()
+            );
+            // similarity complements distance
+            assert!((d.similarity(&a, &b) + x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_conventions_hold_for_all() {
+        let a = sig(&[(1, 0.5)]);
+        let e = Signature::empty();
+        for d in all_distances() {
+            assert_eq!(d.distance(&e, &e), 0.0, "{}", d.name());
+            assert_eq!(d.distance(&a, &e), 1.0, "{}", d.name());
+            assert_eq!(d.distance(&e, &a), 1.0, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn registries() {
+        assert_eq!(paper_distances().len(), 4);
+        assert_eq!(all_distances().len(), 7);
+        let names: Vec<_> = paper_distances().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["Jac", "Dice", "SDice", "SHel"]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Overlap (Szymkiewicz–Simpson) distance (extension).
+
+use super::{empty_rule, SignatureDistance};
+use crate::signature::Signature;
+
+/// `Dist_Ovl(σ₁, σ₂) = 1 − |S₁ ∩ S₂| / min(|S₁|, |S₂|)`.
+///
+/// An extension useful when signatures have very different lengths (the
+/// paper truncates signatures of low-degree nodes below `k`): a short
+/// signature fully contained in a long one scores distance 0, whereas
+/// Jaccard would penalise the length difference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Overlap;
+
+impl SignatureDistance for Overlap {
+    fn name(&self) -> &'static str {
+        "Ovl"
+    }
+
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let inter = a.intersection_size(b) as f64;
+        let min_len = a.len().min(b.len()) as f64;
+        1.0 - inter / min_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::NodeId;
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            ids.iter().map(|&i| (NodeId::new(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    #[test]
+    fn containment_is_zero() {
+        let short = sig(&[1, 2]);
+        let long = sig(&[1, 2, 3, 4]);
+        assert_eq!(Overlap.distance(&short, &long), 0.0);
+        // Jaccard would say 0.5 here.
+        assert!(super::super::Jaccard.distance(&short, &long) > 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // |∩| = 1, min = 2 -> 0.5
+        let d = Overlap.distance(&sig(&[1, 2]), &sig(&[2, 3]));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_is_one() {
+        assert_eq!(Overlap.distance(&sig(&[1]), &sig(&[2])), 1.0);
+    }
+}

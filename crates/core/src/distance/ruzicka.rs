@@ -1,0 +1,78 @@
+//! Ruzicka (weighted Jaccard) distance (extension).
+
+use super::{empty_rule, SignatureDistance};
+use crate::signature::Signature;
+
+/// `Dist_Ruz(σ₁, σ₂) = 1 − Σ_j min(w₁ⱼ, w₂ⱼ) / Σ_j max(w₁ⱼ, w₂ⱼ)`
+/// over the *union* (weights default to 0 on the absent side).
+///
+/// The weighted generalisation of Jaccard. It differs from
+/// [`SDice`](super::SDice) only in dropping the intersection restriction
+/// in the numerator — which is vacuous for non-negative weights, making
+/// Ruzicka and SDice *identical on signatures*. It is included (a) to
+/// document that identity with a test, and (b) because it is the measure
+/// MinHash-style consistent weighted sampling approximates, connecting
+/// the exact and sketched comparison paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ruzicka;
+
+impl SignatureDistance for Ruzicka {
+    fn name(&self) -> &'static str {
+        "Ruz"
+    }
+
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (_, w1, w2) in a.union_weights(b) {
+            num += w1.min(w2);
+            den += w1.max(w2);
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        1.0 - num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SDice;
+    use super::*;
+    use comsig_graph::NodeId;
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            pairs.iter().map(|&(i, w)| (NodeId::new(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    #[test]
+    fn identical_to_sdice_on_signatures() {
+        let cases = [
+            (sig(&[(1, 2.0), (2, 5.0)]), sig(&[(1, 3.0), (3, 1.0)])),
+            (sig(&[(1, 1.0)]), sig(&[(2, 1.0)])),
+            (sig(&[(1, 4.0), (2, 2.0)]), sig(&[(1, 4.0), (2, 2.0)])),
+        ];
+        for (a, b) in cases {
+            assert!(
+                (Ruzicka.distance(&a, &b) - SDice.distance(&a, &b)).abs() < 1e-12,
+                "Ruzicka and SDice must coincide on non-negative signatures"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_jaccard_values() {
+        // min-sum = 2, max-sum = 5 -> 1 - 2/5.
+        let a = sig(&[(1, 2.0), (2, 1.0)]);
+        let b = sig(&[(1, 3.0), (2, 1.0)]);
+        // mins: 2 + 1 = 3; maxes: 3 + 1 = 4.
+        assert!((Ruzicka.distance(&a, &b) - 0.25).abs() < 1e-12);
+    }
+}

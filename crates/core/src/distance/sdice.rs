@@ -1,0 +1,79 @@
+//! Scaled Dice distance.
+
+use super::{empty_rule, SignatureDistance};
+use crate::signature::Signature;
+
+/// `Dist_SDice(σ₁, σ₂) = 1 − Σ_{j∈S₁∩S₂} min(w₁ⱼ, w₂ⱼ) / Σ_{j∈S₁∪S₂} max(w₁ⱼ, w₂ⱼ)`.
+///
+/// A scaled version of [`Dice`](super::Dice): it "gives an added premium
+/// if the individual weights in S₁ and S₂ are similar". Taking `min` in
+/// the numerator may over-penalise unequal weights — the motivation for
+/// [`SHel`](super::SHel).
+///
+/// For nodes present on one side only, `max(w, 0) = w` contributes to the
+/// denominator, exactly as the paper's union sum prescribes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SDice;
+
+impl SignatureDistance for SDice {
+    fn name(&self) -> &'static str {
+        "SDice"
+    }
+
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (_, w1, w2) in a.union_weights(b) {
+            den += w1.max(w2);
+            if w1 > 0.0 && w2 > 0.0 {
+                num += w1.min(w2);
+            }
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        1.0 - num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::NodeId;
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            pairs.iter().map(|&(i, w)| (NodeId::new(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    #[test]
+    fn unequal_weights_penalised() {
+        let a = sig(&[(1, 9.0)]);
+        let b = sig(&[(1, 1.0)]);
+        // min/max = 1/9 -> dist = 8/9; Dice would say 0.
+        let d = SDice.distance(&a, &b);
+        assert!((d - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_weights_rewarded() {
+        let a = sig(&[(1, 5.0), (2, 5.0)]);
+        let b = sig(&[(1, 5.0), (2, 5.0)]);
+        assert_eq!(SDice.distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn mixed_membership() {
+        let a = sig(&[(1, 4.0), (2, 2.0)]);
+        let b = sig(&[(1, 2.0), (3, 6.0)]);
+        // num = min(4,2) = 2; den = max(4,2) + 2 + 6 = 12 -> 1 - 2/12
+        let d = SDice.distance(&a, &b);
+        assert!((d - (1.0 - 2.0 / 12.0)).abs() < 1e-12);
+    }
+}

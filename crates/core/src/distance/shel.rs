@@ -1,0 +1,79 @@
+//! Scaled Hellinger distance.
+
+use super::{empty_rule, SignatureDistance};
+use crate::signature::Signature;
+
+/// `Dist_SHel(σ₁, σ₂) = 1 − Σ_{j∈S₁∩S₂} √(w₁ⱼ·w₂ⱼ) / Σ_{j∈S₁∪S₂} max(w₁ⱼ, w₂ⱼ)`.
+///
+/// Based on the Hellinger distance: the geometric mean `√(w₁·w₂)` in the
+/// numerator softens [`SDice`](super::SDice)'s `min`, so moderately
+/// unequal weights on shared nodes are penalised less harshly while
+/// disjoint membership still costs the full `max`. This is the distance
+/// the paper uses for its headline ROC curves (Figure 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SHel;
+
+impl SignatureDistance for SHel {
+    fn name(&self) -> &'static str {
+        "SHel"
+    }
+
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (_, w1, w2) in a.union_weights(b) {
+            den += w1.max(w2);
+            if w1 > 0.0 && w2 > 0.0 {
+                num += (w1 * w2).sqrt();
+            }
+        }
+        if den <= 0.0 {
+            return 0.0;
+        }
+        // Guard against √ rounding pushing the ratio a hair past 1.
+        (1.0 - num / den).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::SDice;
+    use comsig_graph::NodeId;
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            pairs.iter().map(|&(i, w)| (NodeId::new(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    #[test]
+    fn geometric_mean_numerator() {
+        let a = sig(&[(1, 4.0)]);
+        let b = sig(&[(1, 1.0)]);
+        // √(4·1)/max(4,1) = 2/4 -> dist = 0.5
+        let d = SHel.distance(&a, &b);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softer_than_sdice_on_unequal_weights() {
+        let a = sig(&[(1, 9.0), (2, 1.0)]);
+        let b = sig(&[(1, 1.0), (2, 1.0)]);
+        assert!(SHel.distance(&a, &b) < SDice.distance(&a, &b));
+    }
+
+    #[test]
+    fn agrees_with_sdice_on_equal_weights() {
+        let a = sig(&[(1, 2.0), (2, 3.0)]);
+        let b = sig(&[(1, 2.0), (2, 3.0), (3, 1.0)]);
+        let hel = SHel.distance(&a, &b);
+        let sd = SDice.distance(&a, &b);
+        assert!((hel - sd).abs() < 1e-12);
+    }
+}

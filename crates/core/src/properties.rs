@@ -1,0 +1,154 @@
+//! The three fundamental signature properties (Definition 2).
+//!
+//! Given a bounded distance `Dist(·,·) ∈ [0,1]`, the paper defines, for a
+//! node `v` and some other node `u ≠ v`:
+//!
+//! * **persistence** `= 1 − Dist(σ_t(v), σ_{t+1}(v))` — stability of one
+//!   node's signature across consecutive windows;
+//! * **uniqueness** `= Dist(σ_t(v), σ_t(u))` — separation between two
+//!   different nodes within one window;
+//! * **robustness** `= 1 − Dist(σ_t(v), σ̂_t(v))` — stability of one
+//!   node's signature under graph perturbation.
+//!
+//! Larger is better in all three, up to 1 (perfect). The batch evaluation
+//! over whole node populations (means, deviations, ROC curves) lives in
+//! `comsig-eval`; these are the pointwise definitions.
+
+use comsig_graph::{CommGraph, NodeId};
+
+use crate::distance::SignatureDistance;
+use crate::scheme::SignatureScheme;
+use crate::signature::Signature;
+
+/// Pointwise persistence: `1 − Dist(σ_t(v), σ_{t+1}(v))`.
+pub fn persistence(dist: &dyn SignatureDistance, sig_t: &Signature, sig_t1: &Signature) -> f64 {
+    1.0 - dist.distance(sig_t, sig_t1)
+}
+
+/// Pointwise uniqueness: `Dist(σ_t(v), σ_t(u))` for `u ≠ v`.
+pub fn uniqueness(dist: &dyn SignatureDistance, sig_v: &Signature, sig_u: &Signature) -> f64 {
+    dist.distance(sig_v, sig_u)
+}
+
+/// Pointwise robustness: `1 − Dist(σ_t(v), σ̂_t(v))` where `σ̂` was built
+/// from a perturbed graph.
+pub fn robustness(
+    dist: &dyn SignatureDistance,
+    sig_clean: &Signature,
+    sig_perturbed: &Signature,
+) -> f64 {
+    1.0 - dist.distance(sig_clean, sig_perturbed)
+}
+
+/// Convenience: persistence of node `v` across two windows, computing the
+/// signatures with `scheme` at length `k`.
+pub fn node_persistence(
+    scheme: &dyn SignatureScheme,
+    dist: &dyn SignatureDistance,
+    g_t: &CommGraph,
+    g_t1: &CommGraph,
+    v: NodeId,
+    k: usize,
+) -> f64 {
+    persistence(
+        dist,
+        &scheme.signature(g_t, v, k),
+        &scheme.signature(g_t1, v, k),
+    )
+}
+
+/// Convenience: uniqueness between nodes `v` and `u` within one window.
+pub fn node_uniqueness(
+    scheme: &dyn SignatureScheme,
+    dist: &dyn SignatureDistance,
+    g: &CommGraph,
+    v: NodeId,
+    u: NodeId,
+    k: usize,
+) -> f64 {
+    uniqueness(dist, &scheme.signature(g, v, k), &scheme.signature(g, u, k))
+}
+
+/// Convenience: robustness of node `v` between a graph and its
+/// perturbation.
+pub fn node_robustness(
+    scheme: &dyn SignatureScheme,
+    dist: &dyn SignatureDistance,
+    g: &CommGraph,
+    g_perturbed: &CommGraph,
+    v: NodeId,
+    k: usize,
+) -> f64 {
+    robustness(
+        dist,
+        &scheme.signature(g, v, k),
+        &scheme.signature(g_perturbed, v, k),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Jaccard;
+    use crate::scheme::TopTalkers;
+    use comsig_graph::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn graph(pairs: &[(usize, usize, f64)]) -> CommGraph {
+        let mut b = GraphBuilder::new();
+        for &(s, d, w) in pairs {
+            b.add_event(n(s), n(d), w);
+        }
+        b.build(6)
+    }
+
+    #[test]
+    fn stable_node_is_fully_persistent() {
+        let g1 = graph(&[(0, 1, 5.0), (0, 2, 3.0)]);
+        let g2 = graph(&[(0, 1, 6.0), (0, 2, 2.0)]);
+        let p = node_persistence(&TopTalkers, &Jaccard, &g1, &g2, n(0), 2);
+        assert_eq!(p, 1.0); // same node set under Jaccard
+    }
+
+    #[test]
+    fn behavior_change_lowers_persistence() {
+        let g1 = graph(&[(0, 1, 5.0), (0, 2, 3.0)]);
+        let g2 = graph(&[(0, 3, 5.0), (0, 4, 3.0)]);
+        let p = node_persistence(&TopTalkers, &Jaccard, &g1, &g2, n(0), 2);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn distinct_behavior_is_unique() {
+        let g = graph(&[(0, 1, 1.0), (3, 4, 1.0)]);
+        let u = node_uniqueness(&TopTalkers, &Jaccard, &g, n(0), n(3), 2);
+        assert_eq!(u, 1.0);
+    }
+
+    #[test]
+    fn identical_behavior_is_not_unique() {
+        let g = graph(&[(0, 2, 1.0), (1, 2, 1.0)]);
+        let u = node_uniqueness(&TopTalkers, &Jaccard, &g, n(0), n(1), 2);
+        assert_eq!(u, 0.0);
+    }
+
+    #[test]
+    fn unperturbed_graph_is_fully_robust() {
+        let g = graph(&[(0, 1, 5.0), (0, 2, 3.0)]);
+        let r = node_robustness(&TopTalkers, &Jaccard, &g, &g, n(0), 2);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn properties_are_complements_of_distance() {
+        let a = Signature::top_k(n(9), vec![(n(1), 0.6), (n(2), 0.4)], 2);
+        let b = Signature::top_k(n(9), vec![(n(2), 0.5), (n(3), 0.5)], 2);
+        let d = Jaccard.distance(&a, &b);
+        assert!((persistence(&Jaccard, &a, &b) - (1.0 - d)).abs() < 1e-12);
+        assert!((uniqueness(&Jaccard, &a, &b) - d).abs() < 1e-12);
+        assert!((robustness(&Jaccard, &a, &b) - (1.0 - d)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Exponential time-decay composition of historical windows.
+//!
+//! The Communities-of-Interest work the paper builds on "created a
+//! signature from the combination of multiple time-steps by using an
+//! exponential decay function applied to older data"; the paper treats
+//! this as orthogonal to the choice of scheme (Section III-A). We follow
+//! that treatment: [`decayed_combine`] merges a window history into a
+//! single graph with decayed weights `C'[i,j] = Σ_a λ^a · C_{t−a}[i,j]`,
+//! and [`TimeDecay`] wraps any scheme so its relevance is computed over
+//! the combined graph.
+
+use comsig_graph::{CommGraph, GraphBuilder, NodeId};
+
+use super::SignatureScheme;
+
+/// Combines a window history into one graph with exponentially decayed
+/// edge weights.
+///
+/// `windows` is ordered oldest → newest; the newest window gets weight 1,
+/// one window older gets `lambda`, two older `lambda²`, and so on.
+///
+/// # Panics
+/// Panics if `lambda` is outside `(0, 1]` or `windows` is empty or the
+/// windows disagree on node-space size.
+pub fn decayed_combine(windows: &[&CommGraph], lambda: f64) -> CommGraph {
+    assert!(
+        lambda > 0.0 && lambda <= 1.0,
+        "decay factor must be in (0,1], got {lambda}"
+    );
+    assert!(!windows.is_empty(), "need at least one window");
+    let n = windows[0].num_nodes();
+    assert!(
+        windows.iter().all(|g| g.num_nodes() == n),
+        "all windows must share one node space"
+    );
+    let mut builder = GraphBuilder::new();
+    let newest = windows.len() - 1;
+    for (idx, g) in windows.iter().enumerate() {
+        let age = (newest - idx) as i32;
+        let factor = lambda.powi(age);
+        for e in g.edges() {
+            builder.add_event(e.src, e.dst, e.weight * factor);
+        }
+    }
+    builder.build(n)
+}
+
+/// Wraps a scheme so that signatures are computed over the time-decayed
+/// combination of a window history rather than a single window.
+///
+/// Because [`SignatureScheme::relevance`] receives a single graph, the
+/// caller combines the history first (via [`decayed_combine`]) and the
+/// wrapper simply tags the scheme name; the type exists so experiment
+/// code can treat "TT over 3 decayed windows" as a scheme like any other.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeDecay<S> {
+    inner: S,
+    lambda: f64,
+}
+
+impl<S: SignatureScheme> TimeDecay<S> {
+    /// Wraps `inner` with decay factor `lambda ∈ (0, 1]`.
+    pub fn new(inner: S, lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "decay factor must be in (0,1], got {lambda}"
+        );
+        TimeDecay { inner, lambda }
+    }
+
+    /// The decay factor.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Computes the inner scheme's signature over the decayed combination
+    /// of `windows` (oldest → newest).
+    pub fn signature_over(
+        &self,
+        windows: &[&CommGraph],
+        v: NodeId,
+        k: usize,
+    ) -> crate::signature::Signature {
+        let combined = decayed_combine(windows, self.lambda);
+        self.inner.signature(&combined, v, k)
+    }
+}
+
+impl<S: SignatureScheme> SignatureScheme for TimeDecay<S> {
+    fn name(&self) -> String {
+        format!("{}~decay{}", self.inner.name(), self.lambda)
+    }
+
+    /// Over a single window the decayed combination is that window itself,
+    /// so the wrapper delegates unchanged.
+    fn relevance(&self, g: &CommGraph, v: NodeId) -> Vec<(NodeId, f64)> {
+        self.inner.relevance(g, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TopTalkers;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn window(pairs: &[(usize, usize, f64)]) -> CommGraph {
+        let mut b = GraphBuilder::new();
+        for &(s, d, w) in pairs {
+            b.add_event(n(s), n(d), w);
+        }
+        b.build(4)
+    }
+
+    #[test]
+    fn newest_window_undecayed() {
+        let old = window(&[(0, 1, 8.0)]);
+        let new = window(&[(0, 2, 2.0)]);
+        let combined = decayed_combine(&[&old, &new], 0.5);
+        assert_eq!(combined.edge_weight(n(0), n(1)), Some(4.0)); // 8 * 0.5
+        assert_eq!(combined.edge_weight(n(0), n(2)), Some(2.0)); // undecayed
+    }
+
+    #[test]
+    fn lambda_one_is_plain_sum() {
+        let a = window(&[(0, 1, 1.0)]);
+        let b = window(&[(0, 1, 2.0)]);
+        let combined = decayed_combine(&[&a, &b], 1.0);
+        assert_eq!(combined.edge_weight(n(0), n(1)), Some(3.0));
+    }
+
+    #[test]
+    fn decay_shifts_top_talker() {
+        // Historically node 0 talked to 1 a lot; recently it talks to 2.
+        let old = window(&[(0, 1, 100.0)]);
+        let new = window(&[(0, 2, 5.0)]);
+        let heavy_history = TimeDecay::new(TopTalkers, 1.0);
+        let fast_decay = TimeDecay::new(TopTalkers, 0.01);
+        let s_hist = heavy_history.signature_over(&[&old, &new], n(0), 1);
+        let s_fast = fast_decay.signature_over(&[&old, &new], n(0), 1);
+        assert!(s_hist.contains(n(1)));
+        assert!(s_fast.contains(n(2)));
+    }
+
+    #[test]
+    fn single_window_delegates() {
+        let g = window(&[(0, 1, 3.0), (0, 2, 1.0)]);
+        let wrapped = TimeDecay::new(TopTalkers, 0.5);
+        assert_eq!(
+            wrapped.signature(&g, n(0), 2),
+            TopTalkers.signature(&g, n(0), 2)
+        );
+        assert_eq!(wrapped.name(), "TT~decay0.5");
+        assert_eq!(wrapped.lambda(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn invalid_lambda_rejected() {
+        let _ = TimeDecay::new(TopTalkers, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn empty_history_rejected() {
+        let _ = decayed_combine(&[], 0.5);
+    }
+}

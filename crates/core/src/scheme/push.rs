@@ -1,0 +1,263 @@
+//! Local forward-push approximation of RWR (Andersen–Chung–Lang style).
+//!
+//! Section VI notes that for RWR-based schemes "there is less prior work
+//! to draw on" for scalable computation and leaves it open. The standard
+//! answer from the personalised-PageRank literature is the *forward push*
+//! algorithm: maintain a residual vector `r` and an estimate vector `p`;
+//! repeatedly pick a node `v` whose residual exceeds `ε · deg(v)`, move a
+//! `c` fraction of it into `p[v]`, and push the rest to `v`'s neighbours.
+//!
+//! Guarantees: on termination `‖p − π‖∞ ≤ ε · max_deg` (entry-wise the
+//! estimate never exceeds the true RWR vector), and the work is
+//! `O(1 / (c·ε))` *independent of the graph size* — each signature costs
+//! constant time, exactly the semi-streaming spirit of Section VI.
+
+use std::collections::VecDeque;
+
+use rustc_hash::FxHashSet;
+
+use comsig_graph::{CommGraph, NodeId};
+
+use super::rwr::WalkDirection;
+use super::SignatureScheme;
+use crate::sparse::SparseVec;
+
+/// Forward-push approximate RWR signature scheme.
+///
+/// Produces (under-)estimates of the same stationary distribution as
+/// [`Rwr::full`](super::Rwr::full); smaller `epsilon` means a closer
+/// approximation and more work.
+#[derive(Debug, Clone, Copy)]
+pub struct PushRwr {
+    /// Reset probability `c` (as in [`Rwr`](super::Rwr)).
+    pub restart: f64,
+    /// Residual threshold `ε`: a node is pushed while its residual
+    /// exceeds `ε · weighted-degree-share`. Typical values 1e-4 … 1e-7.
+    pub epsilon: f64,
+    /// Edge traversal direction.
+    pub direction: WalkDirection,
+}
+
+impl PushRwr {
+    /// Creates a directed forward-push scheme.
+    ///
+    /// # Panics
+    /// Panics if `restart` is outside `(0, 1]` (the push method needs a
+    /// strictly positive reset probability to terminate) or `epsilon` is
+    /// not strictly positive.
+    pub fn new(restart: f64, epsilon: f64) -> Self {
+        assert!(
+            restart > 0.0 && restart <= 1.0,
+            "restart must be in (0,1], got {restart}"
+        );
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        PushRwr {
+            restart,
+            epsilon,
+            direction: WalkDirection::Directed,
+        }
+    }
+
+    /// Switches to undirected traversal.
+    pub fn undirected(mut self) -> Self {
+        self.direction = WalkDirection::Undirected;
+        self
+    }
+
+    fn weight_sum(&self, g: &CommGraph, v: NodeId) -> f64 {
+        match self.direction {
+            WalkDirection::Directed => g.out_weight_sum(v),
+            WalkDirection::Undirected => g.out_weight_sum(v) + g.in_weight_sum(v),
+        }
+    }
+
+    fn for_each_neighbor(
+        &self,
+        g: &CommGraph,
+        v: NodeId,
+        mut f: impl FnMut(NodeId, f64),
+    ) {
+        match self.direction {
+            WalkDirection::Directed => {
+                for (u, w) in g.out_neighbors(v) {
+                    f(u, w);
+                }
+            }
+            WalkDirection::Undirected => {
+                for (u, w) in g.out_neighbors(v) {
+                    f(u, w);
+                }
+                for (u, w) in g.in_neighbors(v) {
+                    f(u, w);
+                }
+            }
+        }
+    }
+
+    /// Runs forward push from `start`, returning the estimate vector `p`
+    /// (a lower bound on the true RWR occupancy, entry by entry).
+    pub fn occupancy(&self, g: &CommGraph, start: NodeId) -> SparseVec {
+        let c = self.restart;
+        let mut p = SparseVec::new();
+        let mut r = SparseVec::indicator(start);
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let mut queued: FxHashSet<NodeId> = FxHashSet::default();
+        queue.push_back(start);
+        queued.insert(start);
+
+        // Hard cap: the push method performs O(1/(c·ε)) pushes; the cap
+        // only guards against pathological float behaviour.
+        let max_pushes = (4.0 / (c * self.epsilon)).min(5e7) as usize;
+        let mut pushes = 0usize;
+        while let Some(v) = queue.pop_front() {
+            queued.remove(&v);
+            let residual = r.get(v);
+            if residual <= self.epsilon {
+                continue;
+            }
+            pushes += 1;
+            if pushes > max_pushes {
+                break;
+            }
+            r.add(v, -residual);
+            p.add(v, c * residual);
+            let transit = (1.0 - c) * residual;
+            let sum = self.weight_sum(g, v);
+            if sum <= 0.0 {
+                // Dangling node: the walker resets to the start.
+                r.add(start, transit);
+                if queued.insert(start) {
+                    queue.push_back(start);
+                }
+                continue;
+            }
+            self.for_each_neighbor(g, v, |u, w| {
+                r.add(u, transit * w / sum);
+                if r.get(u) > self.epsilon && queued.insert(u) {
+                    queue.push_back(u);
+                }
+            });
+            // The node may have re-accumulated residual from a self-loop
+            // path; re-queue if so.
+            if r.get(v) > self.epsilon && queued.insert(v) {
+                queue.push_back(v);
+            }
+        }
+        p.prune(0.0);
+        p
+    }
+}
+
+impl SignatureScheme for PushRwr {
+    fn name(&self) -> String {
+        format!("PushRWR_{}~{:e}", self.restart, self.epsilon)
+    }
+
+    fn relevance(&self, g: &CommGraph, v: NodeId) -> Vec<(NodeId, f64)> {
+        self.occupancy(g, v).into_sorted_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Rwr;
+    use comsig_graph::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn diamond() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 3.0);
+        b.add_event(n(0), n(2), 1.0);
+        b.add_event(n(1), n(3), 1.0);
+        b.add_event(n(2), n(3), 1.0);
+        b.build(4)
+    }
+
+    #[test]
+    fn push_approximates_exact_rwr() {
+        let g = diamond();
+        let exact = Rwr::full(0.15).occupancy(&g, n(0));
+        let approx = PushRwr::new(0.15, 1e-7).occupancy(&g, n(0));
+        assert!(
+            exact.l1_distance(&approx) < 1e-4,
+            "L1 gap = {}",
+            exact.l1_distance(&approx)
+        );
+    }
+
+    #[test]
+    fn push_underestimates_entrywise() {
+        let g = diamond();
+        let exact = Rwr::full(0.2).occupancy(&g, n(0));
+        let approx = PushRwr::new(0.2, 1e-3).occupancy(&g, n(0));
+        for (u, w) in approx.iter() {
+            assert!(
+                w <= exact.get(u) + 1e-9,
+                "push overestimates node {u}: {w} > {}",
+                exact.get(u)
+            );
+        }
+    }
+
+    #[test]
+    fn coarser_epsilon_does_less_work_but_keeps_the_head() {
+        let g = diamond();
+        let fine = PushRwr::new(0.15, 1e-8);
+        let coarse = PushRwr::new(0.15, 1e-2);
+        let sig_fine = fine.signature(&g, n(0), 2);
+        let sig_coarse = coarse.signature(&g, n(0), 2);
+        // The top member (heaviest destination) survives coarsening.
+        assert_eq!(
+            sig_fine.ranked().first().map(|&(u, _)| u),
+            sig_coarse.ranked().first().map(|&(u, _)| u)
+        );
+    }
+
+    #[test]
+    fn undirected_push_matches_undirected_iteration() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(2), 2.0);
+        b.add_event(n(1), n(2), 2.0);
+        b.add_event(n(1), n(3), 1.0);
+        let g = b.build(4);
+        let exact = Rwr::full(0.2).undirected().occupancy(&g, n(0));
+        let approx = PushRwr::new(0.2, 1e-8).undirected().occupancy(&g, n(0));
+        assert!(
+            exact.l1_distance(&approx) < 1e-4,
+            "L1 gap = {}",
+            exact.l1_distance(&approx)
+        );
+    }
+
+    #[test]
+    fn isolated_node_keeps_mass_at_home() {
+        let g = GraphBuilder::new().build(2);
+        let p = PushRwr::new(0.3, 1e-6).occupancy(&g, n(0));
+        assert!((p.get(n(0)) - 1.0).abs() < 1e-3, "mass = {}", p.get(n(0)));
+    }
+
+    #[test]
+    fn signature_via_trait() {
+        let g = diamond();
+        let s = PushRwr::new(0.1, 1e-6).signature(&g, n(0), 10);
+        assert!(s.contains(n(1)) && s.contains(n(2)) && s.contains(n(3)));
+        assert!(!s.contains(n(0)));
+        assert!(PushRwr::new(0.1, 1e-6).name().starts_with("PushRWR"));
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must be")]
+    fn zero_restart_rejected() {
+        let _ = PushRwr::new(0.0, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_rejected() {
+        let _ = PushRwr::new(0.1, 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Top Talkers (Definition 3).
+
+use comsig_graph::{CommGraph, NodeId};
+
+use super::SignatureScheme;
+
+/// The **Top Talkers (TT)** scheme: `w_ij = C[i,j] / Σ_v C[i,v]`.
+///
+/// The signature of `i` is the `k` out-neighbours receiving the largest
+/// share of `i`'s outgoing volume — "the most called telephone numbers, or
+/// the most visited web sites". TT exploits *locality* and *engagement*
+/// and, per Table III, yields uniqueness and robustness. It is implicit in
+/// the Communities-of-Interest work on telephone fraud.
+///
+/// Weights are normalised by the row sum, so a TT signature is (a top-`k`
+/// truncation of) a probability distribution over destinations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopTalkers;
+
+impl SignatureScheme for TopTalkers {
+    fn name(&self) -> String {
+        "TT".to_owned()
+    }
+
+    fn relevance(&self, g: &CommGraph, v: NodeId) -> Vec<(NodeId, f64)> {
+        let sum = g.out_weight_sum(v);
+        if sum <= 0.0 {
+            return Vec::new();
+        }
+        g.out_neighbors(v).map(|(u, w)| (u, w / sum)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn weights_are_volume_shares() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 6.0);
+        b.add_event(n(0), n(2), 2.0);
+        let g = b.build(3);
+        let s = TopTalkers.signature(&g, n(0), 2);
+        assert!((s.get(n(1)).unwrap() - 0.75).abs() < 1e-12);
+        assert!((s.get(n(2)).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_keeps_heaviest() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 5.0);
+        b.add_event(n(0), n(2), 4.0);
+        b.add_event(n(0), n(3), 1.0);
+        let g = b.build(4);
+        let s = TopTalkers.signature(&g, n(0), 2);
+        assert!(s.contains(n(1)) && s.contains(n(2)));
+        assert!(!s.contains(n(3)));
+    }
+
+    #[test]
+    fn silent_node_has_empty_signature() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(1), n(2), 1.0);
+        let g = b.build(3);
+        assert!(TopTalkers.signature(&g, n(0), 5).is_empty());
+    }
+
+    #[test]
+    fn fewer_than_k_neighbors_kept_all() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 1.0);
+        let g = b.build(2);
+        let s = TopTalkers.signature(&g, n(0), 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(n(1)), Some(1.0));
+    }
+
+    #[test]
+    fn weights_insensitive_to_global_scale() {
+        // TT normalises by the row sum, so doubling all of a node's
+        // traffic leaves its signature unchanged.
+        let mut b1 = GraphBuilder::new();
+        b1.add_event(n(0), n(1), 3.0);
+        b1.add_event(n(0), n(2), 1.0);
+        let mut b2 = GraphBuilder::new();
+        b2.add_event(n(0), n(1), 6.0);
+        b2.add_event(n(0), n(2), 2.0);
+        let s1 = TopTalkers.signature(&b1.build(3), n(0), 2);
+        let s2 = TopTalkers.signature(&b2.build(3), n(0), 2);
+        assert_eq!(s1, s2);
+    }
+}

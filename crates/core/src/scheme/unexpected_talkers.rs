@@ -1,0 +1,161 @@
+//! Unexpected Talkers (Definition 4).
+
+use comsig_graph::{CommGraph, NodeId};
+
+use super::SignatureScheme;
+
+/// How the novelty of a destination scales its relevance.
+///
+/// The paper's primary definition divides by the in-degree; it also notes
+/// that "other functions of `|I(j)|` and `C[i,j]` are possible (e.g.
+/// `C[i,j]·log(|V|/|I(j)|)`, by analogy with the TF-IDF measure)" and that
+/// results did not vary much across scalings — an observation our
+/// `ablate-ut` experiment revisits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scaling {
+    /// `w_ij = C[i,j] / |I(j)|` — the paper's Definition 4.
+    #[default]
+    Ratio,
+    /// `w_ij = C[i,j] · ln(|V| / |I(j)|)` — the TF-IDF analogy.
+    TfIdf,
+    /// `w_ij = C[i,j] / ln(1 + |I(j)|)` — a gentler damping of popularity.
+    LogNovelty,
+}
+
+impl Scaling {
+    fn apply(self, c: f64, in_degree: usize, num_nodes: usize) -> f64 {
+        let d = in_degree.max(1) as f64;
+        match self {
+            Scaling::Ratio => c / d,
+            Scaling::TfIdf => c * ((num_nodes.max(2) as f64) / d).ln().max(0.0),
+            Scaling::LogNovelty => c / (1.0 + d).ln(),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Scaling::Ratio => "",
+            Scaling::TfIdf => "-tfidf",
+            Scaling::LogNovelty => "-log",
+        }
+    }
+}
+
+/// The **Unexpected Talkers (UT)** scheme: `w_ij = C[i,j] / |I(j)|`.
+///
+/// Dividing a destination's volume by its in-degree downweights
+/// universally popular nodes (search engines, web-mail, directory
+/// assistance) which "may be used by many people, and hence be poor in
+/// distinguishing between them". UT exploits *novelty* and *locality*
+/// and, per Table III, primarily yields uniqueness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnexpectedTalkers {
+    /// Novelty scaling function (defaults to the paper's ratio).
+    pub scaling: Scaling,
+}
+
+impl UnexpectedTalkers {
+    /// The paper's Definition 4 (ratio scaling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// UT with an alternative scaling function.
+    pub fn with_scaling(scaling: Scaling) -> Self {
+        UnexpectedTalkers { scaling }
+    }
+}
+
+impl SignatureScheme for UnexpectedTalkers {
+    fn name(&self) -> String {
+        format!("UT{}", self.scaling.label())
+    }
+
+    fn relevance(&self, g: &CommGraph, v: NodeId) -> Vec<(NodeId, f64)> {
+        let n = g.num_nodes();
+        g.out_neighbors(v)
+            .map(|(u, w)| (u, self.scaling.apply(w, g.in_degree(u), n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Node 0 talks to a popular hub (3) and an obscure node (4).
+    fn hub_graph() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(3), 10.0);
+        b.add_event(n(1), n(3), 8.0);
+        b.add_event(n(2), n(3), 7.0);
+        b.add_event(n(0), n(4), 4.0);
+        b.build(5)
+    }
+
+    #[test]
+    fn popular_destination_downweighted() {
+        let g = hub_graph();
+        let s = UnexpectedTalkers::new().signature(&g, n(0), 2);
+        // hub: 10/3 ≈ 3.33; obscure: 4/1 = 4 — obscure wins despite
+        // smaller raw volume.
+        let ranked = s.ranked();
+        assert_eq!(ranked[0].0, n(4));
+        assert!((ranked[0].1 - 4.0).abs() < 1e-12);
+        assert!((ranked[1].1 - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contrast_with_top_talkers() {
+        use super::super::TopTalkers;
+        let g = hub_graph();
+        let tt = TopTalkers.signature(&g, n(0), 1);
+        let ut = UnexpectedTalkers::new().signature(&g, n(0), 1);
+        assert!(tt.contains(n(3))); // raw volume favours the hub
+        assert!(ut.contains(n(4))); // novelty favours the obscure node
+    }
+
+    #[test]
+    fn tfidf_scaling_also_downweights_hubs() {
+        let g = hub_graph();
+        let s = UnexpectedTalkers::with_scaling(Scaling::TfIdf).signature(&g, n(0), 2);
+        // hub: 10·ln(5/3) ≈ 5.11; obscure: 4·ln(5) ≈ 6.44.
+        let ranked = s.ranked();
+        assert_eq!(ranked[0].0, n(4));
+    }
+
+    #[test]
+    fn log_novelty_scaling() {
+        let g = hub_graph();
+        let s = UnexpectedTalkers::with_scaling(Scaling::LogNovelty).signature(&g, n(0), 2);
+        // hub: 10/ln4 ≈ 7.21; obscure: 4/ln2 ≈ 5.77 — log damping is
+        // gentle enough that the hub survives at rank 1.
+        let ranked = s.ranked();
+        assert_eq!(ranked[0].0, n(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn names_distinguish_scalings() {
+        assert_eq!(UnexpectedTalkers::new().name(), "UT");
+        assert_eq!(
+            UnexpectedTalkers::with_scaling(Scaling::TfIdf).name(),
+            "UT-tfidf"
+        );
+        assert_eq!(
+            UnexpectedTalkers::with_scaling(Scaling::LogNovelty).name(),
+            "UT-log"
+        );
+    }
+
+    #[test]
+    fn silent_node_is_empty() {
+        let g = hub_graph();
+        assert!(UnexpectedTalkers::new().signature(&g, n(4), 3).is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! The signature type (Definition 1 of the paper).
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use comsig_graph::NodeId;
+
+/// A communication-graph signature: the top-`k` `(node, weight)` pairs
+/// under some relevancy function, for one subject node.
+///
+/// Entries are stored sorted by **node id** so that distance functions can
+/// merge-join two signatures in `O(k)`; the top-`k`-by-weight selection
+/// happens once, at construction. Weights are strictly positive — the
+/// paper's Definition 1 restricts weights to `ℝ⁺`, and a zero-relevance
+/// node carries no information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Signature {
+    /// `(node, weight)` sorted by ascending node id, weights > 0.
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl Signature {
+    /// An empty signature (a node with no observed communication).
+    pub fn empty() -> Self {
+        Signature {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a signature for subject `v` by selecting the `k` candidates
+    /// with the largest weights (Definition 1).
+    ///
+    /// * the subject `v` itself is excluded (`u ≠ v` in the definition);
+    /// * candidates with non-positive or non-finite weight are dropped;
+    /// * ties are broken deterministically by smaller node id (the paper
+    ///   allows arbitrary tie-breaking);
+    /// * duplicate candidate nodes are summed before selection.
+    pub fn top_k(subject: NodeId, candidates: impl IntoIterator<Item = (NodeId, f64)>, k: usize) -> Self {
+        let mut merged: FxHashMap<NodeId, f64> = FxHashMap::default();
+        for (u, w) in candidates {
+            if u != subject && w.is_finite() && w > 0.0 {
+                *merged.entry(u).or_insert(0.0) += w;
+            }
+        }
+        let mut entries: Vec<(NodeId, f64)> = merged.into_iter().collect();
+        entries.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        entries.truncate(k);
+        entries.sort_unstable_by_key(|&(u, _)| u);
+        Signature { entries }
+    }
+
+    /// Number of entries (at most the `k` used at construction).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the signature has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The weight of `u` in this signature, or `None` if absent.
+    pub fn get(&self, u: NodeId) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&u, |&(n, _)| n)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Whether `u` is a member of the signature's node set.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.get(u).is_some()
+    }
+
+    /// Iterates `(node, weight)` in ascending node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The signature's entries ranked by descending weight (ties by id) —
+    /// the presentation order of the paper's examples.
+    pub fn ranked(&self) -> Vec<(NodeId, f64)> {
+        let mut v = self.entries.clone();
+        v.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// Sum of the weights.
+    pub fn weight_sum(&self) -> f64 {
+        self.entries.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Returns a copy whose weights are L1-normalised (sum to 1), or an
+    /// unchanged copy when the signature is empty.
+    pub fn normalized(&self) -> Signature {
+        let sum = self.weight_sum();
+        if sum <= 0.0 {
+            return self.clone();
+        }
+        Signature {
+            entries: self
+                .entries
+                .iter()
+                .map(|&(u, w)| (u, w / sum))
+                .collect(),
+        }
+    }
+
+    /// Merge-joins two signatures, yielding for every node in the union
+    /// the pair of weights `(w1, w2)` with 0 for the absent side. The
+    /// workhorse of every distance function.
+    pub fn union_weights<'a>(&'a self, other: &'a Signature) -> UnionIter<'a> {
+        UnionIter {
+            a: &self.entries,
+            b: &other.entries,
+            i: 0,
+            j: 0,
+        }
+    }
+
+    /// Size of the node-set intersection.
+    pub fn intersection_size(&self, other: &Signature) -> usize {
+        self.union_weights(other)
+            .filter(|&(_, w1, w2)| w1 > 0.0 && w2 > 0.0)
+            .count()
+    }
+
+    /// Size of the node-set union.
+    pub fn union_size(&self, other: &Signature) -> usize {
+        self.union_weights(other).count()
+    }
+}
+
+/// Iterator over the merge-join of two signatures: `(node, w1, w2)`.
+#[derive(Debug)]
+pub struct UnionIter<'a> {
+    a: &'a [(NodeId, f64)],
+    b: &'a [(NodeId, f64)],
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for UnionIter<'_> {
+    type Item = (NodeId, f64, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match (self.a.get(self.i), self.b.get(self.j)) {
+            (Some(&(ua, wa)), Some(&(ub, wb))) => {
+                if ua < ub {
+                    self.i += 1;
+                    Some((ua, wa, 0.0))
+                } else if ub < ua {
+                    self.j += 1;
+                    Some((ub, 0.0, wb))
+                } else {
+                    self.i += 1;
+                    self.j += 1;
+                    Some((ua, wa, wb))
+                }
+            }
+            (Some(&(ua, wa)), None) => {
+                self.i += 1;
+                Some((ua, wa, 0.0))
+            }
+            (None, Some(&(ub, wb))) => {
+                self.j += 1;
+                Some((ub, 0.0, wb))
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+/// Signatures for a set of subject nodes in one window, with id lookup.
+///
+/// This is the unit the evaluation machinery works over: "signatures for
+/// each local host in window `t`".
+#[derive(Debug, Clone)]
+pub struct SignatureSet {
+    subjects: Vec<NodeId>,
+    signatures: Vec<Signature>,
+    index: FxHashMap<NodeId, usize>,
+}
+
+impl SignatureSet {
+    /// Builds a set from parallel subject/signature vectors.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or a subject repeats.
+    pub fn new(subjects: Vec<NodeId>, signatures: Vec<Signature>) -> Self {
+        assert_eq!(
+            subjects.len(),
+            signatures.len(),
+            "subjects and signatures must align"
+        );
+        let mut index = FxHashMap::default();
+        for (pos, &v) in subjects.iter().enumerate() {
+            let prev = index.insert(v, pos);
+            assert!(prev.is_none(), "duplicate subject {v}");
+        }
+        SignatureSet {
+            subjects,
+            signatures,
+            index,
+        }
+    }
+
+    /// Number of subjects.
+    pub fn len(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+
+    /// The subjects, in construction order.
+    pub fn subjects(&self) -> &[NodeId] {
+        &self.subjects
+    }
+
+    /// The signature of subject `v`, if present.
+    pub fn get(&self, v: NodeId) -> Option<&Signature> {
+        self.index.get(&v).map(|&i| &self.signatures[i])
+    }
+
+    /// Iterates `(subject, signature)` in construction order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Signature)> {
+        self.subjects
+            .iter()
+            .copied()
+            .zip(self.signatures.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn top_k_selects_largest() {
+        let s = Signature::top_k(
+            n(9),
+            vec![(n(1), 0.1), (n(2), 0.5), (n(3), 0.3), (n(4), 0.2)],
+            2,
+        );
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(n(2)) && s.contains(n(3)));
+        assert_eq!(s.get(n(1)), None);
+    }
+
+    #[test]
+    fn top_k_excludes_subject_and_bad_weights() {
+        let s = Signature::top_k(
+            n(1),
+            vec![
+                (n(1), 100.0),      // subject
+                (n(2), -1.0),       // negative
+                (n(3), f64::NAN),   // non-finite
+                (n(4), 0.0),        // zero
+                (n(5), 0.7),
+            ],
+            10,
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(n(5)), Some(0.7));
+    }
+
+    #[test]
+    fn top_k_merges_duplicates() {
+        let s = Signature::top_k(n(0), vec![(n(1), 0.2), (n(1), 0.3), (n(2), 0.4)], 1);
+        assert_eq!(s.get(n(1)), Some(0.5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_by_smaller_id() {
+        let s = Signature::top_k(n(9), vec![(n(5), 1.0), (n(2), 1.0), (n(7), 1.0)], 2);
+        assert!(s.contains(n(2)) && s.contains(n(5)));
+        assert!(!s.contains(n(7)));
+    }
+
+    #[test]
+    fn ranked_descends_by_weight() {
+        let s = Signature::top_k(n(9), vec![(n(1), 0.1), (n(2), 0.9), (n(3), 0.5)], 3);
+        let ranked = s.ranked();
+        assert_eq!(ranked[0].0, n(2));
+        assert_eq!(ranked[2].0, n(1));
+    }
+
+    #[test]
+    fn normalization() {
+        let s = Signature::top_k(n(0), vec![(n(1), 2.0), (n(2), 6.0)], 2);
+        let norm = s.normalized();
+        assert!((norm.weight_sum() - 1.0).abs() < 1e-12);
+        assert!((norm.get(n(2)).unwrap() - 0.75).abs() < 1e-12);
+        assert!(Signature::empty().normalized().is_empty());
+    }
+
+    #[test]
+    fn union_weights_merge_join() {
+        let a = Signature::top_k(n(9), vec![(n(1), 0.5), (n(3), 0.2)], 5);
+        let b = Signature::top_k(n(9), vec![(n(2), 0.4), (n(3), 0.1)], 5);
+        let merged: Vec<_> = a.union_weights(&b).collect();
+        assert_eq!(
+            merged,
+            vec![(n(1), 0.5, 0.0), (n(2), 0.0, 0.4), (n(3), 0.2, 0.1)]
+        );
+        assert_eq!(a.intersection_size(&b), 1);
+        assert_eq!(a.union_size(&b), 3);
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = Signature::top_k(n(9), vec![(n(1), 0.5)], 5);
+        let e = Signature::empty();
+        assert_eq!(a.union_size(&e), 1);
+        assert_eq!(a.intersection_size(&e), 0);
+        assert_eq!(e.union_size(&e), 0);
+    }
+
+    #[test]
+    fn signature_set_lookup() {
+        let set = SignatureSet::new(
+            vec![n(0), n(2)],
+            vec![
+                Signature::top_k(n(0), vec![(n(1), 1.0)], 1),
+                Signature::top_k(n(2), vec![(n(3), 1.0)], 1),
+            ],
+        );
+        assert_eq!(set.len(), 2);
+        assert!(set.get(n(0)).unwrap().contains(n(1)));
+        assert!(set.get(n(1)).is_none());
+        assert_eq!(set.subjects(), &[n(0), n(2)]);
+        assert_eq!(set.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate subject")]
+    fn signature_set_rejects_duplicates() {
+        let _ = SignatureSet::new(
+            vec![n(0), n(0)],
+            vec![Signature::empty(), Signature::empty()],
+        );
+    }
+}

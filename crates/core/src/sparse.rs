@@ -1,0 +1,162 @@
+//! Sparse vectors over the node space, used by the RWR iteration.
+
+use rustc_hash::FxHashMap;
+
+use comsig_graph::NodeId;
+
+/// A sparse vector indexed by [`NodeId`], storing only non-zero entries.
+///
+/// The personalised-PageRank iteration of the RWR scheme multiplies a
+/// probability vector by the transpose of the transition matrix. Starting
+/// from a single node, the support grows by one hop per iteration, so for
+/// truncated walks (`RWR^h` with small `h`) the vector stays far sparser
+/// than `|V|` and a hash-map representation wins over a dense array.
+#[derive(Debug, Clone, Default)]
+pub struct SparseVec {
+    entries: FxHashMap<NodeId, f64>,
+}
+
+impl SparseVec {
+    /// Creates an empty (all-zero) vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the indicator vector `s_i` with mass 1 at `i`.
+    pub fn indicator(i: NodeId) -> Self {
+        let mut v = Self::new();
+        v.add(i, 1.0);
+        v
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value at `i` (zero when absent).
+    pub fn get(&self, i: NodeId) -> f64 {
+        self.entries.get(&i).copied().unwrap_or(0.0)
+    }
+
+    /// Adds `delta` to entry `i`. Entries are kept even if they cancel to
+    /// ~zero; call [`prune`](SparseVec::prune) to drop negligible mass.
+    pub fn add(&mut self, i: NodeId, delta: f64) {
+        *self.entries.entry(i).or_insert(0.0) += delta;
+    }
+
+    /// Multiplies every entry by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for v in self.entries.values_mut() {
+            *v *= factor;
+        }
+    }
+
+    /// Removes entries with absolute value `<= threshold`.
+    pub fn prune(&mut self, threshold: f64) {
+        self.entries.retain(|_, v| v.abs() > threshold);
+    }
+
+    /// Sum of absolute values.
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.values().map(|v| v.abs()).sum()
+    }
+
+    /// L1 distance `‖self − other‖₁`, used as the RWR convergence test.
+    pub fn l1_distance(&self, other: &SparseVec) -> f64 {
+        let mut d = 0.0;
+        for (&i, &v) in &self.entries {
+            d += (v - other.get(i)).abs();
+        }
+        for (&i, &v) in &other.entries {
+            if !self.entries.contains_key(&i) {
+                d += v.abs();
+            }
+        }
+        d
+    }
+
+    /// Iterates over `(node, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.entries.iter().map(|(&i, &v)| (i, v))
+    }
+
+    /// Consumes the vector into `(node, value)` pairs sorted by node id.
+    pub fn into_sorted_entries(self) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<_> = self.entries.into_iter().collect();
+        v.sort_unstable_by_key(|&(i, _)| i);
+        v
+    }
+}
+
+impl FromIterator<(NodeId, f64)> for SparseVec {
+    fn from_iter<T: IntoIterator<Item = (NodeId, f64)>>(iter: T) -> Self {
+        let mut v = SparseVec::new();
+        for (i, x) in iter {
+            v.add(i, x);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn indicator_and_get() {
+        let v = SparseVec::indicator(n(3));
+        assert_eq!(v.get(n(3)), 1.0);
+        assert_eq!(v.get(n(0)), 0.0);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut v = SparseVec::new();
+        v.add(n(1), 0.5);
+        v.add(n(1), 0.25);
+        v.add(n(2), 1.0);
+        assert_eq!(v.get(n(1)), 0.75);
+        assert!((v.l1_norm() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_prune() {
+        let mut v: SparseVec = vec![(n(0), 1.0), (n(1), 1e-12)].into_iter().collect();
+        v.scale(2.0);
+        assert_eq!(v.get(n(0)), 2.0);
+        v.prune(1e-9);
+        assert_eq!(v.nnz(), 1);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn l1_distance_symmetric() {
+        let a: SparseVec = vec![(n(0), 1.0), (n(1), 0.5)].into_iter().collect();
+        let b: SparseVec = vec![(n(1), 0.25), (n(2), 0.25)].into_iter().collect();
+        let d1 = a.l1_distance(&b);
+        let d2 = b.l1_distance(&a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((d1 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_entries() {
+        let v: SparseVec = vec![(n(5), 0.1), (n(1), 0.2), (n(3), 0.3)]
+            .into_iter()
+            .collect();
+        let sorted = v.into_sorted_entries();
+        let ids: Vec<usize> = sorted.iter().map(|(i, _)| i.index()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+}

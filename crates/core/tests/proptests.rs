@@ -1,0 +1,159 @@
+//! Property-based tests for the signature framework.
+
+use comsig_core::distance::all_distances;
+use comsig_core::scheme::{Rwr, Scaling, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_core::Signature;
+use comsig_graph::{CommGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn arb_signature(max_nodes: usize) -> impl Strategy<Value = Signature> {
+    prop::collection::vec((0..max_nodes as u32, 0.01f64..10.0), 0..12).prop_map(|pairs| {
+        Signature::top_k(
+            NodeId::new(999_999),
+            pairs
+                .into_iter()
+                .map(|(i, w)| (NodeId::new(i as usize), w)),
+            8,
+        )
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = CommGraph> {
+    (3usize..20, prop::collection::vec((0u32..20, 0u32..20, 0.5f64..9.0), 1..60)).prop_map(
+        |(extra, raw)| {
+            let mut b = GraphBuilder::new();
+            for (s, d, w) in raw {
+                b.add_event(
+                    NodeId::new(s as usize % (extra + 3)),
+                    NodeId::new(d as usize % (extra + 3)),
+                    w,
+                );
+            }
+            b.build(extra + 3)
+        },
+    )
+}
+
+proptest! {
+    /// Metric sanity for every distance: range, symmetry, identity.
+    #[test]
+    fn distance_bounds_symmetry_identity(
+        a in arb_signature(30),
+        b in arb_signature(30),
+    ) {
+        for d in all_distances() {
+            let ab = d.distance(&a, &b);
+            let ba = d.distance(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&ab), "{} out of range: {}", d.name(), ab);
+            prop_assert!((ab - ba).abs() < 1e-12, "{} asymmetric", d.name());
+            prop_assert!(d.distance(&a, &a) < 1e-12, "{} self-distance", d.name());
+            prop_assert!((d.similarity(&a, &b) - (1.0 - ab)).abs() < 1e-12);
+        }
+    }
+
+    /// Top-k selection invariants: the signature holds at most k entries,
+    /// never the subject, all weights positive, and no excluded candidate
+    /// strictly outweighs an included one.
+    #[test]
+    fn top_k_invariants(
+        pairs in prop::collection::vec((0u32..40, -2.0f64..10.0), 0..40),
+        k in 1usize..12,
+        subject in 0u32..40,
+    ) {
+        let subject = NodeId::new(subject as usize);
+        let candidates: Vec<(NodeId, f64)> = pairs
+            .iter()
+            .map(|&(i, w)| (NodeId::new(i as usize), w))
+            .collect();
+        let s = Signature::top_k(subject, candidates.clone(), k);
+
+        prop_assert!(s.len() <= k);
+        prop_assert!(!s.contains(subject));
+        for (_, w) in s.iter() {
+            prop_assert!(w > 0.0);
+        }
+        // Merge duplicates the way top_k does, then check the cut line.
+        let mut merged: std::collections::BTreeMap<NodeId, f64> = Default::default();
+        for (u, w) in candidates {
+            if u != subject && w.is_finite() && w > 0.0 {
+                *merged.entry(u).or_insert(0.0) += w;
+            }
+        }
+        if s.len() == k {
+            let min_in = s.iter().map(|(_, w)| w).fold(f64::INFINITY, f64::min);
+            for (u, w) in merged {
+                if !s.contains(u) {
+                    prop_assert!(w <= min_in + 1e-9, "excluded {u} with weight {w} > min included {min_in}");
+                }
+            }
+        } else {
+            // Fewer than k entries means every valid candidate made it in.
+            prop_assert_eq!(s.len(), merged.len());
+        }
+    }
+
+    /// TT weights are a sub-distribution: positive, sum <= 1, and exactly 1
+    /// when k covers the whole out-neighbourhood.
+    #[test]
+    fn tt_weights_subdistribution(g in arb_graph(), k in 1usize..8) {
+        for v in g.nodes() {
+            let s = TopTalkers.signature(&g, v, k);
+            let sum = s.weight_sum();
+            prop_assert!(sum <= 1.0 + 1e-9);
+            if g.out_degree(v) > 0 && k >= g.out_degree(v) {
+                prop_assert!((sum - 1.0).abs() < 1e-9, "node {v}: sum {sum}");
+            }
+        }
+    }
+
+    /// The RWR occupancy vector is a probability distribution for every
+    /// start node, restart probability and truncation depth.
+    #[test]
+    fn rwr_occupancy_is_distribution(
+        g in arb_graph(),
+        c in 0.0f64..1.0,
+        h in 1u32..8,
+    ) {
+        for v in g.nodes().take(5) {
+            let occ = Rwr::truncated(c, h).occupancy(&g, v);
+            let mass = occ.l1_norm();
+            prop_assert!((mass - 1.0).abs() < 1e-6, "mass {mass} at c={c}, h={h}");
+        }
+    }
+
+    /// UT never ranks a higher-in-degree destination above a lower-one
+    /// when their raw volumes are equal (novelty is monotone).
+    #[test]
+    fn ut_novelty_monotone(g in arb_graph()) {
+        let ut = UnexpectedTalkers::with_scaling(Scaling::Ratio);
+        for v in g.nodes() {
+            let rel = ut.relevance(&g, v);
+            for &(u1, w1) in &rel {
+                for &(u2, w2) in &rel {
+                    let c1 = g.edge_weight(v, u1).unwrap();
+                    let c2 = g.edge_weight(v, u2).unwrap();
+                    if (c1 - c2).abs() < 1e-12 && g.in_degree(u1) < g.in_degree(u2) {
+                        prop_assert!(w1 >= w2 - 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    /// RWR^1 with c = 0 equals TT on arbitrary graphs (the paper's
+    /// identity), extending the unit test to random instances.
+    #[test]
+    fn rwr_tt_identity_random(g in arb_graph()) {
+        let rwr = Rwr::truncated(0.0, 1);
+        for v in g.nodes() {
+            let a = rwr.signature(&g, v, 10);
+            let b = TopTalkers.signature(&g, v, 10);
+            prop_assert_eq!(a.len(), b.len());
+            for (u, w) in a.iter() {
+                let bw = b.get(u);
+                prop_assert!(bw.is_some());
+                prop_assert!((bw.unwrap() - w).abs() < 1e-9);
+            }
+        }
+    }
+}

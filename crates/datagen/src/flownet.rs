@@ -1,0 +1,732 @@
+//! Enterprise flow-network simulator.
+//!
+//! Stands in for the paper's six-week enterprise NetFlow collection
+//! (Section IV-A): ~300 monitored local hosts whose outgoing TCP sessions
+//! to external hosts are aggregated into five-day windows, edge weight =
+//! session count. See the crate docs and DESIGN.md for the substitution
+//! argument.
+//!
+//! The simulator models *individuals* with stable preference profiles who
+//! emit sessions from one or more *labels* (local host addresses):
+//!
+//! * a small set of **popular services** (search, mail, CDN) attracts a
+//!   stable share of every host's traffic — the high-in-degree nodes UT
+//!   exists to discount;
+//! * each individual has a **personal profile** of Zipf-weighted
+//!   destinations — a stable head and a churning tail (tail targets are
+//!   only sometimes sampled within a window), with slow profile drift;
+//! * a **noise share** of sessions goes to random externals drawn from
+//!   the global popularity distribution;
+//! * optional **multiusage**: some individuals emit from several labels
+//!   (home/office/hotspot), the ground truth for Figure 5;
+//! * optional **anomalies**: some individuals abruptly change behaviour
+//!   at a chosen window (fresh profile), ground truth for the anomaly
+//!   detector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use comsig_graph::window::{GraphSequence, WindowSpec};
+use comsig_graph::{EdgeEvent, Interner, NodeId, Partition};
+
+use crate::profile::Profile;
+use crate::randutil::{poisson, volume_noise};
+use crate::zipf::{zipf_weights, Zipf};
+
+/// Multiusage ground-truth generation: individuals controlling several
+/// local labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiusageConfig {
+    /// Number of individuals with multiple labels.
+    pub individuals: usize,
+    /// Minimum labels per such individual (inclusive).
+    pub min_labels: usize,
+    /// Maximum labels per such individual (inclusive).
+    pub max_labels: usize,
+}
+
+impl MultiusageConfig {
+    /// No multiusage.
+    pub fn none() -> Self {
+        MultiusageConfig {
+            individuals: 0,
+            min_labels: 2,
+            max_labels: 2,
+        }
+    }
+}
+
+/// Anomaly injection: individuals whose behaviour changes abruptly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnomalyConfig {
+    /// Number of anomalous individuals.
+    pub count: usize,
+    /// Window index at which their profile is replaced wholesale.
+    pub window: usize,
+}
+
+impl AnomalyConfig {
+    /// No anomalies.
+    pub fn none() -> Self {
+        AnomalyConfig { count: 0, window: 0 }
+    }
+}
+
+/// Parameters of the flow-network simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowNetConfig {
+    /// Number of local labels (monitored hosts). The paper had "more than
+    /// 300".
+    pub num_locals: usize,
+    /// Number of external hosts.
+    pub num_externals: usize,
+    /// Size of the universally popular service block (the most popular
+    /// externals by construction).
+    pub num_popular: usize,
+    /// Popular services each individual regularly uses.
+    pub popular_per_host: usize,
+    /// Personal (non-popular) preferred destinations per individual.
+    pub profile_size: usize,
+    /// Number of departments; hosts in one department share departmental
+    /// servers, giving the stable peer-group structure multi-hop schemes
+    /// exploit ("transitivity / path diversity", Section III).
+    pub num_groups: usize,
+    /// Departmental servers per group.
+    pub group_servers: usize,
+    /// Fraction of sessions going to the host's departmental servers.
+    pub group_share: f64,
+    /// Size of each group's shared interest pool: colleagues visit
+    /// overlapping "rare" destinations, so a low-in-degree node is shared
+    /// by a handful of hosts rather than unique to one. Without this, UT
+    /// signatures are artificially perfect identifiers.
+    pub group_pool_size: usize,
+    /// Fraction of personal targets drawn from the group's interest pool
+    /// (the rest come from the global tail).
+    pub pool_share: f64,
+    /// Fresh one-off destinations per label per window (ad-hoc browsing).
+    /// They have in-degree ≈ 1 — maximally "novel" in UT's sense — but
+    /// never recur, which is what limits UT's persistence on real traffic.
+    pub ephemeral_per_window: usize,
+    /// Fraction of sessions going to the window's ephemeral destinations.
+    pub ephemeral_share: f64,
+    /// Mean sessions emitted per label per window.
+    pub sessions_per_window: f64,
+    /// Fraction of sessions going to the individual's popular services.
+    pub popular_share: f64,
+    /// Fraction of sessions going to random externals (background noise).
+    pub noise_share: f64,
+    /// Per-window probability that a personal target is replaced.
+    pub drift_rate: f64,
+    /// Per-label-per-window probability of a *disrupted* window: the user
+    /// travels, works offsite or behaves atypically, so most sessions go
+    /// to ephemeral/background destinations instead of the usual profile.
+    /// Disrupted windows are what drive self-identification AUC below 1
+    /// on real traffic: a host whose whole top-k churns cannot be matched
+    /// to itself by a one-hop signature, while a multi-hop walk can still
+    /// amplify the few surviving structural flows.
+    pub disruption_rate: f64,
+    /// Fraction of a disrupted window's sessions routed to
+    /// ephemeral/background destinations.
+    pub disruption_strength: f64,
+    /// Multiplier on the popular/group traffic shares of an individual's
+    /// *secondary* labels. The default (1.0) models the paper's scenario
+    /// — registered multiple addresses *inside* the enterprise (desktop +
+    /// laptop + VPN address of one employee), which carry the same
+    /// traffic mix and differ only in per-label one-off noise. Lower it
+    /// to model off-site connections (home/hotspot) whose structural
+    /// traffic disappears.
+    pub secondary_structural_factor: f64,
+    /// Preference sharpening (`w^power`) applied when a *secondary*
+    /// label samples the personal profile (1.0 = same distribution).
+    /// Raise it to model contexts where only the favourite destinations
+    /// are visited.
+    pub secondary_head_sharpening: f64,
+    /// Log-scale volume noise (0 = every window has identical volume).
+    pub volume_sigma: f64,
+    /// Log-scale *across-host* volume heterogeneity: real populations mix
+    /// chatty desktops with nearly silent laptops, and the quiet hosts —
+    /// whose few flows are mostly to shared services — are exactly the
+    /// ones that are hard to re-identify (they drive AUC below 1).
+    pub host_volume_sigma: f64,
+    /// Log-scale across-host heterogeneity of personal profile size.
+    pub profile_size_sigma: f64,
+    /// Number of windows (the paper used six five-day windows).
+    pub num_windows: usize,
+    /// Zipf exponent of personal preference weights.
+    pub preference_exponent: f64,
+    /// Zipf exponent of global external popularity.
+    pub popularity_exponent: f64,
+    /// Zipf exponent of the personal-target sampling (how concentrated
+    /// the *choice* of personal destinations is across the population).
+    pub tail_exponent: f64,
+    /// Multiusage ground truth.
+    pub multiusage: MultiusageConfig,
+    /// Anomaly ground truth.
+    pub anomaly: AnomalyConfig,
+    /// RNG seed: identical configs produce identical datasets.
+    pub seed: u64,
+}
+
+impl Default for FlowNetConfig {
+    /// Paper-scale defaults: 300 hosts, 20K externals, 6 windows.
+    fn default() -> Self {
+        FlowNetConfig {
+            num_locals: 300,
+            num_externals: 20_000,
+            num_popular: 25,
+            popular_per_host: 5,
+            profile_size: 20,
+            num_groups: 30,
+            group_servers: 6,
+            group_share: 0.32,
+            group_pool_size: 60,
+            pool_share: 0.7,
+            ephemeral_per_window: 10,
+            ephemeral_share: 0.15,
+            sessions_per_window: 50.0,
+            popular_share: 0.14,
+            noise_share: 0.03,
+            drift_rate: 0.08,
+            disruption_rate: 0.15,
+            disruption_strength: 0.85,
+            secondary_structural_factor: 1.0,
+            secondary_head_sharpening: 1.0,
+            volume_sigma: 0.3,
+            host_volume_sigma: 0.9,
+            profile_size_sigma: 0.5,
+            num_windows: 6,
+            preference_exponent: 1.1,
+            popularity_exponent: 1.0,
+            tail_exponent: 0.6,
+            multiusage: MultiusageConfig::none(),
+            anomaly: AnomalyConfig::none(),
+            seed: 42,
+        }
+    }
+}
+
+impl FlowNetConfig {
+    /// A reduced-scale configuration for fast tests.
+    pub fn small(seed: u64) -> Self {
+        FlowNetConfig {
+            num_locals: 40,
+            num_externals: 600,
+            num_popular: 8,
+            popular_per_host: 3,
+            profile_size: 12,
+            num_groups: 8,
+            group_servers: 5,
+            sessions_per_window: 60.0,
+            num_windows: 4,
+            seed,
+            ..FlowNetConfig::default()
+        }
+    }
+
+    /// First external rank of the personal/ephemeral tail (the ranks
+    /// after the popular block and the departmental server blocks).
+    pub fn tail_start(&self) -> usize {
+        self.num_popular + self.num_groups * self.group_servers
+    }
+
+    fn validate(&self) {
+        assert!(self.num_locals > 0, "need at least one local host");
+        assert!(
+            self.tail_start() + self.profile_size < self.num_externals,
+            "popular + group blocks must leave room for personal targets"
+        );
+        assert!(self.num_groups > 0, "need at least one group");
+        assert!(
+            self.popular_per_host <= self.num_popular,
+            "popular_per_host exceeds popular block"
+        );
+        assert!(self.profile_size > 0, "profile_size must be positive");
+        assert!(self.num_windows > 0, "need at least one window");
+        assert!(
+            self.noise_share + self.popular_share + self.group_share + self.ephemeral_share
+                <= 1.0,
+            "traffic shares must not exceed 1"
+        );
+        assert!(
+            self.anomaly.count == 0 || self.anomaly.window < self.num_windows,
+            "anomaly window out of range"
+        );
+        assert!(
+            self.multiusage.individuals == 0
+                || (self.multiusage.min_labels >= 2
+                    && self.multiusage.min_labels <= self.multiusage.max_labels),
+            "invalid multiusage label bounds"
+        );
+    }
+}
+
+/// Ground truth accompanying a generated dataset.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// For every multi-label individual, the set of local labels they
+    /// control (each set has >= 2 labels).
+    pub multiusage_groups: Vec<Vec<NodeId>>,
+    /// Labels of individuals whose behaviour changes at
+    /// [`anomaly_window`](GroundTruth::anomaly_window).
+    pub anomalous: Vec<NodeId>,
+    /// The window at which the anomalies occur, if any were injected.
+    pub anomaly_window: Option<usize>,
+    /// Mapping from local label index to individual index.
+    pub label_to_individual: Vec<usize>,
+}
+
+/// A generated enterprise flow dataset.
+#[derive(Debug, Clone)]
+pub struct FlowDataset {
+    /// Label space: locals first (`local0…`), then externals (`ext0…`).
+    pub interner: Interner,
+    /// Locals are [`Left`](comsig_graph::NodeClass::Left), externals
+    /// [`Right`](comsig_graph::NodeClass::Right).
+    pub partition: Partition,
+    /// Per-window aggregated communication graphs.
+    pub windows: GraphSequence,
+    /// Ground truth for the Section V evaluations.
+    pub truth: GroundTruth,
+}
+
+impl FlowDataset {
+    /// The local-host node ids (the monitored population — "the focal
+    /// point of our analysis").
+    pub fn local_nodes(&self) -> Vec<NodeId> {
+        self.partition.left_nodes().collect()
+    }
+}
+
+struct Individual {
+    labels: Vec<NodeId>,
+    group: usize,
+    popular: Vec<NodeId>,
+    popular_weights: Vec<f64>,
+    group_profile: Profile,
+    personal: Profile,
+    /// Multiplier on the population mean session rate.
+    volume_scale: f64,
+}
+
+/// Generates a flow dataset.
+pub fn generate(cfg: &FlowNetConfig) -> FlowDataset {
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- node space -----------------------------------------------------
+    let mut interner = Interner::with_capacity(cfg.num_locals + cfg.num_externals);
+    interner.intern_range("local", cfg.num_locals);
+    interner.intern_range("ext", cfg.num_externals);
+    let partition = Partition::split_at(interner.len(), cfg.num_locals);
+    let ext_node = |rank: usize| NodeId::new(cfg.num_locals + rank);
+
+    // --- individuals & labels --------------------------------------------
+    let mut label_to_individual = vec![usize::MAX; cfg.num_locals];
+    let mut individuals: Vec<Individual> = Vec::new();
+    let mut multiusage_groups: Vec<Vec<NodeId>> = Vec::new();
+
+    // External-rank layout: [0, num_popular) popular services;
+    // [num_popular, tail_start) departmental servers (group g owns the
+    // ranks num_popular + g*group_servers ..+group_servers);
+    // [tail_start, num_externals) the personal/ephemeral tail.
+    let tail_start = cfg.tail_start();
+    let popular_zipf = Zipf::new(cfg.num_popular.max(1), 1.0);
+    let tail_zipf = Zipf::new(cfg.num_externals - tail_start, cfg.tail_exponent);
+    let global_zipf = Zipf::new(cfg.num_externals, cfg.popularity_exponent);
+
+    // Per-group shared interest pools over the tail.
+    let tail_len = cfg.num_externals - tail_start;
+    let pool_size = cfg.group_pool_size.min(tail_len);
+    let group_pools: Vec<Vec<usize>> = (0..cfg.num_groups)
+        .map(|_| crate::randutil::sample_distinct_uniform(&mut rng, tail_len, pool_size))
+        .collect();
+
+    let make_individual = |rng: &mut StdRng, labels: Vec<NodeId>, group: usize| -> Individual {
+        let popular: Vec<NodeId> = if cfg.popular_per_host > 0 {
+            popular_zipf
+                .sample_distinct(rng, cfg.popular_per_host)
+                .into_iter()
+                .map(ext_node)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let popular_weights = if popular.is_empty() {
+            Vec::new()
+        } else {
+            zipf_weights(popular.len(), 1.0)
+        };
+        let group_targets: Vec<NodeId> = (0..cfg.group_servers)
+            .map(|s| ext_node(cfg.num_popular + group * cfg.group_servers + s))
+            .collect();
+        let group_profile = Profile::zipf_shuffled(rng, group_targets, 0.8);
+        let size_noise = volume_noise(rng, cfg.profile_size_sigma);
+        let profile_size = ((cfg.profile_size as f64 * size_noise).round() as usize).max(3);
+        let from_pool = ((profile_size as f64) * cfg.pool_share).round() as usize;
+        let pool = &group_pools[group];
+        // Pool picks keep their *pool-rank order*: colleagues share not
+        // just destinations but preference order (everyone's favourite
+        // obscure site is the same one), which is what makes "rare"
+        // destinations collide across a department.
+        let mut pool_picks: Vec<usize> =
+            crate::randutil::sample_distinct_uniform(rng, pool.len(), from_pool);
+        pool_picks.sort_unstable();
+        let mut personal_ranks: Vec<usize> = pool_picks.into_iter().map(|i| pool[i]).collect();
+        let mut attempts = 0;
+        while personal_ranks.len() < profile_size && attempts < 50 * profile_size {
+            attempts += 1;
+            let r = tail_zipf.sample(rng);
+            if !personal_ranks.contains(&r) {
+                personal_ranks.push(r);
+            }
+        }
+        let personal_targets: Vec<NodeId> = personal_ranks
+            .into_iter()
+            .map(|r| ext_node(tail_start + r))
+            .collect();
+        let personal =
+            Profile::ranked_jittered(rng, personal_targets, cfg.preference_exponent, 0.5);
+        Individual {
+            labels,
+            group,
+            popular,
+            popular_weights,
+            group_profile,
+            personal,
+            volume_scale: volume_noise(rng, cfg.host_volume_sigma),
+        }
+    };
+
+    let mut next_label = 0usize;
+    for _ in 0..cfg.multiusage.individuals {
+        let count = rng.random_range(cfg.multiusage.min_labels..=cfg.multiusage.max_labels);
+        if next_label + count > cfg.num_locals {
+            break;
+        }
+        let labels: Vec<NodeId> = (next_label..next_label + count).map(NodeId::new).collect();
+        next_label += count;
+        multiusage_groups.push(labels.clone());
+        let group = rng.random_range(0..cfg.num_groups);
+        individuals.push(make_individual(&mut rng, labels, group));
+    }
+    while next_label < cfg.num_locals {
+        let labels = vec![NodeId::new(next_label)];
+        next_label += 1;
+        let group = rng.random_range(0..cfg.num_groups);
+        individuals.push(make_individual(&mut rng, labels, group));
+    }
+    for (idx, ind) in individuals.iter().enumerate() {
+        for &l in &ind.labels {
+            label_to_individual[l.index()] = idx;
+        }
+    }
+
+    // --- anomaly assignment ----------------------------------------------
+    // Anomalies are drawn from single-label individuals so the two ground
+    // truths never overlap on the same node.
+    let single_label: Vec<usize> = individuals
+        .iter()
+        .enumerate()
+        .filter(|(_, ind)| ind.labels.len() == 1)
+        .map(|(i, _)| i)
+        .collect();
+    let anomaly_count = cfg.anomaly.count.min(single_label.len());
+    let anomalous_individuals: Vec<usize> = {
+        let picks =
+            crate::randutil::sample_distinct_uniform(&mut rng, single_label.len(), anomaly_count);
+        picks.into_iter().map(|i| single_label[i]).collect()
+    };
+    let anomalous: Vec<NodeId> = anomalous_individuals
+        .iter()
+        .map(|&i| individuals[i].labels[0])
+        .collect();
+
+    // --- session generation ------------------------------------------------
+    let mut events: Vec<EdgeEvent> = Vec::new();
+    for w in 0..cfg.num_windows {
+        // Slow drift of personal profiles (before anomaly replacement so
+        // an anomaly window fully resets the anomalous hosts).
+        if w > 0 {
+            for ind in individuals.iter_mut() {
+                let pool = &group_pools[ind.group];
+                ind.personal.drift(&mut rng, cfg.drift_rate, |r| {
+                    if !pool.is_empty() && r.random_range(0.0..1.0) < cfg.pool_share {
+                        ext_node(tail_start + pool[r.random_range(0..pool.len())])
+                    } else {
+                        ext_node(tail_start + tail_zipf.sample(r))
+                    }
+                });
+            }
+        }
+        if cfg.anomaly.count > 0 && w == cfg.anomaly.window {
+            for &i in &anomalous_individuals {
+                let labels = individuals[i].labels.clone();
+                // The anomalous individual changes everything — including
+                // department (e.g. a compromised host or a new user).
+                let group = rng.random_range(0..cfg.num_groups);
+                individuals[i] = make_individual(&mut rng, labels, group);
+            }
+        }
+
+        for ind in &individuals {
+            for (label_idx, &label) in ind.labels.iter().enumerate() {
+                // Secondary labels (home/hotspot) carry far less
+                // structural (popular/departmental) traffic; the freed
+                // share flows to the individual's personal interests.
+                let is_secondary = label_idx > 0;
+                let structural = if is_secondary {
+                    cfg.secondary_structural_factor
+                } else {
+                    1.0
+                };
+                let sharpening = if is_secondary {
+                    cfg.secondary_head_sharpening
+                } else {
+                    1.0
+                };
+                let p_noise = cfg.noise_share;
+                let p_popular = p_noise + cfg.popular_share * structural;
+                let p_group = p_popular + cfg.group_share * structural;
+                let p_ephemeral = p_group + cfg.ephemeral_share;
+                // One-off destinations for this label in this window.
+                let ephemerals: Vec<NodeId> = if cfg.ephemeral_per_window > 0 {
+                    (0..cfg.ephemeral_per_window)
+                        .map(|_| {
+                            ext_node(
+                                tail_start + rng.random_range(0..cfg.num_externals - tail_start),
+                            )
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let disrupted = rng.random_range(0.0..1.0) < cfg.disruption_rate;
+                let mut mean = cfg.sessions_per_window
+                    * ind.volume_scale
+                    * volume_noise(&mut rng, cfg.volume_sigma);
+                if disrupted {
+                    mean *= 0.5; // atypical windows also tend to be quiet
+                }
+                // Even the quietest host speaks a little each window.
+                let sessions = poisson(&mut rng, mean.max(4.0));
+                for _ in 0..sessions {
+                    if disrupted && rng.random_range(0.0..1.0) < cfg.disruption_strength {
+                        // Atypical activity: one-off or background only.
+                        let dst = if !ephemerals.is_empty() && rng.random_range(0.0..1.0) < 0.7
+                        {
+                            ephemerals[rng.random_range(0..ephemerals.len())]
+                        } else {
+                            ext_node(global_zipf.sample(&mut rng))
+                        };
+                        if dst != label {
+                            events.push(EdgeEvent::unit(w as u64, label, dst));
+                        }
+                        continue;
+                    }
+                    let r: f64 = rng.random_range(0.0..1.0);
+                    let dst = if r < p_noise {
+                        ext_node(global_zipf.sample(&mut rng))
+                    } else if r < p_popular && !ind.popular.is_empty() {
+                        ind.popular
+                            [crate::randutil::weighted_index(&mut rng, &ind.popular_weights)]
+                    } else if r < p_group {
+                        ind.group_profile.sample(&mut rng)
+                    } else if r < p_ephemeral && !ephemerals.is_empty() {
+                        ephemerals[rng.random_range(0..ephemerals.len())]
+                    } else {
+                        ind.personal.sample_sharpened(&mut rng, sharpening)
+                    };
+                    if dst != label {
+                        events.push(EdgeEvent::unit(w as u64, label, dst));
+                    }
+                }
+            }
+        }
+    }
+
+    let windows = GraphSequence::from_events(interner.len(), WindowSpec::new(0, 1), &events);
+    FlowDataset {
+        interner,
+        partition,
+        windows,
+        truth: GroundTruth {
+            multiusage_groups,
+            anomalous,
+            anomaly_window: if anomaly_count > 0 {
+                Some(cfg.anomaly.window)
+            } else {
+                None
+            },
+            label_to_individual,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::stats::{graph_stats, top_in_degree_nodes};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&FlowNetConfig::small(7));
+        let b = generate(&FlowNetConfig::small(7));
+        assert_eq!(a.windows.len(), b.windows.len());
+        for (ga, gb) in a.windows.iter().zip(b.windows.iter()) {
+            assert_eq!(ga.num_edges(), gb.num_edges());
+            assert_eq!(ga.total_weight(), gb.total_weight());
+        }
+        let c = generate(&FlowNetConfig::small(8));
+        assert_ne!(
+            a.windows.window(0).unwrap().total_weight(),
+            c.windows.window(0).unwrap().total_weight()
+        );
+    }
+
+    #[test]
+    fn bipartite_structure_holds() {
+        let d = generate(&FlowNetConfig::small(1));
+        assert_eq!(d.windows.len(), 4);
+        for g in d.windows.iter() {
+            d.partition.validate(g).expect("edges must be local -> external");
+        }
+        assert_eq!(d.local_nodes().len(), 40);
+    }
+
+    #[test]
+    fn every_local_speaks_every_window() {
+        let d = generate(&FlowNetConfig::small(2));
+        for g in d.windows.iter() {
+            for v in d.local_nodes() {
+                assert!(g.out_degree(v) > 0, "host {v} silent");
+            }
+        }
+    }
+
+    #[test]
+    fn popular_services_have_high_in_degree() {
+        let cfg = FlowNetConfig::small(3);
+        let d = generate(&cfg);
+        let g = d.windows.window(0).unwrap();
+        let top = top_in_degree_nodes(g, 3);
+        // The top in-degree nodes should come from the popular block
+        // (external ranks 0..num_popular).
+        for &(node, deg) in &top {
+            let rank = node.index() - cfg.num_locals;
+            assert!(rank < cfg.num_popular, "hub {node} rank {rank}, deg {deg}");
+            assert!(deg > cfg.num_locals / 3, "hub degree too small: {deg}");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let d = generate(&FlowNetConfig::small(4));
+        let g = d.windows.window(0).unwrap();
+        let stats = graph_stats(g);
+        assert!(stats.in_degree_gini > 0.3, "gini = {}", stats.in_degree_gini);
+        assert!(stats.mean_out_degree >= 8.0);
+    }
+
+    #[test]
+    fn multiusage_groups_recorded_and_disjoint() {
+        let cfg = FlowNetConfig {
+            multiusage: MultiusageConfig {
+                individuals: 5,
+                min_labels: 2,
+                max_labels: 3,
+            },
+            ..FlowNetConfig::small(5)
+        };
+        let d = generate(&cfg);
+        assert_eq!(d.truth.multiusage_groups.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for group in &d.truth.multiusage_groups {
+            assert!(group.len() >= 2 && group.len() <= 3);
+            for &l in group {
+                assert!(seen.insert(l), "label {l} in two groups");
+                assert!(l.index() < cfg.num_locals);
+            }
+            // All labels of a group map to the same individual.
+            let ind = d.truth.label_to_individual[group[0].index()];
+            for &l in group {
+                assert_eq!(d.truth.label_to_individual[l.index()], ind);
+            }
+        }
+    }
+
+    #[test]
+    fn anomalies_change_behavior_at_window() {
+        let cfg = FlowNetConfig {
+            anomaly: AnomalyConfig { count: 4, window: 2 },
+            drift_rate: 0.0,
+            ..FlowNetConfig::small(6)
+        };
+        let d = generate(&cfg);
+        assert_eq!(d.truth.anomalous.len(), 4);
+        assert_eq!(d.truth.anomaly_window, Some(2));
+        // Destination overlap across the anomaly boundary should be much
+        // smaller for anomalous hosts than for normal hosts.
+        let g1 = d.windows.window(1).unwrap();
+        let g2 = d.windows.window(2).unwrap();
+        let overlap = |v: NodeId| {
+            let a: std::collections::HashSet<_> =
+                g1.out_neighbors(v).map(|(u, _)| u).collect();
+            let b: std::collections::HashSet<_> =
+                g2.out_neighbors(v).map(|(u, _)| u).collect();
+            let inter = a.intersection(&b).count() as f64;
+            inter / a.union(&b).count().max(1) as f64
+        };
+        let anom: Vec<NodeId> = d.truth.anomalous.clone();
+        let anom_mean: f64 =
+            anom.iter().map(|&v| overlap(v)).sum::<f64>() / anom.len() as f64;
+        let normal: Vec<NodeId> = d
+            .local_nodes()
+            .into_iter()
+            .filter(|v| !anom.contains(v))
+            .take(10)
+            .collect();
+        let norm_mean: f64 =
+            normal.iter().map(|&v| overlap(v)).sum::<f64>() / normal.len() as f64;
+        assert!(
+            anom_mean + 0.15 < norm_mean,
+            "anomalous overlap {anom_mean} vs normal {norm_mean}"
+        );
+    }
+
+    #[test]
+    fn behavior_is_temporally_stable() {
+        let d = generate(&FlowNetConfig::small(9));
+        // Heavy destinations should recur across consecutive windows.
+        let g1 = d.windows.window(0).unwrap();
+        let g2 = d.windows.window(1).unwrap();
+        let mut stable = 0;
+        let mut total = 0;
+        for v in d.local_nodes() {
+            let mut heavy: Vec<_> = g1.out_neighbors(v).collect();
+            heavy.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            for &(u, _) in heavy.iter().take(3) {
+                total += 1;
+                if g2.has_edge(v, u) {
+                    stable += 1;
+                }
+            }
+        }
+        let rate = stable as f64 / total as f64;
+        // Disrupted windows (~15% of host-windows) legitimately break
+        // recurrence for the affected hosts; the population-level rate
+        // should still be solidly above chance.
+        assert!(rate > 0.6, "top-3 recurrence rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "popular_per_host")]
+    fn invalid_config_rejected() {
+        let cfg = FlowNetConfig {
+            popular_per_host: 100,
+            num_popular: 10,
+            ..FlowNetConfig::small(1)
+        };
+        let _ = generate(&cfg);
+    }
+}

@@ -1,0 +1,47 @@
+//! # comsig-datagen
+//!
+//! Synthetic communication-graph workloads standing in for the paper's two
+//! proprietary datasets (Section IV-A), plus the ground truth the
+//! application evaluations of Section V need.
+//!
+//! The paper's experiments ran on (1) six weeks of enterprise NetFlow
+//! records — ~300 monitored local hosts talking to ~400K external IPs,
+//! aggregated into five-day windows — and (2) data-warehouse query logs —
+//! 851 users × 979 tables over five periods. Neither dataset is public,
+//! so this crate generates workloads that reproduce the *graph
+//! characteristics the paper's analysis depends on* (Section III):
+//!
+//! * **engagement** — heavy-tailed edge weights from Zipf-distributed
+//!   per-individual preferences;
+//! * **novelty** — a skewed destination-popularity distribution with a
+//!   small set of universally popular services (search, mail, CDN) that
+//!   attract traffic from almost every host;
+//! * **locality / small diameter** — hosts cluster around shared
+//!   destinations, so undirected hop distances are short;
+//! * **temporal stability with churn** — each individual has a stable
+//!   preference profile; per-window sampling reproduces the stable head
+//!   and the churning tail, plus slow profile drift.
+//!
+//! Generators are fully deterministic given the configured seed.
+//!
+//! * [`flownet`] — the enterprise flow simulator (with multiusage and
+//!   anomaly ground truth).
+//! * [`querylog`] — the bipartite user × table query-log simulator.
+//! * [`callgraph`] — a non-bipartite telephone call graph (the paper's
+//!   motivating domain), for the general-digraph code paths.
+//! * [`zipf`] / [`randutil`] — the underlying samplers.
+//! * [`profile`] — per-individual preference profiles with drift.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod callgraph;
+pub mod flownet;
+pub mod profile;
+pub mod querylog;
+pub mod randutil;
+pub mod zipf;
+
+pub use flownet::{AnomalyConfig, FlowDataset, FlowNetConfig, GroundTruth, MultiusageConfig};
+pub use callgraph::{CallGraphConfig, CallGraphDataset};
+pub use querylog::{QueryLogConfig, QueryLogDataset};

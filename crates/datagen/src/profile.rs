@@ -1,0 +1,201 @@
+//! Per-individual behaviour profiles.
+//!
+//! The framework's central assumption (Section II-A) is that the hidden
+//! individual behind a label has *mostly consistent* behaviour over time.
+//! A [`Profile`] is that behaviour: a preference distribution over
+//! destinations, stable across windows up to slow drift.
+
+use rand::Rng;
+
+use comsig_graph::NodeId;
+
+use crate::randutil::{shuffle, weighted_index};
+use crate::zipf::zipf_weights;
+
+/// A stable preference distribution over destination nodes.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl Profile {
+    /// Builds a profile over `targets` with Zipf(`s`) preference weights
+    /// assigned in a random order (so the heaviest preference is not
+    /// systematically the globally most popular destination).
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty.
+    pub fn zipf_shuffled<R: Rng + ?Sized>(rng: &mut R, mut targets: Vec<NodeId>, s: f64) -> Self {
+        assert!(!targets.is_empty(), "profile needs at least one target");
+        shuffle(rng, &mut targets);
+        let weights = zipf_weights(targets.len(), s);
+        Profile { targets, weights }
+    }
+
+    /// Builds a profile over `targets` given in *rank order*: the first
+    /// target receives the largest Zipf(`s`) weight, and each weight is
+    /// jittered by a log-normal factor (`jitter` = log-σ) then left
+    /// unnormalised (sampling normalises implicitly).
+    ///
+    /// Used when preference order is shared across individuals (e.g.
+    /// colleagues all favour the same departmental wiki), unlike
+    /// [`zipf_shuffled`](Profile::zipf_shuffled) which decorrelates
+    /// preferences.
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty.
+    pub fn ranked_jittered<R: Rng + ?Sized>(
+        rng: &mut R,
+        targets: Vec<NodeId>,
+        s: f64,
+        jitter: f64,
+    ) -> Self {
+        assert!(!targets.is_empty(), "profile needs at least one target");
+        let weights: Vec<f64> = zipf_weights(targets.len(), s)
+            .into_iter()
+            .map(|w| w * crate::randutil::volume_noise(rng, jitter))
+            .collect();
+        Profile { targets, weights }
+    }
+
+    /// Builds a profile with explicit weights.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, `targets` is empty, or weights are not
+    /// positive and finite.
+    pub fn with_weights(targets: Vec<NodeId>, weights: Vec<f64>) -> Self {
+        assert_eq!(targets.len(), weights.len(), "targets/weights mismatch");
+        assert!(!targets.is_empty(), "profile needs at least one target");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive"
+        );
+        Profile { targets, weights }
+    }
+
+    /// Number of preferred destinations.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the profile is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The preferred destinations.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// The preference weights (parallel to [`targets`](Profile::targets)).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Samples one destination according to the preference weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        self.targets[weighted_index(rng, &self.weights)]
+    }
+
+    /// Samples with *sharpened* preferences (`w^power`): `power > 1`
+    /// concentrates the draw on the profile head, `power = 1` is
+    /// [`sample`](Profile::sample). Models contexts where an individual
+    /// only visits their favourite destinations (e.g. from a phone or a
+    /// secondary connection).
+    pub fn sample_sharpened<R: Rng + ?Sized>(&self, rng: &mut R, power: f64) -> NodeId {
+        assert!(power > 0.0, "sharpening power must be positive");
+        if (power - 1.0).abs() < 1e-12 {
+            return self.sample(rng);
+        }
+        let sharpened: Vec<f64> = self.weights.iter().map(|w| w.powf(power)).collect();
+        self.targets[weighted_index(rng, &sharpened)]
+    }
+
+    /// Applies one window of drift: each target is independently replaced
+    /// with probability `rate` by a destination drawn from `fresh`. The
+    /// preference weight attached to the slot is kept, modelling "the
+    /// individual found a new favourite of similar importance".
+    pub fn drift<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        rate: f64,
+        mut fresh: impl FnMut(&mut R) -> NodeId,
+    ) {
+        assert!((0.0..=1.0).contains(&rate), "drift rate must be in [0,1]");
+        for slot in 0..self.targets.len() {
+            if rng.random_range(0.0..1.0) < rate {
+                self.targets[slot] = fresh(rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn zipf_profile_has_all_targets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Profile::zipf_shuffled(&mut rng, (0..10).map(n).collect(), 1.0);
+        assert_eq!(p.len(), 10);
+        let mut ts: Vec<usize> = p.targets().iter().map(|t| t.index()).collect();
+        ts.sort_unstable();
+        assert_eq!(ts, (0..10).collect::<Vec<_>>());
+        assert!((p.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_favours_heavy_slots() {
+        let p = Profile::with_weights(vec![n(0), n(1)], vec![9.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits0 = (0..5000).filter(|_| p.sample(&mut rng) == n(0)).count();
+        assert!(hits0 > 4000, "hits = {hits0}");
+    }
+
+    #[test]
+    fn drift_replaces_expected_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Profile::zipf_shuffled(&mut rng, (0..100).map(n).collect(), 1.0);
+        let before = p.targets().to_vec();
+        p.drift(&mut rng, 0.2, |r| n(1000 + r.random_range(0..1000)));
+        let changed = p
+            .targets()
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!((8..=35).contains(&changed), "changed = {changed}");
+        assert_eq!(p.len(), 100);
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = Profile::zipf_shuffled(&mut rng, (0..5).map(n).collect(), 1.0);
+        let before = p.targets().to_vec();
+        p.drift(&mut rng, 0.0, |_| n(999));
+        assert_eq!(p.targets(), before.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_profile_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = Profile::zipf_shuffled(&mut rng, vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_weights_rejected() {
+        let _ = Profile::with_weights(vec![n(0)], vec![0.0]);
+    }
+}

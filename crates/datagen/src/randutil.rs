@@ -1,0 +1,171 @@
+//! Small sampling utilities shared by the generators.
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a clamped normal
+/// approximation for large ones (accurate to within the generators'
+/// needs; per-window session counts are in the tens-to-thousands).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be >= 0, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product = rng.random_range(0.0f64..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.random_range(0.0f64..1.0);
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(λ, λ).
+        let z = standard_normal(rng);
+        let x = lambda + z * lambda.sqrt();
+        x.max(0.0).round() as u64
+    }
+}
+
+/// A standard normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A multiplicative log-normal-ish noise factor with median 1: day-to-day
+/// traffic volume variation. `sigma = 0` returns exactly 1.
+pub fn volume_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be >= 0");
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    (standard_normal(rng) * sigma).exp()
+}
+
+/// Samples an index from a slice of non-negative weights (linear scan —
+/// fine for the short per-profile weight vectors this is used on).
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        !weights.is_empty() && total > 0.0,
+        "weighted_index needs positive total mass"
+    );
+    let mut x = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Fisher–Yates shuffle (so the crate controls determinism rather than
+/// depending on `rand`'s slice extension being stable across versions).
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Samples `count` distinct values uniformly from `0..n` (floyd's
+/// algorithm for small `count`, sweep for large).
+pub fn sample_distinct_uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, count: usize) -> Vec<usize> {
+    if count >= n {
+        return (0..n).collect();
+    }
+    let mut chosen = rustc_hash::FxHashSet::default();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let x = rng.random_range(0..n);
+        if chosen.insert(x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let sum: u64 = (0..trials).map(|_| poisson(&mut rng, 3.0)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 5_000;
+        let sum: u64 = (0..trials).map(|_| poisson(&mut rng, 200.0)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn volume_noise_median_about_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut samples: Vec<f64> = (0..10_001).map(|_| volume_noise(&mut rng, 0.4)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        assert!((median - 1.0).abs() < 0.05, "median = {median}");
+        assert_eq!(volume_noise(&mut rng, 0.0), 1.0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((2.4..3.8).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut xs: Vec<usize> = (0..50).collect();
+        shuffle(&mut rng, &mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = sample_distinct_uniform(&mut rng, 100, 20);
+        assert_eq!(xs.len(), 20);
+        let set: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert_eq!(sample_distinct_uniform(&mut rng, 3, 5), vec![0, 1, 2]);
+    }
+}

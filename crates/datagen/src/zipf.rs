@@ -1,0 +1,192 @@
+//! Zipf / power-law sampling.
+//!
+//! Communication graphs "exhibit a power-law-like distribution of node
+//! degrees" (Section III); every popularity and preference distribution in
+//! the generators is Zipf-shaped.
+
+use rand::Rng;
+
+/// A discrete Zipf distribution over ranks `0..n`: rank `r` has mass
+/// proportional to `(r + 1)^(-s)`.
+///
+/// Sampling is `O(log n)` via a cumulative table.
+///
+/// ```
+/// use comsig_datagen::zipf::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s >= 0`
+    /// (`s = 0` is uniform; larger `s` is more skewed).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be >= 0, got {s}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += ((r + 1) as f64).powf(-s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn mass(&self, r: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if r == 0 { 0.0 } else { self.cumulative[r - 1] };
+        (self.cumulative[r] - prev) / total
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.random_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+
+    /// Samples `count` *distinct* ranks (by rejection), or all ranks if
+    /// `count >= n`.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        let n = self.len();
+        if count >= n {
+            return (0..n).collect();
+        }
+        let mut chosen = rustc_hash::FxHashSet::default();
+        let mut out = Vec::with_capacity(count);
+        // Rejection sampling is fine while count << n; fall back to a
+        // sweep when the target is a large fraction of the support.
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < 50 * count {
+            attempts += 1;
+            let r = self.sample(rng);
+            if chosen.insert(r) {
+                out.push(r);
+            }
+        }
+        if out.len() < count {
+            for r in 0..n {
+                if out.len() >= count {
+                    break;
+                }
+                if chosen.insert(r) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Normalised Zipf weights `w_r ∝ (r+1)^(-s)` summing to 1.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one weight");
+    let raw: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 50);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn rank_zero_is_most_likely() {
+        let z = Zipf::new(10, 1.0);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(9));
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.mass(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_mass() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        let trials = 20_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / trials as f64;
+            assert!(
+                (freq - z.mass(r)).abs() < 0.02,
+                "rank {r}: {freq} vs {}",
+                z.mass(r)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks = z.sample_distinct(&mut rng, 30);
+        assert_eq!(picks.len(), 30);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn sample_distinct_saturates() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks = z.sample_distinct(&mut rng, 10);
+        assert_eq!(picks.len(), 5);
+    }
+
+    #[test]
+    fn weights_normalised_and_sorted() {
+        let w = zipf_weights(10, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the data generators.
+
+use comsig_datagen::flownet::{self, FlowNetConfig};
+use comsig_datagen::profile::Profile;
+use comsig_datagen::randutil::{poisson, sample_distinct_uniform, weighted_index};
+use comsig_datagen::zipf::{zipf_weights, Zipf};
+use comsig_graph::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Zipf masses are positive, monotone non-increasing in rank, and
+    /// sum to one; samples stay in range.
+    #[test]
+    fn zipf_distribution_invariants(n in 1usize..200, s in 0.0f64..3.0, seed in 0u64..100) {
+        let z = Zipf::new(n, s);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for r in 0..n {
+            let m = z.mass(r);
+            prop_assert!(m > 0.0);
+            prop_assert!(m <= prev + 1e-12);
+            prev = m;
+            total += m;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let w = zipf_weights(n, s);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Distinct sampling returns exactly min(count, n) unique items.
+    #[test]
+    fn distinct_sampling(n in 1usize..150, count in 0usize..200, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks = sample_distinct_uniform(&mut rng, n, count);
+        prop_assert_eq!(picks.len(), count.min(n));
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        prop_assert_eq!(set.len(), picks.len());
+        for &p in &picks {
+            prop_assert!(p < n);
+        }
+        let z = Zipf::new(n, 1.0);
+        let zp = z.sample_distinct(&mut rng, count);
+        prop_assert_eq!(zp.len(), count.min(n));
+    }
+
+    /// Poisson draws are non-negative and weighted_index stays in range.
+    #[test]
+    fn samplers_in_range(lambda in 0.0f64..500.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = poisson(&mut rng, lambda); // must not panic for any lambda
+        let weights = [0.5, 0.0, 2.0, 1.0];
+        for _ in 0..20 {
+            let i = weighted_index(&mut rng, &weights);
+            prop_assert!(i < weights.len());
+            prop_assert_ne!(i, 1, "zero-weight item drawn");
+        }
+    }
+
+    /// Profiles keep their size under drift and only sample their own
+    /// targets.
+    #[test]
+    fn profile_invariants(
+        size in 1usize..40,
+        rate in 0.0f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let targets: Vec<NodeId> = (0..size).map(NodeId::new).collect();
+        let mut profile = Profile::zipf_shuffled(&mut rng, targets, 1.1);
+        for _ in 0..3 {
+            profile.drift(&mut rng, rate, |r| {
+                use rand::Rng;
+                NodeId::new(1000 + r.random_range(0..1000))
+            });
+            prop_assert_eq!(profile.len(), size);
+        }
+        for _ in 0..20 {
+            let t = profile.sample(&mut rng);
+            prop_assert!(profile.targets().contains(&t));
+            let s = profile.sample_sharpened(&mut rng, 2.0);
+            prop_assert!(profile.targets().contains(&s));
+        }
+    }
+
+    /// Tiny flow datasets are structurally valid for arbitrary seeds:
+    /// bipartite, every window same node space, all weights positive.
+    #[test]
+    fn flownet_structural_validity(seed in 0u64..40) {
+        let cfg = FlowNetConfig {
+            num_locals: 12,
+            num_externals: 200,
+            num_popular: 4,
+            popular_per_host: 2,
+            profile_size: 5,
+            num_groups: 3,
+            group_servers: 3,
+            group_pool_size: 20,
+            sessions_per_window: 25.0,
+            num_windows: 2,
+            seed,
+            ..FlowNetConfig::default()
+        };
+        let d = flownet::generate(&cfg);
+        prop_assert_eq!(d.windows.len(), 2);
+        for g in d.windows.iter() {
+            prop_assert!(d.partition.validate(g).is_ok());
+            for e in g.edges() {
+                prop_assert!(e.weight > 0.0);
+            }
+        }
+        prop_assert_eq!(d.truth.label_to_individual.len(), 12);
+        prop_assert!(d.truth.label_to_individual.iter().all(|&i| i != usize::MAX));
+    }
+}

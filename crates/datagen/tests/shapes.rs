@@ -1,0 +1,185 @@
+//! Shape validation: the synthetic workloads must reproduce the paper's
+//! qualitative findings (Table IV and Figures 1–4 orderings). These tests
+//! are the contract between the data generators and the experiments.
+//!
+//! Seeds are pinned: the orderings hold across seeds, but margins between
+//! adjacent schemes are small (as in the paper), so the assertions run on
+//! fixed datasets.
+
+use comsig_core::distance::SHel;
+use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_core::SignatureSet;
+use comsig_datagen::{flownet, querylog, FlowNetConfig, QueryLogConfig};
+use comsig_eval::property_eval::{persistence_values, uniqueness_values};
+use comsig_eval::roc::self_identification;
+use comsig_eval::stats::Summary;
+use comsig_graph::perturb::perturbed;
+use comsig_graph::CommGraph;
+use comsig_graph::NodeId;
+
+const K: usize = 10;
+
+/// The canonical defaults at one-third population scale (so the suite
+/// stays fast): same per-group size, hub structure and traffic mix.
+fn medium_flow(seed: u64) -> comsig_datagen::FlowDataset {
+    flownet::generate(&FlowNetConfig {
+        num_locals: 100,
+        num_externals: 3000,
+        num_groups: 10,
+        num_windows: 3,
+        seed,
+        ..FlowNetConfig::default()
+    })
+}
+
+fn sigs(scheme: &dyn SignatureScheme, g: &CommGraph, subjects: &[NodeId]) -> SignatureSet {
+    scheme.signature_set(g, subjects, K)
+}
+
+struct Schemes {
+    tt: TopTalkers,
+    ut: UnexpectedTalkers,
+    rwr3: Rwr,
+    rwr7: Rwr,
+}
+
+fn schemes() -> Schemes {
+    Schemes {
+        tt: TopTalkers,
+        ut: UnexpectedTalkers::new(),
+        rwr3: Rwr::truncated(0.1, 3).undirected(),
+        rwr7: Rwr::truncated(0.1, 7).undirected(),
+    }
+}
+
+#[test]
+fn flow_persistence_ordering_rwr_tt_ut() {
+    let d = medium_flow(11);
+    let subjects = d.local_nodes();
+    let (g1, g2) = (d.windows.window(0).unwrap(), d.windows.window(1).unwrap());
+    let s = schemes();
+    let dist = SHel;
+
+    let mp = |scheme: &dyn SignatureScheme| {
+        let a = sigs(scheme, g1, &subjects);
+        let b = sigs(scheme, g2, &subjects);
+        Summary::of(&persistence_values(&dist, &a, &b)).mean
+    };
+    let p_tt = mp(&s.tt);
+    let p_ut = mp(&s.ut);
+    let p_rwr = mp(&s.rwr3);
+    // Paper Table IV: persistence RWR high, TT medium, UT low.
+    assert!(
+        p_rwr > p_tt,
+        "RWR persistence {p_rwr} should beat TT {p_tt}"
+    );
+    assert!(p_tt > p_ut, "TT persistence {p_tt} should beat UT {p_ut}");
+}
+
+#[test]
+fn flow_uniqueness_ordering_ut_tt_rwr() {
+    let d = medium_flow(12);
+    let subjects = d.local_nodes();
+    let g1 = d.windows.window(0).unwrap();
+    let s = schemes();
+    let dist = SHel;
+
+    let mu = |scheme: &dyn SignatureScheme| {
+        Summary::of(&uniqueness_values(&dist, &sigs(scheme, g1, &subjects))).mean
+    };
+    let u_tt = mu(&s.tt);
+    let u_ut = mu(&s.ut);
+    let u_rwr = mu(&s.rwr3);
+    // Paper Table IV: uniqueness UT high, TT medium, RWR low.
+    assert!(u_ut > u_tt, "UT uniqueness {u_ut} should beat TT {u_tt}");
+    assert!(u_tt > u_rwr, "TT uniqueness {u_tt} should beat RWR {u_rwr}");
+}
+
+#[test]
+fn flow_auc_multihop_beats_onehop() {
+    let d = medium_flow(99);
+    let subjects = d.local_nodes();
+    let (g1, g2) = (d.windows.window(0).unwrap(), d.windows.window(1).unwrap());
+    let s = schemes();
+    let dist = SHel;
+
+    let auc = |scheme: &dyn SignatureScheme| {
+        self_identification(&dist, &sigs(scheme, g1, &subjects), &sigs(scheme, g2, &subjects))
+            .mean_auc
+    };
+    let a_tt = auc(&s.tt);
+    let a_ut = auc(&s.ut);
+    let a_rwr3 = auc(&s.rwr3);
+    let a_rwr7 = auc(&s.rwr7);
+    // Paper Figure 3(a): RWR^3 best; RWR^7 close behind; TT beats UT;
+    // everything in the high-0.8s / low-0.9s band.
+    assert!(a_rwr3 > a_tt, "RWR3 {a_rwr3} should beat TT {a_tt}");
+    assert!(a_rwr7 > a_ut, "RWR7 {a_rwr7} should beat UT {a_ut}");
+    assert!(a_tt > a_ut, "TT {a_tt} should beat UT {a_ut}");
+    assert!(a_ut > 0.75, "UT should still be far from chance: {a_ut}");
+    assert!(a_rwr3 > 0.88, "RWR3 absolute level too low: {a_rwr3}");
+    assert!(a_rwr3 < 0.99, "task should not be saturated: {a_rwr3}");
+}
+
+#[test]
+fn flow_robustness_high_for_all_tt_leads_rwr() {
+    let d = medium_flow(14);
+    let subjects = d.local_nodes();
+    let g = d.windows.window(0).unwrap();
+    let gp = perturbed(g, 0.4, 0.4, 999);
+    let s = schemes();
+    let dist = SHel;
+
+    let auc = |scheme: &dyn SignatureScheme| {
+        self_identification(&dist, &sigs(scheme, g, &subjects), &sigs(scheme, &gp, &subjects))
+            .mean_auc
+    };
+    let r_tt = auc(&s.tt);
+    let r_rwr3 = auc(&s.rwr3);
+    let r_rwr7 = auc(&s.rwr7);
+    let r_ut = auc(&s.ut);
+    // Paper Figure 4: TT most robust, then RWR; differences small and all
+    // high. (Known deviation, documented in EXPERIMENTS.md: the paper
+    // places UT last, while against our perturbation model UT's extreme
+    // uniqueness keeps its self-match AUC at the top of the band.)
+    assert!(r_tt > r_rwr3, "TT {r_tt} should beat RWR3 {r_rwr3}");
+    assert!(r_rwr3 > r_rwr7, "RWR3 {r_rwr3} should beat RWR7 {r_rwr7}");
+    for (name, r) in [("TT", r_tt), ("UT", r_ut), ("RWR3", r_rwr3), ("RWR7", r_rwr7)] {
+        assert!(r > 0.95, "{name} robustness {r} should be high");
+    }
+}
+
+#[test]
+fn querylog_all_schemes_near_perfect() {
+    let d = querylog::generate(&QueryLogConfig {
+        num_users: 120,
+        num_tables: 200,
+        num_roles: 12,
+        queries_per_window: 120.0,
+        num_windows: 3,
+        seed: 15,
+        ..QueryLogConfig::default()
+    });
+    let subjects = d.user_nodes();
+    let (g1, g2) = (d.windows.window(0).unwrap(), d.windows.window(1).unwrap());
+    let s = schemes();
+    let dist = SHel;
+    let k = 3;
+
+    let auc = |scheme: &dyn SignatureScheme| {
+        let a = scheme.signature_set(g1, &subjects, k);
+        let b = scheme.signature_set(g2, &subjects, k);
+        self_identification(&dist, &a, &b).mean_auc
+    };
+    // Paper Figure 3(b): everything >= 0.98, UT marginally best.
+    let a_tt = auc(&s.tt);
+    let a_ut = auc(&s.ut);
+    let a_rwr = auc(&s.rwr3);
+    for (name, a) in [("TT", a_tt), ("UT", a_ut), ("RWR3", a_rwr)] {
+        assert!(a > 0.93, "{name} AUC {a} below near-perfect band");
+    }
+    assert!(
+        a_ut + 0.02 > a_tt,
+        "UT {a_ut} should be at least competitive with TT {a_tt}"
+    );
+}

@@ -1,0 +1,91 @@
+//! Manual tuning probe (ignored by default): prints the metric landscape
+//! for candidate flow-net configurations. Run with
+//! `cargo test -p comsig-datagen --test tuning --release -- --ignored --nocapture`.
+
+use comsig_core::distance::{Dice, SHel};
+use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_datagen::{flownet, FlowNetConfig};
+use comsig_eval::property_eval::{persistence_values, uniqueness_values};
+use comsig_eval::roc::self_identification;
+use comsig_eval::stats::Summary;
+use comsig_graph::perturb::perturbed;
+
+#[test]
+#[ignore = "manual tuning probe"]
+fn print_metric_landscape() {
+    for (label, cfg) in [
+        (
+            "final-s21",
+            FlowNetConfig {
+                num_locals: 100,
+                num_externals: 3000,
+                num_popular: 25,
+                num_groups: 10,
+                group_servers: 6,
+                popular_share: 0.14,
+                group_share: 0.32,
+                noise_share: 0.03,
+                group_pool_size: 60,
+                pool_share: 0.7,
+                ephemeral_per_window: 10,
+                ephemeral_share: 0.15,
+                sessions_per_window: 50.0,
+                num_windows: 3,
+                seed: 21,
+                ..FlowNetConfig::default()
+            },
+        ),
+        (
+            "final-s99",
+            FlowNetConfig {
+                num_locals: 100,
+                num_externals: 3000,
+                num_popular: 25,
+                num_groups: 10,
+                group_servers: 6,
+                popular_share: 0.14,
+                group_share: 0.32,
+                noise_share: 0.03,
+                group_pool_size: 60,
+                pool_share: 0.7,
+                ephemeral_per_window: 10,
+                ephemeral_share: 0.15,
+                sessions_per_window: 50.0,
+                num_windows: 3,
+                seed: 99,
+                ..FlowNetConfig::default()
+            },
+        ),
+    ] {
+        let d = flownet::generate(&cfg);
+        let subjects = d.local_nodes();
+        let g1 = d.windows.window(0).unwrap();
+        let g2 = d.windows.window(1).unwrap();
+        let gp = perturbed(g1, 0.4, 0.4, 999);
+        let k = 10;
+
+        println!("--- config: {label} ---");
+        let schemes: Vec<(&str, Box<dyn SignatureScheme>)> = vec![
+            ("TT  ", Box::new(TopTalkers)),
+            ("UT  ", Box::new(UnexpectedTalkers::new())),
+            ("RWR3", Box::new(Rwr::truncated(0.1, 3).undirected())),
+            ("RWR5", Box::new(Rwr::truncated(0.1, 5).undirected())),
+            ("RWR7", Box::new(Rwr::truncated(0.1, 7).undirected())),
+        ];
+        for (name, s) in &schemes {
+            let a = s.signature_set(g1, &subjects, k);
+            let b = s.signature_set(g2, &subjects, k);
+            let shel = SHel;
+            let dice = Dice;
+            let p = Summary::of(&persistence_values(&shel, &a, &b)).mean;
+            let u = Summary::of(&uniqueness_values(&shel, &a)).mean;
+            let auc_shel = self_identification(&shel, &a, &b).mean_auc;
+            let auc_dice = self_identification(&dice, &a, &b).mean_auc;
+            let ap = s.signature_set(&gp, &subjects, k);
+            let rob = self_identification(&shel, &a, &ap).mean_auc;
+            println!(
+                "{name}  mu_p={p:.3}  mu_u={u:.3}  auc(SHel)={auc_shel:.4}  auc(Dice)={auc_dice:.4}  rob(0.4)={rob:.4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Parallel cross-window and all-pairs distance computation.
+//!
+//! The evaluation phase is dominated by `O(|Q|·|C|)` signature distances;
+//! this module fans those out with rayon while keeping deterministic
+//! output order.
+
+use rayon::prelude::*;
+
+use comsig_core::distance::SignatureDistance;
+use comsig_core::SignatureSet;
+use comsig_graph::NodeId;
+
+use crate::ranking::Ranking;
+
+/// Ranks every query of `queries` against `candidates`, in parallel.
+/// Output order matches `queries.subjects()`.
+pub fn rank_all(
+    dist: &dyn SignatureDistance,
+    queries: &SignatureSet,
+    candidates: &SignatureSet,
+) -> Vec<(NodeId, Ranking)> {
+    queries
+        .subjects()
+        .par_iter()
+        .map(|&v| {
+            let sig = queries.get(v).expect("subject has a signature");
+            (v, Ranking::rank(dist, sig, candidates))
+        })
+        .collect()
+}
+
+/// All pairwise distances `Dist(σ(v), σ(u))` for `v ≠ u` within one set —
+/// the sample over which the paper's uniqueness statistics are computed.
+/// Each unordered pair appears once (distances are symmetric).
+pub fn pairwise_distances(dist: &dyn SignatureDistance, set: &SignatureSet) -> Vec<f64> {
+    let subjects = set.subjects();
+    (0..subjects.len())
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let a = set.get(subjects[i]).expect("subject has a signature");
+            ((i + 1)..subjects.len()).map(move |j| {
+                let b = set.get(subjects[j]).expect("subject has a signature");
+                dist.distance(a, b)
+            })
+        })
+        .collect()
+}
+
+/// Self-match distances `Dist(σ_t(v), σ_{t+1}(v))` for every subject
+/// present in both sets — the sample behind the persistence statistics.
+/// Returns `(subject, distance)` in `set_t` subject order.
+pub fn self_distances(
+    dist: &dyn SignatureDistance,
+    set_t: &SignatureSet,
+    set_t1: &SignatureSet,
+) -> Vec<(NodeId, f64)> {
+    set_t
+        .subjects()
+        .par_iter()
+        .filter_map(|&v| {
+            let a = set_t.get(v)?;
+            let b = set_t1.get(v)?;
+            Some((v, dist.distance(a, b)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::Jaccard;
+    use comsig_core::Signature;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            ids.iter().map(|&i| (n(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    fn set(entries: Vec<(usize, Vec<usize>)>) -> SignatureSet {
+        let subjects: Vec<NodeId> = entries.iter().map(|&(v, _)| n(v)).collect();
+        let sigs = entries.iter().map(|(_, ids)| sig(ids)).collect();
+        SignatureSet::new(subjects, sigs)
+    }
+
+    #[test]
+    fn rank_all_order_matches_queries() {
+        let q = set(vec![(0, vec![10]), (1, vec![20])]);
+        let c = set(vec![(0, vec![10]), (1, vec![20]), (2, vec![30])]);
+        let ranked = rank_all(&Jaccard, &q, &c);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, n(0));
+        assert_eq!(ranked[0].1.entries()[0].0, n(0)); // self is closest
+        assert_eq!(ranked[1].1.entries()[0].0, n(1));
+    }
+
+    #[test]
+    fn pairwise_counts_unordered_pairs() {
+        let s = set(vec![(0, vec![1]), (1, vec![1]), (2, vec![2])]);
+        let d = pairwise_distances(&Jaccard, &s);
+        assert_eq!(d.len(), 3); // C(3,2)
+        let zeros = d.iter().filter(|&&x| x == 0.0).count();
+        assert_eq!(zeros, 1); // only the (0,1) pair matches
+    }
+
+    #[test]
+    fn self_distances_skip_missing_subjects() {
+        let t = set(vec![(0, vec![1]), (1, vec![2])]);
+        let t1 = set(vec![(0, vec![1]), (9, vec![9])]);
+        let d = self_distances(&Jaccard, &t, &t1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0], (n(0), 0.0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Precision–recall analysis.
+//!
+//! The paper evaluates with ROC/AUC; for the *detection* applications
+//! (multiusage pairs above a threshold, anomaly alarms) the positive
+//! class is rare, and precision–recall curves are the standard complement
+//! — they answer "of what I flagged, how much was real?", which an ROC
+//! curve hides when negatives dominate.
+
+use serde::{Deserialize, Serialize};
+
+/// A precision–recall curve as `(recall, precision)` points, ordered by
+/// increasing score threshold leniency (recall non-decreasing).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrCurve {
+    /// `(recall, precision)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl PrCurve {
+    /// Builds the curve from positive/negative *scores* where larger
+    /// means "more positive" (e.g. anomaly scores, or `1 − distance`).
+    /// Tied scores are processed as one group. Returns `None` if either
+    /// class is empty.
+    pub fn from_scores(pos: &[f64], neg: &[f64]) -> Option<PrCurve> {
+        if pos.is_empty() || neg.is_empty() {
+            return None;
+        }
+        let mut all: Vec<(f64, bool)> = pos
+            .iter()
+            .map(|&s| (s, true))
+            .chain(neg.iter().map(|&s| (s, false)))
+            .collect();
+        // Descending score: most-confident predictions first.
+        all.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        let p_total = pos.len() as f64;
+
+        let mut points = Vec::new();
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < all.len() {
+            let mut j = i;
+            while j < all.len() && all[j].0 == all[i].0 {
+                if all[j].1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                j += 1;
+            }
+            let recall = tp as f64 / p_total;
+            let precision = tp as f64 / (tp + fp) as f64;
+            points.push((recall, precision));
+            i = j;
+        }
+        Some(PrCurve { points })
+    }
+
+    /// Average precision: the area under the PR curve computed as the
+    /// standard step-wise sum `Σ (R_i − R_{i−1}) · P_i`.
+    pub fn average_precision(&self) -> f64 {
+        let mut ap = 0.0;
+        let mut prev_recall = 0.0;
+        for &(recall, precision) in &self.points {
+            ap += (recall - prev_recall) * precision;
+            prev_recall = recall;
+        }
+        ap
+    }
+
+    /// Precision at the smallest threshold reaching `recall` (or the last
+    /// point if never reached).
+    pub fn precision_at_recall(&self, recall: f64) -> f64 {
+        for &(r, p) in &self.points {
+            if r >= recall {
+                return p;
+            }
+        }
+        self.points.last().map_or(0.0, |&(_, p)| p)
+    }
+
+    /// The maximum F1 score over all thresholds.
+    pub fn best_f1(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(r, p)| {
+                if r + p > 0.0 {
+                    2.0 * r * p / (r + p)
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let curve = PrCurve::from_scores(&[0.9, 0.8], &[0.2, 0.1]).unwrap();
+        assert!((curve.average_precision() - 1.0).abs() < 1e-12);
+        assert_eq!(curve.precision_at_recall(1.0), 1.0);
+        assert!((curve.best_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_have_low_ap() {
+        let curve = PrCurve::from_scores(&[0.1, 0.2], &[0.8, 0.9]).unwrap();
+        assert!(curve.average_precision() < 0.6);
+    }
+
+    #[test]
+    fn interleaved_scores() {
+        // Ranking: pos(0.9), neg(0.8), pos(0.7), neg(0.6).
+        let curve = PrCurve::from_scores(&[0.9, 0.7], &[0.8, 0.6]).unwrap();
+        // AP = 0.5·1.0 (first pos) + 0.5·(2/3) (second pos).
+        assert!((curve.average_precision() - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-9);
+        assert!((curve.precision_at_recall(1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_grouped() {
+        let curve = PrCurve::from_scores(&[0.5], &[0.5, 0.5]).unwrap();
+        // One group containing everything: recall 1, precision 1/3.
+        assert_eq!(curve.points.len(), 1);
+        assert_eq!(curve.points[0], (1.0, 1.0 / 3.0));
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        assert!(PrCurve::from_scores(&[], &[0.1]).is_none());
+        assert!(PrCurve::from_scores(&[0.1], &[]).is_none());
+    }
+
+    #[test]
+    fn recall_is_monotone() {
+        let pos = [0.9, 0.7, 0.5, 0.3];
+        let neg = [0.8, 0.6, 0.4, 0.2, 0.15];
+        let curve = PrCurve::from_scores(&pos, &neg).unwrap();
+        for w in curve.points.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!((0.0..=1.0).contains(&curve.average_precision()));
+    }
+}

@@ -1,0 +1,135 @@
+//! Population-level property summaries (Figure 1 of the paper).
+//!
+//! "For each `t`, we summarize the persistence (resp. uniqueness) values
+//! using `μ_p(t), s_p(t)` — the mean and standard deviation of
+//! `{persistence_v(t) | v ∈ V}` (resp. `μ_u(t), s_u(t)` …). We display the
+//! span of persistence and uniqueness values as an ellipse."
+
+use serde::{Deserialize, Serialize};
+
+use comsig_core::distance::SignatureDistance;
+use comsig_core::SignatureSet;
+
+use crate::matcher::{pairwise_distances, self_distances};
+use crate::stats::Summary;
+
+/// One Figure-1 ellipse: the persistence/uniqueness span of one scheme
+/// under one distance function in one window pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ellipse {
+    /// Scheme name (e.g. `"RWR^3_0.1"`).
+    pub scheme: String,
+    /// Distance name (e.g. `"SHel"`).
+    pub distance: String,
+    /// Mean persistence `μ_p` (x centre).
+    pub mu_p: f64,
+    /// Persistence std-dev `s_p` (x diameter).
+    pub s_p: f64,
+    /// Mean uniqueness `μ_u` (y centre).
+    pub mu_u: f64,
+    /// Uniqueness std-dev `s_u` (y diameter).
+    pub s_u: f64,
+    /// Number of persistence samples (nodes in both windows).
+    pub n_persistence: usize,
+    /// Number of uniqueness samples (node pairs).
+    pub n_uniqueness: usize,
+}
+
+/// Persistence values `1 − Dist(σ_t(v), σ_{t+1}(v))` for every subject
+/// present in both window sets.
+pub fn persistence_values(
+    dist: &dyn SignatureDistance,
+    set_t: &SignatureSet,
+    set_t1: &SignatureSet,
+) -> Vec<f64> {
+    self_distances(dist, set_t, set_t1)
+        .into_iter()
+        .map(|(_, d)| 1.0 - d)
+        .collect()
+}
+
+/// Uniqueness values `Dist(σ_t(v), σ_t(u))` over all unordered subject
+/// pairs within one window set.
+pub fn uniqueness_values(dist: &dyn SignatureDistance, set_t: &SignatureSet) -> Vec<f64> {
+    pairwise_distances(dist, set_t)
+}
+
+/// Computes the Figure-1 ellipse for one `(scheme, distance)` cell.
+pub fn ellipse(
+    scheme_name: &str,
+    dist: &dyn SignatureDistance,
+    set_t: &SignatureSet,
+    set_t1: &SignatureSet,
+) -> Ellipse {
+    let p = persistence_values(dist, set_t, set_t1);
+    let u = uniqueness_values(dist, set_t);
+    let sp = Summary::of(&p);
+    let su = Summary::of(&u);
+    Ellipse {
+        scheme: scheme_name.to_owned(),
+        distance: dist.name().to_owned(),
+        mu_p: sp.mean,
+        s_p: sp.std,
+        mu_u: su.mean,
+        s_u: su.std,
+        n_persistence: sp.n,
+        n_uniqueness: su.n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::Jaccard;
+    use comsig_core::Signature;
+    use comsig_graph::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            ids.iter().map(|&i| (n(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    fn window(entries: Vec<(usize, Vec<usize>)>) -> SignatureSet {
+        let subjects: Vec<NodeId> = entries.iter().map(|&(v, _)| n(v)).collect();
+        let sigs = entries.iter().map(|(_, ids)| sig(ids)).collect();
+        SignatureSet::new(subjects, sigs)
+    }
+
+    #[test]
+    fn perfectly_stable_and_distinct_population() {
+        let t = window(vec![(0, vec![10]), (1, vec![20]), (2, vec![30])]);
+        let e = ellipse("TT", &Jaccard, &t, &t.clone());
+        assert_eq!(e.mu_p, 1.0);
+        assert_eq!(e.s_p, 0.0);
+        assert_eq!(e.mu_u, 1.0); // all pairs disjoint
+        assert_eq!(e.n_persistence, 3);
+        assert_eq!(e.n_uniqueness, 3);
+        assert_eq!(e.scheme, "TT");
+        assert_eq!(e.distance, "Jac");
+    }
+
+    #[test]
+    fn churning_population_loses_persistence() {
+        let t = window(vec![(0, vec![10]), (1, vec![20])]);
+        let t1 = window(vec![(0, vec![99]), (1, vec![20])]);
+        let p = persistence_values(&Jaccard, &t, &t1);
+        assert_eq!(p.len(), 2);
+        let e = ellipse("TT", &Jaccard, &t, &t1);
+        assert!((e.mu_p - 0.5).abs() < 1e-12);
+        assert!(e.s_p > 0.0);
+    }
+
+    #[test]
+    fn identical_population_has_zero_uniqueness() {
+        let t = window(vec![(0, vec![10]), (1, vec![10]), (2, vec![10])]);
+        let u = uniqueness_values(&Jaccard, &t);
+        assert!(u.iter().all(|&x| x == 0.0));
+    }
+}

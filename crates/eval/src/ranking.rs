@@ -1,0 +1,128 @@
+//! Distance-ranked candidate lists.
+//!
+//! "For each node `v` we computed `Dist(σ_t(v), σ_{t+1}(u))` for all
+//! `u ∈ V`, and returned a ranked list, where `u` with a smaller
+//! Dist-value to `v` was ranked higher" (Section IV-C). Rankings are the
+//! input to every ROC evaluation and to the masquerading detector's
+//! top-`ℓ` rule.
+
+use comsig_core::distance::SignatureDistance;
+use comsig_core::{Signature, SignatureSet};
+use comsig_graph::NodeId;
+
+/// A candidate list ranked by ascending distance to one query signature.
+///
+/// Ties are broken by ascending node id so rankings are deterministic.
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl Ranking {
+    /// Ranks every candidate in `candidates` by distance to `query`.
+    pub fn rank(
+        dist: &dyn SignatureDistance,
+        query: &Signature,
+        candidates: &SignatureSet,
+    ) -> Ranking {
+        let mut entries: Vec<(NodeId, f64)> = candidates
+            .iter()
+            .map(|(u, sig)| (u, dist.distance(query, sig)))
+            .collect();
+        entries.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("distances are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        Ranking { entries }
+    }
+
+    /// `(candidate, distance)` pairs, best (smallest distance) first.
+    pub fn entries(&self) -> &[(NodeId, f64)] {
+        &self.entries
+    }
+
+    /// Number of ranked candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// 0-based position of `u` in the ranking, if present.
+    pub fn position_of(&self, u: NodeId) -> Option<usize> {
+        self.entries.iter().position(|&(c, _)| c == u)
+    }
+
+    /// The distance recorded for candidate `u`, if present.
+    pub fn distance_of(&self, u: NodeId) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|&&(c, _)| c == u)
+            .map(|&(_, d)| d)
+    }
+
+    /// The best `l` candidates (the masquerading detector's "top-ℓ").
+    pub fn top(&self, l: usize) -> &[(NodeId, f64)] {
+        &self.entries[..l.min(self.entries.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::Jaccard;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            ids.iter().map(|&i| (n(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    fn candidate_set() -> SignatureSet {
+        SignatureSet::new(
+            vec![n(0), n(1), n(2)],
+            vec![sig(&[10, 11]), sig(&[10, 12]), sig(&[20, 21])],
+        )
+    }
+
+    #[test]
+    fn ranks_by_ascending_distance() {
+        let query = sig(&[10, 11]);
+        let r = Ranking::rank(&Jaccard, &query, &candidate_set());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.entries()[0].0, n(0)); // identical -> distance 0
+        assert_eq!(r.entries()[1].0, n(1)); // shares node 10
+        assert_eq!(r.entries()[2].0, n(2)); // disjoint
+        assert_eq!(r.position_of(n(2)), Some(2));
+        assert_eq!(r.distance_of(n(0)), Some(0.0));
+        assert_eq!(r.position_of(n(9)), None);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let query = sig(&[30]);
+        // All candidates are equally distant (distance 1).
+        let r = Ranking::rank(&Jaccard, &query, &candidate_set());
+        let order: Vec<_> = r.entries().iter().map(|&(u, _)| u).collect();
+        assert_eq!(order, vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn top_l_clamps() {
+        let query = sig(&[10, 11]);
+        let r = Ranking::rank(&Jaccard, &query, &candidate_set());
+        assert_eq!(r.top(2).len(), 2);
+        assert_eq!(r.top(10).len(), 3);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Rendering experiment results as text tables, CSV and JSON.
+//!
+//! The experiments binary mirrors the paper's figures as fixed-width text
+//! tables (one row per series); machine-readable CSV/JSON output lets the
+//! results be re-plotted or diffed.
+
+use std::fmt::Write as _;
+
+use serde_json::{Map, Value};
+
+/// A simple rectangular table of strings with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable items.
+    pub fn push_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |cells: &[String], out: &mut String| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Renders a JSON array of objects keyed by header.
+    pub fn to_json(&self) -> Value {
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut obj = Map::new();
+                for (h, c) in self.headers.iter().zip(row) {
+                    // Numbers stay numbers where they parse.
+                    let v = c
+                        .parse::<f64>()
+                        .ok()
+                        .and_then(serde_json::Number::from_f64)
+                        .map(Value::Number)
+                        .unwrap_or_else(|| Value::String(c.clone()));
+                    obj.insert(h.clone(), v);
+                }
+                Value::Object(obj)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert("title".to_owned(), Value::String(self.title.clone()));
+        root.insert("rows".to_owned(), Value::Array(rows));
+        Value::Object(root)
+    }
+}
+
+/// Formats a float with 4 decimal places — the paper's AUC precision.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("AUC", &["scheme", "Jac", "Dice"]);
+        t.push_row(vec!["TT".into(), "0.9086".into(), "0.9093".into()]);
+        t.push_row(vec!["UT".into(), "0.8827".into(), "0.8826".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        assert!(text.contains("== AUC =="));
+        assert!(text.contains("scheme"));
+        let lines: Vec<&str> = text.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].starts_with('-'));
+    }
+
+    #[test]
+    fn csv_round_trips_simple_cells() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("scheme,Jac,Dice\n"));
+        assert!(csv.contains("TT,0.9086,0.9093"));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["hello, \"world\"".into()]);
+        assert!(t.to_csv().contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    fn json_parses_numbers() {
+        let json = sample().to_json();
+        let rows = json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["scheme"], "TT");
+        assert!((rows[0]["Jac"].as_f64().unwrap() - 0.9086).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f4(0.90856), "0.9086");
+        assert_eq!(f3(0.5), "0.500");
+    }
+}

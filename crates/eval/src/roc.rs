@@ -1,0 +1,370 @@
+//! ROC curves and AUC (Section IV-C of the paper).
+//!
+//! The paper's self-identification methodology: given `G_t` and `G_{t+1}`,
+//! compute `Dist(σ_t(v), σ_{t+1}(u))` for all `u`, rank ascending, and
+//! traverse the ranked list — up on the target, right on a non-target.
+//! "If the AUC is 0.5, the signature scheme is no better than random
+//! selection; higher AUC values indicate better accuracy, up to 1."
+//!
+//! Distances act as *scores where smaller means "predicted match"*. Ties
+//! are handled with the standard Mann–Whitney ½-credit so that an
+//! uninformative constant scheme scores exactly 0.5 instead of an
+//! order-dependent value.
+
+use rayon::prelude::*;
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+use comsig_core::distance::SignatureDistance;
+use comsig_core::SignatureSet;
+use comsig_graph::NodeId;
+
+/// AUC from positive-class and negative-class distance samples:
+/// `P(pos < neg) + ½·P(pos = neg)`. Positives are the distances of true
+/// matches (expected small), negatives of non-matches.
+///
+/// Returns `None` when either class is empty.
+pub fn auc(pos: &[f64], neg: &[f64]) -> Option<f64> {
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    let mut sorted_neg = neg.to_vec();
+    sorted_neg.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    let mut wins = 0.0f64;
+    for &p in pos {
+        // negatives strictly greater than p
+        let gt = sorted_neg.len() - upper_bound(&sorted_neg, p);
+        let ge = sorted_neg.len() - lower_bound(&sorted_neg, p);
+        let eq = ge - gt;
+        wins += gt as f64 + 0.5 * eq as f64;
+    }
+    Some(wins / (pos.len() as f64 * neg.len() as f64))
+}
+
+fn lower_bound(xs: &[f64], v: f64) -> usize {
+    xs.partition_point(|&x| x < v)
+}
+
+fn upper_bound(xs: &[f64], v: f64) -> usize {
+    xs.partition_point(|&x| x <= v)
+}
+
+/// A ROC curve as `(false-positive-rate, true-positive-rate)` points,
+/// starting at `(0,0)` and ending at `(1,1)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// `(fpr, tpr)` points with non-decreasing coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl RocCurve {
+    /// Builds the curve from positive/negative distance samples. Tied
+    /// distances are traversed as a single diagonal segment, matching the
+    /// ½-credit AUC.
+    pub fn from_samples(pos: &[f64], neg: &[f64]) -> RocCurve {
+        let mut all: Vec<(f64, bool)> = pos
+            .iter()
+            .map(|&d| (d, true))
+            .chain(neg.iter().map(|&d| (d, false)))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are finite"));
+        let np = pos.len().max(1) as f64;
+        let nn = neg.len().max(1) as f64;
+
+        let mut points = vec![(0.0, 0.0)];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < all.len() {
+            let mut j = i;
+            while j < all.len() && all[j].0 == all[i].0 {
+                if all[j].1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                j += 1;
+            }
+            points.push((fp as f64 / nn, tp as f64 / np));
+            i = j;
+        }
+        if points.last() != Some(&(1.0, 1.0)) {
+            points.push((1.0, 1.0));
+        }
+        RocCurve { points }
+    }
+
+    /// Area under the curve (trapezoidal rule). Equals the Mann–Whitney
+    /// [`auc`] on the same samples.
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            area += (x1 - x0) * (y0 + y1) / 2.0;
+        }
+        area
+    }
+
+    /// TPR at a given FPR by linear interpolation.
+    pub fn tpr_at(&self, fpr: f64) -> f64 {
+        let fpr = fpr.clamp(0.0, 1.0);
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if fpr <= x1 {
+                if x1 == x0 {
+                    return y1;
+                }
+                let t = (fpr - x0) / (x1 - x0);
+                return y0 + t * (y1 - y0);
+            }
+        }
+        1.0
+    }
+
+    /// Resamples the curve onto a uniform FPR grid of `n` points
+    /// (inclusive of 0 and 1).
+    pub fn resample(&self, n: usize) -> RocCurve {
+        assert!(n >= 2, "need at least 2 grid points");
+        let points = (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64;
+                (x, self.tpr_at(x))
+            })
+            .collect();
+        RocCurve { points }
+    }
+
+    /// Averages several curves pointwise on a uniform FPR grid — the
+    /// paper's "average ROC curve over all v".
+    pub fn average(curves: &[RocCurve], grid: usize) -> RocCurve {
+        assert!(!curves.is_empty(), "cannot average zero curves");
+        assert!(grid >= 2, "need at least 2 grid points");
+        let points = (0..grid)
+            .map(|i| {
+                let x = i as f64 / (grid - 1) as f64;
+                let y =
+                    curves.iter().map(|c| c.tpr_at(x)).sum::<f64>() / curves.len() as f64;
+                (x, y)
+            })
+            .collect();
+        RocCurve { points }
+    }
+}
+
+/// Result of a self-identification evaluation between two windows.
+#[derive(Debug, Clone)]
+pub struct SelfMatch {
+    /// Per-query AUC, in query subject order (only queries present in the
+    /// candidate set are evaluated).
+    pub per_query: Vec<(NodeId, f64)>,
+    /// Mean AUC over all queries — the number reported in Figure 3.
+    pub mean_auc: f64,
+    /// The average ROC curve — the series plotted in Figure 2.
+    pub mean_curve: RocCurve,
+}
+
+/// Runs the paper's self-identification ROC: each query `v` from
+/// `queries` (signatures at time `t`) is matched against every candidate
+/// in `candidates` (signatures at `t+1`, or a perturbed window for the
+/// robustness variant of Figure 4); the sole target is `v` itself.
+pub fn self_identification(
+    dist: &dyn SignatureDistance,
+    queries: &SignatureSet,
+    candidates: &SignatureSet,
+) -> SelfMatch {
+    let results: Vec<(NodeId, f64, RocCurve)> = queries
+        .subjects()
+        .par_iter()
+        .filter_map(|&v| {
+            let q = queries.get(v).expect("subject has a signature");
+            candidates.get(v)?; // target must exist among candidates
+            let mut pos = Vec::with_capacity(1);
+            let mut neg = Vec::with_capacity(candidates.len().saturating_sub(1));
+            for (u, sig) in candidates.iter() {
+                let d = dist.distance(q, sig);
+                if u == v {
+                    pos.push(d);
+                } else {
+                    neg.push(d);
+                }
+            }
+            let a = auc(&pos, &neg)?;
+            Some((v, a, RocCurve::from_samples(&pos, &neg)))
+        })
+        .collect();
+
+    let per_query: Vec<(NodeId, f64)> = results.iter().map(|&(v, a, _)| (v, a)).collect();
+    let mean_auc = if per_query.is_empty() {
+        0.0
+    } else {
+        per_query.iter().map(|&(_, a)| a).sum::<f64>() / per_query.len() as f64
+    };
+    let curves: Vec<RocCurve> = results.into_iter().map(|(_, _, c)| c).collect();
+    let mean_curve = if curves.is_empty() {
+        RocCurve {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        }
+    } else {
+        RocCurve::average(&curves, 101)
+    };
+    SelfMatch {
+        per_query,
+        mean_auc,
+        mean_curve,
+    }
+}
+
+/// Multi-target ROC for ground-truth sets (the multiusage evaluation of
+/// Figure 5): the query `v`'s targets are the *other* members of its
+/// ground-truth set `S_u`; every non-member is a negative.
+///
+/// The paper ranks all `w ∈ V` including `v` itself; since
+/// `Dist(σ(v), σ(v)) = 0` for every scheme, that self-hit carries no
+/// information, so we exclude the query and use steps of `1/|S_u∖{v}|`.
+///
+/// Returns `None` if `v` has no signature, no co-targets, or no negatives.
+pub fn multi_target_auc(
+    dist: &dyn SignatureDistance,
+    query: NodeId,
+    targets: &FxHashSet<NodeId>,
+    candidates: &SignatureSet,
+) -> Option<(f64, RocCurve)> {
+    let q = candidates.get(query)?;
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (u, sig) in candidates.iter() {
+        if u == query {
+            continue;
+        }
+        let d = dist.distance(q, sig);
+        if targets.contains(&u) {
+            pos.push(d);
+        } else {
+            neg.push(d);
+        }
+    }
+    let a = auc(&pos, &neg)?;
+    Some((a, RocCurve::from_samples(&pos, &neg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::Jaccard;
+    use comsig_core::Signature;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        assert_eq!(auc(&[0.1], &[0.5, 0.9]), Some(1.0));
+        assert_eq!(auc(&[0.9], &[0.1, 0.2]), Some(0.0));
+        // All tied -> exactly 0.5.
+        assert_eq!(auc(&[0.5], &[0.5, 0.5]), Some(0.5));
+        assert_eq!(auc(&[], &[0.5]), None);
+        assert_eq!(auc(&[0.5], &[]), None);
+    }
+
+    #[test]
+    fn auc_with_partial_ties() {
+        // pos 0.3 beats 0.5, ties 0.3, loses to 0.1 -> (1 + 0.5)/3
+        let a = auc(&[0.3], &[0.5, 0.3, 0.1]).unwrap();
+        assert!((a - 1.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_auc_matches_mann_whitney() {
+        let pos = [0.1, 0.4, 0.4];
+        let neg = [0.2, 0.4, 0.8, 0.9];
+        let c = RocCurve::from_samples(&pos, &neg);
+        let mw = auc(&pos, &neg).unwrap();
+        assert!((c.auc() - mw).abs() < 1e-12, "{} vs {}", c.auc(), mw);
+    }
+
+    #[test]
+    fn curve_endpoints_and_interpolation() {
+        let c = RocCurve::from_samples(&[0.1], &[0.5]);
+        assert_eq!(c.points.first(), Some(&(0.0, 0.0)));
+        assert_eq!(c.points.last(), Some(&(1.0, 1.0)));
+        assert_eq!(c.tpr_at(0.0), 1.0); // target ranked before any negative
+        assert_eq!(c.tpr_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn resample_preserves_auc_approximately() {
+        let c = RocCurve::from_samples(&[0.1, 0.3], &[0.2, 0.5, 0.7]);
+        let r = c.resample(201);
+        assert!((c.auc() - r.auc()).abs() < 0.01);
+        assert_eq!(r.points.len(), 201);
+    }
+
+    #[test]
+    fn average_of_identical_curves_is_identity() {
+        let c = RocCurve::from_samples(&[0.1], &[0.5, 0.9]);
+        let avg = RocCurve::average(&[c.clone(), c.clone()], 51);
+        assert!((avg.auc() - c.auc()).abs() < 1e-9);
+    }
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            ids.iter().map(|&i| (n(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    #[test]
+    fn self_identification_perfect_when_stable() {
+        // Two windows with identical signatures -> every query matches
+        // itself at distance 0 and everyone else at distance 1.
+        let t = SignatureSet::new(
+            vec![n(0), n(1), n(2)],
+            vec![sig(&[10]), sig(&[20]), sig(&[30])],
+        );
+        let result = self_identification(&Jaccard, &t, &t.clone());
+        assert_eq!(result.per_query.len(), 3);
+        assert!((result.mean_auc - 1.0).abs() < 1e-12);
+        assert!(result.mean_curve.tpr_at(0.0) > 0.99);
+    }
+
+    #[test]
+    fn self_identification_chance_when_uninformative() {
+        // Every node has the same signature in both windows: all
+        // distances tie at 0, so AUC must be exactly 0.5.
+        let t = SignatureSet::new(
+            vec![n(0), n(1), n(2), n(3)],
+            vec![sig(&[10]); 4],
+        );
+        let result = self_identification(&Jaccard, &t, &t.clone());
+        assert!((result.mean_auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_identification_skips_absent_targets() {
+        let t = SignatureSet::new(vec![n(0), n(7)], vec![sig(&[10]), sig(&[20])]);
+        let t1 = SignatureSet::new(vec![n(0), n(1)], vec![sig(&[10]), sig(&[30])]);
+        let result = self_identification(&Jaccard, &t, &t1);
+        assert_eq!(result.per_query.len(), 1); // n(7) has no candidate self
+        assert_eq!(result.per_query[0].0, n(0));
+    }
+
+    #[test]
+    fn multi_target_separates_group() {
+        // Nodes 0 and 1 are the same individual (similar sigs); 2, 3 differ.
+        let set = SignatureSet::new(
+            vec![n(0), n(1), n(2), n(3)],
+            vec![sig(&[10, 11]), sig(&[10, 12]), sig(&[20]), sig(&[30])],
+        );
+        let targets: FxHashSet<NodeId> = [n(0), n(1)].into_iter().collect();
+        let (a, curve) = multi_target_auc(&Jaccard, n(0), &targets, &set).unwrap();
+        assert_eq!(a, 1.0);
+        assert!(curve.auc() > 0.99);
+        // Query with no co-targets yields None.
+        let lone: FxHashSet<NodeId> = [n(2)].into_iter().collect();
+        assert!(multi_target_auc(&Jaccard, n(2), &lone, &set).is_none());
+    }
+}

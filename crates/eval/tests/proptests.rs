@@ -1,0 +1,88 @@
+//! Property-based tests for the evaluation machinery.
+
+use comsig_eval::roc::{auc, RocCurve};
+use comsig_eval::stats::{histogram, quantile, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// The trapezoidal area under the step curve equals the Mann–Whitney
+    /// statistic, for arbitrary samples with arbitrary ties.
+    #[test]
+    fn curve_auc_equals_mann_whitney(
+        pos in prop::collection::vec(0.0f64..1.0, 1..20),
+        neg in prop::collection::vec(0.0f64..1.0, 1..40),
+    ) {
+        // Coarsen to one decimal to force plenty of ties.
+        let pos: Vec<f64> = pos.iter().map(|x| (x * 10.0).round() / 10.0).collect();
+        let neg: Vec<f64> = neg.iter().map(|x| (x * 10.0).round() / 10.0).collect();
+        let mw = auc(&pos, &neg).unwrap();
+        let curve = RocCurve::from_samples(&pos, &neg);
+        prop_assert!((curve.auc() - mw).abs() < 1e-9, "{} vs {}", curve.auc(), mw);
+        prop_assert!((0.0..=1.0).contains(&mw));
+    }
+
+    /// ROC curves are monotone non-decreasing in both coordinates and
+    /// anchored at (0,0) and (1,1).
+    #[test]
+    fn curves_are_monotone(
+        pos in prop::collection::vec(0.0f64..1.0, 1..15),
+        neg in prop::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let curve = RocCurve::from_samples(&pos, &neg);
+        prop_assert_eq!(curve.points.first().copied(), Some((0.0, 0.0)));
+        prop_assert_eq!(curve.points.last().copied(), Some((1.0, 1.0)));
+        for w in curve.points.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 - 1e-12);
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        // Interpolation stays in range everywhere.
+        for i in 0..=20 {
+            let y = curve.tpr_at(i as f64 / 20.0);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&y));
+        }
+    }
+
+    /// Swapping the positive and negative classes mirrors the AUC.
+    #[test]
+    fn auc_antisymmetric_under_class_swap(
+        pos in prop::collection::vec(0.0f64..1.0, 1..15),
+        neg in prop::collection::vec(0.0f64..1.0, 1..15),
+    ) {
+        let a = auc(&pos, &neg).unwrap();
+        let b = auc(&neg, &pos).unwrap();
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    /// Summary statistics: mean within min/max, std non-negative, and both
+    /// invariant under permutation.
+    #[test]
+    fn summary_invariants(mut xs in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let s1 = Summary::of(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s1.mean >= lo - 1e-9 && s1.mean <= hi + 1e-9);
+        prop_assert!(s1.std >= 0.0);
+        xs.reverse();
+        let s2 = Summary::of(&xs);
+        prop_assert!((s1.mean - s2.mean).abs() < 1e-9);
+        prop_assert!((s1.std - s2.std).abs() < 1e-9);
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(xs in prop::collection::vec(-10.0f64..10.0, 1..40)) {
+        let q25 = quantile(&xs, 0.25).unwrap();
+        let q50 = quantile(&xs, 0.5).unwrap();
+        let q75 = quantile(&xs, 0.75).unwrap();
+        prop_assert!(q25 <= q50 + 1e-12 && q50 <= q75 + 1e-12);
+        prop_assert!(quantile(&xs, 0.0).unwrap() <= q25 + 1e-12);
+        prop_assert!(q75 <= quantile(&xs, 1.0).unwrap() + 1e-12);
+    }
+
+    /// Histograms conserve mass.
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-2.0f64..3.0, 0..60)) {
+        let h = histogram(&xs, 0.0, 1.0, 7);
+        prop_assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+}

@@ -1,0 +1,197 @@
+//! Bipartite node partitions.
+//!
+//! Many communication graphs are naturally bipartite (Section II-B of the
+//! paper): clients × servers, users × tables, customers × movies. A
+//! [`Partition`] assigns each node to a class; signature schemes restrict
+//! the signature of a [`NodeClass::Left`] node to [`NodeClass::Right`]
+//! members when asked to.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::CommGraph;
+use crate::node::NodeId;
+use crate::GraphError;
+
+/// Which side of a bipartite graph a node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeClass {
+    /// The "source" class `V_1` (e.g. monitored local hosts, users).
+    Left,
+    /// The "destination" class `V_2` (e.g. external hosts, tables).
+    Right,
+}
+
+/// Assignment of every node to a bipartite class.
+///
+/// ```
+/// use comsig_graph::{NodeClass, Partition, NodeId};
+///
+/// // First 2 nodes are local hosts, remaining 3 are external.
+/// let p = Partition::split_at(5, 2);
+/// assert_eq!(p.class(NodeId::new(1)), NodeClass::Left);
+/// assert_eq!(p.class(NodeId::new(2)), NodeClass::Right);
+/// assert_eq!(p.left_count(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    classes: Vec<NodeClass>,
+    left_count: usize,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit class vector.
+    pub fn new(classes: Vec<NodeClass>) -> Self {
+        let left_count = classes.iter().filter(|&&c| c == NodeClass::Left).count();
+        Partition {
+            classes,
+            left_count,
+        }
+    }
+
+    /// Builds the common layout where node ids `0..boundary` are
+    /// [`NodeClass::Left`] and `boundary..n` are [`NodeClass::Right`].
+    ///
+    /// # Panics
+    /// Panics if `boundary > n`.
+    pub fn split_at(n: usize, boundary: usize) -> Self {
+        assert!(boundary <= n, "boundary {boundary} exceeds node count {n}");
+        let mut classes = vec![NodeClass::Right; n];
+        classes[..boundary].fill(NodeClass::Left);
+        Partition {
+            classes,
+            left_count: boundary,
+        }
+    }
+
+    /// The class of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the partition's node space.
+    #[inline]
+    pub fn class(&self, v: NodeId) -> NodeClass {
+        self.classes[v.index()]
+    }
+
+    /// Whether `v` is in the left class.
+    #[inline]
+    pub fn is_left(&self, v: NodeId) -> bool {
+        self.class(v) == NodeClass::Left
+    }
+
+    /// Number of nodes in this partition's node space.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the partition covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Number of left-class nodes `|V_1|`.
+    pub fn left_count(&self) -> usize {
+        self.left_count
+    }
+
+    /// Number of right-class nodes `|V_2|`.
+    pub fn right_count(&self) -> usize {
+        self.classes.len() - self.left_count
+    }
+
+    /// Iterates over left-class node ids.
+    pub fn left_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == NodeClass::Left)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Iterates over right-class node ids.
+    pub fn right_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == NodeClass::Right)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Verifies that every edge of `g` crosses the partition from left to
+    /// right (the bipartite constraint `E_t ⊆ V_1 × V_2`).
+    pub fn validate(&self, g: &CommGraph) -> Result<(), GraphError> {
+        for e in g.edges() {
+            if !self.is_left(e.src) || self.is_left(e.dst) {
+                return Err(GraphError::BipartiteViolation {
+                    src: e.src.index(),
+                    dst: e.dst.index(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn split_at_layout() {
+        let p = Partition::split_at(4, 2);
+        assert!(p.is_left(n(0)) && p.is_left(n(1)));
+        assert!(!p.is_left(n(2)) && !p.is_left(n(3)));
+        assert_eq!(p.left_count(), 2);
+        assert_eq!(p.right_count(), 2);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn explicit_classes() {
+        let p = Partition::new(vec![NodeClass::Right, NodeClass::Left, NodeClass::Left]);
+        assert_eq!(p.left_count(), 2);
+        let lefts: Vec<_> = p.left_nodes().collect();
+        assert_eq!(lefts, vec![n(1), n(2)]);
+        let rights: Vec<_> = p.right_nodes().collect();
+        assert_eq!(rights, vec![n(0)]);
+    }
+
+    #[test]
+    fn validate_accepts_bipartite() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(2), 1.0);
+        b.add_event(n(1), n(3), 1.0);
+        let g = b.build(4);
+        let p = Partition::split_at(4, 2);
+        assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_within_class_edge() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 1.0); // left -> left
+        let g = b.build(4);
+        let p = Partition::split_at(4, 2);
+        assert!(p.validate(&g).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_reversed_edge() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(3), n(0), 1.0); // right -> left
+        let g = b.build(4);
+        let p = Partition::split_at(4, 2);
+        assert!(p.validate(&g).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary")]
+    fn split_at_rejects_bad_boundary() {
+        let _ = Partition::split_at(2, 3);
+    }
+}

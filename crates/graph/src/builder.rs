@@ -1,0 +1,193 @@
+//! Accumulating communication events into an aggregated weighted digraph.
+
+use rustc_hash::FxHashMap;
+
+use crate::edge::{Edge, Weight};
+use crate::graph::CommGraph;
+use crate::node::NodeId;
+
+/// Builds a [`CommGraph`] by aggregating communication events.
+///
+/// Events between the same ordered pair are summed, matching the paper's
+/// model where `C[v, u]` is the total volume (e.g. number of TCP sessions)
+/// observed in the window.
+///
+/// The builder is deliberately tolerant: it accepts events in any order and
+/// any multiplicity, and only materialises the CSR representation once, at
+/// [`build`](GraphBuilder::build) time.
+///
+/// ```
+/// use comsig_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_event(NodeId::new(0), NodeId::new(1), 1.0);
+/// b.add_event(NodeId::new(0), NodeId::new(1), 2.0);
+/// b.add_event(NodeId::new(1), NodeId::new(0), 4.0);
+/// let g = b.build(2);
+/// assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(3.0));
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    weights: FxHashMap<(NodeId, NodeId), Weight>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder sized for roughly `n` distinct edges.
+    pub fn with_edge_capacity(n: usize) -> Self {
+        GraphBuilder {
+            weights: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    /// Records a communication event from `src` to `dst` carrying `weight`
+    /// units of volume. Events aggregate additively; self-loops are ignored
+    /// (a node does not communicate with itself in the paper's model, and
+    /// Definition 1 excludes `u = v` from signatures).
+    ///
+    /// Non-finite or negative weights are ignored rather than poisoning the
+    /// aggregate; use [`try_add_event`](GraphBuilder::try_add_event) to
+    /// surface them as errors.
+    pub fn add_event(&mut self, src: NodeId, dst: NodeId, weight: Weight) {
+        if src == dst || !weight.is_finite() || weight <= 0.0 {
+            return;
+        }
+        *self.weights.entry((src, dst)).or_insert(0.0) += weight;
+    }
+
+    /// Like [`add_event`](GraphBuilder::add_event) but reports invalid
+    /// weights instead of skipping them. Self-loops are still skipped
+    /// silently (they are well-formed input, just irrelevant).
+    pub fn try_add_event(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        weight: Weight,
+    ) -> Result<(), crate::GraphError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(crate::GraphError::InvalidWeight { weight });
+        }
+        self.add_event(src, dst, weight);
+        Ok(())
+    }
+
+    /// Adds every edge of an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = Edge>>(&mut self, edges: I) {
+        for e in edges {
+            self.add_event(e.src, e.dst, e.weight);
+        }
+    }
+
+    /// Number of distinct directed edges accumulated so far.
+    pub fn num_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Largest node index referenced so far, if any edge exists.
+    pub fn max_node_index(&self) -> Option<usize> {
+        self.weights
+            .keys()
+            .map(|&(s, d)| s.index().max(d.index()))
+            .max()
+    }
+
+    /// Consumes the builder and produces an immutable [`CommGraph`] over a
+    /// node space of size `num_nodes`.
+    ///
+    /// # Panics
+    /// Panics if any accumulated edge references a node `>= num_nodes`;
+    /// this is a programming error (the caller controls both the interner
+    /// and the events).
+    pub fn build(self, num_nodes: usize) -> CommGraph {
+        let mut edges: Vec<Edge> = self
+            .weights
+            .into_iter()
+            .map(|((src, dst), weight)| Edge { src, dst, weight })
+            .collect();
+        // Deterministic order regardless of hash-map iteration order.
+        edges.sort_unstable_by_key(|e| (e.src, e.dst));
+        CommGraph::from_sorted_edges(num_nodes, edges)
+    }
+
+    /// Consumes the builder and produces a graph sized to the largest node
+    /// index observed (`max + 1`), or an empty graph if no edges exist.
+    pub fn build_auto(self) -> CommGraph {
+        let n = self.max_node_index().map_or(0, |m| m + 1);
+        self.build(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn aggregates_parallel_events() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 1.0);
+        b.add_event(n(0), n(1), 2.5);
+        let g = b.build(2);
+        assert_eq!(g.edge_weight(n(0), n(1)), Some(3.5));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn ignores_self_loops_and_bad_weights() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(0), 5.0);
+        b.add_event(n(0), n(1), f64::NAN);
+        b.add_event(n(0), n(1), -3.0);
+        b.add_event(n(0), n(1), 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn try_add_event_reports_invalid() {
+        let mut b = GraphBuilder::new();
+        assert!(b.try_add_event(n(0), n(1), f64::INFINITY).is_err());
+        assert!(b.try_add_event(n(0), n(1), -1.0).is_err());
+        assert!(b.try_add_event(n(0), n(1), 2.0).is_ok());
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn extend_edges_and_auto_build() {
+        let mut b = GraphBuilder::new();
+        b.extend_edges(vec![Edge::new(n(3), n(1), 1.0), Edge::new(n(1), n(2), 2.0)]);
+        assert_eq!(b.max_node_index(), Some(3));
+        let g = b.build_auto();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new().build(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        let g = GraphBuilder::new().build_auto();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index")]
+    fn build_panics_on_out_of_range() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(5), 1.0);
+        let _ = b.build(2);
+    }
+}

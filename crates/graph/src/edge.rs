@@ -1,0 +1,80 @@
+//! Edge and event types.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// Edge weight type: the communication "volume" `C[v, u]` of the paper —
+/// e.g. number of TCP sessions, calls, or table accesses in a window.
+///
+/// Weights are `f64` rather than integer counts so that derived graphs
+/// (time-decayed combinations, normalised transition weights, perturbed
+/// graphs) stay in the same representation.
+pub type Weight = f64;
+
+/// A directed, weighted, aggregated edge `(src → dst, weight)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Aggregated communication volume from `src` to `dst`.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    pub fn new(src: NodeId, dst: NodeId, weight: Weight) -> Self {
+        Edge { src, dst, weight }
+    }
+}
+
+/// A single timestamped communication event, before aggregation.
+///
+/// A stream of events is what a monitoring point actually observes (one
+/// flow record, one call record, one query). [`window`](crate::window)
+/// aggregates events into per-window [`CommGraph`](crate::CommGraph)s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeEvent {
+    /// Event timestamp (opaque units; windowing only compares/buckets it).
+    pub time: u64,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Volume carried by this single event (usually `1.0`).
+    pub weight: Weight,
+}
+
+impl EdgeEvent {
+    /// Convenience constructor for a unit-weight event.
+    pub fn unit(time: u64, src: NodeId, dst: NodeId) -> Self {
+        EdgeEvent {
+            time,
+            src,
+            dst,
+            weight: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructor() {
+        let e = Edge::new(NodeId::new(1), NodeId::new(2), 3.5);
+        assert_eq!(e.src.index(), 1);
+        assert_eq!(e.dst.index(), 2);
+        assert_eq!(e.weight, 3.5);
+    }
+
+    #[test]
+    fn unit_event() {
+        let ev = EdgeEvent::unit(7, NodeId::new(0), NodeId::new(1));
+        assert_eq!(ev.time, 7);
+        assert_eq!(ev.weight, 1.0);
+    }
+}

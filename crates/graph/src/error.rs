@@ -1,0 +1,106 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced a node outside the declared node space.
+    NodeOutOfRange {
+        /// The offending node index.
+        index: usize,
+        /// The declared number of nodes.
+        num_nodes: usize,
+    },
+    /// An edge weight was non-finite or negative.
+    InvalidWeight {
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what failed.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A bipartite constraint was violated (edge within one node class).
+    BipartiteViolation {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { index, num_nodes } => {
+                write!(f, "node index {index} out of range (|V| = {num_nodes})")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} is not finite and non-negative")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::BipartiteViolation { src, dst } => {
+                write!(
+                    f,
+                    "edge {src} -> {dst} connects nodes in the same bipartite class"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange {
+            index: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::InvalidWeight { weight: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::BipartiteViolation { src: 1, dst: 2 };
+        assert!(e.to_string().contains("bipartite"));
+    }
+
+    #[test]
+    fn io_error_source() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Fenwick-tree weighted sampler.
+//!
+//! The robustness perturbation model (Section IV-C) repeatedly samples an
+//! existing edge *proportional to its current weight* and decrements it.
+//! A Fenwick (binary indexed) tree over edge weights supports both the
+//! weighted sample and the point update in `O(log m)`, keeping a
+//! `β·|E|`-step deletion pass near-linear.
+
+/// A dynamic distribution over items `0..n` supporting weighted sampling
+/// and weight updates in logarithmic time.
+///
+/// ```
+/// use comsig_graph::perturb::WeightedSampler;
+///
+/// let mut s = WeightedSampler::new(&[1.0, 0.0, 3.0]);
+/// assert_eq!(s.total(), 4.0);
+/// assert_eq!(s.sample_at(0.5), Some(0));  // mass in [0,1) -> item 0
+/// assert_eq!(s.sample_at(2.0), Some(2));  // mass in [1,4) -> item 2
+/// s.add(2, -3.0);
+/// assert_eq!(s.sample_at(0.5), Some(0));
+/// assert_eq!(s.total(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    tree: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl WeightedSampler {
+    /// Builds a sampler over the given non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite.
+    pub fn new(weights: &[f64]) -> Self {
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be >= 0, got {w}");
+        }
+        let n = weights.len();
+        let mut tree = vec![0.0; n + 1];
+        // O(n) Fenwick construction.
+        for i in 0..n {
+            tree[i + 1] += weights[i];
+            let parent = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if parent <= n {
+                let v = tree[i + 1];
+                tree[parent] += v;
+            }
+        }
+        WeightedSampler {
+            tree,
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the sampler has no items.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current weight of item `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Total mass currently in the distribution.
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut i = self.weights.len();
+        while i > 0 {
+            sum += self.tree[i];
+            i &= i - 1;
+        }
+        sum
+    }
+
+    /// Adds `delta` to the weight of item `i`, clamping at zero (tiny
+    /// negative residue from floating-point cancellation is treated as 0).
+    pub fn add(&mut self, i: usize, delta: f64) {
+        let new = (self.weights[i] + delta).max(0.0);
+        let applied = new - self.weights[i];
+        self.weights[i] = new;
+        let mut k = i + 1;
+        while k <= self.weights.len() {
+            self.tree[k] += applied;
+            k += k & k.wrapping_neg();
+        }
+    }
+
+    /// Returns the item whose cumulative-weight interval contains `mass`
+    /// (`0 <= mass < total()`), or `None` if the distribution is empty /
+    /// `mass` exceeds the total.
+    ///
+    /// Deterministic given `mass`; callers draw `mass` uniformly from
+    /// `[0, total())` to sample proportionally to weight.
+    pub fn sample_at(&self, mass: f64) -> Option<usize> {
+        if self.weights.is_empty() || mass < 0.0 || mass >= self.total() {
+            return None;
+        }
+        let mut idx = 0usize;
+        let mut remaining = mass;
+        let mut bit = self.weights.len().next_power_of_two();
+        while bit > 0 {
+            let next = idx + bit;
+            if next <= self.weights.len() && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                idx = next;
+            }
+            bit >>= 1;
+        }
+        // idx is the count of items whose cumulative weight is <= mass.
+        if idx < self.weights.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Samples an item proportionally to weight using `rng`, or `None` if
+    /// all mass is gone.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if total <= 0.0 {
+            return None;
+        }
+        // Retry on the (measure-zero, float-rounding) failure cases.
+        for _ in 0..8 {
+            let mass = rng.random_range(0.0..total);
+            if let Some(i) = self.sample_at(mass) {
+                if self.weights[i] > 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        // Fall back to a linear scan — unreachable in practice.
+        self.weights.iter().position(|&w| w > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_total() {
+        let s = WeightedSampler::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 4);
+        assert!((s.total() - 10.0).abs() < 1e-12);
+        assert_eq!(s.weight(2), 3.0);
+    }
+
+    #[test]
+    fn sample_at_boundaries() {
+        let s = WeightedSampler::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.sample_at(0.0), Some(0));
+        assert_eq!(s.sample_at(0.999), Some(0));
+        assert_eq!(s.sample_at(1.0), Some(1));
+        assert_eq!(s.sample_at(2.999), Some(1));
+        assert_eq!(s.sample_at(3.0), Some(2));
+        assert_eq!(s.sample_at(5.999), Some(2));
+        assert_eq!(s.sample_at(6.0), None);
+        assert_eq!(s.sample_at(-0.1), None);
+    }
+
+    #[test]
+    fn zero_weight_items_skipped() {
+        let s = WeightedSampler::new(&[0.0, 5.0, 0.0]);
+        assert_eq!(s.sample_at(0.0), Some(1));
+        assert_eq!(s.sample_at(4.9), Some(1));
+    }
+
+    #[test]
+    fn updates_shift_mass() {
+        let mut s = WeightedSampler::new(&[2.0, 2.0]);
+        s.add(0, -2.0);
+        assert_eq!(s.sample_at(0.5), Some(1));
+        assert!((s.total() - 2.0).abs() < 1e-12);
+        s.add(0, 1.0);
+        assert_eq!(s.sample_at(0.5), Some(0));
+    }
+
+    #[test]
+    fn add_clamps_at_zero() {
+        let mut s = WeightedSampler::new(&[1.0]);
+        s.add(0, -5.0);
+        assert_eq!(s.weight(0), 0.0);
+        assert!(s.total().abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn empty_sampler() {
+        let s = WeightedSampler::new(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.sample_at(0.0), None);
+        assert_eq!(s.total(), 0.0);
+    }
+
+    #[test]
+    fn sampling_respects_proportions() {
+        let s = WeightedSampler::new(&[1.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            counts[s.sample(&mut rng).unwrap()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.0..4.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be")]
+    fn negative_weight_rejected() {
+        let _ = WeightedSampler::new(&[1.0, -1.0]);
+    }
+}

@@ -1,0 +1,374 @@
+//! The immutable CSR communication graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::edge::{Edge, Weight};
+use crate::node::NodeId;
+
+/// An immutable, weighted, directed communication graph `G_t = (V, E_t)` in
+/// compressed-sparse-row form.
+///
+/// Both out-adjacency (`O(v)` with weights `C[v, ·]`) and in-adjacency
+/// (`I(v)` with weights `C[·, v]`) are materialised, because the paper's
+/// signature schemes need both directions: Top Talkers reads out-edges,
+/// Unexpected Talkers additionally needs in-degrees `|I(j)|`, and RWR walks
+/// forward over out-edges.
+///
+/// Neighbour lists are sorted by node id, so `C[i, j]` lookups are
+/// `O(log deg)` binary searches and neighbour iteration is deterministic.
+///
+/// The node space is fixed at construction: a window's graph over a global
+/// interner may contain isolated nodes (hosts silent in that window), which
+/// matches the paper's convention that `V` is (mostly) shared across
+/// windows while `E_t` varies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommGraph {
+    num_nodes: usize,
+    num_edges: usize,
+    total_weight: Weight,
+
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<Weight>,
+
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<Weight>,
+}
+
+impl CommGraph {
+    /// Builds a graph from edges already sorted by `(src, dst)` with no
+    /// duplicate pairs. Prefer [`GraphBuilder`](crate::GraphBuilder) unless
+    /// you already hold aggregated, sorted edges.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node `>= num_nodes`, if edges are not
+    /// strictly sorted by `(src, dst)`, or if a weight is not finite and
+    /// positive.
+    pub fn from_sorted_edges(num_nodes: usize, edges: Vec<Edge>) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0usize; num_nodes + 1];
+        let mut in_counts = vec![0usize; num_nodes];
+        let mut total_weight = 0.0;
+
+        let mut prev: Option<(NodeId, NodeId)> = None;
+        for e in &edges {
+            assert!(
+                e.src.index() < num_nodes && e.dst.index() < num_nodes,
+                "node index out of range: {} -> {} with |V| = {}",
+                e.src,
+                e.dst,
+                num_nodes
+            );
+            assert!(
+                e.weight.is_finite() && e.weight > 0.0,
+                "edge weight must be finite and positive, got {}",
+                e.weight
+            );
+            let key = (e.src, e.dst);
+            assert!(
+                prev.is_none_or(|p| p < key),
+                "edges must be strictly sorted by (src, dst)"
+            );
+            prev = Some(key);
+            out_offsets[e.src.index() + 1] += 1;
+            in_counts[e.dst.index()] += 1;
+            total_weight += e.weight;
+        }
+        for i in 0..num_nodes {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_weights = Vec::with_capacity(m);
+        for e in &edges {
+            out_targets.push(e.dst);
+            out_weights.push(e.weight);
+        }
+
+        // Counting sort of the same edges by destination builds the
+        // in-adjacency; because the input is sorted by (src, dst), each
+        // in-list comes out sorted by source automatically.
+        let mut in_offsets = vec![0usize; num_nodes + 1];
+        for i in 0..num_nodes {
+            in_offsets[i + 1] = in_offsets[i] + in_counts[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![NodeId::new(0); m];
+        let mut in_weights = vec![0.0; m];
+        for e in &edges {
+            let slot = cursor[e.dst.index()];
+            in_sources[slot] = e.src;
+            in_weights[slot] = e.weight;
+            cursor[e.dst.index()] += 1;
+        }
+
+        CommGraph {
+            num_nodes,
+            num_edges: m,
+            total_weight,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
+    /// Number of nodes `|V|` (including isolated nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges `|E_t|` with positive weight.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sum of all edge weights.
+    #[inline]
+    pub fn total_weight(&self) -> Weight {
+        self.total_weight
+    }
+
+    /// Iterates over all node ids `0..|V|`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes).map(NodeId::new)
+    }
+
+    /// Out-degree `|O(v)|`: number of distinct destinations of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.out_offsets[i + 1] - self.out_offsets[i]
+    }
+
+    /// In-degree `|I(v)|`: number of distinct sources reaching `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let i = v.index();
+        self.in_offsets[i + 1] - self.in_offsets[i]
+    }
+
+    /// Total outgoing volume `Σ_u C[v, u]` (row sum of the weight matrix).
+    pub fn out_weight_sum(&self, v: NodeId) -> Weight {
+        let i = v.index();
+        self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]]
+            .iter()
+            .sum()
+    }
+
+    /// Total incoming volume `Σ_u C[u, v]`.
+    pub fn in_weight_sum(&self, v: NodeId) -> Weight {
+        let i = v.index();
+        self.in_weights[self.in_offsets[i]..self.in_offsets[i + 1]]
+            .iter()
+            .sum()
+    }
+
+    /// Iterates `(destination, C[v, destination])` over out-neighbours of
+    /// `v` in ascending destination-id order.
+    pub fn out_neighbors(&self, v: NodeId) -> NeighborIter<'_> {
+        let i = v.index();
+        NeighborIter {
+            nodes: &self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]],
+            weights: &self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]],
+            pos: 0,
+        }
+    }
+
+    /// Iterates `(source, C[source, v])` over in-neighbours of `v` in
+    /// ascending source-id order.
+    pub fn in_neighbors(&self, v: NodeId) -> NeighborIter<'_> {
+        let i = v.index();
+        NeighborIter {
+            nodes: &self.in_sources[self.in_offsets[i]..self.in_offsets[i + 1]],
+            weights: &self.in_weights[self.in_offsets[i]..self.in_offsets[i + 1]],
+            pos: 0,
+        }
+    }
+
+    /// The weight `C[src, dst]`, or `None` if the edge is absent.
+    pub fn edge_weight(&self, src: NodeId, dst: NodeId) -> Option<Weight> {
+        let i = src.index();
+        let row = &self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]];
+        row.binary_search(&dst)
+            .ok()
+            .map(|k| self.out_weights[self.out_offsets[i] + k])
+    }
+
+    /// Whether the directed edge `src → dst` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.edge_weight(src, dst).is_some()
+    }
+
+    /// Iterates over every edge in `(src, dst)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_nodes).flat_map(move |i| {
+            let v = NodeId::new(i);
+            self.out_neighbors(v)
+                .map(move |(dst, w)| Edge::new(v, dst, w))
+        })
+    }
+
+    /// Nodes with at least one outgoing edge (the "active sources" of the
+    /// window — for flow data, the monitored local hosts that spoke).
+    pub fn active_sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&v| self.out_degree(v) > 0)
+    }
+
+    /// Nodes with at least one incident edge in either direction.
+    pub fn active_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes()
+            .filter(|&v| self.out_degree(v) > 0 || self.in_degree(v) > 0)
+    }
+
+    /// The row-stochastic transition probability
+    /// `P(v, j) = C[v, j] / Σ_u C[v, u]` used by the RWR scheme, or `None`
+    /// if `v` has no outgoing edges (a dangling node).
+    pub fn transition_row(&self, v: NodeId) -> Option<impl Iterator<Item = (NodeId, f64)> + '_> {
+        let sum = self.out_weight_sum(v);
+        if sum <= 0.0 {
+            return None;
+        }
+        Some(self.out_neighbors(v).map(move |(u, w)| (u, w / sum)))
+    }
+}
+
+/// Iterator over `(neighbor, weight)` pairs of one adjacency row.
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    nodes: &'a [NodeId],
+    weights: &'a [Weight],
+    pos: usize,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = (NodeId, Weight);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.nodes.len() {
+            let item = (self.nodes[self.pos], self.weights[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.nodes.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// 0 -> 1 (2.0), 0 -> 2 (1.0), 1 -> 2 (4.0), 3 isolated.
+    fn sample() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 2.0);
+        b.add_event(n(0), n(2), 1.0);
+        b.add_event(n(1), n(2), 4.0);
+        b.build(4)
+    }
+
+    #[test]
+    fn degrees_and_sums() {
+        let g = sample();
+        assert_eq!(g.out_degree(n(0)), 2);
+        assert_eq!(g.out_degree(n(3)), 0);
+        assert_eq!(g.in_degree(n(2)), 2);
+        assert_eq!(g.in_degree(n(0)), 0);
+        assert_eq!(g.out_weight_sum(n(0)), 3.0);
+        assert_eq!(g.in_weight_sum(n(2)), 5.0);
+        assert_eq!(g.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn neighbor_iteration_sorted() {
+        let g = sample();
+        let outs: Vec<_> = g.out_neighbors(n(0)).collect();
+        assert_eq!(outs, vec![(n(1), 2.0), (n(2), 1.0)]);
+        let ins: Vec<_> = g.in_neighbors(n(2)).collect();
+        assert_eq!(ins, vec![(n(0), 1.0), (n(1), 4.0)]);
+        assert_eq!(g.out_neighbors(n(0)).len(), 2);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = sample();
+        assert_eq!(g.edge_weight(n(0), n(1)), Some(2.0));
+        assert_eq!(g.edge_weight(n(1), n(0)), None);
+        assert!(g.has_edge(n(1), n(2)));
+        assert!(!g.has_edge(n(2), n(1)));
+    }
+
+    #[test]
+    fn edges_round_trip() {
+        let g = sample();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0], Edge::new(n(0), n(1), 2.0));
+        assert_eq!(edges[2], Edge::new(n(1), n(2), 4.0));
+    }
+
+    #[test]
+    fn active_nodes_and_sources() {
+        let g = sample();
+        let sources: Vec<_> = g.active_sources().collect();
+        assert_eq!(sources, vec![n(0), n(1)]);
+        let active: Vec<_> = g.active_nodes().collect();
+        assert_eq!(active, vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn transition_row_normalised() {
+        let g = sample();
+        let row: Vec<_> = g.transition_row(n(0)).unwrap().collect();
+        assert_eq!(row.len(), 2);
+        let total: f64 = row.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(g.transition_row(n(3)).is_none());
+    }
+
+    #[test]
+    fn rebuild_from_sorted_edges_matches() {
+        let g = sample();
+        let edges: Vec<_> = g.edges().collect();
+        let g2 = CommGraph::from_sorted_edges(4, edges);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_weight(), g.total_weight());
+        assert_eq!(
+            g2.edge_weight(n(1), n(2)),
+            g.edge_weight(n(1), n(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn unsorted_edges_rejected() {
+        let edges = vec![Edge::new(n(1), n(0), 1.0), Edge::new(n(0), n(1), 1.0)];
+        let _ = CommGraph::from_sorted_edges(2, edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_weight_rejected() {
+        let edges = vec![Edge::new(n(0), n(1), 0.0)];
+        let _ = CommGraph::from_sorted_edges(2, edges);
+    }
+}

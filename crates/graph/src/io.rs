@@ -1,0 +1,158 @@
+//! Plain-text edge-list input/output.
+//!
+//! Format (one record per line, whitespace-separated):
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! <time> <src-label> <dst-label> <weight>
+//! ```
+//!
+//! This mirrors the shape of aggregated flow records ("NetFlow for
+//! summarizing IP traffic", Section II-B): each line is one aggregated
+//! communication observation. Weight may be omitted (defaults to `1`).
+
+use std::io::{BufRead, Write};
+
+use crate::edge::EdgeEvent;
+use crate::error::GraphError;
+use crate::node::Interner;
+
+/// Parses an event stream from `reader`, interning labels into `interner`.
+///
+/// Labels are interned in first-appearance order, so parsing is
+/// deterministic. Lines starting with `#` and blank lines are skipped.
+pub fn read_events<R: BufRead>(
+    reader: R,
+    interner: &mut Interner,
+) -> Result<Vec<EdgeEvent>, GraphError> {
+    let mut events = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let parse_err = |message: &str| GraphError::Parse {
+            line: lineno + 1,
+            message: message.to_owned(),
+        };
+        let time: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing time field"))?
+            .parse()
+            .map_err(|_| parse_err("time is not a non-negative integer"))?;
+        let src_label = fields.next().ok_or_else(|| parse_err("missing source"))?;
+        let dst_label = fields
+            .next()
+            .ok_or_else(|| parse_err("missing destination"))?;
+        let weight: f64 = match fields.next() {
+            Some(w) => w
+                .parse()
+                .map_err(|_| parse_err("weight is not a number"))?,
+            None => 1.0,
+        };
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight { weight });
+        }
+        if fields.next().is_some() {
+            return Err(parse_err("too many fields"));
+        }
+        let src = interner.intern(src_label);
+        let dst = interner.intern(dst_label);
+        events.push(EdgeEvent {
+            time,
+            src,
+            dst,
+            weight,
+        });
+    }
+    Ok(events)
+}
+
+/// Writes an event stream in the same format `read_events` parses.
+pub fn write_events<W: Write>(
+    mut writer: W,
+    interner: &Interner,
+    events: &[EdgeEvent],
+) -> Result<(), GraphError> {
+    for e in events {
+        let src = interner
+            .label(e.src)
+            .ok_or(GraphError::NodeOutOfRange {
+                index: e.src.index(),
+                num_nodes: interner.len(),
+            })?;
+        let dst = interner
+            .label(e.dst)
+            .ok_or(GraphError::NodeOutOfRange {
+                index: e.dst.index(),
+                num_nodes: interner.len(),
+            })?;
+        writeln!(writer, "{} {} {} {}", e.time, src, dst, e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_basic_stream() {
+        let input = "\
+# enterprise flows
+0 10.0.0.1 93.184.216.34 5
+0 10.0.0.2 93.184.216.34
+
+1 10.0.0.1 8.8.8.8
+";
+        let mut interner = Interner::new();
+        let events = read_events(Cursor::new(input), &mut interner).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].weight, 5.0);
+        assert_eq!(events[2].weight, 1.0); // default weight
+        assert_eq!(interner.len(), 4);
+        assert_eq!(events[0].src, events[2].src); // same label, same id
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let mut interner = Interner::new();
+        let err = read_events(Cursor::new("abc 10.0.0.1 x 1"), &mut interner).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+
+        let err = read_events(Cursor::new("0 a"), &mut interner).unwrap_err();
+        assert!(err.to_string().contains("destination"));
+
+        let err = read_events(Cursor::new("0 a b 1 extra"), &mut interner).unwrap_err();
+        assert!(err.to_string().contains("too many"));
+
+        let err = read_events(Cursor::new("0 a b -2"), &mut interner).unwrap_err();
+        assert!(err.to_string().contains("-2"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let input = "0 a b 2\n3 b c 1.5\n";
+        let mut interner = Interner::new();
+        let events = read_events(Cursor::new(input), &mut interner).unwrap();
+
+        let mut out = Vec::new();
+        write_events(&mut out, &interner, &events).unwrap();
+        let rendered = String::from_utf8(out).unwrap();
+
+        let mut interner2 = Interner::new();
+        let events2 = read_events(Cursor::new(rendered.as_str()), &mut interner2).unwrap();
+        assert_eq!(events, events2);
+    }
+
+    #[test]
+    fn write_rejects_unknown_node() {
+        let interner = Interner::new();
+        let events = vec![EdgeEvent::unit(0, crate::NodeId::new(0), crate::NodeId::new(1))];
+        let err = write_events(Vec::new(), &interner, &events).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

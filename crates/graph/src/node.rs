@@ -1,0 +1,209 @@
+//! Compact node identifiers and label interning.
+
+use std::fmt;
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A compact identifier for a node in a communication graph.
+///
+/// Node ids are dense indices (`0..n`) into the node space managed by an
+/// [`Interner`]. Using a 32-bit id halves the memory footprint of adjacency
+/// arrays relative to `usize` on 64-bit platforms, which matters because a
+/// six-week flow collection can contain hundreds of thousands of nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw 32-bit value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Bidirectional mapping between external node labels and dense [`NodeId`]s.
+///
+/// The paper distinguishes *individuals* (the hidden users) from *labels*
+/// (what we observe: IP addresses, account names, phone numbers). The
+/// interner manages the observable label space; everything downstream works
+/// with dense ids.
+///
+/// ```
+/// use comsig_graph::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("10.1.2.3");
+/// let b = interner.intern("10.1.2.4");
+/// assert_ne!(a, b);
+/// assert_eq!(interner.intern("10.1.2.3"), a); // idempotent
+/// assert_eq!(interner.label(a), Some("10.1.2.3"));
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    labels: Vec<String>,
+    index: FxHashMap<String, NodeId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with capacity for `n` labels.
+    pub fn with_capacity(n: usize) -> Self {
+        Interner {
+            labels: Vec::with_capacity(n),
+            index: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    /// Interns `label`, returning its id. Re-interning an existing label
+    /// returns the previously assigned id.
+    pub fn intern(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = NodeId::new(self.labels.len());
+        self.labels.push(label.to_owned());
+        self.index.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Returns the id previously assigned to `label`, if any.
+    pub fn get(&self, label: &str) -> Option<NodeId> {
+        self.index.get(label).copied()
+    }
+
+    /// Returns the label of `id`, if `id` is in range.
+    pub fn label(&self, id: NodeId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned labels (the size of the node space `|V|`).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over `(NodeId, label)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::new(i), s.as_str()))
+    }
+
+    /// Pre-registers `n` anonymous nodes named `prefix0..prefix(n-1)`,
+    /// returning the id of the first. Useful for synthetic generators that
+    /// address nodes by index rather than by meaningful label.
+    pub fn intern_range(&mut self, prefix: &str, n: usize) -> NodeId {
+        let first = NodeId::new(self.labels.len());
+        for i in 0..n {
+            self.intern(&format!("{prefix}{i}"));
+        }
+        first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert_eq!(format!("{id:?}"), "n42");
+        assert_eq!(format!("{id}"), "42");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("x");
+        let b = it.intern("y");
+        assert_eq!(it.intern("x"), a);
+        assert_eq!(it.intern("y"), b);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn label_lookup() {
+        let mut it = Interner::with_capacity(4);
+        let a = it.intern("alpha");
+        assert_eq!(it.label(a), Some("alpha"));
+        assert_eq!(it.get("alpha"), Some(a));
+        assert_eq!(it.get("missing"), None);
+        assert_eq!(it.label(NodeId::new(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut it = Interner::new();
+        it.intern("a");
+        it.intern("b");
+        it.intern("c");
+        let collected: Vec<_> = it.iter().map(|(id, s)| (id.index(), s)).collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn intern_range_assigns_dense_block() {
+        let mut it = Interner::new();
+        it.intern("seed");
+        let first = it.intern_range("host", 3);
+        assert_eq!(first.index(), 1);
+        assert_eq!(it.label(NodeId::new(2)), Some("host1"));
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = Interner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

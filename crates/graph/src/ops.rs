@@ -1,0 +1,170 @@
+//! Graph transformations: reversal, filtering, induced subgraphs, sums.
+//!
+//! Utilities a downstream user needs when slicing communication graphs —
+//! e.g. restricting a six-week collection to one department's hosts, or
+//! symmetrising a one-directional flow capture.
+
+use rustc_hash::FxHashSet;
+
+use crate::builder::GraphBuilder;
+use crate::graph::CommGraph;
+use crate::node::NodeId;
+
+/// The transpose graph: every edge `(v, u, w)` becomes `(u, v, w)`.
+pub fn reverse(g: &CommGraph) -> CommGraph {
+    let mut builder = GraphBuilder::with_edge_capacity(g.num_edges());
+    for e in g.edges() {
+        builder.add_event(e.dst, e.src, e.weight);
+    }
+    builder.build(g.num_nodes())
+}
+
+/// The symmetrised graph: `C'[v,u] = C'[u,v] = C[v,u] + C[u,v]` — what
+/// an undirected random walk effectively traverses.
+pub fn symmetrize(g: &CommGraph) -> CommGraph {
+    let mut builder = GraphBuilder::with_edge_capacity(2 * g.num_edges());
+    for e in g.edges() {
+        builder.add_event(e.src, e.dst, e.weight);
+        builder.add_event(e.dst, e.src, e.weight);
+    }
+    builder.build(g.num_nodes())
+}
+
+/// Keeps only edges accepted by `keep`; node space unchanged.
+pub fn filter_edges(
+    g: &CommGraph,
+    mut keep: impl FnMut(NodeId, NodeId, f64) -> bool,
+) -> CommGraph {
+    let mut builder = GraphBuilder::new();
+    for e in g.edges() {
+        if keep(e.src, e.dst, e.weight) {
+            builder.add_event(e.src, e.dst, e.weight);
+        }
+    }
+    builder.build(g.num_nodes())
+}
+
+/// Keeps only edges with weight `>= min_weight` — pruning the noise floor
+/// before signature computation on very large captures.
+pub fn prune_light_edges(g: &CommGraph, min_weight: f64) -> CommGraph {
+    filter_edges(g, |_, _, w| w >= min_weight)
+}
+
+/// The subgraph induced by `nodes`: only edges whose both endpoints are
+/// in the set survive. The node space keeps its original size, so node
+/// ids remain valid across the original and the subgraph.
+pub fn induced_subgraph(g: &CommGraph, nodes: &[NodeId]) -> CommGraph {
+    let set: FxHashSet<NodeId> = nodes.iter().copied().collect();
+    filter_edges(g, |src, dst, _| set.contains(&src) && set.contains(&dst))
+}
+
+/// Keeps every edge incident to `nodes` (either endpoint) — the
+/// "neighbourhood capture" of a set of monitored hosts.
+pub fn incident_subgraph(g: &CommGraph, nodes: &[NodeId]) -> CommGraph {
+    let set: FxHashSet<NodeId> = nodes.iter().copied().collect();
+    filter_edges(g, |src, dst, _| set.contains(&src) || set.contains(&dst))
+}
+
+/// The edge-wise sum of two graphs over the same node space
+/// (`C'[v,u] = C_a[v,u] + C_b[v,u]`) — plain window aggregation.
+///
+/// # Panics
+/// Panics if the node spaces differ.
+pub fn sum(a: &CommGraph, b: &CommGraph) -> CommGraph {
+    assert_eq!(
+        a.num_nodes(),
+        b.num_nodes(),
+        "graphs must share one node space"
+    );
+    let mut builder = GraphBuilder::with_edge_capacity(a.num_edges() + b.num_edges());
+    for e in a.edges().chain(b.edges()) {
+        builder.add_event(e.src, e.dst, e.weight);
+    }
+    builder.build(a.num_nodes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 2.0);
+        b.add_event(n(0), n(2), 5.0);
+        b.add_event(n(1), n(2), 1.0);
+        b.add_event(n(2), n(0), 3.0);
+        b.build(4)
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let g = sample();
+        let r = reverse(&g);
+        assert_eq!(r.edge_weight(n(1), n(0)), Some(2.0));
+        assert_eq!(r.edge_weight(n(0), n(2)), Some(3.0));
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.total_weight(), g.total_weight());
+        // Double reversal is the identity.
+        let rr = reverse(&r);
+        for e in g.edges() {
+            assert_eq!(rr.edge_weight(e.src, e.dst), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn symmetrize_adds_both_directions() {
+        let g = sample();
+        let s = symmetrize(&g);
+        // 0<->2 had both directions: merged weights.
+        assert_eq!(s.edge_weight(n(0), n(2)), Some(8.0));
+        assert_eq!(s.edge_weight(n(2), n(0)), Some(8.0));
+        // 0->1 had one direction: mirrored.
+        assert_eq!(s.edge_weight(n(1), n(0)), Some(2.0));
+        assert_eq!(s.total_weight(), 2.0 * g.total_weight());
+    }
+
+    #[test]
+    fn prune_light() {
+        let g = sample();
+        let p = prune_light_edges(&g, 2.0);
+        assert_eq!(p.num_edges(), 3);
+        assert!(!p.has_edge(n(1), n(2)));
+        assert!(p.has_edge(n(0), n(2)));
+    }
+
+    #[test]
+    fn induced_vs_incident() {
+        let g = sample();
+        let induced = induced_subgraph(&g, &[n(0), n(1)]);
+        assert_eq!(induced.num_edges(), 1); // only 0->1 survives
+        assert!(induced.has_edge(n(0), n(1)));
+
+        let incident = incident_subgraph(&g, &[n(1)]);
+        assert_eq!(incident.num_edges(), 2); // 0->1 and 1->2
+        assert!(incident.has_edge(n(1), n(2)));
+        // Node space preserved in both.
+        assert_eq!(induced.num_nodes(), 4);
+        assert_eq!(incident.num_nodes(), 4);
+    }
+
+    #[test]
+    fn sum_aggregates() {
+        let g = sample();
+        let total = sum(&g, &g);
+        assert_eq!(total.edge_weight(n(0), n(1)), Some(4.0));
+        assert_eq!(total.num_edges(), g.num_edges());
+        assert_eq!(total.total_weight(), 2.0 * g.total_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "node space")]
+    fn sum_rejects_mismatched_spaces() {
+        let g = sample();
+        let other = GraphBuilder::new().build(2);
+        let _ = sum(&g, &other);
+    }
+}

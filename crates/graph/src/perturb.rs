@@ -1,0 +1,297 @@
+//! The paper's robustness perturbation model (Section IV-C).
+//!
+//! To evaluate robustness, the paper perturbs `G_t` into `G'_t` by:
+//!
+//! 1. **Insertions** — `α·|E_t|` times: sample a source `v'` proportional
+//!    to its out-degree `|O(v')|`, a destination `u'` proportional to its
+//!    in-degree `|I(u')|`, and assign the edge `(v', u')` a weight drawn
+//!    from the *empirical distribution of all edge weights* (not uniform),
+//!    independent of the prior `C[v', u']`.
+//! 2. **Deletions** — `β·|E_t|` times: sample an existing edge
+//!    proportional to its current weight and decrement its weight by one
+//!    unit; edges whose weight reaches zero disappear.
+//!
+//! For bipartite graphs the sampling ranges are `V_1` and `V_2`; for
+//! general graphs they are "nodes with positive out-degree" and "nodes with
+//! positive in-degree", which coincides with the bipartite formulation
+//! when the graph happens to be bipartite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
+
+use crate::builder::GraphBuilder;
+use crate::graph::CommGraph;
+use crate::node::NodeId;
+
+pub use crate::fenwick::WeightedSampler;
+
+/// Parameters of the perturbation model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbConfig {
+    /// Fraction of `|E_t|` edges to insert.
+    pub alpha: f64,
+    /// Fraction of `|E_t|` unit-weight decrements to apply.
+    pub beta: f64,
+    /// RNG seed; the same seed reproduces the same `G'_t`.
+    pub seed: u64,
+}
+
+impl PerturbConfig {
+    /// Convenience constructor for the paper's symmetric setting
+    /// `α = β` (the paper reports `α = β = 0.1` and `α = β = 0.4`).
+    pub fn symmetric(rate: f64, seed: u64) -> Self {
+        PerturbConfig {
+            alpha: rate,
+            beta: rate,
+            seed,
+        }
+    }
+}
+
+/// Outcome of a perturbation, for accounting and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerturbReport {
+    /// Number of insertion operations performed.
+    pub insertions: usize,
+    /// How many insertions created a brand-new edge (vs overwrote one).
+    pub new_edges: usize,
+    /// Number of unit decrements applied.
+    pub decrements: usize,
+    /// How many edges were fully removed by decrements.
+    pub removed_edges: usize,
+}
+
+/// Applies the paper's perturbation model to `g`, returning the perturbed
+/// graph and an accounting report.
+///
+/// # Panics
+/// Panics if `alpha` or `beta` is negative or non-finite.
+pub fn perturb(g: &CommGraph, cfg: &PerturbConfig) -> (CommGraph, PerturbReport) {
+    assert!(
+        cfg.alpha.is_finite() && cfg.alpha >= 0.0,
+        "alpha must be >= 0"
+    );
+    assert!(cfg.beta.is_finite() && cfg.beta >= 0.0, "beta must be >= 0");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = g.num_edges();
+
+    // Mutable edge map seeded from the original graph.
+    let mut weights: FxHashMap<(NodeId, NodeId), f64> =
+        g.edges().map(|e| ((e.src, e.dst), e.weight)).collect();
+
+    // --- Insertions -----------------------------------------------------
+    let out_degrees: Vec<f64> = g.nodes().map(|v| g.out_degree(v) as f64).collect();
+    let in_degrees: Vec<f64> = g.nodes().map(|v| g.in_degree(v) as f64).collect();
+    let src_sampler = WeightedSampler::new(&out_degrees);
+    let dst_sampler = WeightedSampler::new(&in_degrees);
+    let edge_weights: Vec<f64> = g.edges().map(|e| e.weight).collect();
+
+    let n_insert = (cfg.alpha * m as f64).round() as usize;
+    let mut inserted = 0usize;
+    let mut new_edges = 0usize;
+    if m > 0 {
+        while inserted < n_insert {
+            let (Some(si), Some(di)) = (src_sampler.sample(&mut rng), dst_sampler.sample(&mut rng))
+            else {
+                break;
+            };
+            let (src, dst) = (NodeId::new(si), NodeId::new(di));
+            if src == dst {
+                continue; // resample; self-communication is not modelled
+            }
+            // Weight drawn from the empirical edge-weight distribution.
+            let w = edge_weights[rng.random_range(0..edge_weights.len())];
+            if weights.insert((src, dst), w).is_none() {
+                new_edges += 1;
+            }
+            inserted += 1;
+        }
+    }
+
+    // --- Deletions (unit decrements, sampled ∝ current weight) ----------
+    // The sampler indexes the *current* edge set (post-insertion), so a
+    // decrement can also erode an edge the insertion phase just created —
+    // matching the paper's "sampled existing edges" wording.
+    let mut edge_list: Vec<(NodeId, NodeId)> = weights.keys().copied().collect();
+    edge_list.sort_unstable();
+    let current: Vec<f64> = edge_list.iter().map(|k| weights[k]).collect();
+    let mut del_sampler = WeightedSampler::new(&current);
+
+    let n_delete = (cfg.beta * m as f64).round() as usize;
+    let mut decrements = 0usize;
+    for _ in 0..n_delete {
+        let Some(i) = del_sampler.sample(&mut rng) else {
+            break;
+        };
+        del_sampler.add(i, -1.0);
+        decrements += 1;
+    }
+
+    let mut removed_edges = 0usize;
+    let mut builder = GraphBuilder::with_edge_capacity(edge_list.len());
+    for (i, &(src, dst)) in edge_list.iter().enumerate() {
+        let w = del_sampler.weight(i);
+        if w > 0.0 {
+            builder.add_event(src, dst, w);
+        } else {
+            removed_edges += 1;
+        }
+    }
+
+    let report = PerturbReport {
+        insertions: inserted,
+        new_edges,
+        decrements,
+        removed_edges,
+    };
+    (builder.build(g.num_nodes()), report)
+}
+
+/// Applies `perturb` and discards the report.
+pub fn perturbed(g: &CommGraph, alpha: f64, beta: f64, seed: u64) -> CommGraph {
+    perturb(
+        g,
+        &PerturbConfig {
+            alpha,
+            beta,
+            seed,
+        },
+    )
+    .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Bipartite-ish graph: sources 0..3, destinations 3..8.
+    fn sample_graph() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(3), 5.0);
+        b.add_event(n(0), n(4), 2.0);
+        b.add_event(n(1), n(3), 3.0);
+        b.add_event(n(1), n(5), 1.0);
+        b.add_event(n(2), n(6), 4.0);
+        b.add_event(n(2), n(7), 2.0);
+        b.build(8)
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let g = sample_graph();
+        let (g2, rep) = perturb(&g, &PerturbConfig::symmetric(0.0, 7));
+        assert_eq!(rep.insertions, 0);
+        assert_eq!(rep.decrements, 0);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for e in g.edges() {
+            assert_eq!(g2.edge_weight(e.src, e.dst), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = sample_graph();
+        let a = perturbed(&g, 0.5, 0.5, 99);
+        let b = perturbed(&g, 0.5, 0.5, 99);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+        let c = perturbed(&g, 0.5, 0.5, 100);
+        // Different seed should (with overwhelming probability) differ.
+        let ec: Vec<_> = c.edges().collect();
+        assert_ne!(ea, ec);
+    }
+
+    #[test]
+    fn insertion_count_matches_alpha() {
+        let g = sample_graph();
+        let (_, rep) = perturb(
+            &g,
+            &PerturbConfig {
+                alpha: 0.5,
+                beta: 0.0,
+                seed: 3,
+            },
+        );
+        assert_eq!(rep.insertions, 3); // 0.5 * 6 edges
+        assert_eq!(rep.decrements, 0);
+    }
+
+    #[test]
+    fn decrement_count_matches_beta() {
+        let g = sample_graph();
+        let (g2, rep) = perturb(
+            &g,
+            &PerturbConfig {
+                alpha: 0.0,
+                beta: 0.5,
+                seed: 3,
+            },
+        );
+        assert_eq!(rep.decrements, 3);
+        let lost = g.total_weight() - g2.total_weight();
+        assert!((lost - 3.0).abs() < 1e-9, "lost = {lost}");
+    }
+
+    #[test]
+    fn heavy_deletion_empties_graph() {
+        let g = sample_graph();
+        // total weight = 17, so 1700 decrements wipe everything out.
+        let (g2, rep) = perturb(
+            &g,
+            &PerturbConfig {
+                alpha: 0.0,
+                beta: 300.0,
+                seed: 5,
+            },
+        );
+        assert_eq!(g2.num_edges(), 0);
+        assert_eq!(rep.removed_edges, 6);
+        assert!(rep.decrements <= 1800);
+    }
+
+    #[test]
+    fn inserted_weights_come_from_empirical_distribution() {
+        let g = sample_graph();
+        let allowed: Vec<f64> = g.edges().map(|e| e.weight).collect();
+        let (g2, _) = perturb(
+            &g,
+            &PerturbConfig {
+                alpha: 2.0,
+                beta: 0.0,
+                seed: 11,
+            },
+        );
+        for e in g2.edges() {
+            assert!(
+                allowed.contains(&e.weight),
+                "weight {} not from original distribution",
+                e.weight
+            );
+        }
+    }
+
+    #[test]
+    fn sources_stay_sources() {
+        // With degree-proportional sampling, nodes that never sent traffic
+        // (pure destinations) can never become sources.
+        let g = sample_graph();
+        let (g2, _) = perturb(&g, &PerturbConfig::symmetric(1.0, 13));
+        for v in 3..8 {
+            assert_eq!(g2.out_degree(n(v)), 0, "destination {v} became a source");
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_noop() {
+        let g = GraphBuilder::new().build(4);
+        let (g2, rep) = perturb(&g, &PerturbConfig::symmetric(0.4, 1));
+        assert_eq!(g2.num_edges(), 0);
+        assert_eq!(rep.insertions, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Descriptive statistics of communication graphs.
+//!
+//! Section III of the paper ties signature properties to four graph
+//! characteristics: engagement (edge weights), novelty (skewed in-degree),
+//! locality (sparsity / hop structure) and transitivity (path diversity).
+//! These diagnostics measure the first three directly, and are used by the
+//! data generators' tests to confirm synthetic workloads exhibit the
+//! power-law-like shape the paper's datasets had.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::CommGraph;
+use crate::node::NodeId;
+
+/// Summary statistics of one communication graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// `|V|` including isolated nodes.
+    pub num_nodes: usize,
+    /// Number of nodes with at least one incident edge.
+    pub active_nodes: usize,
+    /// `|E_t|`.
+    pub num_edges: usize,
+    /// Total edge weight.
+    pub total_weight: f64,
+    /// Mean out-degree over nodes with out-degree > 0.
+    pub mean_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean in-degree over nodes with in-degree > 0.
+    pub mean_in_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean edge weight.
+    pub mean_weight: f64,
+    /// Maximum edge weight.
+    pub max_weight: f64,
+    /// Gini coefficient of the in-degree distribution (0 = uniform,
+    /// → 1 = extremely skewed); a cheap proxy for "power-law-likeness".
+    pub in_degree_gini: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &CommGraph) -> GraphStats {
+    let mut out_degrees = Vec::new();
+    let mut in_degrees = Vec::new();
+    let mut active = 0usize;
+    for v in g.nodes() {
+        let od = g.out_degree(v);
+        let id = g.in_degree(v);
+        if od > 0 {
+            out_degrees.push(od);
+        }
+        if id > 0 {
+            in_degrees.push(id);
+        }
+        if od > 0 || id > 0 {
+            active += 1;
+        }
+    }
+    let mut mean_weight = 0.0;
+    let mut max_weight: f64 = 0.0;
+    if g.num_edges() > 0 {
+        mean_weight = g.total_weight() / g.num_edges() as f64;
+        for e in g.edges() {
+            max_weight = max_weight.max(e.weight);
+        }
+    }
+    GraphStats {
+        num_nodes: g.num_nodes(),
+        active_nodes: active,
+        num_edges: g.num_edges(),
+        total_weight: g.total_weight(),
+        mean_out_degree: mean_usize(&out_degrees),
+        max_out_degree: out_degrees.iter().copied().max().unwrap_or(0),
+        mean_in_degree: mean_usize(&in_degrees),
+        max_in_degree: in_degrees.iter().copied().max().unwrap_or(0),
+        mean_weight,
+        max_weight,
+        in_degree_gini: gini(&in_degrees),
+    }
+}
+
+fn mean_usize(xs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<usize>() as f64 / xs.len() as f64
+    }
+}
+
+/// Gini coefficient of a non-negative sample. Returns 0 for empty or
+/// all-zero samples.
+pub fn gini(xs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("degrees are finite"));
+    let n = sorted.len() as f64;
+    let sum: f64 = sorted.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+/// Histogram of a degree distribution: `hist[d]` = number of nodes with
+/// degree exactly `d` (0 excluded).
+pub fn degree_histogram(degrees: impl Iterator<Item = usize>) -> Vec<(usize, usize)> {
+    let mut counts: rustc_hash::FxHashMap<usize, usize> = Default::default();
+    for d in degrees {
+        if d > 0 {
+            *counts.entry(d).or_insert(0) += 1;
+        }
+    }
+    let mut hist: Vec<(usize, usize)> = counts.into_iter().collect();
+    hist.sort_unstable();
+    hist
+}
+
+/// In-degree histogram of `g`.
+pub fn in_degree_histogram(g: &CommGraph) -> Vec<(usize, usize)> {
+    degree_histogram(g.nodes().map(|v| g.in_degree(v)))
+}
+
+/// Out-degree histogram of `g`.
+pub fn out_degree_histogram(g: &CommGraph) -> Vec<(usize, usize)> {
+    degree_histogram(g.nodes().map(|v| g.out_degree(v)))
+}
+
+/// Least-squares slope of `log(count)` vs `log(degree)` over a degree
+/// histogram — a crude power-law exponent estimate. For a distribution
+/// `count ∝ degree^(-γ)` the returned value approximates `-γ`. Returns
+/// `None` when fewer than 3 distinct degrees exist.
+pub fn log_log_slope(hist: &[(usize, usize)]) -> Option<f64> {
+    if hist.len() < 3 {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .map(|&(d, c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// The `k` nodes with the largest in-degree — candidate "universally
+/// popular" destinations (search engines, mail servers) that UT
+/// downweights.
+pub fn top_in_degree_nodes(g: &CommGraph, k: usize) -> Vec<(NodeId, usize)> {
+    let mut nodes: Vec<(NodeId, usize)> = g
+        .nodes()
+        .map(|v| (v, g.in_degree(v)))
+        .filter(|&(_, d)| d > 0)
+        .collect();
+    nodes.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn star_plus_edge() -> CommGraph {
+        // 0,1,2 all point at 3; 0 also points at 4.
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(3), 2.0);
+        b.add_event(n(1), n(3), 1.0);
+        b.add_event(n(2), n(3), 1.0);
+        b.add_event(n(0), n(4), 4.0);
+        b.build(6)
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = graph_stats(&star_plus_edge());
+        assert_eq!(s.num_nodes, 6);
+        assert_eq!(s.active_nodes, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.total_weight, 8.0);
+        assert_eq!(s.max_in_degree, 3);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.mean_weight, 2.0);
+        assert_eq!(s.max_weight, 4.0);
+        assert!(s.in_degree_gini > 0.0);
+    }
+
+    #[test]
+    fn stats_empty_graph() {
+        let s = graph_stats(&GraphBuilder::new().build(3));
+        assert_eq!(s.active_nodes, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+        assert_eq!(s.in_degree_gini, 0.0);
+    }
+
+    #[test]
+    fn gini_uniform_is_zero() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_skewed_is_positive() {
+        let skewed = gini(&[1, 1, 1, 100]);
+        let flat = gini(&[25, 26, 25, 27]);
+        assert!(skewed > flat);
+        assert!(skewed <= 1.0);
+    }
+
+    #[test]
+    fn histograms() {
+        let g = star_plus_edge();
+        assert_eq!(in_degree_histogram(&g), vec![(1, 1), (3, 1)]);
+        assert_eq!(out_degree_histogram(&g), vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn log_log_slope_of_power_law() {
+        // count = 1000 * d^-2
+        let hist: Vec<(usize, usize)> = (1..=10)
+            .map(|d| (d, (1000.0 / (d as f64).powi(2)).round() as usize))
+            .collect();
+        let slope = log_log_slope(&hist).unwrap();
+        assert!((slope + 2.0).abs() < 0.05, "slope = {slope}");
+    }
+
+    #[test]
+    fn log_log_slope_degenerate() {
+        assert_eq!(log_log_slope(&[(1, 5)]), None);
+        assert_eq!(log_log_slope(&[(1, 5), (2, 3)]), None);
+    }
+
+    #[test]
+    fn top_in_degree() {
+        let g = star_plus_edge();
+        let top = top_in_degree_nodes(&g, 2);
+        assert_eq!(top[0], (n(3), 3));
+        assert_eq!(top[1], (n(4), 1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Graph traversal: BFS, h-hop neighbourhoods, components, diameter.
+//!
+//! The locality characteristic of Section III ("some nodes are much closer
+//! in graph hop distance than others") and the convergence claim of
+//! Section IV-C ("for all h larger than the diameter of the graph, RWR^h
+//! coincides with RWR^∞") both require hop-distance machinery, which lives
+//! here.
+
+use std::collections::VecDeque;
+
+use rustc_hash::FxHashMap;
+
+use crate::graph::CommGraph;
+use crate::node::NodeId;
+
+/// Distance (in hops) from a BFS source to every reached node.
+///
+/// Only reached nodes appear in the map; unreachable nodes are absent.
+pub type HopDistances = FxHashMap<NodeId, u32>;
+
+/// Direction in which edges are traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges forward (`v → u`).
+    Out,
+    /// Follow edges backward (`u → v`).
+    In,
+    /// Treat edges as undirected.
+    Both,
+}
+
+fn push_neighbors(
+    g: &CommGraph,
+    v: NodeId,
+    dir: Direction,
+    dist: u32,
+    dists: &mut HopDistances,
+    queue: &mut VecDeque<(NodeId, u32)>,
+) {
+    let mut visit = |u: NodeId| {
+        if let std::collections::hash_map::Entry::Vacant(slot) = dists.entry(u) {
+            slot.insert(dist);
+            queue.push_back((u, dist));
+        }
+    };
+    match dir {
+        Direction::Out => {
+            for (u, _) in g.out_neighbors(v) {
+                visit(u);
+            }
+        }
+        Direction::In => {
+            for (u, _) in g.in_neighbors(v) {
+                visit(u);
+            }
+        }
+        Direction::Both => {
+            for (u, _) in g.out_neighbors(v) {
+                visit(u);
+            }
+            for (u, _) in g.in_neighbors(v) {
+                visit(u);
+            }
+        }
+    }
+}
+
+/// Breadth-first search from `source`, following edges in `dir`, visiting
+/// nodes at hop distance `<= max_hops`. Returns hop distances for every
+/// reached node, including `source` at distance `0`.
+pub fn bfs(g: &CommGraph, source: NodeId, dir: Direction, max_hops: u32) -> HopDistances {
+    let mut dists = HopDistances::default();
+    let mut queue = VecDeque::new();
+    dists.insert(source, 0);
+    queue.push_back((source, 0));
+    while let Some((v, d)) = queue.pop_front() {
+        if d >= max_hops {
+            continue;
+        }
+        push_neighbors(g, v, dir, d + 1, &mut dists, &mut queue);
+    }
+    dists
+}
+
+/// The set of nodes within `h` forward hops of `source` (excluding the
+/// source itself), i.e. the support over which `RWR^h` can place mass.
+pub fn h_hop_neighborhood(g: &CommGraph, source: NodeId, h: u32) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = bfs(g, source, Direction::Out, h)
+        .into_iter()
+        .filter(|&(v, _)| v != source)
+        .map(|(v, _)| v)
+        .collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+/// Weakly connected components. Returns `(component_id_per_node, count)`;
+/// isolated nodes each form their own component.
+pub fn weakly_connected_components(g: &CommGraph) -> (Vec<usize>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut queue = VecDeque::new();
+        comp[start] = id;
+        queue.push_back(NodeId::new(start));
+        while let Some(v) = queue.pop_front() {
+            for (u, _) in g.out_neighbors(v).chain(g.in_neighbors(v)) {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = id;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    (comp, next)
+}
+
+/// Estimates the effective diameter (the `q`-quantile of pairwise hop
+/// distances, treated undirected) by exact BFS from `sample` source nodes.
+///
+/// Communication graphs have small diameters (Section IV-C); this estimate
+/// is used to validate synthetic data and to bound useful `h` for `RWR^h`.
+/// Returns `None` when no pairs are reachable.
+pub fn effective_diameter(g: &CommGraph, sources: &[NodeId], q: f64) -> Option<u32> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut dists: Vec<u32> = Vec::new();
+    for &s in sources {
+        for (&v, &d) in bfs(g, s, Direction::Both, u32::MAX).iter() {
+            if v != s {
+                dists.push(d);
+            }
+        }
+    }
+    if dists.is_empty() {
+        return None;
+    }
+    dists.sort_unstable();
+    let idx = ((dists.len() as f64 - 1.0) * q).round() as usize;
+    Some(dists[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Path 0 -> 1 -> 2 -> 3 plus isolated node 4.
+    fn path_graph() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 1.0);
+        b.add_event(n(1), n(2), 1.0);
+        b.add_event(n(2), n(3), 1.0);
+        b.build(5)
+    }
+
+    #[test]
+    fn bfs_forward_distances() {
+        let g = path_graph();
+        let d = bfs(&g, n(0), Direction::Out, u32::MAX);
+        assert_eq!(d[&n(0)], 0);
+        assert_eq!(d[&n(1)], 1);
+        assert_eq!(d[&n(3)], 3);
+        assert!(!d.contains_key(&n(4)));
+    }
+
+    #[test]
+    fn bfs_respects_max_hops() {
+        let g = path_graph();
+        let d = bfs(&g, n(0), Direction::Out, 2);
+        assert!(d.contains_key(&n(2)));
+        assert!(!d.contains_key(&n(3)));
+    }
+
+    #[test]
+    fn bfs_backward_and_both() {
+        let g = path_graph();
+        let d = bfs(&g, n(3), Direction::In, u32::MAX);
+        assert_eq!(d[&n(0)], 3);
+        let d = bfs(&g, n(2), Direction::Both, 1);
+        assert!(d.contains_key(&n(1)) && d.contains_key(&n(3)));
+    }
+
+    #[test]
+    fn h_hop_neighborhood_excludes_source_and_sorts() {
+        let g = path_graph();
+        assert_eq!(h_hop_neighborhood(&g, n(0), 2), vec![n(1), n(2)]);
+        assert_eq!(h_hop_neighborhood(&g, n(3), 2), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = path_graph();
+        let (comp, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn effective_diameter_of_path() {
+        let g = path_graph();
+        let d = effective_diameter(&g, &[n(0), n(1), n(2), n(3)], 1.0);
+        assert_eq!(d, Some(3));
+        let d50 = effective_diameter(&g, &[n(0), n(1), n(2), n(3)], 0.0);
+        assert_eq!(d50, Some(1));
+    }
+
+    #[test]
+    fn effective_diameter_empty() {
+        let g = GraphBuilder::new().build(3);
+        assert_eq!(effective_diameter(&g, &[n(0)], 0.9), None);
+    }
+}

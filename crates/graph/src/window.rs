@@ -1,0 +1,215 @@
+//! Time-windowed aggregation of event streams.
+//!
+//! The paper aggregates flows "over regular time windows to form
+//! communication graphs" (Section IV-A), producing a sequence
+//! `G_1, G_2, …` over a (mostly) shared node space. This module slices a
+//! stream of [`EdgeEvent`]s into such a [`GraphSequence`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::GraphBuilder;
+use crate::edge::EdgeEvent;
+use crate::graph::CommGraph;
+use crate::node::NodeId;
+
+/// Specification of a regular windowing of the time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Timestamp at which window 0 starts.
+    pub start: u64,
+    /// Width of each window, in the same (opaque) units as event times.
+    pub width: u64,
+}
+
+impl WindowSpec {
+    /// Creates a window spec.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(start: u64, width: u64) -> Self {
+        assert!(width > 0, "window width must be positive");
+        WindowSpec { start, width }
+    }
+
+    /// The index of the window containing `time`, or `None` for events
+    /// before `start`.
+    #[inline]
+    pub fn window_of(&self, time: u64) -> Option<usize> {
+        time.checked_sub(self.start)
+            .map(|dt| (dt / self.width) as usize)
+    }
+
+    /// The half-open time range `[lo, hi)` covered by window `w`.
+    pub fn range_of(&self, w: usize) -> (u64, u64) {
+        let lo = self.start + (w as u64) * self.width;
+        (lo, lo + self.width)
+    }
+}
+
+/// A sequence of communication graphs `G_1 … G_T` over a shared node space.
+#[derive(Debug, Clone)]
+pub struct GraphSequence {
+    num_nodes: usize,
+    graphs: Vec<CommGraph>,
+}
+
+impl GraphSequence {
+    /// Builds a sequence by bucketing `events` into windows per `spec`.
+    ///
+    /// Events before `spec.start` are dropped. `num_nodes` fixes the shared
+    /// node space (usually `interner.len()`). Trailing empty windows are
+    /// retained so the sequence length is determined by the latest event.
+    pub fn from_events(num_nodes: usize, spec: WindowSpec, events: &[EdgeEvent]) -> Self {
+        let last_window = events
+            .iter()
+            .filter_map(|e| spec.window_of(e.time))
+            .max();
+        let count = last_window.map_or(0, |w| w + 1);
+        let mut builders: Vec<GraphBuilder> = (0..count).map(|_| GraphBuilder::new()).collect();
+        for e in events {
+            if let Some(w) = spec.window_of(e.time) {
+                builders[w].add_event(e.src, e.dst, e.weight);
+            }
+        }
+        let graphs = builders.into_iter().map(|b| b.build(num_nodes)).collect();
+        GraphSequence { num_nodes, graphs }
+    }
+
+    /// Wraps pre-built per-window graphs.
+    ///
+    /// # Panics
+    /// Panics if the graphs do not all share the same node-space size.
+    pub fn from_graphs(graphs: Vec<CommGraph>) -> Self {
+        let num_nodes = graphs.first().map_or(0, CommGraph::num_nodes);
+        assert!(
+            graphs.iter().all(|g| g.num_nodes() == num_nodes),
+            "all windows must share one node space"
+        );
+        GraphSequence { num_nodes, graphs }
+    }
+
+    /// Number of windows `T`.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the sequence has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Size of the shared node space.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The graph of window `t`, if it exists.
+    pub fn window(&self, t: usize) -> Option<&CommGraph> {
+        self.graphs.get(t)
+    }
+
+    /// Iterates over the window graphs in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &CommGraph> {
+        self.graphs.iter()
+    }
+
+    /// Iterates over consecutive window pairs `(G_t, G_{t+1})` — the unit
+    /// of the paper's persistence and cross-time ROC evaluations.
+    pub fn consecutive_pairs(&self) -> impl Iterator<Item = (&CommGraph, &CommGraph)> {
+        self.graphs.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Nodes with at least one outgoing edge in *every* window — the stable
+    /// population over which cross-window properties are best measured.
+    pub fn persistent_sources(&self) -> Vec<NodeId> {
+        (0..self.num_nodes)
+            .map(NodeId::new)
+            .filter(|&v| self.graphs.iter().all(|g| g.out_degree(v) > 0))
+            .collect()
+    }
+
+    /// Consumes the sequence and returns the window graphs.
+    pub fn into_graphs(self) -> Vec<CommGraph> {
+        self.graphs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn window_of_and_range() {
+        let spec = WindowSpec::new(100, 10);
+        assert_eq!(spec.window_of(99), None);
+        assert_eq!(spec.window_of(100), Some(0));
+        assert_eq!(spec.window_of(109), Some(0));
+        assert_eq!(spec.window_of(110), Some(1));
+        assert_eq!(spec.range_of(2), (120, 130));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = WindowSpec::new(0, 0);
+    }
+
+    #[test]
+    fn events_bucketed_into_windows() {
+        let events = vec![
+            EdgeEvent::unit(0, n(0), n(1)),
+            EdgeEvent::unit(5, n(0), n(1)),
+            EdgeEvent::unit(10, n(0), n(2)),
+            EdgeEvent::unit(25, n(1), n(2)),
+        ];
+        let seq = GraphSequence::from_events(3, WindowSpec::new(0, 10), &events);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.window(0).unwrap().edge_weight(n(0), n(1)), Some(2.0));
+        assert_eq!(seq.window(1).unwrap().edge_weight(n(0), n(2)), Some(1.0));
+        assert_eq!(seq.window(2).unwrap().edge_weight(n(1), n(2)), Some(1.0));
+    }
+
+    #[test]
+    fn early_events_dropped() {
+        let events = vec![
+            EdgeEvent::unit(3, n(0), n(1)), // before start
+            EdgeEvent::unit(12, n(0), n(1)),
+        ];
+        let seq = GraphSequence::from_events(2, WindowSpec::new(10, 10), &events);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq.window(0).unwrap().num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_event_stream() {
+        let seq = GraphSequence::from_events(5, WindowSpec::new(0, 10), &[]);
+        assert!(seq.is_empty());
+        assert_eq!(seq.num_nodes(), 5);
+    }
+
+    #[test]
+    fn consecutive_pairs_and_persistent_sources() {
+        let events = vec![
+            EdgeEvent::unit(0, n(0), n(2)),
+            EdgeEvent::unit(1, n(1), n(2)),
+            EdgeEvent::unit(10, n(0), n(2)),
+            EdgeEvent::unit(20, n(0), n(1)),
+        ];
+        let seq = GraphSequence::from_events(3, WindowSpec::new(0, 10), &events);
+        assert_eq!(seq.consecutive_pairs().count(), 2);
+        // node 0 speaks in all three windows; node 1 only in window 0.
+        assert_eq!(seq.persistent_sources(), vec![n(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node space")]
+    fn from_graphs_rejects_mismatched_sizes() {
+        let g1 = GraphBuilder::new().build(2);
+        let g2 = GraphBuilder::new().build(3);
+        let _ = GraphSequence::from_graphs(vec![g1, g2]);
+    }
+}

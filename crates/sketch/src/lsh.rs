@@ -1,0 +1,229 @@
+//! Banded Locality-Sensitive Hashing over MinHash vectors.
+//!
+//! "Efficient solutions exist where the distance function is the Jaccard
+//! distance, by using an approach based on Locality Sensitive Hashing"
+//! (Section VI). The index splits each MinHash vector into `b` bands of
+//! `r` rows; two items collide if any band hashes identically, which
+//! happens with probability `1 − (1 − s^r)^b` for Jaccard similarity `s`
+//! — an S-curve with threshold `≈ (1/b)^(1/r)`.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use comsig_core::{Signature, SignatureSet};
+use comsig_graph::NodeId;
+
+use crate::hash::MixHash;
+use crate::minhash::{MinHashSignature, MinHasher};
+
+/// A banded LSH index over node signatures.
+#[derive(Debug)]
+pub struct LshIndex {
+    hasher: MinHasher,
+    bands: usize,
+    rows: usize,
+    tables: Vec<FxHashMap<u64, Vec<usize>>>,
+    items: Vec<(NodeId, MinHashSignature)>,
+    band_hash: MixHash,
+}
+
+impl LshIndex {
+    /// Creates an index with `bands` bands of `rows` rows (the MinHasher
+    /// uses `bands·rows` hash functions).
+    ///
+    /// # Panics
+    /// Panics if `bands` or `rows` is zero.
+    pub fn new(bands: usize, rows: usize, seed: u64) -> Self {
+        assert!(bands > 0 && rows > 0, "bands and rows must be positive");
+        LshIndex {
+            hasher: MinHasher::new(bands * rows, seed),
+            bands,
+            rows,
+            tables: (0..bands).map(|_| FxHashMap::default()).collect(),
+            items: Vec::new(),
+            band_hash: MixHash::new(seed ^ 0xBA9D_u64),
+        }
+    }
+
+    /// The collision-probability threshold `(1/b)^(1/r)`: pairs with
+    /// Jaccard similarity above it are likely retrieved.
+    pub fn similarity_threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn band_key(&self, mh: &MinHashSignature, band: usize) -> u64 {
+        let slice = &mh.values()[band * self.rows..(band + 1) * self.rows];
+        let mut acc = 0xCBF2_9CE4_8422_2325u64;
+        for &v in slice {
+            acc = self.band_hash.hash(acc ^ v);
+        }
+        acc
+    }
+
+    /// Indexes the signature of `node`.
+    pub fn insert(&mut self, node: NodeId, sig: &Signature) {
+        let mh = self.hasher.minhash(sig);
+        let idx = self.items.len();
+        for band in 0..self.bands {
+            let key = self.band_key(&mh, band);
+            self.tables[band].entry(key).or_default().push(idx);
+        }
+        self.items.push((node, mh));
+    }
+
+    /// Indexes every signature of a set.
+    pub fn insert_set(&mut self, set: &SignatureSet) {
+        for (node, sig) in set.iter() {
+            self.insert(node, sig);
+        }
+    }
+
+    /// Returns the candidate nodes colliding with `sig` in at least one
+    /// band (excluding none; the query itself is returned if indexed).
+    pub fn candidates(&self, sig: &Signature) -> Vec<NodeId> {
+        let mh = self.hasher.minhash(sig);
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        for band in 0..self.bands {
+            let key = self.band_key(&mh, band);
+            if let Some(bucket) = self.tables[band].get(&key) {
+                seen.extend(bucket.iter().copied());
+            }
+        }
+        let mut out: Vec<NodeId> = seen.into_iter().map(|i| self.items[i].0).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Approximate nearest neighbours: collects band-collision candidates
+    /// and ranks them by estimated Jaccard distance, returning the best
+    /// `top_n` (excluding `exclude`, typically the query node itself).
+    pub fn nearest(
+        &self,
+        sig: &Signature,
+        top_n: usize,
+        exclude: Option<NodeId>,
+    ) -> Vec<(NodeId, f64)> {
+        let mh = self.hasher.minhash(sig);
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        for band in 0..self.bands {
+            let key = self.band_key(&mh, band);
+            if let Some(bucket) = self.tables[band].get(&key) {
+                seen.extend(bucket.iter().copied());
+            }
+        }
+        let mut scored: Vec<(NodeId, f64)> = seen
+            .into_iter()
+            .map(|i| {
+                let (node, ref item_mh) = self.items[i];
+                (node, self.hasher.estimate_distance(&mh, item_mh))
+            })
+            .filter(|&(node, _)| Some(node) != exclude)
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("distances are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(top_n);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            ids.iter().map(|&i| (n(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    #[test]
+    fn near_duplicates_collide() {
+        let mut index = LshIndex::new(16, 4, 1);
+        index.insert(n(0), &sig(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]));
+        index.insert(n(1), &sig(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 11])); // J=9/11
+        index.insert(n(2), &sig(&[100, 101, 102]));
+        let cands = index.candidates(&sig(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]));
+        assert!(cands.contains(&n(0)));
+        assert!(cands.contains(&n(1)), "near-duplicate missed");
+        assert!(!cands.contains(&n(2)), "disjoint item retrieved");
+    }
+
+    #[test]
+    fn nearest_ranks_by_distance() {
+        let mut index = LshIndex::new(16, 4, 2);
+        index.insert(n(0), &sig(&[1, 2, 3, 4]));
+        index.insert(n(1), &sig(&[1, 2, 3, 5]));
+        index.insert(n(2), &sig(&[1, 9, 10, 11]));
+        let near = index.nearest(&sig(&[1, 2, 3, 4]), 2, Some(n(0)));
+        assert!(!near.is_empty());
+        assert_eq!(near[0].0, n(1));
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let index = LshIndex::new(20, 5, 3);
+        let t = index.similarity_threshold();
+        assert!((t - (0.05f64).powf(0.2)).abs() < 1e-12);
+        assert!(t > 0.5 && t < 0.6);
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn recall_on_population() {
+        // 50 pairs of near-duplicates + 100 random items: querying each
+        // item must retrieve its twin almost always.
+        let mut index = LshIndex::new(24, 3, 4);
+        let mut twins = Vec::new();
+        for p in 0..50usize {
+            let base: Vec<usize> = (0..10).map(|j| 1000 * p + j).collect();
+            let mut twin = base.clone();
+            twin[9] = 1000 * p + 99; // J = 9/11
+            index.insert(n(2 * p), &sig(&base));
+            index.insert(n(2 * p + 1), &sig(&twin));
+            twins.push((base, twin));
+        }
+        let mut found = 0;
+        for (p, (base, _)) in twins.iter().enumerate() {
+            let near = index.nearest(&sig(base), 1, Some(n(2 * p)));
+            if near.first().map(|&(u, _)| u) == Some(n(2 * p + 1)) {
+                found += 1;
+            }
+        }
+        assert!(found >= 45, "recall {found}/50");
+    }
+
+    #[test]
+    fn insert_set_round_trip() {
+        let set = SignatureSet::new(
+            vec![n(0), n(1)],
+            vec![sig(&[1, 2, 3]), sig(&[4, 5, 6])],
+        );
+        let mut index = LshIndex::new(8, 2, 5);
+        index.insert_set(&set);
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bands_rejected() {
+        let _ = LshIndex::new(0, 4, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! MinHash signatures estimating Jaccard similarity.
+//!
+//! `Dist_Jac` only looks at signature *node sets*, so the classic MinHash
+//! estimator applies: for a random hash `h`, `P[min h(S₁) = min h(S₂)] =
+//! |S₁∩S₂| / |S₁∪S₂|`. Averaging over `m` independent hashes estimates
+//! the Jaccard similarity with standard error `≈ 1/√m`. MinHash vectors
+//! are also the input to the banded [LSH index](crate::lsh) (Section VI,
+//! "Scalable signature comparison").
+
+use serde::{Deserialize, Serialize};
+
+use comsig_core::Signature;
+
+use crate::hash::MixHash;
+
+/// A MinHash vector: one minimum per hash function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSignature {
+    values: Vec<u64>,
+}
+
+impl MinHashSignature {
+    /// The per-hash minima.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of hash functions used.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty (zero hash functions).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A family of `m` seeded hash functions producing [`MinHashSignature`]s.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    hashes: Vec<MixHash>,
+}
+
+impl MinHasher {
+    /// Creates a hasher with `m` hash functions.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize, seed: u64) -> Self {
+        assert!(m > 0, "need at least one hash function");
+        let base = MixHash::new(seed);
+        MinHasher {
+            hashes: (0..m).map(|i| MixHash::new(base.hash(i as u64))).collect(),
+        }
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// MinHashes the *node set* of a graph signature. An empty signature
+    /// gets `u64::MAX` in every slot (matching no non-empty set).
+    pub fn minhash(&self, sig: &Signature) -> MinHashSignature {
+        let values = self
+            .hashes
+            .iter()
+            .map(|h| {
+                sig.iter()
+                    .map(|(u, _)| h.hash(u.raw() as u64))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect();
+        MinHashSignature { values }
+    }
+
+    /// Estimates the Jaccard *distance* `1 − |∩|/|∪|` from two MinHash
+    /// vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    pub fn estimate_distance(&self, a: &MinHashSignature, b: &MinHashSignature) -> f64 {
+        assert_eq!(a.len(), b.len(), "MinHash length mismatch");
+        let matches = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .filter(|(x, y)| x == y)
+            .count();
+        1.0 - matches as f64 / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::{Jaccard, SignatureDistance};
+    use comsig_graph::NodeId;
+
+    fn sig(ids: &[usize]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            ids.iter().map(|&i| (NodeId::new(i), 1.0)),
+            ids.len().max(1),
+        )
+    }
+
+    #[test]
+    fn identical_sets_distance_zero() {
+        let mh = MinHasher::new(64, 1);
+        let a = mh.minhash(&sig(&[1, 2, 3]));
+        let b = mh.minhash(&sig(&[1, 2, 3]));
+        assert_eq!(mh.estimate_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_distance_near_one() {
+        let mh = MinHasher::new(128, 2);
+        let a = mh.minhash(&sig(&[1, 2, 3, 4]));
+        let b = mh.minhash(&sig(&[10, 11, 12, 13]));
+        assert!(mh.estimate_distance(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn estimates_track_exact_jaccard() {
+        let mh = MinHasher::new(512, 3);
+        let cases: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            ((0..10).collect(), (5..15).collect()),   // J = 5/15
+            ((0..20).collect(), (0..10).collect()),   // J = 10/20
+            ((0..8).collect(), (2..6).collect()),     // J = 4/8
+        ];
+        for (xs, ys) in cases {
+            let a = sig(&xs);
+            let b = sig(&ys);
+            let exact = Jaccard.distance(&a, &b);
+            let est = mh.estimate_distance(&mh.minhash(&a), &mh.minhash(&b));
+            assert!(
+                (exact - est).abs() < 0.12,
+                "exact {exact} vs est {est} for {xs:?} / {ys:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_signature_matches_nothing_nonempty() {
+        let mh = MinHasher::new(32, 4);
+        let e = mh.minhash(&Signature::empty());
+        let a = mh.minhash(&sig(&[1]));
+        assert_eq!(mh.estimate_distance(&e, &a), 1.0);
+        // Two empties agree everywhere.
+        assert_eq!(mh.estimate_distance(&e, &e), 0.0);
+        assert!(!e.is_empty());
+        assert_eq!(e.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let m1 = MinHasher::new(8, 1);
+        let m2 = MinHasher::new(16, 1);
+        let a = m1.minhash(&sig(&[1]));
+        let b = m2.minhash(&sig(&[1]));
+        m1.estimate_distance(&a, &b);
+    }
+}

@@ -1,0 +1,300 @@
+//! Semi-streaming signature extraction (Section VI, "Scalable signature
+//! computation").
+//!
+//! When the graph is too large to store, we keep a constant amount of
+//! state per node (the semi-streaming model of graph stream processing):
+//!
+//! * per **source**: a [`CountMinSketch`] of its outgoing edge weights
+//!   plus a bounded candidate list of its currently-heaviest
+//!   destinations (the classic CM + heap heavy-hitters combination);
+//! * per **destination**: an [`FmSketch`] of its distinct sources,
+//!   estimating the in-degree `|I(j)|`.
+//!
+//! From this state, approximate Top Talkers signatures (`ĉ[i,j]`
+//! normalised by `Σ ĉ`) and approximate Unexpected Talkers signatures
+//! (`ĉ[i,j] / |Î(j)|`) are extracted without ever materialising the
+//! graph.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use comsig_core::Signature;
+use comsig_graph::{CommGraph, NodeId};
+
+use crate::cm::CountMinSketch;
+use crate::fm::FmSketch;
+
+/// Sizing of the per-node sketches.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Count-Min width per source.
+    pub cm_width: usize,
+    /// Count-Min depth per source.
+    pub cm_depth: usize,
+    /// Maximum tracked candidate destinations per source (the "constant
+    /// amount of information about each node").
+    pub candidate_budget: usize,
+    /// FM bitmaps per destination.
+    pub fm_bitmaps: usize,
+    /// Seed for all hash functions.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            cm_width: 128,
+            cm_depth: 4,
+            candidate_budget: 64,
+            fm_bitmaps: 32,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SourceState {
+    cm: CountMinSketch,
+    /// Current heavy-destination candidates with their CM estimates.
+    candidates: FxHashMap<NodeId, f64>,
+    /// Exact total outgoing weight (a single counter per node is allowed).
+    total: f64,
+}
+
+/// One-pass signature extraction state over a communication stream.
+#[derive(Debug, Clone)]
+pub struct SemiStream {
+    cfg: StreamConfig,
+    sources: FxHashMap<NodeId, SourceState>,
+    in_degree: FxHashMap<NodeId, FmSketch>,
+}
+
+impl SemiStream {
+    /// Creates empty state.
+    pub fn new(cfg: StreamConfig) -> Self {
+        assert!(cfg.candidate_budget > 0, "candidate budget must be positive");
+        SemiStream {
+            cfg,
+            sources: FxHashMap::default(),
+            in_degree: FxHashMap::default(),
+        }
+    }
+
+    /// Observes one communication `src → dst` of volume `weight`.
+    pub fn observe(&mut self, src: NodeId, dst: NodeId, weight: f64) {
+        if src == dst || !weight.is_finite() || weight <= 0.0 {
+            return;
+        }
+        let cfg = self.cfg;
+        let state = self.sources.entry(src).or_insert_with(|| SourceState {
+            cm: CountMinSketch::new(cfg.cm_width, cfg.cm_depth, cfg.seed ^ src.raw() as u64)
+                .conservative(),
+            candidates: FxHashMap::default(),
+            total: 0.0,
+        });
+        state.total += weight;
+        state.cm.update(dst.raw() as u64, weight);
+        let est = state.cm.query(dst.raw() as u64);
+        if state.candidates.len() < cfg.candidate_budget
+            || state.candidates.contains_key(&dst)
+        {
+            state.candidates.insert(dst, est);
+        } else {
+            // Evict the smallest candidate if the newcomer beats it.
+            let (&min_key, &min_est) = state
+                .candidates
+                .iter()
+                .min_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .expect("estimates are finite")
+                        .then(a.0.cmp(b.0))
+                })
+                .expect("budget > 0");
+            if est > min_est {
+                state.candidates.remove(&min_key);
+                state.candidates.insert(dst, est);
+            }
+        }
+
+        self.in_degree
+            .entry(dst)
+            .or_insert_with(|| FmSketch::new(cfg.fm_bitmaps, cfg.seed ^ 0xD15C))
+            .insert(src.raw() as u64);
+    }
+
+    /// Feeds every aggregated edge of a graph (useful for comparing the
+    /// streaming signatures against the exact ones).
+    pub fn observe_graph(&mut self, g: &CommGraph) {
+        for e in g.edges() {
+            self.observe(e.src, e.dst, e.weight);
+        }
+    }
+
+    /// Estimated in-degree `|Î(j)|` of a destination.
+    pub fn estimated_in_degree(&self, j: NodeId) -> f64 {
+        self.in_degree.get(&j).map_or(0.0, FmSketch::estimate)
+    }
+
+    /// Approximate Top Talkers signature of `v` (estimates normalised by
+    /// `v`'s exact total outgoing weight, mirroring Definition 3).
+    pub fn tt_signature(&self, v: NodeId, k: usize) -> Signature {
+        let Some(state) = self.sources.get(&v) else {
+            return Signature::empty();
+        };
+        if state.total <= 0.0 {
+            return Signature::empty();
+        }
+        Signature::top_k(
+            v,
+            state
+                .candidates
+                .iter()
+                .map(|(&dst, &est)| (dst, est / state.total)),
+            k,
+        )
+    }
+
+    /// Approximate Unexpected Talkers signature of `v`:
+    /// `ĉ[v,j] / |Î(j)|` over the tracked candidates (Definition 4 with
+    /// both quantities estimated, as Section VI prescribes).
+    pub fn ut_signature(&self, v: NodeId, k: usize) -> Signature {
+        let Some(state) = self.sources.get(&v) else {
+            return Signature::empty();
+        };
+        Signature::top_k(
+            v,
+            state.candidates.iter().map(|(&dst, &est)| {
+                let indeg = self.estimated_in_degree(dst).max(1.0);
+                (dst, est / indeg)
+            }),
+            k,
+        )
+    }
+
+    /// Number of tracked sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Total counters held across all sketches — the memory story of the
+    /// semi-streaming model (Θ(1) per node).
+    pub fn state_size(&self) -> usize {
+        let cm: usize = self
+            .sources
+            .values()
+            .map(|s| s.cm.num_counters() + s.candidates.len())
+            .sum();
+        let fm: usize = self.in_degree.values().map(FmSketch::num_bitmaps).sum();
+        cm + fm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::scheme::{SignatureScheme, TopTalkers, UnexpectedTalkers};
+    use comsig_graph::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Hosts 0..3 each talk to distinctive destinations, with a common
+    /// hub 20.
+    fn sample_graph() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        for host in 0..4usize {
+            b.add_event(n(host), n(20), 3.0);
+            for j in 0..6usize {
+                b.add_event(n(host), n(30 + host * 6 + j), (6 - j) as f64);
+            }
+        }
+        b.build(60)
+    }
+
+    #[test]
+    fn streaming_tt_matches_exact_on_small_graph() {
+        let g = sample_graph();
+        let mut stream = SemiStream::new(StreamConfig::default());
+        stream.observe_graph(&g);
+        for v in 0..4usize {
+            let exact = TopTalkers.signature(&g, n(v), 5);
+            let approx = stream.tt_signature(n(v), 5);
+            // With sketches far larger than the data, the result is exact.
+            assert_eq!(exact.len(), approx.len(), "host {v}");
+            for (u, w) in exact.iter() {
+                let aw = approx.get(u).expect("member present");
+                assert!((aw - w).abs() < 1e-9, "host {v}, member {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_ut_ranks_novel_destinations_first() {
+        let g = sample_graph();
+        let mut stream = SemiStream::new(StreamConfig::default());
+        stream.observe_graph(&g);
+        let exact = UnexpectedTalkers::new().signature(&g, n(0), 3);
+        let approx = stream.ut_signature(n(0), 3);
+        // The hub (in-degree 4) must be discounted in both.
+        assert!(!exact.contains(n(20)));
+        assert!(!approx.contains(n(20)));
+    }
+
+    #[test]
+    fn candidate_budget_keeps_heavy_destinations() {
+        let mut stream = SemiStream::new(StreamConfig {
+            candidate_budget: 4,
+            ..StreamConfig::default()
+        });
+        // 3 heavy destinations among 40 light ones.
+        for round in 0..50u64 {
+            for heavy in 0..3usize {
+                stream.observe(n(0), n(100 + heavy), 5.0);
+            }
+            let light = 200 + (round % 40) as usize;
+            stream.observe(n(0), n(light), 1.0);
+        }
+        let sig = stream.tt_signature(n(0), 3);
+        for heavy in 0..3usize {
+            assert!(sig.contains(n(100 + heavy)), "missing heavy {heavy}");
+        }
+    }
+
+    #[test]
+    fn in_degree_estimates_reasonable() {
+        let g = sample_graph();
+        let mut stream = SemiStream::new(StreamConfig::default());
+        stream.observe_graph(&g);
+        let est = stream.estimated_in_degree(n(20));
+        assert!((1.0..=16.0).contains(&est), "hub estimate {est}");
+        assert_eq!(stream.estimated_in_degree(n(59)), 0.0);
+    }
+
+    #[test]
+    fn unknown_source_is_empty() {
+        let stream = SemiStream::new(StreamConfig::default());
+        assert!(stream.tt_signature(n(5), 3).is_empty());
+        assert!(stream.ut_signature(n(5), 3).is_empty());
+        assert_eq!(stream.num_sources(), 0);
+    }
+
+    #[test]
+    fn state_size_grows_linearly_in_nodes() {
+        let g = sample_graph();
+        let mut stream = SemiStream::new(StreamConfig::default());
+        stream.observe_graph(&g);
+        let per_source = StreamConfig::default().cm_width * StreamConfig::default().cm_depth;
+        assert!(stream.state_size() >= 4 * per_source);
+        assert_eq!(stream.num_sources(), 4);
+    }
+
+    #[test]
+    fn self_loops_and_bad_weights_ignored() {
+        let mut stream = SemiStream::new(StreamConfig::default());
+        stream.observe(n(1), n(1), 5.0);
+        stream.observe(n(1), n(2), f64::NAN);
+        stream.observe(n(1), n(2), -1.0);
+        assert_eq!(stream.num_sources(), 0);
+    }
+}

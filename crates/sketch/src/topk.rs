@@ -1,0 +1,190 @@
+//! SpaceSaving heavy-hitter tracking (Metwally, Agrawal & El Abbadi).
+//!
+//! An alternative to "CM sketch + heap" for the semi-streaming Top
+//! Talkers of Section VI: with `m` counters, every key whose true weight
+//! exceeds `N/m` is guaranteed to be tracked, and each reported count
+//! over-estimates truth by at most the recorded `error`.
+
+use rustc_hash::FxHashMap;
+
+/// A tracked heavy-hitter candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Counter {
+    /// The tracked key.
+    pub key: u64,
+    /// Estimated weight (true weight ≤ `count`, ≥ `count − error`).
+    pub count: f64,
+    /// Maximum over-estimation.
+    pub error: f64,
+}
+
+/// The SpaceSaving summary with a fixed budget of `m` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: FxHashMap<u64, (f64, f64)>, // key -> (count, error)
+    total: f64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary with a budget of `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            capacity,
+            counters: FxHashMap::default(),
+            total: 0.0,
+        }
+    }
+
+    /// Counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Observes `weight` for `key`.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite.
+    pub fn update(&mut self, key: u64, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be >= 0, got {weight}"
+        );
+        self.total += weight;
+        if let Some(entry) = self.counters.get_mut(&key) {
+            entry.0 += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, (weight, 0.0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // error bound.
+        let (&min_key, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by(|a, b| {
+                a.1 .0
+                    .partial_cmp(&b.1 .0)
+                    .expect("counts are finite")
+                    .then(a.0.cmp(b.0))
+            })
+            .expect("capacity > 0 so map is non-empty");
+        self.counters.remove(&min_key);
+        self.counters
+            .insert(key, (min_count + weight, min_count));
+    }
+
+    /// Current estimate for `key`, if tracked.
+    pub fn get(&self, key: u64) -> Option<Counter> {
+        self.counters.get(&key).map(|&(count, error)| Counter {
+            key,
+            count,
+            error,
+        })
+    }
+
+    /// The tracked counters sorted by descending estimated count.
+    pub fn counters(&self) -> Vec<Counter> {
+        let mut out: Vec<Counter> = self
+            .counters
+            .iter()
+            .map(|(&key, &(count, error))| Counter { key, count, error })
+            .collect();
+        out.sort_by(|a, b| {
+            b.count
+                .partial_cmp(&a.count)
+                .expect("counts are finite")
+                .then(a.key.cmp(&b.key))
+        });
+        out
+    }
+
+    /// The `k` heaviest tracked keys.
+    pub fn top_k(&self, k: usize) -> Vec<Counter> {
+        let mut out = self.counters();
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for key in 0..5u64 {
+            ss.update(key, (key + 1) as f64);
+        }
+        for key in 0..5u64 {
+            let c = ss.get(key).unwrap();
+            assert_eq!(c.count, (key + 1) as f64);
+            assert_eq!(c.error, 0.0);
+        }
+        assert_eq!(ss.total(), 15.0);
+    }
+
+    #[test]
+    fn guarantees_heavy_hitters() {
+        // Heavy keys 0..5 carry weight 100 each; 500 light keys weight 1.
+        let mut ss = SpaceSaving::new(50);
+        for key in 0..5u64 {
+            ss.update(key, 100.0);
+        }
+        for key in 100..600u64 {
+            ss.update(key, 1.0);
+        }
+        // N/m = 1000/50 = 20 < 100, so all heavy keys must be present.
+        let top: Vec<u64> = ss.top_k(5).into_iter().map(|c| c.key).collect();
+        for key in 0..5u64 {
+            assert!(top.contains(&key), "heavy key {key} missing: {top:?}");
+        }
+    }
+
+    #[test]
+    fn count_bounds_hold() {
+        let mut ss = SpaceSaving::new(8);
+        let mut truth: FxHashMap<u64, f64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            let key = i % 23;
+            let w = ((i % 5) + 1) as f64;
+            ss.update(key, w);
+            *truth.entry(key).or_insert(0.0) += w;
+        }
+        for c in ss.counters() {
+            let t = truth[&c.key];
+            assert!(c.count + 1e-9 >= t, "under-estimate for {}", c.key);
+            assert!(c.count - c.error <= t + 1e-9, "bound violated for {}", c.key);
+        }
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let mut ss = SpaceSaving::new(10);
+        ss.update(1, 5.0);
+        ss.update(2, 9.0);
+        ss.update(3, 7.0);
+        let top = ss.top_k(2);
+        assert_eq!(top[0].key, 2);
+        assert_eq!(top[1].key, 3);
+        assert_eq!(ss.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::new(0);
+    }
+}

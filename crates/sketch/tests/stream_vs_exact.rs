@@ -1,0 +1,94 @@
+//! End-to-end check of the Section VI pipeline on realistic data: the
+//! semi-streaming signatures must agree closely with the exact ones, and
+//! the LSH index must retrieve the exact nearest neighbour most of the
+//! time at a fraction of the comparisons.
+
+use comsig_core::distance::{Jaccard, SignatureDistance};
+use comsig_core::scheme::{SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_datagen::{flownet, FlowNetConfig};
+use comsig_sketch::lsh::LshIndex;
+use comsig_sketch::stream::{SemiStream, StreamConfig};
+
+#[test]
+fn streaming_tt_close_to_exact_on_flow_data() {
+    let d = flownet::generate(&FlowNetConfig::small(51));
+    let g = d.windows.window(0).unwrap();
+    let mut stream = SemiStream::new(StreamConfig::default());
+    stream.observe_graph(g);
+
+    let k = 10;
+    let mut total_dist = 0.0;
+    let subjects = d.local_nodes();
+    for &v in &subjects {
+        let exact = TopTalkers.signature(g, v, k);
+        let approx = stream.tt_signature(v, k);
+        total_dist += Jaccard.distance(&exact, &approx);
+    }
+    let mean = total_dist / subjects.len() as f64;
+    assert!(mean < 0.15, "mean Jaccard(exact, streaming TT) = {mean}");
+}
+
+#[test]
+fn streaming_ut_close_to_exact_on_flow_data() {
+    let d = flownet::generate(&FlowNetConfig::small(52));
+    let g = d.windows.window(0).unwrap();
+    let mut stream = SemiStream::new(StreamConfig::default());
+    stream.observe_graph(g);
+
+    let k = 10;
+    let mut total_dist = 0.0;
+    let subjects = d.local_nodes();
+    for &v in &subjects {
+        let exact = UnexpectedTalkers::new().signature(g, v, k);
+        let approx = stream.ut_signature(v, k);
+        total_dist += Jaccard.distance(&exact, &approx);
+    }
+    let mean = total_dist / subjects.len() as f64;
+    // UT stacks two estimators (CM counts and FM in-degrees), so the
+    // membership agreement is looser than TT's but must stay strong.
+    assert!(mean < 0.35, "mean Jaccard(exact, streaming UT) = {mean}");
+}
+
+#[test]
+fn lsh_retrieves_exact_nearest_neighbor() {
+    let d = flownet::generate(&FlowNetConfig::small(53));
+    let g = d.windows.window(0).unwrap();
+    let subjects = d.local_nodes();
+    let sigs = TopTalkers.signature_set(g, &subjects, 10);
+
+    let mut index = LshIndex::new(24, 3, 9);
+    index.insert_set(&sigs);
+
+    let mut agree = 0;
+    let mut evaluated = 0;
+    for &v in &subjects {
+        let q = sigs.get(v).expect("subject signature");
+        // Exact nearest neighbour by full scan.
+        let exact_nn = subjects
+            .iter()
+            .filter(|&&u| u != v)
+            .map(|&u| (u, Jaccard.distance(q, sigs.get(u).unwrap())))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let Some((exact_u, exact_d)) = exact_nn else {
+            continue;
+        };
+        // LSH only promises retrieval above its similarity threshold
+        // ((1/24)^(1/3) ~ 0.35 similarity); evaluate on queries whose true
+        // nearest neighbour is safely above it.
+        if exact_d > 0.6 {
+            continue;
+        }
+        evaluated += 1;
+        let approx = index.nearest(q, 1, Some(v));
+        if let Some(&(u, _)) = approx.first() {
+            let approx_d = Jaccard.distance(q, sigs.get(u).unwrap());
+            // Accept either the same neighbour or one almost as close.
+            if u == exact_u || approx_d <= exact_d + 0.1 {
+                agree += 1;
+            }
+        }
+    }
+    assert!(evaluated > 0, "no evaluable queries");
+    let recall = agree as f64 / evaluated as f64;
+    assert!(recall > 0.8, "LSH NN agreement = {recall} over {evaluated}");
+}

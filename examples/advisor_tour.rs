@@ -1,0 +1,91 @@
+//! The framework process end to end (Section I's "shopping for
+//! signatures"): state the application, read off the required properties
+//! (Table I), check what each scheme provides (Tables II–III), *measure*
+//! the actual property values on your own data, and pick a scheme.
+//!
+//! ```sh
+//! cargo run --release --example advisor_tour
+//! ```
+
+use comsig::apps::advisor::{paper_profiles, recommend, Application};
+use comsig::apps::measure::{measure, rank_levels, MeasureConfig};
+use comsig::core::distance::SHel;
+use comsig::core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig::datagen::{flownet, FlowNetConfig};
+
+fn main() {
+    // --- 1. Qualitative: the paper's tables ------------------------------
+    for app in [
+        Application::MultiusageDetection,
+        Application::LabelMasquerading,
+        Application::AnomalyDetection,
+    ] {
+        println!("== {app} ==");
+        print!("   needs:");
+        for (property, need) in app.requirements() {
+            print!(" {property:?}={need:?}");
+        }
+        println!();
+        let recs = recommend(app, &paper_profiles());
+        let best = &recs[0];
+        println!("   recommended: {} (score {})", best.scheme, best.score);
+    }
+
+    // --- 2. Quantitative: measure the properties on your data ------------
+    println!("\nmeasuring on synthetic enterprise traffic...");
+    let data = flownet::generate(&FlowNetConfig {
+        num_locals: 100,
+        num_externals: 3000,
+        num_groups: 10,
+        num_windows: 2,
+        seed: 7,
+        ..FlowNetConfig::default()
+    });
+    let subjects = data.local_nodes();
+    let g1 = data.windows.window(0).expect("window 0");
+    let g2 = data.windows.window(1).expect("window 1");
+
+    let schemes: Vec<Box<dyn SignatureScheme>> = vec![
+        Box::new(TopTalkers),
+        Box::new(UnexpectedTalkers::new()),
+        Box::new(Rwr::truncated(0.1, 3).undirected()),
+    ];
+    let measured: Vec<_> = schemes
+        .iter()
+        .map(|s| {
+            measure(
+                s.as_ref(),
+                &SHel,
+                g1,
+                g2,
+                &subjects,
+                &MeasureConfig::default(),
+            )
+        })
+        .collect();
+
+    println!(
+        "{:12} {:>12} {:>11} {:>11}",
+        "scheme", "persistence", "uniqueness", "robustness"
+    );
+    for m in &measured {
+        println!(
+            "{:12} {:>12.3} {:>11.3} {:>11.3}",
+            m.scheme, m.persistence, m.uniqueness, m.robustness
+        );
+    }
+
+    // --- 3. Derive the Table IV levels from the measurements -------------
+    let p_levels = rank_levels(&measured.iter().map(|m| m.persistence).collect::<Vec<_>>());
+    let u_levels = rank_levels(&measured.iter().map(|m| m.uniqueness).collect::<Vec<_>>());
+    let r_levels = rank_levels(&measured.iter().map(|m| m.robustness).collect::<Vec<_>>());
+    println!("\nderived Table IV:");
+    println!("{:12} {:>12} {:>11} {:>11}", "", "persistence", "uniqueness", "robustness");
+    for (i, m) in measured.iter().enumerate() {
+        println!(
+            "{:12} {:>12} {:>11} {:>11}",
+            m.scheme, p_levels[i], u_levels[i], r_levels[i]
+        );
+    }
+    println!("\n(paper Table IV: TT medium/medium/high, UT low/high/low, RWR high/low/medium)");
+}

@@ -1,0 +1,59 @@
+//! Anomaly detection: flag hosts whose communication behaviour changes
+//! abruptly between windows, using signature persistence (Section II-D).
+//!
+//! ```sh
+//! cargo run --release --example anomaly_watch
+//! ```
+
+use comsig::apps::anomaly::{alarms, anomaly_scores, evaluate, Alarm};
+use comsig::core::distance::SHel;
+use comsig::core::scheme::Rwr;
+use comsig::datagen::flownet::{self, AnomalyConfig};
+use comsig::datagen::FlowNetConfig;
+
+fn main() {
+    // Inject 8 behaviour changes at window 1 (e.g. compromised hosts or
+    // reassigned machines).
+    let data = flownet::generate(&FlowNetConfig {
+        num_locals: 100,
+        num_externals: 3000,
+        num_groups: 10,
+        num_windows: 3,
+        anomaly: AnomalyConfig { count: 8, window: 1 },
+        disruption_rate: 0.05,
+        seed: 31337,
+        ..FlowNetConfig::default()
+    });
+    let subjects = data.local_nodes();
+    let g1 = data.windows.window(0).expect("window 0");
+    let g2 = data.windows.window(1).expect("window 1");
+
+    // Anomaly detection needs persistence + robustness -> RWR family.
+    let scheme = Rwr::truncated(0.1, 3).undirected();
+    let scores = anomaly_scores(&scheme, &SHel, g1, g2, &subjects, 10);
+
+    let truth: std::collections::HashSet<_> = data.truth.anomalous.iter().copied().collect();
+    println!("top 12 anomaly scores (1 - persistence):");
+    for s in scores.iter().take(12) {
+        println!(
+            "  {:10} score = {:.3}  [{}]",
+            data.interner.label(s.node).unwrap(),
+            s.score,
+            if truth.contains(&s.node) {
+                "INJECTED ANOMALY"
+            } else {
+                "benign churn"
+            }
+        );
+    }
+
+    let sigma_alarms = alarms(&scores, Alarm::Sigma { lambda: 2.0 });
+    println!("\nmean + 2 sigma alarm rule fires on {} hosts", sigma_alarms.len());
+
+    if let Some(eval) = evaluate(&scores, &data.truth.anomalous) {
+        println!(
+            "AUC = {:.4}, R-precision = {:.3} over {} injected anomalies",
+            eval.auc, eval.r_precision, eval.positives
+        );
+    }
+}

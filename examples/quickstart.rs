@@ -1,0 +1,101 @@
+//! Quickstart: build a communication graph, compute signatures under the
+//! three schemes, compare them with the paper's distance functions, and
+//! measure the three fundamental properties.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use comsig::core::distance::{paper_distances, SHel};
+use comsig::core::properties;
+use comsig::core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig::graph::{GraphBuilder, Interner};
+
+fn main() {
+    // --- 1. Label space -------------------------------------------------
+    let mut interner = Interner::new();
+    let alice = interner.intern("alice-laptop");
+    let bob = interner.intern("bob-desktop");
+    let search = interner.intern("search.example.com");
+    let mail = interner.intern("mail.example.com");
+    let wiki = interner.intern("team-wiki.internal");
+    let forum = interner.intern("obscure-forum.net");
+    let tracker = interner.intern("bug-tracker.internal");
+
+    // --- 2. Week 1: aggregate communication events ----------------------
+    let mut week1 = GraphBuilder::new();
+    week1.add_event(alice, search, 40.0); // everyone uses search
+    week1.add_event(bob, search, 38.0);
+    week1.add_event(alice, mail, 25.0);
+    week1.add_event(bob, mail, 30.0);
+    week1.add_event(alice, wiki, 12.0); // shared team infrastructure
+    week1.add_event(bob, wiki, 9.0);
+    week1.add_event(alice, forum, 6.0); // alice's personal interest
+    week1.add_event(bob, tracker, 14.0); // bob's job
+    let g1 = week1.build(interner.len());
+
+    // Week 2: same people, slightly different volumes.
+    let mut week2 = GraphBuilder::new();
+    week2.add_event(alice, search, 35.0);
+    week2.add_event(bob, search, 42.0);
+    week2.add_event(alice, mail, 28.0);
+    week2.add_event(bob, mail, 27.0);
+    week2.add_event(alice, wiki, 10.0);
+    week2.add_event(bob, wiki, 11.0);
+    week2.add_event(alice, forum, 8.0);
+    week2.add_event(bob, tracker, 12.0);
+    let g2 = week2.build(interner.len());
+
+    // --- 3. Signatures under the three schemes --------------------------
+    let schemes: Vec<Box<dyn SignatureScheme>> = vec![
+        Box::new(TopTalkers),
+        Box::new(UnexpectedTalkers::new()),
+        Box::new(Rwr::truncated(0.1, 3).undirected()),
+    ];
+    let k = 3;
+    for scheme in &schemes {
+        println!("--- {} signatures (k = {k}) ---", scheme.name());
+        for &host in &[alice, bob] {
+            let sig = scheme.signature(&g1, host, k);
+            let rendered: Vec<String> = sig
+                .ranked()
+                .into_iter()
+                .map(|(u, w)| {
+                    format!("{} ({w:.3})", interner.label(u).unwrap_or("?"))
+                })
+                .collect();
+            println!(
+                "  {:12} -> {}",
+                interner.label(host).unwrap_or("?"),
+                rendered.join(", ")
+            );
+        }
+    }
+
+    // --- 4. Distances between alice and bob -----------------------------
+    println!("\n--- Dist(alice, bob) under each scheme and distance ---");
+    for scheme in &schemes {
+        let a = scheme.signature(&g1, alice, k);
+        let b = scheme.signature(&g1, bob, k);
+        let cells: Vec<String> = paper_distances()
+            .iter()
+            .map(|d| format!("{}={:.3}", d.name(), d.distance(&a, &b)))
+            .collect();
+        println!("  {:10} {}", scheme.name(), cells.join("  "));
+    }
+
+    // --- 5. The three fundamental properties ----------------------------
+    println!("\n--- properties (Dist_SHel) ---");
+    for scheme in &schemes {
+        let p = properties::node_persistence(scheme.as_ref(), &SHel, &g1, &g2, alice, k);
+        let u = properties::node_uniqueness(scheme.as_ref(), &SHel, &g1, alice, bob, k);
+        println!(
+            "  {:10} persistence(alice) = {p:.3}   uniqueness(alice, bob) = {u:.3}",
+            scheme.name()
+        );
+    }
+
+    println!("\nAlice keeps her behaviour across weeks (high persistence) and");
+    println!("is distinguishable from Bob by her personal destinations —");
+    println!("exactly the two properties an identity signature needs.");
+}

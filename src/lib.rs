@@ -1,0 +1,34 @@
+//! # comsig — Signatures for Communication Graphs
+//!
+//! Facade crate re-exporting the full `comsig` workspace: a reproduction of
+//! Cormode, Korn, Muthukrishnan & Wu, *On Signatures for Communication
+//! Graphs* (ICDE 2008).
+//!
+//! See the individual crates for details:
+//!
+//! * [`graph`] — communication-graph substrate (CSR digraphs, windows,
+//!   bipartite partitions, the robustness perturbation model).
+//! * [`core`] — the signature framework: schemes (Top Talkers, Unexpected
+//!   Talkers, Random Walk with Resets), distance functions and the three
+//!   signature properties.
+//! * [`eval`] — ROC/AUC machinery and property summaries.
+//! * [`datagen`] — synthetic enterprise-flow and query-log workloads with
+//!   ground truth.
+//! * [`apps`] — multiusage detection, label-masquerading detection
+//!   (Algorithm 1) and anomaly detection.
+//! * [`sketch`] — Section VI scalability extensions: Count-Min and FM
+//!   sketches, semi-streaming signatures, MinHash/LSH.
+
+pub use comsig_apps as apps;
+pub use comsig_core as core;
+pub use comsig_datagen as datagen;
+pub use comsig_eval as eval;
+pub use comsig_graph as graph;
+pub use comsig_sketch as sketch;
+
+/// Commonly used items, importable with `use comsig::prelude::*`.
+pub mod prelude {
+    pub use comsig_graph::{
+        CommGraph, GraphBuilder, Interner, NodeClass, NodeId, Partition,
+    };
+}

@@ -1,0 +1,113 @@
+//! Workspace-spanning integration tests: the full pipeline from raw
+//! events through signatures to application decisions, via the `comsig`
+//! facade crate.
+
+use std::io::Cursor;
+
+use comsig::core::distance::{SHel, SignatureDistance};
+use comsig::core::scheme::{Rwr, SignatureScheme, TopTalkers};
+use comsig::eval::roc::self_identification;
+use comsig::graph::io::{read_events, write_events};
+use comsig::graph::window::{GraphSequence, WindowSpec};
+use comsig::graph::Interner;
+use comsig::prelude::*;
+
+#[test]
+fn events_to_decisions_pipeline() {
+    // 1. Raw flow records, as a monitoring point would emit them.
+    let records = "\
+# time src dst sessions
+0 desk-a search.example 30
+0 desk-a wiki.corp 12
+0 desk-a forum.net 5
+0 desk-b search.example 28
+0 desk-b wiki.corp 9
+0 desk-b tracker.corp 11
+1 desk-a search.example 27
+1 desk-a wiki.corp 14
+1 desk-a forum.net 6
+1 desk-b search.example 31
+1 desk-b wiki.corp 8
+1 desk-b tracker.corp 13
+";
+    let mut interner = Interner::new();
+    let events = read_events(Cursor::new(records), &mut interner).expect("parse");
+    assert_eq!(events.len(), 12);
+
+    // 2. Window the stream.
+    let seq = GraphSequence::from_events(interner.len(), WindowSpec::new(0, 1), &events);
+    assert_eq!(seq.len(), 2);
+    let (g1, g2) = (seq.window(0).unwrap(), seq.window(1).unwrap());
+
+    // 3. Signatures and self-identification.
+    let desk_a = interner.get("desk-a").unwrap();
+    let desk_b = interner.get("desk-b").unwrap();
+    let subjects = vec![desk_a, desk_b];
+    let sigs1 = TopTalkers.signature_set(g1, &subjects, 3);
+    let sigs2 = TopTalkers.signature_set(g2, &subjects, 3);
+    let result = self_identification(&SHel, &sigs1, &sigs2);
+    assert_eq!(result.per_query.len(), 2);
+    assert!(
+        result.mean_auc > 0.99,
+        "stable hosts must match themselves: {}",
+        result.mean_auc
+    );
+
+    // 4. The io layer round-trips the same pipeline input.
+    let mut buffer = Vec::new();
+    write_events(&mut buffer, &interner, &events).expect("write");
+    let mut interner2 = Interner::new();
+    let reparsed = read_events(Cursor::new(buffer.as_slice()), &mut interner2).expect("reparse");
+    assert_eq!(events.len(), reparsed.len());
+}
+
+#[test]
+fn bipartite_restriction_keeps_signatures_on_the_right_side() {
+    let mut b = GraphBuilder::new();
+    // Users 0,1 -> items 2,3,4.
+    b.add_event(NodeId::new(0), NodeId::new(2), 5.0);
+    b.add_event(NodeId::new(0), NodeId::new(3), 3.0);
+    b.add_event(NodeId::new(1), NodeId::new(2), 4.0);
+    b.add_event(NodeId::new(1), NodeId::new(4), 2.0);
+    let g = b.build(5);
+    let partition = Partition::split_at(5, 2);
+    partition.validate(&g).expect("bipartite");
+
+    // The undirected RWR can place mass on peer *users*; the bipartite
+    // restriction must keep only items in the signature.
+    let rwr = Rwr::truncated(0.1, 3).undirected();
+    let set = rwr.bipartite_signature_set(&g, &partition, 10);
+    for (user, sig) in set.iter() {
+        assert!(partition.is_left(user));
+        for (member, _) in sig.iter() {
+            assert!(
+                !partition.is_left(member),
+                "signature of {user} contains user {member}"
+            );
+        }
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The prelude and module re-exports expose the full stack.
+    let mut b = comsig::prelude::GraphBuilder::new();
+    b.add_event(NodeId::new(0), NodeId::new(1), 1.0);
+    let g = b.build(2);
+    let sig = comsig::core::scheme::TopTalkers.signature(&g, NodeId::new(0), 5);
+    assert_eq!(sig.len(), 1);
+
+    let d = comsig::core::distance::Jaccard.distance(&sig, &sig);
+    assert_eq!(d, 0.0);
+
+    // Sketch layer via the facade.
+    let mut cm = comsig::sketch::cm::CountMinSketch::new(8, 2, 1);
+    cm.update(5, 2.0);
+    assert!(cm.query(5) >= 2.0);
+
+    // Datagen via the facade.
+    let data = comsig::datagen::flownet::generate(
+        &comsig::datagen::FlowNetConfig::small(3),
+    );
+    assert!(!data.windows.is_empty());
+}

@@ -1,0 +1,127 @@
+//! Integration tests that assert the paper's *framework-level* claims on
+//! miniature instances — the qualitative statements of Sections II and
+//! III that do not need a full dataset.
+
+use comsig::core::distance::{paper_distances, SHel, SignatureDistance};
+use comsig::core::properties::{persistence, uniqueness};
+use comsig::core::scheme::{
+    decayed_combine, Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers,
+};
+use comsig::prelude::*;
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Section II-C: the trivial label signature fails — it cannot notice an
+/// individual moving between labels, while a behavioural signature can.
+#[test]
+fn behavioural_signatures_follow_individuals_across_labels() {
+    // Window 1: individual X behind label 0 (talks to 10, 11).
+    let mut b = GraphBuilder::new();
+    b.add_event(n(0), n(10), 5.0);
+    b.add_event(n(0), n(11), 3.0);
+    b.add_event(n(1), n(20), 4.0);
+    let g1 = b.build(30);
+    // Window 2: X moved to label 1; label 0 taken over by someone new.
+    let mut b = GraphBuilder::new();
+    b.add_event(n(1), n(10), 6.0);
+    b.add_event(n(1), n(11), 2.0);
+    b.add_event(n(0), n(25), 7.0);
+    let g2 = b.build(30);
+
+    let dist = SHel;
+    let sig_x_before = TopTalkers.signature(&g1, n(0), 5);
+    let sig_label0_after = TopTalkers.signature(&g2, n(0), 5);
+    let sig_label1_after = TopTalkers.signature(&g2, n(1), 5);
+
+    // X's behaviour is recognisable at its new label...
+    assert!(dist.distance(&sig_x_before, &sig_label1_after) < 0.5);
+    // ...and the old label no longer matches.
+    assert!(dist.distance(&sig_x_before, &sig_label0_after) > 0.9);
+}
+
+/// Section III: each scheme exploits its advertised graph characteristic.
+#[test]
+fn schemes_exploit_their_characteristics() {
+    // Engagement: heavier edges enter TT signatures first.
+    let mut b = GraphBuilder::new();
+    b.add_event(n(0), n(1), 100.0);
+    b.add_event(n(0), n(2), 1.0);
+    let g = b.build(3);
+    let tt = TopTalkers.signature(&g, n(0), 1);
+    assert!(tt.contains(n(1)));
+
+    // Novelty: UT prefers the destination nobody else uses.
+    let mut b = GraphBuilder::new();
+    b.add_event(n(0), n(5), 10.0); // popular
+    b.add_event(n(1), n(5), 10.0);
+    b.add_event(n(2), n(5), 10.0);
+    b.add_event(n(0), n(6), 4.0); // novel: 4/1 beats 10/3
+    let g = b.build(7);
+    let ut = UnexpectedTalkers::new().signature(&g, n(0), 1);
+    assert!(ut.contains(n(6)));
+
+    // Transitivity: RWR links nodes with no direct edge via shared
+    // neighbours.
+    let mut b = GraphBuilder::new();
+    b.add_event(n(0), n(3), 1.0);
+    b.add_event(n(1), n(3), 1.0);
+    b.add_event(n(1), n(4), 1.0);
+    let g = b.build(5);
+    let rwr = Rwr::truncated(0.1, 3).undirected().signature(&g, n(0), 10);
+    assert!(rwr.contains(n(4)), "two-hop-out destination reachable");
+    assert!(!TopTalkers.signature(&g, n(0), 10).contains(n(4)));
+}
+
+/// Section II-D framework: persistence and uniqueness are measured with
+/// the same Dist and are complementary views of it.
+#[test]
+fn properties_are_consistent_across_all_paper_distances() {
+    let mut b = GraphBuilder::new();
+    b.add_event(n(0), n(1), 2.0);
+    b.add_event(n(0), n(2), 1.0);
+    b.add_event(n(3), n(4), 2.0);
+    let g = b.build(5);
+    let s0 = TopTalkers.signature(&g, n(0), 5);
+    let s3 = TopTalkers.signature(&g, n(3), 5);
+    for d in paper_distances() {
+        let p = persistence(d.as_ref(), &s0, &s0);
+        assert_eq!(p, 1.0, "{}: self-persistence must be perfect", d.name());
+        let u = uniqueness(d.as_ref(), &s0, &s3);
+        assert_eq!(u, 1.0, "{}: disjoint signatures fully unique", d.name());
+    }
+}
+
+/// Section III-A: time-decayed history smooths one bad window without
+/// erasing long-term behaviour.
+#[test]
+fn time_decay_bridges_a_disrupted_window() {
+    let stable = |seed: f64| {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 10.0 + seed);
+        b.add_event(n(0), n(2), 5.0);
+        b.build(10)
+    };
+    let disrupted = {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(7), 3.0); // one-off destinations only
+        b.add_event(n(0), n(8), 2.0);
+        b.build(10)
+    };
+    let dist = SHel;
+    let k = 3;
+
+    // Single-window signature during the disruption: unrecognisable.
+    let before = TopTalkers.signature(&stable(0.0), n(0), k);
+    let during = TopTalkers.signature(&disrupted, n(0), k);
+    assert_eq!(dist.distance(&before, &during), 1.0);
+
+    // Decay-combined history keeps the long-term identity visible.
+    let combined = decayed_combine(&[&stable(0.0), &stable(1.0), &disrupted], 0.6);
+    let smoothed = TopTalkers.signature(&combined, n(0), k);
+    assert!(
+        dist.distance(&before, &smoothed) < 0.6,
+        "decayed history should still match the stable past"
+    );
+}
