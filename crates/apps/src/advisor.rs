@@ -275,9 +275,7 @@ mod tests {
         assert!(recs[0].gaps.is_empty());
         // TT misses persistence at High need.
         let tt = recs.iter().find(|r| r.scheme == "TT").unwrap();
-        assert!(tt
-            .gaps
-            .contains(&(Property::Persistence, Need::High)));
+        assert!(tt.gaps.contains(&(Property::Persistence, Need::High)));
     }
 
     #[test]

@@ -103,10 +103,7 @@ pub struct AnomalyEval {
 
 /// Scores each subject and evaluates against a ground-truth anomaly set.
 /// Returns `None` when the ground truth is empty or covers every subject.
-pub fn evaluate(
-    scores: &[AnomalyScore],
-    truth: &[NodeId],
-) -> Option<AnomalyEval> {
+pub fn evaluate(scores: &[AnomalyScore], truth: &[NodeId]) -> Option<AnomalyEval> {
     let truth_set: rustc_hash::FxHashSet<NodeId> = truth.iter().copied().collect();
     let pos: Vec<f64> = scores
         .iter()
@@ -166,9 +163,18 @@ mod tests {
     #[test]
     fn alarm_rules() {
         let scores = vec![
-            AnomalyScore { node: n(1), score: 0.9 },
-            AnomalyScore { node: n(2), score: 0.5 },
-            AnomalyScore { node: n(3), score: 0.1 },
+            AnomalyScore {
+                node: n(1),
+                score: 0.9,
+            },
+            AnomalyScore {
+                node: n(2),
+                score: 0.5,
+            },
+            AnomalyScore {
+                node: n(3),
+                score: 0.1,
+            },
         ];
         assert_eq!(alarms(&scores, Alarm::TopN(1)).len(), 1);
         assert_eq!(alarms(&scores, Alarm::Threshold(0.4)).len(), 2);

@@ -198,15 +198,13 @@ pub fn detect_label_masquerading(
 /// correctly cleared or correctly re-identified with their new label.
 pub fn accuracy(detection: &Detection, plan: &MasqueradePlan, num_subjects: usize) -> f64 {
     assert!(num_subjects > 0, "need at least one subject");
-    let perturbed: std::collections::HashSet<NodeId> =
-        plan.perturbed_nodes().into_iter().collect();
+    let perturbed: std::collections::HashSet<NodeId> = plan.perturbed_nodes().into_iter().collect();
     let correct_clear = detection
         .non_suspects
         .iter()
         .filter(|v| !perturbed.contains(v))
         .count();
-    let truth: std::collections::HashSet<(NodeId, NodeId)> =
-        plan.mapping.iter().copied().collect();
+    let truth: std::collections::HashSet<(NodeId, NodeId)> = plan.mapping.iter().copied().collect();
     let correct_pairs = detection
         .detected
         .iter()

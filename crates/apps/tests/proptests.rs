@@ -1,7 +1,9 @@
 //! Property-based tests for the application layer.
 
 use comsig_apps::anomaly::{alarms, Alarm, AnomalyScore};
-use comsig_apps::masquerade::{accuracy, apply_masquerade, plan_masquerade, Detection, MasqueradePlan};
+use comsig_apps::masquerade::{
+    accuracy, apply_masquerade, plan_masquerade, Detection, MasqueradePlan,
+};
 use comsig_apps::multiusage;
 use comsig_core::distance::Jaccard;
 use comsig_core::{Signature, SignatureSet};

@@ -5,6 +5,7 @@
 //! Section VI worries about.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
 use std::hint::black_box;
 
 use comsig_bench::datasets;
@@ -43,6 +44,30 @@ fn bench_schemes(c: &mut Criterion) {
         let rwr = Rwr::truncated(0.1, 3).undirected();
         b.iter(|| black_box(rwr.signature_set(g, &subjects, k)))
     });
+    group.finish();
+
+    // Full-population RWR at increasing hop counts: the batched
+    // dense-workspace engine (the `signature_set` override) against the
+    // per-subject SparseVec reference path it replaced.
+    let mut group = c.benchmark_group("rwr_engine_population");
+    group.sample_size(10);
+    for h in [3u32, 5, 7] {
+        let rwr = Rwr::truncated(0.1, h).undirected();
+        group.bench_with_input(BenchmarkId::new("batched", h), &rwr, |b, rwr| {
+            b.iter(|| black_box(rwr.signature_set(g, &subjects, k)))
+        });
+        // Same rayon fan-out as the pre-engine default `signature_set`,
+        // so the comparison isolates the workspace, not parallelism.
+        group.bench_with_input(BenchmarkId::new("reference", h), &rwr, |b, rwr| {
+            b.iter(|| {
+                let sigs: Vec<_> = subjects
+                    .par_iter()
+                    .map(|&v| rwr.signature(g, v, k))
+                    .collect();
+                black_box(sigs)
+            })
+        });
+    }
     group.finish();
 }
 

@@ -3,13 +3,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use comsig_bench::datasets;
+use comsig_bench::Scale;
+use comsig_graph::NodeId;
 use comsig_sketch::cm::CountMinSketch;
 use comsig_sketch::fm::FmSketch;
 use comsig_sketch::stream::{SemiStream, StreamConfig};
 use comsig_sketch::topk::SpaceSaving;
-use comsig_bench::datasets;
-use comsig_bench::Scale;
-use comsig_graph::NodeId;
 
 fn bench_sketches(c: &mut Criterion) {
     let mut group = c.benchmark_group("sketch_ops");

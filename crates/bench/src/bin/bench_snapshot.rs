@@ -1,0 +1,117 @@
+//! Writes `BENCH_schemes.json` at the repository root: median ns/op for
+//! each signature scheme over the Medium flow dataset, covering both the
+//! batched dense-workspace RWR engine and the per-subject SparseVec
+//! reference path it replaced.
+//!
+//! Run with `cargo run --release -p comsig-bench --bin bench_snapshot`.
+//! The snapshot is the landed, machine-readable record of the perf
+//! numbers quoted in README.md; re-run it after touching the engine.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde_json::{json, Map, Number, Value};
+
+use comsig_bench::datasets;
+use comsig_bench::Scale;
+use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_core::SignatureSet;
+use comsig_graph::{CommGraph, NodeId};
+
+/// Samples per measurement; the median is reported.
+const SAMPLES: usize = 7;
+
+fn median_ns(mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up run (fills lazy caches such as the merged
+    // undirected CSR, touches the page cache).
+    f();
+    let mut ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    ns[ns.len() / 2]
+}
+
+fn reference_signature_set(rwr: &Rwr, g: &CommGraph, subjects: &[NodeId], k: usize) -> usize {
+    let sigs: Vec<_> = subjects
+        .par_iter()
+        .map(|&v| rwr.signature(g, v, k))
+        .collect();
+    sigs.len()
+}
+
+fn main() {
+    let d = datasets::flow(Scale::Medium, 7);
+    let g = d.windows.window(0).expect("window 0");
+    let subjects = d.local_nodes();
+    let k = Scale::Medium.flow_k();
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        eprintln!("{name:<32} {ns:>16.0} ns/op (median of {SAMPLES})");
+        results.push((name.to_string(), ns));
+    };
+
+    record(
+        "TT_all",
+        median_ns(|| {
+            std::hint::black_box(TopTalkers.signature_set(g, &subjects, k));
+        }),
+    );
+    record(
+        "UT_all",
+        median_ns(|| {
+            std::hint::black_box(UnexpectedTalkers::new().signature_set(g, &subjects, k));
+        }),
+    );
+    for h in [3u32, 5, 7] {
+        let rwr = Rwr::truncated(0.1, h).undirected();
+        record(
+            &format!("RWR{h}_all_batched"),
+            median_ns(|| {
+                let set: SignatureSet = rwr.signature_set(g, &subjects, k);
+                std::hint::black_box(set);
+            }),
+        );
+        record(
+            &format!("RWR{h}_all_reference"),
+            median_ns(|| {
+                std::hint::black_box(reference_signature_set(&rwr, g, &subjects, k));
+            }),
+        );
+    }
+
+    let mut schemes = Map::new();
+    for (name, ns) in &results {
+        let mut entry = Map::new();
+        entry.insert(
+            "median_ns".to_string(),
+            Value::Number(Number::from_f64(ns.round()).expect("finite")),
+        );
+        entry.insert(
+            "ns_per_subject".to_string(),
+            Value::Number(Number::from_f64((ns / subjects.len() as f64).round()).expect("finite")),
+        );
+        schemes.insert(name.clone(), Value::Object(entry));
+    }
+    let out = json!({
+        "dataset": "flow_medium_window0",
+        "num_subjects": subjects.len(),
+        "num_nodes": g.num_nodes(),
+        "num_edges": g.num_edges(),
+        "k": k,
+        "samples": SAMPLES,
+        "schemes": Value::Object(schemes),
+    });
+
+    // The bin may be invoked from any directory; anchor the output at
+    // the workspace root relative to this crate's manifest.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_schemes.json");
+    let body = serde_json::to_string_pretty(&out).expect("snapshot serialises");
+    std::fs::write(path, body + "\n").expect("write BENCH_schemes.json");
+    eprintln!("wrote {path}");
+}

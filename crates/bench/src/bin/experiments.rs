@@ -84,8 +84,8 @@ fn main() -> ExitCode {
                     eprintln!("write failed: {e}");
                     return ExitCode::FAILURE;
                 }
-                let json = serde_json::to_string_pretty(&table.to_json())
-                    .expect("tables serialise");
+                let json =
+                    serde_json::to_string_pretty(&table.to_json()).expect("tables serialise");
                 if let Err(e) = fs::write(base.with_extension("json"), json) {
                     eprintln!("write failed: {e}");
                     return ExitCode::FAILURE;

@@ -47,13 +47,7 @@ pub fn run_h_sweep(scale: Scale) -> Vec<Table> {
             })
             .sum::<f64>()
             / subjects.len().max(1) as f64;
-        table.push_row(vec![
-            h.to_string(),
-            f4(auc),
-            f3(mu_p),
-            f3(mu_u),
-            f3(conv),
-        ]);
+        table.push_row(vec![h.to_string(), f4(auc), f3(mu_p), f3(mu_u), f3(conv)]);
     }
     vec![table]
 }
@@ -114,7 +108,10 @@ pub fn run_k_sweep(scale: Scale) -> Vec<Table> {
     let mut headers: Vec<String> = vec!["k".into()];
     headers.extend(schemes.iter().map(|s| format!("AUC {}", s.name())));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new("Ablation A3: signature length sweep (Dist_SHel)", &header_refs);
+    let mut table = Table::new(
+        "Ablation A3: signature length sweep (Dist_SHel)",
+        &header_refs,
+    );
     for k in [2usize, 5, 10, 20, 40] {
         let mut row = vec![k.to_string()];
         for scheme in &schemes {

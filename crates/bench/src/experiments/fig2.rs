@@ -35,11 +35,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let b = scheme.signature_set(g2, &subjects, k);
         let result = self_identification(&dist, &a, &b);
         let mut row = vec![scheme.name(), f4(result.mean_auc)];
-        row.extend(
-            FPR_GRID
-                .iter()
-                .map(|&f| f3(result.mean_curve.tpr_at(f))),
-        );
+        row.extend(FPR_GRID.iter().map(|&f| f3(result.mean_curve.tpr_at(f))));
         table.push_row(row);
     }
     vec![table]

@@ -45,10 +45,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut headers: Vec<String> = vec!["scheme".into(), "AUC".into()];
     headers.extend(FPR_GRID.iter().map(|f| format!("TPR@{f}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut roc_table = Table::new(
-        "Figure 5: multiusage ROC curves (Dist_SHel)",
-        &header_refs,
-    );
+    let mut roc_table = Table::new("Figure 5: multiusage ROC curves (Dist_SHel)", &header_refs);
     for (scheme, set) in schemes.iter().zip(&sets) {
         let eval = multiusage::evaluate(&SHel, set, &d.truth.multiusage_groups);
         let mut row = vec![scheme.name(), f4(eval.mean_auc)];

@@ -42,9 +42,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let c = scheme.signature_set(g2, &subjects, k);
         let gap: f64 = subjects
             .iter()
-            .map(|&v| {
-                Jaccard.distance(q.get(v).expect("sig"), exact_q.get(v).expect("sig"))
-            })
+            .map(|&v| Jaccard.distance(q.get(v).expect("sig"), exact_q.get(v).expect("sig")))
             .sum::<f64>()
             / subjects.len().max(1) as f64;
         // Mass captured by the estimate vector (1 − residual): a proxy

@@ -88,6 +88,9 @@ mod tests {
         let first_tt = rows[0]["TT dist"].as_f64().unwrap();
         let last_tt = rows.last().unwrap()["TT dist"].as_f64().unwrap();
         assert!(last_tt <= first_tt + 1e-9);
-        assert!(last_tt < 0.1, "largest sketch should be near-exact: {last_tt}");
+        assert!(
+            last_tt < 0.1,
+            "largest sketch should be near-exact: {last_tt}"
+        );
     }
 }

@@ -41,7 +41,10 @@ mod tests {
     #[test]
     fn registries_have_expected_lineups() {
         let names: Vec<String> = paper_schemes().iter().map(|s| s.name()).collect();
-        assert_eq!(names, vec!["TT", "UT", "RWR^3_0.1", "RWR^5_0.1", "RWR^7_0.1"]);
+        assert_eq!(
+            names,
+            vec!["TT", "UT", "RWR^3_0.1", "RWR^5_0.1", "RWR^7_0.1"]
+        );
         assert_eq!(application_schemes().len(), 3);
         let dnames: Vec<&str> = distances().iter().map(|d| d.name()).collect();
         assert_eq!(dnames, vec!["Jac", "Dice", "SDice", "SHel"]);

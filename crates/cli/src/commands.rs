@@ -78,8 +78,8 @@ struct Loaded {
 
 fn load(parsed: &Parsed) -> Result<Loaded, CliError> {
     let path = parsed.require("input")?;
-    let file = File::open(path)
-        .map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
+    let file =
+        File::open(path).map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
     let mut interner = Interner::new();
     let events = read_events(BufReader::new(file), &mut interner)?;
     if events.is_empty() {
@@ -119,9 +119,7 @@ fn scheme_of(parsed: &Parsed) -> Result<Box<dyn SignatureScheme>, CliError> {
     parse_scheme(parsed.get("scheme").unwrap_or("tt"))
 }
 
-fn dist_of(
-    parsed: &Parsed,
-) -> Result<Box<dyn comsig_core::distance::SignatureDistance>, CliError> {
+fn dist_of(parsed: &Parsed) -> Result<Box<dyn comsig_core::distance::SignatureDistance>, CliError> {
     parse_distance(parsed.get("dist").unwrap_or("shel"))
 }
 
@@ -297,9 +295,7 @@ fn cmd_sign(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
         let rendered: Vec<String> = sig
             .ranked()
             .into_iter()
-            .map(|(u, weight)| {
-                format!("{}={weight:.4}", loaded.interner.label(u).unwrap_or("?"))
-            })
+            .map(|(u, weight)| format!("{}={weight:.4}", loaded.interner.label(u).unwrap_or("?")))
             .collect();
         writeln!(
             out,
@@ -519,7 +515,11 @@ fn cmd_compare(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     let r = rank_levels(&measured.iter().map(|m| m.robustness).collect::<Vec<_>>());
     writeln!(out, "derived levels (paper Table IV layout):")?;
     for (i, m) in measured.iter().enumerate() {
-        writeln!(out, "{:12} {:>12} {:>11} {:>11}", m.scheme, p[i], u[i], r[i])?;
+        writeln!(
+            out,
+            "{:12} {:>12} {:>11} {:>11}",
+            m.scheme, p[i], u[i], r[i]
+        )?;
     }
     Ok(())
 }
@@ -585,8 +585,20 @@ mod tests {
     fn gen_stats_sign_match_pipeline() {
         let events = temp_path("pipeline.events");
         let msg = run_to_string(&[
-            "gen", "flow", "--locals", "30", "--externals", "500", "--groups", "3",
-            "--windows", "2", "--seed", "5", "--out", &events,
+            "gen",
+            "flow",
+            "--locals",
+            "30",
+            "--externals",
+            "500",
+            "--groups",
+            "3",
+            "--windows",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+            &events,
         ])
         .unwrap();
         assert!(msg.contains("wrote"), "{msg}");
@@ -594,15 +606,18 @@ mod tests {
         let stats = run_to_string(&["stats", "--input", &events]).unwrap();
         assert!(stats.contains("2 windows"), "{stats}");
 
-        let sigs = run_to_string(&[
-            "sign", "--input", &events, "--node", "local0", "--k", "5",
-        ])
-        .unwrap();
+        let sigs =
+            run_to_string(&["sign", "--input", &events, "--node", "local0", "--k", "5"]).unwrap();
         assert!(sigs.starts_with("local0"), "{sigs}");
 
         let matched = run_to_string(&[
-            "match", "--input", &events, "--scheme", "rwr:h=3,c=0.1,undirected",
-            "--dist", "shel",
+            "match",
+            "--input",
+            &events,
+            "--scheme",
+            "rwr:h=3,c=0.1,undirected",
+            "--dist",
+            "shel",
         ])
         .unwrap();
         assert!(matched.contains("mean AUC"), "{matched}");
@@ -623,30 +638,46 @@ mod tests {
         let events = temp_path("truth.events");
         let truth = temp_path("truth.json");
         run_to_string(&[
-            "gen", "flow", "--locals", "30", "--externals", "500", "--groups", "3",
-            "--windows", "2", "--multiusage", "3", "--seed", "6",
-            "--out", &events, "--truth", &truth,
+            "gen",
+            "flow",
+            "--locals",
+            "30",
+            "--externals",
+            "500",
+            "--groups",
+            "3",
+            "--windows",
+            "2",
+            "--multiusage",
+            "3",
+            "--seed",
+            "6",
+            "--out",
+            &events,
+            "--truth",
+            &truth,
         ])
         .unwrap();
         let truth_text = std::fs::read_to_string(&truth).unwrap();
         assert!(truth_text.contains("multiusage_groups"));
 
         let pairs = run_to_string(&[
-            "detect", "multiusage", "--input", &events, "--threshold", "0.8",
+            "detect",
+            "multiusage",
+            "--input",
+            &events,
+            "--threshold",
+            "0.8",
         ])
         .unwrap();
         assert!(pairs.contains("label pairs"), "{pairs}");
 
-        let anomalies = run_to_string(&[
-            "detect", "anomaly", "--input", &events, "--top", "3",
-        ])
-        .unwrap();
+        let anomalies =
+            run_to_string(&["detect", "anomaly", "--input", &events, "--top", "3"]).unwrap();
         assert!(anomalies.contains("anomaly scores"), "{anomalies}");
 
-        let masq = run_to_string(&[
-            "detect", "masquerade", "--input", &events, "--l", "2",
-        ])
-        .unwrap();
+        let masq =
+            run_to_string(&["detect", "masquerade", "--input", &events, "--l", "2"]).unwrap();
         assert!(masq.contains("delta"), "{masq}");
     }
 
@@ -654,8 +685,16 @@ mod tests {
     fn gen_querylog() {
         let events = temp_path("ql.events");
         let msg = run_to_string(&[
-            "gen", "querylog", "--users", "40", "--tables", "60", "--windows", "2",
-            "--out", &events,
+            "gen",
+            "querylog",
+            "--users",
+            "40",
+            "--tables",
+            "60",
+            "--windows",
+            "2",
+            "--out",
+            &events,
         ])
         .unwrap();
         assert!(msg.contains("wrote"));
@@ -676,10 +715,7 @@ mod tests {
 
     #[test]
     fn error_paths() {
-        assert!(matches!(
-            run_to_string(&["stats"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_to_string(&["stats"]), Err(CliError::Usage(_))));
         assert!(matches!(
             run_to_string(&["stats", "--input", "/nonexistent/x.events"]),
             Err(CliError::Failed(_))

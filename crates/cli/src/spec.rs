@@ -2,9 +2,7 @@
 
 use rustc_hash::FxHashMap;
 
-use comsig_core::distance::{
-    Cosine, Dice, Jaccard, Overlap, SDice, SHel, SignatureDistance,
-};
+use comsig_core::distance::{Cosine, Dice, Jaccard, Overlap, SDice, SHel, SignatureDistance};
 use comsig_core::scheme::{PushRwr, Rwr, Scaling, SignatureScheme, TopTalkers, UnexpectedTalkers};
 
 use crate::CliError;
@@ -143,7 +141,10 @@ impl Parsed {
 
     /// A flag value, if present and non-empty.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(String::as_str).filter(|s| !s.is_empty())
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .filter(|s| !s.is_empty())
     }
 
     /// Whether a (possibly bare) flag is present.
@@ -177,16 +178,16 @@ mod tests {
         assert_eq!(parse_scheme("tt").unwrap().name(), "TT");
         assert_eq!(parse_scheme("ut").unwrap().name(), "UT");
         assert_eq!(parse_scheme("ut:tfidf").unwrap().name(), "UT-tfidf");
-        assert_eq!(
-            parse_scheme("rwr:h=3,c=0.1").unwrap().name(),
-            "RWR^3_0.1"
-        );
+        assert_eq!(parse_scheme("rwr:h=3,c=0.1").unwrap().name(), "RWR^3_0.1");
         assert_eq!(
             parse_scheme("rwr:h=5,c=0.2,undirected").unwrap().name(),
             "RWR^5_0.2"
         );
         assert_eq!(parse_scheme("rwr:c=0.3").unwrap().name(), "RWR_0.3");
-        assert!(parse_scheme("push:eps=1e-5").unwrap().name().starts_with("PushRWR"));
+        assert!(parse_scheme("push:eps=1e-5")
+            .unwrap()
+            .name()
+            .starts_with("PushRWR"));
     }
 
     #[test]

@@ -40,8 +40,8 @@ impl SignatureDistance for SHel {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::SDice;
+    use super::*;
     use comsig_graph::NodeId;
 
     fn sig(pairs: &[(usize, f64)]) -> Signature {

@@ -1,0 +1,360 @@
+//! Batched RWR signature engine: dense scatter workspaces.
+//!
+//! [`Rwr::occupancy`](crate::scheme::Rwr::occupancy) builds a fresh
+//! hash-map-backed [`SparseVec`](crate::sparse::SparseVec) per hop; fine
+//! for a single subject, but a full-population `signature_set` runs the
+//! power iteration for thousands of subjects over the same graph, and the
+//! hashing plus per-hop allocation dominates the runtime.
+//!
+//! This module replaces the inner loop with the classic *sparse
+//! accumulator* (SPA) pattern from sparse matrix multiplication: a dense
+//! `values` array indexed by node id, an `epoch` stamp per slot saying
+//! whether the value belongs to the current iteration, and a `touched`
+//! list of live node ids. Scatter-adds become two array reads and a
+//! branch; clearing is O(touched) via an epoch bump rather than O(n).
+//! One [`RwrWorkspace`] (two accumulators, flipped each hop) is reused
+//! across all subjects handled by a worker thread — see the `map_init`
+//! overrides of `signature_set` / `bipartite_signature_set` on
+//! [`Rwr`](crate::scheme::Rwr).
+//!
+//! The arithmetic — transition probabilities, dangling-node resets,
+//! per-hop pruning, steady-state convergence — deliberately mirrors the
+//! `SparseVec` reference implementation, which stays in place as the
+//! single-subject path and as the oracle for the equivalence property
+//! tests; results agree within accumulation-order float noise.
+
+use comsig_graph::{CommGraph, NodeId};
+
+use crate::scheme::{RwrConfig, WalkDirection};
+
+/// A dense sparse-accumulator: O(1) scatter-add, O(touched) iteration
+/// and clearing.
+///
+/// A slot's value is meaningful only while its stamp equals the current
+/// epoch; [`DenseScatter::begin`] invalidates every slot at once by
+/// bumping the epoch.
+#[derive(Debug, Default)]
+pub struct DenseScatter {
+    values: Vec<f64>,
+    stamp: Vec<u32>,
+    touched: Vec<NodeId>,
+    epoch: u32,
+}
+
+impl DenseScatter {
+    /// An empty accumulator; slots are allocated by the first
+    /// [`begin`](DenseScatter::begin).
+    pub fn new() -> Self {
+        DenseScatter::default()
+    }
+
+    /// Starts a new accumulation over node ids `0..n`, logically
+    /// clearing all slots in O(1) (amortised; grows storage on first use
+    /// with a larger `n`).
+    pub fn begin(&mut self, n: usize) {
+        if self.values.len() < n {
+            self.values.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+        }
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps could collide, so pay one O(n)
+            // reset every 2^32 generations.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Adds `delta` to slot `u`, registering it as touched on first use
+    /// this epoch.
+    #[inline]
+    pub fn add(&mut self, u: NodeId, delta: f64) {
+        let i = u.index();
+        if self.stamp[i] == self.epoch {
+            self.values[i] += delta;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.values[i] = delta;
+            self.touched.push(u);
+        }
+    }
+
+    /// The value of slot `u` this epoch (0 if untouched).
+    #[inline]
+    pub fn get(&self, u: NodeId) -> f64 {
+        let i = u.index();
+        if self.stamp[i] == self.epoch {
+            self.values[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of live (touched, unpruned) slots.
+    pub fn live(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Sum of absolute values over live slots.
+    pub fn l1_norm(&self) -> f64 {
+        self.touched
+            .iter()
+            .map(|&u| self.values[u.index()].abs())
+            .sum()
+    }
+
+    /// Drops live slots whose absolute value is at most `threshold`
+    /// (same retention rule as `SparseVec::prune`). Dropped slots read
+    /// as 0 again.
+    pub fn prune(&mut self, threshold: f64) {
+        let values = &mut self.values;
+        self.touched.retain(|&u| {
+            let i = u.index();
+            if values[i].abs() > threshold {
+                true
+            } else {
+                // Keep the stamp but zero the value: the slot must read
+                // as absent without a way to retract the stamp itself.
+                values[i] = 0.0;
+                false
+            }
+        });
+    }
+
+    /// Iterates `(node, value)` over live slots in touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.touched.iter().map(|&u| (u, self.values[u.index()]))
+    }
+
+    /// L1 distance to another accumulator (the steady-state convergence
+    /// test). Costs O(touched(self) + touched(other)).
+    pub fn l1_distance(&self, other: &DenseScatter) -> f64 {
+        let mut d = 0.0;
+        for (u, v) in self.iter() {
+            d += (v - other.get(u)).abs();
+        }
+        for (u, v) in other.iter() {
+            if self.get(u) == 0.0 {
+                d += v.abs();
+            }
+        }
+        d
+    }
+
+    /// Extracts the live entries sorted by node id.
+    pub fn sorted_entries(&self) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = self.iter().collect();
+        v.sort_unstable_by_key(|&(u, _)| u);
+        v
+    }
+}
+
+/// Reusable per-worker state for batched RWR power iterations: two
+/// [`DenseScatter`] accumulators flipped between the current and next
+/// occupancy vector each hop.
+#[derive(Debug, Default)]
+pub struct RwrWorkspace {
+    cur: DenseScatter,
+    nxt: DenseScatter,
+}
+
+impl RwrWorkspace {
+    /// An empty workspace; storage is sized on first use.
+    pub fn new() -> Self {
+        RwrWorkspace::default()
+    }
+
+    /// Runs the RWR power iteration for one subject, reusing this
+    /// workspace's storage, and returns the occupancy vector sorted by
+    /// node id — the same vector (up to accumulation-order float noise)
+    /// as `Rwr::occupancy(g, start).into_sorted_entries()`.
+    pub fn occupancy(
+        &mut self,
+        config: &RwrConfig,
+        g: &CommGraph,
+        start: NodeId,
+    ) -> Vec<(NodeId, f64)> {
+        let c = config.restart;
+        let n = g.num_nodes();
+        self.cur.begin(n);
+        self.cur.add(start, 1.0);
+        let iterations = match config.hops {
+            Some(h) => h,
+            None => config.max_iterations,
+        };
+        for _ in 0..iterations {
+            self.nxt.begin(n);
+            let mut reset_mass = c * self.cur.l1_norm();
+            // Split borrows: read `cur`, scatter into `nxt`.
+            let nxt = &mut self.nxt;
+            for (v, mass) in self.cur.iter() {
+                let step = (1.0 - c) * mass;
+                if step <= 0.0 {
+                    continue;
+                }
+                let dangling = match config.direction {
+                    WalkDirection::Directed => {
+                        let sum = g.out_weight_sum(v);
+                        if sum > 0.0 {
+                            for (u, w) in g.out_neighbors(v) {
+                                nxt.add(u, step * w / sum);
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    WalkDirection::Undirected => {
+                        if let Some(row) = g.undirected_transition_row(v) {
+                            for (u, p) in row {
+                                nxt.add(u, step * p);
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                };
+                if dangling {
+                    // Dangling node: the walker resets.
+                    reset_mass += step;
+                }
+            }
+            self.nxt.add(start, reset_mass);
+            self.nxt.prune(config.prune_threshold);
+            let converged =
+                config.hops.is_none() && self.cur.l1_distance(&self.nxt) < config.tolerance;
+            std::mem::swap(&mut self.cur, &mut self.nxt);
+            if converged {
+                break;
+            }
+        }
+        self.cur.sorted_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Rwr;
+    use comsig_graph::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn diamond() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 3.0);
+        b.add_event(n(0), n(2), 1.0);
+        b.add_event(n(1), n(3), 1.0);
+        b.add_event(n(2), n(3), 1.0);
+        b.build(4)
+    }
+
+    #[test]
+    fn scatter_basic_ops() {
+        let mut s = DenseScatter::new();
+        s.begin(5);
+        s.add(n(3), 0.5);
+        s.add(n(1), 0.25);
+        s.add(n(3), 0.5);
+        assert_eq!(s.get(n(3)), 1.0);
+        assert_eq!(s.get(n(0)), 0.0);
+        assert_eq!(s.live(), 2);
+        assert!((s.l1_norm() - 1.25).abs() < 1e-15);
+        assert_eq!(s.sorted_entries(), vec![(n(1), 0.25), (n(3), 1.0)]);
+
+        // A new epoch clears everything without touching storage.
+        s.begin(5);
+        assert_eq!(s.get(n(3)), 0.0);
+        assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn scatter_prune_drops_small_entries() {
+        let mut s = DenseScatter::new();
+        s.begin(4);
+        s.add(n(0), 1.0);
+        s.add(n(1), 1e-15);
+        s.add(n(2), -2.0);
+        s.prune(1e-12);
+        assert_eq!(s.live(), 2);
+        assert_eq!(s.get(n(1)), 0.0);
+        assert!((s.l1_norm() - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scatter_l1_distance_matches_manual() {
+        let mut a = DenseScatter::new();
+        a.begin(4);
+        a.add(n(0), 1.0);
+        a.add(n(1), 0.5);
+        let mut b = DenseScatter::new();
+        b.begin(4);
+        b.add(n(1), 0.25);
+        b.add(n(2), 0.25);
+        assert!((a.l1_distance(&b) - 1.5).abs() < 1e-12);
+        assert!((b.l1_distance(&a) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_matches_reference_truncated() {
+        let g = diamond();
+        let rwr = Rwr::truncated(0.1, 3);
+        let mut ws = RwrWorkspace::new();
+        for v in g.nodes() {
+            let reference = rwr.occupancy(&g, v).into_sorted_entries();
+            let batched = ws.occupancy(&rwr.config, &g, v);
+            assert_eq!(reference.len(), batched.len(), "subject {v}");
+            for (&(ru, rw), &(bu, bw)) in reference.iter().zip(batched.iter()) {
+                assert_eq!(ru, bu);
+                assert!((rw - bw).abs() < 1e-12, "subject {v} node {ru}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_matches_reference_full_and_undirected() {
+        let g = diamond();
+        let mut ws = RwrWorkspace::new();
+        for rwr in [Rwr::full(0.15), Rwr::truncated(0.1, 5).undirected()] {
+            for v in g.nodes() {
+                let reference = rwr.occupancy(&g, v).into_sorted_entries();
+                let batched = ws.occupancy(&rwr.config, &g, v);
+                assert_eq!(reference.len(), batched.len());
+                for (&(ru, rw), &(bu, bw)) in reference.iter().zip(batched.iter()) {
+                    assert_eq!(ru, bu);
+                    assert!((rw - bw).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_graph_sizes() {
+        // Reusing one workspace across graphs of different sizes (and
+        // after many epochs) must not leak state between runs.
+        let mut ws = RwrWorkspace::new();
+        let small = diamond();
+        let mut b = GraphBuilder::new();
+        for i in 0..50 {
+            b.add_event(n(i), n((i + 1) % 50), 1.0 + i as f64);
+        }
+        let big = b.build(60);
+        let rwr = Rwr::truncated(0.2, 4);
+        for _ in 0..3 {
+            for (g, nn) in [(&small, 4), (&big, 60)] {
+                for i in 0..nn {
+                    let reference = rwr.occupancy(g, n(i)).into_sorted_entries();
+                    let batched = ws.occupancy(&rwr.config, g, n(i));
+                    assert_eq!(reference.len(), batched.len());
+                    for (&(_, rw), &(_, bw)) in reference.iter().zip(batched.iter()) {
+                        assert!((rw - bw).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

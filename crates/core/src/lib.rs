@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod distance;
+pub mod engine;
 pub mod properties;
 pub mod scheme;
 mod signature;

@@ -63,10 +63,7 @@ pub trait SignatureScheme: Sync {
         k: usize,
         allow: &(dyn Fn(NodeId) -> bool + Sync),
     ) -> Signature {
-        let candidates = self
-            .relevance(g, v)
-            .into_iter()
-            .filter(|&(u, _)| allow(u));
+        let candidates = self.relevance(g, v).into_iter().filter(|&(u, _)| allow(u));
         Signature::top_k(v, candidates, k)
     }
 

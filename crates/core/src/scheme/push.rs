@@ -64,32 +64,36 @@ impl PushRwr {
         self
     }
 
-    fn weight_sum(&self, g: &CommGraph, v: NodeId) -> f64 {
-        match self.direction {
-            WalkDirection::Directed => g.out_weight_sum(v),
-            WalkDirection::Undirected => g.out_weight_sum(v) + g.in_weight_sum(v),
-        }
-    }
-
-    fn for_each_neighbor(
+    /// Calls `f(u, p)` with the normalised transition probability `p` for
+    /// each neighbour of `v` in the configured direction. Returns `false`
+    /// without calling `f` if `v` dangles. The weight sums are cached on
+    /// the graph and the undirected row comes pre-normalised from the
+    /// merged CSR, so no per-push re-summing happens here.
+    fn for_each_transition(
         &self,
         g: &CommGraph,
         v: NodeId,
         mut f: impl FnMut(NodeId, f64),
-    ) {
+    ) -> bool {
         match self.direction {
             WalkDirection::Directed => {
-                for (u, w) in g.out_neighbors(v) {
-                    f(u, w);
+                let sum = g.out_weight_sum(v);
+                if sum <= 0.0 {
+                    return false;
                 }
+                for (u, w) in g.out_neighbors(v) {
+                    f(u, w / sum);
+                }
+                true
             }
             WalkDirection::Undirected => {
-                for (u, w) in g.out_neighbors(v) {
-                    f(u, w);
+                let Some(row) = g.undirected_transition_row(v) else {
+                    return false;
+                };
+                for (u, p) in row {
+                    f(u, p);
                 }
-                for (u, w) in g.in_neighbors(v) {
-                    f(u, w);
-                }
+                true
             }
         }
     }
@@ -122,8 +126,13 @@ impl PushRwr {
             r.add(v, -residual);
             p.add(v, c * residual);
             let transit = (1.0 - c) * residual;
-            let sum = self.weight_sum(g, v);
-            if sum <= 0.0 {
+            let pushed = self.for_each_transition(g, v, |u, prob| {
+                r.add(u, transit * prob);
+                if r.get(u) > self.epsilon && queued.insert(u) {
+                    queue.push_back(u);
+                }
+            });
+            if !pushed {
                 // Dangling node: the walker resets to the start.
                 r.add(start, transit);
                 if queued.insert(start) {
@@ -131,12 +140,6 @@ impl PushRwr {
                 }
                 continue;
             }
-            self.for_each_neighbor(g, v, |u, w| {
-                r.add(u, transit * w / sum);
-                if r.get(u) > self.epsilon && queued.insert(u) {
-                    queue.push_back(u);
-                }
-            });
             // The node may have re-accumulated residual from a self-loop
             // path; re-queue if so.
             if r.get(v) > self.epsilon && queued.insert(v) {

@@ -1,8 +1,12 @@
 //! Random Walk with Resets (Definition 5).
 
-use comsig_graph::{CommGraph, NodeId};
+use rayon::prelude::*;
+
+use comsig_graph::{CommGraph, NodeId, Partition};
 
 use super::SignatureScheme;
+use crate::engine::RwrWorkspace;
+use crate::signature::{Signature, SignatureSet};
 use crate::sparse::SparseVec;
 
 /// Which edges the random walk may traverse.
@@ -125,15 +129,14 @@ impl Rwr {
                 true
             }
             WalkDirection::Undirected => {
-                let sum = g.out_weight_sum(v) + g.in_weight_sum(v);
-                if sum <= 0.0 {
+                // The merged CSR row visits each distinct neighbour once
+                // with the transition probability pre-normalised, instead
+                // of walking the out- and in-rows separately.
+                let Some(row) = g.undirected_transition_row(v) else {
                     return false;
-                }
-                for (u, w) in g.out_neighbors(v) {
-                    next.add(u, step * w / sum);
-                }
-                for (u, w) in g.in_neighbors(v) {
-                    next.add(u, step * w / sum);
+                };
+                for (u, p) in row {
+                    next.add(u, step * p);
                 }
                 true
             }
@@ -184,6 +187,56 @@ impl SignatureScheme for Rwr {
 
     fn relevance(&self, g: &CommGraph, v: NodeId) -> Vec<(NodeId, f64)> {
         self.occupancy(g, v).into_sorted_entries()
+    }
+
+    /// Batched override: one dense [`RwrWorkspace`] per rayon worker
+    /// (via `map_init`), reused across all subjects that worker handles,
+    /// instead of a fresh hash map per hop per subject.
+    fn signature_set(&self, g: &CommGraph, subjects: &[NodeId], k: usize) -> SignatureSet {
+        self.prepare(g);
+        let sigs: Vec<Signature> = subjects
+            .par_iter()
+            .map_init(RwrWorkspace::new, |ws, &v| {
+                Signature::top_k(v, ws.occupancy(&self.config, g, v), k)
+            })
+            .collect();
+        SignatureSet::new(subjects.to_vec(), sigs)
+    }
+
+    /// Batched override of the bipartite population, with the same
+    /// per-worker workspace reuse as
+    /// [`signature_set`](SignatureScheme::signature_set).
+    fn bipartite_signature_set(
+        &self,
+        g: &CommGraph,
+        partition: &Partition,
+        k: usize,
+    ) -> SignatureSet {
+        self.prepare(g);
+        let subjects: Vec<NodeId> = partition.left_nodes().collect();
+        let sigs: Vec<Signature> = subjects
+            .par_iter()
+            .map_init(RwrWorkspace::new, |ws, &v| {
+                let candidates = ws
+                    .occupancy(&self.config, g, v)
+                    .into_iter()
+                    .filter(|&(u, _)| !partition.is_left(u));
+                Signature::top_k(v, candidates, k)
+            })
+            .collect();
+        SignatureSet::new(subjects, sigs)
+    }
+}
+
+impl Rwr {
+    /// Pays one-off per-graph costs before fanning out workers: an
+    /// undirected batch walks the merged CSR for every subject, so
+    /// materialise it once up front rather than stalling the first
+    /// worker that touches the `OnceLock`.
+    fn prepare(&self, g: &CommGraph) {
+        if self.config.direction == WalkDirection::Undirected {
+            g.warm_undirected_view();
+        }
     }
 }
 
@@ -284,7 +337,9 @@ mod tests {
         b.add_event(n(1), n(2), 1.0);
         let g = b.build(3);
         assert!(!TopTalkers.signature(&g, n(0), 10).contains(n(2)));
-        assert!(Rwr::truncated(0.1, 2).signature(&g, n(0), 10).contains(n(2)));
+        assert!(Rwr::truncated(0.1, 2)
+            .signature(&g, n(0), 10)
+            .contains(n(2)));
     }
 
     #[test]
@@ -336,6 +391,57 @@ mod tests {
         assert_ne!(h1.len(), h3.len()); // h=3 sees nodes h=1 cannot
         assert!(h3.contains(n(5)));
         assert!(!h1.contains(n(5)));
+    }
+
+    #[test]
+    fn batched_set_matches_per_subject_signatures() {
+        let mut b = GraphBuilder::new();
+        for i in 0..15 {
+            b.add_event(n(i), n(15 + i % 5), (i + 1) as f64);
+            b.add_event(n(i), n(15 + (i + 2) % 5), 1.5);
+        }
+        let g = b.build(20);
+        let subjects: Vec<NodeId> = (0..15).map(n).collect();
+        for rwr in [
+            Rwr::truncated(0.1, 3),
+            Rwr::truncated(0.1, 3).undirected(),
+            Rwr::full(0.15).undirected(),
+        ] {
+            let set = rwr.signature_set(&g, &subjects, 4);
+            for &v in &subjects {
+                let direct = rwr.signature(&g, v, 4);
+                let batched = set.get(v).unwrap();
+                assert_eq!(batched.len(), direct.len(), "{} subject {v}", rwr.name());
+                for (u, w) in direct.iter() {
+                    let bw = batched.get(u).unwrap();
+                    assert!((bw - w).abs() < 1e-12, "{} {v}->{u}", rwr.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_bipartite_set_matches_filtered_signatures() {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(3), 3.0);
+        b.add_event(n(0), n(4), 1.0);
+        b.add_event(n(1), n(3), 2.0);
+        b.add_event(n(1), n(5), 2.0);
+        b.add_event(n(2), n(4), 1.0);
+        let g = b.build(6);
+        let p = Partition::split_at(6, 3);
+        let rwr = Rwr::truncated(0.1, 3).undirected();
+        let set = rwr.bipartite_signature_set(&g, &p, 4);
+        assert_eq!(set.len(), 3);
+        for v in (0..3).map(n) {
+            let direct = rwr.signature_filtered(&g, v, 4, &|u| !p.is_left(u));
+            let batched = set.get(v).unwrap();
+            assert_eq!(batched.len(), direct.len(), "subject {v}");
+            for (u, w) in direct.iter() {
+                assert!(!p.is_left(u));
+                assert!((batched.get(u).unwrap() - w).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Signature {
     /// * ties are broken deterministically by smaller node id (the paper
     ///   allows arbitrary tie-breaking);
     /// * duplicate candidate nodes are summed before selection.
-    pub fn top_k(subject: NodeId, candidates: impl IntoIterator<Item = (NodeId, f64)>, k: usize) -> Self {
+    pub fn top_k(
+        subject: NodeId,
+        candidates: impl IntoIterator<Item = (NodeId, f64)>,
+        k: usize,
+    ) -> Self {
         let mut merged: FxHashMap<NodeId, f64> = FxHashMap::default();
         for (u, w) in candidates {
             if u != subject && w.is_finite() && w > 0.0 {
@@ -43,12 +47,21 @@ impl Signature {
             }
         }
         let mut entries: Vec<(NodeId, f64)> = merged.into_iter().collect();
-        entries.sort_unstable_by(|a, b| {
+        let rank = |a: &(NodeId, f64), b: &(NodeId, f64)| {
             b.1.partial_cmp(&a.1)
                 .expect("weights are finite")
                 .then(a.0.cmp(&b.0))
-        });
-        entries.truncate(k);
+        };
+        // Only the k survivors matter and they get re-sorted by id below,
+        // so an O(n) partial selection beats the O(n log n) full sort
+        // whenever the candidate set is larger than k (multi-hop schemes
+        // produce hundreds of candidates for k ~ 10).
+        if k > 0 && k < entries.len() {
+            entries.select_nth_unstable_by(k - 1, rank);
+            entries.truncate(k);
+        } else {
+            entries.truncate(k);
+        }
         entries.sort_unstable_by_key(|&(u, _)| u);
         Signature { entries }
     }
@@ -106,11 +119,7 @@ impl Signature {
             return self.clone();
         }
         Signature {
-            entries: self
-                .entries
-                .iter()
-                .map(|&(u, w)| (u, w / sum))
-                .collect(),
+            entries: self.entries.iter().map(|&(u, w)| (u, w / sum)).collect(),
         }
     }
 
@@ -235,10 +244,7 @@ impl SignatureSet {
 
     /// Iterates `(subject, signature)` in construction order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Signature)> {
-        self.subjects
-            .iter()
-            .copied()
-            .zip(self.signatures.iter())
+        self.subjects.iter().copied().zip(self.signatures.iter())
     }
 }
 
@@ -267,10 +273,10 @@ mod tests {
         let s = Signature::top_k(
             n(1),
             vec![
-                (n(1), 100.0),      // subject
-                (n(2), -1.0),       // negative
-                (n(3), f64::NAN),   // non-finite
-                (n(4), 0.0),        // zero
+                (n(1), 100.0),    // subject
+                (n(2), -1.0),     // negative
+                (n(3), f64::NAN), // non-finite
+                (n(4), 0.0),      // zero
                 (n(5), 0.7),
             ],
             10,

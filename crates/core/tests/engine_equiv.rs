@@ -1,0 +1,136 @@
+//! Equivalence properties for the batched dense-workspace RWR engine.
+//!
+//! The [`RwrWorkspace`] path must reproduce the `SparseVec` reference
+//! implementation (`Rwr::occupancy`) entry-for-entry within float
+//! accumulation noise, on random graphs, in both walk directions, for
+//! truncated and steady-state iterations — including the dangling-node
+//! convention of returning stranded mass to the start node.
+
+use comsig_core::engine::RwrWorkspace;
+use comsig_core::scheme::{Rwr, SignatureScheme};
+use comsig_graph::{CommGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-12;
+
+fn arb_graph() -> impl Strategy<Value = CommGraph> {
+    (
+        3usize..20,
+        prop::collection::vec((0u32..20, 0u32..20, 0.5f64..9.0), 1..60),
+    )
+        .prop_map(|(extra, raw)| {
+            let mut b = GraphBuilder::new();
+            for (s, d, w) in raw {
+                b.add_event(
+                    NodeId::new(s as usize % (extra + 3)),
+                    NodeId::new(d as usize % (extra + 3)),
+                    w,
+                );
+            }
+            b.build(extra + 3)
+        })
+}
+
+/// Bipartite left→right graphs: every right node dangles for directed
+/// walks, exercising the reset-mass path on every hop.
+fn arb_bipartite_graph() -> impl Strategy<Value = CommGraph> {
+    (
+        2usize..8,
+        prop::collection::vec((0u32..8, 0u32..12, 0.5f64..9.0), 1..40),
+    )
+        .prop_map(|(left, raw)| {
+            let mut b = GraphBuilder::new();
+            let right = 12;
+            for (s, d, w) in raw {
+                b.add_event(
+                    NodeId::new(s as usize % left),
+                    NodeId::new(left + d as usize % right),
+                    w,
+                );
+            }
+            b.build(left + right)
+        })
+}
+
+fn assert_occupancy_matches(rwr: &Rwr, g: &CommGraph, ws: &mut RwrWorkspace) {
+    for v in g.nodes() {
+        let reference = rwr.occupancy(g, v).into_sorted_entries();
+        let batched = ws.occupancy(&rwr.config, g, v);
+        assert_eq!(
+            reference.len(),
+            batched.len(),
+            "{} subject {v}: {} reference vs {} batched entries",
+            rwr.name(),
+            reference.len(),
+            batched.len()
+        );
+        for (&(ru, rw), &(bu, bw)) in reference.iter().zip(batched.iter()) {
+            assert_eq!(ru, bu, "{} subject {v}", rwr.name());
+            assert!(
+                (rw - bw).abs() < TOL,
+                "{} subject {v} node {ru}: reference {rw} vs batched {bw}",
+                rwr.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Directed truncated walks: the workspace result equals the
+    /// reference on every subject of a random graph (which routinely
+    /// contains dangling destinations, so reset mass is exercised too).
+    #[test]
+    fn dense_matches_sparse_directed(g in arb_graph(), h in 1u32..6) {
+        let mut ws = RwrWorkspace::new();
+        assert_occupancy_matches(&Rwr::truncated(0.1, h), &g, &mut ws);
+    }
+
+    /// Undirected truncated walks over the merged CSR view.
+    #[test]
+    fn dense_matches_sparse_undirected(g in arb_graph(), h in 1u32..6) {
+        let mut ws = RwrWorkspace::new();
+        assert_occupancy_matches(&Rwr::truncated(0.15, h).undirected(), &g, &mut ws);
+    }
+
+    /// Steady-state walks, both directions, including the convergence
+    /// early exit.
+    #[test]
+    fn dense_matches_sparse_steady_state(g in arb_graph(), c in 0.05f64..0.9) {
+        let mut ws = RwrWorkspace::new();
+        assert_occupancy_matches(&Rwr::full(c), &g, &mut ws);
+        assert_occupancy_matches(&Rwr::full(c).undirected(), &g, &mut ws);
+    }
+
+    /// On bipartite graphs every directed walk strands all transit mass
+    /// at dangling right-nodes each hop; the reset bookkeeping of the
+    /// two implementations must agree exactly.
+    #[test]
+    fn dense_matches_sparse_dangling_heavy(g in arb_bipartite_graph(), h in 1u32..5) {
+        let mut ws = RwrWorkspace::new();
+        assert_occupancy_matches(&Rwr::truncated(0.1, h), &g, &mut ws);
+        assert_occupancy_matches(&Rwr::truncated(0.1, h).undirected(), &g, &mut ws);
+    }
+
+    /// The batched `signature_set` override (workspace per worker) ends
+    /// in the same signatures as the per-subject default path.
+    #[test]
+    fn batched_signature_set_matches_default(g in arb_graph(), h in 1u32..5, k in 1usize..8) {
+        let rwr = Rwr::truncated(0.1, h).undirected();
+        let subjects: Vec<NodeId> = g.nodes().collect();
+        let set = rwr.signature_set(&g, &subjects, k);
+        for &v in &subjects {
+            let direct = reference_signature(&rwr, &g, v, k);
+            let batched = set.get(v).unwrap();
+            prop_assert_eq!(batched.len(), direct.len());
+            for (u, w) in direct.iter() {
+                let bw = batched.get(u).unwrap();
+                prop_assert!((bw - w).abs() < TOL, "subject {} node {}", v, u);
+            }
+        }
+    }
+}
+
+/// The default (non-overridden) per-subject signature path.
+fn reference_signature(rwr: &Rwr, g: &CommGraph, v: NodeId, k: usize) -> comsig_core::Signature {
+    comsig_core::Signature::top_k(v, rwr.occupancy(g, v).into_sorted_entries(), k)
+}

@@ -10,17 +10,18 @@ fn arb_signature(max_nodes: usize) -> impl Strategy<Value = Signature> {
     prop::collection::vec((0..max_nodes as u32, 0.01f64..10.0), 0..12).prop_map(|pairs| {
         Signature::top_k(
             NodeId::new(999_999),
-            pairs
-                .into_iter()
-                .map(|(i, w)| (NodeId::new(i as usize), w)),
+            pairs.into_iter().map(|(i, w)| (NodeId::new(i as usize), w)),
             8,
         )
     })
 }
 
 fn arb_graph() -> impl Strategy<Value = CommGraph> {
-    (3usize..20, prop::collection::vec((0u32..20, 0u32..20, 0.5f64..9.0), 1..60)).prop_map(
-        |(extra, raw)| {
+    (
+        3usize..20,
+        prop::collection::vec((0u32..20, 0u32..20, 0.5f64..9.0), 1..60),
+    )
+        .prop_map(|(extra, raw)| {
             let mut b = GraphBuilder::new();
             for (s, d, w) in raw {
                 b.add_event(
@@ -30,8 +31,7 @@ fn arb_graph() -> impl Strategy<Value = CommGraph> {
                 );
             }
             b.build(extra + 3)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -69,7 +69,10 @@ pub struct AnomalyConfig {
 impl AnomalyConfig {
     /// No anomalies.
     pub fn none() -> Self {
-        AnomalyConfig { count: 0, window: 0 }
+        AnomalyConfig {
+            count: 0,
+            window: 0,
+        }
     }
 }
 
@@ -244,8 +247,7 @@ impl FlowNetConfig {
         assert!(self.profile_size > 0, "profile_size must be positive");
         assert!(self.num_windows > 0, "need at least one window");
         assert!(
-            self.noise_share + self.popular_share + self.group_share + self.ephemeral_share
-                <= 1.0,
+            self.noise_share + self.popular_share + self.group_share + self.ephemeral_share <= 1.0,
             "traffic shares must not exceed 1"
         );
         assert!(
@@ -513,8 +515,7 @@ pub fn generate(cfg: &FlowNetConfig) -> FlowDataset {
                 for _ in 0..sessions {
                     if disrupted && rng.random_range(0.0..1.0) < cfg.disruption_strength {
                         // Atypical activity: one-off or background only.
-                        let dst = if !ephemerals.is_empty() && rng.random_range(0.0..1.0) < 0.7
-                        {
+                        let dst = if !ephemerals.is_empty() && rng.random_range(0.0..1.0) < 0.7 {
                             ephemerals[rng.random_range(0..ephemerals.len())]
                         } else {
                             ext_node(global_zipf.sample(&mut rng))
@@ -528,8 +529,7 @@ pub fn generate(cfg: &FlowNetConfig) -> FlowDataset {
                     let dst = if r < p_noise {
                         ext_node(global_zipf.sample(&mut rng))
                     } else if r < p_popular && !ind.popular.is_empty() {
-                        ind.popular
-                            [crate::randutil::weighted_index(&mut rng, &ind.popular_weights)]
+                        ind.popular[crate::randutil::weighted_index(&mut rng, &ind.popular_weights)]
                     } else if r < p_group {
                         ind.group_profile.sample(&mut rng)
                     } else if r < p_ephemeral && !ephemerals.is_empty() {
@@ -589,7 +589,9 @@ mod tests {
         let d = generate(&FlowNetConfig::small(1));
         assert_eq!(d.windows.len(), 4);
         for g in d.windows.iter() {
-            d.partition.validate(g).expect("edges must be local -> external");
+            d.partition
+                .validate(g)
+                .expect("edges must be local -> external");
         }
         assert_eq!(d.local_nodes().len(), 40);
     }
@@ -624,7 +626,11 @@ mod tests {
         let d = generate(&FlowNetConfig::small(4));
         let g = d.windows.window(0).unwrap();
         let stats = graph_stats(g);
-        assert!(stats.in_degree_gini > 0.3, "gini = {}", stats.in_degree_gini);
+        assert!(
+            stats.in_degree_gini > 0.3,
+            "gini = {}",
+            stats.in_degree_gini
+        );
         assert!(stats.mean_out_degree >= 8.0);
     }
 
@@ -658,7 +664,10 @@ mod tests {
     #[test]
     fn anomalies_change_behavior_at_window() {
         let cfg = FlowNetConfig {
-            anomaly: AnomalyConfig { count: 4, window: 2 },
+            anomaly: AnomalyConfig {
+                count: 4,
+                window: 2,
+            },
             drift_rate: 0.0,
             ..FlowNetConfig::small(6)
         };
@@ -670,24 +679,20 @@ mod tests {
         let g1 = d.windows.window(1).unwrap();
         let g2 = d.windows.window(2).unwrap();
         let overlap = |v: NodeId| {
-            let a: std::collections::HashSet<_> =
-                g1.out_neighbors(v).map(|(u, _)| u).collect();
-            let b: std::collections::HashSet<_> =
-                g2.out_neighbors(v).map(|(u, _)| u).collect();
+            let a: std::collections::HashSet<_> = g1.out_neighbors(v).map(|(u, _)| u).collect();
+            let b: std::collections::HashSet<_> = g2.out_neighbors(v).map(|(u, _)| u).collect();
             let inter = a.intersection(&b).count() as f64;
             inter / a.union(&b).count().max(1) as f64
         };
         let anom: Vec<NodeId> = d.truth.anomalous.clone();
-        let anom_mean: f64 =
-            anom.iter().map(|&v| overlap(v)).sum::<f64>() / anom.len() as f64;
+        let anom_mean: f64 = anom.iter().map(|&v| overlap(v)).sum::<f64>() / anom.len() as f64;
         let normal: Vec<NodeId> = d
             .local_nodes()
             .into_iter()
             .filter(|v| !anom.contains(v))
             .take(10)
             .collect();
-        let norm_mean: f64 =
-            normal.iter().map(|&v| overlap(v)).sum::<f64>() / normal.len() as f64;
+        let norm_mean: f64 = normal.iter().map(|&v| overlap(v)).sum::<f64>() / normal.len() as f64;
         assert!(
             anom_mean + 0.15 < norm_mean,
             "anomalous overlap {anom_mean} vs normal {norm_mean}"

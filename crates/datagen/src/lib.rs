@@ -42,6 +42,6 @@ pub mod querylog;
 pub mod randutil;
 pub mod zipf;
 
-pub use flownet::{AnomalyConfig, FlowDataset, FlowNetConfig, GroundTruth, MultiusageConfig};
 pub use callgraph::{CallGraphConfig, CallGraphDataset};
+pub use flownet::{AnomalyConfig, FlowDataset, FlowNetConfig, GroundTruth, MultiusageConfig};
 pub use querylog::{QueryLogConfig, QueryLogDataset};

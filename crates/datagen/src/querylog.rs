@@ -183,9 +183,7 @@ pub fn generate(cfg: &QueryLogConfig) -> QueryLogDataset {
             let mean = cfg.queries_per_window * volume_noise(&mut rng, cfg.volume_sigma);
             let queries = poisson(&mut rng, mean);
             for _ in 0..queries {
-                let dst = if cfg.hot_tables > 0
-                    && rng.random_range(0.0..1.0) < cfg.hot_share
-                {
+                let dst = if cfg.hot_tables > 0 && rng.random_range(0.0..1.0) < cfg.hot_share {
                     table_node(weighted_index(&mut rng, &hot_weights))
                 } else {
                     profile.sample(&mut rng)
@@ -235,10 +233,7 @@ mod tests {
         let degrees: Vec<usize> = d.user_nodes().iter().map(|&u| g.out_degree(u)).collect();
         let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
         // Working sets are ~6 tables plus hot tables.
-        assert!(
-            (4.0..20.0).contains(&mean),
-            "mean distinct tables = {mean}"
-        );
+        assert!((4.0..20.0).contains(&mean), "mean distinct tables = {mean}");
     }
 
     #[test]

@@ -104,8 +104,12 @@ fn flow_auc_multihop_beats_onehop() {
     let dist = SHel;
 
     let auc = |scheme: &dyn SignatureScheme| {
-        self_identification(&dist, &sigs(scheme, g1, &subjects), &sigs(scheme, g2, &subjects))
-            .mean_auc
+        self_identification(
+            &dist,
+            &sigs(scheme, g1, &subjects),
+            &sigs(scheme, g2, &subjects),
+        )
+        .mean_auc
     };
     let a_tt = auc(&s.tt);
     let a_ut = auc(&s.ut);
@@ -131,8 +135,12 @@ fn flow_robustness_high_for_all_tt_leads_rwr() {
     let dist = SHel;
 
     let auc = |scheme: &dyn SignatureScheme| {
-        self_identification(&dist, &sigs(scheme, g, &subjects), &sigs(scheme, &gp, &subjects))
-            .mean_auc
+        self_identification(
+            &dist,
+            &sigs(scheme, g, &subjects),
+            &sigs(scheme, &gp, &subjects),
+        )
+        .mean_auc
     };
     let r_tt = auc(&s.tt);
     let r_rwr3 = auc(&s.rwr3);
@@ -144,7 +152,12 @@ fn flow_robustness_high_for_all_tt_leads_rwr() {
     // uniqueness keeps its self-match AUC at the top of the band.)
     assert!(r_tt > r_rwr3, "TT {r_tt} should beat RWR3 {r_rwr3}");
     assert!(r_rwr3 > r_rwr7, "RWR3 {r_rwr3} should beat RWR7 {r_rwr7}");
-    for (name, r) in [("TT", r_tt), ("UT", r_ut), ("RWR3", r_rwr3), ("RWR7", r_rwr7)] {
+    for (name, r) in [
+        ("TT", r_tt),
+        ("UT", r_ut),
+        ("RWR3", r_rwr3),
+        ("RWR7", r_rwr7),
+    ] {
         assert!(r > 0.95, "{name} robustness {r} should be high");
     }
 }

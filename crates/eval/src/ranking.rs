@@ -59,10 +59,7 @@ impl Ranking {
 
     /// The distance recorded for candidate `u`, if present.
     pub fn distance_of(&self, u: NodeId) -> Option<f64> {
-        self.entries
-            .iter()
-            .find(|&&(c, _)| c == u)
-            .map(|&(_, d)| d)
+        self.entries.iter().find(|&&(c, _)| c == u).map(|&(_, d)| d)
     }
 
     /// The best `l` candidates (the masquerading detector's "top-ℓ").

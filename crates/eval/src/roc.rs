@@ -144,8 +144,7 @@ impl RocCurve {
         let points = (0..grid)
             .map(|i| {
                 let x = i as f64 / (grid - 1) as f64;
-                let y =
-                    curves.iter().map(|c| c.tpr_at(x)).sum::<f64>() / curves.len() as f64;
+                let y = curves.iter().map(|c| c.tpr_at(x)).sum::<f64>() / curves.len() as f64;
                 (x, y)
             })
             .collect();
@@ -335,10 +334,7 @@ mod tests {
     fn self_identification_chance_when_uninformative() {
         // Every node has the same signature in both windows: all
         // distances tie at 0, so AUC must be exactly 0.5.
-        let t = SignatureSet::new(
-            vec![n(0), n(1), n(2), n(3)],
-            vec![sig(&[10]); 4],
-        );
+        let t = SignatureSet::new(vec![n(0), n(1), n(2), n(3)], vec![sig(&[10]); 4]);
         let result = self_identification(&Jaccard, &t, &t.clone());
         assert!((result.mean_auc - 0.5).abs() < 1e-12);
     }

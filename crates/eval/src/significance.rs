@@ -35,7 +35,10 @@ impl AucEstimate {
     /// # Panics
     /// Panics if either class is empty or `auc` is outside `[0, 1]`.
     pub fn hanley_mcneil(auc: f64, n_pos: usize, n_neg: usize) -> AucEstimate {
-        assert!((0.0..=1.0).contains(&auc), "AUC must be in [0,1], got {auc}");
+        assert!(
+            (0.0..=1.0).contains(&auc),
+            "AUC must be in [0,1], got {auc}"
+        );
         assert!(n_pos > 0 && n_neg > 0, "need samples in both classes");
         let a = auc;
         let q1 = a / (2.0 - a);
@@ -90,7 +93,13 @@ pub fn two_sided_p_value(z: f64) -> f64 {
 fn standard_normal_cdf(x: f64) -> f64 {
     // Φ(x) = 1 − φ(x)·(b₁t + b₂t² + … + b₅t⁵), t = 1/(1+px), x ≥ 0.
     let p = 0.231_641_9;
-    let b = [0.319_381_530, -0.356_563_782, 1.781_477_937, -1.821_255_978, 1.330_274_429];
+    let b = [
+        0.319_381_530,
+        -0.356_563_782,
+        1.781_477_937,
+        -1.821_255_978,
+        1.330_274_429,
+    ];
     let t = 1.0 / (1.0 + p * x);
     let poly = t * (b[0] + t * (b[1] + t * (b[2] + t * (b[3] + t * b[4]))));
     let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
@@ -121,7 +130,11 @@ mod tests {
         // A = 0.8, n+ = n- = 50: Q1 = 0.6667, Q2 = 0.7111;
         // var = (0.16 + 49*0.02667 + 49*0.07111)/2500 ≈ 0.001981.
         let e = AucEstimate::hanley_mcneil(0.8, 50, 50);
-        assert!((e.std_error - 0.001_981f64.sqrt()).abs() < 1e-3, "{}", e.std_error);
+        assert!(
+            (e.std_error - 0.001_981f64.sqrt()).abs() < 1e-3,
+            "{}",
+            e.std_error
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The immutable CSR communication graph.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::edge::{Edge, Weight};
@@ -34,6 +36,30 @@ pub struct CommGraph {
     in_offsets: Vec<usize>,
     in_sources: Vec<NodeId>,
     in_weights: Vec<Weight>,
+
+    // Cached row/column sums of the weight matrix, so that
+    // `out_weight_sum` / `in_weight_sum` — which sit on the inner loop of
+    // every random-walk step — are O(1) lookups instead of O(deg) scans.
+    out_weight_sums: Vec<Weight>,
+    in_weight_sums: Vec<Weight>,
+
+    // Lazily materialised symmetrised adjacency (see [`UndirectedCsr`]).
+    undirected: OnceLock<UndirectedCsr>,
+}
+
+/// Merged, pre-normalised undirected view of a [`CommGraph`].
+///
+/// Row `v` holds the distinct neighbours of `v` in either direction, each
+/// with the transition probability
+/// `(C[v,u] + C[u,v]) / (Σ C[v,·] + Σ C[·,v])` already divided out. An
+/// undirected random-walk step then reads one contiguous, sorted row and
+/// multiplies — no per-step merging of the out- and in-rows and no
+/// re-normalisation. Built once per graph on first use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct UndirectedCsr {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    probs: Vec<f64>,
 }
 
 impl CommGraph {
@@ -96,11 +122,15 @@ impl CommGraph {
         let mut cursor = in_offsets.clone();
         let mut in_sources = vec![NodeId::new(0); m];
         let mut in_weights = vec![0.0; m];
+        let mut out_weight_sums = vec![0.0; num_nodes];
+        let mut in_weight_sums = vec![0.0; num_nodes];
         for e in &edges {
             let slot = cursor[e.dst.index()];
             in_sources[slot] = e.src;
             in_weights[slot] = e.weight;
             cursor[e.dst.index()] += 1;
+            out_weight_sums[e.src.index()] += e.weight;
+            in_weight_sums[e.dst.index()] += e.weight;
         }
 
         CommGraph {
@@ -113,6 +143,9 @@ impl CommGraph {
             in_offsets,
             in_sources,
             in_weights,
+            out_weight_sums,
+            in_weight_sums,
+            undirected: OnceLock::new(),
         }
     }
 
@@ -153,20 +186,24 @@ impl CommGraph {
         self.in_offsets[i + 1] - self.in_offsets[i]
     }
 
-    /// Total outgoing volume `Σ_u C[v, u]` (row sum of the weight matrix).
+    /// Total outgoing volume `Σ_u C[v, u]` (row sum of the weight
+    /// matrix). Cached at construction; O(1).
+    #[inline]
     pub fn out_weight_sum(&self, v: NodeId) -> Weight {
-        let i = v.index();
-        self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]]
-            .iter()
-            .sum()
+        self.out_weight_sums[v.index()]
     }
 
-    /// Total incoming volume `Σ_u C[u, v]`.
+    /// Total incoming volume `Σ_u C[u, v]`. Cached at construction; O(1).
+    #[inline]
     pub fn in_weight_sum(&self, v: NodeId) -> Weight {
-        let i = v.index();
-        self.in_weights[self.in_offsets[i]..self.in_offsets[i + 1]]
-            .iter()
-            .sum()
+        self.in_weight_sums[v.index()]
+    }
+
+    /// Total incident volume `Σ_u C[v, u] + Σ_u C[u, v]`: the
+    /// normaliser of an undirected random-walk step from `v`. O(1).
+    #[inline]
+    pub fn undirected_weight_sum(&self, v: NodeId) -> Weight {
+        self.out_weight_sums[v.index()] + self.in_weight_sums[v.index()]
     }
 
     /// Iterates `(destination, C[v, destination])` over out-neighbours of
@@ -235,6 +272,101 @@ impl CommGraph {
             return None;
         }
         Some(self.out_neighbors(v).map(move |(u, w)| (u, w / sum)))
+    }
+
+    /// The undirected transition row of `v`: distinct neighbours in
+    /// either direction, each with probability
+    /// `(C[v,u] + C[u,v]) / (Σ C[v,·] + Σ C[·,v])`, in ascending id
+    /// order. Returns `None` if `v` has no incident edges.
+    ///
+    /// Reads the merged, pre-normalised CSR built lazily by
+    /// [`Self::undirected_view`]; an undirected walk step over this row
+    /// touches each neighbour exactly once instead of iterating the out-
+    /// and in-rows separately and re-dividing by the weight sum.
+    pub fn undirected_transition_row(
+        &self,
+        v: NodeId,
+    ) -> Option<impl Iterator<Item = (NodeId, f64)> + '_> {
+        let und = self.undirected_view();
+        let i = v.index();
+        let row = und.offsets[i]..und.offsets[i + 1];
+        if row.is_empty() {
+            return None;
+        }
+        Some(
+            und.neighbors[row.clone()]
+                .iter()
+                .copied()
+                .zip(und.probs[row].iter().copied()),
+        )
+    }
+
+    /// Number of distinct undirected neighbours of `v`.
+    pub fn undirected_degree(&self, v: NodeId) -> usize {
+        let und = self.undirected_view();
+        let i = v.index();
+        und.offsets[i + 1] - und.offsets[i]
+    }
+
+    /// Forces materialisation of the merged undirected CSR (it is
+    /// otherwise built on first undirected access). Useful to pay the
+    /// one-off cost eagerly before timing or before sharing the graph
+    /// across threads.
+    pub fn warm_undirected_view(&self) {
+        self.undirected_view();
+    }
+
+    fn undirected_view(&self) -> &UndirectedCsr {
+        self.undirected.get_or_init(|| self.build_undirected())
+    }
+
+    /// Merges the sorted out- and in-rows of every node, summing weights
+    /// of neighbours present in both directions, and pre-divides by the
+    /// node's total incident volume.
+    fn build_undirected(&self) -> UndirectedCsr {
+        let mut offsets = Vec::with_capacity(self.num_nodes + 1);
+        offsets.push(0usize);
+        // Each edge contributes one entry to each endpoint's row, minus
+        // merged duplicates; 2m is an upper bound.
+        let mut neighbors = Vec::with_capacity(2 * self.num_edges);
+        let mut probs = Vec::with_capacity(2 * self.num_edges);
+
+        for i in 0..self.num_nodes {
+            let sum = self.out_weight_sums[i] + self.in_weight_sums[i];
+            if sum > 0.0 {
+                let inv = 1.0 / sum;
+                let outs = &self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]];
+                let out_ws = &self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]];
+                let ins = &self.in_sources[self.in_offsets[i]..self.in_offsets[i + 1]];
+                let in_ws = &self.in_weights[self.in_offsets[i]..self.in_offsets[i + 1]];
+                let (mut a, mut b) = (0usize, 0usize);
+                while a < outs.len() || b < ins.len() {
+                    let (u, w) = if b >= ins.len() || (a < outs.len() && outs[a] < ins[b]) {
+                        let pair = (outs[a], out_ws[a]);
+                        a += 1;
+                        pair
+                    } else if a >= outs.len() || ins[b] < outs[a] {
+                        let pair = (ins[b], in_ws[b]);
+                        b += 1;
+                        pair
+                    } else {
+                        let pair = (outs[a], out_ws[a] + in_ws[b]);
+                        a += 1;
+                        b += 1;
+                        pair
+                    };
+                    neighbors.push(u);
+                    probs.push(w * inv);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+
+        UndirectedCsr {
+            offsets,
+            neighbors,
+            probs,
+        }
     }
 }
 
@@ -346,16 +478,65 @@ mod tests {
     }
 
     #[test]
+    fn undirected_row_merges_and_normalises() {
+        // 0 <-> 1 in both directions plus 0 -> 2: row 0 must merge the
+        // two directions of (0,1) into one entry.
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 2.0);
+        b.add_event(n(1), n(0), 3.0);
+        b.add_event(n(0), n(2), 5.0);
+        let g = b.build(4);
+
+        let row: Vec<_> = g.undirected_transition_row(n(0)).unwrap().collect();
+        assert_eq!(g.undirected_degree(n(0)), 2);
+        assert_eq!(row.len(), 2);
+        assert_eq!(row[0].0, n(1));
+        assert!((row[0].1 - 5.0 / 10.0).abs() < 1e-15);
+        assert_eq!(row[1].0, n(2));
+        assert!((row[1].1 - 5.0 / 10.0).abs() < 1e-15);
+        assert!((g.undirected_weight_sum(n(0)) - 10.0).abs() < 1e-15);
+
+        // Row 2 sees only the reverse of 0 -> 2.
+        let row2: Vec<_> = g.undirected_transition_row(n(2)).unwrap().collect();
+        assert_eq!(row2, vec![(n(0), 1.0)]);
+
+        // Isolated node has no row.
+        assert!(g.undirected_transition_row(n(3)).is_none());
+        assert_eq!(g.undirected_degree(n(3)), 0);
+    }
+
+    #[test]
+    fn undirected_rows_are_stochastic() {
+        let g = sample();
+        g.warm_undirected_view();
+        for v in g.nodes() {
+            if let Some(row) = g.undirected_transition_row(v) {
+                let total: f64 = row.map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-12, "node {v}: mass {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_sums_match_row_scans() {
+        let g = sample();
+        for v in g.nodes() {
+            let out_scan: f64 = g.out_neighbors(v).map(|(_, w)| w).sum();
+            let in_scan: f64 = g.in_neighbors(v).map(|(_, w)| w).sum();
+            assert_eq!(g.out_weight_sum(v), out_scan);
+            assert_eq!(g.in_weight_sum(v), in_scan);
+            assert_eq!(g.undirected_weight_sum(v), out_scan + in_scan);
+        }
+    }
+
+    #[test]
     fn rebuild_from_sorted_edges_matches() {
         let g = sample();
         let edges: Vec<_> = g.edges().collect();
         let g2 = CommGraph::from_sorted_edges(4, edges);
         assert_eq!(g2.num_edges(), g.num_edges());
         assert_eq!(g2.total_weight(), g.total_weight());
-        assert_eq!(
-            g2.edge_weight(n(1), n(2)),
-            g.edge_weight(n(1), n(2))
-        );
+        assert_eq!(g2.edge_weight(n(1), n(2)), g.edge_weight(n(1), n(2)));
     }
 
     #[test]

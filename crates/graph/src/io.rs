@@ -47,9 +47,7 @@ pub fn read_events<R: BufRead>(
             .next()
             .ok_or_else(|| parse_err("missing destination"))?;
         let weight: f64 = match fields.next() {
-            Some(w) => w
-                .parse()
-                .map_err(|_| parse_err("weight is not a number"))?,
+            Some(w) => w.parse().map_err(|_| parse_err("weight is not a number"))?,
             None => 1.0,
         };
         if !weight.is_finite() || weight < 0.0 {
@@ -77,18 +75,14 @@ pub fn write_events<W: Write>(
     events: &[EdgeEvent],
 ) -> Result<(), GraphError> {
     for e in events {
-        let src = interner
-            .label(e.src)
-            .ok_or(GraphError::NodeOutOfRange {
-                index: e.src.index(),
-                num_nodes: interner.len(),
-            })?;
-        let dst = interner
-            .label(e.dst)
-            .ok_or(GraphError::NodeOutOfRange {
-                index: e.dst.index(),
-                num_nodes: interner.len(),
-            })?;
+        let src = interner.label(e.src).ok_or(GraphError::NodeOutOfRange {
+            index: e.src.index(),
+            num_nodes: interner.len(),
+        })?;
+        let dst = interner.label(e.dst).ok_or(GraphError::NodeOutOfRange {
+            index: e.dst.index(),
+            num_nodes: interner.len(),
+        })?;
         writeln!(writer, "{} {} {} {}", e.time, src, dst, e.weight)?;
     }
     Ok(())
@@ -151,7 +145,11 @@ mod tests {
     #[test]
     fn write_rejects_unknown_node() {
         let interner = Interner::new();
-        let events = vec![EdgeEvent::unit(0, crate::NodeId::new(0), crate::NodeId::new(1))];
+        let events = vec![EdgeEvent::unit(
+            0,
+            crate::NodeId::new(0),
+            crate::NodeId::new(1),
+        )];
         let err = write_events(Vec::new(), &interner, &events).unwrap_err();
         assert!(err.to_string().contains("out of range"));
     }

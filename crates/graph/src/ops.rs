@@ -31,10 +31,7 @@ pub fn symmetrize(g: &CommGraph) -> CommGraph {
 }
 
 /// Keeps only edges accepted by `keep`; node space unchanged.
-pub fn filter_edges(
-    g: &CommGraph,
-    mut keep: impl FnMut(NodeId, NodeId, f64) -> bool,
-) -> CommGraph {
+pub fn filter_edges(g: &CommGraph, mut keep: impl FnMut(NodeId, NodeId, f64) -> bool) -> CommGraph {
     let mut builder = GraphBuilder::new();
     for e in g.edges() {
         if keep(e.src, e.dst, e.weight) {

@@ -150,15 +150,7 @@ pub fn perturb(g: &CommGraph, cfg: &PerturbConfig) -> (CommGraph, PerturbReport)
 
 /// Applies `perturb` and discards the report.
 pub fn perturbed(g: &CommGraph, alpha: f64, beta: f64, seed: u64) -> CommGraph {
-    perturb(
-        g,
-        &PerturbConfig {
-            alpha,
-            beta,
-            seed,
-        },
-    )
-    .0
+    perturb(g, &PerturbConfig { alpha, beta, seed }).0
 }
 
 #[cfg(test)]

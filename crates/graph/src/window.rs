@@ -60,10 +60,7 @@ impl GraphSequence {
     /// node space (usually `interner.len()`). Trailing empty windows are
     /// retained so the sequence length is determined by the latest event.
     pub fn from_events(num_nodes: usize, spec: WindowSpec, events: &[EdgeEvent]) -> Self {
-        let last_window = events
-            .iter()
-            .filter_map(|e| spec.window_of(e.time))
-            .max();
+        let last_window = events.iter().filter_map(|e| spec.window_of(e.time)).max();
         let count = last_window.map_or(0, |w| w + 1);
         let mut builders: Vec<GraphBuilder> = (0..count).map(|_| GraphBuilder::new()).collect();
         for e in events {

@@ -7,12 +7,12 @@ use comsig_graph::{GraphBuilder, NodeId};
 use proptest::prelude::*;
 
 /// Strategy producing a random aggregated edge set over `n` nodes.
-fn edge_set(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+fn edge_set(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (2..max_nodes).prop_flat_map(move |n| {
-        let edges = prop::collection::vec(
-            (0..n as u32, 0..n as u32, 0.5f64..20.0),
-            0..max_edges,
-        );
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32, 0.5f64..20.0), 0..max_edges);
         (Just(n), edges)
     })
 }

@@ -141,9 +141,7 @@ mod tests {
             cm.update(key, 1.0);
         }
         // ε·N = 0.01 · 1000 = 10; generous slack factor for randomness.
-        let worst = (5000..5300u64)
-            .map(|k| cm.query(k))
-            .fold(0.0f64, f64::max);
+        let worst = (5000..5300u64).map(|k| cm.query(k)).fold(0.0f64, f64::max);
         assert!(worst <= 30.0, "worst-case over-estimate {worst}");
     }
 

@@ -212,10 +212,7 @@ mod tests {
 
     #[test]
     fn insert_set_round_trip() {
-        let set = SignatureSet::new(
-            vec![n(0), n(1)],
-            vec![sig(&[1, 2, 3]), sig(&[4, 5, 6])],
-        );
+        let set = SignatureSet::new(vec![n(0), n(1)], vec![sig(&[1, 2, 3]), sig(&[4, 5, 6])]);
         let mut index = LshIndex::new(8, 2, 5);
         index.insert_set(&set);
         assert_eq!(index.len(), 2);

@@ -127,9 +127,9 @@ mod tests {
     fn estimates_track_exact_jaccard() {
         let mh = MinHasher::new(512, 3);
         let cases: Vec<(Vec<usize>, Vec<usize>)> = vec![
-            ((0..10).collect(), (5..15).collect()),   // J = 5/15
-            ((0..20).collect(), (0..10).collect()),   // J = 10/20
-            ((0..8).collect(), (2..6).collect()),     // J = 4/8
+            ((0..10).collect(), (5..15).collect()), // J = 5/15
+            ((0..20).collect(), (0..10).collect()), // J = 10/20
+            ((0..8).collect(), (2..6).collect()),   // J = 4/8
         ];
         for (xs, ys) in cases {
             let a = sig(&xs);

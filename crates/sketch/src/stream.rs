@@ -72,7 +72,10 @@ pub struct SemiStream {
 impl SemiStream {
     /// Creates empty state.
     pub fn new(cfg: StreamConfig) -> Self {
-        assert!(cfg.candidate_budget > 0, "candidate budget must be positive");
+        assert!(
+            cfg.candidate_budget > 0,
+            "candidate budget must be positive"
+        );
         SemiStream {
             cfg,
             sources: FxHashMap::default(),
@@ -95,9 +98,7 @@ impl SemiStream {
         state.total += weight;
         state.cm.update(dst.raw() as u64, weight);
         let est = state.cm.query(dst.raw() as u64);
-        if state.candidates.len() < cfg.candidate_budget
-            || state.candidates.contains_key(&dst)
-        {
+        if state.candidates.len() < cfg.candidate_budget || state.candidates.contains_key(&dst) {
             state.candidates.insert(dst, est);
         } else {
             // Evict the smallest candidate if the newcomer beats it.

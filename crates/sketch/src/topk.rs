@@ -81,17 +81,14 @@ impl SpaceSaving {
             })
             .expect("capacity > 0 so map is non-empty");
         self.counters.remove(&min_key);
-        self.counters
-            .insert(key, (min_count + weight, min_count));
+        self.counters.insert(key, (min_count + weight, min_count));
     }
 
     /// Current estimate for `key`, if tracked.
     pub fn get(&self, key: u64) -> Option<Counter> {
-        self.counters.get(&key).map(|&(count, error)| Counter {
-            key,
-            count,
-            error,
-        })
+        self.counters
+            .get(&key)
+            .map(|&(count, error)| Counter { key, count, error })
     }
 
     /// The tracked counters sorted by descending estimated count.
@@ -166,7 +163,11 @@ mod tests {
         for c in ss.counters() {
             let t = truth[&c.key];
             assert!(c.count + 1e-9 >= t, "under-estimate for {}", c.key);
-            assert!(c.count - c.error <= t + 1e-9, "bound violated for {}", c.key);
+            assert!(
+                c.count - c.error <= t + 1e-9,
+                "bound violated for {}",
+                c.key
+            );
         }
     }
 

@@ -157,16 +157,16 @@ mod tests {
         let wmh = WeightedMinHasher::new(1024, 3);
         let cases = [
             (sig(&[(1, 4.0), (2, 2.0)]), sig(&[(1, 2.0), (2, 2.0)])),
-            (sig(&[(1, 1.0), (2, 1.0), (3, 1.0)]), sig(&[(2, 1.0), (3, 1.0), (4, 1.0)])),
+            (
+                sig(&[(1, 1.0), (2, 1.0), (3, 1.0)]),
+                sig(&[(2, 1.0), (3, 1.0), (4, 1.0)]),
+            ),
             (sig(&[(1, 10.0), (2, 1.0)]), sig(&[(1, 1.0), (3, 5.0)])),
         ];
         for (a, b) in cases {
             let exact = Ruzicka.distance(&a, &b);
             let est = wmh.estimate_distance(&wmh.sketch(&a), &wmh.sketch(&b));
-            assert!(
-                (exact - est).abs() < 0.08,
-                "exact {exact} vs est {est}"
-            );
+            assert!((exact - est).abs() < 0.08, "exact {exact} vs est {est}");
         }
     }
 
@@ -178,10 +178,7 @@ mod tests {
         let a = wmh.sketch(&sig(&[(1, 100.0), (2, 1.0)]));
         let b = wmh.sketch(&sig(&[(1, 1.0), (2, 100.0)]));
         let d = wmh.estimate_distance(&a, &b);
-        let exact = Ruzicka.distance(
-            &sig(&[(1, 100.0), (2, 1.0)]),
-            &sig(&[(1, 1.0), (2, 100.0)]),
-        );
+        let exact = Ruzicka.distance(&sig(&[(1, 100.0), (2, 1.0)]), &sig(&[(1, 1.0), (2, 100.0)]));
         assert!(d > 0.8, "weighted distance must be large, got {d}");
         assert!((d - exact).abs() < 0.1, "est {d} vs exact {exact}");
     }

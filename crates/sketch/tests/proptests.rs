@@ -2,12 +2,12 @@
 
 use std::collections::HashMap;
 
+use comsig_core::Signature;
+use comsig_graph::NodeId;
 use comsig_sketch::cm::CountMinSketch;
 use comsig_sketch::fm::FmSketch;
 use comsig_sketch::minhash::MinHasher;
 use comsig_sketch::topk::SpaceSaving;
-use comsig_core::Signature;
-use comsig_graph::NodeId;
 use proptest::prelude::*;
 
 proptest! {

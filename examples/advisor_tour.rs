@@ -80,7 +80,10 @@ fn main() {
     let u_levels = rank_levels(&measured.iter().map(|m| m.uniqueness).collect::<Vec<_>>());
     let r_levels = rank_levels(&measured.iter().map(|m| m.robustness).collect::<Vec<_>>());
     println!("\nderived Table IV:");
-    println!("{:12} {:>12} {:>11} {:>11}", "", "persistence", "uniqueness", "robustness");
+    println!(
+        "{:12} {:>12} {:>11} {:>11}",
+        "", "persistence", "uniqueness", "robustness"
+    );
     for (i, m) in measured.iter().enumerate() {
         println!(
             "{:12} {:>12} {:>11} {:>11}",

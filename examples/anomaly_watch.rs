@@ -19,7 +19,10 @@ fn main() {
         num_externals: 3000,
         num_groups: 10,
         num_windows: 3,
-        anomaly: AnomalyConfig { count: 8, window: 1 },
+        anomaly: AnomalyConfig {
+            count: 8,
+            window: 1,
+        },
         disruption_rate: 0.05,
         seed: 31337,
         ..FlowNetConfig::default()
@@ -48,7 +51,10 @@ fn main() {
     }
 
     let sigma_alarms = alarms(&scores, Alarm::Sigma { lambda: 2.0 });
-    println!("\nmean + 2 sigma alarm rule fires on {} hosts", sigma_alarms.len());
+    println!(
+        "\nmean + 2 sigma alarm rule fires on {} hosts",
+        sigma_alarms.len()
+    );
 
     if let Some(eval) = evaluate(&scores, &data.truth.anomalous) {
         println!(

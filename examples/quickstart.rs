@@ -60,9 +60,7 @@ fn main() {
             let rendered: Vec<String> = sig
                 .ranked()
                 .into_iter()
-                .map(|(u, w)| {
-                    format!("{} ({w:.3})", interner.label(u).unwrap_or("?"))
-                })
+                .map(|(u, w)| format!("{} ({w:.3})", interner.label(u).unwrap_or("?")))
                 .collect();
             println!(
                 "  {:12} -> {}",

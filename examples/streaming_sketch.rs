@@ -48,7 +48,10 @@ fn main() {
     // --- 2. LSH index over the streaming signatures ----------------------
     let streaming_set = SignatureSet::new(
         subjects.clone(),
-        subjects.iter().map(|&v| stream.tt_signature(v, k)).collect(),
+        subjects
+            .iter()
+            .map(|&v| stream.tt_signature(v, k))
+            .collect(),
     );
     let mut index = LshIndex::new(24, 3, 99);
     index.insert_set(&streaming_set);

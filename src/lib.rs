@@ -28,7 +28,5 @@ pub use comsig_sketch as sketch;
 
 /// Commonly used items, importable with `use comsig::prelude::*`.
 pub mod prelude {
-    pub use comsig_graph::{
-        CommGraph, GraphBuilder, Interner, NodeClass, NodeId, Partition,
-    };
+    pub use comsig_graph::{CommGraph, GraphBuilder, Interner, NodeClass, NodeId, Partition};
 }

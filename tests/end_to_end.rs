@@ -106,8 +106,6 @@ fn facade_reexports_are_usable() {
     assert!(cm.query(5) >= 2.0);
 
     // Datagen via the facade.
-    let data = comsig::datagen::flownet::generate(
-        &comsig::datagen::FlowNetConfig::small(3),
-    );
+    let data = comsig::datagen::flownet::generate(&comsig::datagen::FlowNetConfig::small(3));
     assert!(!data.windows.is_empty());
 }

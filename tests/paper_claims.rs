@@ -4,9 +4,7 @@
 
 use comsig::core::distance::{paper_distances, SHel, SignatureDistance};
 use comsig::core::properties::{persistence, uniqueness};
-use comsig::core::scheme::{
-    decayed_combine, Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers,
-};
+use comsig::core::scheme::{decayed_combine, Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
 use comsig::prelude::*;
 
 fn n(i: usize) -> NodeId {

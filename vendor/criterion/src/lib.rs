@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with criterion's API shape:
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Each benchmark warms up, calibrates an iteration count targeting a
+//! fixed measurement window, then reports the median ns/iter over a
+//! set of samples to stdout (and into [`Criterion::results`] for
+//! programmatic snapshots).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement: benchmark path and median ns per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_count: usize,
+    target_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 10,
+            target_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_count;
+        let target = self.target_time;
+        self.run_one(id.to_string(), samples, target, f);
+        self
+    }
+
+    /// Measurements recorded so far, in execution order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    fn run_one<F>(&mut self, id: String, samples: usize, target: Duration, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples,
+            target,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        eprintln!("{:<48} {:>14.1} ns/iter (median)", id, bencher.median_ns);
+        self.results.push(Measurement {
+            id,
+            median_ns: bencher.median_ns,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let target = self.criterion.target_time;
+        let full_id = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full_id, samples, target, f);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name, parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures: calibrates an iteration count, then samples.
+pub struct Bencher {
+    samples: usize,
+    target: Duration,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive via
+    /// [`black_box`] so the work is not optimised away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate a single-iteration cost.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let mut per_iter = warm_start.elapsed();
+        if per_iter.is_zero() {
+            per_iter = Duration::from_nanos(1);
+        }
+
+        // Aim each sample at target/samples wall time.
+        let per_sample = self.target / self.samples as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let mid = sample_ns.len() / 2;
+        self.median_ns = if sample_ns.len().is_multiple_of(2) {
+            (sample_ns[mid - 1] + sample_ns[mid]) / 2.0
+        } else {
+            sample_ns[mid]
+        };
+    }
+}
+
+/// Declares a group of benchmark functions taking `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+                b.iter(|| (0..n * 10).sum::<u64>())
+            });
+            group.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| black_box(2u64) + 2));
+        assert_eq!(c.results().len(), 3);
+        assert_eq!(c.results()[0].id, "g/sum");
+        assert_eq!(c.results()[1].id, "g/scaled/4");
+        assert_eq!(c.results()[2].id, "plain");
+        assert!(c.results().iter().all(|m| m.median_ns > 0.0));
+    }
+}

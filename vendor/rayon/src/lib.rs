@@ -1,0 +1,444 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the data-parallel subset this workspace uses — `par_iter`
+//! on slices/`Vec`s, `into_par_iter` on `Range<usize>`, and the `map`,
+//! `map_init`, `filter_map`, `flat_map_iter` adapters with an ordered
+//! `collect` — on top of `std::thread::scope`. Work is split into one
+//! contiguous chunk per available core; on a single-core host it runs
+//! inline with zero spawn overhead. Output order always matches input
+//! order, as with rayon's indexed parallel iterators.
+
+use std::ops::Range;
+
+/// Number of worker threads to use (respects `RAYON_NUM_THREADS`).
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `len` items into per-thread chunks, runs `run_chunk(lo, hi)` on
+/// each, and concatenates the results in input order.
+fn run_chunked<U, F>(len: usize, run_chunk: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, usize) -> Vec<U> + Sync,
+{
+    let threads = current_num_threads().min(len).max(1);
+    if threads <= 1 {
+        return run_chunk(0, len);
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let run = &run_chunk;
+        let handles: Vec<_> = (0..threads)
+            .filter_map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                (lo < hi).then(|| scope.spawn(move || run(lo, hi)))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.append(&mut h.join().expect("rayon stand-in worker panicked"));
+        }
+        out
+    })
+}
+
+/// An indexed source of parallel items: random access by position.
+pub trait ParallelSource: Sync {
+    /// Item produced per index.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Whether the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The item at position `i`.
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// Collection types an ordered parallel pipeline can collect into.
+pub trait FromParallelVec<T> {
+    /// Builds the collection from the ordered item vector.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelVec<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Parallel iterator over an indexed source, with rayon-style adapters.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<S> {
+    src: S,
+}
+
+/// Borrowing slice source (`par_iter`).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSource<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, i: usize) -> Self::Item {
+        &self.items[i]
+    }
+}
+
+/// Index-range source (`(0..n).into_par_iter()`).
+#[derive(Debug, Clone, Copy)]
+pub struct RangeSource {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelSource for RangeSource {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn get(&self, i: usize) -> Self::Item {
+        self.start + i
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParIter<RangeSource>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            src: RangeSource {
+                start: self.start,
+                end: self.end.max(self.start),
+            },
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParIter<VecSource<T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            src: VecSource::new(self),
+        }
+    }
+}
+
+/// Owning `Vec` source (`vec.into_par_iter()`); items are moved out once
+/// each, by index.
+#[derive(Debug)]
+pub struct VecSource<T> {
+    items: Vec<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T> VecSource<T> {
+    fn new(v: Vec<T>) -> Self {
+        VecSource {
+            items: v
+                .into_iter()
+                .map(|x| std::sync::Mutex::new(Some(x)))
+                .collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelSource for VecSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, i: usize) -> Self::Item {
+        self.items[i]
+            .lock()
+            .expect("VecSource lock")
+            .take()
+            .expect("item taken twice")
+    }
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting parallel iterator.
+    type Iter;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<SliceSource<'a, T>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            src: SliceSource { items: self },
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<SliceSource<'a, T>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            src: SliceSource { items: self },
+        }
+    }
+}
+
+impl<S: ParallelSource> ParIter<S> {
+    /// Maps each item through `f`, preserving order.
+    pub fn map<F, U>(self, f: F) -> Map<S, F>
+    where
+        F: Fn(S::Item) -> U + Sync,
+        U: Send,
+    {
+        Map { src: self.src, f }
+    }
+
+    /// Like [`map`](ParIter::map) but with a per-worker mutable state
+    /// created by `init` — rayon's `map_init`. The state is created once
+    /// per worker chunk, not once per item, so expensive scratch buffers
+    /// are amortised across the chunk.
+    pub fn map_init<INIT, ST, F, U>(self, init: INIT, f: F) -> MapInit<S, INIT, F>
+    where
+        INIT: Fn() -> ST + Sync,
+        F: Fn(&mut ST, S::Item) -> U + Sync,
+        U: Send,
+    {
+        MapInit {
+            src: self.src,
+            init,
+            f,
+        }
+    }
+
+    /// Keeps the `Some` results of `f`, preserving order.
+    pub fn filter_map<F, U>(self, f: F) -> FilterMap<S, F>
+    where
+        F: Fn(S::Item) -> Option<U> + Sync,
+        U: Send,
+    {
+        FilterMap { src: self.src, f }
+    }
+
+    /// Maps each item to a serial iterator and flattens, preserving order.
+    pub fn flat_map_iter<F, I>(self, f: F) -> FlatMapIter<S, F>
+    where
+        F: Fn(S::Item) -> I + Sync,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        FlatMapIter { src: self.src, f }
+    }
+
+    /// Collects the items themselves (identity pipeline).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelVec<S::Item>,
+    {
+        let src = &self.src;
+        C::from_par_vec(run_chunked(src.len(), |lo, hi| {
+            (lo..hi).map(|i| src.get(i)).collect()
+        }))
+    }
+}
+
+/// Ordered parallel `map` pipeline.
+pub struct Map<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, U> Map<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> U + Sync,
+    U: Send,
+{
+    /// Runs the pipeline and collects in input order.
+    pub fn collect<C: FromParallelVec<U>>(self) -> C {
+        let (src, f) = (&self.src, &self.f);
+        C::from_par_vec(run_chunked(src.len(), |lo, hi| {
+            (lo..hi).map(|i| f(src.get(i))).collect()
+        }))
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<U> + Send,
+        U: 'static,
+    {
+        let (src, f) = (&self.src, &self.f);
+        let partials = run_chunked(src.len(), |lo, hi| {
+            vec![(lo..hi).map(|i| f(src.get(i))).collect::<Vec<U>>()]
+        });
+        partials.into_iter().flatten().sum()
+    }
+}
+
+/// Ordered parallel `map_init` pipeline.
+pub struct MapInit<S, INIT, F> {
+    src: S,
+    init: INIT,
+    f: F,
+}
+
+impl<S, INIT, ST, F, U> MapInit<S, INIT, F>
+where
+    S: ParallelSource,
+    INIT: Fn() -> ST + Sync,
+    F: Fn(&mut ST, S::Item) -> U + Sync,
+    U: Send,
+{
+    /// Runs the pipeline and collects in input order. `init` runs once
+    /// per worker chunk.
+    pub fn collect<C: FromParallelVec<U>>(self) -> C {
+        let (src, init, f) = (&self.src, &self.init, &self.f);
+        C::from_par_vec(run_chunked(src.len(), |lo, hi| {
+            let mut state = init();
+            (lo..hi).map(|i| f(&mut state, src.get(i))).collect()
+        }))
+    }
+}
+
+/// Ordered parallel `filter_map` pipeline.
+pub struct FilterMap<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, U> FilterMap<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> Option<U> + Sync,
+    U: Send,
+{
+    /// Runs the pipeline and collects the `Some` values in input order.
+    pub fn collect<C: FromParallelVec<U>>(self) -> C {
+        let (src, f) = (&self.src, &self.f);
+        C::from_par_vec(run_chunked(src.len(), |lo, hi| {
+            (lo..hi).filter_map(|i| f(src.get(i))).collect()
+        }))
+    }
+}
+
+/// Ordered parallel `flat_map_iter` pipeline.
+pub struct FlatMapIter<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, I> FlatMapIter<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> I + Sync,
+    I: IntoIterator,
+    I::Item: Send,
+{
+    /// Runs the pipeline and collects the flattened values in input order.
+    pub fn collect<C: FromParallelVec<I::Item>>(self) -> C {
+        let (src, f) = (&self.src, &self.f);
+        C::from_par_vec(run_chunked(src.len(), |lo, hi| {
+            (lo..hi).flat_map(|i| f(src.get(i))).collect()
+        }))
+    }
+}
+
+/// The rayon prelude: traits needed for `par_iter`/`into_par_iter`.
+pub mod prelude {
+    pub use crate::{FromParallelVec, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 1000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn filter_map_drops_nones_in_order() {
+        let xs: Vec<u32> = (0..100).collect();
+        let evens: Vec<u32> = xs
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens, (0..100).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..i).map(move |j| i * 100 + j))
+            .collect();
+        let expected: Vec<usize> = (0..10)
+            .flat_map(|i| (0..i).map(move |j| i * 100 + j))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_chunk() {
+        let xs: Vec<usize> = (0..64).collect();
+        // Count init calls; with chunked execution this is <= thread count.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = xs
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    Vec::<u8>::with_capacity(16)
+                },
+                |scratch, &x| {
+                    scratch.clear();
+                    x + 1
+                },
+            )
+            .collect();
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::SeqCst) <= super::current_num_threads());
+    }
+
+    #[test]
+    fn into_par_iter_on_vec_moves_items() {
+        let v = vec![String::from("a"), String::from("b")];
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, vec!["a!", "b!"]);
+    }
+}

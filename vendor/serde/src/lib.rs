@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the
+//! vendored `serde_derive`. No trait machinery is provided because the
+//! workspace never serialises through serde generics in this offline
+//! build — structured output goes through the vendored
+//! `serde_json::Value` instead.
+
+pub use serde_derive::{Deserialize, Serialize};
