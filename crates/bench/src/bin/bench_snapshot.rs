@@ -7,6 +7,8 @@
 //! The snapshot is the landed, machine-readable record of the perf
 //! numbers quoted in README.md; re-run it after touching the engine.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use rayon::prelude::*;

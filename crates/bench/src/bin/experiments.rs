@@ -5,6 +5,8 @@
 //! experiments --list
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;

@@ -1,5 +1,7 @@
 //! The `comsig` binary: thin wrapper over [`comsig_cli::run`].
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

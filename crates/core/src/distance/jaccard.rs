@@ -17,7 +17,7 @@ impl SignatureDistance for Jaccard {
         "Jac"
     }
 
-    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+    fn distance_raw(&self, a: &Signature, b: &Signature) -> f64 {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }

@@ -40,12 +40,27 @@ use crate::signature::Signature;
 /// A bounded distance between two signatures.
 pub trait SignatureDistance: Sync {
     /// Name used in reports (e.g. `"SHel"`).
+    #[must_use]
     fn name(&self) -> &'static str;
 
-    /// The distance `Dist(σ₁, σ₂) ∈ [0, 1]`.
-    fn distance(&self, a: &Signature, b: &Signature) -> f64;
+    /// The distance formula itself, without the Definition 2 contract
+    /// check. Implementors provide this; callers use
+    /// [`distance`](SignatureDistance::distance), which wraps it with
+    /// the `[0, 1]`-boundedness contract.
+    #[must_use]
+    fn distance_raw(&self, a: &Signature, b: &Signature) -> f64;
+
+    /// The distance `Dist(σ₁, σ₂) ∈ [0, 1]`, contract-checked in debug
+    /// builds (and under the `contracts` feature).
+    #[must_use]
+    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+        let d = self.distance_raw(a, b);
+        crate::contract::check_unit_interval(self.name(), d);
+        d
+    }
 
     /// The similarity `1 − Dist(σ₁, σ₂)`.
+    #[must_use]
     fn similarity(&self, a: &Signature, b: &Signature) -> f64 {
         1.0 - self.distance(a, b)
     }
@@ -63,6 +78,7 @@ pub(crate) fn empty_rule(a: &Signature, b: &Signature) -> Option<f64> {
 
 /// The paper's four distance functions, boxed, in presentation order —
 /// convenient for experiments that sweep "all distances".
+#[must_use]
 pub fn paper_distances() -> Vec<Box<dyn SignatureDistance>> {
     vec![
         Box::new(Jaccard),
@@ -73,6 +89,7 @@ pub fn paper_distances() -> Vec<Box<dyn SignatureDistance>> {
 }
 
 /// All implemented distance functions (the paper's four plus extensions).
+#[must_use]
 pub fn all_distances() -> Vec<Box<dyn SignatureDistance>> {
     vec![
         Box::new(Jaccard),

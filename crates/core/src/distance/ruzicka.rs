@@ -21,7 +21,7 @@ impl SignatureDistance for Ruzicka {
         "Ruz"
     }
 
-    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+    fn distance_raw(&self, a: &Signature, b: &Signature) -> f64 {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }

@@ -20,7 +20,7 @@ impl SignatureDistance for SDice {
         "SDice"
     }
 
-    fn distance(&self, a: &Signature, b: &Signature) -> f64 {
+    fn distance_raw(&self, a: &Signature, b: &Signature) -> f64 {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }

@@ -44,6 +44,7 @@ pub struct DenseScatter {
 impl DenseScatter {
     /// An empty accumulator; slots are allocated by the first
     /// [`begin`](DenseScatter::begin).
+    #[must_use]
     pub fn new() -> Self {
         DenseScatter::default()
     }
@@ -82,6 +83,7 @@ impl DenseScatter {
 
     /// The value of slot `u` this epoch (0 if untouched).
     #[inline]
+    #[must_use]
     pub fn get(&self, u: NodeId) -> f64 {
         let i = u.index();
         if self.stamp[i] == self.epoch {
@@ -91,12 +93,33 @@ impl DenseScatter {
         }
     }
 
+    /// Whether slot `u` is live this epoch: touched by
+    /// [`add`](DenseScatter::add) and not dropped by
+    /// [`prune`](DenseScatter::prune). Unlike a `get(u) == 0.0` probe,
+    /// this distinguishes a slot holding an exact zero from an absent one.
+    #[inline]
+    #[must_use]
+    pub fn is_live(&self, u: NodeId) -> bool {
+        self.stamp[u.index()] == self.epoch
+    }
+
     /// Number of live (touched, unpruned) slots.
+    #[must_use]
     pub fn live(&self) -> usize {
         self.touched.len()
     }
 
+    /// Whether the accumulator carries no state for the current epoch —
+    /// the contract every batch must re-establish via
+    /// [`begin`](DenseScatter::begin). O(capacity); intended for the
+    /// debug-gated contract layer, not hot paths.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.touched.is_empty() && self.stamp.iter().all(|&s| s != self.epoch)
+    }
+
     /// Sum of absolute values over live slots.
+    #[must_use]
     pub fn l1_norm(&self) -> f64 {
         self.touched
             .iter()
@@ -109,13 +132,17 @@ impl DenseScatter {
     /// as 0 again.
     pub fn prune(&mut self, threshold: f64) {
         let values = &mut self.values;
+        let stamp = &mut self.stamp;
+        let epoch = self.epoch;
         self.touched.retain(|&u| {
             let i = u.index();
             if values[i].abs() > threshold {
                 true
             } else {
-                // Keep the stamp but zero the value: the slot must read
-                // as absent without a way to retract the stamp itself.
+                // Retract the stamp so the slot reads as absent; a later
+                // add() this epoch then re-registers it in `touched`
+                // instead of accumulating into an untracked slot.
+                stamp[i] = epoch.wrapping_sub(1);
                 values[i] = 0.0;
                 false
             }
@@ -129,13 +156,14 @@ impl DenseScatter {
 
     /// L1 distance to another accumulator (the steady-state convergence
     /// test). Costs O(touched(self) + touched(other)).
+    #[must_use]
     pub fn l1_distance(&self, other: &DenseScatter) -> f64 {
         let mut d = 0.0;
         for (u, v) in self.iter() {
             d += (v - other.get(u)).abs();
         }
         for (u, v) in other.iter() {
-            if self.get(u) == 0.0 {
+            if !self.is_live(u) {
                 d += v.abs();
             }
         }
@@ -143,6 +171,7 @@ impl DenseScatter {
     }
 
     /// Extracts the live entries sorted by node id.
+    #[must_use]
     pub fn sorted_entries(&self) -> Vec<(NodeId, f64)> {
         let mut v: Vec<(NodeId, f64)> = self.iter().collect();
         v.sort_unstable_by_key(|&(u, _)| u);
@@ -161,6 +190,7 @@ pub struct RwrWorkspace {
 
 impl RwrWorkspace {
     /// An empty workspace; storage is sized on first use.
+    #[must_use]
     pub fn new() -> Self {
         RwrWorkspace::default()
     }
@@ -178,6 +208,9 @@ impl RwrWorkspace {
         let c = config.restart;
         let n = g.num_nodes();
         self.cur.begin(n);
+        // Epoch discipline: begin() must leave no state from the
+        // previous subject handled by this worker.
+        crate::contract::check_scatter_clean(&self.cur);
         self.cur.add(start, 1.0);
         let iterations = match config.hops {
             Some(h) => h,
@@ -230,7 +263,9 @@ impl RwrWorkspace {
                 break;
             }
         }
-        self.cur.sorted_entries()
+        let entries = self.cur.sorted_entries();
+        crate::contract::check_occupancy(&entries);
+        entries
     }
 }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod contract;
 pub mod distance;
 pub mod engine;
 pub mod properties;

@@ -21,27 +21,37 @@ use crate::scheme::SignatureScheme;
 use crate::signature::Signature;
 
 /// Pointwise persistence: `1 − Dist(σ_t(v), σ_{t+1}(v))`.
+#[must_use]
 pub fn persistence(dist: &dyn SignatureDistance, sig_t: &Signature, sig_t1: &Signature) -> f64 {
-    1.0 - dist.distance(sig_t, sig_t1)
+    let d = dist.distance(sig_t, sig_t1);
+    crate::contract::check_distance(dist, sig_t, sig_t1, d);
+    1.0 - d
 }
 
 /// Pointwise uniqueness: `Dist(σ_t(v), σ_t(u))` for `u ≠ v`.
+#[must_use]
 pub fn uniqueness(dist: &dyn SignatureDistance, sig_v: &Signature, sig_u: &Signature) -> f64 {
-    dist.distance(sig_v, sig_u)
+    let d = dist.distance(sig_v, sig_u);
+    crate::contract::check_distance(dist, sig_v, sig_u, d);
+    d
 }
 
 /// Pointwise robustness: `1 − Dist(σ_t(v), σ̂_t(v))` where `σ̂` was built
 /// from a perturbed graph.
+#[must_use]
 pub fn robustness(
     dist: &dyn SignatureDistance,
     sig_clean: &Signature,
     sig_perturbed: &Signature,
 ) -> f64 {
-    1.0 - dist.distance(sig_clean, sig_perturbed)
+    let d = dist.distance(sig_clean, sig_perturbed);
+    crate::contract::check_distance(dist, sig_clean, sig_perturbed, d);
+    1.0 - d
 }
 
 /// Convenience: persistence of node `v` across two windows, computing the
 /// signatures with `scheme` at length `k`.
+#[must_use]
 pub fn node_persistence(
     scheme: &dyn SignatureScheme,
     dist: &dyn SignatureDistance,
@@ -58,6 +68,7 @@ pub fn node_persistence(
 }
 
 /// Convenience: uniqueness between nodes `v` and `u` within one window.
+#[must_use]
 pub fn node_uniqueness(
     scheme: &dyn SignatureScheme,
     dist: &dyn SignatureDistance,
@@ -71,6 +82,7 @@ pub fn node_uniqueness(
 
 /// Convenience: robustness of node `v` between a graph and its
 /// perturbation.
+#[must_use]
 pub fn node_robustness(
     scheme: &dyn SignatureScheme,
     dist: &dyn SignatureDistance,

@@ -22,6 +22,7 @@ use super::SignatureScheme;
 /// # Panics
 /// Panics if `lambda` is outside `(0, 1]` or `windows` is empty or the
 /// windows disagree on node-space size.
+#[must_use]
 pub fn decayed_combine(windows: &[&CommGraph], lambda: f64) -> CommGraph {
     assert!(
         lambda > 0.0 && lambda <= 1.0,
@@ -60,6 +61,7 @@ pub struct TimeDecay<S> {
 
 impl<S: SignatureScheme> TimeDecay<S> {
     /// Wraps `inner` with decay factor `lambda ∈ (0, 1]`.
+    #[must_use]
     pub fn new(inner: S, lambda: f64) -> Self {
         assert!(
             lambda > 0.0 && lambda <= 1.0,
@@ -69,12 +71,14 @@ impl<S: SignatureScheme> TimeDecay<S> {
     }
 
     /// The decay factor.
+    #[must_use]
     pub fn lambda(&self) -> f64 {
         self.lambda
     }
 
     /// Computes the inner scheme's signature over the decayed combination
     /// of `windows` (oldest → newest).
+    #[must_use]
     pub fn signature_over(
         &self,
         windows: &[&CommGraph],

@@ -39,14 +39,17 @@ use crate::signature::{Signature, SignatureSet};
 /// bipartite restriction) and parallel batch computation.
 pub trait SignatureScheme: Sync {
     /// Human-readable name used in reports (e.g. `"RWR^3_0.1"`).
+    #[must_use]
     fn name(&self) -> String;
 
     /// Computes the relevancy weights `w_vu` of every candidate `u` for
     /// subject `v`. May include `v` itself or non-positive weights; the
     /// top-`k` selection filters both.
+    #[must_use]
     fn relevance(&self, g: &CommGraph, v: NodeId) -> Vec<(NodeId, f64)>;
 
     /// The signature `σ(v)`: top-`k` relevancy weights (Definition 1).
+    #[must_use]
     fn signature(&self, g: &CommGraph, v: NodeId, k: usize) -> Signature {
         Signature::top_k(v, self.relevance(g, v), k)
     }
@@ -56,6 +59,7 @@ pub trait SignatureScheme: Sync {
     /// implements the paper's bipartite restriction ("the signature for
     /// nodes in `V_1` consists only of nodes in `V_2`") and any other
     /// domain filtering.
+    #[must_use]
     fn signature_filtered(
         &self,
         g: &CommGraph,
@@ -68,6 +72,7 @@ pub trait SignatureScheme: Sync {
     }
 
     /// Computes signatures for every subject in parallel.
+    #[must_use]
     fn signature_set(&self, g: &CommGraph, subjects: &[NodeId], k: usize) -> SignatureSet {
         let sigs: Vec<Signature> = subjects
             .par_iter()
@@ -78,6 +83,7 @@ pub trait SignatureScheme: Sync {
 
     /// Computes signatures for every left-class node of a bipartite
     /// partition, restricted to right-class members.
+    #[must_use]
     fn bipartite_signature_set(
         &self,
         g: &CommGraph,

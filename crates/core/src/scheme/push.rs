@@ -45,6 +45,7 @@ impl PushRwr {
     /// Panics if `restart` is outside `(0, 1]` (the push method needs a
     /// strictly positive reset probability to terminate) or `epsilon` is
     /// not strictly positive.
+    #[must_use]
     pub fn new(restart: f64, epsilon: f64) -> Self {
         assert!(
             restart > 0.0 && restart <= 1.0,
@@ -59,6 +60,7 @@ impl PushRwr {
     }
 
     /// Switches to undirected traversal.
+    #[must_use]
     pub fn undirected(mut self) -> Self {
         self.direction = WalkDirection::Undirected;
         self
@@ -100,6 +102,7 @@ impl PushRwr {
 
     /// Runs forward push from `start`, returning the estimate vector `p`
     /// (a lower bound on the true RWR occupancy, entry by entry).
+    #[must_use]
     pub fn occupancy(&self, g: &CommGraph, start: NodeId) -> SparseVec {
         let c = self.restart;
         let mut p = SparseVec::new();

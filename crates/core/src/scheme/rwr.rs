@@ -51,6 +51,7 @@ pub struct RwrConfig {
 
 impl RwrConfig {
     /// Sensible defaults matching the paper's usage (`c = 0.1`).
+    #[must_use]
     pub fn new(restart: f64, hops: Option<u32>) -> Self {
         assert!(
             (0.0..=1.0).contains(&restart),
@@ -94,6 +95,7 @@ pub struct Rwr {
 impl Rwr {
     /// The truncated scheme `RWR^h_c` used throughout the paper's
     /// evaluation (`RWR^3_0.1`, `RWR^5_0.1`, `RWR^7_0.1`).
+    #[must_use]
     pub fn truncated(restart: f64, hops: u32) -> Self {
         Rwr {
             config: RwrConfig::new(restart, Some(hops)),
@@ -101,6 +103,7 @@ impl Rwr {
     }
 
     /// The full steady-state scheme `RWR_c`.
+    #[must_use]
     pub fn full(restart: f64) -> Self {
         Rwr {
             config: RwrConfig::new(restart, None),
@@ -108,6 +111,7 @@ impl Rwr {
     }
 
     /// Switches the walk to undirected traversal (see [`WalkDirection`]).
+    #[must_use]
     pub fn undirected(mut self) -> Self {
         self.config.direction = WalkDirection::Undirected;
         self
@@ -145,6 +149,7 @@ impl Rwr {
 
     /// Runs the power iteration and returns the full occupancy vector
     /// (including the start node's own mass).
+    #[must_use]
     pub fn occupancy(&self, g: &CommGraph, start: NodeId) -> SparseVec {
         let c = self.config.restart;
         let mut r = SparseVec::indicator(start);

@@ -56,11 +56,13 @@ pub struct UnexpectedTalkers {
 
 impl UnexpectedTalkers {
     /// The paper's Definition 4 (ratio scaling).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// UT with an alternative scaling function.
+    #[must_use]
     pub fn with_scaling(scaling: Scaling) -> Self {
         UnexpectedTalkers { scaling }
     }

@@ -21,6 +21,7 @@ pub struct Signature {
 
 impl Signature {
     /// An empty signature (a node with no observed communication).
+    #[must_use]
     pub fn empty() -> Self {
         Signature {
             entries: Vec::new(),
@@ -35,6 +36,7 @@ impl Signature {
     /// * ties are broken deterministically by smaller node id (the paper
     ///   allows arbitrary tie-breaking);
     /// * duplicate candidate nodes are summed before selection.
+    #[must_use]
     pub fn top_k(
         subject: NodeId,
         candidates: impl IntoIterator<Item = (NodeId, f64)>,
@@ -63,20 +65,25 @@ impl Signature {
             entries.truncate(k);
         }
         entries.sort_unstable_by_key(|&(u, _)| u);
-        Signature { entries }
+        let sig = Signature { entries };
+        crate::contract::check_signature(&sig);
+        sig
     }
 
     /// Number of entries (at most the `k` used at construction).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the signature has no entries.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// The weight of `u` in this signature, or `None` if absent.
+    #[must_use]
     pub fn get(&self, u: NodeId) -> Option<f64> {
         self.entries
             .binary_search_by_key(&u, |&(n, _)| n)
@@ -85,6 +92,7 @@ impl Signature {
     }
 
     /// Whether `u` is a member of the signature's node set.
+    #[must_use]
     pub fn contains(&self, u: NodeId) -> bool {
         self.get(u).is_some()
     }
@@ -96,6 +104,7 @@ impl Signature {
 
     /// The signature's entries ranked by descending weight (ties by id) —
     /// the presentation order of the paper's examples.
+    #[must_use]
     pub fn ranked(&self) -> Vec<(NodeId, f64)> {
         let mut v = self.entries.clone();
         v.sort_unstable_by(|a, b| {
@@ -107,12 +116,14 @@ impl Signature {
     }
 
     /// Sum of the weights.
+    #[must_use]
     pub fn weight_sum(&self) -> f64 {
         self.entries.iter().map(|&(_, w)| w).sum()
     }
 
     /// Returns a copy whose weights are L1-normalised (sum to 1), or an
     /// unchanged copy when the signature is empty.
+    #[must_use]
     pub fn normalized(&self) -> Signature {
         let sum = self.weight_sum();
         if sum <= 0.0 {
@@ -126,6 +137,7 @@ impl Signature {
     /// Merge-joins two signatures, yielding for every node in the union
     /// the pair of weights `(w1, w2)` with 0 for the absent side. The
     /// workhorse of every distance function.
+    #[must_use]
     pub fn union_weights<'a>(&'a self, other: &'a Signature) -> UnionIter<'a> {
         UnionIter {
             a: &self.entries,
@@ -136,6 +148,7 @@ impl Signature {
     }
 
     /// Size of the node-set intersection.
+    #[must_use]
     pub fn intersection_size(&self, other: &Signature) -> usize {
         self.union_weights(other)
             .filter(|&(_, w1, w2)| w1 > 0.0 && w2 > 0.0)
@@ -143,6 +156,7 @@ impl Signature {
     }
 
     /// Size of the node-set union.
+    #[must_use]
     pub fn union_size(&self, other: &Signature) -> usize {
         self.union_weights(other).count()
     }
@@ -204,6 +218,7 @@ impl SignatureSet {
     ///
     /// # Panics
     /// Panics if lengths differ or a subject repeats.
+    #[must_use]
     pub fn new(subjects: Vec<NodeId>, signatures: Vec<Signature>) -> Self {
         assert_eq!(
             subjects.len(),
@@ -223,21 +238,25 @@ impl SignatureSet {
     }
 
     /// Number of subjects.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.subjects.len()
     }
 
     /// Whether the set is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.subjects.is_empty()
     }
 
     /// The subjects, in construction order.
+    #[must_use]
     pub fn subjects(&self) -> &[NodeId] {
         &self.subjects
     }
 
     /// The signature of subject `v`, if present.
+    #[must_use]
     pub fn get(&self, v: NodeId) -> Option<&Signature> {
         self.index.get(&v).map(|&i| &self.signatures[i])
     }

@@ -18,11 +18,13 @@ pub struct SparseVec {
 
 impl SparseVec {
     /// Creates an empty (all-zero) vector.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates the indicator vector `s_i` with mass 1 at `i`.
+    #[must_use]
     pub fn indicator(i: NodeId) -> Self {
         let mut v = Self::new();
         v.add(i, 1.0);
@@ -30,16 +32,19 @@ impl SparseVec {
     }
 
     /// Number of stored (non-zero) entries.
+    #[must_use]
     pub fn nnz(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the vector is all-zero.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// The value at `i` (zero when absent).
+    #[must_use]
     pub fn get(&self, i: NodeId) -> f64 {
         self.entries.get(&i).copied().unwrap_or(0.0)
     }
@@ -63,11 +68,13 @@ impl SparseVec {
     }
 
     /// Sum of absolute values.
+    #[must_use]
     pub fn l1_norm(&self) -> f64 {
         self.entries.values().map(|v| v.abs()).sum()
     }
 
     /// L1 distance `‖self − other‖₁`, used as the RWR convergence test.
+    #[must_use]
     pub fn l1_distance(&self, other: &SparseVec) -> f64 {
         let mut d = 0.0;
         for (&i, &v) in &self.entries {
@@ -87,6 +94,7 @@ impl SparseVec {
     }
 
     /// Consumes the vector into `(node, value)` pairs sorted by node id.
+    #[must_use]
     pub fn into_sorted_entries(self) -> Vec<(NodeId, f64)> {
         let mut v: Vec<_> = self.entries.into_iter().collect();
         v.sort_unstable_by_key(|&(i, _)| i);

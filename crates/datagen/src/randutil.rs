@@ -12,7 +12,9 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
         lambda.is_finite() && lambda >= 0.0,
         "lambda must be >= 0, got {lambda}"
     );
-    if lambda == 0.0 {
+    // lambda is asserted >= 0 above, so <= 0 is exactly the degenerate
+    // case without an exact float comparison.
+    if lambda <= 0.0 {
         return 0;
     }
     if lambda < 30.0 {
@@ -43,7 +45,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// traffic volume variation. `sigma = 0` returns exactly 1.
 pub fn volume_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
     assert!(sigma >= 0.0, "sigma must be >= 0");
-    if sigma == 0.0 {
+    if sigma <= 0.0 {
         return 1.0;
     }
     (standard_normal(rng) * sigma).exp()

@@ -6,6 +6,7 @@
 
 use rayon::prelude::*;
 
+use comsig_core::contract;
 use comsig_core::distance::SignatureDistance;
 use comsig_core::SignatureSet;
 use comsig_graph::NodeId;
@@ -40,7 +41,9 @@ pub fn pairwise_distances(dist: &dyn SignatureDistance, set: &SignatureSet) -> V
             let a = set.get(subjects[i]).expect("subject has a signature");
             ((i + 1)..subjects.len()).map(move |j| {
                 let b = set.get(subjects[j]).expect("subject has a signature");
-                dist.distance(a, b)
+                let d = dist.distance(a, b);
+                contract::check_distance(dist, a, b, d);
+                d
             })
         })
         .collect()
@@ -60,7 +63,9 @@ pub fn self_distances(
         .filter_map(|&v| {
             let a = set_t.get(v)?;
             let b = set_t1.get(v)?;
-            Some((v, dist.distance(a, b)))
+            let d = dist.distance(a, b);
+            contract::check_distance(dist, a, b, d);
+            Some((v, d))
         })
         .collect()
 }
@@ -105,7 +110,7 @@ mod tests {
         let s = set(vec![(0, vec![1]), (1, vec![1]), (2, vec![2])]);
         let d = pairwise_distances(&Jaccard, &s);
         assert_eq!(d.len(), 3); // C(3,2)
-        let zeros = d.iter().filter(|&&x| x == 0.0).count();
+        let zeros = d.iter().filter(|&&x| x.abs() < 1e-12).count();
         assert_eq!(zeros, 1); // only the (0,1) pair matches
     }
 

@@ -130,6 +130,6 @@ mod tests {
     fn identical_population_has_zero_uniqueness() {
         let t = window(vec![(0, vec![10]), (1, vec![10]), (2, vec![10])]);
         let u = uniqueness_values(&Jaccard, &t);
-        assert!(u.iter().all(|&x| x == 0.0));
+        assert!(u.iter().all(|&x| x.abs() < 1e-12));
     }
 }

@@ -38,7 +38,9 @@ pub fn auc(pos: &[f64], neg: &[f64]) -> Option<f64> {
         let eq = ge - gt;
         wins += gt as f64 + 0.5 * eq as f64;
     }
-    Some(wins / (pos.len() as f64 * neg.len() as f64))
+    let value = wins / (pos.len() as f64 * neg.len() as f64);
+    comsig_core::contract::check_unit_interval("AUC", value);
+    Some(value)
 }
 
 fn lower_bound(xs: &[f64], v: f64) -> usize {

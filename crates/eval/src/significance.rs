@@ -76,8 +76,16 @@ impl AucEstimate {
 /// correlated samples on the same queries it is conservative.)
 pub fn auc_difference_z(a: &AucEstimate, b: &AucEstimate) -> f64 {
     let se = (a.std_error * a.std_error + b.std_error * b.std_error).sqrt();
-    if se == 0.0 {
-        return if a.auc == b.auc { 0.0 } else { f64::INFINITY };
+    // se is a square root of a sum of squares, so <= 0 means exactly
+    // "both standard errors degenerate" without an exact float compare.
+    if se <= 0.0 {
+        // Degenerate estimates: equal AUCs are indistinguishable (z = 0),
+        // any difference is infinitely significant, signed by direction.
+        return match a.auc.total_cmp(&b.auc) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => f64::INFINITY,
+            std::cmp::Ordering::Less => f64::NEG_INFINITY,
+        };
     }
     (a.auc - b.auc) / se
 }

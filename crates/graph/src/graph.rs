@@ -362,11 +362,27 @@ impl CommGraph {
             offsets.push(neighbors.len());
         }
 
-        UndirectedCsr {
+        let csr = UndirectedCsr {
             offsets,
             neighbors,
             probs,
+        };
+        // Paper contract (Definition 5): every non-empty row of the
+        // pre-normalised transition matrix must be stochastic. Checked
+        // once at construction in debug builds; `comsig-core::contract`
+        // re-checks from the consumer side.
+        #[cfg(debug_assertions)]
+        for i in 0..self.num_nodes {
+            let row = csr.offsets[i]..csr.offsets[i + 1];
+            if !row.is_empty() {
+                let mass: f64 = csr.probs[row].iter().sum();
+                debug_assert!(
+                    (mass - 1.0).abs() <= 1e-9,
+                    "undirected transition row {i} has mass {mass}, expected 1"
+                );
+            }
         }
+        csr
     }
 }
 

@@ -145,7 +145,17 @@ pub fn perturb(g: &CommGraph, cfg: &PerturbConfig) -> (CommGraph, PerturbReport)
         decrements,
         removed_edges,
     };
-    (builder.build(g.num_nodes()), report)
+    let perturbed = builder.build(g.num_nodes());
+    // Perturbation contract: the node space is preserved (only edges
+    // change) and every surviving weight is finite and positive — the
+    // graph constructor hard-asserts the latter, this documents the
+    // former.
+    debug_assert_eq!(
+        perturbed.num_nodes(),
+        g.num_nodes(),
+        "perturbation must preserve the node set"
+    );
+    (perturbed, report)
 }
 
 /// Applies `perturb` and discards the report.

@@ -99,7 +99,9 @@ pub fn gini(xs: &[usize]) -> f64 {
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("degrees are finite"));
     let n = sorted.len() as f64;
     let sum: f64 = sorted.iter().sum();
-    if sum == 0.0 {
+    // Degrees are non-negative, so a non-positive sum means "no mass";
+    // <= also dodges an exact-zero float comparison.
+    if sum <= 0.0 {
         return 0.0;
     }
     let weighted: f64 = sorted

@@ -1,0 +1,171 @@
+//! Allowlist: audited, justified exceptions to lint rules.
+//!
+//! Format (one entry per line, `#` comments allowed):
+//!
+//! ```text
+//! rule|path-suffix|needle|justification
+//! ```
+//!
+//! An entry suppresses a diagnostic when the rule matches exactly, the
+//! diagnostic's path ends with `path-suffix`, and `needle` (if non-empty)
+//! occurs in the offending source line. The justification is mandatory —
+//! an exception nobody can explain is a bug. Entries that suppress
+//! nothing are themselves reported, so the list can only shrink.
+
+use std::fs;
+use std::path::Path;
+
+use crate::rules::Diagnostic;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// 1-based line in the allowlist file (for unused-entry reports).
+    pub line: usize,
+    /// Rule identifier this entry applies to.
+    pub rule: String,
+    /// Suffix the diagnostic path must end with.
+    pub path_suffix: String,
+    /// Substring of the offending source line; empty matches any line.
+    pub needle: String,
+}
+
+/// Loads the allowlist; malformed lines become diagnostics.
+pub fn load(path: &Path) -> (Vec<Entry>, Vec<Diagnostic>) {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        // A missing allowlist simply means "no exceptions".
+        Err(_) => return (Vec::new(), Vec::new()),
+    };
+    let mut entries = Vec::new();
+    let mut diags = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').collect();
+        let [rule, suffix, needle, justification] = parts[..] else {
+            diags.push(bad_entry(
+                i + 1,
+                line,
+                "expected rule|path-suffix|needle|justification",
+            ));
+            continue;
+        };
+        if justification.trim().is_empty() {
+            diags.push(bad_entry(i + 1, line, "justification must not be empty"));
+            continue;
+        }
+        entries.push(Entry {
+            line: i + 1,
+            rule: rule.trim().to_owned(),
+            path_suffix: suffix.trim().to_owned(),
+            needle: needle.trim().to_owned(),
+        });
+    }
+    (entries, diags)
+}
+
+fn bad_entry(line: usize, snippet: &str, why: &str) -> Diagnostic {
+    Diagnostic {
+        rule: "allowlist",
+        path: "crates/lint/allowlist.txt".to_owned(),
+        line,
+        message: format!("malformed allowlist entry: {why}"),
+        snippet: snippet.to_owned(),
+    }
+}
+
+/// Filters `diags` through the allowlist. Suppressed diagnostics are
+/// dropped; entries that matched nothing are reported as violations.
+pub fn apply(entries: &[Entry], diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut used = vec![false; entries.len()];
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in diags {
+        let mut suppressed = false;
+        for (i, e) in entries.iter().enumerate() {
+            let hit = e.rule == d.rule
+                && d.path.ends_with(&e.path_suffix)
+                && (e.needle.is_empty() || d.snippet.contains(&e.needle));
+            if hit {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if !used[i] {
+            out.push(Diagnostic {
+                rule: "allowlist",
+                path: "crates/lint/allowlist.txt".to_owned(),
+                line: e.line,
+                message: format!(
+                    "unused allowlist entry for rule `{}` ({}); remove it",
+                    e.rule, e.path_suffix
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_owned(),
+            line: 10,
+            message: "m".to_owned(),
+            snippet: snippet.to_owned(),
+        }
+    }
+
+    fn entry(rule: &str, suffix: &str, needle: &str) -> Entry {
+        Entry {
+            line: 1,
+            rule: rule.to_owned(),
+            path_suffix: suffix.to_owned(),
+            needle: needle.to_owned(),
+        }
+    }
+
+    #[test]
+    fn suppresses_matching_diagnostic() {
+        let e = [entry("no-unwrap", "core/src/x.rs", "lock()")];
+        let d = vec![diag(
+            "no-unwrap",
+            "crates/core/src/x.rs",
+            "m.lock().unwrap()",
+        )];
+        assert!(apply(&e, d).is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_or_path_does_not_suppress() {
+        let e = [entry("no-unwrap", "core/src/x.rs", "")];
+        let d = vec![
+            diag("float-eq", "crates/core/src/x.rs", "s"),
+            diag("no-unwrap", "crates/eval/src/y.rs", "s"),
+        ];
+        let out = apply(&e, d);
+        // Both diagnostics survive, plus the entry is reported unused.
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().any(|d| d.rule == "allowlist"));
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let e = [entry("no-unwrap", "nowhere.rs", "")];
+        let out = apply(&e, Vec::new());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unused"));
+    }
+}

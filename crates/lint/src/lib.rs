@@ -1,0 +1,104 @@
+//! `comsig-lint`: the workspace's in-tree static-analysis pass.
+//!
+//! Run with `cargo run -p comsig-lint`. Zero dependencies, line-level
+//! lexing only — see [`source`] for the masking model, [`rules`] for the
+//! individual rules, [`vendor`] for the vendored-source drift check and
+//! [`allowlist`] for the audited-exception mechanism.
+//!
+//! Rules (identifier → meaning):
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect("")` in non-test code.
+//! * `float-eq` — no exact `==`/`!=` against float literals.
+//! * `std-hashmap` — hot-path modules must use `FxHashMap`.
+//! * `must-use` — pure signature/distance constructors carry `#[must_use]`.
+//! * `forbid-unsafe` — `#![forbid(unsafe_code)]` in every crate root and
+//!   no `unsafe` token anywhere.
+//! * `vendor-drift` — `vendor/` sources match `vendor/MANIFEST.txt`.
+//! * `allowlist` — the exception file itself is well-formed and minimal.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod rules;
+pub mod source;
+pub mod vendor;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{render, Diagnostic};
+
+/// Runs the full lint pass over the workspace rooted at `root`.
+/// Returns the surviving (non-allowlisted) diagnostics, sorted.
+pub fn run(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = match scan_workspace(root) {
+        Ok(d) => d,
+        Err(e) => vec![Diagnostic {
+            rule: "io-error",
+            path: String::new(),
+            line: 0,
+            message: format!("cannot scan workspace: {e}"),
+            snippet: String::new(),
+        }],
+    };
+    let (entries, mut allow_diags) = allowlist::load(&root.join("crates/lint/allowlist.txt"));
+    diags = allowlist::apply(&entries, diags);
+    diags.append(&mut allow_diags);
+    diags.extend(vendor::check(root));
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    diags
+}
+
+/// Number of `.rs` files the pass would scan (for the CLI summary).
+pub fn file_count(root: &Path) -> usize {
+    source_files(root).map_or(0, |f| f.len())
+}
+
+fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for path in source_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = source::SourceFile::load(&path, &rel)?;
+        diags.extend(rules::check_file(&file));
+        diags.extend(rules::check_crate_root(&file));
+    }
+    Ok(diags)
+}
+
+/// Every first-party `.rs` file: `src/` of the facade crate plus
+/// `crates/*/src/` recursively. `vendor/`, `tests/`, `benches/` and
+/// `target/` are outside the scanned roots by construction.
+fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! CLI entry point: `cargo run -p comsig-lint [-- --update-vendor-manifest]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The lint is an in-tree tool: the workspace root is two levels above
+    // this crate's manifest, wherever cargo was invoked from.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--update-vendor-manifest") {
+        return match comsig_lint::vendor::update_manifest(&root) {
+            Ok(n) => {
+                println!("comsig-lint: wrote vendor/MANIFEST.txt ({n} files)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("comsig-lint: failed to write manifest: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.as_str() != "--update-vendor-manifest")
+    {
+        eprintln!("comsig-lint: unknown argument `{bad}`");
+        eprintln!("usage: cargo run -p comsig-lint [-- --update-vendor-manifest]");
+        return ExitCode::FAILURE;
+    }
+
+    let diags = comsig_lint::run(&root);
+    if diags.is_empty() {
+        println!(
+            "comsig-lint: clean ({} source files, vendor manifest verified)",
+            comsig_lint::file_count(&root)
+        );
+        ExitCode::SUCCESS
+    } else {
+        print!("{}", comsig_lint::render(&diags));
+        eprintln!("comsig-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

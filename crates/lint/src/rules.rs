@@ -1,0 +1,510 @@
+//! The lint rules.
+//!
+//! Every rule is a pure function from a preprocessed [`SourceFile`] to a
+//! list of [`Diagnostic`]s. Rules only look at **masked, non-test** lines
+//! (see [`crate::source`]), so string literals, comments and
+//! `#[cfg(test)]` items can never trigger them.
+
+use crate::source::{contains_word, SourceFile};
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (also the allowlist key).
+    pub rule: &'static str,
+    /// Repository-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Trimmed verbatim source line (allowlist needles match this).
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    fn new(rule: &'static str, file: &SourceFile, line: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: file.path.clone(),
+            line,
+            message,
+            snippet: file.snippet(line).to_owned(),
+        }
+    }
+}
+
+/// Renders diagnostics in the `path:line: [rule] message` format.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            d.path, d.line, d.rule, d.message
+        ));
+    }
+    out
+}
+
+/// Modules where `std::collections::HashMap` (default SipHash hasher) is
+/// banned in favour of `rustc_hash::FxHashMap`: the graph substrate and
+/// the signature engines are on the per-edge / per-subject hot path.
+const HOT_PATH_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/graph/src/",
+    "crates/sketch/src/",
+];
+
+/// Files whose pure `pub fn … -> T` constructors and accessors must carry
+/// `#[must_use]`: the signature/distance surface of the paper, where a
+/// silently dropped result is always a bug.
+const MUST_USE_PREFIXES: &[&str] = &[
+    "crates/core/src/signature.rs",
+    "crates/core/src/sparse.rs",
+    "crates/core/src/properties.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/distance/",
+    "crates/core/src/scheme/",
+];
+
+/// Runs every line-level rule over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    no_unwrap(file, &mut diags);
+    float_eq(file, &mut diags);
+    std_hashmap(file, &mut diags);
+    must_use(file, &mut diags);
+    no_unsafe(file, &mut diags);
+    diags
+}
+
+/// Whether `path` is a crate root that must carry
+/// `#![forbid(unsafe_code)]` (lib roots, bin roots).
+pub fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs")
+        || (path.ends_with(".rs") && path.contains("src/bin/"))
+}
+
+/// rule `no-unwrap`: `.unwrap()` and empty-message `.expect("")` are
+/// banned in non-test library code; failures must explain themselves.
+fn no_unwrap(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for (line, text) in file.code_lines() {
+        if text.contains(".unwrap()") {
+            diags.push(Diagnostic::new(
+                "no-unwrap",
+                file,
+                line,
+                "`.unwrap()` in non-test code; use `.expect(\"why\")` or propagate the error"
+                    .to_owned(),
+            ));
+        }
+        if text.contains(".expect(\"\")") {
+            diags.push(Diagnostic::new(
+                "no-unwrap",
+                file,
+                line,
+                "`.expect(\"\")` with an empty message explains nothing; say why it cannot fail"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// rule `float-eq`: exact `==`/`!=` against a floating-point *literal*
+/// is banned; compare against an epsilon or use `total_cmp`. (Exact
+/// value-to-value comparison, e.g. tie grouping, is legitimate and not
+/// flagged.)
+fn float_eq(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for (line, text) in file.code_lines() {
+        if let Some(op) = find_float_literal_cmp(text) {
+            diags.push(Diagnostic::new(
+                "float-eq",
+                file,
+                line,
+                format!("exact `{op}` against a float literal; use an epsilon band or `total_cmp`"),
+            ));
+        }
+    }
+}
+
+/// rule `std-hashmap`: hot-path modules must use `rustc_hash::FxHashMap`
+/// instead of the SipHash-keyed `std::collections::HashMap`.
+fn std_hashmap(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !HOT_PATH_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    for (line, text) in file.code_lines() {
+        if text.contains("std::collections") && contains_word(text, "HashMap") {
+            diags.push(Diagnostic::new(
+                "std-hashmap",
+                file,
+                line,
+                "`std::collections::HashMap` on a hot path; use `rustc_hash::FxHashMap`".to_owned(),
+            ));
+        }
+    }
+}
+
+/// rule `must-use`: in the configured signature/distance files, every
+/// `pub fn` that returns a value without taking `&mut self` must carry
+/// `#[must_use]`.
+fn must_use(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !MUST_USE_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    let lines = &file.masked;
+    for i in 0..lines.len() {
+        if file.is_test[i] || !lines[i].trim_start().starts_with("pub fn ") {
+            continue;
+        }
+        // Gather the whole signature (possibly multi-line) up to `{` or `;`.
+        let mut sig = String::new();
+        for l in lines.iter().skip(i) {
+            sig.push_str(l);
+            sig.push(' ');
+            if l.contains('{') || l.trim_end().ends_with(';') {
+                break;
+            }
+        }
+        let returns_value = sig.contains("-> ");
+        let mutates = sig.contains("&mut self");
+        // `impl Iterator` returns are already `#[must_use]` via the trait;
+        // clippy's `double_must_use` rejects a second annotation.
+        let inherently_must_use = sig.contains("-> impl Iterator");
+        if !returns_value || mutates || inherently_must_use {
+            continue;
+        }
+        // Walk the contiguous attribute/doc block above the signature.
+        let mut has_must_use = false;
+        for j in (0..i).rev() {
+            let t = lines[j].trim_start();
+            if t.starts_with("#[") {
+                if t.contains("must_use") {
+                    has_must_use = true;
+                }
+            } else if !t.starts_with("//") && !t.is_empty() {
+                break;
+            }
+        }
+        if !has_must_use {
+            diags.push(Diagnostic::new(
+                "must-use",
+                file,
+                i + 1,
+                "pure `pub fn` returning a value needs `#[must_use]`".to_owned(),
+            ));
+        }
+    }
+}
+
+/// rule `forbid-unsafe` (line part): no `unsafe` token anywhere in
+/// non-test code. The crate-root attribute part lives in
+/// [`check_crate_root`].
+fn no_unsafe(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for (line, text) in file.code_lines() {
+        if contains_word(text, "unsafe") {
+            diags.push(Diagnostic::new(
+                "forbid-unsafe",
+                file,
+                line,
+                "`unsafe` is not used in this workspace".to_owned(),
+            ));
+        }
+    }
+}
+
+/// rule `forbid-unsafe` (attribute part): every crate root must declare
+/// `#![forbid(unsafe_code)]`.
+pub fn check_crate_root(file: &SourceFile) -> Vec<Diagnostic> {
+    if !is_crate_root(&file.path) {
+        return Vec::new();
+    }
+    let has_forbid = file
+        .masked
+        .iter()
+        .any(|l| l.contains("#![forbid(unsafe_code)]"));
+    if has_forbid {
+        Vec::new()
+    } else {
+        vec![Diagnostic::new(
+            "forbid-unsafe",
+            file,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        )]
+    }
+}
+
+/// Finds an `==`/`!=` with a float *literal* on either side; returns the
+/// operator for the message.
+fn find_float_literal_cmp(line: &str) -> Option<&'static str> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let op = if bytes[i] == b'=' && bytes[i + 1] == b'=' {
+            // Not part of a longer operator (`<=`, `!=…`, `+=` etc.).
+            let prev_ok = i == 0 || !b"=!<>+-*/%^&|".contains(&bytes[i - 1]);
+            let next_ok = bytes.get(i + 2) != Some(&b'=');
+            (prev_ok && next_ok).then_some("==")
+        } else if bytes[i] == b'!' && bytes[i + 1] == b'=' && bytes.get(i + 2) != Some(&b'=') {
+            Some("!=")
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let left = token_left_of(line, i);
+            let right = token_right_of(line, i + 2);
+            if is_float_literal(&left) || is_float_literal(&right) {
+                return Some(op);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// The operand token immediately left of byte position `end` (exclusive).
+fn token_left_of(line: &str, end: usize) -> String {
+    let bytes = &line.as_bytes()[..end];
+    let mut j = bytes.len();
+    while j > 0 && bytes[j - 1] == b' ' {
+        j -= 1;
+    }
+    let stop = j;
+    while j > 0 {
+        let b = bytes[j - 1];
+        let exponent_sign =
+            (b == b'-' || b == b'+') && j >= 2 && (bytes[j - 2] == b'e' || bytes[j - 2] == b'E');
+        if b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || exponent_sign {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    line[j..stop].to_owned()
+}
+
+/// The operand token immediately right of byte position `start`.
+fn token_right_of(line: &str, start: usize) -> String {
+    let bytes = line.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && bytes[j] == b' ' {
+        j += 1;
+    }
+    let begin = j;
+    if j < bytes.len() && bytes[j] == b'-' {
+        j += 1; // unary minus
+    }
+    while j < bytes.len() {
+        let b = bytes[j];
+        let exponent_sign =
+            (b == b'-' || b == b'+') && j > begin && (bytes[j - 1] == b'e' || bytes[j - 1] == b'E');
+        if b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || exponent_sign {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    line[begin..j].to_owned()
+}
+
+/// Whether `token` is a floating-point literal (`0.0`, `1e-9`, `2.5f64`…).
+/// Plain integers are *not* floats — integer comparison is exact.
+fn is_float_literal(token: &str) -> bool {
+    let mut t = token.strip_prefix('-').unwrap_or(token);
+    for suffix in ["_f64", "_f32", "f64", "f32"] {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            t = stripped;
+            break;
+        }
+    }
+    let t: String = t.chars().filter(|&c| c != '_').collect();
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    let floaty = t.contains('.') || t.contains('e') || t.contains('E');
+    floaty
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_text(path, src)
+    }
+
+    fn rules(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(&file(path, src))
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "\
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn g(x: Option<u32>) -> u32 { x.unwrap() }
+}
+";
+        let d = rules("crates/core/src/x.rs", src);
+        let unwraps: Vec<_> = d.iter().filter(|d| d.rule == "no-unwrap").collect();
+        assert_eq!(unwraps.len(), 1);
+        assert_eq!(unwraps[0].line, 2);
+    }
+
+    #[test]
+    fn empty_expect_flagged_nonempty_allowed() {
+        let src = "fn f() { a.expect(\"\"); b.expect(\"graph is non-empty\"); }\n";
+        let d = rules("crates/eval/src/x.rs", src);
+        let hits: Vec<_> = d.iter().filter(|d| d.rule == "no-unwrap").collect();
+        assert_eq!(hits.len(), 1, "{}", render(&d));
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_not_flagged() {
+        let src = "fn f() {\n  let s = \".unwrap()\"; // .unwrap()\n}\n";
+        assert!(rules("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_literal_comparison_flagged() {
+        for line in [
+            "fn f(x: f64) -> bool { x == 0.0 }",
+            "fn f(x: f64) -> bool { 1e-9 != x }",
+            "fn f(x: f64) -> bool { x == 2.5f64 }",
+            "fn f(x: f64) -> bool { x == -1.0 }",
+        ] {
+            let d = rules("crates/core/src/x.rs", &format!("{line}\n"));
+            assert_eq!(
+                d.iter().filter(|d| d.rule == "float-eq").count(),
+                1,
+                "expected flag on: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_to_value_and_int_comparisons_allowed() {
+        for line in [
+            "fn f(a: f64, b: f64) -> bool { a == b }",
+            "fn f(n: usize) -> bool { n == 0 }",
+            "fn f(x: f64) -> bool { x <= 1.0 }",
+            "fn f(x: f64) -> bool { x >= 0.0 && x <= 1.0 }",
+            "fn f(x: f64) -> bool { (x - 1.0).abs() < 1e-9 }",
+        ] {
+            let d = rules("crates/core/src/x.rs", &format!("{line}\n"));
+            assert!(
+                d.iter().all(|d| d.rule != "float-eq"),
+                "false positive on: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn std_hashmap_flagged_on_hot_paths_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules("crates/core/src/engine.rs", src).len(), 1);
+        assert_eq!(rules("crates/graph/src/graph.rs", src).len(), 1);
+        assert!(rules("crates/apps/src/masquerade.rs", src).is_empty());
+        // FxHashMap and non-HashMap std::collections imports are fine.
+        assert!(rules("crates/core/src/x.rs", "use rustc_hash::FxHashMap;\n").is_empty());
+        assert!(rules("crates/core/src/x.rs", "use std::collections::VecDeque;\n").is_empty());
+        assert!(rules(
+            "crates/graph/src/x.rs",
+            "use std::collections::hash_map::Entry;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn must_use_required_on_configured_paths() {
+        let bad = "pub fn top_k(&self) -> u32 { 1 }\n";
+        let good = "#[must_use]\npub fn top_k(&self) -> u32 { 1 }\n";
+        let d = rules("crates/core/src/signature.rs", bad);
+        assert_eq!(d.iter().filter(|d| d.rule == "must-use").count(), 1);
+        assert!(rules("crates/core/src/signature.rs", good).is_empty());
+        // Mutating and unit-returning functions are exempt.
+        assert!(rules(
+            "crates/core/src/signature.rs",
+            "pub fn clear(&mut self) -> usize { 0 }\n"
+        )
+        .is_empty());
+        assert!(rules("crates/core/src/signature.rs", "pub fn tick(&self) {}\n").is_empty());
+        // Iterator returns are must-use via the trait; requiring the
+        // attribute would trip clippy's double_must_use.
+        assert!(rules(
+            "crates/core/src/signature.rs",
+            "pub fn iter(&self) -> impl Iterator<Item = u32> + '_ { 0..1 }\n"
+        )
+        .is_empty());
+        // Other paths are out of scope.
+        assert!(rules("crates/apps/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn must_use_sees_multiline_signatures_and_attr_stacks() {
+        let src = "\
+#[inline]
+#[must_use]
+pub fn dist(
+    a: f64,
+    b: f64,
+) -> f64 {
+    a - b
+}
+";
+        assert!(rules("crates/core/src/distance/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_token_flagged() {
+        let d = rules("crates/core/src/x.rs", "fn f() { unsafe { } }\n");
+        assert_eq!(d.iter().filter(|d| d.rule == "forbid-unsafe").count(), 1);
+        // …but mentions inside comments/strings are not.
+        assert!(rules("crates/core/src/x.rs", "// unsafe is banned\n").is_empty());
+    }
+
+    #[test]
+    fn crate_roots_need_forbid_attribute() {
+        let missing = file("crates/core/src/lib.rs", "pub mod x;\n");
+        assert_eq!(check_crate_root(&missing).len(), 1);
+        let present = file(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod x;\n",
+        );
+        assert!(check_crate_root(&present).is_empty());
+        // Non-root files don't need it.
+        let other = file("crates/core/src/engine.rs", "pub fn f() {}\n");
+        assert!(check_crate_root(&other).is_empty());
+        // Bin roots do.
+        let bin = file("crates/bench/src/bin/tool.rs", "fn main() {}\n");
+        assert_eq!(check_crate_root(&bin).len(), 1);
+    }
+
+    #[test]
+    fn float_tokenizer_handles_exponents() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("1e-9"));
+        assert!(is_float_literal("2.5f64"));
+        assert!(is_float_literal("1_000.5"));
+        assert!(is_float_literal("-3.25"));
+        assert!(!is_float_literal("0"));
+        assert!(!is_float_literal("f64"));
+        assert!(!is_float_literal("EPSILON"));
+        assert!(!is_float_literal("0x1f"));
+        assert!(!is_float_literal(""));
+    }
+}

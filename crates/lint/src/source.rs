@@ -1,0 +1,370 @@
+//! Source model: file loading, literal/comment masking and `#[cfg(test)]`
+//! region tracking.
+//!
+//! The lint rules are line-level string scans, so they would happily match
+//! their own pattern inside a string literal, a doc comment or a test
+//! module. To keep them honest we precompute, per file:
+//!
+//! * a **masked** copy of the text where comment bodies are blanked out
+//!   entirely and string/char literal *contents* are replaced by spaces
+//!   (the delimiting quotes survive, so an empty `""` stays empty and is
+//!   still distinguishable from a non-empty literal);
+//! * a per-line **test mask** marking every line that lives inside a
+//!   `#[cfg(test)]`/`#[test]` item, computed by brace-depth tracking over
+//!   the masked text.
+//!
+//! This is not a parser — it is a lexer-grade approximation that is exact
+//! for the subset of Rust this workspace uses (no macros generating
+//! braces inside strings, no exotic raw identifiers).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One workspace source file, preprocessed for rule scans.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the repository root, `/`-separated.
+    pub path: String,
+    /// Verbatim source lines (for diagnostics and allowlist needles).
+    pub raw: Vec<String>,
+    /// Lines with comments blanked and literal contents spaced out.
+    pub masked: Vec<String>,
+    /// `true` for every line inside a `#[cfg(test)]` / `#[test]` item.
+    pub is_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Loads and preprocesses `abs_path`, recording it under `rel_path`.
+    pub fn load(abs_path: &Path, rel_path: &str) -> io::Result<SourceFile> {
+        let text = fs::read_to_string(abs_path)?;
+        Ok(SourceFile::from_text(rel_path, &text))
+    }
+
+    /// Builds a source model from in-memory text (used by rule tests).
+    pub fn from_text(rel_path: &str, text: &str) -> SourceFile {
+        let masked_text = mask_source(text);
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let masked: Vec<String> = masked_text.lines().map(str::to_owned).collect();
+        let is_test = test_region_mask(&masked);
+        SourceFile {
+            path: rel_path.to_owned(),
+            raw,
+            masked,
+            is_test,
+        }
+    }
+
+    /// Iterates `(1-based line number, masked line)` over non-test lines.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.masked
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.is_test[i])
+            .map(|(i, l)| (i + 1, l.as_str()))
+    }
+
+    /// The verbatim text of a 1-based line, trimmed, for diagnostics.
+    pub fn snippet(&self, line: usize) -> &str {
+        self.raw.get(line.wrapping_sub(1)).map_or("", |l| l.trim())
+    }
+}
+
+/// Returns `text` with comments blanked entirely and string/char literal
+/// contents replaced by spaces. Newlines and total length are preserved so
+/// line/column positions stay valid.
+pub fn mask_source(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = chars.clone();
+    let blank = |out: &mut [char], i: usize| {
+        if out[i] != '\n' {
+            out[i] = ' ';
+        }
+    };
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    out[i] = ' ';
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                blank(&mut out, i);
+                blank(&mut out, i + 1);
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                    } else {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Ordinary (or byte) string: keep the quotes, blank the body.
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        blank(&mut out, i);
+                        if i + 1 < chars.len() {
+                            blank(&mut out, i + 1);
+                        }
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        i += 1;
+                        break;
+                    } else {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                }
+            }
+            'r' if raw_string_hashes(&chars, i).is_some() => {
+                let hashes = raw_string_hashes(&chars, i).unwrap_or(0);
+                // Blank the whole raw literal, delimiters included.
+                let mut j = i;
+                // opening: r## ... #"
+                while j < chars.len() && chars[j] != '"' {
+                    blank(&mut out, j);
+                    j += 1;
+                }
+                blank(&mut out, j); // opening quote
+                j += 1;
+                while j < chars.len() {
+                    if chars[j] == '"' && closes_raw(&chars, j, hashes) {
+                        for k in j..(j + 1 + hashes).min(chars.len()) {
+                            blank(&mut out, k);
+                        }
+                        j += 1 + hashes;
+                        break;
+                    }
+                    blank(&mut out, j);
+                    j += 1;
+                }
+                i = j;
+            }
+            '\'' => {
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: blank until the closing quote.
+                    let mut j = i + 1;
+                    while j < chars.len() {
+                        if chars[j] == '\\' {
+                            blank(&mut out, j);
+                            if j + 1 < chars.len() {
+                                blank(&mut out, j + 1);
+                            }
+                            j += 2;
+                        } else if chars[j] == '\'' {
+                            j += 1;
+                            break;
+                        } else {
+                            blank(&mut out, j);
+                            j += 1;
+                        }
+                    }
+                    i = j;
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    // Simple char literal 'x'.
+                    blank(&mut out, i + 1);
+                    i += 3;
+                } else {
+                    // Lifetime: leave as-is.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// If `chars[i]` begins a raw string literal (`r"…"`, `r#"…"#`, …),
+/// returns its hash count; `None` otherwise. A preceding identifier
+/// character rules it out (e.g. the `r` inside `var`).
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<usize> {
+    if i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether the quote at `chars[j]` is followed by `hashes` hash marks.
+fn closes_raw(chars: &[char], j: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(j + k) == Some(&'#'))
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` / `#[test]` item by
+/// tracking brace depth through the masked text. The attribute line itself
+/// is included in the region.
+fn test_region_mask(masked: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; masked.len()];
+    let mut depth: i64 = 0;
+    let mut region_depth: Option<i64> = None;
+    let mut pending_attr = false;
+    for (i, line) in masked.iter().enumerate() {
+        let t = line.trim();
+        if region_depth.is_none() && is_test_attribute(t) {
+            pending_attr = true;
+        }
+        if pending_attr || region_depth.is_some() {
+            mask[i] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending_attr {
+                        region_depth = Some(depth);
+                        pending_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// Recognises `#[test]` and any `#[cfg(…)]` attribute whose predicate
+/// mentions the standalone word `test` (covers `#[cfg(all(test, …))]`).
+fn is_test_attribute(trimmed: &str) -> bool {
+    if trimmed.starts_with("#[test]") {
+        return true;
+    }
+    trimmed.starts_with("#[cfg(") && contains_word(trimmed, "test")
+}
+
+/// Whether `word` occurs in `line` bounded by non-identifier characters.
+pub fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask_source("let x = 1; // call .unwrap() here\n/* a == 1.0 */ let y = 2;");
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("=="));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let m = mask_source(r#"let s = "x.unwrap()"; let e = ""; x.expect("msg");"#);
+        assert!(!m.contains("x.unwrap()"));
+        assert!(m.contains(r#""""#), "empty literal must survive: {m}");
+        // The expect message is blanked but its quotes remain non-adjacent.
+        assert!(m.contains(r#".expect(""#));
+        assert!(!m.contains("msg"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_escapes() {
+        let m = mask_source("let s = r#\"a == 1.0\"#; let t = \"q\\\"u == 2.0\\\"q\";");
+        assert!(!m.contains("=="));
+        let n = mask_source(r"let c = '\n'; let l: &'static str = s;");
+        assert!(n.contains("'static"), "lifetime survives: {n}");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let m = mask_source("if c == 'x' { f::<'a>(); }");
+        assert!(!m.contains('x'));
+        assert!(m.contains("<'a>"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask_source("a /* outer /* inner */ still comment */ b");
+        assert!(m.contains('a') && m.contains('b'));
+        assert!(!m.contains("inner") && !m.contains("still"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = "\
+pub fn real() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Vec<u32> = vec![];
+        v.first().unwrap();
+    }
+}
+
+pub fn also_real() {}
+";
+        let f = SourceFile::from_text("x.rs", src);
+        assert!(!f.is_test[0]);
+        assert!(f.is_test[2], "attribute line is in the region");
+        assert!(f.is_test[7], "unwrap line is in the region");
+        assert!(!f.is_test[11], "code after the module is not");
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test() {
+        let src =
+            "#[cfg(all(test, feature = \"contracts\"))]\nmod t {\n let x = 1;\n}\nfn f() {}\n";
+        let f = SourceFile::from_text("x.rs", src);
+        assert!(f.is_test[2]);
+        assert!(!f.is_test[4]);
+    }
+
+    #[test]
+    fn cfg_feature_is_not_test() {
+        let src = "#[cfg(feature = \"contracts\")]\nfn f() {\n let x = 1;\n}\n";
+        let f = SourceFile::from_text("x.rs", src);
+        assert!(!f.is_test[2]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("use of unsafe here", "unsafe"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+        assert!(!contains_word("HashMapLike", "HashMap"));
+        assert!(contains_word("a HashMap<K, V>", "HashMap"));
+    }
+}

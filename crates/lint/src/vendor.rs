@@ -1,0 +1,170 @@
+//! Vendor drift check.
+//!
+//! The offline build container can't reach a registry, so the external
+//! dependencies live as minimal in-tree implementations under `vendor/`.
+//! Those sources must only change *deliberately*: this module hashes every
+//! vendored `.rs` / `Cargo.toml` with FNV-1a 64 and compares the result
+//! against the committed `vendor/MANIFEST.txt`. Any drift — edited,
+//! added or deleted files — is a lint failure until the manifest is
+//! regenerated with `cargo run -p comsig-lint -- --update-vendor-manifest`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::Diagnostic;
+
+/// Manifest path relative to the repository root.
+pub const MANIFEST_PATH: &str = "vendor/MANIFEST.txt";
+
+/// FNV-1a 64-bit over raw bytes; dependency-free and stable across
+/// platforms, which is all a drift check needs (not cryptographic).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes every tracked file under `vendor/`, sorted by relative path.
+pub fn collect(root: &Path) -> io::Result<Vec<(String, u64)>> {
+    let vendor = root.join("vendor");
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(&vendor, &mut files)?;
+    let mut out = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel == MANIFEST_PATH {
+            continue; // the manifest doesn't hash itself
+        }
+        let bytes = fs::read(&f)?;
+        out.push((rel, fnv1a64(&bytes)));
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            // Build artifacts never belong in the manifest.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs")
+            || path.file_name().is_some_and(|n| n == "Cargo.toml")
+            || path.file_name().is_some_and(|n| n == "MANIFEST.txt")
+        {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Serialises the current vendor state into manifest format.
+pub fn render_manifest(entries: &[(String, u64)]) -> String {
+    let mut out = String::from(
+        "# Vendored-source integrity manifest. FNV-1a 64 of every vendor/*.rs\n\
+         # and Cargo.toml. Regenerate after a deliberate vendor change with:\n\
+         #   cargo run -p comsig-lint -- --update-vendor-manifest\n",
+    );
+    for (path, hash) in entries {
+        out.push_str(&format!("{hash:016x}  {path}\n"));
+    }
+    out
+}
+
+/// Rewrites `vendor/MANIFEST.txt` from the current tree.
+pub fn update_manifest(root: &Path) -> io::Result<usize> {
+    let entries = collect(root)?;
+    fs::write(root.join(MANIFEST_PATH), render_manifest(&entries))?;
+    Ok(entries.len())
+}
+
+/// Compares the tree against the committed manifest; every divergence
+/// becomes a `vendor-drift` diagnostic.
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let drift = |message: String| Diagnostic {
+        rule: "vendor-drift",
+        path: MANIFEST_PATH.to_owned(),
+        line: 1,
+        message,
+        snippet: String::new(),
+    };
+    let actual = match collect(root) {
+        Ok(a) => a,
+        Err(e) => return vec![drift(format!("cannot hash vendor tree: {e}"))],
+    };
+    let manifest_text = match fs::read_to_string(root.join(MANIFEST_PATH)) {
+        Ok(t) => t,
+        Err(_) => {
+            return vec![drift(
+                "missing vendor/MANIFEST.txt; run `cargo run -p comsig-lint -- \
+                 --update-vendor-manifest`"
+                    .to_owned(),
+            )]
+        }
+    };
+    let mut expected: Vec<(String, u64)> = Vec::new();
+    for line in manifest_text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((hash, path)) = line.split_once("  ") else {
+            return vec![drift(format!("malformed manifest line: {line}"))];
+        };
+        let Ok(hash) = u64::from_str_radix(hash, 16) else {
+            return vec![drift(format!("malformed manifest hash: {hash}"))];
+        };
+        expected.push((path.to_owned(), hash));
+    }
+
+    let mut diags = Vec::new();
+    for (path, hash) in &actual {
+        match expected.iter().find(|(p, _)| p == path) {
+            None => diags.push(drift(format!("untracked vendored file: {path}"))),
+            Some((_, h)) if h != hash => {
+                diags.push(drift(format!("vendored file drifted: {path}")));
+            }
+            Some(_) => {}
+        }
+    }
+    for (path, _) in &expected {
+        if !actual.iter().any(|(p, _)| p == path) {
+            diags.push(drift(format!("vendored file deleted: {path}")));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_roundtrip_format() {
+        let entries = vec![("vendor/x/src/lib.rs".to_owned(), 0xdead_beef_u64)];
+        let text = render_manifest(&entries);
+        assert!(text.contains("00000000deadbeef  vendor/x/src/lib.rs"));
+        assert!(text.starts_with('#'));
+    }
+}

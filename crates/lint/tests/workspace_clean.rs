@@ -1,0 +1,16 @@
+//! The lint pass must run clean on the workspace itself — this is the
+//! tier-1 enforcement point: a rule violation anywhere in first-party
+//! code fails `cargo test`.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = comsig_lint::run(&root);
+    assert!(
+        diags.is_empty(),
+        "comsig-lint found violations:\n{}",
+        comsig_lint::render(&diags)
+    );
+}

@@ -19,6 +19,8 @@
 //! * [`sketch`] — Section VI scalability extensions: Count-Min and FM
 //!   sketches, semi-streaming signatures, MinHash/LSH.
 
+#![forbid(unsafe_code)]
+
 pub use comsig_apps as apps;
 pub use comsig_core as core;
 pub use comsig_datagen as datagen;
