@@ -14,16 +14,20 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use comsig_bench::experiments;
+use comsig_bench::experiments::checkpoint::{self, LoadOutcome};
 use comsig_bench::Scale;
 
 fn usage() -> &'static str {
-    "usage: experiments [--scale small|medium|full] [--out DIR] [--list] [all | <id>...]\n\
+    "usage: experiments [--scale small|medium|full] [--out DIR] [--checkpoint DIR] [--list] [all | <id>...]\n\
+     --checkpoint DIR  resume completed experiments from DIR (atomic per-cell\n\
+                       checkpoints; corrupt files are recomputed)\n\
      run `experiments --list` to see the experiment ids"
 }
 
 fn main() -> ExitCode {
     let mut scale = Scale::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +45,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 out_dir = Some(PathBuf::from(v));
+            }
+            "--checkpoint" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--checkpoint needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_dir = Some(PathBuf::from(v));
             }
             "--list" => {
                 for e in experiments::all() {
@@ -73,7 +84,32 @@ fn main() -> ExitCode {
         };
         let start = Instant::now();
         println!("### {} — {} [scale: {:?}]", exp.id, exp.title, scale);
-        let tables = (exp.run)(scale);
+        let mut resumed = false;
+        let tables = match checkpoint_dir
+            .as_deref()
+            .map(|dir| checkpoint::load(dir, exp.id, scale))
+        {
+            Some(LoadOutcome::Hit(tables)) => {
+                println!("(resumed {} from checkpoint)", exp.id);
+                resumed = true;
+                tables
+            }
+            Some(LoadOutcome::Corrupt(reason)) => {
+                eprintln!(
+                    "warning: checkpoint for {} is corrupt ({reason}); recomputing",
+                    exp.id
+                );
+                (exp.run)(scale)
+            }
+            Some(LoadOutcome::Miss) | None => (exp.run)(scale),
+        };
+        if let Some(dir) = &checkpoint_dir {
+            if !resumed {
+                if let Err(e) = checkpoint::save(dir, exp.id, scale, &tables) {
+                    eprintln!("warning: cannot checkpoint {}: {e}", exp.id);
+                }
+            }
+        }
         for table in &tables {
             println!("{}", table.render());
         }

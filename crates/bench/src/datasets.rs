@@ -27,6 +27,16 @@ impl Scale {
         }
     }
 
+    /// Stable lower-case name (inverse of [`Scale::parse`]), used in
+    /// checkpoint filenames.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Full => "full",
+        }
+    }
+
     /// The signature length used for flow data (`k = 10` in the paper,
     /// half the average host out-degree).
     pub fn flow_k(self) -> usize {

@@ -1,0 +1,331 @@
+//! Atomic per-experiment checkpoints.
+//!
+//! Long sweeps (`experiments all --scale full`) can die mid-run — OOM
+//! kill, ctrl-C, a pre-empted CI runner. Each experiment cell writes its
+//! result tables to `<dir>/<id>.<scale>.ckpt` via write-then-rename, so a
+//! checkpoint is either absent or complete, never torn; a re-run resumes
+//! from the completed cells without recomputing them. Payloads carry an
+//! FNV-1a digest so a corrupted or hand-edited file is detected, warned
+//! about, and recomputed rather than trusted.
+//!
+//! The payload is a small line-based text format (the offline build has
+//! no generic serde machinery): a four-line header followed by `T`
+//! (title), `H` (headers) and `R` (row) records with tab-separated,
+//! backslash-escaped cells.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use comsig_eval::report::Table;
+
+use crate::datasets::Scale;
+
+const MAGIC: &str = "comsig-checkpoint v1";
+
+/// Result of probing a checkpoint.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// A valid checkpoint: the stored tables, ready to reuse.
+    Hit(Vec<Table>),
+    /// No checkpoint exists for this cell.
+    Miss,
+    /// A file exists but cannot be trusted; carries the reason. Callers
+    /// should warn and recompute.
+    Corrupt(String),
+}
+
+/// The checkpoint path for a cell.
+pub fn path(dir: &Path, id: &str, scale: Scale) -> PathBuf {
+    dir.join(format!("{id}.{}.ckpt", scale.name()))
+}
+
+/// FNV-1a over the serialised tables: cheap, dependency-free, and enough
+/// to catch truncation and bit rot (this guards against accidents, not
+/// adversaries).
+fn digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn escape(cell: &str) -> String {
+    let mut out = String::with_capacity(cell.len());
+    for c in cell.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(field: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+fn cells_line(prefix: char, cells: &[String]) -> String {
+    let escaped: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+    format!("{prefix} {}\n", escaped.join("\t"))
+}
+
+fn parse_cells(rest: &str) -> Result<Vec<String>, String> {
+    rest.split('\t').map(unescape).collect()
+}
+
+fn serialize_tables(tables: &[Table]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(&format!("T {}\n", escape(t.title())));
+        out.push_str(&cells_line('H', t.headers()));
+        for row in t.rows() {
+            out.push_str(&cells_line('R', row));
+        }
+    }
+    out
+}
+
+fn parse_tables(body: &str) -> Result<Vec<Table>, String> {
+    let mut tables: Vec<Table> = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let lineno = i + 1;
+        let (kind, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("body line {lineno}: missing record tag"))?;
+        match kind {
+            "T" => {
+                let title = unescape(rest).map_err(|e| format!("body line {lineno}: {e}"))?;
+                tables.push(Table::new(&title, &[]));
+            }
+            "H" => {
+                let headers = parse_cells(rest).map_err(|e| format!("body line {lineno}: {e}"))?;
+                let title = tables
+                    .last()
+                    .map(|t| t.title().to_owned())
+                    .ok_or_else(|| format!("body line {lineno}: H before T"))?;
+                let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+                *tables
+                    .last_mut()
+                    .ok_or_else(|| format!("body line {lineno}: H before T"))? =
+                    Table::new(&title, &refs);
+            }
+            "R" => {
+                let cells = parse_cells(rest).map_err(|e| format!("body line {lineno}: {e}"))?;
+                let table = tables
+                    .last_mut()
+                    .ok_or_else(|| format!("body line {lineno}: R before T"))?;
+                if cells.len() != table.headers().len() {
+                    return Err(format!(
+                        "body line {lineno}: row width {} != header width {}",
+                        cells.len(),
+                        table.headers().len()
+                    ));
+                }
+                table.push_row(cells);
+            }
+            other => return Err(format!("body line {lineno}: unknown record `{other}`")),
+        }
+    }
+    Ok(tables)
+}
+
+/// Atomically writes the checkpoint for a cell: the payload goes to a
+/// `.tmp` sibling first and is renamed into place, so readers never see a
+/// partial file.
+pub fn save(dir: &Path, id: &str, scale: Scale, tables: &[Table]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let body = serialize_tables(tables);
+    let payload = format!(
+        "{MAGIC}\nid {id}\nscale {}\ndigest {:016x}\n{body}",
+        scale.name(),
+        digest(body.as_bytes())
+    );
+    let target = path(dir, id, scale);
+    let tmp = target.with_extension("ckpt.tmp");
+    fs::write(&tmp, payload)?;
+    fs::rename(&tmp, &target)?;
+    Ok(target)
+}
+
+/// Probes the checkpoint for a cell.
+pub fn load(dir: &Path, id: &str, scale: Scale) -> LoadOutcome {
+    let target = path(dir, id, scale);
+    let bytes = match fs::read(&target) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Miss,
+        Err(e) => return LoadOutcome::Corrupt(format!("unreadable: {e}")),
+    };
+    let text = match String::from_utf8(bytes) {
+        Ok(text) => text,
+        Err(e) => return LoadOutcome::Corrupt(format!("not UTF-8: {e}")),
+    };
+    let mut header = text.splitn(5, '\n');
+    let (Some(magic), Some(id_line), Some(scale_line), Some(digest_line), Some(body)) = (
+        header.next(),
+        header.next(),
+        header.next(),
+        header.next(),
+        header.next(),
+    ) else {
+        return LoadOutcome::Corrupt("truncated header".to_owned());
+    };
+    if magic != MAGIC {
+        return LoadOutcome::Corrupt(format!("bad magic `{magic}`"));
+    }
+    if id_line != format!("id {id}") || scale_line != format!("scale {}", scale.name()) {
+        return LoadOutcome::Corrupt(format!(
+            "cell mismatch: file says `{id_line}; {scale_line}`, expected ({id}, {})",
+            scale.name()
+        ));
+    }
+    let stored = match digest_line
+        .strip_prefix("digest ")
+        .and_then(|d| u64::from_str_radix(d, 16).ok())
+    {
+        Some(stored) => stored,
+        None => return LoadOutcome::Corrupt(format!("bad digest line `{digest_line}`")),
+    };
+    let computed = digest(body.as_bytes());
+    if stored != computed {
+        return LoadOutcome::Corrupt(format!(
+            "digest mismatch: stored {stored:016x}, computed {computed:016x}"
+        ));
+    }
+    match parse_tables(body) {
+        Ok(tables) => LoadOutcome::Hit(tables),
+        Err(e) => LoadOutcome::Corrupt(format!("invalid payload: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tables() -> Vec<Table> {
+        let mut a = Table::new("AUC", &["scheme", "Jac"]);
+        a.push_row(vec!["TT".into(), "0.9086".into()]);
+        a.push_row(vec!["UT".into(), "0.8827".into()]);
+        let mut b = Table::new("odd cells", &["with\ttab", "with\nnewline"]);
+        b.push_row(vec!["back\\slash".into(), String::new()]);
+        vec![a, b]
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("comsig-checkpoint-tests")
+            .join(name);
+        // Each test gets a fresh cell directory.
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rendered(tables: &[Table]) -> Vec<String> {
+        tables.iter().map(Table::render).collect()
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["", "plain", "a\tb", "a\nb", "a\\nb", "\\", "\\t", "a\r\n\\"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s, "{s:?}");
+        }
+        assert!(unescape("bad \\x escape").is_err());
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let tables = sample_tables();
+        let target = save(&dir, "fig3", Scale::Small, &tables).unwrap();
+        assert!(target.exists());
+        assert!(
+            !target.with_extension("ckpt.tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        match load(&dir, "fig3", Scale::Small) {
+            LoadOutcome::Hit(loaded) => assert_eq!(rendered(&loaded), rendered(&tables)),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_checkpoint_is_a_miss() {
+        let dir = temp_dir("miss");
+        assert!(matches!(
+            load(&dir, "fig3", Scale::Small),
+            LoadOutcome::Miss
+        ));
+    }
+
+    #[test]
+    fn cells_are_keyed_by_id_and_scale() {
+        let dir = temp_dir("cells");
+        save(&dir, "fig3", Scale::Small, &sample_tables()).unwrap();
+        assert!(matches!(
+            load(&dir, "fig4", Scale::Small),
+            LoadOutcome::Miss
+        ));
+        assert!(matches!(
+            load(&dir, "fig3", Scale::Medium),
+            LoadOutcome::Miss
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_a_panic() {
+        let dir = temp_dir("truncated");
+        let target = save(&dir, "fig3", Scale::Small, &sample_tables()).unwrap();
+        let bytes = fs::read(&target).unwrap();
+        for cut in [2, bytes.len() / 2, bytes.len() - 3] {
+            fs::write(&target, &bytes[..cut]).unwrap();
+            match load(&dir, "fig3", Scale::Small) {
+                LoadOutcome::Corrupt(reason) => assert!(!reason.is_empty()),
+                other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_payload_fails_the_digest() {
+        let dir = temp_dir("tampered");
+        let target = save(&dir, "fig3", Scale::Small, &sample_tables()).unwrap();
+        let text = fs::read_to_string(&target).unwrap();
+        assert!(text.contains("0.9086"));
+        fs::write(&target, text.replace("0.9086", "0.1234")).unwrap();
+        match load(&dir, "fig3", Scale::Small) {
+            LoadOutcome::Corrupt(reason) => assert!(reason.contains("digest mismatch")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renamed_cell_is_rejected() {
+        let dir = temp_dir("renamed");
+        let from = save(&dir, "fig3", Scale::Small, &sample_tables()).unwrap();
+        fs::rename(&from, path(&dir, "fig4", Scale::Small)).unwrap();
+        match load(&dir, "fig4", Scale::Small) {
+            LoadOutcome::Corrupt(reason) => assert!(reason.contains("cell mismatch")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod anomaly;
 pub mod callgraph;
+pub mod checkpoint;
 pub mod decay;
 pub mod fig1;
 pub mod fig2;

@@ -1,0 +1,87 @@
+//! Checkpoint/resume over a real experiment cell.
+//!
+//! Exercises the recovery path end-to-end with a genuine registry
+//! experiment: compute → checkpoint → resume must reproduce the same
+//! tables without recomputation artifacts, and a corrupted checkpoint
+//! must fall back to a recompute that yields identical results (the
+//! experiments are seed-deterministic).
+
+use std::fs;
+use std::path::PathBuf;
+
+use comsig_bench::experiments::checkpoint::{self, LoadOutcome};
+use comsig_bench::experiments::{self, Experiment};
+use comsig_bench::Scale;
+use comsig_eval::report::Table;
+
+fn cell() -> Experiment {
+    experiments::find("table4").expect("table4 is registered")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("comsig-checkpoint-resume")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn rendered(tables: &[Table]) -> Vec<String> {
+    tables.iter().map(Table::render).collect()
+}
+
+#[test]
+fn resume_reproduces_a_real_experiment_cell() {
+    let exp = cell();
+    let dir = temp_dir("hit");
+    let computed = (exp.run)(Scale::Small);
+    checkpoint::save(&dir, exp.id, Scale::Small, &computed).expect("checkpoint written");
+
+    // A leftover .tmp from a killed writer must not shadow the cell.
+    fs::write(
+        checkpoint::path(&dir, exp.id, Scale::Small).with_extension("ckpt.tmp"),
+        b"torn half-written payload",
+    )
+    .expect("tmp file written");
+
+    match checkpoint::load(&dir, exp.id, Scale::Small) {
+        LoadOutcome::Hit(resumed) => {
+            assert_eq!(
+                rendered(&resumed),
+                rendered(&computed),
+                "resumed tables must be identical to the computed ones"
+            );
+        }
+        other => panic!("expected Hit, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_recomputes_to_identical_tables() {
+    let exp = cell();
+    let dir = temp_dir("corrupt");
+    let first = (exp.run)(Scale::Small);
+    let target = checkpoint::save(&dir, exp.id, Scale::Small, &first).expect("checkpoint written");
+
+    // Simulate a kill mid-write landing on the real path (e.g. a pre-
+    // atomic writer or disk fault): the file exists but is torn.
+    let bytes = fs::read(&target).expect("checkpoint readable");
+    fs::write(&target, &bytes[..bytes.len() / 3]).expect("truncation written");
+
+    match checkpoint::load(&dir, exp.id, Scale::Small) {
+        LoadOutcome::Corrupt(reason) => {
+            assert!(!reason.is_empty(), "corruption must carry a reason");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // The driver's fallback: recompute and re-checkpoint. Determinism
+    // makes the recomputed cell identical to the original run.
+    let recomputed = (exp.run)(Scale::Small);
+    assert_eq!(rendered(&recomputed), rendered(&first));
+    checkpoint::save(&dir, exp.id, Scale::Small, &recomputed).expect("re-checkpoint written");
+    assert!(matches!(
+        checkpoint::load(&dir, exp.id, Scale::Small),
+        LoadOutcome::Hit(_)
+    ));
+}

@@ -1,0 +1,214 @@
+//! Event-stream fault injection: corruptions applied after parsing,
+//! targeting the graph-construction and signature layers.
+
+use comsig_graph::{EdgeEvent, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which invalid weight value to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonKind {
+    /// `f64::NAN`.
+    Nan,
+    /// A negative weight.
+    Negative,
+    /// `f64::INFINITY`.
+    Infinite,
+}
+
+impl PoisonKind {
+    /// The poisoned weight value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        match self {
+            PoisonKind::Nan => f64::NAN,
+            PoisonKind::Negative => -1.5,
+            PoisonKind::Infinite => f64::INFINITY,
+        }
+    }
+}
+
+/// Duplicates roughly `fraction` of the events, appending the copies at
+/// seeded positions. Returns how many duplicates were inserted.
+pub fn duplicate_events(events: &mut Vec<EdgeEvent>, seed: u64, fraction: f64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = events.len();
+    let mut inserted = 0;
+    for i in 0..n {
+        if rng.random_bool(fraction.clamp(0.0, 1.0)) {
+            let dup = events[i];
+            let at = rng.random_range(0..=events.len());
+            events.insert(at, dup);
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+/// Delivers the stream out of timestamp order: swaps seeded event pairs
+/// in place, keeping every `(time, src, dst, weight)` record intact.
+/// Returns the number of swaps.
+pub fn shuffle_order(events: &mut [EdgeEvent], seed: u64, swaps: usize) -> usize {
+    if events.len() < 2 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..swaps {
+        let i = rng.random_range(0..events.len());
+        let j = rng.random_range(0..events.len());
+        events.swap(i, j);
+    }
+    swaps
+}
+
+/// Overwrites the weights of up to `count` seeded events with the poison
+/// value. Returns the indices poisoned.
+pub fn poison_weights(
+    events: &mut [EdgeEvent],
+    seed: u64,
+    count: usize,
+    kind: PoisonKind,
+) -> Vec<usize> {
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hit = Vec::new();
+    for _ in 0..count {
+        let i = rng.random_range(0..events.len());
+        events[i].weight = kind.value();
+        if !hit.contains(&i) {
+            hit.push(i);
+        }
+    }
+    hit
+}
+
+/// Redirects one seeded event to a phantom destination outside the
+/// interned node space `0..num_nodes`. Returns the index of the
+/// corrupted event.
+pub fn phantom_node(events: &mut [EdgeEvent], seed: u64, num_nodes: usize) -> Option<usize> {
+    if events.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let i = rng.random_range(0..events.len());
+    let ghost = num_nodes + rng.random_range(1..64);
+    events[i].dst = NodeId::new(ghost);
+    Some(i)
+}
+
+/// Inserts a garbage line after roughly every `every`-th input line.
+/// Returns the rewritten text and the 1-based line numbers the garbage
+/// landed on (the exact lines a quarantining ingest must report).
+#[must_use]
+pub fn interleave_garbage_lines(text: &str, seed: u64, every: usize) -> (String, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let every = every.max(1);
+    let mut out = String::with_capacity(text.len() + text.len() / every + 16);
+    let mut garbage_lines = Vec::new();
+    let mut lineno = 0usize;
+    for line in text.lines() {
+        out.push_str(line);
+        out.push('\n');
+        lineno += 1;
+        if rng.random_bool(1.0 / every as f64) {
+            // No '#' (would read as a comment) and no whitespace (a junk
+            // "line" must be one unparseable token).
+            const JUNK: &[u8] = b"!$%&*+-/<=>?@^_~";
+            let junk: String = (0..rng.random_range(3..12))
+                .map(|_| char::from(JUNK[rng.random_range(0..JUNK.len())]))
+                .collect();
+            out.push_str(&junk);
+            out.push('\n');
+            lineno += 1;
+            garbage_lines.push(lineno);
+        }
+    }
+    (out, garbage_lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, src: usize, dst: usize, weight: f64) -> EdgeEvent {
+        EdgeEvent {
+            time,
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            weight,
+        }
+    }
+
+    fn sample() -> Vec<EdgeEvent> {
+        (0..20)
+            .map(|i| ev(i, i as usize % 5, 5 + i as usize % 3, 1.0 + i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn duplicates_grow_the_stream() {
+        let mut events = sample();
+        let inserted = duplicate_events(&mut events, 42, 0.5);
+        assert_eq!(events.len(), 20 + inserted);
+        assert!(inserted > 0);
+    }
+
+    #[test]
+    fn order_shuffles_preserve_records() {
+        let mut events = sample();
+        shuffle_order(&mut events, 42, 10);
+        assert_ne!(events, sample(), "the stream must actually reorder");
+        let mut times: Vec<u64> = events.iter().map(|e| e.time).collect();
+        times.sort_unstable();
+        assert_eq!(times, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn poison_hits_requested_kind() {
+        let mut events = sample();
+        let hit = poison_weights(&mut events, 7, 3, PoisonKind::Nan);
+        assert!(!hit.is_empty());
+        for &i in &hit {
+            assert!(events[i].weight.is_nan());
+        }
+        let mut events = sample();
+        let hit = poison_weights(&mut events, 7, 3, PoisonKind::Negative);
+        for &i in &hit {
+            assert!(events[i].weight < 0.0);
+        }
+    }
+
+    #[test]
+    fn phantom_node_escapes_node_space() {
+        let mut events = sample();
+        let i = phantom_node(&mut events, 3, 8).unwrap();
+        assert!(events[i].dst.index() >= 8);
+    }
+
+    #[test]
+    fn garbage_lines_are_reported_where_inserted() {
+        let text = "0 a b 1\n1 b c 2\n2 c d 3\n3 d e 4\n";
+        let (corrupted, lines) = interleave_garbage_lines(text, 5, 1);
+        assert!(!lines.is_empty());
+        let all: Vec<&str> = corrupted.lines().collect();
+        for &l in &lines {
+            // Garbage is a single junk token: never a parseable record.
+            assert!(!all[l - 1].contains(' '), "line {l} = {:?}", all[l - 1]);
+        }
+        assert!(
+            interleave_garbage_lines(text, 5, 1).0 == corrupted,
+            "deterministic"
+        );
+    }
+
+    #[test]
+    fn injectors_are_seed_deterministic() {
+        let mut a = sample();
+        let mut b = sample();
+        duplicate_events(&mut a, 9, 0.3);
+        duplicate_events(&mut b, 9, 0.3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! # comsig-chaos
+//!
+//! Deterministic fault-injection harness for the `comsig` pipeline.
+//!
+//! The paper treats *robustness* as a graph-level property (Definition 2:
+//! signature stability under a perturbed graph). This crate extends that
+//! story to the *system* level: every layer of the reproduction — byte
+//! ingestion, event streams, the batched signature engine — is exercised
+//! under injected faults, and the acceptance bar is uniform: **no fault
+//! may panic**. Every injected fault must either be quarantined in an
+//! [`IngestReport`](comsig_graph::IngestReport), surfaced as a typed
+//! [`GraphError`](comsig_graph::GraphError), or isolated as a
+//! `Degraded` subject in a
+//! [`BatchOutcome`](comsig_core::engine::BatchOutcome).
+//!
+//! All injectors are seeded ([`rand::rngs::StdRng`]) and therefore
+//! reproducible: a failing scenario can be replayed bit-for-bit from its
+//! `(name, seed)` pair.
+//!
+//! * [`reader`] — [`FaultyReader`](reader::FaultyReader): byte-stream
+//!   faults (bit flips, truncation, byte corruption, short reads,
+//!   mid-stream `io::Error`s) behind the `Read` trait.
+//! * [`events`] — event-stream faults: duplicates, out-of-order
+//!   timestamps, NaN/negative/infinite weights, phantom node ids,
+//!   interleaved garbage lines.
+//! * [`scenarios`] — the named scenario corpus, runnable as `cargo test
+//!   -p comsig-chaos` and via `comsig chaos`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod reader;
+pub mod scenarios;

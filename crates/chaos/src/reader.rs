@@ -1,0 +1,218 @@
+//! Byte-stream fault injection behind the `Read` trait.
+//!
+//! [`FaultyReader`] wraps any reader and corrupts the bytes flowing
+//! through it according to a seeded [`FaultPlan`]; downstream code (the
+//! `BufRead`-based ingestion in `comsig-graph`) sees an ordinary reader
+//! and must cope with whatever comes out.
+
+use std::io::{self, Read};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What to inject into a byte stream. A default plan injects nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Per-byte probability of flipping one random bit.
+    pub bitflip_rate: f64,
+    /// Per-byte probability of replacing the byte with a random one.
+    pub garbage_rate: f64,
+    /// Hard EOF after this many bytes have been produced.
+    pub truncate_at: Option<usize>,
+    /// One-shot `io::Error` (kind `Other`) once this many bytes have
+    /// been produced; subsequent reads return EOF.
+    pub error_at: Option<usize>,
+    /// Upper bound on bytes returned per `read` call (short reads).
+    pub max_chunk: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that passes bytes through untouched.
+    #[must_use]
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the per-byte bit-flip probability.
+    #[must_use]
+    pub fn bitflips(mut self, rate: f64) -> Self {
+        self.bitflip_rate = rate;
+        self
+    }
+
+    /// Sets the per-byte random-replacement probability.
+    #[must_use]
+    pub fn garbage(mut self, rate: f64) -> Self {
+        self.garbage_rate = rate;
+        self
+    }
+
+    /// Truncates the stream after `n` bytes.
+    #[must_use]
+    pub fn truncate_at(mut self, n: usize) -> Self {
+        self.truncate_at = Some(n);
+        self
+    }
+
+    /// Fails with an `io::Error` after `n` bytes.
+    #[must_use]
+    pub fn error_at(mut self, n: usize) -> Self {
+        self.error_at = Some(n);
+        self
+    }
+
+    /// Caps every `read` call at `n` bytes (short reads).
+    #[must_use]
+    pub fn max_chunk(mut self, n: usize) -> Self {
+        self.max_chunk = Some(n.max(1));
+        self
+    }
+}
+
+/// A `Read` adapter that injects the faults described by a [`FaultPlan`],
+/// deterministically for a given seed.
+#[derive(Debug)]
+pub struct FaultyReader<R: Read> {
+    inner: R,
+    plan: FaultPlan,
+    rng: StdRng,
+    produced: usize,
+    errored: bool,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with the given plan and seed.
+    #[must_use]
+    pub fn new(inner: R, plan: FaultPlan, seed: u64) -> Self {
+        FaultyReader {
+            inner,
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            produced: 0,
+            errored: false,
+        }
+    }
+
+    /// Bytes produced so far (after truncation, before the error point).
+    #[must_use]
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(cut) = self.plan.truncate_at {
+            if self.produced >= cut {
+                return Ok(0);
+            }
+        }
+        if let Some(fail) = self.plan.error_at {
+            if self.produced >= fail {
+                if self.errored {
+                    // One-shot error; afterwards the stream just ends.
+                    return Ok(0);
+                }
+                self.errored = true;
+                return Err(io::Error::other("injected mid-stream fault"));
+            }
+        }
+        let mut limit = buf.len();
+        if let Some(chunk) = self.plan.max_chunk {
+            limit = limit.min(chunk);
+        }
+        if let Some(cut) = self.plan.truncate_at {
+            limit = limit.min(cut - self.produced);
+        }
+        if let Some(fail) = self.plan.error_at {
+            limit = limit.min(fail - self.produced);
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        for byte in &mut buf[..n] {
+            if self.plan.bitflip_rate > 0.0 && self.rng.random_bool(self.plan.bitflip_rate) {
+                *byte ^= 1 << self.rng.random_range(0..8);
+            }
+            if self.plan.garbage_rate > 0.0 && self.rng.random_bool(self.plan.garbage_rate) {
+                *byte = self.rng.random_range(0u8..=u8::MAX);
+            }
+        }
+        self.produced += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor, Read};
+
+    fn drain(mut r: impl Read) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        r.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let data = b"0 a b 1\n1 b c 2\n".to_vec();
+        let r = FaultyReader::new(Cursor::new(data.clone()), FaultPlan::clean(), 7);
+        assert_eq!(drain(r).unwrap(), data);
+    }
+
+    #[test]
+    fn short_reads_preserve_bytes() {
+        let data: Vec<u8> = (0..=255).collect();
+        let r = FaultyReader::new(
+            Cursor::new(data.clone()),
+            FaultPlan::clean().max_chunk(3),
+            7,
+        );
+        assert_eq!(drain(BufReader::new(r)).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_cuts_exactly() {
+        let data = vec![7u8; 100];
+        let r = FaultyReader::new(Cursor::new(data), FaultPlan::clean().truncate_at(42), 7);
+        assert_eq!(drain(r).unwrap().len(), 42);
+    }
+
+    #[test]
+    fn midstream_error_fires_once_then_eof() {
+        let data = vec![7u8; 100];
+        let mut r = FaultyReader::new(Cursor::new(data), FaultPlan::clean().error_at(10), 7);
+        let mut buf = [0u8; 64];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 10);
+        assert!(r.read(&mut buf).is_err());
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn bitflips_are_seed_deterministic() {
+        let data = vec![0u8; 256];
+        let plan = FaultPlan::clean().bitflips(0.2);
+        let a = drain(FaultyReader::new(Cursor::new(data.clone()), plan, 11)).unwrap();
+        let b = drain(FaultyReader::new(Cursor::new(data.clone()), plan, 11)).unwrap();
+        let c = drain(FaultyReader::new(Cursor::new(data.clone()), plan, 12)).unwrap();
+        assert_eq!(a, b, "same seed, same corruption");
+        assert_ne!(a, c, "different seed, different corruption");
+        assert_ne!(a, data, "corruption actually happened");
+    }
+
+    #[test]
+    fn garbage_replacement_corrupts() {
+        let data = vec![0u8; 512];
+        let r = FaultyReader::new(
+            Cursor::new(data.clone()),
+            FaultPlan::clean().garbage(0.5),
+            3,
+        );
+        let out = drain(r).unwrap();
+        assert_eq!(out.len(), data.len());
+        assert_ne!(out, data);
+    }
+}

@@ -1,0 +1,46 @@
+//! Runs the full chaos-scenario corpus across several seeds.
+//!
+//! Every scenario must return `Ok` for every seed — a fault that panics
+//! or produces an untyped failure anywhere in the pipeline fails this
+//! test. Under `--features contracts` the paper-invariant checkers are
+//! additionally compiled into the exercised code paths.
+
+use comsig_chaos::scenarios;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+#[test]
+fn every_scenario_passes_for_every_seed() {
+    let corpus = scenarios::all();
+    assert!(
+        corpus.len() >= 20,
+        "scenario corpus shrank to {}",
+        corpus.len()
+    );
+    let mut failures = Vec::new();
+    for scenario in &corpus {
+        for seed in SEEDS {
+            if let Err(e) = (scenario.run)(seed) {
+                failures.push(format!("{} (seed {seed}): {e}", scenario.name));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "failing scenarios:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn scenario_summaries_are_seed_stable() {
+    for scenario in scenarios::all() {
+        let a = (scenario.run)(17);
+        let b = (scenario.run)(17);
+        assert_eq!(
+            a, b,
+            "{} is not deterministic for a fixed seed",
+            scenario.name
+        );
+    }
+}

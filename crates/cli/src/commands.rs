@@ -13,10 +13,10 @@ use comsig_datagen::flownet::{self, AnomalyConfig, FlowNetConfig, MultiusageConf
 use comsig_datagen::querylog::{self, QueryLogConfig};
 use comsig_eval::ranking::Ranking;
 use comsig_eval::roc::self_identification;
-use comsig_graph::io::{read_events, write_events};
+use comsig_graph::io::{read_events_with_policy, write_events};
 use comsig_graph::stats::graph_stats;
 use comsig_graph::window::{GraphSequence, WindowSpec};
-use comsig_graph::{CommGraph, EdgeEvent, Interner, NodeId};
+use comsig_graph::{CommGraph, EdgeEvent, IngestPolicy, Interner, NodeId};
 
 use crate::spec::{parse_distance, parse_scheme, Parsed};
 use crate::CliError;
@@ -35,10 +35,16 @@ commands:
   compare             measure persistence/uniqueness/robustness of the
                       standard schemes on an event file (derived Table IV)
   advise              recommend a scheme for an application (Tables I-III)
+  chaos               run the fault-injection scenario corpus
+                      (--list | --scenario NAME; --seed N)
   help                this message
 
 common flags:
   --input FILE        event file (`time src dst [weight]` per line)
+  --ingest MODE       strict|quarantine|repair fault handling (default
+                      strict); quarantine/repair report skipped records
+  --max-bad-fraction F  abort quarantine mode when more than this fraction
+                      of records is bad (default 0.05)
   --window-width W    window width in time units (default 1)
   --scheme SPEC       tt | ut[:ratio|tfidf|log] | rwr:h=3,c=0.1[,undirected]
                       | push:c=0.1,eps=1e-4[,undirected]   (default tt)
@@ -59,6 +65,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("detect") => cmd_detect(&parsed, out),
         Some("compare") => cmd_compare(&parsed, out),
         Some("advise") => cmd_advise(&parsed, out),
+        Some("chaos") => cmd_chaos(&parsed, out),
         Some("help") | None => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -76,12 +83,44 @@ struct Loaded {
     windows: GraphSequence,
 }
 
-fn load(parsed: &Parsed) -> Result<Loaded, CliError> {
+fn ingest_policy(parsed: &Parsed) -> Result<IngestPolicy, CliError> {
+    match parsed.get("ingest").unwrap_or("strict") {
+        "strict" => Ok(IngestPolicy::Strict),
+        "quarantine" => Ok(IngestPolicy::Quarantine {
+            max_bad_fraction: parsed.num("max-bad-fraction", 0.05)?,
+        }),
+        "repair" => Ok(IngestPolicy::Repair),
+        other => Err(CliError::Usage(format!(
+            "unknown ingest mode `{other}` (strict|quarantine|repair)"
+        ))),
+    }
+}
+
+fn load(parsed: &Parsed, out: &mut dyn Write) -> Result<Loaded, CliError> {
     let path = parsed.require("input")?;
     let file =
         File::open(path).map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
     let mut interner = Interner::new();
-    let events = read_events(BufReader::new(file), &mut interner)?;
+    let (events, report) =
+        read_events_with_policy(BufReader::new(file), &mut interner, ingest_policy(parsed)?)?;
+    // Under Strict the report is always clean, so default output is
+    // unchanged; tolerant modes account for every skipped/patched record.
+    if !report.is_clean() {
+        writeln!(
+            out,
+            "ingest: kept {} of {} records ({} quarantined, {} repaired)",
+            report.events,
+            report.records,
+            report.quarantined.len(),
+            report.repaired.len()
+        )?;
+        for q in report.quarantined.iter().take(5) {
+            writeln!(out, "  quarantined line {}: {}", q.line, q.reason)?;
+        }
+        if report.quarantined.len() > 5 {
+            writeln!(out, "  ... and {} more", report.quarantined.len() - 5)?;
+        }
+    }
     if events.is_empty() {
         return Err(CliError::Failed(format!("{path} contains no events")));
     }
@@ -248,7 +287,7 @@ fn graphs_to_events(seq: &GraphSequence) -> Vec<EdgeEvent> {
 // --- stats ------------------------------------------------------------------
 
 fn cmd_stats(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
-    let loaded = load(parsed)?;
+    let loaded = load(parsed, out)?;
     writeln!(
         out,
         "{} nodes, {} windows",
@@ -280,7 +319,7 @@ fn cmd_stats(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 // --- sign ------------------------------------------------------------------
 
 fn cmd_sign(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
-    let loaded = load(parsed)?;
+    let loaded = load(parsed, out)?;
     let scheme = scheme_of(parsed)?;
     let k: usize = parsed.num("k", 10)?;
     let w: usize = parsed.num("window", 0)?;
@@ -310,7 +349,7 @@ fn cmd_sign(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 // --- match ------------------------------------------------------------------
 
 fn cmd_match(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
-    let loaded = load(parsed)?;
+    let loaded = load(parsed, out)?;
     let scheme = scheme_of(parsed)?;
     let dist = dist_of(parsed)?;
     let k: usize = parsed.num("k", 10)?;
@@ -353,7 +392,7 @@ fn cmd_match(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             )?;
             writeln!(out, "mean AUC = {:.4}", result.mean_auc)?;
             let mut worst = result.per_query.clone();
-            worst.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            worst.sort_by(|a, b| a.1.total_cmp(&b.1));
             writeln!(out, "hardest hosts:")?;
             for &(v, auc) in worst.iter().take(parsed.num("top", 5)?) {
                 writeln!(
@@ -382,7 +421,7 @@ fn cmd_detect(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             "unknown detector `{task}` (multiusage|masquerade|anomaly)"
         )));
     }
-    let loaded = load(parsed)?;
+    let loaded = load(parsed, out)?;
     let scheme = scheme_of(parsed)?;
     let dist = dist_of(parsed)?;
     let k: usize = parsed.num("k", 10)?;
@@ -470,7 +509,7 @@ fn cmd_detect(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 // --- compare ------------------------------------------------------------------
 
 fn cmd_compare(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
-    let loaded = load(parsed)?;
+    let loaded = load(parsed, out)?;
     if loaded.windows.len() < 2 {
         return Err(CliError::Failed(
             "compare needs at least two windows".into(),
@@ -549,6 +588,49 @@ fn cmd_advise(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             format!("missing {:?}", rec.gaps)
         };
         writeln!(out, "  {:6} score = {}  ({gaps})", rec.scheme, rec.score)?;
+    }
+    Ok(())
+}
+
+// --- chaos ------------------------------------------------------------------
+
+fn cmd_chaos(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    use comsig_chaos::scenarios;
+
+    if parsed.has("list") {
+        for s in scenarios::all() {
+            writeln!(out, "{:36} {}", s.name, s.description)?;
+        }
+        return Ok(());
+    }
+    let seed: u64 = parsed.num("seed", 42)?;
+    let selected = match parsed.get("scenario") {
+        Some(name) => vec![scenarios::find(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown scenario `{name}`; run `comsig chaos --list`"
+            ))
+        })?],
+        None => scenarios::all(),
+    };
+    let mut failures = 0usize;
+    for s in &selected {
+        match (s.run)(seed) {
+            Ok(summary) => writeln!(out, "ok    {:36} {summary}", s.name)?,
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "FAIL  {:36} {e}", s.name)?;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "{} scenarios run with seed {seed}, {failures} failed",
+        selected.len()
+    )?;
+    if failures > 0 {
+        return Err(CliError::Failed(format!(
+            "{failures} chaos scenarios failed"
+        )));
     }
     Ok(())
 }
@@ -711,6 +793,80 @@ mod tests {
         let a = run_to_string(&["advise", "anomaly"]).unwrap();
         assert!(a.contains("RWR"));
         assert!(run_to_string(&["advise", "nope"]).is_err());
+    }
+
+    #[test]
+    fn chaos_list_and_single_scenario() {
+        let list = run_to_string(&["chaos", "--list"]).unwrap();
+        assert!(list.contains("clean-strict-baseline"), "{list}");
+        assert!(list.lines().count() >= 20, "{list}");
+
+        let one = run_to_string(&[
+            "chaos",
+            "--scenario",
+            "nan-poisoned-subject-degrades",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(one.contains("ok"), "{one}");
+        assert!(one.contains("0 failed"), "{one}");
+
+        assert!(matches!(
+            run_to_string(&["chaos", "--scenario", "not-a-scenario"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn chaos_full_corpus_passes() {
+        let all = run_to_string(&["chaos", "--seed", "11"]).unwrap();
+        assert!(all.contains("0 failed"), "{all}");
+        assert!(!all.contains("FAIL"), "{all}");
+    }
+
+    #[test]
+    fn ingest_flags_quarantine_bad_records() {
+        let path = temp_path("dirty.events");
+        std::fs::write(
+            &path,
+            "0 a b 1\nthis is not a record at all ok\n0 b c 2\n1 a b NaN\n1 c a 3\n",
+        )
+        .unwrap();
+
+        // Strict (the default) fails on the malformed line.
+        assert!(run_to_string(&["stats", "--input", &path]).is_err());
+
+        // Quarantine keeps the 3 clean records and reports the rest.
+        let stats = run_to_string(&[
+            "stats",
+            "--input",
+            &path,
+            "--ingest",
+            "quarantine",
+            "--max-bad-fraction",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(stats.contains("kept 3 of 5 records"), "{stats}");
+        assert!(stats.contains("quarantined line 2"), "{stats}");
+
+        // A tight budget is a typed failure, not a panic.
+        assert!(run_to_string(&[
+            "stats",
+            "--input",
+            &path,
+            "--ingest",
+            "quarantine",
+            "--max-bad-fraction",
+            "0.1",
+        ])
+        .is_err());
+
+        assert!(matches!(
+            run_to_string(&["stats", "--input", &path, "--ingest", "wat"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

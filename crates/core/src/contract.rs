@@ -25,8 +25,8 @@
 use comsig_graph::{CommGraph, NodeId};
 
 use crate::distance::SignatureDistance;
-use crate::engine::DenseScatter;
-use crate::signature::Signature;
+use crate::engine::{DegradeReason, DenseScatter};
+use crate::signature::{Signature, SignatureSet};
 
 /// Absolute tolerance for stochasticity and unit-interval checks.
 /// Row sums and distances are accumulated over at most a few thousand
@@ -176,6 +176,28 @@ pub fn check_occupancy(entries: &[(NodeId, f64)]) {
     );
 }
 
+/// A degraded subject must be excluded from the healthy signature set —
+/// the invariant that keeps downstream property/eval aggregates (which
+/// consume only the set) free of corrupted subjects. Called from the
+/// [`BatchOutcome`](crate::engine::BatchOutcome) constructor and from
+/// `comsig-eval`'s outcome-aware aggregates.
+///
+/// # Panics
+/// Panics (when [`enabled`]) if any degraded subject has a signature in
+/// `set`.
+#[inline]
+pub fn check_degraded_excluded(set: &SignatureSet, degraded: &[(NodeId, DegradeReason)]) {
+    if !enabled() {
+        return;
+    }
+    for (v, reason) in degraded {
+        assert!(
+            set.get(*v).is_none(),
+            "contract violation: degraded subject {v} ({reason}) present in healthy signature set"
+        );
+    }
+}
+
 /// An epoch-stamped workspace accumulator must be clean at the start of
 /// a batch: no live slots and no slot stamped with the current epoch.
 ///
@@ -265,6 +287,20 @@ mod tests {
     #[should_panic(expected = "occupancy of")]
     fn negative_occupancy_fires() {
         check_occupancy(&[(n(0), -0.1)]);
+    }
+
+    #[test]
+    fn disjoint_degraded_passes() {
+        let set = SignatureSet::new(vec![n(1)], vec![sig(&[(2, 1.0)])]);
+        check_degraded_excluded(&set, &[]);
+        check_degraded_excluded(&set, &[(n(7), DegradeReason::MassOverflow { mass: 2.0 })]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degraded subject")]
+    fn degraded_subject_in_set_fires() {
+        let set = SignatureSet::new(vec![n(1)], vec![sig(&[(2, 1.0)])]);
+        check_degraded_excluded(&set, &[(n(1), DegradeReason::MassOverflow { mass: 2.0 })]);
     }
 
     #[test]

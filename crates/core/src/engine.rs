@@ -23,9 +23,162 @@
 //! single-subject path and as the oracle for the equivalence property
 //! tests; results agree within accumulation-order float noise.
 
+use std::fmt;
+
 use comsig_graph::{CommGraph, NodeId};
 
 use crate::scheme::{RwrConfig, WalkDirection};
+use crate::signature::SignatureSet;
+
+/// Why one subject of a batch was dropped instead of signed.
+///
+/// Degradation is *per subject*: one poisoned occupancy vector or one
+/// non-convergent iteration must never take the rest of the batch down
+/// with it (the system-level analogue of the paper's Definition 2
+/// robustness). Carried by [`BatchOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeReason {
+    /// The occupancy vector contained a NaN or infinite entry.
+    NonFiniteOccupancy {
+        /// Node whose occupancy entry was non-finite.
+        node: NodeId,
+        /// The offending value.
+        value: f64,
+    },
+    /// The occupancy vector contained a negative entry.
+    NegativeOccupancy {
+        /// Node whose occupancy entry was negative.
+        node: NodeId,
+        /// The offending value.
+        value: f64,
+    },
+    /// Total occupancy mass exceeded 1 beyond tolerance (pruning can
+    /// only remove mass, so this means corrupted arithmetic).
+    MassOverflow {
+        /// The total mass observed.
+        mass: f64,
+    },
+    /// A steady-state iteration ran out of its iteration budget without
+    /// meeting the L1 convergence tolerance (the timeout analogue).
+    IterationBudget {
+        /// L1 residual after the final iteration.
+        residual: f64,
+        /// The configured `max_iterations`.
+        budget: u32,
+    },
+    /// A forward-push run exhausted its push budget before draining the
+    /// residual below epsilon.
+    PushBudget {
+        /// The configured maximum number of pushes.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::NonFiniteOccupancy { node, value } => {
+                write!(f, "occupancy of node {node} is non-finite ({value})")
+            }
+            DegradeReason::NegativeOccupancy { node, value } => {
+                write!(f, "occupancy of node {node} is negative ({value})")
+            }
+            DegradeReason::MassOverflow { mass } => {
+                write!(f, "occupancy mass {mass} exceeds 1")
+            }
+            DegradeReason::IterationBudget { residual, budget } => {
+                write!(
+                    f,
+                    "no convergence after {budget} iterations (residual {residual})"
+                )
+            }
+            DegradeReason::PushBudget { budget } => {
+                write!(f, "push budget of {budget} pushes exhausted")
+            }
+        }
+    }
+}
+
+/// Validates an occupancy vector as a (possibly pruned) probability
+/// distribution, returning the degradation reason instead of panicking.
+///
+/// Unlike [`contract::check_occupancy`](crate::contract::check_occupancy)
+/// this runs in **every** build — it is the recovery path, not a debug
+/// assertion — and uses the same tolerance, so an occupancy it accepts
+/// can never fire the contract checker afterwards.
+#[must_use = "an ignored validation failure leaks NaN into every downstream distance"]
+pub fn validate_occupancy(entries: &[(NodeId, f64)]) -> Result<(), DegradeReason> {
+    let mut total = 0.0;
+    for &(node, value) in entries {
+        if !value.is_finite() {
+            return Err(DegradeReason::NonFiniteOccupancy { node, value });
+        }
+        if value < 0.0 {
+            return Err(DegradeReason::NegativeOccupancy { node, value });
+        }
+        total += value;
+    }
+    if total > 1.0 + crate::contract::TOLERANCE {
+        return Err(DegradeReason::MassOverflow { mass: total });
+    }
+    Ok(())
+}
+
+/// The result of a fault-isolating batched signature run: the signatures
+/// of the healthy subjects plus, for each degraded subject, why it was
+/// dropped.
+///
+/// The constructor enforces (via the contract layer) that no degraded
+/// subject leaks into the healthy set, so downstream property/eval
+/// aggregates computed from [`BatchOutcome::set`] are automatically
+/// restricted to healthy subjects.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    set: SignatureSet,
+    degraded: Vec<(NodeId, DegradeReason)>,
+}
+
+impl BatchOutcome {
+    /// Assembles an outcome, checking the healthy/degraded partition.
+    #[must_use]
+    pub fn new(set: SignatureSet, degraded: Vec<(NodeId, DegradeReason)>) -> Self {
+        crate::contract::check_degraded_excluded(&set, &degraded);
+        BatchOutcome { set, degraded }
+    }
+
+    /// Signatures of the healthy subjects.
+    #[must_use]
+    pub fn set(&self) -> &SignatureSet {
+        &self.set
+    }
+
+    /// Subjects dropped from the batch, with reasons.
+    #[must_use]
+    pub fn degraded(&self) -> &[(NodeId, DegradeReason)] {
+        &self.degraded
+    }
+
+    /// Whether every subject produced a signature.
+    #[must_use]
+    pub fn is_fully_healthy(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// Discards the degradation report, keeping the healthy signatures.
+    #[must_use]
+    pub fn into_set(self) -> SignatureSet {
+        self.set
+    }
+}
+
+/// Outcome of one power iteration run (see [`RwrWorkspace::iterate`]).
+struct IterationStatus {
+    /// Whether the steady-state tolerance was met (always `true` for
+    /// hop-truncated walks, which have no convergence requirement).
+    converged: bool,
+    /// Last observed L1 residual (meaningful only for steady-state runs).
+    residual: f64,
+}
 
 /// A dense sparse-accumulator: O(1) scatter-add, O(touched) iteration
 /// and clearing.
@@ -205,6 +358,43 @@ impl RwrWorkspace {
         g: &CommGraph,
         start: NodeId,
     ) -> Vec<(NodeId, f64)> {
+        let _ = self.iterate(config, g, start);
+        let entries = self.cur.sorted_entries();
+        crate::contract::check_occupancy(&entries);
+        entries
+    }
+
+    /// Fault-isolating variant of [`occupancy`](RwrWorkspace::occupancy):
+    /// instead of handing a corrupt or non-convergent vector downstream
+    /// (where the contract layer would panic), reports it as a
+    /// [`DegradeReason`] so the caller can mark the subject degraded and
+    /// continue the batch. On a healthy subject the returned entries are
+    /// bit-identical to `occupancy`'s — both run the same iteration.
+    pub fn try_occupancy(
+        &mut self,
+        config: &RwrConfig,
+        g: &CommGraph,
+        start: NodeId,
+    ) -> Result<Vec<(NodeId, f64)>, DegradeReason> {
+        let status = self.iterate(config, g, start);
+        let entries = self.cur.sorted_entries();
+        validate_occupancy(&entries)?;
+        if !status.converged {
+            return Err(DegradeReason::IterationBudget {
+                residual: status.residual,
+                budget: config.max_iterations,
+            });
+        }
+        crate::contract::check_occupancy(&entries);
+        Ok(entries)
+    }
+
+    /// The shared power iteration: leaves the final occupancy vector in
+    /// `self.cur` and reports convergence. Extracted so the strict
+    /// ([`occupancy`](RwrWorkspace::occupancy)) and degrading
+    /// ([`try_occupancy`](RwrWorkspace::try_occupancy)) paths run
+    /// identical arithmetic.
+    fn iterate(&mut self, config: &RwrConfig, g: &CommGraph, start: NodeId) -> IterationStatus {
         let c = config.restart;
         let n = g.num_nodes();
         self.cur.begin(n);
@@ -215,6 +405,11 @@ impl RwrWorkspace {
         let iterations = match config.hops {
             Some(h) => h,
             None => config.max_iterations,
+        };
+        // Hop-truncated walks have no convergence requirement.
+        let mut status = IterationStatus {
+            converged: config.hops.is_some(),
+            residual: f64::INFINITY,
         };
         for _ in 0..iterations {
             self.nxt.begin(n);
@@ -256,16 +451,18 @@ impl RwrWorkspace {
             }
             self.nxt.add(start, reset_mass);
             self.nxt.prune(config.prune_threshold);
-            let converged =
-                config.hops.is_none() && self.cur.l1_distance(&self.nxt) < config.tolerance;
+            let mut converged = false;
+            if config.hops.is_none() {
+                status.residual = self.cur.l1_distance(&self.nxt);
+                converged = status.residual < config.tolerance;
+            }
             std::mem::swap(&mut self.cur, &mut self.nxt);
             if converged {
+                status.converged = true;
                 break;
             }
         }
-        let entries = self.cur.sorted_entries();
-        crate::contract::check_occupancy(&entries);
-        entries
+        status
     }
 }
 
@@ -365,6 +562,102 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn validate_occupancy_classifies_faults() {
+        assert!(validate_occupancy(&[(n(0), 0.5), (n(1), 0.25)]).is_ok());
+        assert!(validate_occupancy(&[]).is_ok());
+        assert!(matches!(
+            validate_occupancy(&[(n(0), f64::NAN)]),
+            Err(DegradeReason::NonFiniteOccupancy { .. })
+        ));
+        assert!(matches!(
+            validate_occupancy(&[(n(0), f64::INFINITY)]),
+            Err(DegradeReason::NonFiniteOccupancy { .. })
+        ));
+        assert!(matches!(
+            validate_occupancy(&[(n(0), -0.1)]),
+            Err(DegradeReason::NegativeOccupancy { .. })
+        ));
+        assert!(matches!(
+            validate_occupancy(&[(n(0), 0.9), (n(1), 0.2)]),
+            Err(DegradeReason::MassOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn degrade_reason_displays() {
+        let reasons = [
+            DegradeReason::NonFiniteOccupancy {
+                node: n(1),
+                value: f64::NAN,
+            },
+            DegradeReason::NegativeOccupancy {
+                node: n(2),
+                value: -0.5,
+            },
+            DegradeReason::MassOverflow { mass: 1.5 },
+            DegradeReason::IterationBudget {
+                residual: 0.2,
+                budget: 10,
+            },
+            DegradeReason::PushBudget { budget: 3 },
+        ];
+        for r in reasons {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn try_occupancy_is_bit_identical_to_occupancy_when_healthy() {
+        let g = diamond();
+        let mut ws = RwrWorkspace::new();
+        for rwr in [Rwr::truncated(0.1, 3), Rwr::full(0.15)] {
+            for v in g.nodes() {
+                let strict = ws.occupancy(&rwr.config, &g, v);
+                let degrading = ws.try_occupancy(&rwr.config, &g, v).unwrap();
+                assert_eq!(strict.len(), degrading.len());
+                for (&(su, sw), &(du, dw)) in strict.iter().zip(degrading.iter()) {
+                    assert_eq!(su, du);
+                    assert_eq!(sw.to_bits(), dw.to_bits(), "subject {v} node {su}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_occupancy_reports_iteration_budget() {
+        let g = diamond();
+        let mut rwr = Rwr::full(0.05);
+        rwr.config.max_iterations = 1;
+        rwr.config.tolerance = 1e-15;
+        let mut ws = RwrWorkspace::new();
+        // Node 0 cannot converge in one iteration...
+        let err = ws.try_occupancy(&rwr.config, &g, n(0)).unwrap_err();
+        match err {
+            DegradeReason::IterationBudget { residual, budget } => {
+                assert_eq!(budget, 1);
+                assert!(residual > 1e-15);
+            }
+            other => panic!("expected IterationBudget, got {other}"),
+        }
+        // ...but the dangling node 3 reaches its fixed point immediately.
+        assert!(ws.try_occupancy(&rwr.config, &g, n(3)).is_ok());
+    }
+
+    #[test]
+    fn batch_outcome_partitions_subjects() {
+        use crate::signature::Signature;
+        let sig = Signature::top_k(n(0), [(n(1), 0.5)], 4);
+        let outcome = BatchOutcome::new(
+            SignatureSet::new(vec![n(0)], vec![sig]),
+            vec![(n(1), DegradeReason::MassOverflow { mass: 2.0 })],
+        );
+        assert_eq!(outcome.set().len(), 1);
+        assert_eq!(outcome.degraded().len(), 1);
+        assert!(!outcome.is_fully_healthy());
+        assert_eq!(outcome.into_set().len(), 1);
     }
 
     #[test]

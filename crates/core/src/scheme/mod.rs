@@ -22,7 +22,7 @@ mod unexpected_talkers;
 
 pub use decay::{decayed_combine, TimeDecay};
 pub use push::PushRwr;
-pub use rwr::{Rwr, RwrConfig, WalkDirection};
+pub use rwr::{OccupancyInjector, Rwr, RwrConfig, WalkDirection};
 pub use top_talkers::TopTalkers;
 pub use unexpected_talkers::{Scaling, UnexpectedTalkers};
 

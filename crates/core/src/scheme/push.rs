@@ -20,6 +20,7 @@ use comsig_graph::{CommGraph, NodeId};
 
 use super::rwr::WalkDirection;
 use super::SignatureScheme;
+use crate::engine::DegradeReason;
 use crate::sparse::SparseVec;
 
 /// Forward-push approximate RWR signature scheme.
@@ -36,6 +37,10 @@ pub struct PushRwr {
     pub epsilon: f64,
     /// Edge traversal direction.
     pub direction: WalkDirection,
+    /// Optional explicit push budget. `None` (the default) derives the
+    /// budget from the `O(1/(c·ε))` work bound; tests and the chaos
+    /// harness set a small budget to exercise the exhaustion path.
+    pub push_budget: Option<usize>,
 }
 
 impl PushRwr {
@@ -56,6 +61,7 @@ impl PushRwr {
             restart,
             epsilon,
             direction: WalkDirection::Directed,
+            push_budget: None,
         }
     }
 
@@ -63,6 +69,14 @@ impl PushRwr {
     #[must_use]
     pub fn undirected(mut self) -> Self {
         self.direction = WalkDirection::Undirected;
+        self
+    }
+
+    /// Overrides the derived push budget with an explicit cap (the
+    /// degradation seam: [`PushRwr::try_occupancy`] reports exhaustion).
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.push_budget = Some(budget);
         self
     }
 
@@ -102,8 +116,45 @@ impl PushRwr {
 
     /// Runs forward push from `start`, returning the estimate vector `p`
     /// (a lower bound on the true RWR occupancy, entry by entry).
+    ///
+    /// A run that exhausts its push budget silently returns the partial
+    /// estimate (still a valid under-estimate); use
+    /// [`try_occupancy`](PushRwr::try_occupancy) to surface exhaustion
+    /// as a degradation instead.
     #[must_use]
     pub fn occupancy(&self, g: &CommGraph, start: NodeId) -> SparseVec {
+        self.run_push(g, start).0
+    }
+
+    /// Degrading variant of [`occupancy`](PushRwr::occupancy): reports
+    /// budget exhaustion as [`DegradeReason::PushBudget`] so a batched
+    /// caller can isolate the subject rather than accept a silently
+    /// truncated estimate.
+    #[must_use = "dropping the result discards both the estimate and the degradation signal"]
+    pub fn try_occupancy(&self, g: &CommGraph, start: NodeId) -> Result<SparseVec, DegradeReason> {
+        let (p, exhausted) = self.run_push(g, start);
+        if exhausted {
+            return Err(DegradeReason::PushBudget {
+                budget: self.max_pushes(),
+            });
+        }
+        Ok(p)
+    }
+
+    /// The effective push budget: explicit override or the `O(1/(c·ε))`
+    /// work bound. The cap only guards against pathological float
+    /// behaviour.
+    #[must_use]
+    fn max_pushes(&self) -> usize {
+        match self.push_budget {
+            Some(budget) => budget,
+            None => (4.0 / (self.restart * self.epsilon)).min(5e7) as usize,
+        }
+    }
+
+    /// Shared push loop; returns the estimate and whether the budget ran
+    /// out before the residual drained.
+    fn run_push(&self, g: &CommGraph, start: NodeId) -> (SparseVec, bool) {
         let c = self.restart;
         let mut p = SparseVec::new();
         let mut r = SparseVec::indicator(start);
@@ -112,10 +163,9 @@ impl PushRwr {
         queue.push_back(start);
         queued.insert(start);
 
-        // Hard cap: the push method performs O(1/(c·ε)) pushes; the cap
-        // only guards against pathological float behaviour.
-        let max_pushes = (4.0 / (c * self.epsilon)).min(5e7) as usize;
+        let max_pushes = self.max_pushes();
         let mut pushes = 0usize;
+        let mut exhausted = false;
         while let Some(v) = queue.pop_front() {
             queued.remove(&v);
             let residual = r.get(v);
@@ -124,6 +174,7 @@ impl PushRwr {
             }
             pushes += 1;
             if pushes > max_pushes {
+                exhausted = true;
                 break;
             }
             r.add(v, -residual);
@@ -150,7 +201,7 @@ impl PushRwr {
             }
         }
         p.prune(0.0);
-        p
+        (p, exhausted)
     }
 }
 
@@ -253,6 +304,23 @@ mod tests {
         assert!(s.contains(n(1)) && s.contains(n(2)) && s.contains(n(3)));
         assert!(!s.contains(n(0)));
         assert!(PushRwr::new(0.1, 1e-6).name().starts_with("PushRWR"));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_instead_of_silently_truncating() {
+        let g = diamond();
+        let starved = PushRwr::new(0.15, 1e-7).with_budget(2);
+        let err = starved.try_occupancy(&g, n(0)).unwrap_err();
+        assert!(matches!(err, DegradeReason::PushBudget { budget: 2 }));
+        // occupancy() keeps the historical silent-truncation contract:
+        // the partial estimate is still a valid under-estimate.
+        let partial = starved.occupancy(&g, n(0));
+        let exact = crate::scheme::Rwr::full(0.15).occupancy(&g, n(0));
+        for (u, w) in partial.iter() {
+            assert!(w <= exact.get(u) + 1e-9);
+        }
+        // The derived budget is ample for this graph.
+        assert!(PushRwr::new(0.15, 1e-7).try_occupancy(&g, n(0)).is_ok());
     }
 
     #[test]

@@ -5,9 +5,14 @@ use rayon::prelude::*;
 use comsig_graph::{CommGraph, NodeId, Partition};
 
 use super::SignatureScheme;
-use crate::engine::RwrWorkspace;
+use crate::engine::{self, BatchOutcome, DegradeReason, RwrWorkspace};
 use crate::signature::{Signature, SignatureSet};
 use crate::sparse::SparseVec;
+
+/// A hook that lets tests and the chaos harness corrupt one subject's
+/// occupancy vector between the power iteration and signature
+/// extraction. See [`Rwr::signature_set_outcome_injected`].
+pub type OccupancyInjector = dyn Fn(NodeId, &mut Vec<(NodeId, f64)>) + Sync;
 
 /// Which edges the random walk may traverse.
 ///
@@ -234,6 +239,67 @@ impl SignatureScheme for Rwr {
 }
 
 impl Rwr {
+    /// Fault-isolating batched run: like
+    /// [`signature_set`](SignatureScheme::signature_set), but a subject
+    /// whose occupancy vector comes out corrupt (non-finite, negative,
+    /// over-unit mass) or whose steady-state iteration exhausts its
+    /// budget is reported as `Degraded { reason }` in the
+    /// [`BatchOutcome`] instead of panicking or poisoning the batch.
+    /// Healthy subjects produce signatures bit-identical to
+    /// `signature_set`'s.
+    #[must_use]
+    pub fn signature_set_outcome(
+        &self,
+        g: &CommGraph,
+        subjects: &[NodeId],
+        k: usize,
+    ) -> BatchOutcome {
+        self.signature_set_outcome_injected(g, subjects, k, &|_, _| {})
+    }
+
+    /// [`signature_set_outcome`](Rwr::signature_set_outcome) with a fault
+    /// injection seam: `inject` may mutate each subject's occupancy
+    /// vector after the iteration, and the mutated vector is re-validated
+    /// so injected corruption degrades that subject alone. The identity
+    /// injector (`&|_, _| {}`) makes this exactly
+    /// `signature_set_outcome`.
+    #[must_use]
+    pub fn signature_set_outcome_injected(
+        &self,
+        g: &CommGraph,
+        subjects: &[NodeId],
+        k: usize,
+        inject: &OccupancyInjector,
+    ) -> BatchOutcome {
+        self.prepare(g);
+        let results: Vec<(NodeId, Result<Signature, DegradeReason>)> = subjects
+            .par_iter()
+            .map_init(RwrWorkspace::new, |ws, &v| {
+                let outcome = ws
+                    .try_occupancy(&self.config, g, v)
+                    .and_then(|mut entries| {
+                        inject(v, &mut entries);
+                        engine::validate_occupancy(&entries)?;
+                        Ok(Signature::top_k(v, entries, k))
+                    });
+                (v, outcome)
+            })
+            .collect();
+        let mut healthy_subjects = Vec::with_capacity(results.len());
+        let mut healthy_sigs = Vec::with_capacity(results.len());
+        let mut degraded = Vec::new();
+        for (v, outcome) in results {
+            match outcome {
+                Ok(sig) => {
+                    healthy_subjects.push(v);
+                    healthy_sigs.push(sig);
+                }
+                Err(reason) => degraded.push((v, reason)),
+            }
+        }
+        BatchOutcome::new(SignatureSet::new(healthy_subjects, healthy_sigs), degraded)
+    }
+
     /// Pays one-off per-graph costs before fanning out workers: an
     /// undirected batch walks the merged CSR for every subject, so
     /// materialise it once up front rather than stalling the first
@@ -447,6 +513,88 @@ mod tests {
                 assert!((batched.get(u).unwrap() - w).abs() < 1e-12);
             }
         }
+    }
+
+    fn fan_graph() -> (CommGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        for i in 0..15 {
+            b.add_event(n(i), n(15 + i % 5), (i + 1) as f64);
+            b.add_event(n(i), n(15 + (i + 2) % 5), 1.5);
+        }
+        (b.build(20), (0..15).map(n).collect())
+    }
+
+    #[test]
+    fn outcome_matches_signature_set_when_healthy() {
+        let (g, subjects) = fan_graph();
+        let rwr = Rwr::truncated(0.1, 3);
+        let set = rwr.signature_set(&g, &subjects, 4);
+        let outcome = rwr.signature_set_outcome(&g, &subjects, 4);
+        assert!(outcome.is_fully_healthy());
+        assert_eq!(outcome.set().len(), set.len());
+        for &v in &subjects {
+            let a = set.get(v).unwrap();
+            let b = outcome.set().get(v).unwrap();
+            assert_eq!(a.len(), b.len());
+            for ((ua, wa), (ub, wb)) in a.iter().zip(b.iter()) {
+                assert_eq!(ua, ub);
+                assert_eq!(wa.to_bits(), wb.to_bits(), "subject {v} node {ua}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_poisoned_subject_degrades_alone() {
+        let (g, subjects) = fan_graph();
+        let rwr = Rwr::truncated(0.1, 3);
+        let clean = rwr.signature_set_outcome(&g, &subjects, 4);
+        let poisoned = rwr.signature_set_outcome_injected(&g, &subjects, 4, &|v, entries| {
+            if v == n(7) {
+                if let Some(e) = entries.first_mut() {
+                    e.1 = f64::NAN;
+                }
+            }
+        });
+        // Exactly one subject degrades, with the right reason...
+        assert_eq!(poisoned.degraded().len(), 1);
+        let (victim, reason) = &poisoned.degraded()[0];
+        assert_eq!(*victim, n(7));
+        assert!(matches!(reason, DegradeReason::NonFiniteOccupancy { .. }));
+        assert!(poisoned.set().get(n(7)).is_none());
+        // ...and every healthy subject is bit-identical to the clean run.
+        for &v in &subjects {
+            if v == n(7) {
+                continue;
+            }
+            let a = clean.set().get(v).unwrap();
+            let b = poisoned.set().get(v).unwrap();
+            assert_eq!(a.len(), b.len());
+            for ((ua, wa), (ub, wb)) in a.iter().zip(b.iter()) {
+                assert_eq!(ua, ub);
+                assert_eq!(wa.to_bits(), wb.to_bits(), "subject {v} node {ua}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_convergent_subjects_degrade_with_budget_reason() {
+        let g = diamond();
+        let mut rwr = Rwr::full(0.05);
+        rwr.config.max_iterations = 1;
+        rwr.config.tolerance = 1e-15;
+        let subjects: Vec<NodeId> = g.nodes().collect();
+        let outcome = rwr.signature_set_outcome(&g, &subjects, 4);
+        // Node 3 dangles and hits its fixed point immediately; the rest
+        // cannot converge in one iteration.
+        assert_eq!(outcome.degraded().len(), 3);
+        for (v, reason) in outcome.degraded() {
+            assert_ne!(*v, n(3));
+            assert!(matches!(
+                reason,
+                DegradeReason::IterationBudget { budget: 1, .. }
+            ));
+        }
+        assert!(outcome.set().get(n(3)).is_some());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Zero-out-degree audit: every scheme must handle silent subjects.
+//!
+//! A node with no outgoing communication (an inactive host, a node whose
+//! only events were dropped by ingestion, a row zeroed by perturbation)
+//! has a zero out-weight row sum. Any scheme that normalises by that sum
+//! without a guard divides by zero and leaks NaN into signatures and
+//! every distance/aggregate computed from them. This test pins the
+//! guarded behaviour for each scheme: a silent subject yields an *empty*
+//! signature — never a NaN-weighted one — and batch paths stay healthy.
+
+use comsig_core::scheme::{PushRwr, Rwr, Scaling, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_graph::{CommGraph, GraphBuilder, NodeId};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Nodes 0-2 form a communicating triangle; 3 and 4 are *silent* (zero
+/// out-degree). Node 3 still receives traffic, node 4 is fully isolated.
+fn graph_with_silent_nodes() -> CommGraph {
+    let mut b = GraphBuilder::new();
+    b.add_event(n(0), n(1), 3.0);
+    b.add_event(n(1), n(2), 2.0);
+    b.add_event(n(2), n(0), 5.0);
+    b.add_event(n(0), n(3), 1.0);
+    b.build(5)
+}
+
+fn schemes() -> Vec<Box<dyn SignatureScheme>> {
+    vec![
+        Box::new(TopTalkers),
+        Box::new(UnexpectedTalkers::new()),
+        Box::new(UnexpectedTalkers::with_scaling(Scaling::TfIdf)),
+        Box::new(UnexpectedTalkers::with_scaling(Scaling::LogNovelty)),
+        Box::new(Rwr::truncated(0.1, 3)),
+        Box::new(Rwr::truncated(0.1, 3).undirected()),
+        Box::new(Rwr::full(0.15)),
+        Box::new(PushRwr::new(0.15, 1e-4)),
+    ]
+}
+
+#[test]
+fn silent_subjects_yield_empty_finite_signatures() {
+    let g = graph_with_silent_nodes();
+    for scheme in schemes() {
+        for silent in [n(3), n(4)] {
+            let sig = scheme.signature(&g, silent, 5);
+            for (u, w) in sig.iter() {
+                assert!(
+                    w.is_finite() && w > 0.0,
+                    "{}: silent node {silent} produced weight {w} for {u}",
+                    scheme.name()
+                );
+            }
+            // Directed walks cannot leave a node with no out-edges, and
+            // ratio schemes have nothing to rank: the signature is empty.
+            // (The undirected RWR variant is exempt: reversing edges
+            // gives node 3 genuine neighbours.)
+            if !scheme.name().contains("RWR") {
+                assert!(
+                    sig.is_empty(),
+                    "{}: silent node {silent} has non-empty signature",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_scheme_survives_an_all_silent_graph() {
+    // A graph whose every event was dropped (e.g. a zero-weight flood
+    // rejected by the builder): all nodes have zero out-degree.
+    let g = GraphBuilder::new().build(4);
+    let subjects: Vec<NodeId> = (0..4).map(n).collect();
+    for scheme in schemes() {
+        let set = scheme.signature_set(&g, &subjects, 5);
+        for (v, sig) in set.iter() {
+            assert!(
+                sig.is_empty(),
+                "{}: {v} has a signature in an edgeless graph",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_rwr_keeps_silent_subjects_healthy() {
+    let g = graph_with_silent_nodes();
+    let subjects: Vec<NodeId> = (0..5).map(n).collect();
+    for rwr in [Rwr::truncated(0.1, 3), Rwr::full(0.15)] {
+        let outcome = rwr.signature_set_outcome(&g, &subjects, 5);
+        assert!(
+            outcome.is_fully_healthy(),
+            "{}: silent subjects must degrade nothing ({:?})",
+            rwr.name(),
+            outcome.degraded()
+        );
+        assert_eq!(outcome.set().len(), subjects.len());
+    }
+}
+
+#[test]
+fn push_rwr_silent_subject_is_ok_not_degraded() {
+    let g = graph_with_silent_nodes();
+    for silent in [n(3), n(4)] {
+        let occ = PushRwr::new(0.15, 1e-4)
+            .try_occupancy(&g, silent)
+            .expect("a silent subject is a degenerate but valid input");
+        for (u, w) in occ.iter() {
+            assert!(w.is_finite(), "non-finite occupancy {w} at {u}");
+        }
+    }
+}

@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use comsig_core::contract;
 use comsig_core::distance::SignatureDistance;
+use comsig_core::engine::BatchOutcome;
 use comsig_core::SignatureSet;
 
 use crate::matcher::{pairwise_distances, self_distances};
@@ -52,6 +54,33 @@ pub fn persistence_values(
 /// pairs within one window set.
 pub fn uniqueness_values(dist: &dyn SignatureDistance, set_t: &SignatureSet) -> Vec<f64> {
     pairwise_distances(dist, set_t)
+}
+
+/// Persistence values over the healthy subjects of two fault-isolating
+/// batch runs. The contract layer re-verifies that no degraded subject
+/// leaked into either healthy set before the aggregate is computed.
+pub fn persistence_values_outcome(
+    dist: &dyn SignatureDistance,
+    outcome_t: &BatchOutcome,
+    outcome_t1: &BatchOutcome,
+) -> Vec<f64> {
+    contract::check_degraded_excluded(outcome_t.set(), outcome_t.degraded());
+    contract::check_degraded_excluded(outcome_t1.set(), outcome_t1.degraded());
+    // A subject degraded in either window has no signature in that
+    // window's set, so self_distances' present-in-both join drops it
+    // from the aggregate.
+    persistence_values(dist, outcome_t.set(), outcome_t1.set())
+}
+
+/// Uniqueness values over the healthy subjects of one fault-isolating
+/// batch run, with the same contract re-verification as
+/// [`persistence_values_outcome`].
+pub fn uniqueness_values_outcome(
+    dist: &dyn SignatureDistance,
+    outcome_t: &BatchOutcome,
+) -> Vec<f64> {
+    contract::check_degraded_excluded(outcome_t.set(), outcome_t.degraded());
+    uniqueness_values(dist, outcome_t.set())
 }
 
 /// Computes the Figure-1 ellipse for one `(scheme, distance)` cell.
@@ -124,6 +153,26 @@ mod tests {
         let e = ellipse("TT", &Jaccard, &t, &t1);
         assert!((e.mu_p - 0.5).abs() < 1e-12);
         assert!(e.s_p > 0.0);
+    }
+
+    #[test]
+    fn outcome_aggregates_skip_degraded_subjects() {
+        use comsig_core::engine::{BatchOutcome, DegradeReason};
+        // Subject 2 is healthy in t but degraded in t+1: it must vanish
+        // from the persistence join without touching subjects 0 and 1.
+        let t = BatchOutcome::new(
+            window(vec![(0, vec![10]), (1, vec![20]), (2, vec![30])]),
+            Vec::new(),
+        );
+        let t1 = BatchOutcome::new(
+            window(vec![(0, vec![10]), (1, vec![20])]),
+            vec![(n(2), DegradeReason::MassOverflow { mass: 2.0 })],
+        );
+        let p = persistence_values_outcome(&Jaccard, &t, &t1);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        let u = uniqueness_values_outcome(&Jaccard, &t1);
+        assert_eq!(u.len(), 1); // one pair over the two healthy subjects
     }
 
     #[test]

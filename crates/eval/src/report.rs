@@ -56,6 +56,21 @@ impl Table {
         &self.title
     }
 
+    /// The column headers.
+    ///
+    /// Together with [`Table::rows`] this exposes the exact cell strings
+    /// (unlike [`Table::to_json`], which coerces numeric-looking cells),
+    /// so external serialisers — e.g. the bench checkpoint layer — can
+    /// round-trip a table losslessly.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, each exactly as wide as the header row.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders a fixed-width text table.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();

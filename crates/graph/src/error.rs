@@ -27,6 +27,16 @@ pub enum GraphError {
     },
     /// Underlying I/O failure.
     Io(io::Error),
+    /// A quarantining ingest exceeded its bad-record budget
+    /// (`IngestPolicy::Quarantine { max_bad_fraction }`).
+    TooManyBadRecords {
+        /// Number of records quarantined.
+        quarantined: usize,
+        /// Number of records attempted (non-blank, non-comment lines).
+        records: usize,
+        /// The configured budget, as a fraction of `records`.
+        max_bad_fraction: f64,
+    },
     /// A bipartite constraint was violated (edge within one node class).
     BipartiteViolation {
         /// Source node index.
@@ -49,6 +59,17 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::TooManyBadRecords {
+                quarantined,
+                records,
+                max_bad_fraction,
+            } => {
+                write!(
+                    f,
+                    "quarantined {quarantined} of {records} records, exceeding the \
+                     policy budget (max_bad_fraction = {max_bad_fraction})"
+                )
+            }
             GraphError::BipartiteViolation { src, dst } => {
                 write!(
                     f,
@@ -94,6 +115,13 @@ mod tests {
         assert!(e.to_string().contains("line 3"));
         let e = GraphError::BipartiteViolation { src: 1, dst: 2 };
         assert!(e.to_string().contains("bipartite"));
+        let e = GraphError::TooManyBadRecords {
+            quarantined: 7,
+            records: 10,
+            max_bad_fraction: 0.5,
+        };
+        assert!(e.to_string().contains("7 of 10"));
+        assert!(e.to_string().contains("0.5"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Plain-text edge-list input/output.
+//! Plain-text edge-list input/output with configurable fault policies.
 //!
 //! Format (one record per line, whitespace-separated):
 //!
@@ -10,62 +10,302 @@
 //! This mirrors the shape of aggregated flow records ("NetFlow for
 //! summarizing IP traffic", Section II-B): each line is one aggregated
 //! communication observation. Weight may be omitted (defaults to `1`).
+//!
+//! Real flow feeds are lossy and noisy, so ingestion supports three
+//! [`IngestPolicy`] modes: `Strict` (abort on the first malformed
+//! record — the historical behaviour), `Quarantine` (skip bad records,
+//! recording line numbers and reasons in an [`IngestReport`], up to a
+//! configurable budget) and `Repair` (additionally clamp out-of-domain
+//! weights into `[0, REPAIR_WEIGHT_CAP]`). See DESIGN.md §8.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, ErrorKind, Write};
+
+use serde::Serialize;
 
 use crate::edge::EdgeEvent;
 use crate::error::GraphError;
 use crate::node::Interner;
 
+/// Upper clamp applied to non-finite positive weights under
+/// [`IngestPolicy::Repair`]. Large enough to dominate any legitimate
+/// aggregated flow volume, small enough that window sums stay finite.
+pub const REPAIR_WEIGHT_CAP: f64 = 1e12;
+
+/// How ingestion reacts to malformed records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestPolicy {
+    /// Abort on the first malformed record with a typed [`GraphError`].
+    /// Byte-identical to the historical `read_events` behaviour.
+    Strict,
+    /// Skip malformed records, recording each in the [`IngestReport`].
+    /// Fails with [`GraphError::TooManyBadRecords`] if more than
+    /// `max_bad_fraction · records` records end up quarantined.
+    Quarantine {
+        /// Bad-record budget as a fraction of attempted records.
+        max_bad_fraction: f64,
+    },
+    /// Like `Quarantine` with an unlimited budget, but weights that are
+    /// merely out of domain (negative or infinite) are clamped into
+    /// `[0, REPAIR_WEIGHT_CAP]` instead of quarantined. `NaN` carries no
+    /// information and is still quarantined.
+    Repair,
+}
+
+/// One record skipped by a tolerant ingest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Quarantined {
+    /// 1-based line number in the input stream.
+    pub line: usize,
+    /// Why the record was rejected (same wording as the `Strict` error).
+    pub reason: String,
+}
+
+/// One weight clamped by [`IngestPolicy::Repair`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Repaired {
+    /// 1-based line number in the input stream.
+    pub line: usize,
+    /// The weight as parsed.
+    pub original: f64,
+    /// The weight after clamping into `[0, REPAIR_WEIGHT_CAP]`.
+    pub repaired: f64,
+}
+
+/// Accounting of one ingest run: what was read, kept, skipped, patched.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct IngestReport {
+    /// Physical lines read, including blanks and comments.
+    pub lines_read: usize,
+    /// Records attempted (non-blank, non-comment lines).
+    pub records: usize,
+    /// Events accepted into the output.
+    pub events: usize,
+    /// Records skipped, with line numbers and reasons.
+    pub quarantined: Vec<Quarantined>,
+    /// Weights clamped under [`IngestPolicy::Repair`].
+    pub repaired: Vec<Repaired>,
+}
+
+impl IngestReport {
+    /// Fraction of attempted records that were quarantined (0 for an
+    /// empty input).
+    #[must_use]
+    pub fn bad_fraction(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.quarantined.len() as f64 / self.records as f64
+        }
+    }
+
+    /// Whether the input parsed without any quarantine or repair.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.repaired.is_empty()
+    }
+}
+
+/// A structurally valid line, before weight-domain validation.
+struct RawLine<'a> {
+    time: u64,
+    src: &'a str,
+    dst: &'a str,
+    weight: f64,
+}
+
+/// The outcome of parsing one trimmed, non-comment line.
+enum LineOutcome<'a> {
+    /// Fully valid record.
+    Good(RawLine<'a>),
+    /// Structure parsed but the weight is non-finite or negative.
+    /// `extra_fields` records whether the line also had trailing junk
+    /// (checked *after* the weight in `Strict`, so the weight fault wins
+    /// there, but `Repair` must still reject the malformed structure).
+    BadWeight {
+        raw: RawLine<'a>,
+        extra_fields: bool,
+    },
+    /// Structurally malformed; the message matches the `Strict` error.
+    Malformed(String),
+}
+
+/// Parses one record line, reproducing the historical field-by-field
+/// validation order exactly (time, src, dst, weight parse, weight
+/// domain, field count).
+fn parse_line(trimmed: &str) -> LineOutcome<'_> {
+    let mut fields = trimmed.split_whitespace();
+    let time: u64 = match fields.next() {
+        None => return LineOutcome::Malformed("missing time field".to_owned()),
+        Some(t) => match t.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                return LineOutcome::Malformed("time is not a non-negative integer".to_owned())
+            }
+        },
+    };
+    let Some(src) = fields.next() else {
+        return LineOutcome::Malformed("missing source".to_owned());
+    };
+    let Some(dst) = fields.next() else {
+        return LineOutcome::Malformed("missing destination".to_owned());
+    };
+    let weight: f64 = match fields.next() {
+        Some(w) => match w.parse() {
+            Ok(w) => w,
+            Err(_) => return LineOutcome::Malformed("weight is not a number".to_owned()),
+        },
+        None => 1.0,
+    };
+    let raw = RawLine {
+        time,
+        src,
+        dst,
+        weight,
+    };
+    if !weight.is_finite() || weight < 0.0 {
+        return LineOutcome::BadWeight {
+            raw,
+            extra_fields: fields.next().is_some(),
+        };
+    }
+    if fields.next().is_some() {
+        return LineOutcome::Malformed("too many fields".to_owned());
+    }
+    LineOutcome::Good(raw)
+}
+
 /// Parses an event stream from `reader`, interning labels into `interner`.
 ///
 /// Labels are interned in first-appearance order, so parsing is
 /// deterministic. Lines starting with `#` and blank lines are skipped.
+/// Equivalent to [`read_events_with_policy`] under
+/// [`IngestPolicy::Strict`]: the first malformed record aborts the parse
+/// with a typed error.
 pub fn read_events<R: BufRead>(
     reader: R,
     interner: &mut Interner,
 ) -> Result<Vec<EdgeEvent>, GraphError> {
+    read_events_with_policy(reader, interner, IngestPolicy::Strict).map(|(events, _)| events)
+}
+
+/// Parses an event stream under `policy`, returning the surviving events
+/// and an [`IngestReport`] accounting for every skipped or patched
+/// record.
+///
+/// Only accepted records intern labels, so the node space (and therefore
+/// every downstream id) is a function of the surviving records alone —
+/// a quarantined line can never perturb the interning order.
+pub fn read_events_with_policy<R: BufRead>(
+    reader: R,
+    interner: &mut Interner,
+    policy: IngestPolicy,
+) -> Result<(Vec<EdgeEvent>, IngestReport), GraphError> {
     let mut events = Vec::new();
+    let mut report = IngestReport::default();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let lineno = lineno + 1;
+        report.lines_read += 1;
+        let line = match line {
+            Ok(line) => line,
+            // A line that is not valid UTF-8 is a per-record fault the
+            // tolerant policies can skip (the bytes up to the newline
+            // are already consumed); any other I/O error is fatal.
+            Err(e) if policy != IngestPolicy::Strict && e.kind() == ErrorKind::InvalidData => {
+                report.records += 1;
+                report.quarantined.push(Quarantined {
+                    line: lineno,
+                    reason: "line is not valid UTF-8".to_owned(),
+                });
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut fields = trimmed.split_whitespace();
-        let parse_err = |message: &str| GraphError::Parse {
-            line: lineno + 1,
-            message: message.to_owned(),
+        report.records += 1;
+        let quarantine = |report: &mut IngestReport, reason: String| {
+            report.quarantined.push(Quarantined {
+                line: lineno,
+                reason,
+            });
         };
-        let time: u64 = fields
-            .next()
-            .ok_or_else(|| parse_err("missing time field"))?
-            .parse()
-            .map_err(|_| parse_err("time is not a non-negative integer"))?;
-        let src_label = fields.next().ok_or_else(|| parse_err("missing source"))?;
-        let dst_label = fields
-            .next()
-            .ok_or_else(|| parse_err("missing destination"))?;
-        let weight: f64 = match fields.next() {
-            Some(w) => w.parse().map_err(|_| parse_err("weight is not a number"))?,
-            None => 1.0,
+        let accepted: RawLine<'_> = match (parse_line(trimmed), policy) {
+            (LineOutcome::Good(raw), _) => raw,
+            (LineOutcome::Malformed(message), IngestPolicy::Strict) => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message,
+                });
+            }
+            (LineOutcome::Malformed(message), _) => {
+                quarantine(&mut report, message);
+                continue;
+            }
+            (LineOutcome::BadWeight { raw, .. }, IngestPolicy::Strict) => {
+                return Err(GraphError::InvalidWeight { weight: raw.weight });
+            }
+            (LineOutcome::BadWeight { raw, .. }, IngestPolicy::Quarantine { .. }) => {
+                quarantine(
+                    &mut report,
+                    format!("edge weight {} is not finite and non-negative", raw.weight),
+                );
+                continue;
+            }
+            (
+                LineOutcome::BadWeight {
+                    extra_fields: true, ..
+                },
+                IngestPolicy::Repair,
+            ) => {
+                quarantine(&mut report, "too many fields".to_owned());
+                continue;
+            }
+            (
+                LineOutcome::BadWeight {
+                    mut raw,
+                    extra_fields: false,
+                },
+                IngestPolicy::Repair,
+            ) => {
+                if raw.weight.is_nan() {
+                    quarantine(
+                        &mut report,
+                        "weight is NaN and cannot be repaired".to_owned(),
+                    );
+                    continue;
+                }
+                let clamped = raw.weight.clamp(0.0, REPAIR_WEIGHT_CAP);
+                report.repaired.push(Repaired {
+                    line: lineno,
+                    original: raw.weight,
+                    repaired: clamped,
+                });
+                raw.weight = clamped;
+                raw
+            }
         };
-        if !weight.is_finite() || weight < 0.0 {
-            return Err(GraphError::InvalidWeight { weight });
-        }
-        if fields.next().is_some() {
-            return Err(parse_err("too many fields"));
-        }
-        let src = interner.intern(src_label);
-        let dst = interner.intern(dst_label);
+        let src = interner.intern(accepted.src);
+        let dst = interner.intern(accepted.dst);
         events.push(EdgeEvent {
-            time,
+            time: accepted.time,
             src,
             dst,
-            weight,
+            weight: accepted.weight,
         });
     }
-    Ok(events)
+    report.events = events.len();
+    if let IngestPolicy::Quarantine { max_bad_fraction } = policy {
+        if report.quarantined.len() as f64 > max_bad_fraction * report.records as f64 {
+            return Err(GraphError::TooManyBadRecords {
+                quarantined: report.quarantined.len(),
+                records: report.records,
+                max_bad_fraction,
+            });
+        }
+    }
+    Ok((events, report))
 }
 
 /// Writes an event stream in the same format `read_events` parses.
@@ -152,5 +392,162 @@ mod tests {
         )];
         let err = write_events(Vec::new(), &interner, &events).unwrap_err();
         assert!(err.to_string().contains("out of range"));
+    }
+
+    // --- policy machinery ------------------------------------------------
+
+    const MIXED: &str = "\
+# header comment
+0 a b 2
+not-a-time a b 1
+1 a c
+2 z
+3 c d NaN
+4 d e -3.5
+5 e f 1 junk
+6 f g 4
+";
+
+    fn quarantine(f: f64) -> IngestPolicy {
+        IngestPolicy::Quarantine {
+            max_bad_fraction: f,
+        }
+    }
+
+    #[test]
+    fn strict_policy_matches_plain_reader() {
+        let mut i1 = Interner::new();
+        let e1 = read_events(Cursor::new("0 a b 2\n1 b c\n"), &mut i1).unwrap();
+        let mut i2 = Interner::new();
+        let (e2, report) = read_events_with_policy(
+            Cursor::new("0 a b 2\n1 b c\n"),
+            &mut i2,
+            IngestPolicy::Strict,
+        )
+        .unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(i1.len(), i2.len());
+        assert!(report.is_clean());
+        assert_eq!(report.lines_read, 2);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.events, 2);
+    }
+
+    #[test]
+    fn quarantine_records_lines_and_reasons() {
+        let mut interner = Interner::new();
+        let (events, report) =
+            read_events_with_policy(Cursor::new(MIXED), &mut interner, quarantine(1.0)).unwrap();
+        assert_eq!(events.len(), 3); // lines 2, 4, 9 parse; the rest quarantine
+        assert_eq!(report.lines_read, 9);
+        assert_eq!(report.records, 8);
+        assert_eq!(report.events, 3);
+        let lines: Vec<usize> = report.quarantined.iter().map(|q| q.line).collect();
+        assert_eq!(lines, vec![3, 5, 6, 7, 8]);
+        let reasons: Vec<&str> = report
+            .quarantined
+            .iter()
+            .map(|q| q.reason.as_str())
+            .collect();
+        assert!(reasons[0].contains("time"));
+        assert!(reasons[1].contains("destination"));
+        assert!(reasons[2].contains("NaN"));
+        assert!(reasons[3].contains("-3.5"));
+        assert!(reasons[4].contains("too many"));
+        assert!((report.bad_fraction() - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_budget_overflow_is_typed() {
+        let mut interner = Interner::new();
+        let err = read_events_with_policy(Cursor::new(MIXED), &mut interner, quarantine(0.25))
+            .unwrap_err();
+        match err {
+            GraphError::TooManyBadRecords {
+                quarantined,
+                records,
+                ..
+            } => {
+                assert_eq!(quarantined, 5);
+                assert_eq!(records, 8);
+            }
+            other => panic!("expected TooManyBadRecords, got {other}"),
+        }
+    }
+
+    #[test]
+    fn repair_clamps_weights_and_quarantines_nan() {
+        let input = "0 a b -3.5\n1 b c inf\n2 c d NaN\n3 d e 2\n";
+        let mut interner = Interner::new();
+        let (events, report) =
+            read_events_with_policy(Cursor::new(input), &mut interner, IngestPolicy::Repair)
+                .unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].weight, 0.0); // -3.5 clamped up
+        assert_eq!(events[1].weight, REPAIR_WEIGHT_CAP); // inf clamped down
+        assert_eq!(events[2].weight, 2.0); // untouched
+        assert_eq!(report.repaired.len(), 2);
+        assert_eq!(report.repaired[0].line, 1);
+        assert_eq!(report.repaired[0].original, -3.5);
+        assert_eq!(report.repaired[1].line, 2);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].reason.contains("NaN"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn repair_still_rejects_structural_junk() {
+        let input = "0 a b -1 extra\n1 a b 2\n";
+        let mut interner = Interner::new();
+        let (events, report) =
+            read_events_with_policy(Cursor::new(input), &mut interner, IngestPolicy::Repair)
+                .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].reason.contains("too many"));
+        assert!(report.repaired.is_empty());
+    }
+
+    #[test]
+    fn quarantined_lines_do_not_intern_labels() {
+        // `ghost` appears only on the quarantined line; the surviving
+        // node space must not contain it.
+        let input = "0 a b 2\nbad ghost b 1\n1 b c 3\n";
+        let mut interner = Interner::new();
+        let (events, _) =
+            read_events_with_policy(Cursor::new(input), &mut interner, quarantine(1.0)).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(interner.len(), 3);
+        assert!(interner.get("ghost").is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_quarantined_not_fatal() {
+        let mut bytes = b"0 a b 2\n".to_vec();
+        bytes.extend_from_slice(&[0x30, 0x20, 0xFF, 0xFE, 0x20, 0x62, b'\n']); // "0 <junk> b"
+        bytes.extend_from_slice(b"1 b c 3\n");
+
+        let mut interner = Interner::new();
+        let err = read_events(Cursor::new(bytes.clone()), &mut interner).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)), "strict mode stays fatal");
+
+        let mut interner = Interner::new();
+        let (events, report) =
+            read_events_with_policy(Cursor::new(bytes), &mut interner, quarantine(1.0)).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].line, 2);
+        assert!(report.quarantined[0].reason.contains("UTF-8"));
+    }
+
+    #[test]
+    fn empty_input_is_clean() {
+        let mut interner = Interner::new();
+        let (events, report) =
+            read_events_with_policy(Cursor::new(""), &mut interner, quarantine(0.0)).unwrap();
+        assert!(events.is_empty());
+        assert!(report.is_clean());
+        assert_eq!(report.bad_fraction(), 0.0);
+        assert_eq!(report.lines_read, 0);
     }
 }

@@ -33,7 +33,8 @@
 //!   weight distribution) and apply `β·|E|` unit-weight decrements
 //!   (Section IV-C, "Signature robustness").
 //! * [`io`] — plain-text edge-list input/output in a flow-record-like
-//!   format.
+//!   format, with configurable fault handling ([`IngestPolicy`]:
+//!   strict / quarantine / repair) and per-run [`IngestReport`]s.
 //! * [`ops`] — graph transformations: reversal, symmetrisation, edge
 //!   filtering, induced/incident subgraphs, window sums.
 //!
@@ -80,6 +81,7 @@ pub use builder::GraphBuilder;
 pub use edge::{Edge, EdgeEvent, Weight};
 pub use error::GraphError;
 pub use graph::{CommGraph, NeighborIter};
+pub use io::{IngestPolicy, IngestReport};
 pub use node::{Interner, NodeId};
 
 pub use bipartite::{NodeClass, Partition};

@@ -1,0 +1,194 @@
+//! I/O round-trip properties and the malformed-line corpus.
+//!
+//! The round-trip property pins the `write_events` ↔ `read_events` pair:
+//! any event stream serialises to text that parses back to the same
+//! records (resolved by label, since a fresh parse re-interns in
+//! first-appearance order). The corpus test pins *exact* `GraphError::
+//! Parse` line numbers — off-by-one drift here silently breaks every
+//! quarantine report and every "fix line N" message shown to operators.
+
+use std::io::Cursor;
+
+use comsig_graph::io::{read_events, read_events_with_policy, write_events};
+use comsig_graph::{EdgeEvent, GraphError, IngestPolicy, Interner, NodeId};
+use proptest::prelude::*;
+
+/// Characters legal in a parse-safe node label (no whitespace, no `#`).
+const LABEL_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+
+/// A parse-safe node label: a lowercase letter followed by up to 11
+/// alphabet characters.
+fn label_strategy() -> impl Strategy<Value = String> {
+    (
+        0usize..26,
+        prop::collection::vec(0usize..LABEL_ALPHABET.len(), 0..11),
+    )
+        .prop_map(|(first, rest)| {
+            let mut s = String::with_capacity(rest.len() + 1);
+            s.push(LABEL_ALPHABET[first] as char);
+            s.extend(rest.iter().map(|&i| LABEL_ALPHABET[i] as char));
+            s
+        })
+}
+
+/// Raw event tuples: (time, src label index, dst label index, weight).
+type RawEvents = Vec<(u64, usize, usize, f64)>;
+
+fn events_strategy() -> impl Strategy<Value = (Vec<String>, RawEvents)> {
+    prop::collection::vec(label_strategy(), 2..12)
+        .prop_map(|mut labels| {
+            labels.sort();
+            labels.dedup();
+            labels
+        })
+        .prop_flat_map(|labels| {
+            let n = labels.len();
+            // One event in ten gets weight exactly 0.0 (legal: finite and
+            // non-negative); the rest draw from a wide positive range.
+            let weight = (0u32..10, 0.001f64..1e9).prop_map(|(z, w)| if z == 0 { 0.0 } else { w });
+            let events = prop::collection::vec((0u64..50, 0..n, 0..n, weight), 0..40);
+            (Just(labels), events)
+        })
+}
+
+/// Resolves an event stream to label space for interner-independent
+/// comparison.
+fn resolved(events: &[EdgeEvent], interner: &Interner) -> Vec<(u64, String, String, f64)> {
+    events
+        .iter()
+        .map(|e| {
+            (
+                e.time,
+                interner.label(e.src).expect("src interned").to_owned(),
+                interner.label(e.dst).expect("dst interned").to_owned(),
+                e.weight,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// write → read is the identity on label-resolved events, for every
+    /// ingest policy, with a clean report.
+    #[test]
+    fn write_read_round_trips((labels, raw) in events_strategy()) {
+        let mut interner = Interner::new();
+        let ids: Vec<NodeId> = labels.iter().map(|l| interner.intern(l)).collect();
+        let events: Vec<EdgeEvent> = raw
+            .iter()
+            .map(|&(time, s, d, weight)| EdgeEvent {
+                time,
+                src: ids[s],
+                dst: ids[d],
+                weight,
+            })
+            .collect();
+
+        let mut text = Vec::new();
+        write_events(&mut text, &interner, &events).expect("all ids interned");
+        let original = resolved(&events, &interner);
+
+        for policy in [
+            IngestPolicy::Strict,
+            IngestPolicy::Quarantine { max_bad_fraction: 0.0 },
+            IngestPolicy::Repair,
+        ] {
+            let mut fresh = Interner::new();
+            let (parsed, report) =
+                read_events_with_policy(Cursor::new(text.clone()), &mut fresh, policy)
+                    .expect("round-trip parse succeeds");
+            prop_assert!(report.is_clean(), "{policy:?} report not clean");
+            prop_assert_eq!(&resolved(&parsed, &fresh), &original, "{:?}", policy);
+        }
+    }
+
+    /// Writing what was read reproduces the text byte-for-byte (the
+    /// format has one canonical rendering per event).
+    #[test]
+    fn read_write_is_canonical((labels, raw) in events_strategy()) {
+        let mut interner = Interner::new();
+        let ids: Vec<NodeId> = labels.iter().map(|l| interner.intern(l)).collect();
+        let events: Vec<EdgeEvent> = raw
+            .iter()
+            .map(|&(time, s, d, weight)| EdgeEvent { time, src: ids[s], dst: ids[d], weight })
+            .collect();
+        let mut first = Vec::new();
+        write_events(&mut first, &interner, &events).expect("write");
+
+        let mut fresh = Interner::new();
+        let parsed = read_events(Cursor::new(first.clone()), &mut fresh).expect("read");
+        let mut second = Vec::new();
+        write_events(&mut second, &fresh, &parsed).expect("rewrite");
+        prop_assert_eq!(first, second);
+    }
+}
+
+// --- malformed-line corpus -----------------------------------------------
+
+/// Each case: (corpus, 1-based line of the first malformed record,
+/// substring of the expected parse message).
+const MALFORMED: &[(&str, usize, &str)] = &[
+    // Malformed first line.
+    ("garbage\n0 a b 1\n", 1, "time"),
+    // Comments and blank lines still count toward line numbers.
+    ("# header\n\n0 a b 1\nnot-a-record\n", 4, "time"),
+    // Missing destination.
+    ("0 a b 1\n1 a\n", 2, "destination"),
+    // Non-numeric timestamp.
+    ("0 a b 1\nxyz a b 1\n2 b c 1\n", 2, "time"),
+    // Unparseable weight field.
+    ("0 a b 1\n1 a b ten\n", 2, "weight is not a number"),
+    // Too many fields (weight parses, then a fifth field remains).
+    ("0 a b 1\n1 a b 2 surplus\n", 2, "too many fields"),
+    // Windows line endings must not shift the count.
+    ("# crlf\r\n0 a b 1\r\nbroken\r\n", 3, "time"),
+];
+
+#[test]
+fn strict_parse_reports_exact_line_numbers() {
+    for &(corpus, want_line, want_msg) in MALFORMED {
+        let mut interner = Interner::new();
+        match read_events(Cursor::new(corpus), &mut interner) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, want_line, "corpus {corpus:?}");
+                assert!(
+                    message.contains(want_msg),
+                    "corpus {corpus:?}: message {message:?} lacks {want_msg:?}"
+                );
+            }
+            other => panic!("corpus {corpus:?}: expected Parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn quarantine_reports_every_malformed_line_exactly() {
+    // One corpus combining all the fault shapes, with known bad lines.
+    let corpus = "\
+# mixed corpus
+0 a b 1
+garbage
+1 b c 2
+
+2 c\td 3
+xyz d e 4
+3 e f 5 surplus
+4 f a 6
+";
+    // line 3: one token; line 7: bad timestamp; line 8: too many fields.
+    // (Line 6 uses a tab separator, which `split_whitespace` accepts.)
+    let mut interner = Interner::new();
+    let (events, report) = read_events_with_policy(
+        Cursor::new(corpus),
+        &mut interner,
+        IngestPolicy::Quarantine {
+            max_bad_fraction: 0.5,
+        },
+    )
+    .expect("within budget");
+    assert_eq!(events.len(), 4);
+    let lines: Vec<usize> = report.quarantined.iter().map(|q| q.line).collect();
+    assert_eq!(lines, vec![3, 7, 8]);
+    assert_eq!(report.records, 7);
+    assert_eq!(report.lines_read, 9);
+}
