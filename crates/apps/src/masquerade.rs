@@ -13,8 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rustc_hash::FxHashMap;
 
-use comsig_core::distance::SignatureDistance;
+use comsig_core::distance::BatchDistance;
 use comsig_core::scheme::SignatureScheme;
+use comsig_eval::index::{MatchWorkspace, PostingsIndex};
 use comsig_graph::{CommGraph, GraphBuilder, NodeId};
 
 fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
@@ -135,7 +136,7 @@ pub struct Detection {
 ///    `(v, u)`; otherwise `v` joins the non-suspects.
 pub fn detect_label_masquerading(
     scheme: &dyn SignatureScheme,
-    dist: &dyn SignatureDistance,
+    dist: &dyn BatchDistance,
     g_t: &CommGraph,
     g_t1: &CommGraph,
     subjects: &[NodeId],
@@ -159,6 +160,12 @@ pub fn detect_label_masquerading(
         self_sim.values().sum::<f64>() / (cfg.threshold_divisor * subjects.len() as f64)
     };
 
+    // Cross-match suspects through the inverted index: built once over
+    // the window-t+1 signatures, each suspect costs one top-ℓ posting
+    // sweep (ascending distance == descending similarity, ties by id)
+    // instead of a full |V| scan and sort.
+    let index = PostingsIndex::build(&sigs_t1);
+    let mut ws = MatchWorkspace::new();
     let mut non_suspects = Vec::new();
     let mut detected = Vec::new();
     for &v in subjects {
@@ -168,18 +175,10 @@ pub fn detect_label_masquerading(
         }
         // v looks unlike itself: find who v's old behaviour moved to.
         let q = sigs_t.get(v).expect("subject in t");
-        let mut matches: Vec<(NodeId, f64)> = sigs_t1
+        let top = index.rank_top_l_with(dist, q, cfg.top_l, &mut ws);
+        let hit = top
+            .entries()
             .iter()
-            .map(|(u, sig)| (u, 1.0 - dist.distance(q, sig)))
-            .collect();
-        matches.sort_by(|x, y| {
-            y.1.partial_cmp(&x.1)
-                .expect("similarities are finite")
-                .then(x.0.cmp(&y.0))
-        });
-        let hit = matches
-            .iter()
-            .take(cfg.top_l)
             .find(|&&(u, _)| u != v && self_sim[&u] <= delta);
         match hit {
             Some(&(u, _)) => detected.push((v, u)),

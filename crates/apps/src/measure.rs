@@ -7,7 +7,7 @@
 //! Table IV summarises, plus the qualitative levels derived by ranking
 //! (which is how we regenerate Table IV in the experiments).
 
-use comsig_core::distance::SignatureDistance;
+use comsig_core::distance::BatchDistance;
 use comsig_core::scheme::SignatureScheme;
 use comsig_eval::property_eval::{persistence_values, uniqueness_values};
 use comsig_eval::stats::Summary;
@@ -52,7 +52,7 @@ impl Default for MeasureConfig {
 /// Measures one scheme between two consecutive windows.
 pub fn measure(
     scheme: &dyn SignatureScheme,
-    dist: &dyn SignatureDistance,
+    dist: &dyn BatchDistance,
     g_t: &CommGraph,
     g_t1: &CommGraph,
     subjects: &[NodeId],

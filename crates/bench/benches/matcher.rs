@@ -1,0 +1,58 @@
+//! Criterion benches: inverted-index matching vs brute force.
+//!
+//! `rank_all` is the evaluation hot path (`|Q|` queries against `|C|`
+//! candidates); the index makes it sub-quadratic by visiting only the
+//! candidates sharing at least one signature member with each query.
+//! These benches pin the crossover: brute force wins only when the
+//! candidate set is tiny relative to the index build cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use comsig_bench::synth::{matching_population, query_subset};
+use comsig_core::distance::SHel;
+use comsig_eval::matcher::{
+    pairwise_distances, pairwise_distances_reference, rank_all, rank_all_reference,
+};
+
+/// Queries per rank_all sweep (a sampled subject subset, as the ROC
+/// experiments use).
+const QUERIES: usize = 64;
+
+/// The paper's signature length.
+const K: usize = 10;
+
+fn bench_rank_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_all_shel");
+    group.sample_size(5);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let pop = matching_population(n, K, 42);
+        let queries = query_subset(&pop, QUERIES);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| black_box(rank_all(&SHel, &queries, &pop)))
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| black_box(rank_all_reference(&SHel, &queries, &pop)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    // All-pairs uniqueness sampling; quadratic output, so smaller sizes.
+    let mut group = c.benchmark_group("pairwise_shel");
+    group.sample_size(3);
+    for &n in &[1_000usize, 4_000] {
+        let pop = matching_population(n, K, 43);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| black_box(pairwise_distances(&SHel, &pop)))
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| black_box(pairwise_distances_reference(&SHel, &pop)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_all, bench_pairwise);
+criterion_main!(benches);

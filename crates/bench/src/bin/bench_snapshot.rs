@@ -1,11 +1,15 @@
-//! Writes `BENCH_schemes.json` at the repository root: median ns/op for
-//! each signature scheme over the Medium flow dataset, covering both the
-//! batched dense-workspace RWR engine and the per-subject SparseVec
-//! reference path it replaced.
+//! Writes the perf snapshots at the repository root:
+//!
+//! * `BENCH_schemes.json` — median ns/op for each signature scheme over
+//!   the Medium flow dataset, covering both the batched dense-workspace
+//!   RWR engine and the per-subject SparseVec reference path;
+//! * `BENCH_matching.json` — indexed vs brute-force `rank_all` on
+//!   synthetic populations at `|C| ∈ {1k, 10k, 50k}`, `k = 10`.
 //!
 //! Run with `cargo run --release -p comsig-bench --bin bench_snapshot`.
-//! The snapshot is the landed, machine-readable record of the perf
-//! numbers quoted in README.md; re-run it after touching the engine.
+//! The snapshots are the landed, machine-readable record of the perf
+//! numbers quoted in README.md; re-run after touching the engine or the
+//! matcher.
 
 #![forbid(unsafe_code)]
 
@@ -14,10 +18,12 @@ use std::time::Instant;
 use rayon::prelude::*;
 use serde_json::{json, Map, Number, Value};
 
-use comsig_bench::datasets;
-use comsig_bench::Scale;
+use comsig_bench::synth::{matching_population, query_subset};
+use comsig_bench::{datasets, Scale};
+use comsig_core::distance::SHel;
 use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
 use comsig_core::SignatureSet;
+use comsig_eval::matcher::{rank_all, rank_all_reference};
 use comsig_graph::{CommGraph, NodeId};
 
 /// Samples per measurement; the median is reported.
@@ -115,5 +121,59 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_schemes.json");
     let body = serde_json::to_string_pretty(&out).expect("snapshot serialises");
     std::fs::write(path, body + "\n").expect("write BENCH_schemes.json");
+    eprintln!("wrote {path}");
+
+    matching_snapshot();
+}
+
+/// Queries per rank_all sweep in the matching snapshot.
+const MATCH_QUERIES: usize = 64;
+
+/// Signature length of the matching snapshot (the paper's `k`).
+const MATCH_K: usize = 10;
+
+/// Times indexed vs brute-force `rank_all` on synthetic populations and
+/// writes `BENCH_matching.json`.
+fn matching_snapshot() {
+    let mut sizes = Map::new();
+    for n in [1_000usize, 10_000, 50_000] {
+        let pop = matching_population(n, MATCH_K, 42);
+        let queries = query_subset(&pop, MATCH_QUERIES);
+        let indexed_ns = median_ns(|| {
+            std::hint::black_box(rank_all(&SHel, &queries, &pop));
+        });
+        let brute_ns = median_ns(|| {
+            std::hint::black_box(rank_all_reference(&SHel, &queries, &pop));
+        });
+        let speedup = brute_ns / indexed_ns;
+        eprintln!(
+            "rank_all |C|={n:<6} indexed {indexed_ns:>14.0} ns, brute {brute_ns:>14.0} ns, {speedup:.1}x"
+        );
+        let mut entry = Map::new();
+        entry.insert(
+            "indexed_median_ns".to_string(),
+            Value::Number(Number::from_f64(indexed_ns.round()).expect("finite")),
+        );
+        entry.insert(
+            "brute_median_ns".to_string(),
+            Value::Number(Number::from_f64(brute_ns.round()).expect("finite")),
+        );
+        entry.insert(
+            "speedup".to_string(),
+            Value::Number(Number::from_f64((speedup * 100.0).round() / 100.0).expect("finite")),
+        );
+        sizes.insert(n.to_string(), Value::Object(entry));
+    }
+    let out = json!({
+        "workload": "rank_all_synthetic",
+        "distance": "SHel",
+        "k": MATCH_K,
+        "queries": MATCH_QUERIES,
+        "samples": SAMPLES,
+        "candidates": Value::Object(sizes),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json");
+    let body = serde_json::to_string_pretty(&out).expect("snapshot serialises");
+    std::fs::write(path, body + "\n").expect("write BENCH_matching.json");
     eprintln!("wrote {path}");
 }

@@ -23,5 +23,6 @@
 pub mod datasets;
 pub mod experiments;
 pub mod registry;
+pub mod synth;
 
 pub use datasets::Scale;

@@ -1,6 +1,6 @@
 //! Scheme and distance registries shared by all experiments.
 
-use comsig_core::distance::{paper_distances, SignatureDistance};
+use comsig_core::distance::{paper_distances, BatchDistance};
 use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
 
 /// The scheme line-up of the paper's evaluation: TT, UT and
@@ -29,8 +29,11 @@ pub fn application_schemes() -> Vec<Box<dyn SignatureScheme>> {
     ]
 }
 
-/// The paper's four distance functions in presentation order.
-pub fn distances() -> Vec<Box<dyn SignatureDistance>> {
+/// The paper's four distance functions in presentation order. Exposed as
+/// [`BatchDistance`] so every experiment can route matching through the
+/// inverted index (the trait upcasts to `SignatureDistance` where only a
+/// per-pair kernel is needed).
+pub fn distances() -> Vec<Box<dyn BatchDistance>> {
     paper_distances()
 }
 

@@ -1,0 +1,101 @@
+//! Synthetic signature populations for matcher benchmarks.
+//!
+//! The matching engine's cost profile is governed by posting-list shape:
+//! mostly-uniform members keep lists short (the sub-quadratic sweet
+//! spot), while a heavy-hitter head (popular external services every
+//! host talks to) concentrates posting mass on a few hub nodes. The
+//! populations here mix both — 80% uniform members over a universe
+//! proportional to the population, 20% drawn from a hot head of 100
+//! nodes — so benchmarks exercise short and hub posting lists at once.
+
+use comsig_core::{Signature, SignatureSet};
+use comsig_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Share of signature members drawn from the hot head.
+const HOT_FRACTION: f64 = 0.2;
+
+/// Size of the hot head (popular member nodes shared across subjects).
+const HOT_NODES: usize = 100;
+
+/// Builds a population of `n` subjects with `k`-member signatures over a
+/// `4n`-node member universe. Member ids live below the subject-id
+/// range, so subjects never collide with members. Deterministic in
+/// `seed`.
+#[must_use]
+pub fn matching_population(n: usize, k: usize, seed: u64) -> SignatureSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = (4 * n).max(HOT_NODES + 1);
+    let mut subjects = Vec::with_capacity(n);
+    let mut sigs = Vec::with_capacity(n);
+    for v in 0..n {
+        let subject = NodeId::new(universe + v);
+        let members: Vec<(NodeId, f64)> = (0..k)
+            .map(|_| {
+                let id = if rng.random_bool(HOT_FRACTION) {
+                    rng.random_range(0..HOT_NODES)
+                } else {
+                    rng.random_range(0..universe)
+                };
+                (NodeId::new(id), rng.random_range(0.1..1.0))
+            })
+            .collect();
+        subjects.push(subject);
+        sigs.push(Signature::top_k(subject, members, k));
+    }
+    SignatureSet::new(subjects, sigs)
+}
+
+/// The first `q` subjects of `set` as their own query set (subjects
+/// matched against the full population — the rank_all access pattern).
+///
+/// # Panics
+/// Panics if `q` exceeds `set.len()`.
+#[must_use]
+pub fn query_subset(set: &SignatureSet, q: usize) -> SignatureSet {
+    assert!(q <= set.len(), "query subset larger than population");
+    SignatureSet::new(
+        set.subjects()[..q].to_vec(),
+        set.iter().take(q).map(|(_, sig)| sig.clone()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic_and_sized() {
+        let a = matching_population(200, 10, 7);
+        let b = matching_population(200, 10, 7);
+        assert_eq!(a.len(), 200);
+        for (va, vb) in a.subjects().iter().zip(b.subjects()) {
+            assert_eq!(va, vb);
+            assert_eq!(a.get(*va).unwrap(), b.get(*vb).unwrap());
+        }
+        // Duplicate member draws can shrink a signature below k, but most
+        // should be full length.
+        assert!(a.iter().all(|(_, s)| s.len() <= 10 && !s.is_empty()));
+    }
+
+    #[test]
+    fn hot_head_creates_member_overlap() {
+        let pop = matching_population(300, 10, 11);
+        let hot_hits = pop
+            .iter()
+            .flat_map(|(_, s)| s.iter())
+            .filter(|(u, _)| u.index() < HOT_NODES)
+            .count();
+        // ~20% of ~3000 members should land in the head.
+        assert!(hot_hits > 300, "only {hot_hits} hot members");
+    }
+
+    #[test]
+    fn query_subset_prefixes_population() {
+        let pop = matching_population(50, 5, 3);
+        let q = query_subset(&pop, 8);
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.subjects(), &pop.subjects()[..8]);
+    }
+}

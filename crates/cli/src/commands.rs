@@ -158,7 +158,7 @@ fn scheme_of(parsed: &Parsed) -> Result<Box<dyn SignatureScheme>, CliError> {
     parse_scheme(parsed.get("scheme").unwrap_or("tt"))
 }
 
-fn dist_of(parsed: &Parsed) -> Result<Box<dyn comsig_core::distance::SignatureDistance>, CliError> {
+fn dist_of(parsed: &Parsed) -> Result<Box<dyn comsig_core::distance::BatchDistance>, CliError> {
     parse_distance(parsed.get("dist").unwrap_or("shel"))
 }
 

@@ -2,7 +2,7 @@
 
 use rustc_hash::FxHashMap;
 
-use comsig_core::distance::{Cosine, Dice, Jaccard, Overlap, SDice, SHel, SignatureDistance};
+use comsig_core::distance::{BatchDistance, Cosine, Dice, Jaccard, Overlap, SDice, SHel};
 use comsig_core::scheme::{PushRwr, Rwr, Scaling, SignatureScheme, TopTalkers, UnexpectedTalkers};
 
 use crate::CliError;
@@ -62,7 +62,7 @@ pub fn parse_scheme(spec: &str) -> Result<Box<dyn SignatureScheme>, CliError> {
 }
 
 /// Parses a distance name: `jac|dice|sdice|shel|cos|ovl`.
-pub fn parse_distance(name: &str) -> Result<Box<dyn SignatureDistance>, CliError> {
+pub fn parse_distance(name: &str) -> Result<Box<dyn BatchDistance>, CliError> {
     match name {
         "jac" | "jaccard" => Ok(Box::new(Jaccard)),
         "dice" => Ok(Box::new(Dice)),

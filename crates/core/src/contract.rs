@@ -114,6 +114,29 @@ pub fn check_distance(d: &dyn SignatureDistance, a: &Signature, b: &Signature, v
     );
 }
 
+/// The index/brute equivalence contract: a distance produced by the
+/// inverted-index matcher (`comsig-eval`'s `PostingsIndex`) must be
+/// **bit-identical** to the brute-force per-pair evaluation — both paths
+/// run the same `BatchDistance::accumulate`/`finish` arithmetic over the
+/// shared members in the same (ascending node id) order, so any
+/// divergence is a bug, not float noise.
+///
+/// # Panics
+/// Panics (when [`enabled`]) if `got` differs from `d.distance(a, b)` in
+/// even one bit.
+#[inline]
+pub fn check_indexed_distance(d: &dyn SignatureDistance, a: &Signature, b: &Signature, got: f64) {
+    if !enabled() {
+        return;
+    }
+    let want = d.distance(a, b);
+    assert!(
+        got.to_bits() == want.to_bits(),
+        "contract violation: indexed {} distance {got:e} differs from brute-force {want:e}",
+        d.name()
+    );
+}
+
 /// A transition row must be stochastic: its probability mass sums to 1
 /// within [`TOLERANCE`].
 ///

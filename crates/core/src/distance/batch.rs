@@ -1,0 +1,208 @@
+//! Batch distance kernels: the scalars + intersection decomposition.
+//!
+//! Signatures are top-`k` sparse sets (`k = 10` in the paper), so in an
+//! all-pairs or ranking sweep almost every pair is *disjoint* and scores
+//! distance exactly 1. An inverted index (`comsig_eval::index`) can
+//! therefore skip the non-overlapping pairs entirely — but only if every
+//! distance is computable from
+//!
+//! 1. **per-signature scalars** ([`SigScalars`]: `|S|`, `Σw`, `Σw²`) that
+//!    are precomputed once per candidate, and
+//! 2. **intersection statistics** ([`InterAcc`]) accumulated over the
+//!    shared members only, in ascending node-id order.
+//!
+//! [`BatchDistance`] is that decomposition: [`accumulate`]
+//! (per shared member) plus [`finish`] (combine with the scalars). Every
+//! implemented distance provides it, and — crucially — the plain
+//! pairwise [`distance_raw`](super::SignatureDistance::distance_raw) of
+//! each distance is implemented *through* [`merge_score`], which runs the
+//! identical `accumulate`/`finish` arithmetic over the `O(k)` merge-join.
+//! Brute-force matching and index-backed matching therefore produce
+//! **bit-identical** `f64`s: same terms, same order, same rounding.
+//!
+//! [`accumulate`]: BatchDistance::accumulate
+//! [`finish`]: BatchDistance::finish
+
+use super::SignatureDistance;
+use crate::signature::Signature;
+
+/// Per-signature scalars sufficient (together with [`InterAcc`]) to
+/// evaluate every implemented distance: member count, weight sum and
+/// squared-weight sum, each accumulated left-to-right over the
+/// signature's id-sorted entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigScalars {
+    /// `|S|` — number of signature members.
+    pub len: usize,
+    /// `Σ w` over the members, in entry (ascending node id) order.
+    pub weight_sum: f64,
+    /// `Σ w²` over the members, in entry order.
+    pub sq_sum: f64,
+}
+
+impl SigScalars {
+    /// Computes the scalars of one signature. The summation order (the
+    /// signature's own entry order) is part of the bit-identity contract
+    /// between the brute-force and index-backed matchers.
+    #[must_use]
+    pub fn of(sig: &Signature) -> SigScalars {
+        let mut weight_sum = 0.0;
+        let mut sq_sum = 0.0;
+        for (_, w) in sig.iter() {
+            weight_sum += w;
+            sq_sum += w * w;
+        }
+        SigScalars {
+            len: sig.len(),
+            weight_sum,
+            sq_sum,
+        }
+    }
+
+    /// Whether the underlying signature was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Intersection statistics for one `(query, candidate)` pair: the number
+/// of shared members plus two distance-specific sums (see
+/// [`BatchDistance::accumulate`]), each accumulated over the shared
+/// members in ascending node-id order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterAcc {
+    /// `|S₁ ∩ S₂|` — number of shared members.
+    pub count: usize,
+    /// First distance-specific sum (e.g. `Σ min(w₁, w₂)`).
+    pub a: f64,
+    /// Second distance-specific sum (e.g. `Σ √(w₁·w₂)`); 0 for
+    /// distances that need only one.
+    pub b: f64,
+}
+
+impl InterAcc {
+    /// An empty accumulator (the state of every disjoint pair).
+    #[must_use]
+    pub fn new() -> InterAcc {
+        InterAcc::default()
+    }
+
+    /// Folds one shared member's [`accumulate`](BatchDistance::accumulate)
+    /// contribution into the sums.
+    #[inline]
+    pub fn push(&mut self, (a, b): (f64, f64)) {
+        self.count += 1;
+        self.a += a;
+        self.b += b;
+    }
+}
+
+/// A distance expressible as per-signature scalars plus intersection
+/// sums — the contract the inverted-index matcher needs to score a query
+/// against only the candidates it overlaps, while every skipped
+/// (disjoint) candidate is emitted as distance exactly 1.
+///
+/// Implementations must satisfy, for non-empty `σ₁, σ₂`:
+///
+/// * `finish(s₁, s₂, ∅) == 1.0` **exactly** — the disjoint shortcut;
+/// * `distance_raw(σ₁, σ₂)` equals `finish` over the merge-join
+///   bit-for-bit (guaranteed by implementing `distance_raw` via
+///   [`merge_score`]).
+pub trait BatchDistance: SignatureDistance {
+    /// The contribution of one shared member with weights `(wq, wc)` to
+    /// the two intersection sums. Called in ascending node-id order of
+    /// the shared members.
+    #[must_use]
+    fn accumulate(&self, wq: f64, wc: f64) -> (f64, f64);
+
+    /// Combines the precomputed scalars of both signatures with the
+    /// intersection sums into the distance. Must not be called for
+    /// empty signatures (the [`empty_rule`](super::empty_rule) runs
+    /// first on both matching paths).
+    #[must_use]
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64;
+}
+
+/// The shared brute-force evaluation: scalars of both sides, one `O(k)`
+/// merge-join accumulating the intersection sums in ascending node-id
+/// order, then [`BatchDistance::finish`]. Every `distance_raw` delegates
+/// here (after the empty rule), so the reference path and the
+/// index-backed path are the same arithmetic by construction.
+#[must_use]
+pub fn merge_score<D: BatchDistance + ?Sized>(dist: &D, a: &Signature, b: &Signature) -> f64 {
+    let qs = SigScalars::of(a);
+    let cs = SigScalars::of(b);
+    let mut inter = InterAcc::new();
+    for (_, w1, w2) in a.union_weights(b) {
+        if w1 > 0.0 && w2 > 0.0 {
+            inter.push(dist.accumulate(w1, w2));
+        }
+    }
+    dist.finish(&qs, &cs, &inter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::all_distances;
+    use comsig_graph::NodeId;
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            NodeId::new(999_999),
+            pairs.iter().map(|&(i, w)| (NodeId::new(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    #[test]
+    fn scalars_of_signature() {
+        let s = SigScalars::of(&sig(&[(1, 2.0), (2, 3.0)]));
+        assert_eq!(s.len, 2);
+        assert!((s.weight_sum - 5.0).abs() < 1e-15);
+        assert!((s.sq_sum - 13.0).abs() < 1e-15);
+        assert!(SigScalars::of(&Signature::empty()).is_empty());
+    }
+
+    #[test]
+    fn disjoint_shortcut_is_exactly_one_for_every_distance() {
+        // The index never visits a candidate sharing no member with the
+        // query and emits literal 1.0 instead; `finish` over an empty
+        // intersection must agree exactly for every kernel.
+        let a = sig(&[(1, 0.25), (2, 7.5)]);
+        let b = sig(&[(3, 1e-9), (4, 3e12), (5, 0.125)]);
+        for d in all_distances() {
+            let via_finish = d.finish(&SigScalars::of(&a), &SigScalars::of(&b), &InterAcc::new());
+            assert_eq!(via_finish.to_bits(), 1.0f64.to_bits(), "{}", d.name());
+            assert_eq!(
+                d.distance(&a, &b).to_bits(),
+                1.0f64.to_bits(),
+                "{}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_score_is_distance_raw_for_every_distance() {
+        let cases = [
+            (
+                sig(&[(1, 0.5), (2, 0.3), (9, 4.0)]),
+                sig(&[(2, 0.7), (9, 0.1)]),
+            ),
+            (sig(&[(1, 1.0)]), sig(&[(1, 1.0)])),
+            (sig(&[(3, 2.0), (4, 2.0)]), sig(&[(3, 2.0), (5, 1.0)])),
+        ];
+        for d in all_distances() {
+            for (a, b) in &cases {
+                assert_eq!(
+                    d.distance_raw(a, b).to_bits(),
+                    merge_score(d.as_ref(), a, b).to_bits(),
+                    "{}",
+                    d.name()
+                );
+            }
+        }
+    }
+}

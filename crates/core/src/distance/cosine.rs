@@ -1,6 +1,6 @@
 //! Cosine distance (extension; not in the paper's four).
 
-use super::{empty_rule, SignatureDistance};
+use super::{empty_rule, merge_score, BatchDistance, InterAcc, SigScalars, SignatureDistance};
 use crate::signature::Signature;
 
 /// `Dist_Cos(σ₁, σ₂) = 1 − (σ₁ · σ₂) / (‖σ₁‖·‖σ₂‖)`.
@@ -22,18 +22,23 @@ impl SignatureDistance for Cosine {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }
-        let mut dot = 0.0;
-        let mut na = 0.0;
-        let mut nb = 0.0;
-        for (_, w1, w2) in a.union_weights(b) {
-            dot += w1 * w2;
-            na += w1 * w1;
-            nb += w2 * w2;
-        }
-        if na <= 0.0 || nb <= 0.0 {
+        merge_score(self, a, b)
+    }
+}
+
+impl BatchDistance for Cosine {
+    fn accumulate(&self, wq: f64, wc: f64) -> (f64, f64) {
+        (wq * wc, 0.0)
+    }
+
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64 {
+        // The dot product only collects intersection terms (absent-side
+        // weights are 0) and each squared norm is a pure per-signature
+        // scalar. Disjoint pairs score 1 − 0 = 1 exactly.
+        if q.sq_sum <= 0.0 || c.sq_sum <= 0.0 {
             return 1.0;
         }
-        (1.0 - dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+        (1.0 - inter.a / (q.sq_sum.sqrt() * c.sq_sum.sqrt())).clamp(0.0, 1.0)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Weighted Dice distance.
 
-use super::{empty_rule, SignatureDistance};
+use super::{empty_rule, merge_score, BatchDistance, InterAcc, SigScalars, SignatureDistance};
 use crate::signature::Signature;
 
 /// `Dist_Dice(σ₁, σ₂) = 1 − Σ_{j∈S₁∩S₂}(w₁ⱼ + w₂ⱼ) / Σ_{j∈S₁∪S₂}(w₁ⱼ + w₂ⱼ)`.
@@ -21,18 +21,26 @@ impl SignatureDistance for Dice {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (_, w1, w2) in a.union_weights(b) {
-            den += w1 + w2;
-            if w1 > 0.0 && w2 > 0.0 {
-                num += w1 + w2;
-            }
-        }
+        merge_score(self, a, b)
+    }
+}
+
+impl BatchDistance for Dice {
+    fn accumulate(&self, wq: f64, wc: f64) -> (f64, f64) {
+        (wq + wc, 0.0)
+    }
+
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64 {
+        // The union sum decomposes per side:
+        // `Σ_{j∈∪}(w₁ⱼ + w₂ⱼ) = Σ w₁ + Σ w₂` (absent-side weights are 0).
+        // An empty intersection gives 1 − 0/den = 1 exactly; the clamp
+        // only absorbs the ulp where the reordered numerator rounds past
+        // the denominator on (near-)identical signatures.
+        let den = q.weight_sum + c.weight_sum;
         if den <= 0.0 {
             return 0.0;
         }
-        1.0 - num / den
+        (1.0 - inter.a / den).clamp(0.0, 1.0)
     }
 }
 

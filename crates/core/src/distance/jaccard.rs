@@ -1,6 +1,6 @@
 //! Jaccard set distance.
 
-use super::{empty_rule, SignatureDistance};
+use super::{empty_rule, merge_score, BatchDistance, InterAcc, SigScalars, SignatureDistance};
 use crate::signature::Signature;
 
 /// `Dist_Jac(σ₁, σ₂) = 1 − |S₁ ∩ S₂| / |S₁ ∪ S₂|`.
@@ -21,15 +21,20 @@ impl SignatureDistance for Jaccard {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }
-        let mut inter = 0usize;
-        let mut union = 0usize;
-        for (_, w1, w2) in a.union_weights(b) {
-            union += 1;
-            if w1 > 0.0 && w2 > 0.0 {
-                inter += 1;
-            }
-        }
-        1.0 - inter as f64 / union as f64
+        merge_score(self, a, b)
+    }
+}
+
+impl BatchDistance for Jaccard {
+    fn accumulate(&self, _wq: f64, _wc: f64) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64 {
+        // `|S₁ ∪ S₂| = |S₁| + |S₂| − |S₁ ∩ S₂|` in exact integer
+        // arithmetic; an empty intersection gives 1 − 0 = 1 exactly.
+        let union = q.len + c.len - inter.count;
+        1.0 - inter.count as f64 / union as f64
     }
 }
 

@@ -19,6 +19,7 @@
 //! nodes with non-empty signatures; the convention makes the functions
 //! total without affecting those evaluations.
 
+mod batch;
 mod cosine;
 mod dice;
 mod jaccard;
@@ -27,6 +28,7 @@ mod ruzicka;
 mod sdice;
 mod shel;
 
+pub use batch::{merge_score, BatchDistance, InterAcc, SigScalars};
 pub use cosine::Cosine;
 pub use dice::Dice;
 pub use jaccard::Jaccard;
@@ -77,9 +79,11 @@ pub(crate) fn empty_rule(a: &Signature, b: &Signature) -> Option<f64> {
 }
 
 /// The paper's four distance functions, boxed, in presentation order —
-/// convenient for experiments that sweep "all distances".
+/// convenient for experiments that sweep "all distances". Boxed as
+/// [`BatchDistance`] (every implemented distance is one) so the same
+/// registry drives both per-pair calls and the index-backed matchers.
 #[must_use]
-pub fn paper_distances() -> Vec<Box<dyn SignatureDistance>> {
+pub fn paper_distances() -> Vec<Box<dyn BatchDistance>> {
     vec![
         Box::new(Jaccard),
         Box::new(Dice),
@@ -90,7 +94,7 @@ pub fn paper_distances() -> Vec<Box<dyn SignatureDistance>> {
 
 /// All implemented distance functions (the paper's four plus extensions).
 #[must_use]
-pub fn all_distances() -> Vec<Box<dyn SignatureDistance>> {
+pub fn all_distances() -> Vec<Box<dyn BatchDistance>> {
     vec![
         Box::new(Jaccard),
         Box::new(Dice),

@@ -1,6 +1,6 @@
 //! Overlap (Szymkiewicz–Simpson) distance (extension).
 
-use super::{empty_rule, SignatureDistance};
+use super::{empty_rule, merge_score, BatchDistance, InterAcc, SigScalars, SignatureDistance};
 use crate::signature::Signature;
 
 /// `Dist_Ovl(σ₁, σ₂) = 1 − |S₁ ∩ S₂| / min(|S₁|, |S₂|)`.
@@ -21,9 +21,18 @@ impl SignatureDistance for Overlap {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }
-        let inter = a.intersection_size(b) as f64;
-        let min_len = a.len().min(b.len()) as f64;
-        1.0 - inter / min_len
+        merge_score(self, a, b)
+    }
+}
+
+impl BatchDistance for Overlap {
+    fn accumulate(&self, _wq: f64, _wc: f64) -> (f64, f64) {
+        (0.0, 0.0)
+    }
+
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64 {
+        // Pure integer arithmetic; an empty intersection gives 1 exactly.
+        1.0 - inter.count as f64 / q.len.min(c.len) as f64
     }
 }
 

@@ -1,6 +1,6 @@
 //! Ruzicka (weighted Jaccard) distance (extension).
 
-use super::{empty_rule, SignatureDistance};
+use super::{empty_rule, merge_score, BatchDistance, InterAcc, SigScalars, SignatureDistance};
 use crate::signature::Signature;
 
 /// `Dist_Ruz(σ₁, σ₂) = 1 − Σ_j min(w₁ⱼ, w₂ⱼ) / Σ_j max(w₁ⱼ, w₂ⱼ)`
@@ -25,16 +25,25 @@ impl SignatureDistance for Ruzicka {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (_, w1, w2) in a.union_weights(b) {
-            num += w1.min(w2);
-            den += w1.max(w2);
-        }
+        merge_score(self, a, b)
+    }
+}
+
+impl BatchDistance for Ruzicka {
+    fn accumulate(&self, wq: f64, wc: f64) -> (f64, f64) {
+        (wq.min(wc), 0.0)
+    }
+
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64 {
+        // Identical to SDice's kernel (the documented identity): the
+        // union min-sum equals the intersection min-sum because one-sided
+        // members contribute min(w, 0) = 0, and the union max-sum
+        // decomposes as `Σ w₁ + Σ w₂ − Σ_{∩} min`.
+        let den = q.weight_sum + c.weight_sum - inter.a;
         if den <= 0.0 {
             return 0.0;
         }
-        1.0 - num / den
+        (1.0 - inter.a / den).clamp(0.0, 1.0)
     }
 }
 

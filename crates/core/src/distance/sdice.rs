@@ -1,6 +1,6 @@
 //! Scaled Dice distance.
 
-use super::{empty_rule, SignatureDistance};
+use super::{empty_rule, merge_score, BatchDistance, InterAcc, SigScalars, SignatureDistance};
 use crate::signature::Signature;
 
 /// `Dist_SDice(σ₁, σ₂) = 1 − Σ_{j∈S₁∩S₂} min(w₁ⱼ, w₂ⱼ) / Σ_{j∈S₁∪S₂} max(w₁ⱼ, w₂ⱼ)`.
@@ -24,18 +24,25 @@ impl SignatureDistance for SDice {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (_, w1, w2) in a.union_weights(b) {
-            den += w1.max(w2);
-            if w1 > 0.0 && w2 > 0.0 {
-                num += w1.min(w2);
-            }
-        }
+        merge_score(self, a, b)
+    }
+}
+
+impl BatchDistance for SDice {
+    fn accumulate(&self, wq: f64, wc: f64) -> (f64, f64) {
+        (wq.min(wc), 0.0)
+    }
+
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64 {
+        // `max(w₁, w₂) = w₁ + w₂ − min(w₁, w₂)` member-wise, so the union
+        // max-sum decomposes as `Σ w₁ + Σ w₂ − Σ_{∩} min` (one-sided
+        // members contribute their full weight). Disjoint pairs score
+        // 1 − 0/(Σw₁ + Σw₂) = 1 exactly.
+        let den = q.weight_sum + c.weight_sum - inter.a;
         if den <= 0.0 {
             return 0.0;
         }
-        1.0 - num / den
+        (1.0 - inter.a / den).clamp(0.0, 1.0)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Scaled Hellinger distance.
 
-use super::{empty_rule, SignatureDistance};
+use super::{empty_rule, merge_score, BatchDistance, InterAcc, SigScalars, SignatureDistance};
 use crate::signature::Signature;
 
 /// `Dist_SHel(σ₁, σ₂) = 1 − Σ_{j∈S₁∩S₂} √(w₁ⱼ·w₂ⱼ) / Σ_{j∈S₁∪S₂} max(w₁ⱼ, w₂ⱼ)`.
@@ -22,19 +22,27 @@ impl SignatureDistance for SHel {
         if let Some(d) = empty_rule(a, b) {
             return d;
         }
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (_, w1, w2) in a.union_weights(b) {
-            den += w1.max(w2);
-            if w1 > 0.0 && w2 > 0.0 {
-                num += (w1 * w2).sqrt();
-            }
-        }
+        merge_score(self, a, b)
+    }
+}
+
+impl BatchDistance for SHel {
+    fn accumulate(&self, wq: f64, wc: f64) -> (f64, f64) {
+        // Both intersection sums are needed: the min-sum rebuilds the
+        // union max-sum denominator, the √-sum is the numerator.
+        (wq.min(wc), (wq * wc).sqrt())
+    }
+
+    fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64 {
+        // Same denominator decomposition as SDice:
+        // `Σ_{∪} max = Σ w₁ + Σ w₂ − Σ_{∩} min`. Disjoint pairs score
+        // exactly 1; the clamp guards against √ rounding pushing the
+        // ratio a hair past 1.
+        let den = q.weight_sum + c.weight_sum - inter.a;
         if den <= 0.0 {
             return 0.0;
         }
-        // Guard against √ rounding pushing the ratio a hair past 1.
-        (1.0 - num / den).clamp(0.0, 1.0)
+        (1.0 - inter.b / den).clamp(0.0, 1.0)
     }
 }
 

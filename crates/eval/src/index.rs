@@ -1,0 +1,538 @@
+//! Exact sub-quadratic signature matching: the inverted postings index.
+//!
+//! Signatures are top-`k` sparse sets (`k = 10` in the paper), so in a
+//! ranking sweep `Dist(σ_t(v), σ_{t+1}(u))` for all `u ∈ V` almost every
+//! pair is disjoint and scores distance exactly 1 under every implemented
+//! measure. Brute force still pays an `O(k)` merge-join per pair;
+//! [`PostingsIndex`] instead maps each signature *member* node to the
+//! posting list of candidates containing it, so scoring one query costs
+//! one pass over the query's `k` posting lists — `O(total posting mass
+//! touched)` — plus an `O(|C|)` emission of the untouched candidates at
+//! literal distance 1. The dominant evaluation cost drops from
+//! `O(|Q|·|C|·k)` hashing to `O(total posting mass)`.
+//!
+//! Exactness is not approximate-equality: both paths run the identical
+//! [`BatchDistance`] `accumulate`/`finish` arithmetic over the shared
+//! members in ascending node-id order (see `comsig_core::distance::batch`),
+//! so indexed distances and rankings are **bit-identical** to the
+//! brute-force reference (`rank_all_reference`), including tie-breaks.
+//! The contract layer re-verifies this per touched candidate in debug /
+//! `contracts` builds ([`contract::check_indexed_distance`]).
+
+use rustc_hash::FxHashMap;
+
+use comsig_core::contract;
+use comsig_core::distance::{BatchDistance, InterAcc, SigScalars};
+use comsig_core::{Signature, SignatureSet};
+use comsig_graph::NodeId;
+
+use crate::ranking::Ranking;
+
+/// An inverted index over one candidate [`SignatureSet`]: for every
+/// member node, the posting list of `(candidate, weight)` pairs whose
+/// signature contains it, plus precomputed per-candidate scalars
+/// (`|S|`, `Σw`, `Σw²`). Built once, shared (immutably) across all
+/// queries of a matching sweep.
+#[derive(Debug)]
+pub struct PostingsIndex<'a> {
+    candidates: &'a SignatureSet,
+    /// Per-candidate scalars, indexed by candidate position.
+    scalars: Vec<SigScalars>,
+    /// Candidate positions sorted by ascending subject id — the emission
+    /// order of the untouched (distance-1) tail.
+    id_order: Vec<u32>,
+    /// Member node → posting-list slot.
+    slot_of: FxHashMap<NodeId, u32>,
+    /// CSR offsets per slot (`slots + 1` entries).
+    offsets: Vec<u32>,
+    /// Posting candidate positions, grouped by slot.
+    post_pos: Vec<u32>,
+    /// Posting weights, parallel to `post_pos`.
+    post_w: Vec<f64>,
+}
+
+impl<'a> PostingsIndex<'a> {
+    /// Builds the index in `O(total members)` plus one `O(|C| log |C|)`
+    /// id-order sort.
+    #[must_use]
+    pub fn build(candidates: &'a SignatureSet) -> PostingsIndex<'a> {
+        let n = candidates.len();
+        let mut scalars = Vec::with_capacity(n);
+        let mut slot_of: FxHashMap<NodeId, u32> = FxHashMap::default();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut total = 0usize;
+        for (_, sig) in candidates.iter() {
+            scalars.push(SigScalars::of(sig));
+            for (u, _) in sig.iter() {
+                let next = counts.len() as u32;
+                let s = *slot_of.entry(u).or_insert(next);
+                if s == next {
+                    counts.push(0);
+                }
+                counts[s as usize] += 1;
+                total += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
+        let mut post_pos = vec![0u32; total];
+        let mut post_w = vec![0.0f64; total];
+        for (pos, (_, sig)) in candidates.iter().enumerate() {
+            for (u, w) in sig.iter() {
+                let s = slot_of[&u] as usize;
+                let at = cursor[s] as usize;
+                cursor[s] += 1;
+                post_pos[at] = pos as u32;
+                post_w[at] = w;
+            }
+        }
+        let mut id_order: Vec<u32> = (0..n as u32).collect();
+        id_order.sort_unstable_by_key(|&p| candidates.subjects()[p as usize]);
+        PostingsIndex {
+            candidates,
+            scalars,
+            id_order,
+            slot_of,
+            offsets,
+            post_pos,
+            post_w,
+        }
+    }
+
+    /// The candidate set the index was built over.
+    #[must_use]
+    pub fn candidates(&self) -> &SignatureSet {
+        self.candidates
+    }
+
+    /// Number of candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the candidate set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Total posting mass (sum of all signature lengths) — the quantity
+    /// a full matching sweep is linear in.
+    #[must_use]
+    pub fn posting_mass(&self) -> usize {
+        self.post_pos.len()
+    }
+
+    /// Ranks every candidate by distance to `query` — bit-identical to
+    /// [`Ranking::rank_reference`] — using a fresh workspace. Prefer
+    /// [`rank_with`](PostingsIndex::rank_with) in loops.
+    #[must_use]
+    pub fn rank(&self, dist: &dyn BatchDistance, query: &Signature) -> Ranking {
+        self.rank_with(dist, query, &mut MatchWorkspace::new())
+    }
+
+    /// Ranks every candidate by distance to `query`, reusing `ws`.
+    #[must_use]
+    pub fn rank_with(
+        &self,
+        dist: &dyn BatchDistance,
+        query: &Signature,
+        ws: &mut MatchWorkspace,
+    ) -> Ranking {
+        self.rank_top_l_with(dist, query, self.len(), ws)
+    }
+
+    /// The best-`l` prefix of [`rank_with`](PostingsIndex::rank_with):
+    /// the merge of scored and distance-1 candidates stops as soon as
+    /// `l` entries are emitted, which is what the masquerading
+    /// detector's top-`ℓ` rule consumes.
+    #[must_use]
+    pub fn rank_top_l_with(
+        &self,
+        dist: &dyn BatchDistance,
+        query: &Signature,
+        l: usize,
+        ws: &mut MatchWorkspace,
+    ) -> Ranking {
+        let n = self.len();
+        let l = l.min(n);
+        let subjects = self.candidates.subjects();
+        if query.is_empty() {
+            // Empty-signature rule: distance 0 to empty candidates, 1 to
+            // non-empty ones; ties break by ascending id within each band.
+            let mut entries = Vec::with_capacity(l);
+            for &p in &self.id_order {
+                if entries.len() == l {
+                    break;
+                }
+                if self.scalars[p as usize].is_empty() {
+                    entries.push((subjects[p as usize], 0.0));
+                }
+            }
+            for &p in &self.id_order {
+                if entries.len() == l {
+                    break;
+                }
+                if !self.scalars[p as usize].is_empty() {
+                    entries.push((subjects[p as usize], 1.0));
+                }
+            }
+            return Ranking::from_sorted(entries);
+        }
+
+        self.sweep(dist, query, ws);
+        let qs = SigScalars::of(query);
+        let mut touched: Vec<(u32, f64)> = ws
+            .touched()
+            .iter()
+            .map(|&p| {
+                let d = dist.finish(&qs, &self.scalars[p as usize], &ws.inter(p));
+                if contract::enabled() {
+                    let sig = self
+                        .candidates
+                        .get(subjects[p as usize])
+                        .expect("candidate position maps to a subject");
+                    contract::check_indexed_distance(dist, query, sig, d);
+                }
+                (p, d)
+            })
+            .collect();
+        touched.sort_unstable_by(|x, y| {
+            x.1.total_cmp(&y.1)
+                .then(subjects[x.0 as usize].cmp(&subjects[y.0 as usize]))
+        });
+
+        // Merge the scored candidates with the untouched tail. Untouched
+        // candidates carry distance exactly 1.0 (the disjoint shortcut
+        // every BatchDistance::finish guarantees) and are already in
+        // tie-break (ascending id) order via `id_order`.
+        let mut entries = Vec::with_capacity(l);
+        let mut ti = 0usize;
+        let mut ui = 0usize;
+        while entries.len() < l {
+            while ui < n && ws.is_touched(self.id_order[ui]) {
+                ui += 1;
+            }
+            let take_touched = if ti < touched.len() {
+                if ui == n {
+                    true
+                } else {
+                    let (tp, td) = touched[ti];
+                    let uid = subjects[self.id_order[ui] as usize];
+                    match td.total_cmp(&1.0) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => subjects[tp as usize] < uid,
+                        std::cmp::Ordering::Greater => false,
+                    }
+                }
+            } else {
+                false
+            };
+            if take_touched {
+                let (tp, td) = touched[ti];
+                ti += 1;
+                entries.push((subjects[tp as usize], td));
+            } else if ui < n {
+                entries.push((subjects[self.id_order[ui] as usize], 1.0));
+                ui += 1;
+            } else {
+                break;
+            }
+        }
+        Ranking::from_sorted(entries)
+    }
+
+    /// Distances from `query` (at candidate position `from`) to every
+    /// candidate at a position `> from`, in position order — one row of
+    /// the all-pairs upper triangle, bit-identical to per-pair
+    /// `dist.distance` calls.
+    #[must_use]
+    pub fn distances_from(
+        &self,
+        dist: &dyn BatchDistance,
+        query: &Signature,
+        from: usize,
+        ws: &mut MatchWorkspace,
+    ) -> Vec<f64> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n.saturating_sub(from + 1));
+        if query.is_empty() {
+            for c in &self.scalars[from + 1..] {
+                out.push(if c.is_empty() { 0.0 } else { 1.0 });
+            }
+            return out;
+        }
+        self.sweep(dist, query, ws);
+        let qs = SigScalars::of(query);
+        for (off, c) in self.scalars[from + 1..].iter().enumerate() {
+            let p = (from + 1 + off) as u32;
+            let d = if ws.is_touched(p) {
+                let d = dist.finish(&qs, c, &ws.inter(p));
+                if contract::enabled() {
+                    let subjects = self.candidates.subjects();
+                    let sig = self
+                        .candidates
+                        .get(subjects[p as usize])
+                        .expect("candidate position maps to a subject");
+                    contract::check_indexed_distance(dist, query, sig, d);
+                }
+                d
+            } else {
+                // Disjoint (or candidate empty): exactly 1 under every
+                // implemented distance.
+                1.0
+            };
+            out.push(d);
+        }
+        out
+    }
+
+    /// One pass over the query's posting lists, accumulating the
+    /// per-candidate intersection statistics into `ws`. Shared members
+    /// are folded in ascending query node-id order — the same order as
+    /// the brute-force merge-join, which is what makes the scores
+    /// bit-identical.
+    fn sweep(&self, dist: &dyn BatchDistance, query: &Signature, ws: &mut MatchWorkspace) {
+        ws.begin(self.len());
+        for (u, wq) in query.iter() {
+            let Some(&s) = self.slot_of.get(&u) else {
+                continue;
+            };
+            let lo = self.offsets[s as usize] as usize;
+            let hi = self.offsets[s as usize + 1] as usize;
+            for i in lo..hi {
+                ws.add(self.post_pos[i], dist.accumulate(wq, self.post_w[i]));
+            }
+        }
+    }
+}
+
+/// Reusable per-worker accumulation state for index sweeps: dense
+/// per-candidate [`InterAcc`] slots with an epoch stamp per slot and a
+/// touched list — the same sparse-accumulator pattern as
+/// `comsig_core::engine::DenseScatter`, keyed by candidate position
+/// instead of node id.
+#[derive(Debug, Default)]
+pub struct MatchWorkspace {
+    count: Vec<u32>,
+    acc_a: Vec<f64>,
+    acc_b: Vec<f64>,
+    stamp: Vec<u32>,
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl MatchWorkspace {
+    /// An empty workspace; slots are allocated by the first
+    /// [`begin`](MatchWorkspace::begin).
+    #[must_use]
+    pub fn new() -> MatchWorkspace {
+        MatchWorkspace::default()
+    }
+
+    /// Starts a new accumulation over candidate positions `0..n`,
+    /// logically clearing all slots in O(1) via an epoch bump.
+    pub fn begin(&mut self, n: usize) {
+        if self.count.len() < n {
+            self.count.resize(n, 0);
+            self.acc_a.resize(n, 0.0);
+            self.acc_b.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+        }
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps could collide, so pay one O(n)
+            // reset every 2^32 generations.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Folds one shared-member contribution into candidate `pos`,
+    /// registering the slot as touched on first use this epoch.
+    #[inline]
+    pub fn add(&mut self, pos: u32, (a, b): (f64, f64)) {
+        let i = pos as usize;
+        if self.stamp[i] == self.epoch {
+            self.count[i] += 1;
+            self.acc_a[i] += a;
+            self.acc_b[i] += b;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.count[i] = 1;
+            self.acc_a[i] = a;
+            self.acc_b[i] = b;
+            self.touched.push(pos);
+        }
+    }
+
+    /// Whether candidate `pos` shares at least one member with the
+    /// query swept this epoch.
+    #[inline]
+    #[must_use]
+    pub fn is_touched(&self, pos: u32) -> bool {
+        self.stamp[pos as usize] == self.epoch
+    }
+
+    /// The intersection statistics of candidate `pos` this epoch.
+    /// Meaningless (zeroed or stale) unless
+    /// [`is_touched`](MatchWorkspace::is_touched).
+    #[inline]
+    #[must_use]
+    pub fn inter(&self, pos: u32) -> InterAcc {
+        let i = pos as usize;
+        InterAcc {
+            count: self.count[i] as usize,
+            a: self.acc_a[i],
+            b: self.acc_b[i],
+        }
+    }
+
+    /// Candidate positions touched this epoch, in first-touch order.
+    #[must_use]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::{all_distances, Jaccard};
+    use comsig_core::Signature;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sig(pairs: &[(usize, f64)]) -> Signature {
+        Signature::top_k(
+            n(999_999),
+            pairs.iter().map(|&(i, w)| (n(i), w)),
+            pairs.len().max(1),
+        )
+    }
+
+    fn set(entries: Vec<(usize, Vec<(usize, f64)>)>) -> SignatureSet {
+        let subjects: Vec<NodeId> = entries.iter().map(|&(v, _)| n(v)).collect();
+        let sigs = entries
+            .iter()
+            .map(|(_, m)| {
+                if m.is_empty() {
+                    Signature::empty()
+                } else {
+                    sig(m)
+                }
+            })
+            .collect();
+        SignatureSet::new(subjects, sigs)
+    }
+
+    /// Candidates in deliberately non-id construction order, with an
+    /// empty signature and heavy member overlap.
+    fn candidates() -> SignatureSet {
+        set(vec![
+            (7, vec![(10, 1.0), (11, 2.0)]),
+            (0, vec![(10, 1.0), (12, 0.5)]),
+            (3, vec![]),
+            (5, vec![(20, 4.0)]),
+            (1, vec![(11, 2.0), (12, 0.5), (13, 1.0)]),
+        ])
+    }
+
+    #[test]
+    fn index_layout_counts() {
+        let c = candidates();
+        let idx = PostingsIndex::build(&c);
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.posting_mass(), 8);
+        assert_eq!(idx.candidates().len(), 5);
+    }
+
+    #[test]
+    fn rank_matches_reference_for_every_distance() {
+        let c = candidates();
+        let idx = PostingsIndex::build(&c);
+        let queries = [
+            sig(&[(10, 1.0), (11, 1.0)]),
+            sig(&[(99, 1.0)]),
+            Signature::empty(),
+            sig(&[(12, 0.5)]),
+        ];
+        for dist in all_distances() {
+            for q in &queries {
+                let indexed = idx.rank(dist.as_ref(), q);
+                let brute = Ranking::rank_reference(dist.as_ref(), q, &c);
+                assert_eq!(indexed.len(), brute.len(), "{}", dist.name());
+                for (i, b) in indexed.entries().iter().zip(brute.entries()) {
+                    assert_eq!(i.0, b.0, "{}", dist.name());
+                    assert_eq!(i.1.to_bits(), b.1.to_bits(), "{}", dist.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_top_l_is_rank_prefix() {
+        let c = candidates();
+        let idx = PostingsIndex::build(&c);
+        let q = sig(&[(10, 1.0), (13, 2.0)]);
+        let mut ws = MatchWorkspace::new();
+        let full = idx.rank_with(&Jaccard, &q, &mut ws);
+        for l in 0..=6 {
+            let top = idx.rank_top_l_with(&Jaccard, &q, l, &mut ws);
+            assert_eq!(top.entries(), &full.entries()[..l.min(full.len())]);
+        }
+    }
+
+    #[test]
+    fn distances_from_matches_pairwise() {
+        let c = candidates();
+        let idx = PostingsIndex::build(&c);
+        let subjects = c.subjects();
+        let mut ws = MatchWorkspace::new();
+        for dist in all_distances() {
+            for i in 0..subjects.len() {
+                let a = c.get(subjects[i]).expect("subject has a signature");
+                let row = idx.distances_from(dist.as_ref(), a, i, &mut ws);
+                assert_eq!(row.len(), subjects.len() - i - 1);
+                for (off, &d) in row.iter().enumerate() {
+                    let b = c.get(subjects[i + 1 + off]).expect("subject");
+                    assert_eq!(
+                        d.to_bits(),
+                        dist.distance(a, b).to_bits(),
+                        "{}",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_epoch_discipline() {
+        let mut ws = MatchWorkspace::new();
+        ws.begin(4);
+        ws.add(2, (1.0, 0.5));
+        ws.add(2, (1.0, 0.5));
+        assert!(ws.is_touched(2));
+        assert!(!ws.is_touched(1));
+        let acc = ws.inter(2);
+        assert_eq!(acc.count, 2);
+        assert!((acc.a - 2.0).abs() < 1e-15);
+        assert!((acc.b - 1.0).abs() < 1e-15);
+        assert_eq!(ws.touched(), &[2]);
+        ws.begin(4);
+        assert!(!ws.is_touched(2));
+        assert!(ws.touched().is_empty());
+    }
+}

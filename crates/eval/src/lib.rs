@@ -7,8 +7,11 @@
 //! * [`stats`] — means, deviations, quantiles.
 //! * [`ranking`] — distance-ranked candidate lists with deterministic
 //!   tie-breaking.
+//! * [`index`] — the inverted-postings matching engine: sub-quadratic
+//!   exact ranking, bit-identical to brute force.
 //! * [`matcher`] — parallel all-pairs and cross-window distance
-//!   computation over [`SignatureSet`](comsig_core::SignatureSet)s.
+//!   computation over [`SignatureSet`](comsig_core::SignatureSet)s,
+//!   routed through the index.
 //! * [`roc`] — ROC curves and AUC, in both variants the paper uses:
 //!   single-target self-identification (Figures 2–4) and multi-target
 //!   ground-truth sets (Figure 5).
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod index;
 pub mod matcher;
 pub mod pr;
 pub mod property_eval;

@@ -1,21 +1,48 @@
 //! Parallel cross-window and all-pairs distance computation.
 //!
-//! The evaluation phase is dominated by `O(|Q|·|C|)` signature distances;
-//! this module fans those out with rayon while keeping deterministic
-//! output order.
+//! The evaluation phase is dominated by signature matching; this module
+//! fans it out with rayon while keeping deterministic output order. The
+//! default paths ([`rank_all`], [`pairwise_distances`]) route through the
+//! inverted-index matcher ([`PostingsIndex`]) — one index build per
+//! candidate set, one reusable [`MatchWorkspace`] per rayon worker — and
+//! are **bit-identical** to the brute-force `_reference` variants kept
+//! here as the equivalence oracle.
 
 use rayon::prelude::*;
 
 use comsig_core::contract;
-use comsig_core::distance::SignatureDistance;
+use comsig_core::distance::{BatchDistance, SignatureDistance};
 use comsig_core::SignatureSet;
 use comsig_graph::NodeId;
 
+use crate::index::{MatchWorkspace, PostingsIndex};
 use crate::ranking::Ranking;
 
-/// Ranks every query of `queries` against `candidates`, in parallel.
-/// Output order matches `queries.subjects()`.
+/// Ranks every query of `queries` against `candidates`, in parallel,
+/// through a shared [`PostingsIndex`]. Output order matches
+/// `queries.subjects()`; rankings are bit-identical to
+/// [`rank_all_reference`].
 pub fn rank_all(
+    dist: &dyn BatchDistance,
+    queries: &SignatureSet,
+    candidates: &SignatureSet,
+) -> Vec<(NodeId, Ranking)> {
+    let index = PostingsIndex::build(candidates);
+    queries
+        .subjects()
+        .par_iter()
+        .map_init(MatchWorkspace::new, |ws, &v| {
+            let sig = queries.get(v).expect("subject has a signature");
+            (v, index.rank_with(dist, sig, ws))
+        })
+        .collect()
+}
+
+/// Brute-force reference for [`rank_all`]: one full `O(|C|·k)` scan and
+/// sort per query. The oracle for the index-equivalence proptests; also
+/// the faster choice for a handful of one-off queries, where building the
+/// index would dominate.
+pub fn rank_all_reference(
     dist: &dyn SignatureDistance,
     queries: &SignatureSet,
     candidates: &SignatureSet,
@@ -25,15 +52,33 @@ pub fn rank_all(
         .par_iter()
         .map(|&v| {
             let sig = queries.get(v).expect("subject has a signature");
-            (v, Ranking::rank(dist, sig, candidates))
+            (v, Ranking::rank_reference(dist, sig, candidates))
         })
         .collect()
 }
 
 /// All pairwise distances `Dist(σ(v), σ(u))` for `v ≠ u` within one set —
 /// the sample over which the paper's uniqueness statistics are computed.
-/// Each unordered pair appears once (distances are symmetric).
-pub fn pairwise_distances(dist: &dyn SignatureDistance, set: &SignatureSet) -> Vec<f64> {
+/// Each unordered pair appears once (distances are symmetric), ordered as
+/// the upper triangle `(i, j > i)` row by row — bit-identical to
+/// [`pairwise_distances_reference`], but each row costs one posting-list
+/// sweep instead of `|C| − i` merge-joins.
+pub fn pairwise_distances(dist: &dyn BatchDistance, set: &SignatureSet) -> Vec<f64> {
+    let index = PostingsIndex::build(set);
+    let subjects = set.subjects();
+    let rows: Vec<Vec<f64>> = (0..subjects.len())
+        .into_par_iter()
+        .map_init(MatchWorkspace::new, |ws, i| {
+            let a = set.get(subjects[i]).expect("subject has a signature");
+            index.distances_from(dist, a, i, ws)
+        })
+        .collect();
+    rows.into_iter().flatten().collect()
+}
+
+/// Brute-force reference for [`pairwise_distances`]: one merge-join per
+/// pair, with the symmetry contract checked pair by pair.
+pub fn pairwise_distances_reference(dist: &dyn SignatureDistance, set: &SignatureSet) -> Vec<f64> {
     let subjects = set.subjects();
     (0..subjects.len())
         .into_par_iter()
@@ -52,6 +97,9 @@ pub fn pairwise_distances(dist: &dyn SignatureDistance, set: &SignatureSet) -> V
 /// Self-match distances `Dist(σ_t(v), σ_{t+1}(v))` for every subject
 /// present in both sets — the sample behind the persistence statistics.
 /// Returns `(subject, distance)` in `set_t` subject order.
+///
+/// Stays brute-force by design: it evaluates `O(|V|)` pairs, one per
+/// subject, so a posting index would cost more to build than it saves.
 pub fn self_distances(
     dist: &dyn SignatureDistance,
     set_t: &SignatureSet,
@@ -73,7 +121,7 @@ pub fn self_distances(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use comsig_core::distance::Jaccard;
+    use comsig_core::distance::{all_distances, Jaccard};
     use comsig_core::Signature;
 
     fn n(i: usize) -> NodeId {
@@ -106,12 +154,54 @@ mod tests {
     }
 
     #[test]
+    fn rank_all_is_bit_identical_to_reference() {
+        let q = set(vec![(0, vec![10, 11]), (1, vec![40]), (2, vec![11, 12])]);
+        let c = set(vec![
+            (0, vec![10, 11]),
+            (1, vec![20]),
+            (2, vec![11, 30]),
+            (3, vec![12]),
+        ]);
+        for dist in all_distances() {
+            let fast = rank_all(dist.as_ref(), &q, &c);
+            let brute = rank_all_reference(dist.as_ref(), &q, &c);
+            assert_eq!(fast.len(), brute.len());
+            for ((v1, r1), (v2, r2)) in fast.iter().zip(&brute) {
+                assert_eq!(v1, v2);
+                assert_eq!(r1.entries().len(), r2.entries().len());
+                for (e1, e2) in r1.entries().iter().zip(r2.entries()) {
+                    assert_eq!(e1.0, e2.0, "{}", dist.name());
+                    assert_eq!(e1.1.to_bits(), e2.1.to_bits(), "{}", dist.name());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pairwise_counts_unordered_pairs() {
         let s = set(vec![(0, vec![1]), (1, vec![1]), (2, vec![2])]);
         let d = pairwise_distances(&Jaccard, &s);
         assert_eq!(d.len(), 3); // C(3,2)
         let zeros = d.iter().filter(|&&x| x.abs() < 1e-12).count();
         assert_eq!(zeros, 1); // only the (0,1) pair matches
+    }
+
+    #[test]
+    fn pairwise_is_bit_identical_to_reference() {
+        let s = set(vec![
+            (0, vec![1, 2]),
+            (1, vec![1]),
+            (2, vec![2, 3]),
+            (3, vec![9]),
+        ]);
+        for dist in all_distances() {
+            let fast = pairwise_distances(dist.as_ref(), &s);
+            let brute = pairwise_distances_reference(dist.as_ref(), &s);
+            assert_eq!(fast.len(), brute.len());
+            for (a, b) in fast.iter().zip(&brute) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", dist.name());
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use comsig_core::contract;
-use comsig_core::distance::SignatureDistance;
+use comsig_core::distance::{BatchDistance, SignatureDistance};
 use comsig_core::engine::BatchOutcome;
 use comsig_core::SignatureSet;
 
@@ -51,8 +51,9 @@ pub fn persistence_values(
 }
 
 /// Uniqueness values `Dist(σ_t(v), σ_t(u))` over all unordered subject
-/// pairs within one window set.
-pub fn uniqueness_values(dist: &dyn SignatureDistance, set_t: &SignatureSet) -> Vec<f64> {
+/// pairs within one window set, via the inverted-index matcher
+/// (bit-identical to the brute-force reference).
+pub fn uniqueness_values(dist: &dyn BatchDistance, set_t: &SignatureSet) -> Vec<f64> {
     pairwise_distances(dist, set_t)
 }
 
@@ -75,10 +76,7 @@ pub fn persistence_values_outcome(
 /// Uniqueness values over the healthy subjects of one fault-isolating
 /// batch run, with the same contract re-verification as
 /// [`persistence_values_outcome`].
-pub fn uniqueness_values_outcome(
-    dist: &dyn SignatureDistance,
-    outcome_t: &BatchOutcome,
-) -> Vec<f64> {
+pub fn uniqueness_values_outcome(dist: &dyn BatchDistance, outcome_t: &BatchOutcome) -> Vec<f64> {
     contract::check_degraded_excluded(outcome_t.set(), outcome_t.degraded());
     uniqueness_values(dist, outcome_t.set())
 }
@@ -86,7 +84,7 @@ pub fn uniqueness_values_outcome(
 /// Computes the Figure-1 ellipse for one `(scheme, distance)` cell.
 pub fn ellipse(
     scheme_name: &str,
-    dist: &dyn SignatureDistance,
+    dist: &dyn BatchDistance,
     set_t: &SignatureSet,
     set_t1: &SignatureSet,
 ) -> Ellipse {

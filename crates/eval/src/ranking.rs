@@ -5,10 +5,18 @@
 //! Dist-value to `v` was ranked higher" (Section IV-C). Rankings are the
 //! input to every ROC evaluation and to the masquerading detector's
 //! top-`ℓ` rule.
+//!
+//! [`Ranking::rank`] routes through the inverted-index matcher
+//! ([`PostingsIndex`]); [`Ranking::rank_reference`] keeps the original
+//! brute-force evaluation as the oracle the index is proven bit-identical
+//! to (equivalence proptests in `tests/index_equiv.rs`, plus the
+//! per-distance contract check in debug / `contracts` builds).
 
-use comsig_core::distance::SignatureDistance;
+use comsig_core::distance::{BatchDistance, SignatureDistance};
 use comsig_core::{Signature, SignatureSet};
 use comsig_graph::NodeId;
+
+use crate::index::PostingsIndex;
 
 /// A candidate list ranked by ascending distance to one query signature.
 ///
@@ -19,8 +27,21 @@ pub struct Ranking {
 }
 
 impl Ranking {
-    /// Ranks every candidate in `candidates` by distance to `query`.
-    pub fn rank(
+    /// Ranks every candidate in `candidates` by distance to `query`,
+    /// via a one-shot [`PostingsIndex`]. Bit-identical to
+    /// [`rank_reference`](Ranking::rank_reference); when ranking many
+    /// queries against the same candidates, build the index once and use
+    /// [`PostingsIndex::rank_with`] instead (as `matcher::rank_all` does).
+    #[must_use]
+    pub fn rank(dist: &dyn BatchDistance, query: &Signature, candidates: &SignatureSet) -> Ranking {
+        PostingsIndex::build(candidates).rank(dist, query)
+    }
+
+    /// Brute-force reference ranking: one `O(k)` merge-join per
+    /// candidate, then a full sort. The oracle for the index-equivalence
+    /// proptests and the contract layer; `O(|C|·k + |C| log |C|)`.
+    #[must_use]
+    pub fn rank_reference(
         dist: &dyn SignatureDistance,
         query: &Signature,
         candidates: &SignatureSet,
@@ -29,40 +50,74 @@ impl Ranking {
             .iter()
             .map(|(u, sig)| (u, dist.distance(query, sig)))
             .collect();
-        entries.sort_unstable_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("distances are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        entries.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        Ranking { entries }
+    }
+
+    /// Brute-force partial-selection ranking: only the best `l` entries,
+    /// found with `select_nth_unstable_by` plus a sort of the `l`-prefix —
+    /// `O(|C|·k + |C| + l log l)` instead of the full `|C| log |C|` sort.
+    /// Equal to the `l`-prefix of [`rank_reference`](Ranking::rank_reference).
+    #[must_use]
+    pub fn rank_top_l(
+        dist: &dyn SignatureDistance,
+        query: &Signature,
+        candidates: &SignatureSet,
+        l: usize,
+    ) -> Ranking {
+        let mut entries: Vec<(NodeId, f64)> = candidates
+            .iter()
+            .map(|(u, sig)| (u, dist.distance(query, sig)))
+            .collect();
+        let l = l.min(entries.len());
+        let by_rank =
+            |a: &(NodeId, f64), b: &(NodeId, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
+        if l > 0 && l < entries.len() {
+            entries.select_nth_unstable_by(l - 1, by_rank);
+        }
+        entries.truncate(l);
+        entries.sort_unstable_by(by_rank);
+        Ranking { entries }
+    }
+
+    /// Wraps entries already sorted by `(distance, id)` — the indexed
+    /// matcher's construction path.
+    pub(crate) fn from_sorted(entries: Vec<(NodeId, f64)>) -> Ranking {
         Ranking { entries }
     }
 
     /// `(candidate, distance)` pairs, best (smallest distance) first.
+    #[must_use]
     pub fn entries(&self) -> &[(NodeId, f64)] {
         &self.entries
     }
 
     /// Number of ranked candidates.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Whether the ranking is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// 0-based position of `u` in the ranking, if present.
+    #[must_use]
     pub fn position_of(&self, u: NodeId) -> Option<usize> {
         self.entries.iter().position(|&(c, _)| c == u)
     }
 
     /// The distance recorded for candidate `u`, if present.
+    #[must_use]
     pub fn distance_of(&self, u: NodeId) -> Option<f64> {
         self.entries.iter().find(|&&(c, _)| c == u).map(|&(_, d)| d)
     }
 
     /// The best `l` candidates (the masquerading detector's "top-ℓ").
+    #[must_use]
     pub fn top(&self, l: usize) -> &[(NodeId, f64)] {
         &self.entries[..l.min(self.entries.len())]
     }
@@ -112,6 +167,27 @@ mod tests {
         let r = Ranking::rank(&Jaccard, &query, &candidate_set());
         let order: Vec<_> = r.entries().iter().map(|&(u, _)| u).collect();
         assert_eq!(order, vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn rank_agrees_with_reference() {
+        let c = candidate_set();
+        for query in [sig(&[10, 11]), sig(&[30]), Signature::empty()] {
+            let fast = Ranking::rank(&Jaccard, &query, &c);
+            let brute = Ranking::rank_reference(&Jaccard, &query, &c);
+            assert_eq!(fast.entries(), brute.entries());
+        }
+    }
+
+    #[test]
+    fn rank_top_l_is_reference_prefix() {
+        let c = candidate_set();
+        let query = sig(&[10, 12]);
+        let full = Ranking::rank_reference(&Jaccard, &query, &c);
+        for l in 0..=4 {
+            let top = Ranking::rank_top_l(&Jaccard, &query, &c, l);
+            assert_eq!(top.entries(), &full.entries()[..l.min(full.len())]);
+        }
     }
 
     #[test]

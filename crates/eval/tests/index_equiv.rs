@@ -1,0 +1,203 @@
+//! Equivalence properties for the inverted-index matching engine.
+//!
+//! The index path must be **bit-identical** — not merely close — to the
+//! brute-force reference for every implemented distance: same candidate
+//! order, same `f64::to_bits` on every score. Both paths run the same
+//! `BatchDistance::accumulate`/`finish` arithmetic over the shared
+//! members in ascending node-id order, so this is checked with exact
+//! equality on random populations that include empty signatures, heavy
+//! member overlap, singleton sets, and degraded-subject
+//! (`BatchOutcome`) windows.
+
+use comsig_core::distance::all_distances;
+use comsig_core::engine::{BatchOutcome, DegradeReason};
+use comsig_core::{Signature, SignatureSet};
+use comsig_eval::index::{MatchWorkspace, PostingsIndex};
+use comsig_eval::matcher::{
+    pairwise_distances, pairwise_distances_reference, rank_all, rank_all_reference,
+};
+use comsig_eval::property_eval::{uniqueness_values, uniqueness_values_outcome};
+use comsig_eval::ranking::Ranking;
+use comsig_graph::NodeId;
+use proptest::prelude::*;
+
+/// Raw population material: per subject, an id and a member list. Member
+/// lists may be empty (empty signatures) and may collide with the
+/// subject id (dropped by the signature constructor).
+type RawPop = Vec<(u32, Vec<(u32, f64)>)>;
+
+fn arb_population(subjects: usize, members: usize) -> impl Strategy<Value = SignatureSet> {
+    collection::vec(
+        (
+            0u32..96,
+            collection::vec((0u32..48, 0.1f64..5.0), 0..members),
+        ),
+        1..subjects,
+    )
+    .prop_map(build_set)
+}
+
+fn build_set(raw: RawPop) -> SignatureSet {
+    let mut subjects = Vec::new();
+    let mut sigs = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (v, pairs) in raw {
+        if !seen.insert(v) {
+            continue; // SignatureSet rejects duplicate subjects
+        }
+        let subject = NodeId::new(v as usize);
+        subjects.push(subject);
+        sigs.push(if pairs.is_empty() {
+            Signature::empty()
+        } else {
+            let k = pairs.len();
+            Signature::top_k(
+                subject,
+                pairs.into_iter().map(|(u, w)| (NodeId::new(u as usize), w)),
+                k,
+            )
+        });
+    }
+    SignatureSet::new(subjects, sigs)
+}
+
+fn assert_rankings_bit_equal(name: &str, got: &Ranking, want: &Ranking) {
+    assert_eq!(got.len(), want.len(), "{name}: ranking lengths differ");
+    for (g, w) in got.entries().iter().zip(want.entries()) {
+        assert_eq!(g.0, w.0, "{name}: candidate order differs");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{name}: distance bits differ for {} ({} vs {})",
+            g.0,
+            g.1,
+            w.1
+        );
+    }
+}
+
+proptest! {
+    /// `rank_all` (indexed, shared workspace per worker) is bit-identical
+    /// to `rank_all_reference` (brute force) for every distance, on
+    /// random query/candidate populations with empty signatures.
+    #[test]
+    fn rank_all_bit_equals_reference(q in arb_population(12, 8), c in arb_population(20, 8)) {
+        for dist in all_distances() {
+            let fast = rank_all(dist.as_ref(), &q, &c);
+            let brute = rank_all_reference(dist.as_ref(), &q, &c);
+            prop_assert_eq!(fast.len(), brute.len());
+            for ((v1, r1), (v2, r2)) in fast.iter().zip(&brute) {
+                prop_assert_eq!(v1, v2);
+                assert_rankings_bit_equal(dist.name(), r1, r2);
+            }
+        }
+    }
+
+    /// `pairwise_distances` (indexed rows) is bit-identical to the
+    /// per-pair reference, in the same upper-triangle order.
+    #[test]
+    fn pairwise_bit_equals_reference(s in arb_population(20, 8)) {
+        for dist in all_distances() {
+            let fast = pairwise_distances(dist.as_ref(), &s);
+            let brute = pairwise_distances_reference(dist.as_ref(), &s);
+            prop_assert_eq!(fast.len(), brute.len());
+            for (a, b) in fast.iter().zip(&brute) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}: {} vs {}", dist.name(), a, b);
+            }
+        }
+    }
+
+    /// The uniqueness aggregate consumes the indexed path and must match
+    /// the reference sample exactly, including over the healthy subjects
+    /// of a degraded (`BatchOutcome`) window.
+    #[test]
+    fn uniqueness_bit_equals_reference(s in arb_population(16, 6), cut in 0usize..4) {
+        for dist in all_distances() {
+            let fast = uniqueness_values(dist.as_ref(), &s);
+            let brute = pairwise_distances_reference(dist.as_ref(), &s);
+            prop_assert_eq!(fast.len(), brute.len());
+            for (a, b) in fast.iter().zip(&brute) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", dist.name());
+            }
+        }
+        // Degrade the last `cut` subjects: drop them from the healthy set
+        // and report them as degraded instead.
+        let keep = s.len().saturating_sub(cut).max(1);
+        let healthy = SignatureSet::new(
+            s.subjects()[..keep].to_vec(),
+            s.iter().take(keep).map(|(_, sig)| sig.clone()).collect(),
+        );
+        let degraded: Vec<(NodeId, DegradeReason)> = s.subjects()[keep..]
+            .iter()
+            .map(|&v| (v, DegradeReason::MassOverflow { mass: 2.0 }))
+            .collect();
+        let outcome = BatchOutcome::new(healthy.clone(), degraded);
+        for dist in all_distances() {
+            let fast = uniqueness_values_outcome(dist.as_ref(), &outcome);
+            let brute = pairwise_distances_reference(dist.as_ref(), &healthy);
+            prop_assert_eq!(fast.len(), brute.len());
+            for (a, b) in fast.iter().zip(&brute) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", dist.name());
+            }
+        }
+    }
+
+    /// One-shot `Ranking::rank` (indexed) and the `rank_top_l` partial
+    /// selection both reproduce the reference ranking prefix bit-for-bit.
+    #[test]
+    fn ranking_apis_bit_equal_reference(c in arb_population(20, 8), q in arb_population(4, 8), l in 0usize..12) {
+        let (_, query) = q.iter().next().expect("at least one query");
+        for dist in all_distances() {
+            let brute = Ranking::rank_reference(dist.as_ref(), query, &c);
+            let fast = Ranking::rank(dist.as_ref(), query, &c);
+            assert_rankings_bit_equal(dist.name(), &fast, &brute);
+            let top = Ranking::rank_top_l(dist.as_ref(), query, &c, l);
+            prop_assert_eq!(top.entries(), &brute.entries()[..l.min(brute.len())]);
+        }
+    }
+
+    /// The index's own top-ℓ sweep (the masquerade detector's path,
+    /// workspace reused across queries) is the full ranking's prefix.
+    #[test]
+    fn index_top_l_is_rank_prefix(c in arb_population(20, 8), q in arb_population(6, 8), l in 0usize..12) {
+        let index = PostingsIndex::build(&c);
+        let mut ws = MatchWorkspace::new();
+        for dist in all_distances() {
+            for (_, query) in q.iter() {
+                let full = index.rank_with(dist.as_ref(), query, &mut ws);
+                let brute = Ranking::rank_reference(dist.as_ref(), query, &c);
+                assert_rankings_bit_equal(dist.name(), &full, &brute);
+                let top = index.rank_top_l_with(dist.as_ref(), query, l, &mut ws);
+                prop_assert_eq!(top.entries(), &full.entries()[..l.min(full.len())]);
+            }
+        }
+    }
+
+    /// All-empty populations: the index must reproduce the empty-rule
+    /// conventions (0 between empties, 1 against non-empties) exactly.
+    #[test]
+    fn all_empty_population(n in 1usize..8, m in 0usize..3) {
+        let subjects: Vec<NodeId> = (0..n + m).map(NodeId::new).collect();
+        let sigs: Vec<Signature> = (0..n + m)
+            .map(|i| {
+                if i < n {
+                    Signature::empty()
+                } else {
+                    Signature::top_k(NodeId::new(999), [(NodeId::new(500 + i), 1.0)], 1)
+                }
+            })
+            .collect();
+        let s = SignatureSet::new(subjects, sigs);
+        for dist in all_distances() {
+            let fast = pairwise_distances(dist.as_ref(), &s);
+            let brute = pairwise_distances_reference(dist.as_ref(), &s);
+            for (a, b) in fast.iter().zip(&brute) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", dist.name());
+            }
+            let empty_query = Signature::empty();
+            let fast = Ranking::rank(dist.as_ref(), &empty_query, &s);
+            let brute = Ranking::rank_reference(dist.as_ref(), &empty_query, &s);
+            assert_rankings_bit_equal(dist.name(), &fast, &brute);
+        }
+    }
+}

@@ -70,8 +70,9 @@ fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
 }
 
 /// Every first-party `.rs` file: `src/` of the facade crate plus
-/// `crates/*/src/` recursively. `vendor/`, `tests/`, `benches/` and
-/// `target/` are outside the scanned roots by construction.
+/// `crates/*/src/` and `crates/*/benches/` recursively (benches are
+/// measurement code on the same hot paths they measure). `vendor/`,
+/// `tests/` and `target/` are outside the scanned roots by construction.
 fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let facade = root.join("src");
@@ -81,9 +82,12 @@ fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let crates = root.join("crates");
     if crates.is_dir() {
         for entry in std::fs::read_dir(&crates)? {
-            let src = entry?.path().join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut out)?;
+            let krate = entry?.path();
+            for sub in ["src", "benches"] {
+                let dir = krate.join(sub);
+                if dir.is_dir() {
+                    collect_rs(&dir, &mut out)?;
+                }
             }
         }
     }

@@ -47,12 +47,16 @@ pub fn render(diags: &[Diagnostic]) -> String {
 }
 
 /// Modules where `std::collections::HashMap` (default SipHash hasher) is
-/// banned in favour of `rustc_hash::FxHashMap`: the graph substrate and
-/// the signature engines are on the per-edge / per-subject hot path.
+/// banned in favour of `rustc_hash::FxHashMap`: the graph substrate, the
+/// signature engines, the inverted-index matcher and the benches that
+/// measure it are on the per-edge / per-subject / per-posting hot path.
 const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/core/src/",
     "crates/graph/src/",
     "crates/sketch/src/",
+    "crates/eval/src/index.rs",
+    "crates/eval/src/matcher.rs",
+    "crates/bench/benches/matcher.rs",
 ];
 
 /// Files whose pure `pub fn … -> T` constructors and accessors must carry
@@ -418,7 +422,11 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(rules("crates/core/src/engine.rs", src).len(), 1);
         assert_eq!(rules("crates/graph/src/graph.rs", src).len(), 1);
+        assert_eq!(rules("crates/eval/src/index.rs", src).len(), 1);
+        assert_eq!(rules("crates/eval/src/matcher.rs", src).len(), 1);
+        assert_eq!(rules("crates/bench/benches/matcher.rs", src).len(), 1);
         assert!(rules("crates/apps/src/masquerade.rs", src).is_empty());
+        assert!(rules("crates/eval/src/roc.rs", src).is_empty());
         // FxHashMap and non-HashMap std::collections imports are fine.
         assert!(rules("crates/core/src/x.rs", "use rustc_hash::FxHashMap;\n").is_empty());
         assert!(rules("crates/core/src/x.rs", "use std::collections::VecDeque;\n").is_empty());
