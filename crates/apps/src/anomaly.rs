@@ -12,6 +12,7 @@ use rayon::prelude::*;
 
 use comsig_core::distance::SignatureDistance;
 use comsig_core::scheme::SignatureScheme;
+use comsig_core::SignatureSet;
 use comsig_graph::{CommGraph, NodeId};
 
 /// An anomaly score for one label: larger = more anomalous.
@@ -41,6 +42,36 @@ pub fn anomaly_scores(
             AnomalyScore {
                 node: v,
                 score: dist.distance(&a, &b),
+            }
+        })
+        .collect();
+    scores.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .expect("scores are finite")
+            .then(x.node.cmp(&y.node))
+    });
+    scores
+}
+
+/// Scores anomalies from two precomputed signature sets over the same
+/// subject population — the shape the streaming pipeline provides
+/// ([`stream::StreamingAnomaly`](crate::stream::StreamingAnomaly)), where
+/// consecutive windows' signatures are already maintained incrementally.
+/// The ordering rule (descending score, ties by ascending id) matches
+/// [`anomaly_scores`].
+pub fn anomaly_scores_from_sets(
+    dist: &dyn SignatureDistance,
+    sigs_t: &SignatureSet,
+    sigs_t1: &SignatureSet,
+) -> Vec<AnomalyScore> {
+    let mut scores: Vec<AnomalyScore> = sigs_t
+        .iter()
+        .map(|(v, a)| {
+            let b = sigs_t1.get(v).expect("subject in both windows");
+            AnomalyScore {
+                node: v,
+                score: dist.distance(a, b),
             }
         })
         .collect();

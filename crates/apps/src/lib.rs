@@ -19,6 +19,10 @@
 //!   robustness** → RWR-family schemes score best. (Described in
 //!   Section II-D; the paper gives no figure, we evaluate it against
 //!   injected ground truth.)
+//! * [`stream`] — online variants of the masquerade and anomaly
+//!   detectors, driven window-over-window by the incremental
+//!   `SignaturePipeline` instead of batch recomputation — with
+//!   bit-identical outputs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,3 +32,4 @@ pub mod anomaly;
 pub mod masquerade;
 pub mod measure;
 pub mod multiusage;
+pub mod stream;

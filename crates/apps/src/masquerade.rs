@@ -15,6 +15,7 @@ use rustc_hash::FxHashMap;
 
 use comsig_core::distance::BatchDistance;
 use comsig_core::scheme::SignatureScheme;
+use comsig_core::SignatureSet;
 use comsig_eval::index::{MatchWorkspace, PostingsIndex};
 use comsig_graph::{CommGraph, GraphBuilder, NodeId};
 
@@ -144,6 +145,24 @@ pub fn detect_label_masquerading(
 ) -> Detection {
     let sigs_t = scheme.signature_set(g_t, subjects, cfg.k);
     let sigs_t1 = scheme.signature_set(g_t1, subjects, cfg.k);
+    let index = PostingsIndex::build(&sigs_t1);
+    run_algorithm1(dist, &sigs_t, &index, cfg)
+}
+
+/// The signature-level core of Algorithm 1, shared by the batch detector
+/// above and the streaming detector
+/// ([`stream::StreamingMasquerade`](crate::stream::StreamingMasquerade)):
+/// takes the window-`t` signatures and an inverted index over the
+/// window-`t+1` signatures of the same subjects. Given bit-identical
+/// signature sets, both callers produce identical [`Detection`]s.
+pub fn run_algorithm1(
+    dist: &dyn BatchDistance,
+    sigs_t: &SignatureSet,
+    index_t1: &PostingsIndex<'_>,
+    cfg: &DetectorConfig,
+) -> Detection {
+    let subjects = sigs_t.subjects();
+    let sigs_t1 = index_t1.candidates();
 
     // Self-similarities A[v, v].
     let self_sim: FxHashMap<NodeId, f64> = subjects
@@ -164,7 +183,6 @@ pub fn detect_label_masquerading(
     // the window-t+1 signatures, each suspect costs one top-ℓ posting
     // sweep (ascending distance == descending similarity, ties by id)
     // instead of a full |V| scan and sort.
-    let index = PostingsIndex::build(&sigs_t1);
     let mut ws = MatchWorkspace::new();
     let mut non_suspects = Vec::new();
     let mut detected = Vec::new();
@@ -175,7 +193,7 @@ pub fn detect_label_masquerading(
         }
         // v looks unlike itself: find who v's old behaviour moved to.
         let q = sigs_t.get(v).expect("subject in t");
-        let top = index.rank_top_l_with(dist, q, cfg.top_l, &mut ws);
+        let top = index_t1.rank_top_l_with(dist, q, cfg.top_l, &mut ws);
         let hit = top
             .entries()
             .iter()

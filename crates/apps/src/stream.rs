@@ -1,0 +1,327 @@
+//! Online window-over-window detectors on the streaming pipeline.
+//!
+//! The batch detectors ([`masquerade`](crate::masquerade),
+//! [`anomaly`](crate::anomaly)) recompute every signature and rebuild
+//! the matching index for each pair of windows. The streaming variants
+//! here instead own a `SignaturePipeline` per window role and patch only
+//! the dirty subjects per [`WindowDelta`] — the signatures, the inverted
+//! index, and therefore the detector outputs are **bit-identical** to
+//! running the batch detector on cold rebuilds of the same windows
+//! (asserted by the tests below and, per advance, by the
+//! `check_pipeline_equiv` contract).
+
+use comsig_core::distance::{BatchDistance, SignatureDistance};
+use comsig_core::pipeline::{AdvanceReport, DeltaScheme, SignaturePipeline};
+use comsig_core::SignatureSet;
+use comsig_eval::index::PostingsIndex;
+use comsig_graph::{CommGraph, NodeId, WindowDelta};
+
+use crate::anomaly::{anomaly_scores_from_sets, AnomalyScore};
+use crate::masquerade::{run_algorithm1, Detection, DetectorConfig};
+
+/// Streaming label-masquerading detector (Algorithm 1, online).
+///
+/// Maintains the current window's signatures through a
+/// [`SignaturePipeline`] and an owned [`PostingsIndex`] over them,
+/// patched per advance via [`PostingsIndex::update`]. Each
+/// [`advance`](Self::advance) compares the previous window's signatures
+/// against the new window's, exactly as the batch detector would with
+/// `(G_t, G_{t+1})`.
+#[derive(Debug)]
+pub struct StreamingMasquerade<'a, S: DeltaScheme + ?Sized> {
+    pipeline: SignaturePipeline<'a, S>,
+    index: PostingsIndex<'static>,
+    cfg: DetectorConfig,
+}
+
+impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
+    /// Seeds the detector on an initial window graph (often
+    /// [`CommGraph::empty`]) and the fixed subject population.
+    #[must_use]
+    pub fn new(scheme: &'a S, graph: CommGraph, subjects: &[NodeId], cfg: DetectorConfig) -> Self {
+        let pipeline = SignaturePipeline::new(scheme, graph, subjects, cfg.k);
+        let index = PostingsIndex::build_owned(pipeline.signatures().clone());
+        StreamingMasquerade {
+            pipeline,
+            index,
+            cfg,
+        }
+    }
+
+    /// The detector configuration.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// The current window's graph.
+    #[must_use]
+    pub fn graph(&self) -> &CommGraph {
+        self.pipeline.graph()
+    }
+
+    /// Consumes the next window's delta and runs Algorithm 1 between the
+    /// previous and the new window. Returns the detection plus the
+    /// pipeline's advance report.
+    pub fn advance(&mut self, dist: &dyn BatchDistance, delta: &WindowDelta) -> StreamDetection {
+        let prev = self.pipeline.signatures().clone();
+        let report = self.pipeline.advance(delta);
+        let new_sigs = self.pipeline.signatures();
+        self.index.update(report.dirty.iter().map(|&v| {
+            let sig = new_sigs.get(v).expect("dirty subject is maintained");
+            (v, sig.clone())
+        }));
+        let detection = run_algorithm1(dist, &prev, &self.index, &self.cfg);
+        StreamDetection { detection, report }
+    }
+}
+
+/// One streaming masquerade step: the Algorithm-1 output for the window
+/// pair plus what the pipeline did to produce it.
+#[derive(Debug, Clone)]
+pub struct StreamDetection {
+    /// Algorithm 1's verdict for (previous window, new window).
+    pub detection: Detection,
+    /// The pipeline advance that produced the new window.
+    pub report: AdvanceReport,
+}
+
+/// Streaming anomaly detector: scores every subject's signature change
+/// across consecutive windows, with signatures maintained incrementally.
+#[derive(Debug)]
+pub struct StreamingAnomaly<'a, S: DeltaScheme + ?Sized> {
+    pipeline: SignaturePipeline<'a, S>,
+}
+
+impl<'a, S: DeltaScheme + ?Sized> StreamingAnomaly<'a, S> {
+    /// Seeds the detector on an initial window graph and the fixed
+    /// subject population, with signature length `k`.
+    #[must_use]
+    pub fn new(scheme: &'a S, graph: CommGraph, subjects: &[NodeId], k: usize) -> Self {
+        StreamingAnomaly {
+            pipeline: SignaturePipeline::new(scheme, graph, subjects, k),
+        }
+    }
+
+    /// The current window's signatures.
+    #[must_use]
+    pub fn signatures(&self) -> &SignatureSet {
+        self.pipeline.signatures()
+    }
+
+    /// Consumes the next window's delta and returns the per-subject
+    /// anomaly scores between the previous and the new window (sorted
+    /// most-anomalous first), plus the pipeline's advance report.
+    pub fn advance(
+        &mut self,
+        dist: &dyn SignatureDistance,
+        delta: &WindowDelta,
+    ) -> (Vec<AnomalyScore>, AdvanceReport) {
+        let prev = self.pipeline.signatures().clone();
+        let report = self.pipeline.advance(delta);
+        let scores = anomaly_scores_from_sets(dist, &prev, self.pipeline.signatures());
+        (scores, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::SHel;
+    use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers};
+    use comsig_eval::index::PostingsIndex;
+    use comsig_graph::{EdgeEvent, GraphBuilder, SlidingWindower};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ev(time: u64, src: usize, dst: usize, w: f64) -> EdgeEvent {
+        EdgeEvent {
+            time,
+            src: n(src),
+            dst: n(dst),
+            weight: w,
+        }
+    }
+
+    const NUM_NODES: usize = 12;
+
+    /// Four windows: hosts 0-3 stable, host 4 churns, window 2 swaps the
+    /// behaviour of hosts 0 and 1 (a masquerade-shaped move).
+    fn stream() -> Vec<EdgeEvent> {
+        let mut events = Vec::new();
+        for w in 0..4u64 {
+            let t = w * 10;
+            if w == 2 {
+                // Hosts 0 and 1 swap destination sets.
+                events.push(ev(t, 0, 8, 3.0));
+                events.push(ev(t + 1, 0, 9, 1.0));
+                events.push(ev(t + 2, 1, 6, 3.0));
+                events.push(ev(t + 3, 1, 7, 1.0));
+            } else {
+                events.push(ev(t, 0, 6, 3.0));
+                events.push(ev(t + 1, 0, 7, 1.0));
+                events.push(ev(t + 2, 1, 8, 3.0));
+                events.push(ev(t + 3, 1, 9, 1.0));
+            }
+            events.push(ev(t + 4, 2, 10, 2.0));
+            events.push(ev(t + 5, 3, 11, 2.0));
+            events.push(ev(t + 6, 4, (w as usize % 3) + 6, 1.0));
+        }
+        events
+    }
+
+    fn cold_window(events: &[EdgeEvent], s: u64, e: u64) -> CommGraph {
+        let mut b = GraphBuilder::new();
+        for event in events {
+            if event.time >= s && event.time < e {
+                b.add_event(event.src, event.dst, event.weight);
+            }
+        }
+        b.build(NUM_NODES)
+    }
+
+    /// The streaming masquerade detector must equal the batch detector
+    /// run cold on every consecutive window pair — including `delta`,
+    /// suspect sets and detected pairs.
+    #[test]
+    fn streaming_masquerade_equals_batch() {
+        let scheme = TopTalkers;
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..6).map(n).collect();
+        let cfg = DetectorConfig {
+            k: 4,
+            ..DetectorConfig::default()
+        };
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det =
+            StreamingMasquerade::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, cfg);
+        let mut prev_graph = CommGraph::empty(NUM_NODES);
+        for _ in 0..4 {
+            let delta = w.advance();
+            let got = det.advance(&SHel, &delta);
+            let cur_graph = cold_window(&events, delta.start, delta.end);
+            let want = crate::masquerade::detect_label_masquerading(
+                &scheme,
+                &SHel,
+                &prev_graph,
+                &cur_graph,
+                &subjects,
+                &cfg,
+            );
+            assert_eq!(got.detection.delta.to_bits(), want.delta.to_bits());
+            assert_eq!(got.detection.non_suspects, want.non_suspects);
+            assert_eq!(got.detection.detected, want.detected);
+            prev_graph = cur_graph;
+        }
+    }
+
+    /// The swap window must be flagged as a mutual masquerade.
+    #[test]
+    fn streaming_masquerade_flags_swap_window() {
+        let scheme = TopTalkers;
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..6).map(n).collect();
+        let cfg = DetectorConfig {
+            k: 4,
+            ..DetectorConfig::default()
+        };
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det =
+            StreamingMasquerade::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, cfg);
+        let mut swap_detected = false;
+        for _ in 0..3 {
+            let delta = w.advance();
+            let got = det.advance(&SHel, &delta);
+            let pairs: std::collections::HashSet<_> =
+                got.detection.detected.iter().copied().collect();
+            if pairs.contains(&(n(0), n(1))) && pairs.contains(&(n(1), n(0))) {
+                swap_detected = true;
+            }
+        }
+        assert!(swap_detected, "the window-2 swap must be detected");
+    }
+
+    /// The streamed index must stay bit-identical to one rebuilt from
+    /// the pipeline's signatures after several advances.
+    #[test]
+    fn streaming_index_matches_rebuild() {
+        let scheme = Rwr::truncated(0.15, 2);
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..NUM_NODES).map(n).collect();
+        let cfg = DetectorConfig {
+            k: 4,
+            ..DetectorConfig::default()
+        };
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det =
+            StreamingMasquerade::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, cfg);
+        for _ in 0..4 {
+            let delta = w.advance();
+            let _ = det.advance(&SHel, &delta);
+        }
+        let rebuilt = PostingsIndex::build(det.index.candidates());
+        assert_eq!(det.index.posting_mass(), rebuilt.posting_mass());
+    }
+
+    /// Streaming anomaly scores must equal scores computed from cold
+    /// signature sets of the same window pair.
+    #[test]
+    fn streaming_anomaly_equals_cold_sets() {
+        let scheme = Rwr::truncated(0.15, 3);
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..6).map(n).collect();
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det = StreamingAnomaly::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, 4);
+        let mut prev_graph = CommGraph::empty(NUM_NODES);
+        for _ in 0..4 {
+            let delta = w.advance();
+            let (scores, _) = det.advance(&SHel, &delta);
+            let cur_graph = cold_window(&events, delta.start, delta.end);
+            let want = anomaly_scores_from_sets(
+                &SHel,
+                &scheme.signature_set(&prev_graph, &subjects, 4),
+                &scheme.signature_set(&cur_graph, &subjects, 4),
+            );
+            assert_eq!(scores.len(), want.len());
+            for (a, b) in scores.iter().zip(&want) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+            prev_graph = cur_graph;
+        }
+    }
+
+    /// The swap window's anomaly scores must rank the swapped hosts at
+    /// the top.
+    #[test]
+    fn streaming_anomaly_ranks_swap_hosts_first() {
+        let scheme = TopTalkers;
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..6).map(n).collect();
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det = StreamingAnomaly::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, 4);
+        let _ = det.advance(&SHel, &w.advance());
+        let _ = det.advance(&SHel, &w.advance());
+        // Window 1 -> 2 is the swap.
+        let (scores, _) = det.advance(&SHel, &w.advance());
+        let top2: std::collections::HashSet<_> = scores[..2].iter().map(|s| s.node).collect();
+        assert!(top2.contains(&n(0)) && top2.contains(&n(1)), "{scores:?}");
+    }
+}

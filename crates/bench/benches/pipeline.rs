@@ -1,0 +1,82 @@
+//! Criterion benches: streaming window pipeline — incremental
+//! `SignaturePipeline::advance` against a full per-window rebuild
+//! (`apply_delta` + complete `signature_set`), plus the delta
+//! application and dirty-set components in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use comsig_bench::synth::stream_workload;
+use comsig_core::pipeline::{DeltaScheme, SignaturePipeline};
+use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers};
+
+/// Locals (subjects) of the bench workload.
+const LOCALS: usize = 500;
+/// Externals of the bench workload.
+const EXTERNALS: usize = 2_000;
+/// Out-edges per local.
+const OUT_DEGREE: usize = 5;
+/// Per-window edge churn of the bench workload.
+const CHURN: f64 = 0.05;
+/// Signature length.
+const K: usize = 10;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let wl = stream_workload(LOCALS, EXTERNALS, OUT_DEGREE, CHURN, 1, 7);
+    let delta = &wl.deltas[0];
+    let tt = TopTalkers;
+    let rwr = Rwr::truncated(0.1, 3);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    group.bench_function("apply_delta", |b| {
+        b.iter(|| black_box(wl.graph.apply_delta(black_box(delta))))
+    });
+
+    group.bench_function("dirty_set_rwr3", |b| {
+        let next = wl.graph.apply_delta(delta);
+        b.iter(|| black_box(rwr.dirty_set(&wl.graph, &next, black_box(delta))))
+    });
+
+    // Advance mutates the pipeline, so each iteration forks a pristine
+    // clone (graph + signature set copy; no recomputation) — the clone
+    // cost is part of the measured loop but is small against the
+    // signature work.
+    group.bench_function("advance_tt", |b| {
+        let pipeline = SignaturePipeline::new(&tt, wl.graph.clone(), &wl.subjects, K);
+        b.iter(|| {
+            let mut p = pipeline.clone();
+            black_box(p.advance(delta));
+            p
+        })
+    });
+
+    group.bench_function("rebuild_tt", |b| {
+        b.iter(|| {
+            let next = wl.graph.apply_delta(delta);
+            black_box(tt.signature_set(&next, &wl.subjects, K))
+        })
+    });
+
+    group.bench_function("advance_rwr3", |b| {
+        let pipeline = SignaturePipeline::new(&rwr, wl.graph.clone(), &wl.subjects, K);
+        b.iter(|| {
+            let mut p = pipeline.clone();
+            black_box(p.advance(delta));
+            p
+        })
+    });
+
+    group.bench_function("rebuild_rwr3", |b| {
+        b.iter(|| {
+            let next = wl.graph.apply_delta(delta);
+            black_box(rwr.signature_set(&next, &wl.subjects, K))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -18,9 +18,10 @@ use std::time::Instant;
 use rayon::prelude::*;
 use serde_json::{json, Map, Number, Value};
 
-use comsig_bench::synth::{matching_population, query_subset};
+use comsig_bench::synth::{matching_population, query_subset, stream_workload};
 use comsig_bench::{datasets, Scale};
 use comsig_core::distance::SHel;
+use comsig_core::pipeline::{DeltaScheme, SignaturePipeline};
 use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
 use comsig_core::SignatureSet;
 use comsig_eval::matcher::{rank_all, rank_all_reference};
@@ -124,6 +125,7 @@ fn main() {
     eprintln!("wrote {path}");
 
     matching_snapshot();
+    pipeline_snapshot();
 }
 
 /// Queries per rank_all sweep in the matching snapshot.
@@ -176,4 +178,121 @@ fn matching_snapshot() {
     let body = serde_json::to_string_pretty(&out).expect("snapshot serialises");
     std::fs::write(path, body + "\n").expect("write BENCH_matching.json");
     eprintln!("wrote {path}");
+}
+
+/// Subject (local) count of the streaming-pipeline snapshot.
+const STREAM_LOCALS: usize = 2_000;
+
+/// External-node count of the streaming-pipeline snapshot.
+const STREAM_EXTERNALS: usize = 8_000;
+
+/// Out-edges per local; `STREAM_LOCALS * STREAM_OUT_DEGREE` edges total.
+const STREAM_OUT_DEGREE: usize = 5;
+
+/// Signature length of the streaming-pipeline snapshot.
+const STREAM_K: usize = 10;
+
+fn finite(v: f64) -> Value {
+    Value::Number(Number::from_f64(v).expect("finite"))
+}
+
+/// Times `SignaturePipeline::advance` against a full window rebuild
+/// (`apply_delta` + complete `signature_set` — both paths pay the graph
+/// patch, so the comparison isolates the signature work) over the
+/// bipartite stream workload, and writes `BENCH_pipeline.json`.
+fn pipeline_snapshot() {
+    // The first delta is the warm-up; the remaining SAMPLES are timed.
+    let windows = SAMPLES + 1;
+    let mut churn_map = Map::new();
+    for churn in [0.002f64, 0.01, 0.05, 0.10] {
+        let cases: Vec<(&str, Box<dyn DeltaScheme>)> = vec![
+            ("TT", Box::new(TopTalkers)),
+            ("RWR3", Box::new(Rwr::truncated(0.1, 3))),
+        ];
+        let mut schemes = Map::new();
+        for (name, scheme) in &cases {
+            let wl = stream_workload(
+                STREAM_LOCALS,
+                STREAM_EXTERNALS,
+                STREAM_OUT_DEGREE,
+                churn,
+                windows,
+                42,
+            );
+
+            let mut pipeline =
+                SignaturePipeline::new(scheme.as_ref(), wl.graph.clone(), &wl.subjects, STREAM_K);
+            let mut advance_samples = Vec::with_capacity(SAMPLES);
+            let mut dirty_fraction = 0.0;
+            for (i, delta) in wl.deltas.iter().enumerate() {
+                let t = Instant::now();
+                let report = pipeline.advance(delta);
+                let ns = t.elapsed().as_nanos() as f64;
+                std::hint::black_box(pipeline.signatures());
+                if i > 0 {
+                    advance_samples.push(ns);
+                    dirty_fraction += report.dirty_subjects() as f64 / report.total_subjects as f64;
+                }
+            }
+            let advance_ns = median(advance_samples);
+            let dirty_fraction = dirty_fraction / SAMPLES as f64;
+
+            let mut g = wl.graph.clone();
+            let mut rebuild_samples = Vec::with_capacity(SAMPLES);
+            for (i, delta) in wl.deltas.iter().enumerate() {
+                let t = Instant::now();
+                let next = g.apply_delta(delta);
+                let sigs = scheme.signature_set(&next, &wl.subjects, STREAM_K);
+                let ns = t.elapsed().as_nanos() as f64;
+                std::hint::black_box(&sigs);
+                g = next;
+                if i > 0 {
+                    rebuild_samples.push(ns);
+                }
+            }
+            let rebuild_ns = median(rebuild_samples);
+
+            let speedup = rebuild_ns / advance_ns;
+            eprintln!(
+                "pipeline churn={churn:<5} {name:<5} advance {advance_ns:>12.0} ns, \
+                 rebuild {rebuild_ns:>12.0} ns, {speedup:.1}x (dirty {:.1}%)",
+                dirty_fraction * 100.0
+            );
+            let mut entry = Map::new();
+            entry.insert("advance_median_ns".to_string(), finite(advance_ns.round()));
+            entry.insert("rebuild_median_ns".to_string(), finite(rebuild_ns.round()));
+            entry.insert(
+                "speedup".to_string(),
+                finite((speedup * 100.0).round() / 100.0),
+            );
+            entry.insert(
+                "dirty_fraction".to_string(),
+                finite((dirty_fraction * 10_000.0).round() / 10_000.0),
+            );
+            schemes.insert((*name).to_string(), Value::Object(entry));
+        }
+        churn_map.insert(format!("{churn}"), Value::Object(schemes));
+    }
+    let out = json!({
+        "workload": "stream_bipartite",
+        "locals": STREAM_LOCALS,
+        "externals": STREAM_EXTERNALS,
+        "edges": STREAM_LOCALS * STREAM_OUT_DEGREE,
+        "k": STREAM_K,
+        "samples": SAMPLES,
+        "churn": Value::Object(churn_map),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let body = serde_json::to_string_pretty(&out).expect("snapshot serialises");
+    std::fs::write(path, body + "\n").expect("write BENCH_pipeline.json");
+    eprintln!("wrote {path}");
+}
+
+/// Median of a pre-collected sample vector (the streaming paths advance
+/// real state per sample, so the repeated-closure [`median_ns`] shape
+/// does not fit).
+fn median(mut ns: Vec<f64>) -> f64 {
+    assert!(!ns.is_empty(), "no samples");
+    ns.sort_by(|a, b| a.total_cmp(b));
+    ns[ns.len() / 2]
 }

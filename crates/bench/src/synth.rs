@@ -8,8 +8,10 @@
 //! proportional to the population, 20% drawn from a hot head of 100
 //! nodes — so benchmarks exercise short and hub posting lists at once.
 
+use std::collections::BTreeMap;
+
 use comsig_core::{Signature, SignatureSet};
-use comsig_graph::NodeId;
+use comsig_graph::{CommGraph, EdgeChange, GraphBuilder, NodeId, WindowDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +49,163 @@ pub fn matching_population(n: usize, k: usize, seed: u64) -> SignatureSet {
     SignatureSet::new(subjects, sigs)
 }
 
+/// A streaming-pipeline workload: an initial bipartite locals→externals
+/// communication graph plus a pre-generated sequence of valid
+/// [`WindowDelta`]s at a fixed per-window edge-churn rate.
+///
+/// Every delta in the sequence is valid against the graph produced by
+/// applying its predecessors in order: `old` weights match the evolving
+/// graph bitwise (each aggregated pair is backed by a single event, so
+/// the stored weight is the generated weight exactly), changes are
+/// strictly sorted by `(src, dst)`, and retractions are paired with
+/// insertions at fresh pairs so the edge count stays constant across
+/// windows — each window measures the same graph scale.
+pub struct StreamWorkload {
+    /// The first window's graph.
+    pub graph: CommGraph,
+    /// Every local node, in ascending id order — the subject population.
+    pub subjects: Vec<NodeId>,
+    /// Per-window deltas, applicable in sequence starting from `graph`.
+    pub deltas: Vec<WindowDelta>,
+}
+
+/// Builds a [`StreamWorkload`]: `locals` subject nodes each talking to
+/// `out_degree` distinct externals (of `externals` total), then `windows`
+/// deltas each churning a `churn` fraction of the edges. Churn is
+/// host-localised — whole locals change behaviour (each edge either
+/// re-weighted or re-pointed at a fresh external) while every other
+/// local persists untouched. Deterministic in `seed`.
+///
+/// The bipartite shape mirrors a monitored-perimeter flow log (locals
+/// behind the sensor, externals beyond it) and keeps directed
+/// reverse-reachability balls small, which is the regime the dirty-set
+/// pipeline is designed for.
+#[must_use]
+pub fn stream_workload(
+    locals: usize,
+    externals: usize,
+    out_degree: usize,
+    churn: f64,
+    windows: usize,
+    seed: u64,
+) -> StreamWorkload {
+    assert!(out_degree <= externals, "out-degree exceeds externals");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_nodes = locals + externals;
+    let rand_external = |rng: &mut StdRng| NodeId::new(locals + rng.random_range(0..externals));
+
+    // Live aggregated edges; each pair is backed by exactly one event, so
+    // the tracked weight is bitwise the weight stored in the graph.
+    let mut edges: BTreeMap<(NodeId, NodeId), f64> = BTreeMap::new();
+    for v in 0..locals {
+        let src = NodeId::new(v);
+        let mut added = 0;
+        while added < out_degree {
+            let dst = rand_external(&mut rng);
+            if let std::collections::btree_map::Entry::Vacant(slot) = edges.entry((src, dst)) {
+                slot.insert(rng.random_range(0.5..4.0));
+                added += 1;
+            }
+        }
+    }
+    let mut builder = GraphBuilder::new();
+    for (&(src, dst), &w) in &edges {
+        builder.add_event(src, dst, w);
+    }
+    let graph = builder.build(num_nodes);
+
+    let per_window = ((edges.len() as f64 * churn).round() as usize).max(1);
+    let mut deltas = Vec::with_capacity(windows);
+    for t in 0..windows {
+        // Churn is host-localised: whole locals change behaviour while
+        // the rest persist untouched — the persistence regime the paper
+        // assumes and the one a dirty-set pipeline exploits. Each picked
+        // local has every edge updated or re-pointed (retraction plus a
+        // fresh same-source insertion, keeping |E| constant), and locals
+        // are drawn until the changed-pair budget is met.
+        let mut changes: BTreeMap<(NodeId, NodeId), EdgeChange> = BTreeMap::new();
+        let mut picked = rustc_hash::FxHashSet::default();
+        while changes.len() < per_window {
+            let src = NodeId::new(rng.random_range(0..locals));
+            if !picked.insert(src) {
+                continue;
+            }
+            let row: Vec<(NodeId, f64)> = edges
+                .range((src, NodeId::new(0))..=(src, NodeId::new(num_nodes)))
+                .map(|(&(_, dst), &w)| (dst, w))
+                .collect();
+            for (dst, old) in row {
+                if rng.random_bool(0.5) {
+                    // Weight update; redraw until the bits actually change
+                    // so the change is never a no-op the windower would
+                    // elide.
+                    let mut new: f64 = rng.random_range(0.5..4.0);
+                    while new.to_bits() == old.to_bits() {
+                        new = rng.random_range(0.5..4.0);
+                    }
+                    changes.insert(
+                        (src, dst),
+                        EdgeChange {
+                            src,
+                            dst,
+                            old: Some(old),
+                            new: Some(new),
+                        },
+                    );
+                } else {
+                    changes.insert(
+                        (src, dst),
+                        EdgeChange {
+                            src,
+                            dst,
+                            old: Some(old),
+                            new: None,
+                        },
+                    );
+                    // The local re-points the retracted edge at a fresh
+                    // external, so |E| stays constant.
+                    let pair = loop {
+                        let cand = (src, rand_external(&mut rng));
+                        if !edges.contains_key(&cand) && !changes.contains_key(&cand) {
+                            break cand;
+                        }
+                    };
+                    changes.insert(
+                        pair,
+                        EdgeChange {
+                            src: pair.0,
+                            dst: pair.1,
+                            old: None,
+                            new: Some(rng.random_range(0.5..4.0)),
+                        },
+                    );
+                }
+            }
+        }
+        for c in changes.values() {
+            match c.new {
+                Some(w) => {
+                    edges.insert((c.src, c.dst), w);
+                }
+                None => {
+                    edges.remove(&(c.src, c.dst));
+                }
+            }
+        }
+        deltas.push(WindowDelta {
+            start: t as u64,
+            end: t as u64 + 1,
+            changes: changes.into_values().collect(),
+        });
+    }
+
+    StreamWorkload {
+        graph,
+        subjects: (0..locals).map(NodeId::new).collect(),
+        deltas,
+    }
+}
+
 /// The first `q` subjects of `set` as their own query set (subjects
 /// matched against the full population — the rank_all access pattern).
 ///
@@ -64,6 +223,23 @@ pub fn query_subset(set: &SignatureSet, q: usize) -> SignatureSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_workload_deltas_apply_cleanly() {
+        let wl = stream_workload(50, 200, 5, 0.1, 4, 9);
+        assert_eq!(wl.subjects.len(), 50);
+        assert_eq!(wl.graph.num_edges(), 250);
+        let mut g = wl.graph.clone();
+        for d in &wl.deltas {
+            assert!(!d.is_empty());
+            // apply_delta validates old weights bitwise and the strict
+            // (src, dst) ordering — a bad delta panics here.
+            g = g.apply_delta(d);
+            assert_eq!(g.num_edges(), 250, "retraction+insertion pairing keeps |E|");
+        }
+        let again = stream_workload(50, 200, 5, 0.1, 4, 9);
+        assert_eq!(wl.deltas, again.deltas, "deterministic in seed");
+    }
 
     #[test]
     fn population_is_deterministic_and_sized() {

@@ -12,7 +12,8 @@ use std::io::{BufReader, Cursor};
 use comsig_graph::io::{read_events_with_policy, write_events, REPAIR_WEIGHT_CAP};
 use comsig_graph::window::{GraphSequence, WindowSpec};
 use comsig_graph::{
-    EdgeEvent, GraphBuilder, GraphError, IngestPolicy, IngestReport, Interner, NodeId,
+    CommGraph, EdgeEvent, GraphBuilder, GraphError, IngestPolicy, IngestReport, Interner, NodeId,
+    SlidingWindower,
 };
 
 use comsig_core::engine::DegradeReason;
@@ -91,6 +92,16 @@ pub fn all() -> Vec<Scenario> {
             "out-of-order-timestamps",
             "timestamp-shuffled events window into the same graphs as the ordered stream",
             out_of_order_timestamps,
+        ),
+        sc(
+            "windower-duplicate-events",
+            "duplicated events stream through SlidingWindower into windows bit-identical to a cold rebuild",
+            windower_duplicate_events,
+        ),
+        sc(
+            "windower-out-of-order",
+            "shuffled events buffered by SlidingWindower patch into bit-identical windows with clean counters",
+            windower_out_of_order,
         ),
         sc(
             "nan-weight-strict",
@@ -474,6 +485,72 @@ fn out_of_order_timestamps(seed: u64) -> Result<String, String> {
     Ok(format!(
         "{} windows identical under timestamp shuffling",
         ordered.len()
+    ))
+}
+
+/// Pushes the whole (possibly disordered) stream into a tumbling
+/// [`SlidingWindower`], then checks every delta-patched window graph is
+/// bit-identical to a cold [`GraphSequence`] rebuild of the same stream,
+/// and that no event was counted invalid, late, or gap-dropped. Returns
+/// the number of windows compared.
+fn windower_matches_cold(
+    events: &[EdgeEvent],
+    num_nodes: usize,
+    width: u64,
+) -> Result<usize, String> {
+    let cold = GraphSequence::from_events(num_nodes, WindowSpec::new(0, width), events);
+    let mut windower = SlidingWindower::tumbling(0, width);
+    for &e in events {
+        if !windower.push(e) {
+            return Err(format!(
+                "clean event rejected: {} -> {} at t={}",
+                e.src, e.dst, e.time
+            ));
+        }
+    }
+    let mut g = CommGraph::empty(num_nodes);
+    for (t, want) in cold.iter().enumerate() {
+        let delta = windower.advance();
+        g = g.apply_delta(&delta);
+        let got: Vec<(NodeId, NodeId, u64)> = g
+            .edges()
+            .map(|e| (e.src, e.dst, e.weight.to_bits()))
+            .collect();
+        let cold_edges: Vec<(NodeId, NodeId, u64)> = want
+            .edges()
+            .map(|e| (e.src, e.dst, e.weight.to_bits()))
+            .collect();
+        if got != cold_edges {
+            return Err(format!("window {t} diverged from the cold rebuild"));
+        }
+    }
+    let dropped = windower.invalid_events() + windower.late_events() + windower.gap_events();
+    check(dropped == 0, "no clean event may be counted as dropped")?;
+    check(
+        windower.pending_events() == 0,
+        "every event must have been consumed by a window",
+    )?;
+    Ok(cold.len())
+}
+
+fn windower_duplicate_events(seed: u64) -> Result<String, String> {
+    let (mut events, _, interner) = parse_bytes(corpus(40).into_bytes(), IngestPolicy::Strict)
+        .map_err(|e| format!("parse failed: {e}"))?;
+    let inserted = events::duplicate_events(&mut events, seed, 0.4);
+    let windows = windower_matches_cold(&events, interner.len(), 4)?;
+    Ok(format!(
+        "{inserted} duplicates; {windows} streamed windows bit-identical to cold rebuild"
+    ))
+}
+
+fn windower_out_of_order(seed: u64) -> Result<String, String> {
+    let (events, _, interner) = parse_bytes(corpus(40).into_bytes(), IngestPolicy::Strict)
+        .map_err(|e| format!("parse failed: {e}"))?;
+    let mut shuffled = events.clone();
+    let swaps = events::shuffle_order(&mut shuffled, seed, 60);
+    let windows = windower_matches_cold(&shuffled, interner.len(), 4)?;
+    Ok(format!(
+        "{swaps} swaps; {windows} streamed windows bit-identical to cold rebuild"
     ))
 }
 

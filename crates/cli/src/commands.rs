@@ -18,7 +18,7 @@ use comsig_graph::stats::graph_stats;
 use comsig_graph::window::{GraphSequence, WindowSpec};
 use comsig_graph::{CommGraph, EdgeEvent, IngestPolicy, Interner, NodeId};
 
-use crate::spec::{parse_distance, parse_scheme, Parsed};
+use crate::spec::{parse_delta_scheme, parse_distance, parse_scheme, Parsed};
 use crate::CliError;
 
 const USAGE: &str = "\
@@ -32,6 +32,10 @@ commands:
   detect multiusage   similar-signature label pairs within one window
   detect masquerade   Algorithm 1 across two windows
   detect anomaly      persistence-based anomaly scores
+  stream              online window-over-window detection: slide a window
+                      across the event stream and advance signatures
+                      incrementally (--task anomaly|masquerade;
+                      --slide S for overlapping/gapped windows)
   compare             measure persistence/uniqueness/robustness of the
                       standard schemes on an event file (derived Table IV)
   advise              recommend a scheme for an application (Tables I-III)
@@ -63,6 +67,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("sign") => cmd_sign(&parsed, out),
         Some("match") => cmd_match(&parsed, out),
         Some("detect") => cmd_detect(&parsed, out),
+        Some("stream") => cmd_stream(&parsed, out),
         Some("compare") => cmd_compare(&parsed, out),
         Some("advise") => cmd_advise(&parsed, out),
         Some("chaos") => cmd_chaos(&parsed, out),
@@ -96,7 +101,10 @@ fn ingest_policy(parsed: &Parsed) -> Result<IngestPolicy, CliError> {
     }
 }
 
-fn load(parsed: &Parsed, out: &mut dyn Write) -> Result<Loaded, CliError> {
+fn load_events(
+    parsed: &Parsed,
+    out: &mut dyn Write,
+) -> Result<(Interner, Vec<EdgeEvent>), CliError> {
     let path = parsed.require("input")?;
     let file =
         File::open(path).map_err(|e| CliError::Failed(format!("cannot open {path}: {e}")))?;
@@ -124,10 +132,20 @@ fn load(parsed: &Parsed, out: &mut dyn Write) -> Result<Loaded, CliError> {
     if events.is_empty() {
         return Err(CliError::Failed(format!("{path} contains no events")));
     }
+    Ok((interner, events))
+}
+
+fn window_width(parsed: &Parsed) -> Result<u64, CliError> {
     let width: u64 = parsed.num("window-width", 1)?;
     if width == 0 {
         return Err(CliError::Usage("--window-width must be >= 1".into()));
     }
+    Ok(width)
+}
+
+fn load(parsed: &Parsed, out: &mut dyn Write) -> Result<Loaded, CliError> {
+    let (interner, events) = load_events(parsed, out)?;
+    let width = window_width(parsed)?;
     let start = events.iter().map(|e| e.time).min().unwrap_or(0);
     let windows =
         GraphSequence::from_events(interner.len(), WindowSpec::new(start, width), &events);
@@ -506,6 +524,118 @@ fn cmd_detect(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+// --- stream ------------------------------------------------------------------
+
+fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    use comsig_apps::stream::{StreamingAnomaly, StreamingMasquerade};
+    use comsig_graph::SlidingWindower;
+
+    let (interner, events) = load_events(parsed, out)?;
+    let scheme = parse_delta_scheme(parsed.get("scheme").unwrap_or("tt"))?;
+    let dist = dist_of(parsed)?;
+    let k: usize = parsed.num("k", 10)?;
+    let width = window_width(parsed)?;
+    let slide: u64 = parsed.num("slide", width)?;
+    if slide == 0 {
+        return Err(CliError::Usage("--slide must be >= 1".into()));
+    }
+    let task = parsed.get("task").unwrap_or("anomaly");
+    let top: usize = parsed.num("top", 5)?;
+
+    // Fixed subject population: every label that ever speaks.
+    let mut subjects: Vec<NodeId> = {
+        let set: std::collections::BTreeSet<NodeId> = events.iter().map(|e| e.src).collect();
+        set.into_iter().collect()
+    };
+    subjects.sort_unstable();
+
+    let start = events.iter().map(|e| e.time).min().unwrap_or(0);
+    let mut windower = SlidingWindower::new(start, width, slide);
+    for &e in &events {
+        windower.push(e);
+    }
+
+    writeln!(
+        out,
+        "streaming {} over {} subjects, scheme {}, dist {} (width {width}, slide {slide})",
+        task,
+        subjects.len(),
+        scheme.name(),
+        dist.name()
+    )?;
+    let empty = CommGraph::empty(interner.len());
+    match task {
+        "anomaly" => {
+            let mut det = StreamingAnomaly::new(scheme.as_ref(), empty, &subjects, k);
+            while windower.pending_events() > 0 {
+                let delta = windower.advance();
+                let (scores, report) = det.advance(dist.as_ref(), &delta);
+                writeln!(
+                    out,
+                    "window [{}, {}): {} edge changes, {}/{} recomputed",
+                    delta.start,
+                    delta.end,
+                    report.changed_edges,
+                    report.dirty_subjects(),
+                    report.total_subjects
+                )?;
+                for s in scores.iter().take(top).filter(|s| s.score > 0.0) {
+                    writeln!(
+                        out,
+                        "  {:16} score = {:.4}",
+                        interner.label(s.node).unwrap_or("?"),
+                        s.score
+                    )?;
+                }
+            }
+        }
+        "masquerade" => {
+            let cfg = DetectorConfig {
+                k,
+                threshold_divisor: parsed.num("c", 5.0)?,
+                top_l: parsed.num("l", 3)?,
+            };
+            let mut det = StreamingMasquerade::new(scheme.as_ref(), empty, &subjects, cfg);
+            while windower.pending_events() > 0 {
+                let delta = windower.advance();
+                let step = det.advance(dist.as_ref(), &delta);
+                writeln!(
+                    out,
+                    "window [{}, {}): {} edge changes, {}/{} recomputed, delta = {:.4}, {} re-paired",
+                    delta.start,
+                    delta.end,
+                    step.report.changed_edges,
+                    step.report.dirty_subjects(),
+                    step.report.total_subjects,
+                    step.detection.delta,
+                    step.detection.detected.len()
+                )?;
+                for (v, u) in &step.detection.detected {
+                    writeln!(
+                        out,
+                        "  {} -> {}",
+                        interner.label(*v).unwrap_or("?"),
+                        interner.label(*u).unwrap_or("?")
+                    )?;
+                }
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown stream task `{other}` (anomaly|masquerade)"
+            )));
+        }
+    }
+    writeln!(
+        out,
+        "stream drained: {} invalid, {} late, {} gap-dropped events",
+        windower.invalid_events(),
+        windower.late_events(),
+        windower.gap_events()
+    )?;
+    Ok(())
+}
+
 // --- compare ------------------------------------------------------------------
 
 fn cmd_compare(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
@@ -782,6 +912,73 @@ mod tests {
         assert!(msg.contains("wrote"));
         let stats = run_to_string(&["stats", "--input", &events]).unwrap();
         assert!(stats.contains("2 windows"));
+    }
+
+    #[test]
+    fn stream_anomaly_and_masquerade() {
+        let path = temp_path("stream.events");
+        // Three windows; host b swaps behaviour in window 2.
+        std::fs::write(
+            &path,
+            "0 a x 3\n0 b y 2\n1 c z 1\n\
+             10 a x 3\n10 b y 2\n11 c z 1\n\
+             20 a x 3\n20 b q 2\n21 c z 1\n",
+        )
+        .unwrap();
+
+        let anom = run_to_string(&[
+            "stream",
+            "--input",
+            &path,
+            "--window-width",
+            "10",
+            "--scheme",
+            "rwr:h=2,c=0.1",
+            "--top",
+            "3",
+        ])
+        .unwrap();
+        assert!(anom.contains("streaming anomaly"), "{anom}");
+        assert!(anom.contains("window [20, 30)"), "{anom}");
+        // The swap window must surface host b.
+        let after_swap = anom.split("window [20, 30)").nth(1).unwrap();
+        assert!(after_swap.contains('b'), "{anom}");
+        assert!(anom.contains("stream drained: 0 invalid"), "{anom}");
+
+        let masq = run_to_string(&[
+            "stream",
+            "--input",
+            &path,
+            "--window-width",
+            "10",
+            "--task",
+            "masquerade",
+        ])
+        .unwrap();
+        assert!(masq.contains("streaming masquerade"), "{masq}");
+        assert!(masq.contains("re-paired"), "{masq}");
+
+        // Sliding (overlapping) windows are accepted too.
+        let slid = run_to_string(&[
+            "stream",
+            "--input",
+            &path,
+            "--window-width",
+            "10",
+            "--slide",
+            "5",
+        ])
+        .unwrap();
+        assert!(slid.contains("window [5, 15)"), "{slid}");
+
+        assert!(matches!(
+            run_to_string(&["stream", "--input", &path, "--task", "wat"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["stream", "--input", &path, "--slide", "0"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -3,27 +3,53 @@
 use rustc_hash::FxHashMap;
 
 use comsig_core::distance::{BatchDistance, Cosine, Dice, Jaccard, Overlap, SDice, SHel};
+use comsig_core::pipeline::DeltaScheme;
 use comsig_core::scheme::{PushRwr, Rwr, Scaling, SignatureScheme, TopTalkers, UnexpectedTalkers};
 
 use crate::CliError;
 
-/// Parses a scheme specification:
-///
-/// * `tt`
-/// * `ut`, `ut:tfidf`, `ut:log`
-/// * `rwr:h=3,c=0.1[,undirected]` (omit `h` for the steady state)
-/// * `push:c=0.1,eps=1e-4[,undirected]`
-pub fn parse_scheme(spec: &str) -> Result<Box<dyn SignatureScheme>, CliError> {
+/// A parsed concrete scheme, before boxing behind a trait object —
+/// every variant implements both [`SignatureScheme`] and [`DeltaScheme`].
+enum ConcreteScheme {
+    Tt(TopTalkers),
+    Ut(UnexpectedTalkers),
+    Rwr(Rwr),
+    Push(PushRwr),
+}
+
+impl ConcreteScheme {
+    fn into_scheme(self) -> Box<dyn SignatureScheme> {
+        match self {
+            ConcreteScheme::Tt(s) => Box::new(s),
+            ConcreteScheme::Ut(s) => Box::new(s),
+            ConcreteScheme::Rwr(s) => Box::new(s),
+            ConcreteScheme::Push(s) => Box::new(s),
+        }
+    }
+
+    fn into_delta_scheme(self) -> Box<dyn DeltaScheme> {
+        match self {
+            ConcreteScheme::Tt(s) => Box::new(s),
+            ConcreteScheme::Ut(s) => Box::new(s),
+            ConcreteScheme::Rwr(s) => Box::new(s),
+            ConcreteScheme::Push(s) => Box::new(s),
+        }
+    }
+}
+
+fn parse_concrete(spec: &str) -> Result<ConcreteScheme, CliError> {
     let (head, rest) = match spec.split_once(':') {
         Some((h, r)) => (h, r),
         None => (spec, ""),
     };
     match head {
-        "tt" => Ok(Box::new(TopTalkers)),
+        "tt" => Ok(ConcreteScheme::Tt(TopTalkers)),
         "ut" => match rest {
-            "" | "ratio" => Ok(Box::new(UnexpectedTalkers::new())),
-            "tfidf" => Ok(Box::new(UnexpectedTalkers::with_scaling(Scaling::TfIdf))),
-            "log" => Ok(Box::new(UnexpectedTalkers::with_scaling(
+            "" | "ratio" => Ok(ConcreteScheme::Ut(UnexpectedTalkers::new())),
+            "tfidf" => Ok(ConcreteScheme::Ut(UnexpectedTalkers::with_scaling(
+                Scaling::TfIdf,
+            ))),
+            "log" => Ok(ConcreteScheme::Ut(UnexpectedTalkers::with_scaling(
                 Scaling::LogNovelty,
             ))),
             other => Err(CliError::Usage(format!(
@@ -43,7 +69,7 @@ pub fn parse_scheme(spec: &str) -> Result<Box<dyn SignatureScheme>, CliError> {
             if opts.contains_key("undirected") {
                 scheme = scheme.undirected();
             }
-            Ok(Box::new(scheme))
+            Ok(ConcreteScheme::Rwr(scheme))
         }
         "push" => {
             let opts = parse_kv(rest)?;
@@ -53,12 +79,29 @@ pub fn parse_scheme(spec: &str) -> Result<Box<dyn SignatureScheme>, CliError> {
             if opts.contains_key("undirected") {
                 scheme = scheme.undirected();
             }
-            Ok(Box::new(scheme))
+            Ok(ConcreteScheme::Push(scheme))
         }
         other => Err(CliError::Usage(format!(
             "unknown scheme `{other}` (tt|ut|rwr|push)"
         ))),
     }
+}
+
+/// Parses a scheme specification:
+///
+/// * `tt`
+/// * `ut`, `ut:tfidf`, `ut:log`
+/// * `rwr:h=3,c=0.1[,undirected]` (omit `h` for the steady state)
+/// * `push:c=0.1,eps=1e-4[,undirected]`
+pub fn parse_scheme(spec: &str) -> Result<Box<dyn SignatureScheme>, CliError> {
+    parse_concrete(spec).map(ConcreteScheme::into_scheme)
+}
+
+/// Parses the same scheme grammar as [`parse_scheme`], but as a
+/// [`DeltaScheme`] for the streaming pipeline (`comsig stream`). Every
+/// scheme is accepted; RWR^∞ and PushRWR advance by full recompute.
+pub fn parse_delta_scheme(spec: &str) -> Result<Box<dyn DeltaScheme>, CliError> {
+    parse_concrete(spec).map(ConcreteScheme::into_delta_scheme)
 }
 
 /// Parses a distance name: `jac|dice|sdice|shel|cos|ovl`.
@@ -188,6 +231,21 @@ mod tests {
             .unwrap()
             .name()
             .starts_with("PushRWR"));
+    }
+
+    #[test]
+    fn delta_scheme_specs_parse() {
+        for spec in [
+            "tt",
+            "ut:log",
+            "rwr:h=3,c=0.1,undirected",
+            "rwr:c=0.2",
+            "push",
+        ] {
+            assert!(parse_delta_scheme(spec).is_ok(), "{spec}");
+        }
+        assert_eq!(parse_delta_scheme("tt").unwrap().name(), "TT");
+        assert!(parse_delta_scheme("bogus").is_err());
     }
 
     #[test]

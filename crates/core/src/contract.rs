@@ -13,7 +13,9 @@
 //!   occupancy vector is a (possibly pruned) probability distribution
 //!   ([`check_occupancy`]);
 //! * the batched engine's epoch-stamped workspaces must be clean at the
-//!   start of every batch ([`check_scatter_clean`]).
+//!   start of every batch ([`check_scatter_clean`]);
+//! * a streaming-pipeline advance must be bit-identical to a cold
+//!   rebuild ([`check_pipeline_equiv`]).
 //!
 //! Checks are **active in debug builds and when the `contracts` feature
 //! is enabled**; in a plain release build every checker compiles to a
@@ -26,6 +28,7 @@ use comsig_graph::{CommGraph, NodeId};
 
 use crate::distance::SignatureDistance;
 use crate::engine::{DegradeReason, DenseScatter};
+use crate::scheme::SignatureScheme;
 use crate::signature::{Signature, SignatureSet};
 
 /// Absolute tolerance for stochasticity and unit-interval checks.
@@ -135,6 +138,51 @@ pub fn check_indexed_distance(d: &dyn SignatureDistance, a: &Signature, b: &Sign
         "contract violation: indexed {} distance {got:e} differs from brute-force {want:e}",
         d.name()
     );
+}
+
+/// The streaming-pipeline equivalence contract: after an incremental
+/// [`SignaturePipeline`](crate::pipeline::SignaturePipeline) advance, the
+/// maintained signature set must be **bit-identical** to a cold
+/// `signature_set` rebuild over the same subjects on the new graph. The
+/// dirty-subject recompute runs the same per-subject arithmetic the cold
+/// batch runs, and clean subjects' inputs are bitwise unchanged, so any
+/// divergence is a dirty-set derivation bug, not float noise.
+///
+/// Costs a full cold rebuild — this is the oracle, only compiled in when
+/// [`enabled`].
+///
+/// # Panics
+/// Panics (when [`enabled`]) if any subject's signature differs from the
+/// cold rebuild in membership or in even one weight bit.
+pub fn check_pipeline_equiv<S: SignatureScheme + ?Sized>(
+    scheme: &S,
+    g: &CommGraph,
+    k: usize,
+    got: &SignatureSet,
+) {
+    if !enabled() {
+        return;
+    }
+    let want = scheme.signature_set(g, got.subjects(), k);
+    for ((gv, gs), (wv, ws)) in got.iter().zip(want.iter()) {
+        assert!(
+            gv == wv,
+            "contract violation: pipeline subject order diverged ({gv} vs {wv})"
+        );
+        assert!(
+            gs.len() == ws.len(),
+            "contract violation: pipeline signature of {gv} has {} entries, cold rebuild has {}",
+            gs.len(),
+            ws.len()
+        );
+        for ((gu, gw), (wu, ww)) in gs.iter().zip(ws.iter()) {
+            assert!(
+                gu == wu && gw.to_bits() == ww.to_bits(),
+                "contract violation: pipeline signature of {gv} diverges from cold rebuild \
+                 ({gu}: {gw:e} vs {wu}: {ww:e})"
+            );
+        }
+    }
 }
 
 /// A transition row must be stochastic: its probability mass sums to 1
@@ -324,6 +372,31 @@ mod tests {
     fn degraded_subject_in_set_fires() {
         let set = SignatureSet::new(vec![n(1)], vec![sig(&[(2, 1.0)])]);
         check_degraded_excluded(&set, &[(n(1), DegradeReason::MassOverflow { mass: 2.0 })]);
+    }
+
+    #[test]
+    fn pipeline_equiv_passes_on_cold_set() {
+        use crate::scheme::TopTalkers;
+        use comsig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 2.0);
+        b.add_event(n(1), n(2), 1.0);
+        let g = b.build(3);
+        let subjects = vec![n(0), n(1)];
+        let set = TopTalkers.signature_set(&g, &subjects, 5);
+        check_pipeline_equiv(&TopTalkers, &g, 5, &set);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverges from cold rebuild")]
+    fn pipeline_divergence_fires() {
+        use crate::scheme::TopTalkers;
+        use comsig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 2.0);
+        let g = b.build(2);
+        let stale = SignatureSet::new(vec![n(0)], vec![sig(&[(1, 0.5)])]);
+        check_pipeline_equiv(&TopTalkers, &g, 5, &stale);
     }
 
     #[test]

@@ -51,10 +51,12 @@
 pub mod contract;
 pub mod distance;
 pub mod engine;
+pub mod pipeline;
 pub mod properties;
 pub mod scheme;
 mod signature;
 mod sparse;
 
+pub use pipeline::{AdvanceReport, DeltaScheme, DirtySet, SignaturePipeline};
 pub use signature::{Signature, SignatureSet};
 pub use sparse::SparseVec;

@@ -261,9 +261,34 @@ impl SignatureSet {
         self.index.get(&v).map(|&i| &self.signatures[i])
     }
 
+    /// The construction-order position of subject `v`, if present.
+    #[must_use]
+    pub fn position(&self, v: NodeId) -> Option<usize> {
+        self.index.get(&v).copied()
+    }
+
     /// Iterates `(subject, signature)` in construction order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Signature)> {
         self.subjects.iter().copied().zip(self.signatures.iter())
+    }
+
+    /// Replaces the signature of subject `v` in place and returns the
+    /// previous one. Subject order is unchanged — this is the mutation
+    /// the streaming pipeline uses to patch dirty subjects only.
+    ///
+    /// # Panics
+    /// Panics if `v` is not a subject of this set.
+    pub fn replace(&mut self, v: NodeId, signature: Signature) -> Signature {
+        let Some(&i) = self.index.get(&v) else {
+            panic!("subject {v} is not in this signature set");
+        };
+        std::mem::replace(&mut self.signatures[i], signature)
+    }
+
+    /// Consumes the set into its parallel subject/signature vectors.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<NodeId>, Vec<Signature>) {
+        (self.subjects, self.signatures)
     }
 }
 

@@ -1,0 +1,194 @@
+//! Property tests pinning `SignaturePipeline::advance` bit-identical to a
+//! cold rebuild of every window, for every delta-capable scheme.
+//!
+//! Runs the contract checker implicitly too (debug / `--features
+//! contracts` builds), but the assertions here are unconditional: the
+//! streamed signature set must equal, to the bit, the signatures a batch
+//! rebuild of the same window would compute. The generated streams cover
+//! the awkward delta shapes — windows that empty completely, windows that
+//! introduce brand-new sources, and subjects whose entire out-edge set
+//! retracts between windows — plus out-of-order arrival within a window.
+
+use comsig_core::pipeline::{DeltaScheme, SignaturePipeline};
+use comsig_core::scheme::{PushRwr, Rwr, Scaling, TopTalkers, UnexpectedTalkers};
+use comsig_core::SignatureSet;
+use comsig_graph::{CommGraph, EdgeEvent, GraphBuilder, NodeId, SlidingWindower};
+use proptest::prelude::*;
+
+const NUM_NODES: usize = 10;
+const WIDTH: u64 = 10;
+const WINDOWS: u64 = 3;
+const K: usize = 4;
+
+/// A raw event: (time, src, dst, weight). Node indices are taken modulo
+/// `NUM_NODES`; src == dst events are dropped by the windower, matching
+/// the cold builder's gate.
+type RawEvent = (u64, u32, u32, f64);
+
+fn arb_stream() -> impl Strategy<Value = (Vec<EdgeEvent>, u64)> {
+    (
+        prop::collection::vec(
+            (
+                0..WIDTH * WINDOWS,
+                0u32..NUM_NODES as u32,
+                0u32..NUM_NODES as u32,
+                0.5f64..8.0,
+            ),
+            0..80,
+        ),
+        // Optionally blank out one window entirely (the `WINDOWS` value
+        // means "blank none"), so the stream exercises a delta that
+        // retracts every active edge at once — emptying the window and
+        // clearing every subject's out-row.
+        0..=WINDOWS,
+    )
+        .prop_map(|(raw, blanked): (Vec<RawEvent>, u64)| {
+            let events = raw
+                .into_iter()
+                .filter(|&(t, ..)| blanked != t / WIDTH)
+                .map(|(time, s, d, weight)| EdgeEvent {
+                    time,
+                    src: NodeId::new(s as usize),
+                    dst: NodeId::new(d as usize),
+                    weight,
+                })
+                .collect();
+            (events, WIDTH)
+        })
+}
+
+fn cold_window(events: &[EdgeEvent], s: u64, e: u64) -> CommGraph {
+    let mut b = GraphBuilder::new();
+    for ev in events {
+        if ev.time >= s && ev.time < e {
+            b.add_event(ev.src, ev.dst, ev.weight);
+        }
+    }
+    b.build(NUM_NODES)
+}
+
+fn assert_bits_equal(scheme_name: &str, window: u64, got: &SignatureSet, want: &SignatureSet) {
+    assert_eq!(got.len(), want.len(), "{scheme_name} window {window}");
+    for ((gv, gs), (wv, ws)) in got.iter().zip(want.iter()) {
+        assert_eq!(gv, wv, "{scheme_name} window {window}");
+        assert_eq!(
+            gs.len(),
+            ws.len(),
+            "{scheme_name} window {window} subject {gv}"
+        );
+        for ((gu, gw), (wu, ww)) in gs.iter().zip(ws.iter()) {
+            assert_eq!(gu, wu, "{scheme_name} window {window} subject {gv}");
+            assert_eq!(
+                gw.to_bits(),
+                ww.to_bits(),
+                "{scheme_name} window {window} subject {gv} node {gu}: {gw:e} vs {ww:e}"
+            );
+        }
+    }
+}
+
+/// Streams `events` through a tumbling windower and checks that every
+/// pipeline advance matches a cold rebuild bit-for-bit.
+fn check_stream<S: DeltaScheme + ?Sized>(scheme: &S, events: &[EdgeEvent], width: u64) {
+    let subjects: Vec<NodeId> = (0..NUM_NODES).map(NodeId::new).collect();
+    let mut w = SlidingWindower::tumbling(0, width);
+    for &ev in events {
+        w.push(ev);
+    }
+    let mut pipe = SignaturePipeline::new(scheme, CommGraph::empty(NUM_NODES), &subjects, K);
+    for window in 0..WINDOWS {
+        let delta = w.advance();
+        let report = pipe.advance(&delta);
+        assert_eq!(report.total_subjects, NUM_NODES);
+        assert!(report.dirty_subjects() <= report.total_subjects);
+        let cold = cold_window(events, delta.start, delta.end);
+        let want = scheme.signature_set(&cold, &subjects, K);
+        assert_bits_equal(&scheme.name(), window, pipe.signatures(), &want);
+    }
+}
+
+proptest! {
+    #[test]
+    fn tt_stream_bit_identical((events, width) in arb_stream()) {
+        check_stream(&TopTalkers, &events, width);
+    }
+
+    #[test]
+    fn ut_stream_bit_identical_all_scalings((events, width) in arb_stream()) {
+        for scaling in [Scaling::Ratio, Scaling::TfIdf, Scaling::LogNovelty] {
+            check_stream(&UnexpectedTalkers::with_scaling(scaling), &events, width);
+        }
+    }
+
+    #[test]
+    fn rwr_truncated_stream_bit_identical(
+        (events, width) in arb_stream(),
+        h in 1u32..4,
+    ) {
+        check_stream(&Rwr::truncated(0.15, h), &events, width);
+        check_stream(&Rwr::truncated(0.15, h).undirected(), &events, width);
+    }
+
+    #[test]
+    fn rwr_full_stream_bit_identical((events, width) in arb_stream()) {
+        check_stream(&Rwr::full(0.15), &events, width);
+    }
+
+    #[test]
+    fn push_rwr_stream_bit_identical((events, width) in arb_stream()) {
+        check_stream(&PushRwr::new(0.15, 1e-4), &events, width);
+    }
+}
+
+fn ev(time: u64, src: usize, dst: usize, w: f64) -> EdgeEvent {
+    EdgeEvent {
+        time,
+        src: NodeId::new(src),
+        dst: NodeId::new(dst),
+        weight: w,
+    }
+}
+
+/// Window 1 is empty: every edge of window 0 retracts in one delta.
+#[test]
+fn emptying_delta_bit_identical() {
+    let events = vec![
+        ev(0, 0, 1, 2.0),
+        ev(1, 1, 2, 1.0),
+        ev(2, 2, 3, 4.0),
+        ev(21, 4, 5, 1.0),
+    ];
+    check_stream(&TopTalkers, &events, WIDTH);
+    check_stream(&Rwr::truncated(0.1, 3), &events, WIDTH);
+}
+
+/// Window 1 introduces sources that were silent in window 0.
+#[test]
+fn new_sources_delta_bit_identical() {
+    let events = vec![
+        ev(0, 0, 1, 2.0),
+        ev(11, 6, 7, 1.0),
+        ev(12, 8, 9, 3.0),
+        ev(13, 0, 1, 2.0),
+        ev(22, 6, 7, 1.0),
+    ];
+    check_stream(&UnexpectedTalkers::new(), &events, WIDTH);
+    check_stream(&Rwr::truncated(0.1, 2).undirected(), &events, WIDTH);
+}
+
+/// Subject 0's whole out-edge set retracts while other edges persist.
+#[test]
+fn full_out_row_retraction_bit_identical() {
+    let events = vec![
+        ev(0, 0, 1, 2.0),
+        ev(1, 0, 2, 1.0),
+        ev(2, 0, 3, 4.0),
+        ev(3, 4, 5, 1.0),
+        ev(11, 4, 5, 1.0),
+        ev(12, 5, 6, 2.0),
+        ev(21, 4, 5, 1.0),
+    ];
+    check_stream(&TopTalkers, &events, WIDTH);
+    check_stream(&UnexpectedTalkers::new(), &events, WIDTH);
+    check_stream(&Rwr::truncated(0.2, 3), &events, WIDTH);
+}

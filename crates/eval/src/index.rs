@@ -18,6 +18,20 @@
 //! brute-force reference (`rank_all_reference`), including tie-breaks.
 //! The contract layer re-verifies this per touched candidate in debug /
 //! `contracts` builds ([`contract::check_indexed_distance`]).
+//!
+//! ## Incremental maintenance
+//!
+//! The streaming pipeline changes only a dirty subset of candidate
+//! signatures per window; [`PostingsIndex::update`] patches exactly
+//! those candidates' posting entries and scalars instead of rebuilding.
+//! Posting lists are per-slot `Vec`s, so removal is `swap_remove` and
+//! insertion is `push`. Within-slot order is **not** load-bearing: each
+//! candidate appears at most once per slot, per-candidate accumulation
+//! order follows the query's member order (unchanged), and the scored
+//! list is fully re-sorted by `(distance, id)` before emission — so an
+//! updated index ranks bit-identically to one rebuilt from scratch.
+
+use std::borrow::Cow;
 
 use rustc_hash::FxHashMap;
 
@@ -31,11 +45,13 @@ use crate::ranking::Ranking;
 /// An inverted index over one candidate [`SignatureSet`]: for every
 /// member node, the posting list of `(candidate, weight)` pairs whose
 /// signature contains it, plus precomputed per-candidate scalars
-/// (`|S|`, `Σw`, `Σw²`). Built once, shared (immutably) across all
-/// queries of a matching sweep.
+/// (`|S|`, `Σw`, `Σw²`). Built once and shared immutably across the
+/// queries of a matching sweep, or owned ([`build_owned`](Self::build_owned))
+/// and patched in place per streaming window via
+/// [`update`](Self::update).
 #[derive(Debug)]
 pub struct PostingsIndex<'a> {
-    candidates: &'a SignatureSet,
+    candidates: Cow<'a, SignatureSet>,
     /// Per-candidate scalars, indexed by candidate position.
     scalars: Vec<SigScalars>,
     /// Candidate positions sorted by ascending subject id — the emission
@@ -43,53 +59,46 @@ pub struct PostingsIndex<'a> {
     id_order: Vec<u32>,
     /// Member node → posting-list slot.
     slot_of: FxHashMap<NodeId, u32>,
-    /// CSR offsets per slot (`slots + 1` entries).
-    offsets: Vec<u32>,
-    /// Posting candidate positions, grouped by slot.
-    post_pos: Vec<u32>,
-    /// Posting weights, parallel to `post_pos`.
-    post_w: Vec<f64>,
+    /// Per-slot posting lists of `(candidate position, weight)`. A
+    /// candidate appears at most once per slot; within-slot order is
+    /// arbitrary (see the module docs on why that is bit-safe).
+    postings: Vec<Vec<(u32, f64)>>,
+    /// Total posting entries across all slots.
+    posting_mass: usize,
 }
 
 impl<'a> PostingsIndex<'a> {
     /// Builds the index in `O(total members)` plus one `O(|C| log |C|)`
-    /// id-order sort.
+    /// id-order sort, borrowing the candidate set.
     #[must_use]
     pub fn build(candidates: &'a SignatureSet) -> PostingsIndex<'a> {
+        Self::build_from(Cow::Borrowed(candidates))
+    }
+
+    /// Builds an index that owns its candidate set, so it can outlive
+    /// the caller's borrow and be patched by [`update`](Self::update)
+    /// without cloning — the shape the streaming detectors hold.
+    #[must_use]
+    pub fn build_owned(candidates: SignatureSet) -> PostingsIndex<'static> {
+        PostingsIndex::build_from(Cow::Owned(candidates))
+    }
+
+    fn build_from(candidates: Cow<'a, SignatureSet>) -> PostingsIndex<'a> {
         let n = candidates.len();
         let mut scalars = Vec::with_capacity(n);
         let mut slot_of: FxHashMap<NodeId, u32> = FxHashMap::default();
-        let mut counts: Vec<u32> = Vec::new();
-        let mut total = 0usize;
-        for (_, sig) in candidates.iter() {
+        let mut postings: Vec<Vec<(u32, f64)>> = Vec::new();
+        let mut posting_mass = 0usize;
+        for (pos, (_, sig)) in candidates.iter().enumerate() {
             scalars.push(SigScalars::of(sig));
-            for (u, _) in sig.iter() {
-                let next = counts.len() as u32;
+            for (u, w) in sig.iter() {
+                let next = postings.len() as u32;
                 let s = *slot_of.entry(u).or_insert(next);
                 if s == next {
-                    counts.push(0);
+                    postings.push(Vec::new());
                 }
-                counts[s as usize] += 1;
-                total += 1;
-            }
-        }
-        let mut offsets = Vec::with_capacity(counts.len() + 1);
-        let mut acc = 0u32;
-        offsets.push(0);
-        for &c in &counts {
-            acc += c;
-            offsets.push(acc);
-        }
-        let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
-        let mut post_pos = vec![0u32; total];
-        let mut post_w = vec![0.0f64; total];
-        for (pos, (_, sig)) in candidates.iter().enumerate() {
-            for (u, w) in sig.iter() {
-                let s = slot_of[&u] as usize;
-                let at = cursor[s] as usize;
-                cursor[s] += 1;
-                post_pos[at] = pos as u32;
-                post_w[at] = w;
+                postings[s as usize].push((pos as u32, w));
+                posting_mass += 1;
             }
         }
         let mut id_order: Vec<u32> = (0..n as u32).collect();
@@ -99,16 +108,68 @@ impl<'a> PostingsIndex<'a> {
             scalars,
             id_order,
             slot_of,
-            offsets,
-            post_pos,
-            post_w,
+            postings,
+            posting_mass,
         }
     }
 
-    /// The candidate set the index was built over.
+    /// Replaces the signatures of the given dirty subjects, patching
+    /// their posting entries and scalars in place: `O(k)` removals plus
+    /// `O(k)` insertions per dirty subject, instead of an `O(total
+    /// members)` rebuild. The candidate population is fixed — every
+    /// dirty subject must already be in the set.
+    ///
+    /// Rankings from the patched index are bit-identical to rebuilding
+    /// from scratch over the updated signature set.
+    ///
+    /// # Panics
+    /// Panics if a dirty subject is not a candidate.
+    pub fn update(&mut self, dirty: impl IntoIterator<Item = (NodeId, Signature)>) {
+        let mut old_members: Vec<NodeId> = Vec::new();
+        for (v, new_sig) in dirty {
+            let Some(pos) = self.candidates.position(v) else {
+                panic!("dirty subject {v} is not a candidate of this index");
+            };
+            // Remove the old posting entries first: old and new
+            // signatures may share members, and the removal must not
+            // pick up a freshly inserted entry for the same candidate.
+            old_members.clear();
+            old_members.extend(
+                self.candidates
+                    .get(v)
+                    .expect("position implies presence")
+                    .iter()
+                    .map(|(u, _)| u),
+            );
+            for &u in &old_members {
+                let s = self.slot_of[&u] as usize;
+                let list = &mut self.postings[s];
+                let at = list
+                    .iter()
+                    .position(|&(p, _)| p as usize == pos)
+                    .expect("posting entry exists for every old member");
+                let _ = list.swap_remove(at);
+                self.posting_mass -= 1;
+            }
+            self.scalars[pos] = SigScalars::of(&new_sig);
+            for (u, w) in new_sig.iter() {
+                let next = self.postings.len() as u32;
+                let s = *self.slot_of.entry(u).or_insert(next);
+                if s == next {
+                    self.postings.push(Vec::new());
+                }
+                self.postings[s as usize].push((pos as u32, w));
+                self.posting_mass += 1;
+            }
+            let _ = self.candidates.to_mut().replace(v, new_sig);
+        }
+    }
+
+    /// The candidate set the index was built over (including any
+    /// [`update`](Self::update)s applied since).
     #[must_use]
     pub fn candidates(&self) -> &SignatureSet {
-        self.candidates
+        &self.candidates
     }
 
     /// Number of candidates.
@@ -127,7 +188,7 @@ impl<'a> PostingsIndex<'a> {
     /// a full matching sweep is linear in.
     #[must_use]
     pub fn posting_mass(&self) -> usize {
-        self.post_pos.len()
+        self.posting_mass
     }
 
     /// Ranks every candidate by distance to `query` — bit-identical to
@@ -305,10 +366,8 @@ impl<'a> PostingsIndex<'a> {
             let Some(&s) = self.slot_of.get(&u) else {
                 continue;
             };
-            let lo = self.offsets[s as usize] as usize;
-            let hi = self.offsets[s as usize + 1] as usize;
-            for i in lo..hi {
-                ws.add(self.post_pos[i], dist.accumulate(wq, self.post_w[i]));
+            for &(pos, wc) in &self.postings[s as usize] {
+                ws.add(pos, dist.accumulate(wq, wc));
             }
         }
     }
@@ -516,6 +575,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Patching dirty candidates must leave the index indistinguishable
+    /// — bit-for-bit, for every distance — from one rebuilt over the
+    /// updated signature set, including updates that empty a signature,
+    /// introduce brand-new member nodes, and repeated re-updates.
+    #[test]
+    fn update_matches_full_rebuild() {
+        type Round = Vec<(usize, Vec<(usize, f64)>)>;
+        let mut idx = PostingsIndex::build_owned(candidates());
+        let dirty_rounds: Vec<Round> = vec![
+            // Overlapping members + a new member node 30.
+            vec![(7, vec![(11, 3.0), (30, 1.0)]), (5, vec![(10, 2.0)])],
+            // Empty a signature and revive the previously empty one.
+            vec![(1, vec![]), (3, vec![(12, 1.5), (31, 0.25)])],
+            // Re-update an already-updated candidate.
+            vec![(7, vec![(10, 0.5)])],
+        ];
+        let queries = [
+            sig(&[(10, 1.0), (11, 1.0)]),
+            sig(&[(30, 2.0), (12, 0.5)]),
+            Signature::empty(),
+            sig(&[(31, 1.0)]),
+        ];
+        for round in dirty_rounds {
+            idx.update(round.iter().map(|(v, m)| {
+                let s = if m.is_empty() {
+                    Signature::empty()
+                } else {
+                    sig(m)
+                };
+                (n(*v), s)
+            }));
+            let rebuilt = PostingsIndex::build(idx.candidates());
+            assert_eq!(idx.posting_mass(), rebuilt.posting_mass());
+            let mut ws_a = MatchWorkspace::new();
+            let mut ws_b = MatchWorkspace::new();
+            for dist in all_distances() {
+                for q in &queries {
+                    let a = idx.rank_with(dist.as_ref(), q, &mut ws_a);
+                    let b = rebuilt.rank_with(dist.as_ref(), q, &mut ws_b);
+                    assert_eq!(a.len(), b.len(), "{}", dist.name());
+                    for (x, y) in a.entries().iter().zip(b.entries()) {
+                        assert_eq!(x.0, y.0, "{}", dist.name());
+                        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{}", dist.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a candidate")]
+    fn update_unknown_subject_panics() {
+        let mut idx = PostingsIndex::build_owned(candidates());
+        idx.update([(n(99), Signature::empty())]);
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! Incremental window deltas over edge-event streams.
+//!
+//! The batch path ([`GraphSequence`](crate::window::GraphSequence)) treats
+//! each window as an independent rebuild. Following the stream-graph view
+//! (Latapy et al.), this module treats the *event stream* as the primary
+//! object and windows as sliding views over it: a [`SlidingWindower`]
+//! consumes [`EdgeEvent`]s and, per window advance, emits a [`WindowDelta`]
+//! — the set of aggregated edges whose weight changed (insertions, weight
+//! updates and retractions) relative to the previous window.
+//!
+//! # Bit-identity discipline
+//!
+//! Deltas feed [`CommGraph::apply_delta`](crate::CommGraph::apply_delta),
+//! whose output must be **bit-identical** to a cold
+//! [`GraphBuilder`](crate::GraphBuilder) rebuild of the same window. Two
+//! rules make that possible:
+//!
+//! 1. Aggregated pair weights are never decremented when events leave the
+//!    window — floating-point subtraction does not round-trip. Instead a
+//!    pair's surviving events are **re-summed in arrival order**, which is
+//!    exactly the accumulation order of `GraphBuilder::add_event` over the
+//!    window's events.
+//! 2. A change whose re-summed weight is bitwise equal to the previous
+//!    aggregate is elided from the delta: every downstream value derived
+//!    from it is bitwise unchanged.
+
+use std::collections::BTreeMap;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::edge::{EdgeEvent, Weight};
+use crate::node::NodeId;
+
+/// One aggregated-edge change between consecutive windows.
+///
+/// `old == None` is an insertion, `new == None` a retraction, and both
+/// `Some` a weight update. `old` carries the weight the previous window's
+/// graph must hold (checked bitwise by
+/// [`CommGraph::apply_delta`](crate::CommGraph::apply_delta)); `new` is the
+/// re-summed aggregate over the new window's events for the pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeChange {
+    /// Source of the aggregated edge.
+    pub src: NodeId,
+    /// Destination of the aggregated edge.
+    pub dst: NodeId,
+    /// Aggregated weight in the previous window, if the edge existed.
+    pub old: Option<Weight>,
+    /// Aggregated weight in the new window, if the edge survives.
+    pub new: Option<Weight>,
+}
+
+impl EdgeChange {
+    /// The `(src, dst)` pair this change refers to.
+    #[inline]
+    #[must_use]
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        (self.src, self.dst)
+    }
+
+    /// Whether this change inserts a previously absent edge.
+    #[inline]
+    #[must_use]
+    pub fn is_insertion(&self) -> bool {
+        self.old.is_none() && self.new.is_some()
+    }
+
+    /// Whether this change retracts the edge entirely.
+    #[inline]
+    #[must_use]
+    pub fn is_retraction(&self) -> bool {
+        self.old.is_some() && self.new.is_none()
+    }
+}
+
+/// The aggregated-edge difference between two consecutive windows,
+/// produced by [`SlidingWindower::advance`].
+///
+/// `changes` is strictly sorted by `(src, dst)` and contains no entry
+/// whose `old` and `new` weights are bitwise equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDelta {
+    /// Inclusive start of the window's time range.
+    pub start: u64,
+    /// Exclusive end of the window's time range.
+    pub end: u64,
+    /// Aggregated-edge changes, strictly sorted by `(src, dst)`.
+    pub changes: Vec<EdgeChange>,
+}
+
+impl WindowDelta {
+    /// Number of changed aggregated edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether the window is edge-identical to its predecessor.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Counts of (insertions, updates, retractions).
+    #[must_use]
+    pub fn summary(&self) -> (usize, usize, usize) {
+        let mut ins = 0;
+        let mut upd = 0;
+        let mut ret = 0;
+        for c in &self.changes {
+            if c.is_insertion() {
+                ins += 1;
+            } else if c.is_retraction() {
+                ret += 1;
+            } else {
+                upd += 1;
+            }
+        }
+        (ins, upd, ret)
+    }
+
+    /// Distinct nodes appearing as an endpoint of any change.
+    #[must_use]
+    pub fn touched_nodes(&self) -> FxHashSet<NodeId> {
+        let mut nodes = FxHashSet::default();
+        for c in &self.changes {
+            nodes.insert(c.src);
+            nodes.insert(c.dst);
+        }
+        nodes
+    }
+}
+
+/// One surviving event of an aggregated pair: `(arrival seq, time,
+/// weight)`. Re-summation sorts by the seq to replay the cold
+/// accumulation order.
+type PairEvent = (u64, u64, Weight);
+
+/// Slices a pushed [`EdgeEvent`] stream into sliding windows and emits one
+/// [`WindowDelta`] per [`advance`](Self::advance).
+///
+/// Windows are `[start, start + width)`, advancing by `slide` per call:
+/// `slide == width` is tumbling (the batch
+/// [`WindowSpec`](crate::window::WindowSpec) semantics), `slide < width`
+/// overlaps, and `slide > width` leaves gaps whose events are counted and
+/// dropped.
+///
+/// Events may arrive out of order. An event older than the next
+/// unemitted window's start can no longer influence any future window; it
+/// is counted as late and dropped. Invalid events (self-loops,
+/// non-finite or non-positive weights) are rejected with the exact gate
+/// used by [`GraphBuilder::add_event`](crate::GraphBuilder::add_event), so
+/// the stream the windower aggregates is the stream a cold rebuild would
+/// aggregate.
+#[derive(Debug, Clone)]
+pub struct SlidingWindower {
+    width: u64,
+    slide: u64,
+    next_start: u64,
+    seq: u64,
+    /// Buffered events not yet emitted into a window, keyed by
+    /// `(time, arrival seq)`.
+    pending: BTreeMap<(u64, u64), (NodeId, NodeId, Weight)>,
+    /// Events inside the current window, keyed by `(time, arrival seq)`.
+    active: BTreeMap<(u64, u64), (NodeId, NodeId)>,
+    /// Per-pair surviving events, kept sorted by arrival seq so
+    /// re-summation replays the cold accumulation order.
+    pair_events: FxHashMap<(NodeId, NodeId), Vec<PairEvent>>,
+    /// Current aggregated weight per pair (the window's edge weights).
+    agg: FxHashMap<(NodeId, NodeId), Weight>,
+    invalid_events: u64,
+    late_events: u64,
+    gap_events: u64,
+}
+
+impl SlidingWindower {
+    /// Creates a windower whose first window is `[start, start + width)`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `slide == 0`.
+    #[must_use]
+    pub fn new(start: u64, width: u64, slide: u64) -> Self {
+        assert!(width > 0, "window width must be positive");
+        assert!(slide > 0, "window slide must be positive");
+        SlidingWindower {
+            width,
+            slide,
+            next_start: start,
+            seq: 0,
+            pending: BTreeMap::new(),
+            active: BTreeMap::new(),
+            pair_events: FxHashMap::default(),
+            agg: FxHashMap::default(),
+            invalid_events: 0,
+            late_events: 0,
+            gap_events: 0,
+        }
+    }
+
+    /// Tumbling windows (`slide == width`), matching the batch
+    /// [`WindowSpec`](crate::window::WindowSpec) bucketing.
+    #[must_use]
+    pub fn tumbling(start: u64, width: u64) -> Self {
+        SlidingWindower::new(start, width, width)
+    }
+
+    /// The time range of the next window [`advance`](Self::advance) will
+    /// emit, or `None` if it would overflow the `u64` time axis.
+    #[must_use]
+    pub fn next_window(&self) -> Option<(u64, u64)> {
+        let end = self.next_start.checked_add(self.width)?;
+        Some((self.next_start, end))
+    }
+
+    /// Feeds one event. Returns `false` (and counts the event) if it is
+    /// invalid or too late to land in any future window.
+    pub fn push(&mut self, event: EdgeEvent) -> bool {
+        // Exactly the `GraphBuilder::add_event` gate, so the accepted
+        // stream equals the stream a cold rebuild would aggregate.
+        if event.src == event.dst || !event.weight.is_finite() || event.weight <= 0.0 {
+            self.invalid_events += 1;
+            return false;
+        }
+        if event.time < self.next_start {
+            self.late_events += 1;
+            return false;
+        }
+        let key = (event.time, self.seq);
+        self.seq += 1;
+        self.pending
+            .insert(key, (event.src, event.dst, event.weight));
+        true
+    }
+
+    /// Emits the next window `[s, s + width)` and returns the aggregated
+    /// delta against the previous window.
+    ///
+    /// # Panics
+    /// Panics if the window range or the next start would overflow `u64`.
+    pub fn advance(&mut self) -> WindowDelta {
+        let s = self.next_start;
+        let e = s
+            .checked_add(self.width)
+            .expect("window end overflows the u64 time axis");
+
+        // Events that fell in the gap between the previous window's end
+        // and this window's start (only possible when slide > width).
+        let keep = self.pending.split_off(&(s, 0));
+        let gapped = std::mem::replace(&mut self.pending, keep);
+        self.gap_events += gapped.len() as u64;
+
+        // Entering: buffered events with time in [s, e).
+        let keep = self.pending.split_off(&(e, 0));
+        let entering = std::mem::replace(&mut self.pending, keep);
+
+        // Leaving: active events with time < s.
+        let keep = self.active.split_off(&(s, 0));
+        let leaving = std::mem::replace(&mut self.active, keep);
+
+        let mut dirty: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+        for &(src, dst) in leaving.values() {
+            dirty.insert((src, dst));
+        }
+        for (&(time, seq), &(src, dst, w)) in &entering {
+            dirty.insert((src, dst));
+            self.pair_events
+                .entry((src, dst))
+                .or_default()
+                .push((seq, time, w));
+            self.active.insert((time, seq), (src, dst));
+        }
+
+        let mut changes = Vec::with_capacity(dirty.len());
+        for &(src, dst) in &dirty {
+            let new = match self.pair_events.get_mut(&(src, dst)) {
+                Some(events) => {
+                    events.retain(|&(_, t, _)| t >= s);
+                    // Entering events were appended after older survivors;
+                    // restore arrival order before re-summing.
+                    events.sort_unstable_by_key(|&(seq, _, _)| seq);
+                    if events.is_empty() {
+                        None
+                    } else {
+                        // Re-sum in arrival order — never subtract; this
+                        // replays `GraphBuilder::add_event` bit for bit.
+                        let mut sum = 0.0;
+                        for &(_, _, w) in events.iter() {
+                            sum += w;
+                        }
+                        Some(sum)
+                    }
+                }
+                None => None,
+            };
+            let old = match new {
+                Some(w) => self.agg.insert((src, dst), w),
+                None => {
+                    self.pair_events.remove(&(src, dst));
+                    self.agg.remove(&(src, dst))
+                }
+            };
+            if old.map(f64::to_bits) != new.map(f64::to_bits) {
+                changes.push(EdgeChange { src, dst, old, new });
+            }
+        }
+        changes.sort_unstable_by_key(EdgeChange::pair);
+
+        self.next_start = s
+            .checked_add(self.slide)
+            .expect("next window start overflows the u64 time axis");
+        WindowDelta {
+            start: s,
+            end: e,
+            changes,
+        }
+    }
+
+    /// Current aggregated weight of `(src, dst)` in the active window.
+    #[must_use]
+    pub fn aggregate_weight(&self, src: NodeId, dst: NodeId) -> Option<Weight> {
+        self.agg.get(&(src, dst)).copied()
+    }
+
+    /// Number of distinct aggregated edges in the active window.
+    #[must_use]
+    pub fn active_edges(&self) -> usize {
+        self.agg.len()
+    }
+
+    /// Events buffered for future windows.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Events rejected by the validity gate (self-loop / non-finite /
+    /// non-positive weight).
+    #[must_use]
+    pub fn invalid_events(&self) -> u64 {
+        self.invalid_events
+    }
+
+    /// Events dropped because they arrived after their window was emitted.
+    #[must_use]
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Events dropped because they fell between windows (`slide > width`).
+    #[must_use]
+    pub fn gap_events(&self) -> u64 {
+        self.gap_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::CommGraph;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ev(time: u64, src: usize, dst: usize, w: f64) -> EdgeEvent {
+        EdgeEvent {
+            time,
+            src: n(src),
+            dst: n(dst),
+            weight: w,
+        }
+    }
+
+    /// Cold rebuild of the window `[s, e)` over `events` in stream order.
+    fn cold(num_nodes: usize, events: &[EdgeEvent], s: u64, e: u64) -> CommGraph {
+        let mut b = GraphBuilder::new();
+        for event in events {
+            if event.time >= s && event.time < e {
+                b.add_event(event.src, event.dst, event.weight);
+            }
+        }
+        b.build(num_nodes)
+    }
+
+    fn graphs_bit_identical(a: &CommGraph, b: &CommGraph) -> bool {
+        a.num_nodes() == b.num_nodes()
+            && a.num_edges() == b.num_edges()
+            && a.total_weight().to_bits() == b.total_weight().to_bits()
+            && a.edges().zip(b.edges()).all(|(x, y)| {
+                x.src == y.src && x.dst == y.dst && x.weight.to_bits() == y.weight.to_bits()
+            })
+    }
+
+    /// Replays deltas onto an empty graph and checks each window against a
+    /// cold rebuild of the same range.
+    fn check_stream(
+        num_nodes: usize,
+        events: &[EdgeEvent],
+        mut w: SlidingWindower,
+        windows: usize,
+    ) {
+        let mut g = CommGraph::from_sorted_edges(num_nodes, Vec::new());
+        for _ in 0..windows {
+            let delta = w.advance();
+            g = g.apply_delta(&delta);
+            let oracle = cold(num_nodes, events, delta.start, delta.end);
+            assert!(
+                graphs_bit_identical(&g, &oracle),
+                "window [{}, {}) diverged from cold rebuild",
+                delta.start,
+                delta.end
+            );
+        }
+    }
+
+    #[test]
+    fn tumbling_matches_cold_rebuild() {
+        let events = vec![
+            ev(0, 0, 1, 2.0),
+            ev(1, 0, 1, 0.125),
+            ev(3, 1, 2, 1.0),
+            ev(11, 0, 1, 4.0),
+            ev(12, 2, 0, 0.5),
+            ev(25, 1, 2, 3.0),
+        ];
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            assert!(w.push(e));
+        }
+        check_stream(3, &events, w, 3);
+    }
+
+    #[test]
+    fn overlapping_windows_resum_in_arrival_order() {
+        // width 10, slide 5: events in the overlap survive into the next
+        // window and their pair weights must re-sum bit-identically.
+        let events = vec![
+            ev(1, 0, 1, 0.1),
+            ev(6, 0, 1, 0.2),
+            ev(7, 1, 2, 1.5),
+            ev(9, 0, 1, 0.3),
+            ev(12, 0, 1, 0.7),
+            ev(14, 2, 1, 2.0),
+        ];
+        let mut w = SlidingWindower::new(0, 10, 5);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut g = CommGraph::from_sorted_edges(3, Vec::new());
+        for _ in 0..3 {
+            let delta = w.advance();
+            g = g.apply_delta(&delta);
+            let oracle = cold(3, &events, delta.start, delta.end);
+            assert!(graphs_bit_identical(&g, &oracle));
+        }
+    }
+
+    #[test]
+    fn gapped_windows_drop_and_count() {
+        // width 5, slide 10: events in [5, 10) fall in the gap.
+        let events = vec![ev(1, 0, 1, 1.0), ev(7, 0, 1, 1.0), ev(12, 1, 2, 1.0)];
+        let mut w = SlidingWindower::new(0, 5, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let d0 = w.advance();
+        assert_eq!((d0.start, d0.end), (0, 5));
+        assert_eq!(d0.len(), 1);
+        let d1 = w.advance();
+        assert_eq!((d1.start, d1.end), (10, 15));
+        assert_eq!(w.gap_events(), 1);
+        // Window 1 retracts (0,1) and inserts (1,2).
+        assert_eq!(d1.len(), 2);
+        assert!(d1.changes[0].is_retraction());
+        assert!(d1.changes[1].is_insertion());
+    }
+
+    #[test]
+    fn invalid_and_late_events_counted() {
+        let mut w = SlidingWindower::tumbling(0, 10);
+        assert!(!w.push(ev(1, 0, 0, 1.0))); // self-loop
+        assert!(!w.push(ev(1, 0, 1, f64::NAN)));
+        assert!(!w.push(ev(1, 0, 1, -2.0)));
+        assert!(!w.push(ev(1, 0, 1, 0.0)));
+        assert_eq!(w.invalid_events(), 4);
+        let _ = w.advance();
+        assert!(!w.push(ev(3, 0, 1, 1.0))); // window [0,10) already emitted
+        assert_eq!(w.late_events(), 1);
+        assert!(w.push(ev(10, 0, 1, 1.0)));
+    }
+
+    #[test]
+    fn bit_equal_resum_is_elided() {
+        // Pair (0,1) has one event per window with the same weight: the
+        // re-summed aggregate is bitwise unchanged, so no change is
+        // emitted even though the underlying events differ.
+        let events = vec![ev(1, 0, 1, 1.5), ev(11, 0, 1, 1.5), ev(12, 1, 2, 1.0)];
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let _ = w.advance();
+        let d1 = w.advance();
+        assert_eq!(d1.len(), 1, "only (1,2) changed: {:?}", d1.changes);
+        assert_eq!(d1.changes[0].pair(), (n(1), n(2)));
+        assert_eq!(w.aggregate_weight(n(0), n(1)), Some(1.5));
+    }
+
+    #[test]
+    fn out_of_order_arrival_resums_in_arrival_order() {
+        // Three same-pair events arrive out of time order; the aggregate
+        // must follow arrival order (what a cold builder over the pushed
+        // stream would compute), not timestamp order.
+        let events = vec![ev(9, 0, 1, 0.1), ev(2, 0, 1, 0.2), ev(5, 0, 1, 0.3)];
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            assert!(w.push(e));
+        }
+        let delta = w.advance();
+        let expected: f64 = 0.1 + 0.2 + 0.3;
+        assert_eq!(delta.len(), 1);
+        assert_eq!(
+            delta.changes[0].new.map(f64::to_bits),
+            Some(expected.to_bits())
+        );
+    }
+
+    #[test]
+    fn delta_summary_counts() {
+        let delta = WindowDelta {
+            start: 0,
+            end: 10,
+            changes: vec![
+                EdgeChange {
+                    src: n(0),
+                    dst: n(1),
+                    old: None,
+                    new: Some(1.0),
+                },
+                EdgeChange {
+                    src: n(1),
+                    dst: n(2),
+                    old: Some(2.0),
+                    new: Some(3.0),
+                },
+                EdgeChange {
+                    src: n(2),
+                    dst: n(0),
+                    old: Some(1.0),
+                    new: None,
+                },
+            ],
+        };
+        assert_eq!(delta.summary(), (1, 1, 1));
+        assert_eq!(delta.touched_nodes().len(), 3);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must be positive")]
+    fn zero_slide_rejected() {
+        let _ = SlidingWindower::new(0, 10, 0);
+    }
+}

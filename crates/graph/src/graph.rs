@@ -4,6 +4,7 @@ use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use crate::delta::WindowDelta;
 use crate::edge::{Edge, Weight};
 use crate::node::NodeId;
 
@@ -147,6 +148,13 @@ impl CommGraph {
             in_weight_sums,
             undirected: OnceLock::new(),
         }
+    }
+
+    /// An edge-less graph over `num_nodes` nodes — the seed of a
+    /// delta-driven stream (see [`Self::apply_delta`]).
+    #[must_use]
+    pub fn empty(num_nodes: usize) -> Self {
+        CommGraph::from_sorted_edges(num_nodes, Vec::new())
     }
 
     /// Number of nodes `|V|` (including isolated nodes).
@@ -320,6 +328,252 @@ impl CommGraph {
         self.undirected.get_or_init(|| self.build_undirected())
     }
 
+    /// Applies a [`WindowDelta`] and returns the next window's graph.
+    ///
+    /// The result is **bit-identical** to rebuilding the new window cold
+    /// through [`GraphBuilder`](crate::GraphBuilder) /
+    /// [`Self::from_sorted_edges`]: dirty adjacency rows are merge-joined
+    /// with the sorted changes while clean rows are copied wholesale, the
+    /// cached weight sums of dirty rows are re-accumulated in the cold
+    /// accumulation order (never decremented — floating-point subtraction
+    /// does not round-trip) while clean sums are copied bitwise, and
+    /// `total_weight` is re-accumulated over the new edge storage order,
+    /// which is exactly the cold construction's accumulation order. If
+    /// this graph's merged undirected CSR has been materialised, only the
+    /// rows incident to a change are re-merged and the rest are copied,
+    /// so the new graph starts warm instead of rebuilding lazily.
+    ///
+    /// # Panics
+    /// Panics if the changes are not strictly sorted by `(src, dst)`, if
+    /// a change references a node `>= num_nodes` or a self-loop, if a
+    /// `new` weight is not finite and positive, or if an `old` weight
+    /// does not bitwise match this graph's current edge weight
+    /// (including presence/absence).
+    #[must_use]
+    pub fn apply_delta(&self, delta: &WindowDelta) -> CommGraph {
+        let n = self.num_nodes;
+        let changes = &delta.changes;
+
+        let mut prev: Option<(NodeId, NodeId)> = None;
+        let mut edge_delta: isize = 0;
+        for c in changes {
+            assert!(
+                c.src.index() < n && c.dst.index() < n,
+                "delta node out of range: {} -> {} with |V| = {n}",
+                c.src,
+                c.dst
+            );
+            assert!(c.src != c.dst, "delta contains a self-loop at {}", c.src);
+            let key = (c.src, c.dst);
+            assert!(
+                prev.is_none_or(|p| p < key),
+                "delta changes must be strictly sorted by (src, dst)"
+            );
+            prev = Some(key);
+            if let Some(w) = c.new {
+                assert!(
+                    w.is_finite() && w > 0.0,
+                    "delta weight must be finite and positive, got {w}"
+                );
+            }
+            assert!(
+                c.old.is_some() || c.new.is_some(),
+                "delta change for {} -> {} has neither old nor new weight",
+                c.src,
+                c.dst
+            );
+            let cur = self.edge_weight(c.src, c.dst);
+            assert!(
+                cur.map(f64::to_bits) == c.old.map(f64::to_bits),
+                "delta `old` weight for {} -> {} does not match the graph ({:?} vs {:?})",
+                c.src,
+                c.dst,
+                c.old,
+                cur
+            );
+            edge_delta += match (c.old, c.new) {
+                (None, Some(_)) => 1,
+                (Some(_), None) => -1,
+                _ => 0,
+            };
+        }
+        let new_m = self
+            .num_edges
+            .checked_add_signed(edge_delta)
+            .expect("delta edge count underflows");
+
+        // Out-adjacency: merge dirty rows, copy clean spans.
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        out_offsets.push(0usize);
+        let mut out_targets: Vec<NodeId> = Vec::with_capacity(new_m);
+        let mut out_weights: Vec<Weight> = Vec::with_capacity(new_m);
+        let mut dirty_out_rows: Vec<usize> = Vec::new();
+        let mut row_changes: Vec<(NodeId, Option<Weight>)> = Vec::new();
+        let mut ci = 0usize;
+        for i in 0..n {
+            let row = self.out_offsets[i]..self.out_offsets[i + 1];
+            let mut cj = ci;
+            while cj < changes.len() && changes[cj].src.index() == i {
+                cj += 1;
+            }
+            if ci == cj {
+                out_targets.extend_from_slice(&self.out_targets[row.clone()]);
+                out_weights.extend_from_slice(&self.out_weights[row]);
+            } else {
+                dirty_out_rows.push(i);
+                row_changes.clear();
+                row_changes.extend(changes[ci..cj].iter().map(|c| (c.dst, c.new)));
+                merge_row(
+                    &self.out_targets[row.clone()],
+                    &self.out_weights[row],
+                    &row_changes,
+                    &mut out_targets,
+                    &mut out_weights,
+                );
+                ci = cj;
+            }
+            out_offsets.push(out_targets.len());
+        }
+        debug_assert_eq!(out_targets.len(), new_m);
+
+        // In-adjacency: the same changes viewed in (dst, src) order.
+        let mut by_dst: Vec<usize> = (0..changes.len()).collect();
+        by_dst.sort_unstable_by_key(|&k| (changes[k].dst, changes[k].src));
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        in_offsets.push(0usize);
+        let mut in_sources: Vec<NodeId> = Vec::with_capacity(new_m);
+        let mut in_weights: Vec<Weight> = Vec::with_capacity(new_m);
+        let mut dirty_in_rows: Vec<usize> = Vec::new();
+        let mut ci = 0usize;
+        for i in 0..n {
+            let row = self.in_offsets[i]..self.in_offsets[i + 1];
+            let mut cj = ci;
+            while cj < by_dst.len() && changes[by_dst[cj]].dst.index() == i {
+                cj += 1;
+            }
+            if ci == cj {
+                in_sources.extend_from_slice(&self.in_sources[row.clone()]);
+                in_weights.extend_from_slice(&self.in_weights[row]);
+            } else {
+                dirty_in_rows.push(i);
+                row_changes.clear();
+                row_changes.extend(
+                    by_dst[ci..cj]
+                        .iter()
+                        .map(|&k| (changes[k].src, changes[k].new)),
+                );
+                merge_row(
+                    &self.in_sources[row.clone()],
+                    &self.in_weights[row],
+                    &row_changes,
+                    &mut in_sources,
+                    &mut in_weights,
+                );
+                ci = cj;
+            }
+            in_offsets.push(in_sources.len());
+        }
+
+        // Cached sums: clean entries copied bitwise, dirty rows
+        // re-accumulated left-to-right over the new row — the same
+        // per-row order (ascending neighbour id) the cold build uses.
+        let mut out_weight_sums = self.out_weight_sums.clone();
+        for &i in &dirty_out_rows {
+            let mut sum = 0.0;
+            for &w in &out_weights[out_offsets[i]..out_offsets[i + 1]] {
+                sum += w;
+            }
+            out_weight_sums[i] = sum;
+        }
+        let mut in_weight_sums = self.in_weight_sums.clone();
+        for &i in &dirty_in_rows {
+            let mut sum = 0.0;
+            for &w in &in_weights[in_offsets[i]..in_offsets[i + 1]] {
+                sum += w;
+            }
+            in_weight_sums[i] = sum;
+        }
+
+        // Cold construction accumulates `total_weight` over edges in
+        // (src, dst) order — exactly the storage order of `out_weights` —
+        // so one linear pass reproduces it bit for bit.
+        let mut total_weight = 0.0;
+        for &w in &out_weights {
+            total_weight += w;
+        }
+
+        // Patch the merged undirected CSR if it has been materialised:
+        // a change (s, d) perturbs only rows s and d (their adjacency or
+        // incident-volume normaliser); every other row merges bitwise
+        // identical inputs and is copied instead of re-merged.
+        let undirected = OnceLock::new();
+        if let Some(old_und) = self.undirected.get() {
+            let mut dirty_node = vec![false; n];
+            for c in changes {
+                dirty_node[c.src.index()] = true;
+                dirty_node[c.dst.index()] = true;
+            }
+            let mut offsets = Vec::with_capacity(n + 1);
+            offsets.push(0usize);
+            let mut neighbors: Vec<NodeId> =
+                Vec::with_capacity(old_und.neighbors.len() + 2 * changes.len());
+            let mut probs: Vec<f64> = Vec::with_capacity(old_und.probs.len() + 2 * changes.len());
+            for i in 0..n {
+                if dirty_node[i] {
+                    let sum = out_weight_sums[i] + in_weight_sums[i];
+                    if sum > 0.0 {
+                        merge_undirected_row(
+                            &out_targets[out_offsets[i]..out_offsets[i + 1]],
+                            &out_weights[out_offsets[i]..out_offsets[i + 1]],
+                            &in_sources[in_offsets[i]..in_offsets[i + 1]],
+                            &in_weights[in_offsets[i]..in_offsets[i + 1]],
+                            1.0 / sum,
+                            &mut neighbors,
+                            &mut probs,
+                        );
+                    }
+                } else {
+                    let row = old_und.offsets[i]..old_und.offsets[i + 1];
+                    neighbors.extend_from_slice(&old_und.neighbors[row.clone()]);
+                    probs.extend_from_slice(&old_und.probs[row]);
+                }
+                offsets.push(neighbors.len());
+            }
+            let csr = UndirectedCsr {
+                offsets,
+                neighbors,
+                probs,
+            };
+            #[cfg(debug_assertions)]
+            for i in 0..n {
+                let row = csr.offsets[i]..csr.offsets[i + 1];
+                if !row.is_empty() {
+                    let mass: f64 = csr.probs[row].iter().sum();
+                    debug_assert!(
+                        (mass - 1.0).abs() <= 1e-9,
+                        "patched undirected row {i} has mass {mass}, expected 1"
+                    );
+                }
+            }
+            let _ = undirected.set(csr);
+        }
+
+        CommGraph {
+            num_nodes: n,
+            num_edges: out_targets.len(),
+            total_weight,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+            out_weight_sums,
+            in_weight_sums,
+            undirected,
+        }
+    }
+
     /// Merges the sorted out- and in-rows of every node, summing weights
     /// of neighbours present in both directions, and pre-divides by the
     /// node's total incident volume.
@@ -334,30 +588,15 @@ impl CommGraph {
         for i in 0..self.num_nodes {
             let sum = self.out_weight_sums[i] + self.in_weight_sums[i];
             if sum > 0.0 {
-                let inv = 1.0 / sum;
-                let outs = &self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]];
-                let out_ws = &self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]];
-                let ins = &self.in_sources[self.in_offsets[i]..self.in_offsets[i + 1]];
-                let in_ws = &self.in_weights[self.in_offsets[i]..self.in_offsets[i + 1]];
-                let (mut a, mut b) = (0usize, 0usize);
-                while a < outs.len() || b < ins.len() {
-                    let (u, w) = if b >= ins.len() || (a < outs.len() && outs[a] < ins[b]) {
-                        let pair = (outs[a], out_ws[a]);
-                        a += 1;
-                        pair
-                    } else if a >= outs.len() || ins[b] < outs[a] {
-                        let pair = (ins[b], in_ws[b]);
-                        b += 1;
-                        pair
-                    } else {
-                        let pair = (outs[a], out_ws[a] + in_ws[b]);
-                        a += 1;
-                        b += 1;
-                        pair
-                    };
-                    neighbors.push(u);
-                    probs.push(w * inv);
-                }
+                merge_undirected_row(
+                    &self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]],
+                    &self.out_weights[self.out_offsets[i]..self.out_offsets[i + 1]],
+                    &self.in_sources[self.in_offsets[i]..self.in_offsets[i + 1]],
+                    &self.in_weights[self.in_offsets[i]..self.in_offsets[i + 1]],
+                    1.0 / sum,
+                    &mut neighbors,
+                    &mut probs,
+                );
             }
             offsets.push(neighbors.len());
         }
@@ -383,6 +622,71 @@ impl CommGraph {
             }
         }
         csr
+    }
+}
+
+/// Merge-joins one sorted adjacency row with its sorted `(node, new)`
+/// changes: `Some(w)` replaces or inserts the entry, `None` removes it.
+/// Output stays sorted by node id, matching cold CSR row order.
+fn merge_row(
+    nodes: &[NodeId],
+    weights: &[Weight],
+    changes: &[(NodeId, Option<Weight>)],
+    out_nodes: &mut Vec<NodeId>,
+    out_weights: &mut Vec<Weight>,
+) {
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < nodes.len() || b < changes.len() {
+        if b >= changes.len() || (a < nodes.len() && nodes[a] < changes[b].0) {
+            out_nodes.push(nodes[a]);
+            out_weights.push(weights[a]);
+            a += 1;
+        } else {
+            if let Some(w) = changes[b].1 {
+                out_nodes.push(changes[b].0);
+                out_weights.push(w);
+            }
+            if a < nodes.len() && nodes[a] == changes[b].0 {
+                a += 1;
+            }
+            b += 1;
+        }
+    }
+}
+
+/// Merges one node's sorted out- and in-rows, summing the weights of
+/// neighbours present in both directions and pre-dividing by `inv` — the
+/// per-row step of the undirected CSR build, shared between
+/// `build_undirected` and the dirty-row patching in
+/// [`CommGraph::apply_delta`] so the two paths are bit-identical by
+/// construction.
+fn merge_undirected_row(
+    outs: &[NodeId],
+    out_ws: &[Weight],
+    ins: &[NodeId],
+    in_ws: &[Weight],
+    inv: f64,
+    neighbors: &mut Vec<NodeId>,
+    probs: &mut Vec<f64>,
+) {
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < outs.len() || b < ins.len() {
+        let (u, w) = if b >= ins.len() || (a < outs.len() && outs[a] < ins[b]) {
+            let pair = (outs[a], out_ws[a]);
+            a += 1;
+            pair
+        } else if a >= outs.len() || ins[b] < outs[a] {
+            let pair = (ins[b], in_ws[b]);
+            b += 1;
+            pair
+        } else {
+            let pair = (outs[a], out_ws[a] + in_ws[b]);
+            a += 1;
+            b += 1;
+            pair
+        };
+        neighbors.push(u);
+        probs.push(w * inv);
     }
 }
 
@@ -567,5 +871,149 @@ mod tests {
     fn zero_weight_rejected() {
         let edges = vec![Edge::new(n(0), n(1), 0.0)];
         let _ = CommGraph::from_sorted_edges(2, edges);
+    }
+
+    use crate::delta::{EdgeChange, WindowDelta};
+
+    fn delta(changes: Vec<EdgeChange>) -> WindowDelta {
+        WindowDelta {
+            start: 0,
+            end: 1,
+            changes,
+        }
+    }
+
+    fn ch(src: usize, dst: usize, old: Option<f64>, new: Option<f64>) -> EdgeChange {
+        EdgeChange {
+            src: n(src),
+            dst: n(dst),
+            old,
+            new,
+        }
+    }
+
+    /// Asserts every derived quantity of `got` bitwise matches `want`,
+    /// including cached sums and (if both are warm) undirected rows.
+    fn assert_bit_identical(got: &CommGraph, want: &CommGraph) {
+        assert_eq!(got.num_nodes(), want.num_nodes());
+        assert_eq!(got.num_edges(), want.num_edges());
+        assert_eq!(got.total_weight().to_bits(), want.total_weight().to_bits());
+        for v in got.nodes() {
+            assert_eq!(
+                got.out_weight_sum(v).to_bits(),
+                want.out_weight_sum(v).to_bits(),
+                "out sum of {v}"
+            );
+            assert_eq!(
+                got.in_weight_sum(v).to_bits(),
+                want.in_weight_sum(v).to_bits(),
+                "in sum of {v}"
+            );
+            let go: Vec<_> = got.out_neighbors(v).collect();
+            let wo: Vec<_> = want.out_neighbors(v).collect();
+            assert_eq!(go.len(), wo.len(), "out row of {v}");
+            for ((gu, gw), (wu, ww)) in go.iter().zip(&wo) {
+                assert_eq!(gu, wu);
+                assert_eq!(gw.to_bits(), ww.to_bits());
+            }
+            let gi: Vec<_> = got.in_neighbors(v).collect();
+            let wi: Vec<_> = want.in_neighbors(v).collect();
+            assert_eq!(gi.len(), wi.len(), "in row of {v}");
+            for ((gu, gw), (wu, ww)) in gi.iter().zip(&wi) {
+                assert_eq!(gu, wu);
+                assert_eq!(gw.to_bits(), ww.to_bits());
+            }
+        }
+    }
+
+    fn assert_undirected_bit_identical(got: &CommGraph, want: &CommGraph) {
+        for v in got.nodes() {
+            let gr: Vec<_> = got
+                .undirected_transition_row(v)
+                .map(|r| r.collect())
+                .unwrap_or_default();
+            let wr: Vec<_> = want
+                .undirected_transition_row(v)
+                .map(|r| r.collect())
+                .unwrap_or_default();
+            assert_eq!(gr.len(), wr.len(), "undirected row of {v}");
+            for ((gu, gp), (wu, wp)) in gr.iter().zip(&wr) {
+                assert_eq!(gu, wu);
+                assert_eq!(gp.to_bits(), wp.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_cold_rebuild() {
+        let g = sample(); // 0->1 (2.0), 0->2 (1.0), 1->2 (4.0)
+        g.warm_undirected_view();
+        // Insert 2->0, update 0->1, retract 1->2.
+        let d = delta(vec![
+            ch(0, 1, Some(2.0), Some(2.5)),
+            ch(1, 2, Some(4.0), None),
+            ch(2, 0, None, Some(0.25)),
+        ]);
+        let got = g.apply_delta(&d);
+
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 2.5);
+        b.add_event(n(0), n(2), 1.0);
+        b.add_event(n(2), n(0), 0.25);
+        let want = b.build(4);
+        assert_bit_identical(&got, &want);
+        // The undirected view was patched eagerly and matches a cold one.
+        assert_undirected_bit_identical(&got, &want);
+    }
+
+    #[test]
+    fn apply_delta_from_empty_and_to_empty() {
+        let empty = CommGraph::empty(3);
+        let d = delta(vec![ch(0, 1, None, Some(1.5)), ch(1, 2, None, Some(2.0))]);
+        let g = empty.apply_delta(&d);
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 1.5);
+        b.add_event(n(1), n(2), 2.0);
+        assert_bit_identical(&g, &b.build(3));
+
+        // Retract everything: back to an edge-less graph.
+        let wipe = delta(vec![ch(0, 1, Some(1.5), None), ch(1, 2, Some(2.0), None)]);
+        let gone = g.apply_delta(&wipe);
+        assert_bit_identical(&gone, &CommGraph::empty(3));
+    }
+
+    #[test]
+    fn apply_delta_cold_undirected_untouched() {
+        // If the source graph never materialised the undirected view,
+        // the patched graph must not pretend to have one — it is built
+        // lazily and still matches a cold build.
+        let g = sample();
+        let d = delta(vec![ch(0, 1, Some(2.0), Some(3.0))]);
+        let got = g.apply_delta(&d);
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 3.0);
+        b.add_event(n(0), n(2), 1.0);
+        b.add_event(n(1), n(2), 4.0);
+        let want = b.build(4);
+        assert_undirected_bit_identical(&got, &want);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the graph")]
+    fn apply_delta_rejects_stale_old_weight() {
+        let g = sample();
+        let d = delta(vec![ch(0, 1, Some(7.0), Some(1.0))]);
+        let _ = g.apply_delta(&d);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn apply_delta_rejects_unsorted_changes() {
+        let g = sample();
+        let d = delta(vec![
+            ch(1, 2, Some(4.0), None),
+            ch(0, 1, Some(2.0), Some(3.0)),
+        ]);
+        let _ = g.apply_delta(&d);
     }
 }

@@ -23,6 +23,9 @@
 //! * [`window`] — slicing a timestamped event stream into a
 //!   [`GraphSequence`](window::GraphSequence) of per-window graphs over a
 //!   shared node space.
+//! * [`SlidingWindower`] / [`WindowDelta`] — the streaming counterpart:
+//!   incremental window advances that emit aggregated-edge deltas, applied
+//!   by [`CommGraph::apply_delta`] bit-identically to a cold rebuild.
 //! * [`traversal`] — BFS, h-hop neighbourhoods, connected components and
 //!   effective-diameter estimation.
 //! * [`stats`] — degree/weight distributions and tail diagnostics used to
@@ -63,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+mod delta;
 mod edge;
 mod error;
 mod fenwick;
@@ -78,6 +82,7 @@ pub mod traversal;
 pub mod window;
 
 pub use builder::GraphBuilder;
+pub use delta::{EdgeChange, SlidingWindower, WindowDelta};
 pub use edge::{Edge, EdgeEvent, Weight};
 pub use error::GraphError;
 pub use graph::{CommGraph, NeighborIter};

@@ -32,17 +32,24 @@ impl WindowSpec {
     }
 
     /// The index of the window containing `time`, or `None` for events
-    /// before `start`.
+    /// before `start` or for window indices that do not fit in `usize`
+    /// (possible on 32-bit targets, where `u64::MAX / width` can exceed
+    /// `usize::MAX`).
     #[inline]
     pub fn window_of(&self, time: u64) -> Option<usize> {
         time.checked_sub(self.start)
-            .map(|dt| (dt / self.width) as usize)
+            .and_then(|dt| usize::try_from(dt / self.width).ok())
     }
 
-    /// The half-open time range `[lo, hi)` covered by window `w`.
-    pub fn range_of(&self, w: usize) -> (u64, u64) {
-        let lo = self.start + (w as u64) * self.width;
-        (lo, lo + self.width)
+    /// The half-open time range `[lo, hi)` covered by window `w`, or
+    /// `None` if the range overflows the `u64` time axis.
+    pub fn range_of(&self, w: usize) -> Option<(u64, u64)> {
+        let lo = u64::try_from(w)
+            .ok()
+            .and_then(|w| w.checked_mul(self.width))
+            .and_then(|dw| self.start.checked_add(dw))?;
+        let hi = lo.checked_add(self.width)?;
+        Some((lo, hi))
     }
 }
 
@@ -118,10 +125,27 @@ impl GraphSequence {
 
     /// Nodes with at least one outgoing edge in *every* window — the stable
     /// population over which cross-window properties are best measured.
+    ///
+    /// Computed in one pass over the windows with a per-node counter:
+    /// each window contributes its active sources once, so the cost is
+    /// `O(Σ_t |sources(G_t)| + N)` rather than the `O(T·N)` of probing
+    /// every node in every window.
     pub fn persistent_sources(&self) -> Vec<NodeId> {
-        (0..self.num_nodes)
-            .map(NodeId::new)
-            .filter(|&v| self.graphs.iter().all(|g| g.out_degree(v) > 0))
+        if self.graphs.is_empty() {
+            return (0..self.num_nodes).map(NodeId::new).collect();
+        }
+        let mut counts = vec![0usize; self.num_nodes];
+        for g in &self.graphs {
+            for v in g.active_sources() {
+                counts[v.index()] += 1;
+            }
+        }
+        let t = self.graphs.len();
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == t)
+            .map(|(i, _)| NodeId::new(i))
             .collect()
     }
 
@@ -146,7 +170,18 @@ mod tests {
         assert_eq!(spec.window_of(100), Some(0));
         assert_eq!(spec.window_of(109), Some(0));
         assert_eq!(spec.window_of(110), Some(1));
-        assert_eq!(spec.range_of(2), (120, 130));
+        assert_eq!(spec.range_of(2), Some((120, 130)));
+    }
+
+    #[test]
+    fn range_of_overflow_is_none() {
+        let spec = WindowSpec::new(u64::MAX - 5, 10);
+        // lo itself overflows for w >= 1, and even w = 0 has hi > u64::MAX.
+        assert_eq!(spec.range_of(0), None);
+        assert_eq!(spec.range_of(usize::MAX), None);
+        // A huge but representable window is fine.
+        let wide = WindowSpec::new(0, 1 << 32);
+        assert_eq!(wide.range_of(3), Some((3 << 32, 4 << 32)));
     }
 
     #[test]
@@ -200,6 +235,34 @@ mod tests {
         assert_eq!(seq.consecutive_pairs().count(), 2);
         // node 0 speaks in all three windows; node 1 only in window 0.
         assert_eq!(seq.persistent_sources(), vec![n(0)]);
+    }
+
+    #[test]
+    fn persistent_sources_matches_per_node_probe() {
+        // Regression for the one-pass counter rewrite: the result must
+        // agree with the original per-node all-windows probe, in order.
+        let events = vec![
+            EdgeEvent::unit(0, n(0), n(2)),
+            EdgeEvent::unit(1, n(1), n(2)),
+            EdgeEvent::unit(2, n(3), n(0)),
+            EdgeEvent::unit(10, n(0), n(1)),
+            EdgeEvent::unit(11, n(1), n(0)),
+            EdgeEvent::unit(12, n(3), n(2)),
+            EdgeEvent::unit(20, n(0), n(3)),
+            EdgeEvent::unit(21, n(3), n(1)),
+        ];
+        let seq = GraphSequence::from_events(4, WindowSpec::new(0, 10), &events);
+        let brute: Vec<NodeId> = (0..seq.num_nodes())
+            .map(NodeId::new)
+            .filter(|&v| seq.iter().all(|g| g.out_degree(v) > 0))
+            .collect();
+        assert_eq!(seq.persistent_sources(), brute);
+        assert_eq!(seq.persistent_sources(), vec![n(0), n(3)]);
+
+        // With no windows every node is vacuously persistent (unchanged
+        // behaviour of the old implementation).
+        let empty = GraphSequence::from_events(3, WindowSpec::new(0, 10), &[]);
+        assert_eq!(empty.persistent_sources().len(), 3);
     }
 
     #[test]

@@ -67,6 +67,7 @@ const MUST_USE_PREFIXES: &[&str] = &[
     "crates/core/src/sparse.rs",
     "crates/core/src/properties.rs",
     "crates/core/src/engine.rs",
+    "crates/core/src/pipeline.rs",
     "crates/core/src/distance/",
     "crates/core/src/scheme/",
 ];
@@ -458,6 +459,9 @@ mod tests {
             "pub fn iter(&self) -> impl Iterator<Item = u32> + '_ { 0..1 }\n"
         )
         .is_empty());
+        // The streaming pipeline's query surface is covered too.
+        let d = rules("crates/core/src/pipeline.rs", bad);
+        assert_eq!(d.iter().filter(|d| d.rule == "must-use").count(), 1);
         // Other paths are out of scope.
         assert!(rules("crates/apps/src/x.rs", bad).is_empty());
     }
