@@ -17,7 +17,7 @@ use comsig_core::distance::BatchDistance;
 use comsig_core::scheme::SignatureScheme;
 use comsig_core::SignatureSet;
 use comsig_eval::index::{MatchWorkspace, PostingsIndex};
-use comsig_graph::{CommGraph, GraphBuilder, NodeId};
+use comsig_graph::{CommGraph, GraphBuilder, NodeId, ShardPlan};
 
 fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
     for i in (1..xs.len()).rev() {
@@ -161,46 +161,92 @@ pub fn run_algorithm1(
     index_t1: &PostingsIndex<'_>,
     cfg: &DetectorConfig,
 ) -> Detection {
+    run_algorithm1_with(dist, sigs_t, index_t1, cfg, &ShardPlan::new(1))
+}
+
+/// [`run_algorithm1`], sharded per `plan`. Both phases parallelise over
+/// subjects with an order-preserving merge, so the output is
+/// bit-identical at every thread count:
+///
+/// * self-similarities are computed per shard but collected and **summed
+///   in subject order**, so the adaptive threshold `δ` sees the same
+///   float additions as the serial pass;
+/// * each shard resolves its suspects with a private [`MatchWorkspace`]
+///   (index sweeps are read-only), and the per-subject verdicts are
+///   folded into `non_suspects` / `detected` serially in subject order.
+pub fn run_algorithm1_with(
+    dist: &dyn BatchDistance,
+    sigs_t: &SignatureSet,
+    index_t1: &PostingsIndex<'_>,
+    cfg: &DetectorConfig,
+    plan: &ShardPlan,
+) -> Detection {
     let subjects = sigs_t.subjects();
     let sigs_t1 = index_t1.candidates();
+    let ranges = plan.ranges(subjects.len());
 
-    // Self-similarities A[v, v].
-    let self_sim: FxHashMap<NodeId, f64> = subjects
-        .iter()
-        .map(|&v| {
-            let a = sigs_t.get(v).expect("subject in t");
-            let b = sigs_t1.get(v).expect("subject in t+1");
-            (v, 1.0 - dist.distance(a, b))
-        })
-        .collect();
+    // Self-similarities A[v, v], in subject order.
+    let sims: Vec<f64> = rayon::scope_chunks(&ranges, |_, r| {
+        subjects[r]
+            .iter()
+            .map(|&v| {
+                let a = sigs_t.get(v).expect("subject in t");
+                let b = sigs_t1.get(v).expect("subject in t+1");
+                1.0 - dist.distance(a, b)
+            })
+            .collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let delta = if subjects.is_empty() {
         0.0
     } else {
-        self_sim.values().sum::<f64>() / (cfg.threshold_divisor * subjects.len() as f64)
+        sims.iter().sum::<f64>() / (cfg.threshold_divisor * subjects.len() as f64)
     };
+    let self_sim: FxHashMap<NodeId, f64> =
+        subjects.iter().copied().zip(sims.iter().copied()).collect();
 
     // Cross-match suspects through the inverted index: built once over
     // the window-t+1 signatures, each suspect costs one top-ℓ posting
     // sweep (ascending distance == descending similarity, ties by id)
     // instead of a full |V| scan and sort.
-    let mut ws = MatchWorkspace::new();
+    enum Verdict {
+        Clear,
+        Pair(NodeId),
+    }
+    let verdicts: Vec<Verdict> = rayon::scope_chunks(&ranges, |_, r| {
+        let mut ws = MatchWorkspace::new();
+        subjects[r]
+            .iter()
+            .map(|&v| {
+                if self_sim[&v] > delta {
+                    return Verdict::Clear;
+                }
+                // v looks unlike itself: find who v's old behaviour
+                // moved to.
+                let q = sigs_t.get(v).expect("subject in t");
+                let top = index_t1.rank_top_l_with(dist, q, cfg.top_l, &mut ws);
+                let hit = top
+                    .entries()
+                    .iter()
+                    .find(|&&(u, _)| u != v && self_sim[&u] <= delta);
+                match hit {
+                    Some(&(u, _)) => Verdict::Pair(u),
+                    None => Verdict::Clear,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut non_suspects = Vec::new();
     let mut detected = Vec::new();
-    for &v in subjects {
-        if self_sim[&v] > delta {
-            non_suspects.push(v);
-            continue;
-        }
-        // v looks unlike itself: find who v's old behaviour moved to.
-        let q = sigs_t.get(v).expect("subject in t");
-        let top = index_t1.rank_top_l_with(dist, q, cfg.top_l, &mut ws);
-        let hit = top
-            .entries()
-            .iter()
-            .find(|&&(u, _)| u != v && self_sim[&u] <= delta);
-        match hit {
-            Some(&(u, _)) => detected.push((v, u)),
-            None => non_suspects.push(v),
+    for (&v, verdict) in subjects.iter().zip(&verdicts) {
+        match *verdict {
+            Verdict::Clear => non_suspects.push(v),
+            Verdict::Pair(u) => detected.push((v, u)),
         }
     }
     Detection {

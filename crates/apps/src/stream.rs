@@ -14,10 +14,10 @@ use comsig_core::distance::{BatchDistance, SignatureDistance};
 use comsig_core::pipeline::{AdvanceReport, DeltaScheme, SignaturePipeline};
 use comsig_core::SignatureSet;
 use comsig_eval::index::PostingsIndex;
-use comsig_graph::{CommGraph, NodeId, WindowDelta};
+use comsig_graph::{CommGraph, NodeId, ShardPlan, WindowDelta};
 
 use crate::anomaly::{anomaly_scores_from_sets, AnomalyScore};
-use crate::masquerade::{run_algorithm1, Detection, DetectorConfig};
+use crate::masquerade::{run_algorithm1_with, Detection, DetectorConfig};
 
 /// Streaming label-masquerading detector (Algorithm 1, online).
 ///
@@ -32,19 +32,42 @@ pub struct StreamingMasquerade<'a, S: DeltaScheme + ?Sized> {
     pipeline: SignaturePipeline<'a, S>,
     index: PostingsIndex<'static>,
     cfg: DetectorConfig,
+    plan: ShardPlan,
+    /// The previous window's signatures, double-buffered: after each
+    /// advance only the dirty subjects are patched in, instead of
+    /// cloning the full set every window.
+    prev: SignatureSet,
 }
 
 impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
     /// Seeds the detector on an initial window graph (often
-    /// [`CommGraph::empty`]) and the fixed subject population.
+    /// [`CommGraph::empty`]) and the fixed subject population, advancing
+    /// with a machine-sized [`ShardPlan`].
     #[must_use]
     pub fn new(scheme: &'a S, graph: CommGraph, subjects: &[NodeId], cfg: DetectorConfig) -> Self {
-        let pipeline = SignaturePipeline::new(scheme, graph, subjects, cfg.k);
+        Self::with_plan(scheme, graph, subjects, cfg, ShardPlan::auto())
+    }
+
+    /// [`new`](Self::new) with an explicit shard plan, applied to the
+    /// pipeline advance, the index patching and the detector sweep.
+    /// Every plan produces bit-identical detections.
+    #[must_use]
+    pub fn with_plan(
+        scheme: &'a S,
+        graph: CommGraph,
+        subjects: &[NodeId],
+        cfg: DetectorConfig,
+        plan: ShardPlan,
+    ) -> Self {
+        let pipeline = SignaturePipeline::with_plan(scheme, graph, subjects, cfg.k, plan);
         let index = PostingsIndex::build_owned(pipeline.signatures().clone());
+        let prev = pipeline.signatures().clone();
         StreamingMasquerade {
             pipeline,
             index,
             cfg,
+            plan,
+            prev,
         }
     }
 
@@ -64,14 +87,25 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
     /// previous and the new window. Returns the detection plus the
     /// pipeline's advance report.
     pub fn advance(&mut self, dist: &dyn BatchDistance, delta: &WindowDelta) -> StreamDetection {
-        let prev = self.pipeline.signatures().clone();
         let report = self.pipeline.advance(delta);
         let new_sigs = self.pipeline.signatures();
-        self.index.update(report.dirty.iter().map(|&v| {
-            let sig = new_sigs.get(v).expect("dirty subject is maintained");
-            (v, sig.clone())
-        }));
-        let detection = run_algorithm1(dist, &prev, &self.index, &self.cfg);
+        self.index.update_with(
+            report.dirty.iter().map(|&v| {
+                let sig = new_sigs.get(v).expect("dirty subject is maintained");
+                (v, sig.clone())
+            }),
+            &self.plan,
+        );
+        let detection = run_algorithm1_with(dist, &self.prev, &self.index, &self.cfg, &self.plan);
+        // Roll the double buffer forward: only the dirty subjects differ
+        // between the windows.
+        for &v in &report.dirty {
+            let sig = new_sigs
+                .get(v)
+                .expect("dirty subject is maintained")
+                .clone();
+            let _ = self.prev.replace(v, sig);
+        }
         StreamDetection { detection, report }
     }
 }
@@ -91,16 +125,33 @@ pub struct StreamDetection {
 #[derive(Debug)]
 pub struct StreamingAnomaly<'a, S: DeltaScheme + ?Sized> {
     pipeline: SignaturePipeline<'a, S>,
+    /// Previous window's signatures, patched per advance from the dirty
+    /// list (same double-buffer discipline as [`StreamingMasquerade`]).
+    prev: SignatureSet,
 }
 
 impl<'a, S: DeltaScheme + ?Sized> StreamingAnomaly<'a, S> {
     /// Seeds the detector on an initial window graph and the fixed
-    /// subject population, with signature length `k`.
+    /// subject population, with signature length `k`, advancing with a
+    /// machine-sized [`ShardPlan`].
     #[must_use]
     pub fn new(scheme: &'a S, graph: CommGraph, subjects: &[NodeId], k: usize) -> Self {
-        StreamingAnomaly {
-            pipeline: SignaturePipeline::new(scheme, graph, subjects, k),
-        }
+        Self::with_plan(scheme, graph, subjects, k, ShardPlan::auto())
+    }
+
+    /// [`new`](Self::new) with an explicit shard plan; every plan
+    /// produces bit-identical scores.
+    #[must_use]
+    pub fn with_plan(
+        scheme: &'a S,
+        graph: CommGraph,
+        subjects: &[NodeId],
+        k: usize,
+        plan: ShardPlan,
+    ) -> Self {
+        let pipeline = SignaturePipeline::with_plan(scheme, graph, subjects, k, plan);
+        let prev = pipeline.signatures().clone();
+        StreamingAnomaly { pipeline, prev }
     }
 
     /// The current window's signatures.
@@ -117,9 +168,16 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingAnomaly<'a, S> {
         dist: &dyn SignatureDistance,
         delta: &WindowDelta,
     ) -> (Vec<AnomalyScore>, AdvanceReport) {
-        let prev = self.pipeline.signatures().clone();
         let report = self.pipeline.advance(delta);
-        let scores = anomaly_scores_from_sets(dist, &prev, self.pipeline.signatures());
+        let new_sigs = self.pipeline.signatures();
+        let scores = anomaly_scores_from_sets(dist, &self.prev, new_sigs);
+        for &v in &report.dirty {
+            let sig = new_sigs
+                .get(v)
+                .expect("dirty subject is maintained")
+                .clone();
+            let _ = self.prev.replace(v, sig);
+        }
         (scores, report)
     }
 }
@@ -272,6 +330,48 @@ mod tests {
         }
         let rebuilt = PostingsIndex::build(det.index.candidates());
         assert_eq!(det.index.posting_mass(), rebuilt.posting_mass());
+    }
+
+    /// Every shard plan must produce bit-identical streaming detections
+    /// and byte-identical index layouts — multi-core advance is pure
+    /// scheduling.
+    #[test]
+    fn streaming_masquerade_plans_bit_identical() {
+        let scheme = Rwr::truncated(0.15, 2);
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..NUM_NODES).map(n).collect();
+        let cfg = DetectorConfig {
+            k: 4,
+            ..DetectorConfig::default()
+        };
+        let runs: Vec<(Vec<StreamDetection>, u64)> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&threads| {
+                let mut w = SlidingWindower::tumbling(0, 10);
+                for &e in &events {
+                    w.push(e);
+                }
+                let mut det = StreamingMasquerade::with_plan(
+                    &scheme,
+                    CommGraph::empty(NUM_NODES),
+                    &subjects,
+                    cfg,
+                    ShardPlan::new(threads),
+                );
+                let steps = (0..4).map(|_| det.advance(&SHel, &w.advance())).collect();
+                (steps, det.index.layout_digest())
+            })
+            .collect();
+        let (base_steps, base_digest) = &runs[0];
+        for (i, (steps, digest)) in runs.iter().enumerate().skip(1) {
+            assert_eq!(digest, base_digest, "plan #{i}: index layout diverged");
+            for (a, b) in base_steps.iter().zip(steps) {
+                assert_eq!(a.detection.delta.to_bits(), b.detection.delta.to_bits());
+                assert_eq!(a.detection.non_suspects, b.detection.non_suspects);
+                assert_eq!(a.detection.detected, b.detection.detected);
+                assert_eq!(a.report.dirty, b.report.dirty);
+            }
+        }
     }
 
     /// Streaming anomaly scores must equal scores computed from cold

@@ -25,7 +25,7 @@ use comsig_core::pipeline::{DeltaScheme, SignaturePipeline};
 use comsig_core::scheme::{Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
 use comsig_core::SignatureSet;
 use comsig_eval::matcher::{rank_all, rank_all_reference};
-use comsig_graph::{CommGraph, NodeId};
+use comsig_graph::{CommGraph, NodeId, ShardPlan};
 
 /// Samples per measurement; the median is reported.
 const SAMPLES: usize = 7;
@@ -281,11 +281,110 @@ fn pipeline_snapshot() {
         "k": STREAM_K,
         "samples": SAMPLES,
         "churn": Value::Object(churn_map),
+        "thread_scaling": thread_scaling_axis(),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     let body = serde_json::to_string_pretty(&out).expect("snapshot serialises");
     std::fs::write(path, body + "\n").expect("write BENCH_pipeline.json");
     eprintln!("wrote {path}");
+}
+
+/// Subject count of the thread-scaling axis: a 10^5-subject high-churn
+/// stream sharded over explicit [`ShardPlan`]s.
+const SCALE_LOCALS: usize = 100_000;
+
+/// External hosts of the thread-scaling workload (same 1:4 ratio as the
+/// churn sweep).
+const SCALE_EXTERNALS: usize = 400_000;
+
+/// Churn of the thread-scaling workload — high enough that the advance
+/// is dominated by signature recomputation rather than delta plumbing.
+const SCALE_CHURN: f64 = 0.10;
+
+/// Times the sharded advance at 1/2/4/8 worker threads on the
+/// high-churn 10^5-subject workload. The full-rebuild baseline is
+/// measured once per scheme (it does not depend on the plan); every
+/// thread count reports its advance median and speedup against that
+/// shared baseline. The output is bit-identical at every thread count,
+/// so the axis is purely a scheduling measurement.
+fn thread_scaling_axis() -> Value {
+    let windows = SAMPLES + 1;
+    let cases: Vec<(&str, Box<dyn DeltaScheme>)> = vec![
+        ("TT", Box::new(TopTalkers)),
+        ("RWR3", Box::new(Rwr::truncated(0.1, 3))),
+    ];
+    let mut schemes = Map::new();
+    for (name, scheme) in &cases {
+        let wl = stream_workload(
+            SCALE_LOCALS,
+            SCALE_EXTERNALS,
+            STREAM_OUT_DEGREE,
+            SCALE_CHURN,
+            windows,
+            42,
+        );
+
+        let mut g = wl.graph.clone();
+        let mut rebuild_samples = Vec::with_capacity(SAMPLES);
+        for (i, delta) in wl.deltas.iter().enumerate() {
+            let t = Instant::now();
+            let next = g.apply_delta(delta);
+            let sigs = scheme.signature_set(&next, &wl.subjects, STREAM_K);
+            let ns = t.elapsed().as_nanos() as f64;
+            std::hint::black_box(&sigs);
+            g = next;
+            if i > 0 {
+                rebuild_samples.push(ns);
+            }
+        }
+        let rebuild_ns = median(rebuild_samples);
+
+        let mut threads_map = Map::new();
+        for threads in [1usize, 2, 4, 8] {
+            let mut pipeline = SignaturePipeline::with_plan(
+                scheme.as_ref(),
+                wl.graph.clone(),
+                &wl.subjects,
+                STREAM_K,
+                ShardPlan::new(threads),
+            );
+            let mut advance_samples = Vec::with_capacity(SAMPLES);
+            for (i, delta) in wl.deltas.iter().enumerate() {
+                let t = Instant::now();
+                pipeline.advance(delta);
+                let ns = t.elapsed().as_nanos() as f64;
+                std::hint::black_box(pipeline.signatures());
+                if i > 0 {
+                    advance_samples.push(ns);
+                }
+            }
+            let advance_ns = median(advance_samples);
+            let speedup = rebuild_ns / advance_ns;
+            eprintln!(
+                "scaling {name:<5} threads={threads} advance {advance_ns:>12.0} ns, \
+                 rebuild {rebuild_ns:>12.0} ns, {speedup:.1}x"
+            );
+            let mut entry = Map::new();
+            entry.insert("advance_median_ns".to_string(), finite(advance_ns.round()));
+            entry.insert(
+                "speedup_vs_rebuild".to_string(),
+                finite((speedup * 100.0).round() / 100.0),
+            );
+            threads_map.insert(format!("{threads}"), Value::Object(entry));
+        }
+        let mut entry = Map::new();
+        entry.insert("rebuild_median_ns".to_string(), finite(rebuild_ns.round()));
+        entry.insert("threads".to_string(), Value::Object(threads_map));
+        schemes.insert((*name).to_string(), Value::Object(entry));
+    }
+    json!({
+        "locals": SCALE_LOCALS,
+        "externals": SCALE_EXTERNALS,
+        "edges": SCALE_LOCALS * STREAM_OUT_DEGREE,
+        "churn": SCALE_CHURN,
+        "k": STREAM_K,
+        "schemes": Value::Object(schemes),
+    })
 }
 
 /// Median of a pre-collected sample vector (the streaming paths advance

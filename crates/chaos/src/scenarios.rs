@@ -13,7 +13,7 @@ use comsig_graph::io::{read_events_with_policy, write_events, REPAIR_WEIGHT_CAP}
 use comsig_graph::window::{GraphSequence, WindowSpec};
 use comsig_graph::{
     CommGraph, EdgeEvent, GraphBuilder, GraphError, IngestPolicy, IngestReport, Interner, NodeId,
-    SlidingWindower,
+    ShardPlan, SlidingWindower,
 };
 
 use comsig_core::engine::DegradeReason;
@@ -152,6 +152,11 @@ pub fn all() -> Vec<Scenario> {
             "nan-poisoned-subject-degrades",
             "one NaN-poisoned subject degrades alone; healthy signatures are bit-identical",
             nan_poisoned_subject_degrades,
+        ),
+        sc(
+            "poisoned-shard-degrades-alone",
+            "every subject of one shard is poisoned; that shard degrades and the rest stay bit-identical",
+            poisoned_shard_degrades_alone,
         ),
         sc(
             "iteration-budget-degrades",
@@ -793,6 +798,66 @@ fn nan_poisoned_subject_degrades(seed: u64) -> Result<String, String> {
     }
     Ok(format!(
         "subject {victim} degraded alone; 11 healthy subjects bit-identical"
+    ))
+}
+
+fn poisoned_shard_degrades_alone(seed: u64) -> Result<String, String> {
+    let (g, subjects) = chain_graph();
+    let rwr = Rwr::truncated(0.1, 3);
+    let plan = ShardPlan::new(4);
+    let ranges = plan.ranges(subjects.len());
+    let shard = ranges[seed as usize % ranges.len()].clone();
+    let victims: Vec<NodeId> = subjects[shard].to_vec();
+    let poison_set: Vec<NodeId> = victims.clone();
+    let clean = rwr.signature_set_outcome(&g, &subjects, 5);
+    check(clean.is_fully_healthy(), "clean run must be healthy")?;
+    let poisoned = rwr.signature_set_outcome_injected(&g, &subjects, 5, &move |v, entries| {
+        if poison_set.contains(&v) {
+            if let Some(e) = entries.first_mut() {
+                e.1 = f64::NAN;
+            }
+        }
+    });
+    let degraded: Vec<NodeId> = poisoned.degraded().iter().map(|(v, _)| *v).collect();
+    check(
+        degraded == victims,
+        "the degraded set must be exactly the poisoned shard, in subject order",
+    )?;
+    for (_, reason) in poisoned.degraded() {
+        check(
+            matches!(reason, DegradeReason::NonFiniteOccupancy { .. }),
+            "reason must be NonFiniteOccupancy",
+        )?;
+    }
+    for &v in &subjects {
+        if victims.contains(&v) {
+            check(
+                poisoned.set().get(v).is_none(),
+                "poisoned subjects must be excluded",
+            )?;
+            continue;
+        }
+        let a = clean
+            .set()
+            .get(v)
+            .ok_or_else(|| format!("clean run lost subject {v}"))?;
+        let b = poisoned
+            .set()
+            .get(v)
+            .ok_or_else(|| format!("poisoned run lost healthy subject {v}"))?;
+        check(a.len() == b.len(), "healthy signature length changed")?;
+        for ((ua, wa), (ub, wb)) in a.iter().zip(b.iter()) {
+            check(ua == ub, "healthy signature membership changed")?;
+            check(
+                wa.to_bits() == wb.to_bits(),
+                "healthy signature weights must be bit-identical",
+            )?;
+        }
+    }
+    Ok(format!(
+        "shard of {} subjects degraded alone; {} healthy subjects bit-identical",
+        victims.len(),
+        subjects.len() - victims.len()
     ))
 }
 

@@ -16,7 +16,7 @@ use comsig_eval::roc::self_identification;
 use comsig_graph::io::{read_events_with_policy, write_events};
 use comsig_graph::stats::graph_stats;
 use comsig_graph::window::{GraphSequence, WindowSpec};
-use comsig_graph::{CommGraph, EdgeEvent, IngestPolicy, Interner, NodeId};
+use comsig_graph::{CommGraph, EdgeEvent, IngestPolicy, Interner, NodeId, ShardPlan};
 
 use crate::spec::{parse_delta_scheme, parse_distance, parse_scheme, Parsed};
 use crate::CliError;
@@ -35,7 +35,9 @@ commands:
   stream              online window-over-window detection: slide a window
                       across the event stream and advance signatures
                       incrementally (--task anomaly|masquerade;
-                      --slide S for overlapping/gapped windows)
+                      --slide S for overlapping/gapped windows;
+                      --threads N shard the advance over N workers —
+                      output is bit-identical for every N)
   compare             measure persistence/uniqueness/robustness of the
                       standard schemes on an event file (derived Table IV)
   advise              recommend a scheme for an application (Tables I-III)
@@ -541,6 +543,15 @@ fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let task = parsed.get("task").unwrap_or("anomaly");
     let top: usize = parsed.num("top", 5)?;
+    // One config struct pins the worker count through the pipeline, the
+    // index patching and the detector sweep. Every plan is bit-identical,
+    // so the thread count is deliberately absent from the output.
+    let threads: usize = parsed.num("threads", 0)?;
+    let plan = if threads == 0 {
+        ShardPlan::auto()
+    } else {
+        ShardPlan::new(threads)
+    };
 
     // Fixed subject population: every label that ever speaks.
     let mut subjects: Vec<NodeId> = {
@@ -566,7 +577,7 @@ fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     let empty = CommGraph::empty(interner.len());
     match task {
         "anomaly" => {
-            let mut det = StreamingAnomaly::new(scheme.as_ref(), empty, &subjects, k);
+            let mut det = StreamingAnomaly::with_plan(scheme.as_ref(), empty, &subjects, k, plan);
             while windower.pending_events() > 0 {
                 let delta = windower.advance();
                 let (scores, report) = det.advance(dist.as_ref(), &delta);
@@ -595,7 +606,8 @@ fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
                 threshold_divisor: parsed.num("c", 5.0)?,
                 top_l: parsed.num("l", 3)?,
             };
-            let mut det = StreamingMasquerade::new(scheme.as_ref(), empty, &subjects, cfg);
+            let mut det =
+                StreamingMasquerade::with_plan(scheme.as_ref(), empty, &subjects, cfg, plan);
             while windower.pending_events() > 0 {
                 let delta = windower.advance();
                 let step = det.advance(dist.as_ref(), &delta);
@@ -979,6 +991,43 @@ mod tests {
             run_to_string(&["stream", "--input", &path, "--slide", "0"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    /// `--threads N` must not change a single output byte: the sharded
+    /// advance is bit-identical by construction, and nothing about the
+    /// plan leaks into the report.
+    #[test]
+    fn stream_threads_output_byte_identical() {
+        let path = temp_path("stream_threads.events");
+        std::fs::write(
+            &path,
+            "0 a x 3\n0 b y 2\n1 c z 1\n\
+             10 a x 3\n10 b y 2\n11 c z 1\n\
+             20 a x 3\n20 b q 2\n21 c z 1\n",
+        )
+        .unwrap();
+        for task in ["anomaly", "masquerade"] {
+            let run = |threads: &str| {
+                run_to_string(&[
+                    "stream",
+                    "--input",
+                    &path,
+                    "--window-width",
+                    "10",
+                    "--scheme",
+                    "rwr:h=2,c=0.1",
+                    "--task",
+                    task,
+                    "--threads",
+                    threads,
+                ])
+                .unwrap()
+            };
+            let serial = run("1");
+            for threads in ["2", "4", "8"] {
+                assert_eq!(serial, run(threads), "task={task} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@
 
 use rustc_hash::FxHashSet;
 
-use comsig_graph::{CommGraph, NodeId, WindowDelta};
+use comsig_graph::{CommGraph, NodeId, ShardPlan, WindowDelta};
 
 use crate::contract;
 use crate::scheme::{PushRwr, Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers, WalkDirection};
@@ -206,6 +206,10 @@ pub struct SignaturePipeline<'a, S: DeltaScheme + ?Sized> {
     k: usize,
     graph: CommGraph,
     set: SignatureSet,
+    plan: ShardPlan,
+    /// Scratch reused across advances: the current delta's dirty
+    /// subjects, filtered into maintained subject order.
+    dirty_buf: Vec<NodeId>,
 }
 
 // Derived `Clone` would demand `S: Clone`; the scheme is only a shared
@@ -219,6 +223,8 @@ impl<S: DeltaScheme + ?Sized> Clone for SignaturePipeline<'_, S> {
             k: self.k,
             graph: self.graph.clone(),
             set: self.set.clone(),
+            plan: self.plan,
+            dirty_buf: Vec::new(),
         }
     }
 }
@@ -226,15 +232,32 @@ impl<S: DeltaScheme + ?Sized> Clone for SignaturePipeline<'_, S> {
 impl<'a, S: DeltaScheme + ?Sized> SignaturePipeline<'a, S> {
     /// Seeds the pipeline with an initial window graph (often
     /// [`CommGraph::empty`] before the first advance) and the fixed
-    /// subject population; the initial signature set is computed cold.
+    /// subject population, advancing with a machine-sized [`ShardPlan`];
+    /// the initial signature set is computed cold.
     #[must_use]
     pub fn new(scheme: &'a S, graph: CommGraph, subjects: &[NodeId], k: usize) -> Self {
-        let set = scheme.signature_set(&graph, subjects, k);
+        Self::with_plan(scheme, graph, subjects, k, ShardPlan::auto())
+    }
+
+    /// [`new`](Self::new) with an explicit shard plan. Every plan yields
+    /// bit-identical signatures; the plan only chooses how many worker
+    /// threads each advance fans out over.
+    #[must_use]
+    pub fn with_plan(
+        scheme: &'a S,
+        graph: CommGraph,
+        subjects: &[NodeId],
+        k: usize,
+        plan: ShardPlan,
+    ) -> Self {
+        let set = scheme.signature_set_with(&graph, subjects, k, &plan);
         SignaturePipeline {
             scheme,
             k,
             graph,
             set,
+            plan,
+            dirty_buf: Vec::new(),
         }
     }
 
@@ -242,6 +265,12 @@ impl<'a, S: DeltaScheme + ?Sized> SignaturePipeline<'a, S> {
     #[must_use]
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The shard plan advances run under.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
     }
 
     /// The current window's graph.
@@ -259,48 +288,50 @@ impl<'a, S: DeltaScheme + ?Sized> SignaturePipeline<'a, S> {
 
     /// Advances to the next window: applies the delta to the graph,
     /// derives the scheme's dirty set, and recomputes exactly the dirty
-    /// subjects. Under debug / `contracts` builds the result is asserted
-    /// bit-identical to a cold rebuild.
+    /// subjects — shard-parallel per the pipeline's [`ShardPlan`].
+    ///
+    /// The dirty subjects are filtered into maintained subject order
+    /// (reusing a scratch buffer across windows), partitioned into
+    /// contiguous shards, and each shard recomputes its slice with the
+    /// scheme's chunk kernel on a private workspace. The merge walks the
+    /// shards in order, so replacements land in exactly the serial
+    /// path's sequence and the resulting set is bit-identical at every
+    /// thread count. Under debug / `contracts` builds the result is
+    /// additionally asserted bit-identical to a cold rebuild.
     pub fn advance(&mut self, delta: &WindowDelta) -> AdvanceReport {
         let new_graph = self.graph.apply_delta(delta);
         let dirty = self.scheme.dirty_set(&self.graph, &new_graph, delta);
         let total = self.set.len();
-        let report = match dirty {
-            DirtySet::All => {
-                self.set = self
-                    .scheme
-                    .signature_set(&new_graph, self.set.subjects(), self.k);
-                AdvanceReport {
-                    changed_edges: delta.len(),
-                    dirty: self.set.subjects().to_vec(),
-                    total_subjects: total,
-                    full_recompute: true,
-                }
-            }
-            DirtySet::Nodes(nodes) => {
-                // Preserve subject order: filter the maintained subject
-                // list rather than iterating the hash set.
-                let dirty_subjects: Vec<NodeId> = self
-                    .set
+        let full_recompute = matches!(dirty, DirtySet::All);
+        self.dirty_buf.clear();
+        match &dirty {
+            DirtySet::All => self.dirty_buf.extend_from_slice(self.set.subjects()),
+            // Preserve subject order: filter the maintained subject list
+            // rather than iterating the hash set.
+            DirtySet::Nodes(nodes) => self.dirty_buf.extend(
+                self.set
                     .subjects()
                     .iter()
                     .copied()
-                    .filter(|v| nodes.contains(v))
-                    .collect();
-                let recomputed = self
-                    .scheme
-                    .signature_set(&new_graph, &dirty_subjects, self.k);
-                let (subjects, sigs) = recomputed.into_parts();
-                for (v, sig) in subjects.into_iter().zip(sigs) {
-                    let _ = self.set.replace(v, sig);
-                }
-                AdvanceReport {
-                    changed_edges: delta.len(),
-                    dirty: dirty_subjects,
-                    total_subjects: total,
-                    full_recompute: false,
-                }
+                    .filter(|v| nodes.contains(v)),
+            ),
+        }
+        self.scheme.prepare(&new_graph);
+        let ranges = self.plan.ranges(self.dirty_buf.len());
+        let dirty_buf = &self.dirty_buf;
+        let (scheme, k, g) = (self.scheme, self.k, &new_graph);
+        let shard_sigs =
+            rayon::scope_chunks(&ranges, |_, r| scheme.signature_chunk(g, &dirty_buf[r], k));
+        for (range, sigs) in ranges.iter().zip(shard_sigs) {
+            for (&v, sig) in dirty_buf[range.clone()].iter().zip(sigs) {
+                let _ = self.set.replace(v, sig);
             }
+        }
+        let report = AdvanceReport {
+            changed_edges: delta.len(),
+            dirty: self.dirty_buf.clone(),
+            total_subjects: total,
+            full_recompute,
         };
         contract::check_pipeline_equiv(self.scheme, &new_graph, self.k, &self.set);
         self.graph = new_graph;

@@ -28,7 +28,7 @@ pub use unexpected_talkers::{Scaling, UnexpectedTalkers};
 
 use rayon::prelude::*;
 
-use comsig_graph::{CommGraph, NodeId, Partition};
+use comsig_graph::{CommGraph, NodeId, Partition, ShardPlan};
 
 use crate::signature::{Signature, SignatureSet};
 
@@ -71,14 +71,52 @@ pub trait SignatureScheme: Sync {
         Signature::top_k(v, candidates, k)
     }
 
-    /// Computes signatures for every subject in parallel.
+    /// Pays one-off per-graph costs (shared caches, merged views) before
+    /// a batch fans out over workers. The default does nothing.
+    fn prepare(&self, _g: &CommGraph) {}
+
+    /// Computes one shard's signatures serially, in subject order. The
+    /// batch entry points call this once per shard after
+    /// [`prepare`](SignatureScheme::prepare); overrides can hoist
+    /// per-worker scratch (dense workspaces) out of the per-subject
+    /// loop. Per-subject results must not depend on the shard the
+    /// subject landed in — that independence is what makes every
+    /// [`ShardPlan`] produce bit-identical signature sets.
+    #[must_use]
+    fn signature_chunk(&self, g: &CommGraph, subjects: &[NodeId], k: usize) -> Vec<Signature> {
+        subjects.iter().map(|&v| self.signature(g, v, k)).collect()
+    }
+
+    /// Computes signatures for every subject, sharded per `plan`: the
+    /// subject list is split into contiguous shards, each shard runs
+    /// [`signature_chunk`](SignatureScheme::signature_chunk) on its own
+    /// worker, and the per-shard outputs are concatenated in shard
+    /// order. Because each subject's signature is computed independently
+    /// and the merge preserves subject order, the result is
+    /// bit-identical at every thread count.
+    #[must_use]
+    fn signature_set_with(
+        &self,
+        g: &CommGraph,
+        subjects: &[NodeId],
+        k: usize,
+        plan: &ShardPlan,
+    ) -> SignatureSet {
+        self.prepare(g);
+        let ranges = plan.ranges(subjects.len());
+        let sigs: Vec<Signature> =
+            rayon::scope_chunks(&ranges, |_, r| self.signature_chunk(g, &subjects[r], k))
+                .into_iter()
+                .flatten()
+                .collect();
+        SignatureSet::new(subjects.to_vec(), sigs)
+    }
+
+    /// Computes signatures for every subject in parallel, using a
+    /// machine-sized [`ShardPlan`].
     #[must_use]
     fn signature_set(&self, g: &CommGraph, subjects: &[NodeId], k: usize) -> SignatureSet {
-        let sigs: Vec<Signature> = subjects
-            .par_iter()
-            .map(|&v| self.signature(g, v, k))
-            .collect();
-        SignatureSet::new(subjects.to_vec(), sigs)
+        self.signature_set_with(g, subjects, k, &ShardPlan::auto())
     }
 
     /// Computes signatures for every left-class node of a bipartite

@@ -199,18 +199,25 @@ impl SignatureScheme for Rwr {
         self.occupancy(g, v).into_sorted_entries()
     }
 
-    /// Batched override: one dense [`RwrWorkspace`] per rayon worker
-    /// (via `map_init`), reused across all subjects that worker handles,
-    /// instead of a fresh hash map per hop per subject.
-    fn signature_set(&self, g: &CommGraph, subjects: &[NodeId], k: usize) -> SignatureSet {
-        self.prepare(g);
-        let sigs: Vec<Signature> = subjects
-            .par_iter()
-            .map_init(RwrWorkspace::new, |ws, &v| {
-                Signature::top_k(v, ws.occupancy(&self.config, g, v), k)
-            })
-            .collect();
-        SignatureSet::new(subjects.to_vec(), sigs)
+    /// One-off per-graph warm-up: an undirected batch walks the merged
+    /// CSR for every subject, so materialise it once up front rather
+    /// than stalling the first worker that touches the `OnceLock`.
+    fn prepare(&self, g: &CommGraph) {
+        if self.config.direction == WalkDirection::Undirected {
+            g.warm_undirected_view();
+        }
+    }
+
+    /// Shard kernel override: one dense [`RwrWorkspace`] per shard,
+    /// reused across all subjects the shard handles, instead of a fresh
+    /// hash map per hop per subject. The workspace is epoch-cleared
+    /// scratch, so each subject's occupancy is independent of its shard.
+    fn signature_chunk(&self, g: &CommGraph, subjects: &[NodeId], k: usize) -> Vec<Signature> {
+        let mut ws = RwrWorkspace::new();
+        subjects
+            .iter()
+            .map(|&v| Signature::top_k(v, ws.occupancy(&self.config, g, v), k))
+            .collect()
     }
 
     /// Batched override of the bipartite population, with the same
@@ -298,16 +305,6 @@ impl Rwr {
             }
         }
         BatchOutcome::new(SignatureSet::new(healthy_subjects, healthy_sigs), degraded)
-    }
-
-    /// Pays one-off per-graph costs before fanning out workers: an
-    /// undirected batch walks the merged CSR for every subject, so
-    /// materialise it once up front rather than stalling the first
-    /// worker that touches the `OnceLock`.
-    fn prepare(&self, g: &CommGraph) {
-        if self.config.direction == WalkDirection::Undirected {
-            g.warm_undirected_view();
-        }
     }
 }
 

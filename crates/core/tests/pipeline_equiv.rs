@@ -1,24 +1,32 @@
 //! Property tests pinning `SignaturePipeline::advance` bit-identical to a
-//! cold rebuild of every window, for every delta-capable scheme.
+//! cold rebuild of every window, for every delta-capable scheme — at
+//! every shard-plan thread count.
 //!
 //! Runs the contract checker implicitly too (debug / `--features
 //! contracts` builds), but the assertions here are unconditional: the
 //! streamed signature set must equal, to the bit, the signatures a batch
-//! rebuild of the same window would compute. The generated streams cover
-//! the awkward delta shapes — windows that empty completely, windows that
-//! introduce brand-new sources, and subjects whose entire out-edge set
-//! retracts between windows — plus out-of-order arrival within a window.
+//! rebuild of the same window would compute, whether the advance ran on
+//! 1, 2, 4 or 8 shards. The generated streams cover the awkward delta
+//! shapes — windows that empty completely, windows that introduce
+//! brand-new sources, and subjects whose entire out-edge set retracts
+//! between windows — plus out-of-order arrival within a window; the
+//! deterministic tests below add adversarial shard boundaries (all-dirty,
+//! one-subject-dirty, dirty sets straddling shard edges).
 
 use comsig_core::pipeline::{DeltaScheme, SignaturePipeline};
 use comsig_core::scheme::{PushRwr, Rwr, Scaling, TopTalkers, UnexpectedTalkers};
 use comsig_core::SignatureSet;
-use comsig_graph::{CommGraph, EdgeEvent, GraphBuilder, NodeId, SlidingWindower};
+use comsig_graph::{CommGraph, EdgeEvent, GraphBuilder, NodeId, ShardPlan, SlidingWindower};
 use proptest::prelude::*;
 
 const NUM_NODES: usize = 10;
 const WIDTH: u64 = 10;
 const WINDOWS: u64 = 3;
 const K: usize = 4;
+
+/// The cross-shard oracle grid: serial, even splits, and more shards
+/// than dirty subjects.
+const THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
 
 /// A raw event: (time, src, dst, weight). Node indices are taken modulo
 /// `NUM_NODES`; src == dst events are dropped by the windower, matching
@@ -67,35 +75,38 @@ fn cold_window(events: &[EdgeEvent], s: u64, e: u64) -> CommGraph {
     b.build(NUM_NODES)
 }
 
-fn assert_bits_equal(scheme_name: &str, window: u64, got: &SignatureSet, want: &SignatureSet) {
-    assert_eq!(got.len(), want.len(), "{scheme_name} window {window}");
+fn assert_bits_equal(label: &str, window: u64, got: &SignatureSet, want: &SignatureSet) {
+    assert_eq!(got.len(), want.len(), "{label} window {window}");
     for ((gv, gs), (wv, ws)) in got.iter().zip(want.iter()) {
-        assert_eq!(gv, wv, "{scheme_name} window {window}");
-        assert_eq!(
-            gs.len(),
-            ws.len(),
-            "{scheme_name} window {window} subject {gv}"
-        );
+        assert_eq!(gv, wv, "{label} window {window}");
+        assert_eq!(gs.len(), ws.len(), "{label} window {window} subject {gv}");
         for ((gu, gw), (wu, ww)) in gs.iter().zip(ws.iter()) {
-            assert_eq!(gu, wu, "{scheme_name} window {window} subject {gv}");
+            assert_eq!(gu, wu, "{label} window {window} subject {gv}");
             assert_eq!(
                 gw.to_bits(),
                 ww.to_bits(),
-                "{scheme_name} window {window} subject {gv} node {gu}: {gw:e} vs {ww:e}"
+                "{label} window {window} subject {gv} node {gu}: {gw:e} vs {ww:e}"
             );
         }
     }
 }
 
-/// Streams `events` through a tumbling windower and checks that every
-/// pipeline advance matches a cold rebuild bit-for-bit.
-fn check_stream<S: DeltaScheme + ?Sized>(scheme: &S, events: &[EdgeEvent], width: u64) {
+/// Streams `events` through a tumbling windower under `plan` and checks
+/// that every pipeline advance matches a cold rebuild bit-for-bit.
+fn check_stream_plan<S: DeltaScheme + ?Sized>(
+    scheme: &S,
+    events: &[EdgeEvent],
+    width: u64,
+    plan: ShardPlan,
+) {
     let subjects: Vec<NodeId> = (0..NUM_NODES).map(NodeId::new).collect();
     let mut w = SlidingWindower::tumbling(0, width);
     for &ev in events {
         w.push(ev);
     }
-    let mut pipe = SignaturePipeline::new(scheme, CommGraph::empty(NUM_NODES), &subjects, K);
+    let mut pipe =
+        SignaturePipeline::with_plan(scheme, CommGraph::empty(NUM_NODES), &subjects, K, plan);
+    let label = format!("{}[t={}]", scheme.name(), plan.threads());
     for window in 0..WINDOWS {
         let delta = w.advance();
         let report = pipe.advance(&delta);
@@ -103,7 +114,14 @@ fn check_stream<S: DeltaScheme + ?Sized>(scheme: &S, events: &[EdgeEvent], width
         assert!(report.dirty_subjects() <= report.total_subjects);
         let cold = cold_window(events, delta.start, delta.end);
         let want = scheme.signature_set(&cold, &subjects, K);
-        assert_bits_equal(&scheme.name(), window, pipe.signatures(), &want);
+        assert_bits_equal(&label, window, pipe.signatures(), &want);
+    }
+}
+
+/// [`check_stream_plan`] across the whole thread grid.
+fn check_stream<S: DeltaScheme + ?Sized>(scheme: &S, events: &[EdgeEvent], width: u64) {
+    for threads in THREAD_GRID {
+        check_stream_plan(scheme, events, width, ShardPlan::new(threads));
     }
 }
 
@@ -191,4 +209,137 @@ fn full_out_row_retraction_bit_identical() {
     check_stream(&TopTalkers, &events, WIDTH);
     check_stream(&UnexpectedTalkers::new(), &events, WIDTH);
     check_stream(&Rwr::truncated(0.2, 3), &events, WIDTH);
+}
+
+/// All ten subjects dirty in every window: each shard of a 4-thread plan
+/// gets a full slice (3,3,3,1 split), and an 8-thread plan leaves shards
+/// with one or two subjects each.
+#[test]
+fn all_dirty_every_window_bit_identical() {
+    let mut events = Vec::new();
+    for w in 0..WINDOWS {
+        let t = w * WIDTH;
+        for s in 0..NUM_NODES {
+            // Every subject changes a weight every window.
+            events.push(ev(
+                t + s as u64 % WIDTH,
+                s,
+                (s + 1) % NUM_NODES,
+                (w + 1) as f64,
+            ));
+        }
+    }
+    check_stream(&TopTalkers, &events, WIDTH);
+    check_stream(&Rwr::truncated(0.1, 2), &events, WIDTH);
+    check_stream(&PushRwr::new(0.15, 1e-4), &events, WIDTH);
+}
+
+/// Exactly one subject dirty per window — shards 1..N of every
+/// multi-thread plan are empty, the degenerate boundary.
+#[test]
+fn one_subject_dirty_bit_identical() {
+    let events = vec![
+        ev(0, 0, 1, 2.0),
+        ev(1, 3, 4, 1.0),
+        ev(2, 7, 8, 1.5),
+        // Window 1: only subject 3 changes (re-weights its edge).
+        ev(11, 0, 1, 2.0),
+        ev(12, 3, 4, 5.0),
+        ev(13, 7, 8, 1.5),
+        // Window 2: only subject 7 changes (drops its edge).
+        ev(21, 0, 1, 2.0),
+        ev(22, 3, 4, 5.0),
+    ];
+    check_stream(&TopTalkers, &events, WIDTH);
+    check_stream(&Rwr::truncated(0.1, 2), &events, WIDTH);
+}
+
+/// Dirty sets that straddle the shard edges of the 4-thread plan over 10
+/// subjects (ranges 0..3, 3..6, 6..9, 9..10): subjects {2,3} cross the
+/// first boundary, {5,6} the second, and {8,9} the third — including the
+/// singleton final shard.
+#[test]
+fn dirty_straddles_shard_boundaries_bit_identical() {
+    let mut events = Vec::new();
+    // Window 0: a stable backbone touching every subject.
+    for s in 0..NUM_NODES {
+        events.push(ev(0, s, (s + 1) % NUM_NODES, 1.0));
+    }
+    // Window 1: dirty {2, 3} — the 0..3 / 3..6 boundary.
+    for s in 0..NUM_NODES {
+        let w = if s == 2 || s == 3 { 9.0 } else { 1.0 };
+        events.push(ev(WIDTH + s as u64 % WIDTH, s, (s + 1) % NUM_NODES, w));
+    }
+    // Window 2: dirty {5, 6} and {8, 9} — both remaining boundaries at
+    // once, with the singleton shard 9..10 dirty too.
+    for s in 0..NUM_NODES {
+        let w = if s == 5 || s == 6 || s == 8 || s == 9 {
+            4.0
+        } else if s == 2 || s == 3 {
+            9.0
+        } else {
+            1.0
+        };
+        events.push(ev(2 * WIDTH + s as u64 % WIDTH, s, (s + 1) % NUM_NODES, w));
+    }
+    check_stream(&TopTalkers, &events, WIDTH);
+    check_stream(&UnexpectedTalkers::new(), &events, WIDTH);
+    check_stream(&Rwr::truncated(0.1, 2), &events, WIDTH);
+}
+
+/// Beyond cold-rebuild equality: the streamed sets of every plan must
+/// equal each other window by window, advancing pipelines side by side.
+#[test]
+fn plans_agree_window_by_window() {
+    let mut events = Vec::new();
+    for w in 0..WINDOWS {
+        let t = w * WIDTH;
+        for s in 0..NUM_NODES {
+            events.push(ev(
+                t + s as u64 % WIDTH,
+                s,
+                (s + w as usize + 1) % NUM_NODES,
+                1.0 + (w as f64) * 0.5 + s as f64,
+            ));
+        }
+    }
+    let subjects: Vec<NodeId> = (0..NUM_NODES).map(NodeId::new).collect();
+    let scheme = Rwr::truncated(0.15, 3);
+    let mut windowers: Vec<SlidingWindower> = THREAD_GRID
+        .iter()
+        .map(|_| {
+            let mut w = SlidingWindower::tumbling(0, WIDTH);
+            for &e in &events {
+                w.push(e);
+            }
+            w
+        })
+        .collect();
+    let mut pipes: Vec<SignaturePipeline<'_, Rwr>> = THREAD_GRID
+        .iter()
+        .map(|&t| {
+            SignaturePipeline::with_plan(
+                &scheme,
+                CommGraph::empty(NUM_NODES),
+                &subjects,
+                K,
+                ShardPlan::new(t),
+            )
+        })
+        .collect();
+    for window in 0..WINDOWS {
+        let mut reports = Vec::new();
+        for (w, pipe) in windowers.iter_mut().zip(pipes.iter_mut()) {
+            reports.push(pipe.advance(&w.advance()));
+        }
+        for (i, pipe) in pipes.iter().enumerate().skip(1) {
+            assert_bits_equal(
+                &format!("plan {} vs 1", THREAD_GRID[i]),
+                window,
+                pipe.signatures(),
+                pipes[0].signatures(),
+            );
+            assert_eq!(reports[i].dirty, reports[0].dirty, "window {window}");
+        }
+    }
 }

@@ -30,6 +30,14 @@
 //! order follows the query's member order (unchanged), and the scored
 //! list is fully re-sorted by `(distance, id)` before emission — so an
 //! updated index ranks bit-identically to one rebuilt from scratch.
+//!
+//! [`PostingsIndex::update_with`] shards the patching across worker
+//! threads: the dirty set is translated into per-slot edit ops, grouped
+//! by slot with the serial edit order preserved, and applied to
+//! slot-disjoint posting segments in parallel. Each list replays the
+//! serial `swap_remove`/`push` sequence exactly, so the physical layout
+//! — not just the ranking — is byte-identical at every thread count
+//! ([`PostingsIndex::layout_digest`] is the oracle the tests check).
 
 use std::borrow::Cow;
 
@@ -38,7 +46,7 @@ use rustc_hash::FxHashMap;
 use comsig_core::contract;
 use comsig_core::distance::{BatchDistance, InterAcc, SigScalars};
 use comsig_core::{Signature, SignatureSet};
-use comsig_graph::NodeId;
+use comsig_graph::{NodeId, ShardPlan};
 
 use crate::ranking::Ranking;
 
@@ -65,6 +73,23 @@ pub struct PostingsIndex<'a> {
     postings: Vec<Vec<(u32, f64)>>,
     /// Total posting entries across all slots.
     posting_mass: usize,
+    /// Patch-op scratch reused across [`update_with`](Self::update_with)
+    /// calls, so a steady-state streaming loop allocates nothing per
+    /// window beyond posting-entry growth.
+    patch_ops: Vec<PatchOp>,
+}
+
+/// One posting-list edit of a sharded update: remove candidate `pos`
+/// from `slot`, or insert `(pos, weight)` into it. `seq` is the op's
+/// position in the serial edit order; applying each slot's ops in
+/// ascending `seq` replays exactly the serial path's mutations.
+#[derive(Debug, Clone, Copy)]
+struct PatchOp {
+    slot: u32,
+    seq: u32,
+    pos: u32,
+    weight: f64,
+    insert: bool,
 }
 
 impl<'a> PostingsIndex<'a> {
@@ -110,6 +135,7 @@ impl<'a> PostingsIndex<'a> {
             slot_of,
             postings,
             posting_mass,
+            patch_ops: Vec::new(),
         }
     }
 
@@ -163,6 +189,156 @@ impl<'a> PostingsIndex<'a> {
             }
             let _ = self.candidates.to_mut().replace(v, new_sig);
         }
+    }
+
+    /// [`update`](Self::update), sharded per `plan`: the dirty set is
+    /// translated serially into per-slot patch ops (slot allocation in
+    /// the exact serial encounter order), the ops are grouped by slot —
+    /// preserving the serial edit sequence within each slot — and
+    /// slot-disjoint chunks are applied in parallel with zero
+    /// cross-shard writes. Because each posting list replays exactly
+    /// the serial path's `swap_remove`/`push` sequence, the physical
+    /// postings layout is **byte-identical** at every thread count (see
+    /// [`layout_digest`](Self::layout_digest)). A serial plan delegates
+    /// straight to [`update`](Self::update).
+    ///
+    /// # Panics
+    /// Panics if a dirty subject is not a candidate.
+    pub fn update_with(
+        &mut self,
+        dirty: impl IntoIterator<Item = (NodeId, Signature)>,
+        plan: &ShardPlan,
+    ) {
+        if plan.is_serial() {
+            return self.update(dirty);
+        }
+        // Phase 1 (serial): replace signatures and scalars, and record
+        // every posting-list edit as a patch op.
+        self.patch_ops.clear();
+        let mut seq = 0u32;
+        let mut old_members: Vec<NodeId> = Vec::new();
+        for (v, new_sig) in dirty {
+            let Some(pos) = self.candidates.position(v) else {
+                panic!("dirty subject {v} is not a candidate of this index");
+            };
+            old_members.clear();
+            old_members.extend(
+                self.candidates
+                    .get(v)
+                    .expect("position implies presence")
+                    .iter()
+                    .map(|(u, _)| u),
+            );
+            for &u in &old_members {
+                let slot = self.slot_of[&u];
+                self.patch_ops.push(PatchOp {
+                    slot,
+                    seq,
+                    pos: pos as u32,
+                    weight: 0.0,
+                    insert: false,
+                });
+                seq += 1;
+                self.posting_mass -= 1;
+            }
+            self.scalars[pos] = SigScalars::of(&new_sig);
+            for (u, w) in new_sig.iter() {
+                let next = self.postings.len() as u32;
+                let slot = *self.slot_of.entry(u).or_insert(next);
+                if slot == next {
+                    self.postings.push(Vec::new());
+                }
+                self.patch_ops.push(PatchOp {
+                    slot,
+                    seq,
+                    pos: pos as u32,
+                    weight: w,
+                    insert: true,
+                });
+                seq += 1;
+                self.posting_mass += 1;
+            }
+            let _ = self.candidates.to_mut().replace(v, new_sig);
+        }
+        if self.patch_ops.is_empty() {
+            return;
+        }
+        // Phase 2: group ops by slot. `seq` makes the key unique, so the
+        // unstable sort is deterministic and each slot keeps the serial
+        // edit order.
+        self.patch_ops.sort_unstable_by_key(|o| (o.slot, o.seq));
+        let ops = &self.patch_ops;
+        // Shard the op list, then snap each shard boundary forward to
+        // the next slot boundary so no posting list straddles shards.
+        let mut op_cuts: Vec<usize> = Vec::new();
+        let mut slot_cuts: Vec<usize> = Vec::new();
+        let targets = plan.ranges(ops.len());
+        for r in targets.iter().take(targets.len().saturating_sub(1)) {
+            let mut cut = r.end;
+            while cut < ops.len() && ops[cut].slot == ops[cut - 1].slot {
+                cut += 1;
+            }
+            if cut < ops.len() && op_cuts.last() != Some(&cut) {
+                op_cuts.push(cut);
+                slot_cuts.push(ops[cut].slot as usize);
+            }
+        }
+        let mut op_chunks: Vec<&[PatchOp]> = Vec::with_capacity(op_cuts.len() + 1);
+        let mut prev = 0usize;
+        for &c in &op_cuts {
+            op_chunks.push(&ops[prev..c]);
+            prev = c;
+        }
+        op_chunks.push(&ops[prev..]);
+        rayon::for_each_chunk_mut(&mut self.postings, &slot_cuts, |ci, base, chunk| {
+            for op in op_chunks[ci] {
+                let list = &mut chunk[op.slot as usize - base];
+                if op.insert {
+                    list.push((op.pos, op.weight));
+                } else {
+                    let at = list
+                        .iter()
+                        .position(|&(p, _)| p == op.pos)
+                        .expect("posting entry exists for every old member");
+                    let _ = list.swap_remove(at);
+                }
+            }
+        });
+    }
+
+    /// FNV-1a 64 digest of the index's full physical layout: the
+    /// member→slot assignment, every posting list's exact order and
+    /// weight bit patterns, the id-order table and the posting mass.
+    /// Two indexes with equal digests are byte-identical, not merely
+    /// rank-equal — the oracle the sharded-update tests check against
+    /// serial patching and cold rebuilds.
+    #[must_use]
+    pub fn layout_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+        };
+        let mut members: Vec<(NodeId, u32)> = self.slot_of.iter().map(|(&u, &s)| (u, s)).collect();
+        members.sort_unstable();
+        for (u, s) in members {
+            fold(u.index() as u64);
+            fold(u64::from(s));
+        }
+        for list in &self.postings {
+            fold(list.len() as u64);
+            for &(pos, w) in list {
+                fold(u64::from(pos));
+                fold(w.to_bits());
+            }
+        }
+        for &p in &self.id_order {
+            fold(u64::from(p));
+        }
+        fold(self.posting_mass as u64);
+        h
     }
 
     /// The candidate set the index was built over (including any
@@ -624,6 +800,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The sharded update must leave the index **byte-identical** — same
+    /// slot assignment, same within-list order, same weight bits — to
+    /// the serial update at every thread count, across rounds that
+    /// overlap members, empty signatures, introduce new member nodes and
+    /// re-update candidates.
+    #[test]
+    fn update_with_layout_byte_identical_across_plans() {
+        type Round = Vec<(usize, Vec<(usize, f64)>)>;
+        let dirty_rounds: Vec<Round> = vec![
+            vec![(7, vec![(11, 3.0), (30, 1.0)]), (5, vec![(10, 2.0)])],
+            vec![(1, vec![]), (3, vec![(12, 1.5), (31, 0.25)])],
+            vec![(7, vec![(10, 0.5)]), (0, vec![(30, 2.0), (32, 1.0)])],
+        ];
+        let as_dirty = |round: &Round| {
+            round
+                .iter()
+                .map(|(v, m)| {
+                    let s = if m.is_empty() {
+                        Signature::empty()
+                    } else {
+                        sig(m)
+                    };
+                    (n(*v), s)
+                })
+                .collect::<Vec<_>>()
+        };
+        // Serial reference: the existing `update` path.
+        let mut serial = PostingsIndex::build_owned(candidates());
+        let mut serial_digests = Vec::new();
+        for round in &dirty_rounds {
+            serial.update(as_dirty(round));
+            serial_digests.push(serial.layout_digest());
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let plan = ShardPlan::new(threads);
+            let mut idx = PostingsIndex::build_owned(candidates());
+            for (round, want) in dirty_rounds.iter().zip(&serial_digests) {
+                idx.update_with(as_dirty(round), &plan);
+                assert_eq!(
+                    idx.layout_digest(),
+                    *want,
+                    "threads={threads}: sharded layout diverged from serial"
+                );
+            }
+        }
+    }
+
+    /// Sharded updates with more threads than slots, and a one-subject
+    /// dirty set, must still match the serial layout.
+    #[test]
+    fn update_with_degenerate_shapes() {
+        for threads in [2usize, 8, 32] {
+            let plan = ShardPlan::new(threads);
+            let mut a = PostingsIndex::build_owned(candidates());
+            let mut b = PostingsIndex::build_owned(candidates());
+            a.update([(n(5), sig(&[(11, 1.25)]))]);
+            b.update_with([(n(5), sig(&[(11, 1.25)]))], &plan);
+            assert_eq!(a.layout_digest(), b.layout_digest(), "threads={threads}");
+            // Empty dirty set: no-op on both paths.
+            let before = b.layout_digest();
+            b.update_with(std::iter::empty(), &plan);
+            assert_eq!(b.layout_digest(), before);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a candidate")]
+    fn update_with_unknown_subject_panics() {
+        let mut idx = PostingsIndex::build_owned(candidates());
+        idx.update_with([(n(99), Signature::empty())], &ShardPlan::new(4));
     }
 
     #[test]

@@ -35,6 +35,9 @@
 //!   `α·|E|` edges (endpoints sampled by degree, weights from the empirical
 //!   weight distribution) and apply `β·|E|` unit-weight decrements
 //!   (Section IV-C, "Signature robustness").
+//! * [`ShardPlan`] — explicit thread-count configuration that carves an
+//!   ordered work list into contiguous per-thread shards, the scheduling
+//!   substrate of the bit-identical sharded streaming advance.
 //! * [`io`] — plain-text edge-list input/output in a flow-record-like
 //!   format, with configurable fault handling ([`IngestPolicy`]:
 //!   strict / quarantine / repair) and per-run [`IngestReport`]s.
@@ -72,6 +75,7 @@ mod error;
 mod fenwick;
 mod graph;
 mod node;
+mod shard;
 
 pub mod bipartite;
 pub mod io;
@@ -88,5 +92,6 @@ pub use error::GraphError;
 pub use graph::{CommGraph, NeighborIter};
 pub use io::{IngestPolicy, IngestReport};
 pub use node::{Interner, NodeId};
+pub use shard::ShardPlan;
 
 pub use bipartite::{NodeClass, Partition};

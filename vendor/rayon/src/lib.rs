@@ -373,6 +373,85 @@ where
     }
 }
 
+/// Runs `f(shard, range)` for each of the given index ranges on its own
+/// scoped worker thread and returns the per-shard results **in shard
+/// order** — the scoped chunked-fold primitive a sharded computation
+/// merges with. The ranges are the caller's partition of its index
+/// space; they are not re-split here, so a caller that derives them
+/// from a fixed shard plan gets a deterministic work assignment. With
+/// zero or one range the call runs inline on the current thread.
+pub fn scope_chunks<T, F>(ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, r)| f(i, r))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let run = &f;
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, r)| scope.spawn(move || run(i, r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stand-in worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `data` at the given strictly-ascending interior `cuts` and
+/// runs `f(chunk_index, base_offset, chunk)` on every resulting chunk,
+/// in parallel — disjoint indexed mutation built on `split_at_mut`, so
+/// it needs no `unsafe` and cannot alias. `cuts.len() + 1` chunks are
+/// produced; each `f` call sees the chunk's offset into `data` so it
+/// can translate global indices. A single chunk runs inline.
+///
+/// # Panics
+/// Panics if the cuts are not strictly ascending or fall outside
+/// `1..data.len()`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], cuts: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(cuts.len() + 1);
+    let mut rest = data;
+    let mut base = 0usize;
+    for &cut in cuts {
+        assert!(
+            cut > base && cut < len,
+            "cuts must be strictly ascending interior split points"
+        );
+        let (head, tail) = rest.split_at_mut(cut - base);
+        chunks.push((base, head));
+        base = cut;
+        rest = tail;
+    }
+    chunks.push((base, rest));
+    if chunks.len() <= 1 {
+        for (i, (b, c)) in chunks.into_iter().enumerate() {
+            f(i, b, c);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let run = &f;
+        for (i, (b, c)) in chunks.into_iter().enumerate() {
+            scope.spawn(move || run(i, b, c));
+        }
+    });
+}
+
 /// The rayon prelude: traits needed for `par_iter`/`into_par_iter`.
 pub mod prelude {
     pub use crate::{FromParallelVec, IntoParallelIterator, IntoParallelRefIterator};
@@ -440,5 +519,55 @@ mod tests {
         let v = vec![String::from("a"), String::from("b")];
         let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
         assert_eq!(out, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn scope_chunks_returns_results_in_shard_order() {
+        let ranges = vec![0..3usize, 3..4, 4..9];
+        let out = super::scope_chunks(&ranges, |shard, r| (shard, r.len()));
+        assert_eq!(out, vec![(0, 3), (1, 1), (2, 5)]);
+        assert!(super::scope_chunks::<usize, _>(&[], |_, _| 0).is_empty());
+        // Single range: inline, same shape.
+        let single: Vec<std::ops::Range<usize>> = std::iter::once(2..7).collect();
+        assert_eq!(super::scope_chunks(&single, |i, r| (i, r)), vec![(0, 2..7)]);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_element_once() {
+        let mut data: Vec<usize> = vec![0; 10];
+        super::for_each_chunk_mut(&mut data, &[3, 4, 8], |ci, base, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = 100 * (ci + 1) + base + off;
+            }
+        });
+        let expected: Vec<usize> = (0..10)
+            .map(|i| {
+                let ci = match i {
+                    0..=2 => 0,
+                    3 => 1,
+                    4..=7 => 2,
+                    _ => 3,
+                };
+                100 * (ci + 1) + i
+            })
+            .collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_no_cuts_runs_inline() {
+        let mut data = vec![1u32, 2, 3];
+        super::for_each_chunk_mut(&mut data, &[], |ci, base, chunk| {
+            assert_eq!((ci, base, chunk.len()), (0, 0, 3));
+            chunk[0] = 9;
+        });
+        assert_eq!(data, vec![9, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn for_each_chunk_mut_rejects_bad_cuts() {
+        let mut data = vec![0u8; 4];
+        super::for_each_chunk_mut(&mut data, &[2, 2], |_, _, _| {});
     }
 }
