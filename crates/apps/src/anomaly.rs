@@ -45,12 +45,7 @@ pub fn anomaly_scores(
             }
         })
         .collect();
-    scores.sort_by(|x, y| {
-        y.score
-            .partial_cmp(&x.score)
-            .expect("scores are finite")
-            .then(x.node.cmp(&y.node))
-    });
+    scores.sort_by(|x, y| y.score.total_cmp(&x.score).then(x.node.cmp(&y.node)));
     scores
 }
 
@@ -67,20 +62,19 @@ pub fn anomaly_scores_from_sets(
 ) -> Vec<AnomalyScore> {
     let mut scores: Vec<AnomalyScore> = sigs_t
         .iter()
-        .map(|(v, a)| {
-            let b = sigs_t1.get(v).expect("subject in both windows");
-            AnomalyScore {
+        .filter_map(|(v, a)| {
+            // A subject absent from the other window cannot be scored;
+            // skipping it degrades gracefully instead of panicking (the
+            // streaming pipeline maintains both windows over the same
+            // population, so this never drops anything in practice).
+            let b = sigs_t1.get(v)?;
+            Some(AnomalyScore {
                 node: v,
                 score: dist.distance(a, b),
-            }
+            })
         })
         .collect();
-    scores.sort_by(|x, y| {
-        y.score
-            .partial_cmp(&x.score)
-            .expect("scores are finite")
-            .then(x.node.cmp(&y.node))
-    });
+    scores.sort_by(|x, y| y.score.total_cmp(&x.score).then(x.node.cmp(&y.node)));
     scores
 }
 

@@ -190,9 +190,15 @@ pub fn run_algorithm1_with(
         subjects[r]
             .iter()
             .map(|&v| {
-                let a = sigs_t.get(v).expect("subject in t");
-                let b = sigs_t1.get(v).expect("subject in t+1");
-                1.0 - dist.distance(a, b)
+                // A subject missing from either window cannot be
+                // compared; treating it as fully self-similar (sim 1.0)
+                // keeps it clear of the suspect set instead of
+                // panicking. Both sets cover `subjects` by construction,
+                // so this is pure degradation armor.
+                match (sigs_t.get(v), sigs_t1.get(v)) {
+                    (Some(a), Some(b)) => 1.0 - dist.distance(a, b),
+                    _ => 1.0,
+                }
             })
             .collect::<Vec<f64>>()
     })
@@ -220,17 +226,21 @@ pub fn run_algorithm1_with(
         subjects[r]
             .iter()
             .map(|&v| {
-                if self_sim[&v] > delta {
+                // `self_sim` covers every subject; a miss means the
+                // subject was unscorable above — treat as clear.
+                if self_sim.get(&v).is_none_or(|&s| s > delta) {
                     return Verdict::Clear;
                 }
                 // v looks unlike itself: find who v's old behaviour
                 // moved to.
-                let q = sigs_t.get(v).expect("subject in t");
+                let Some(q) = sigs_t.get(v) else {
+                    return Verdict::Clear;
+                };
                 let top = index_t1.rank_top_l_with(dist, q, cfg.top_l, &mut ws);
                 let hit = top
                     .entries()
                     .iter()
-                    .find(|&&(u, _)| u != v && self_sim[&u] <= delta);
+                    .find(|&&(u, _)| u != v && self_sim.get(&u).is_some_and(|&s| s <= delta));
                 match hit {
                     Some(&(u, _)) => Verdict::Pair(u),
                     None => Verdict::Clear,

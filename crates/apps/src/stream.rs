@@ -89,22 +89,23 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
     pub fn advance(&mut self, dist: &dyn BatchDistance, delta: &WindowDelta) -> StreamDetection {
         let report = self.pipeline.advance(delta);
         let new_sigs = self.pipeline.signatures();
+        // The pipeline maintains every subject it reports dirty; a miss
+        // would mean the maintained set drifted, and skipping the
+        // subject degrades the window instead of killing the stream.
         self.index.update_with(
-            report.dirty.iter().map(|&v| {
-                let sig = new_sigs.get(v).expect("dirty subject is maintained");
-                (v, sig.clone())
-            }),
+            report
+                .dirty
+                .iter()
+                .filter_map(|&v| new_sigs.get(v).map(|sig| (v, sig.clone()))),
             &self.plan,
         );
         let detection = run_algorithm1_with(dist, &self.prev, &self.index, &self.cfg, &self.plan);
         // Roll the double buffer forward: only the dirty subjects differ
         // between the windows.
         for &v in &report.dirty {
-            let sig = new_sigs
-                .get(v)
-                .expect("dirty subject is maintained")
-                .clone();
-            let _ = self.prev.replace(v, sig);
+            if let Some(sig) = new_sigs.get(v) {
+                let _ = self.prev.replace(v, sig.clone());
+            }
         }
         StreamDetection { detection, report }
     }
@@ -171,12 +172,12 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingAnomaly<'a, S> {
         let report = self.pipeline.advance(delta);
         let new_sigs = self.pipeline.signatures();
         let scores = anomaly_scores_from_sets(dist, &self.prev, new_sigs);
+        // Skip any dirty subject the maintained set no longer carries
+        // rather than panicking mid-stream (never hit in practice).
         for &v in &report.dirty {
-            let sig = new_sigs
-                .get(v)
-                .expect("dirty subject is maintained")
-                .clone();
-            let _ = self.prev.replace(v, sig);
+            if let Some(sig) = new_sigs.get(v) {
+                let _ = self.prev.replace(v, sig.clone());
+            }
         }
         (scores, report)
     }

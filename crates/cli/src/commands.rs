@@ -43,6 +43,9 @@ commands:
   advise              recommend a scheme for an application (Tables I-III)
   chaos               run the fault-injection scenario corpus
                       (--list | --scenario NAME; --seed N)
+  lint                run the in-tree static-analysis pass over the
+                      workspace sources (--json for machine-readable
+                      diagnostics; nonzero exit on any finding)
   help                this message
 
 common flags:
@@ -73,6 +76,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("compare") => cmd_compare(&parsed, out),
         Some("advise") => cmd_advise(&parsed, out),
         Some("chaos") => cmd_chaos(&parsed, out),
+        Some("lint") => cmd_lint(&parsed, out),
         Some("help") | None => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -735,6 +739,38 @@ fn cmd_advise(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 // --- chaos ------------------------------------------------------------------
+
+fn cmd_lint(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    // The lint is an in-tree tool: resolve the workspace root relative to
+    // this crate's manifest (crates/cli → root is two levels up), falling
+    // back to the current directory for a relocated binary.
+    let manifest_root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = if manifest_root.join("Cargo.toml").exists() {
+        manifest_root
+    } else {
+        std::path::PathBuf::from(".")
+    };
+    let diags = comsig_lint::run(&root);
+    if parsed.has("json") {
+        write!(out, "{}", comsig_lint::json::render(&diags))?;
+    } else if diags.is_empty() {
+        writeln!(
+            out,
+            "comsig lint: clean ({} source files, vendor manifest verified)",
+            comsig_lint::file_count(&root)
+        )?;
+    } else {
+        write!(out, "{}", comsig_lint::render(&diags))?;
+    }
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Failed(format!(
+            "{} lint violation(s)",
+            diags.len()
+        )))
+    }
+}
 
 fn cmd_chaos(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     use comsig_chaos::scenarios;

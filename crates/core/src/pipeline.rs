@@ -151,11 +151,17 @@ fn reverse_closure(
 ) -> FxHashSet<NodeId> {
     let mut visited: FxHashSet<NodeId> = seeds.into_iter().collect();
     let mut frontier: Vec<NodeId> = visited.iter().copied().collect();
+    // The returned set is order-free, but a sorted seed frontier makes
+    // the traversal order (and thus any downstream instrumentation)
+    // independent of hash-iteration order.
+    frontier.sort_unstable();
+    // One frontier buffer reused across depth levels.
+    let mut next: Vec<NodeId> = Vec::new();
     for _ in 0..depth {
         if frontier.is_empty() {
             break;
         }
-        let mut next = Vec::new();
+        next.clear();
         for &x in &frontier {
             for (p, _) in g.in_neighbors(x) {
                 if visited.insert(p) {
@@ -170,7 +176,7 @@ fn reverse_closure(
                 }
             }
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
     visited
 }

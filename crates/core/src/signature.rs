@@ -49,11 +49,9 @@ impl Signature {
             }
         }
         let mut entries: Vec<(NodeId, f64)> = merged.into_iter().collect();
-        let rank = |a: &(NodeId, f64), b: &(NodeId, f64)| {
-            b.1.partial_cmp(&a.1)
-                .expect("weights are finite")
-                .then(a.0.cmp(&b.0))
-        };
+        // Weights are filtered to positive finite above, where total_cmp
+        // and partial_cmp agree — and total_cmp never panics.
+        let rank = |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
         // Only the k survivors matter and they get re-sorted by id below,
         // so an O(n) partial selection beats the O(n log n) full sort
         // whenever the candidate set is larger than k (multi-hop schemes
@@ -265,6 +263,14 @@ impl SignatureSet {
     #[must_use]
     pub fn position(&self, v: NodeId) -> Option<usize> {
         self.index.get(&v).copied()
+    }
+
+    /// The position *and* signature of subject `v` in one index lookup —
+    /// the accessor for callers that need both (avoids a second lookup
+    /// with an unreachable-`None` panic arm).
+    #[must_use]
+    pub fn entry(&self, v: NodeId) -> Option<(usize, &Signature)> {
+        self.index.get(&v).map(|&i| (i, &self.signatures[i]))
     }
 
     /// Iterates `(subject, signature)` in construction order.

@@ -153,29 +153,27 @@ impl<'a> PostingsIndex<'a> {
     pub fn update(&mut self, dirty: impl IntoIterator<Item = (NodeId, Signature)>) {
         let mut old_members: Vec<NodeId> = Vec::new();
         for (v, new_sig) in dirty {
-            let Some(pos) = self.candidates.position(v) else {
+            let Some((pos, old_sig)) = self.candidates.entry(v) else {
                 panic!("dirty subject {v} is not a candidate of this index");
             };
             // Remove the old posting entries first: old and new
             // signatures may share members, and the removal must not
             // pick up a freshly inserted entry for the same candidate.
             old_members.clear();
-            old_members.extend(
-                self.candidates
-                    .get(v)
-                    .expect("position implies presence")
-                    .iter()
-                    .map(|(u, _)| u),
-            );
+            old_members.extend(old_sig.iter().map(|(u, _)| u));
             for &u in &old_members {
-                let s = self.slot_of[&u] as usize;
-                let list = &mut self.postings[s];
-                let at = list
-                    .iter()
-                    .position(|&(p, _)| p as usize == pos)
-                    .expect("posting entry exists for every old member");
-                let _ = list.swap_remove(at);
-                self.posting_mass -= 1;
+                // Every old member has a slot and a posting entry by
+                // construction; if the invariant is ever violated the
+                // entry is already gone, so skipping degrades gracefully
+                // instead of panicking mid-stream.
+                let Some(&s) = self.slot_of.get(&u) else {
+                    continue;
+                };
+                let list = &mut self.postings[s as usize];
+                if let Some(at) = list.iter().position(|&(p, _)| p as usize == pos) {
+                    let _ = list.swap_remove(at);
+                    self.posting_mass -= 1;
+                }
             }
             self.scalars[pos] = SigScalars::of(&new_sig);
             for (u, w) in new_sig.iter() {
@@ -218,19 +216,17 @@ impl<'a> PostingsIndex<'a> {
         let mut seq = 0u32;
         let mut old_members: Vec<NodeId> = Vec::new();
         for (v, new_sig) in dirty {
-            let Some(pos) = self.candidates.position(v) else {
+            let Some((pos, old_sig)) = self.candidates.entry(v) else {
                 panic!("dirty subject {v} is not a candidate of this index");
             };
             old_members.clear();
-            old_members.extend(
-                self.candidates
-                    .get(v)
-                    .expect("position implies presence")
-                    .iter()
-                    .map(|(u, _)| u),
-            );
+            old_members.extend(old_sig.iter().map(|(u, _)| u));
             for &u in &old_members {
-                let slot = self.slot_of[&u];
+                // Same degradation rule as the serial path: a missing
+                // slot means the posting entry is already gone.
+                let Some(&slot) = self.slot_of.get(&u) else {
+                    continue;
+                };
                 self.patch_ops.push(PatchOp {
                     slot,
                     seq,
@@ -295,11 +291,10 @@ impl<'a> PostingsIndex<'a> {
                 let list = &mut chunk[op.slot as usize - base];
                 if op.insert {
                     list.push((op.pos, op.weight));
-                } else {
-                    let at = list
-                        .iter()
-                        .position(|&(p, _)| p == op.pos)
-                        .expect("posting entry exists for every old member");
+                } else if let Some(at) = list.iter().position(|&(p, _)| p == op.pos) {
+                    // A remove op always finds its entry by construction;
+                    // if not, there is nothing to remove — degrade, don't
+                    // poison the whole shard with a panic.
                     let _ = list.swap_remove(at);
                 }
             }

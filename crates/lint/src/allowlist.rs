@@ -1,16 +1,18 @@
 //! Allowlist: audited, justified exceptions to lint rules.
 //!
-//! Format (one entry per line, `#` comments allowed):
+//! Format v2 (one entry per line, `#` comments allowed):
 //!
 //! ```text
-//! rule|path-suffix|needle|justification
+//! rule|path-suffix|needle|reason=justification
 //! ```
 //!
 //! An entry suppresses a diagnostic when the rule matches exactly, the
 //! diagnostic's path ends with `path-suffix`, and `needle` (if non-empty)
-//! occurs in the offending source line. The justification is mandatory —
-//! an exception nobody can explain is a bug. Entries that suppress
-//! nothing are themselves reported, so the list can only shrink.
+//! occurs in the offending source line. The fourth field **must** start
+//! with `reason=` followed by a non-empty justification — an exception
+//! nobody can explain is a bug, and the explicit tag keeps the field from
+//! silently absorbing a forgotten needle. Entries that suppress nothing
+//! are themselves reported, so the list can only shrink.
 
 use std::fs;
 use std::path::Path;
@@ -49,12 +51,20 @@ pub fn load(path: &Path) -> (Vec<Entry>, Vec<Diagnostic>) {
             diags.push(bad_entry(
                 i + 1,
                 line,
-                "expected rule|path-suffix|needle|justification",
+                "expected rule|path-suffix|needle|reason=justification",
             ));
             continue;
         };
-        if justification.trim().is_empty() {
-            diags.push(bad_entry(i + 1, line, "justification must not be empty"));
+        let Some(reason) = justification.trim().strip_prefix("reason=") else {
+            diags.push(bad_entry(
+                i + 1,
+                line,
+                "justification must start with `reason=` (allowlist format v2)",
+            ));
+            continue;
+        };
+        if reason.trim().is_empty() {
+            diags.push(bad_entry(i + 1, line, "reason= must not be empty"));
             continue;
         }
         entries.push(Entry {
@@ -74,6 +84,7 @@ fn bad_entry(line: usize, snippet: &str, why: &str) -> Diagnostic {
         line,
         message: format!("malformed allowlist entry: {why}"),
         snippet: snippet.to_owned(),
+        chain: Vec::new(),
     }
 }
 
@@ -108,6 +119,7 @@ pub fn apply(entries: &[Entry], diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
                     e.rule, e.path_suffix
                 ),
                 snippet: String::new(),
+                chain: Vec::new(),
             });
         }
     }
@@ -125,6 +137,7 @@ mod tests {
             line: 10,
             message: "m".to_owned(),
             snippet: snippet.to_owned(),
+            chain: Vec::new(),
         }
     }
 
@@ -159,6 +172,27 @@ mod tests {
         // Both diagnostics survive, plus the entry is reported unused.
         assert_eq!(out.len(), 3);
         assert!(out.iter().any(|d| d.rule == "allowlist"));
+    }
+
+    #[test]
+    fn v2_requires_reason_prefix() {
+        let dir = std::env::temp_dir().join("comsig-lint-allowlist-test");
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+        let path = dir.join("allowlist.txt");
+        std::fs::write(
+            &path,
+            "# comment\n\
+             no-unwrap|a.rs|x|reason=documented contract\n\
+             no-unwrap|b.rs|y|legacy justification without tag\n\
+             no-unwrap|c.rs|z|reason=\n",
+        )
+        .expect("temp file is writable");
+        let (entries, diags) = load(&path);
+        assert_eq!(entries.len(), 1, "only the v2 entry parses");
+        assert_eq!(entries[0].path_suffix, "a.rs");
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].message.contains("reason="));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

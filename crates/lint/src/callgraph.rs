@@ -1,0 +1,332 @@
+//! Intra-workspace call graph over the symbol table, and reachability
+//! from the streaming hot-path roots.
+//!
+//! Call sites are extracted syntactically from each fn body:
+//!
+//! * `name(…)` — free-fn call, resolved to every unowned fn of that name;
+//! * `recv.name(…)` — method call, resolved to every *owned* fn of that
+//!   name (narrowed to the enclosing impl when the receiver is `self` and
+//!   the enclosing type defines it);
+//! * `Type::name(…)` / `Self::name(…)` — qualified call, resolved to fns
+//!   owned by `Type` (falling back to any fn of that name so trait-object
+//!   dispatch is not silently dropped).
+//!
+//! Closures are not items — calls inside a closure body belong to the
+//! enclosing fn, which is exactly the attribution the `panic-path` rule
+//! wants (a panic inside a `scope_chunks` closure poisons the caller's
+//! shard).
+//!
+//! This is an over-approximation by name; the reachability scan therefore
+//! runs over a **scope**: fns whose file lies on the streaming hot path.
+//! Same-name fns in cli/datagen/chaos/benches never enter the frontier.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::model::{FnDef, Workspace};
+
+/// One syntactic call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (bare, no path).
+    pub name: String,
+    /// Qualifier: `Some("Type")` for `Type::name(…)`, `Some("self")` for
+    /// `self.name(…)`, `Some(".")` for other method calls, `None` for
+    /// free calls.
+    pub qual: Option<String>,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+/// Extracts every call site from the body of `ws.fns[fi]`.
+#[must_use]
+pub fn call_sites(ws: &Workspace, fi: usize) -> Vec<CallSite> {
+    let def = &ws.fns[fi];
+    let fm = &ws.files[def.file];
+    let toks = &fm.tokens;
+    let masked = &fm.src.masked_text;
+    let Some((open, close)) = def.body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for j in (open + 1)..close {
+        let t = toks[j];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // A call is Ident followed by `(`; macro invocations are Ident
+        // followed by `!` and are not fn calls.
+        let Some(next) = toks.get(j + 1) else { break };
+        if !(next.kind == TokenKind::Open && next.text(masked) == "(") {
+            continue;
+        }
+        let name = t.text(masked);
+        if is_keyword(name) {
+            continue;
+        }
+        // `fn name(` is a nested definition, not a call.
+        if j > 0 && toks[j - 1].text(masked) == "fn" {
+            continue;
+        }
+        let qual = match j.checked_sub(1).map(|p| toks[p].text(masked)) {
+            Some(".") => {
+                let recv = j.checked_sub(2).map(|p| toks[p].text(masked));
+                Some(if recv == Some("self") { "self" } else { "." }.to_owned())
+            }
+            Some("::") => {
+                let seg = j
+                    .checked_sub(2)
+                    .map(|p| (toks[p].kind, toks[p].text(masked)));
+                match seg {
+                    Some((TokenKind::Ident, s)) if s == "Self" || starts_upper(s) => {
+                        Some(s.to_owned())
+                    }
+                    // Module path (`mod::helper(…)`): treat as free call.
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        out.push(CallSite {
+            name: name.to_owned(),
+            qual,
+            line: t.line,
+        });
+    }
+    out
+}
+
+/// Resolves a call site made from `caller` to candidate fn indices.
+#[must_use]
+pub fn resolve(ws: &Workspace, caller: &FnDef, call: &CallSite) -> Vec<usize> {
+    let Some(cands) = ws.by_name.get(&call.name) else {
+        return Vec::new();
+    };
+    let owned = |i: &&usize| ws.fns[**i].owner.is_some();
+    match call.qual.as_deref() {
+        None => {
+            // Free call: unowned fns only.
+            cands
+                .iter()
+                .filter(|&&i| ws.fns[i].owner.is_none())
+                .copied()
+                .collect()
+        }
+        Some("self") => {
+            // Prefer methods of the enclosing type; fall back to any
+            // method of that name (trait default called through self).
+            let own: Vec<usize> = cands
+                .iter()
+                .filter(|&&i| ws.fns[i].owner == caller.owner && caller.owner.is_some())
+                .copied()
+                .collect();
+            if own.is_empty() {
+                cands.iter().filter(owned).copied().collect()
+            } else {
+                own
+            }
+        }
+        Some(".") => cands.iter().filter(owned).copied().collect(),
+        Some(ty) => {
+            let ty = if ty == "Self" {
+                caller.owner.as_deref().unwrap_or("Self")
+            } else {
+                ty
+            };
+            let exact: Vec<usize> = cands
+                .iter()
+                .filter(|&&i| ws.fns[i].owner.as_deref() == Some(ty))
+                .copied()
+                .collect();
+            if !exact.is_empty() {
+                return exact;
+            }
+            let known_owner = ws.fns.iter().any(|d| d.owner.as_deref() == Some(ty));
+            if known_owner || ty.len() > 2 {
+                // Known owner without that method (derived trait method)
+                // or a foreign/std type (`Vec::new`, `String::from`):
+                // resolving by bare name would drag every same-named
+                // workspace fn into the graph. Drop the edge.
+                Vec::new()
+            } else {
+                // Short all-caps qualifier = generic type parameter
+                // (`S::prepare(…)` where `S: SignatureScheme`): dispatch
+                // is real but the concrete type is unknowable here, so
+                // keep name-level method candidates.
+                cands.iter().filter(owned).copied().collect()
+            }
+        }
+    }
+}
+
+/// Reachability from `roots` (fn indices) across the call graph,
+/// restricted to fns for which `in_scope` holds. Returns, for each
+/// reached fn, the index of the fn it was first reached *from* (roots map
+/// to themselves).
+#[must_use]
+pub fn reach(
+    ws: &Workspace,
+    roots: &[usize],
+    in_scope: &dyn Fn(&FnDef) -> bool,
+) -> BTreeMap<usize, usize> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    for &r in roots {
+        if parent.insert(r, r).is_none() {
+            frontier.push(r);
+        }
+    }
+    while let Some(fi) = frontier.pop() {
+        let caller = &ws.fns[fi];
+        for call in call_sites(ws, fi) {
+            for callee in resolve(ws, caller, &call) {
+                let def = &ws.fns[callee];
+                if def.is_test || !in_scope(def) {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                    e.insert(fi);
+                    frontier.push(callee);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// The call chain `root -> … -> fn` as qualified names, for diagnostics.
+#[must_use]
+pub fn chain(ws: &Workspace, parent: &BTreeMap<usize, usize>, mut fi: usize) -> Vec<String> {
+    let mut rev = vec![ws.fns[fi].qualified()];
+    while let Some(&p) = parent.get(&fi) {
+        if p == fi {
+            break;
+        }
+        rev.push(ws.fns[p].qualified());
+        fi = p;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Keywords that read like calls syntactically (`if (…)`, `while (…)`,
+/// `match (…)`, tuple-struct-ish `return (…)`) but are not.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "let"
+            | "in"
+            | "loop"
+            | "move"
+            | "mut"
+            | "ref"
+            | "else"
+            | "break"
+            | "continue"
+            | "as"
+            | "where"
+            | "unsafe"
+            | "dyn"
+            | "impl"
+            | "fn"
+            | "pub"
+            | "use"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "mod"
+            | "crate"
+            | "super"
+            | "await"
+            | "yield"
+            | "box"
+    )
+}
+
+/// Whether an identifier looks like a type name.
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::build(vec![SourceFile::from_text("crates/x/src/lib.rs", src)])
+    }
+
+    fn idx(w: &Workspace, q: &str) -> usize {
+        w.fns
+            .iter()
+            .position(|d| d.qualified() == q)
+            .unwrap_or_else(|| panic!("fn {q} not found"))
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls_resolve() {
+        let w = ws("fn helper() {}\n\
+                    struct A;\n\
+                    impl A {\n\
+                        fn go(&self) { helper(); self.step(); B::jump(); }\n\
+                        fn step(&self) {}\n\
+                    }\n\
+                    struct B;\n\
+                    impl B {\n\
+                        fn jump() {}\n\
+                        fn step(&self) {}\n\
+                    }\n");
+        let go = idx(&w, "A::go");
+        let sites = call_sites(&w, go);
+        let names: Vec<&str> = sites.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "step", "jump"]);
+        let caller = &w.fns[go];
+        assert_eq!(resolve(&w, caller, &sites[0]), vec![idx(&w, "helper")]);
+        // self.step() narrows to A::step, not B::step.
+        assert_eq!(resolve(&w, caller, &sites[1]), vec![idx(&w, "A::step")]);
+        assert_eq!(resolve(&w, caller, &sites[2]), vec![idx(&w, "B::jump")]);
+    }
+
+    #[test]
+    fn reach_reports_chains_and_respects_scope() {
+        let w = ws("struct P;\n\
+                    impl P {\n\
+                        fn advance(&mut self) { self.inner(); }\n\
+                        fn inner(&self) { deep(); }\n\
+                    }\n\
+                    fn deep() { off_path(); }\n\
+                    fn off_path() {}\n");
+        let root = idx(&w, "P::advance");
+        let deep = idx(&w, "deep");
+        let off = idx(&w, "off_path");
+        let parent = reach(&w, &[root], &|d| d.name != "off_path");
+        assert!(parent.contains_key(&deep));
+        assert!(!parent.contains_key(&off), "scope excludes off_path");
+        assert_eq!(
+            chain(&w, &parent, deep),
+            vec!["P::advance", "P::inner", "deep"]
+        );
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let w = ws("fn f(x: u32) -> u32 { if (x > 1) { panic!(\"no\") } else { (x) } }\n");
+        let sites = call_sites(&w, 0);
+        assert!(sites.is_empty(), "got {sites:?}");
+    }
+
+    #[test]
+    fn closure_calls_belong_to_enclosing_fn() {
+        let w = ws("fn outer() { let f = |x: u32| helper(x); f(1); }\nfn helper(_x: u32) {}\n");
+        let sites = call_sites(&w, 0);
+        assert!(sites.iter().any(|c| c.name == "helper"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Hand-rolled JSON output for `--json` / `comsig lint --json`.
+//!
+//! The lint crate is dependency-free (the vendored serde has no
+//! serializer for arbitrary structs), so the escaping lives here. Output
+//! shape, one object per diagnostic, stable field order:
+//!
+//! ```json
+//! {"rule":"panic-path","path":"crates/…","line":12,
+//!  "message":"…","snippet":"…","chain":["Root::fn","helper"]}
+//! ```
+
+use crate::rules::Diagnostic;
+
+/// Serializes diagnostics as a JSON array (pretty-printed one diagnostic
+/// per line, so CI artifacts diff cleanly).
+#[must_use]
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"rule\":{},", escape(d.rule)));
+        out.push_str(&format!("\"path\":{},", escape(&d.path)));
+        out.push_str(&format!("\"line\":{},", d.line));
+        out.push_str(&format!("\"message\":{},", escape(&d.message)));
+        out.push_str(&format!("\"snippet\":{},", escape(&d.snippet)));
+        out.push_str("\"chain\":[");
+        for (j, link) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(link));
+        }
+        out.push_str("]}");
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// JSON string escaping per RFC 8259: quote, backslash and control
+/// characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escaped_diagnostics() {
+        let diags = vec![Diagnostic {
+            rule: "panic-path",
+            path: "crates/core/src/pipeline.rs".to_owned(),
+            line: 7,
+            message: "`.unwrap()` with \"quotes\"".to_owned(),
+            snippet: "\tx.unwrap()".to_owned(),
+            chain: vec!["Root::advance".to_owned(), "helper".to_owned()],
+        }];
+        let j = render(&diags);
+        assert!(j.contains(r#""rule":"panic-path""#));
+        assert!(j.contains(r#""line":7"#));
+        assert!(j.contains(r#"\"quotes\""#));
+        assert!(j.contains(r#""chain":["Root::advance","helper"]"#));
+        assert!(j.starts_with("[\n") && j.ends_with("]\n"));
+    }
+
+    #[test]
+    fn empty_is_an_empty_array() {
+        assert_eq!(render(&[]), "[\n]\n");
+    }
+}

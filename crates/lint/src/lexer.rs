@@ -1,0 +1,370 @@
+//! Token layer: a lexer-grade Rust tokenizer over **masked** source text
+//! (see [`crate::source::mask_source`]) plus a brace-matched token-tree
+//! view.
+//!
+//! The line-level rules of the original lint pass could not see structure:
+//! "is this `+=` inside the closure passed to `scope_chunks`?" is not a
+//! line property. The token layer answers such questions while staying
+//! dependency-free:
+//!
+//! * every token records its byte span into the masked text, so the
+//!   stream is **lossless**: concatenating the inter-token gaps (which are
+//!   whitespace by construction) with the token slices reproduces the
+//!   masked source byte-for-byte ([`reconstruct`] — pinned by a proptest
+//!   over every workspace file);
+//! * [`matching_close`] pairs `(` `[` `{` delimiters, giving the
+//!   symbol-table and call-graph passes a token-tree view (body spans,
+//!   argument lists) without materialising a tree.
+//!
+//! Operating on masked text means string/char literal *contents* and all
+//! comments are already whitespace; only the delimiting quotes survive,
+//! which the lexer folds into single [`TokenKind::Str`] / `Char` tokens.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `for`, `self`, names, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (`42`, `0x1f`, `1_000u32`).
+    Int,
+    /// Floating-point literal (`1.0`, `1e-9`, `2.5f64`).
+    Float,
+    /// A (masked) string literal — both quotes and the blanked body.
+    Str,
+    /// A (masked) char literal.
+    Char,
+    /// Any operator or punctuation (longest-match, e.g. `::`, `..=`).
+    Punct,
+    /// `(`, `[` or `{`.
+    Open,
+    /// `)`, `]` or `}`.
+    Close,
+}
+
+/// One token: kind plus byte span into the masked text and 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the masked text.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text, sliced out of the masked source.
+    #[must_use]
+    pub fn text<'a>(&self, masked: &'a str) -> &'a str {
+        &masked[self.start..self.end]
+    }
+}
+
+/// Multi-character operators, longest first so the longest match wins.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lexes masked source text into a token stream. Total: every non-space
+/// byte of `masked` lands in exactly one token, and tokens are emitted in
+/// ascending span order — see [`reconstruct`].
+#[must_use]
+pub fn tokenize(masked: &str) -> Vec<Token> {
+    let bytes = masked.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind = if b.is_ascii_alphabetic() || b == b'_' || !b.is_ascii() {
+            // Identifier/keyword. Non-ASCII bytes are grouped here too so
+            // the stream stays total on arbitrary input.
+            while i < bytes.len() && (is_ident(bytes[i]) || !bytes[i].is_ascii()) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if b.is_ascii_digit() {
+            lex_number(bytes, &mut i)
+        } else if b == b'"' {
+            // Masked string: the body is spaces only (mask_source blanks
+            // everything between the quotes), so scan spaces to the
+            // closing quote. A quote whose pair is not reachable this way
+            // (e.g. one leg of a multi-line literal) stays a lone-quote
+            // token and never swallows real code.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            i = if bytes.get(j) == Some(&b'"') {
+                j + 1
+            } else {
+                i + 1
+            };
+            TokenKind::Str
+        } else if b == b'\'' {
+            let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+            if is_ident(next) {
+                // Lifetime: masked char-literal bodies are spaces, so an
+                // identifier char after the quote can only be a lifetime.
+                i += 1;
+                while i < bytes.len() && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                TokenKind::Lifetime
+            } else {
+                // Masked char literal: spaces to the closing quote.
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] == b' ' {
+                    j += 1;
+                }
+                i = if bytes.get(j) == Some(&b'\'') {
+                    j + 1
+                } else {
+                    i + 1
+                };
+                TokenKind::Char
+            }
+        } else if matches!(b, b'(' | b'[' | b'{') {
+            i += 1;
+            TokenKind::Open
+        } else if matches!(b, b')' | b']' | b'}') {
+            i += 1;
+            TokenKind::Close
+        } else {
+            // Punctuation: longest multi-char operator, else one byte.
+            let rest = &masked[i..];
+            let hit = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op));
+            i += hit.map_or(1, |op| op.len());
+            TokenKind::Punct
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+            line,
+        });
+    }
+    tokens
+}
+
+/// Lexes a numeric literal starting at `*i`; advances `*i` past it and
+/// returns `Int` or `Float`.
+fn lex_number(bytes: &[u8], i: &mut usize) -> TokenKind {
+    let start = *i;
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let hex = bytes[start] == b'0'
+        && matches!(
+            bytes.get(start + 1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        );
+    let mut float = false;
+    *i += 1;
+    while *i < bytes.len() {
+        let b = bytes[*i];
+        if is_ident(b) {
+            *i += 1;
+            continue;
+        }
+        if b == b'.' && !hex && !float {
+            // `1.0` joins; `1..5` and `1.method()` do not.
+            match bytes.get(*i + 1) {
+                Some(&n) if n.is_ascii_digit() => {
+                    float = true;
+                    *i += 2;
+                    continue;
+                }
+                Some(b'.') => break,
+                Some(&n) if n.is_ascii_alphabetic() || n == b'_' => break,
+                // Trailing-dot float (`1.`).
+                _ => {
+                    float = true;
+                    *i += 1;
+                    continue;
+                }
+            }
+        }
+        if (b == b'+' || b == b'-')
+            && !hex
+            && matches!(bytes.get(*i - 1), Some(b'e' | b'E'))
+            && bytes.get(*i + 1).is_some_and(u8::is_ascii_digit)
+        {
+            // Exponent sign inside `1e-9`.
+            float = true;
+            *i += 2;
+            continue;
+        }
+        break;
+    }
+    // `1e9` / `2f64` style floats without a dot.
+    let text = &bytes[start..*i];
+    if !hex
+        && (float
+            || text.windows(3).any(|w| w == b"f64" || w == b"f32")
+            || (text.iter().any(|&b| matches!(b, b'e' | b'E'))
+                && text.iter().all(|&b| !matches!(b, b'x' | b'X'))))
+    {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+/// Rebuilds the masked source from its token stream: inter-token gaps are
+/// copied from the original (they are whitespace by construction), token
+/// slices verbatim. [`tokenize`] guarantees `reconstruct(masked,
+/// &tokenize(masked)) == masked` — the byte-equality pin the fixture
+/// corpus asserts over every workspace file.
+#[must_use]
+pub fn reconstruct(masked: &str, tokens: &[Token]) -> String {
+    let mut out = String::with_capacity(masked.len());
+    let mut at = 0usize;
+    for t in tokens {
+        out.push_str(&masked[at..t.start]);
+        out.push_str(&masked[t.start..t.end]);
+        at = t.end;
+    }
+    out.push_str(&masked[at..]);
+    out
+}
+
+/// Index of the [`TokenKind::Close`] token matching the `Open` at `open`,
+/// or `None` when the stream is unbalanced (malformed input).
+#[must_use]
+pub fn matching_close(tokens: &[Token], masked: &str, open: usize) -> Option<usize> {
+    debug_assert_eq!(tokens[open].kind, TokenKind::Open);
+    let want = match tokens[open].text(masked) {
+        "(" => ")",
+        "[" => "]",
+        _ => "}",
+    };
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Open => depth += 1,
+            TokenKind::Close => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    // Mismatched delimiter kinds mean malformed input;
+                    // report unbalanced rather than a wrong span.
+                    return (t.text(masked) == want).then_some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::mask_source;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let masked = mask_source(src);
+        tokenize(&masked)
+            .iter()
+            .map(|t| (t.kind, t.text(&masked).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let toks = kinds("let x2 = 1.5e-3 + 0x1f / n..m;");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x2", "=", "1.5e-3", "+", "0x1f", "/", "n", "..", "m", ";"]
+        );
+        assert_eq!(toks[3].0, TokenKind::Float);
+        assert_eq!(toks[5].0, TokenKind::Int);
+        assert_eq!(toks[8].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn range_vs_float_vs_method() {
+        let texts: Vec<String> = kinds("0..5; 1.0; 7.min(2); 1..=3")
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        assert!(texts.contains(&"..".to_owned()));
+        assert!(texts.contains(&"1.0".to_owned()));
+        assert!(texts.contains(&"min".to_owned()));
+        assert!(texts.contains(&"..=".to_owned()));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let toks = kinds(r#"f("hello", 'x', &'a str, "");"#);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+    }
+
+    #[test]
+    fn reconstruction_is_byte_equal() {
+        let src =
+            "fn f(a: &[u32]) -> f64 {\n    // gone\n    a[0] as f64 / \"x\".len() as f64\n}\n";
+        let masked = mask_source(src);
+        let toks = tokenize(&masked);
+        assert_eq!(reconstruct(&masked, &toks), masked);
+        // Gaps are whitespace-only.
+        let mut at = 0;
+        for t in &toks {
+            assert!(masked[at..t.start].chars().all(char::is_whitespace));
+            at = t.end;
+        }
+    }
+
+    #[test]
+    fn delimiters_match() {
+        let masked = mask_source("fn f() { a(b[1], c(2)); }");
+        let toks = tokenize(&masked);
+        let first_brace = toks
+            .iter()
+            .position(|t| t.kind == TokenKind::Open && t.text(&masked) == "{")
+            .expect("has a brace");
+        let close = matching_close(&toks, &masked, first_brace).expect("balanced");
+        assert_eq!(toks[close].text(&masked), "}");
+        assert_eq!(close, toks.len() - 1);
+    }
+
+    #[test]
+    fn unbalanced_input_is_none_not_panic() {
+        let masked = mask_source("fn f() { a(b; }");
+        let toks = tokenize(&masked);
+        let paren = toks
+            .iter()
+            .rposition(|t| t.text(&masked) == "(" && t.kind == TokenKind::Open)
+            .expect("has paren");
+        assert_eq!(matching_close(&toks, &masked, paren), None);
+    }
+
+    #[test]
+    fn multibyte_source_does_not_split_chars() {
+        // Masked text can still contain multi-byte chars in identifiers
+        // or doc-test remnants; the lexer must stay on char boundaries.
+        let masked = mask_source("let α = 1; // π≈3\n");
+        let toks = tokenize(&masked);
+        assert_eq!(reconstruct(&masked, &toks), masked);
+    }
+}

@@ -1,9 +1,20 @@
-//! `comsig-lint`: the workspace's in-tree static-analysis pass.
+//! `comsig-lint`: the workspace's in-tree static-analysis engine.
 //!
-//! Run with `cargo run -p comsig-lint`. Zero dependencies, line-level
-//! lexing only — see [`source`] for the masking model, [`rules`] for the
-//! individual rules, [`vendor`] for the vendored-source drift check and
-//! [`allowlist`] for the audited-exception mechanism.
+//! Run with `cargo run -p comsig-lint` (or `comsig lint [--json]`). Zero
+//! dependencies. The engine is multi-pass:
+//!
+//! 1. [`source`] masks comments/literals and tracks `#[cfg(test)]`
+//!    regions (line level);
+//! 2. [`lexer`] tokenizes the masked text with byte spans (token-stream
+//!    reconstruction is byte-equal to the masked source — proptested);
+//! 3. [`model`] builds the workspace symbol table: fn items with
+//!    `impl`/`trait` owners, struct-field and local type hints;
+//! 4. [`callgraph`] extracts call sites and computes reachability from
+//!    the streaming hot-path roots with call-chain evidence;
+//! 5. [`rules`] (line level) and [`dataflow`] (token/graph level) emit
+//!    diagnostics; [`allowlist`] applies audited `reason=` exceptions;
+//!    [`vendor`] checks vendored-source drift; [`json`] serializes for
+//!    CI.
 //!
 //! Rules (identifier → meaning):
 //!
@@ -13,12 +24,25 @@
 //! * `must-use` — pure signature/distance constructors carry `#[must_use]`.
 //! * `forbid-unsafe` — `#![forbid(unsafe_code)]` in every crate root and
 //!   no `unsafe` token anywhere.
+//! * `unordered-iter` — hash-container iteration must not feed ordered
+//!   sinks (Vec push, digest update, serialized output) without a sort.
+//! * `shard-float-order` — float accumulation must not escape
+//!   `scope_chunks`/`for_each_chunk_mut`/`signature_chunk` shard kernels
+//!   without a subject-order reduction.
+//! * `panic-path` — no panicking constructs reachable from the streaming
+//!   roots (reported with the full call chain).
+//! * `alloc-in-hot-loop` — no allocation inside loops of hot-path fns.
 //! * `vendor-drift` — `vendor/` sources match `vendor/MANIFEST.txt`.
 //! * `allowlist` — the exception file itself is well-formed and minimal.
 
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod dataflow;
+pub mod json;
+pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod source;
 pub mod vendor;
@@ -26,27 +50,52 @@ pub mod vendor;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use model::Workspace;
 pub use rules::{render, Diagnostic};
 
 /// Runs the full lint pass over the workspace rooted at `root`.
 /// Returns the surviving (non-allowlisted) diagnostics, sorted.
 pub fn run(root: &Path) -> Vec<Diagnostic> {
-    let mut diags = match scan_workspace(root) {
-        Ok(d) => d,
+    let mut diags = match load_sources(root) {
+        Ok(sources) => analyze(sources),
         Err(e) => vec![Diagnostic {
             rule: "io-error",
             path: String::new(),
             line: 0,
             message: format!("cannot scan workspace: {e}"),
             snippet: String::new(),
+            chain: Vec::new(),
         }],
     };
     let (entries, mut allow_diags) = allowlist::load(&root.join("crates/lint/allowlist.txt"));
     diags = allowlist::apply(&entries, diags);
     diags.append(&mut allow_diags);
     diags.extend(vendor::check(root));
-    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    sort(&mut diags);
     diags
+}
+
+/// Runs every rule (line-level and dataflow) over in-memory sources,
+/// without allowlist or vendor checks. This is the entry point the
+/// fixture corpus uses: a fixture is just a `SourceFile` with a path that
+/// places it in the right rule scope.
+#[must_use]
+pub fn analyze(sources: Vec<source::SourceFile>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for src in &sources {
+        diags.extend(rules::check_file(src));
+        diags.extend(rules::check_crate_root(src));
+    }
+    let ws = Workspace::build(sources);
+    diags.extend(dataflow::check_workspace(&ws));
+    sort(&mut diags);
+    diags
+}
+
+fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
 }
 
 /// Number of `.rs` files the pass would scan (for the CLI summary).
@@ -54,36 +103,40 @@ pub fn file_count(root: &Path) -> usize {
     source_files(root).map_or(0, |f| f.len())
 }
 
-fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+/// Loads every scanned file into the source model.
+pub fn load_sources(root: &Path) -> io::Result<Vec<source::SourceFile>> {
+    let mut sources = Vec::new();
     for path in source_files(root)? {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let file = source::SourceFile::load(&path, &rel)?;
-        diags.extend(rules::check_file(&file));
-        diags.extend(rules::check_crate_root(&file));
+        sources.push(source::SourceFile::load(&path, &rel)?);
     }
-    Ok(diags)
+    Ok(sources)
 }
 
-/// Every first-party `.rs` file: `src/` of the facade crate plus
-/// `crates/*/src/` and `crates/*/benches/` recursively (benches are
-/// measurement code on the same hot paths they measure). `vendor/`,
-/// `tests/` and `target/` are outside the scanned roots by construction.
+/// Every first-party `.rs` file: `src/` of the facade crate, `examples/`,
+/// plus `crates/*/src/`, `crates/*/benches/` and `crates/*/tests/`
+/// recursively (benches are measurement code on the same hot paths they
+/// measure; examples and integration tests are scanned as test-grade
+/// surface). `vendor/` and `target/` are outside the scanned roots by
+/// construction. The lint's own fixture corpus is excluded — fixtures
+/// contain deliberate violations.
 fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
-    let facade = root.join("src");
-    if facade.is_dir() {
-        collect_rs(&facade, &mut out)?;
+    for top in ["src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut out)?;
+        }
     }
     let crates = root.join("crates");
     if crates.is_dir() {
         for entry in std::fs::read_dir(&crates)? {
             let krate = entry?.path();
-            for sub in ["src", "benches"] {
+            for sub in ["src", "benches", "tests"] {
                 let dir = krate.join(sub);
                 if dir.is_dir() {
                     collect_rs(&dir, &mut out)?;
@@ -91,6 +144,7 @@ fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
             }
         }
     }
+    out.retain(|p| !p.to_string_lossy().contains("lint/tests/fixtures"));
     out.sort();
     Ok(out)
 }

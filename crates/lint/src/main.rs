@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p comsig-lint [-- --update-vendor-manifest]`.
+//! CLI entry point: `cargo run -p comsig-lint [-- --json | --update-vendor-manifest]`.
 
 #![forbid(unsafe_code)]
 
@@ -23,16 +23,22 @@ fn main() -> ExitCode {
             }
         };
     }
-    if let Some(bad) = args
-        .iter()
-        .find(|a| a.as_str() != "--update-vendor-manifest")
-    {
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--json") {
         eprintln!("comsig-lint: unknown argument `{bad}`");
-        eprintln!("usage: cargo run -p comsig-lint [-- --update-vendor-manifest]");
+        eprintln!("usage: cargo run -p comsig-lint [-- --json | --update-vendor-manifest]");
         return ExitCode::FAILURE;
     }
 
     let diags = comsig_lint::run(&root);
+    if json {
+        print!("{}", comsig_lint::json::render(&diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if diags.is_empty() {
         println!(
             "comsig-lint: clean ({} source files, vendor manifest verified)",

@@ -1,0 +1,634 @@
+//! Workspace model: symbol table over the token stream.
+//!
+//! One pass over each file's tokens extracts:
+//!
+//! * every `fn` item with its enclosing `impl`/`trait` owner (giving
+//!   qualified names like `SignaturePipeline::advance`), its body token
+//!   span and whether it lives in test surface;
+//! * struct **field types** (`slot_of: FxHashMap<…>` ⇒ hash evidence for
+//!   `self.slot_of`), merged workspace-wide by field name;
+//! * on demand, per-fn **local type hints** from `let` bindings and fn
+//!   parameters (float / int / hash-container / vec evidence).
+//!
+//! The hints are deliberately coarse — they exist to keep the dataflow
+//! rules' false-positive rate near zero, accepting false negatives when a
+//! type never appears syntactically (documented in DESIGN.md §13).
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{matching_close, tokenize, Token, TokenKind};
+use crate::source::SourceFile;
+
+/// Coarse type evidence attached to a local, parameter or struct field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hint {
+    /// `f64`/`f32` or a float literal initializer.
+    Float,
+    /// Integer type or literal initializer (incl. `len()` / casts).
+    Int,
+    /// `FxHashMap`/`FxHashSet`/`HashMap`/`HashSet`.
+    Hash,
+    /// `Vec<…>` / `vec![…]` / `Vec::new()` / `with_capacity`.
+    Vec,
+}
+
+/// One `fn` item found in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Bare name (`advance`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type (`SignaturePipeline`), if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the signature: `fn` keyword up to (exclusive)
+    /// the body `{` or terminating `;`.
+    pub sig: (usize, usize),
+    /// Token index range of the body `{ … }` braces inclusive, if the fn
+    /// has a body (trait declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// Whether the definition sits in test surface (file-level or
+    /// `#[cfg(test)]` region).
+    pub is_test: bool,
+}
+
+impl FnDef {
+    /// `Owner::name` when owned, else the bare name.
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One file plus its token stream.
+#[derive(Debug)]
+pub struct FileModel {
+    /// The preprocessed source.
+    pub src: SourceFile,
+    /// Token stream over `src.masked_text`.
+    pub tokens: Vec<Token>,
+}
+
+impl FileModel {
+    /// Tokenizes a preprocessed file.
+    #[must_use]
+    pub fn new(src: SourceFile) -> FileModel {
+        let tokens = tokenize(&src.masked_text);
+        FileModel { src, tokens }
+    }
+
+    /// The text of token `i`.
+    #[must_use]
+    pub fn text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.src.masked_text)
+    }
+}
+
+/// The workspace symbol table: every file's tokens plus every fn item and
+/// the merged struct-field type map.
+#[derive(Debug)]
+pub struct Workspace {
+    /// All scanned files, in walker order.
+    pub files: Vec<FileModel>,
+    /// Every `fn` item across all files.
+    pub fns: Vec<FnDef>,
+    /// Bare fn name → indices into `fns` (sorted, deterministic).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Struct field name → merged type hint across all structs. A field
+    /// name mapped by two structs to conflicting hints is dropped (no
+    /// evidence beats wrong evidence).
+    pub field_hints: BTreeMap<String, Hint>,
+}
+
+impl Workspace {
+    /// Builds the symbol table from preprocessed sources.
+    #[must_use]
+    pub fn build(sources: Vec<SourceFile>) -> Workspace {
+        let files: Vec<FileModel> = sources.into_iter().map(FileModel::new).collect();
+        let mut fns = Vec::new();
+        let mut field_hints: BTreeMap<String, Option<Hint>> = BTreeMap::new();
+        for (fi, fm) in files.iter().enumerate() {
+            collect_fns(fi, fm, &mut fns);
+            collect_fields(fm, &mut field_hints);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let field_hints = field_hints
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|h| (k, h)))
+            .collect();
+        Workspace {
+            files,
+            fns,
+            by_name,
+            field_hints,
+        }
+    }
+
+    /// Local type hints for `fns[fi]`: parameters from the signature and
+    /// `let` bindings from the body. Later bindings shadow earlier ones.
+    /// Every declared name is present; `None` means "declared here but
+    /// the type gave no evidence", which must *shadow* any same-named
+    /// struct field elsewhere in the workspace.
+    #[must_use]
+    pub fn local_hints(&self, fi: usize) -> BTreeMap<String, Option<Hint>> {
+        let def = &self.fns[fi];
+        let fm = &self.files[def.file];
+        let mut hints = BTreeMap::new();
+        param_hints(fm, def.sig, &mut hints);
+        if let Some((open, close)) = def.body {
+            let_hints(fm, open, close, &mut hints);
+        }
+        hints
+    }
+
+    /// The hint for identifier `name` at a use site inside `fns[fi]`:
+    /// locals/params first (including unknown-typed locals, which shadow),
+    /// then struct fields (for `self.name`).
+    #[must_use]
+    pub fn hint_of(&self, locals: &BTreeMap<String, Option<Hint>>, name: &str) -> Option<Hint> {
+        match locals.get(name) {
+            Some(h) => *h,
+            None => self.field_hints.get(name).copied(),
+        }
+    }
+}
+
+/// Scans one file's tokens for `fn` items, tracking `impl`/`trait` owner
+/// blocks with a stack.
+fn collect_fns(file: usize, fm: &FileModel, out: &mut Vec<FnDef>) {
+    let toks = &fm.tokens;
+    let masked = &fm.src.masked_text;
+    // (owner name, token index of the owner block's closing brace)
+    let mut owners: Vec<(String, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while owners.last().is_some_and(|&(_, end)| i > end) {
+            owners.pop();
+        }
+        let t = toks[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text(masked) {
+            kw @ ("impl" | "trait") => {
+                if let Some((name, body_open)) = owner_header(fm, i, kw == "impl") {
+                    if let Some(close) = matching_close(toks, masked, body_open) {
+                        owners.push((name, close));
+                    }
+                    i = body_open + 1;
+                    continue;
+                }
+            }
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind != TokenKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let name = name_tok.text(masked).to_owned();
+                // Signature runs to the body `{` or a `;` at delimiter
+                // depth zero (trait method declaration).
+                let mut j = i + 2;
+                let mut depth = 0usize;
+                let mut body = None;
+                while j < toks.len() {
+                    match toks[j].kind {
+                        TokenKind::Open if depth == 0 && toks[j].text(masked) == "{" => {
+                            body = matching_close(toks, masked, j).map(|c| (j, c));
+                            break;
+                        }
+                        TokenKind::Open => depth += 1,
+                        TokenKind::Close => depth = depth.saturating_sub(1),
+                        TokenKind::Punct if depth == 0 && toks[j].text(masked) == ";" => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let line = t.line;
+                out.push(FnDef {
+                    file,
+                    name,
+                    owner: owners.last().map(|(n, _)| n.clone()),
+                    line,
+                    sig: (i, j),
+                    body,
+                    is_test: fm.src.is_test.get(line - 1).copied().unwrap_or(false),
+                });
+                // Continue *inside* the body so nested fns are found too.
+                i = j + 1;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at token `kw`: returns the
+/// owner type name and the token index of the block's `{`.
+///
+/// For `impl Foo {…}` and `impl Trait for Foo {…}` the owner is `Foo`
+/// (the last path segment before the `{`, generics stripped); for
+/// `trait Bar {…}` it is `Bar`.
+fn owner_header(fm: &FileModel, kw: usize, is_impl: bool) -> Option<(String, usize)> {
+    let toks = &fm.tokens;
+    let masked = &fm.src.masked_text;
+    let mut name: Option<String> = None;
+    let mut angle = 0usize;
+    let mut j = kw + 1;
+    while j < toks.len() {
+        let t = toks[j];
+        match t.kind {
+            TokenKind::Open if t.text(masked) == "{" && angle == 0 => {
+                return name.map(|n| (n, j));
+            }
+            TokenKind::Open => {
+                // `(` or `[` in a header only occurs inside types
+                // (`impl Fn(A) -> B for T` is not used here); skip the
+                // group wholesale.
+                j = matching_close(toks, masked, j)?;
+            }
+            TokenKind::Punct => match t.text(masked) {
+                "<" | "<<" => angle += t.end - t.start,
+                ">" | ">>" => angle = angle.saturating_sub(t.end - t.start),
+                ";" => return None,
+                _ => {}
+            },
+            TokenKind::Ident if angle == 0 => {
+                let s = t.text(masked);
+                if s == "for" && is_impl {
+                    name = None; // the type after `for` is the owner
+                } else if s != "where" && starts_upper(s) {
+                    // Remember the last capitalized segment seen at angle
+                    // depth 0; `where` clauses never reset it because the
+                    // bound side sits behind `:` — close enough for this
+                    // workspace, which keeps headers simple.
+                    name.get_or_insert_with(|| s.to_owned());
+                } else if s == "where" && name.is_none() {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Whether an identifier looks like a type name.
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+/// Collects struct field type hints: inside `struct Name { … }` bodies,
+/// every `ident : type…` pair at depth 1. Conflicting hints for the same
+/// field name across structs are dropped.
+fn collect_fields(fm: &FileModel, out: &mut BTreeMap<String, Option<Hint>>) {
+    let toks = &fm.tokens;
+    let masked = &fm.src.masked_text;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident && toks[i].text(masked) == "struct" {
+            // Find the body `{` (skip generics / where clause); tuple
+            // structs hit `(` or `;` first and are skipped.
+            let mut j = i + 1;
+            let mut body = None;
+            while j < toks.len() {
+                match (toks[j].kind, toks[j].text(masked)) {
+                    (TokenKind::Open, "{") => {
+                        body = Some(j);
+                        break;
+                    }
+                    (TokenKind::Open, "(") | (TokenKind::Punct, ";") => break,
+                    _ => j += 1,
+                }
+            }
+            if let Some(open) = body {
+                if let Some(close) = matching_close(toks, masked, open) {
+                    field_hints_in(fm, open, close, out);
+                    i = close;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Extracts `name: Type` fields between `open` and `close` braces.
+fn field_hints_in(
+    fm: &FileModel,
+    open: usize,
+    close: usize,
+    out: &mut BTreeMap<String, Option<Hint>>,
+) {
+    let toks = &fm.tokens;
+    let masked = &fm.src.masked_text;
+    let mut j = open + 1;
+    while j < close {
+        // Field pattern: Ident `:` …type… (`,` | close). Attributes and
+        // visibility (`pub`) sit before the ident and are skipped by the
+        // `:`-lookahead.
+        if toks[j].kind == TokenKind::Ident
+            && toks.get(j + 1).is_some_and(|t| t.text(masked) == ":")
+        {
+            let name = toks[j].text(masked).to_owned();
+            let ty_start = j + 2;
+            let mut k = ty_start;
+            let mut depth = 0usize;
+            while k < close {
+                match toks[k].kind {
+                    TokenKind::Open => depth += 1,
+                    TokenKind::Close => depth = depth.saturating_sub(1),
+                    TokenKind::Punct if depth == 0 && toks[k].text(masked) == "," => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(hint) = classify(fm, ty_start, k) {
+                merge_hint(out, name, hint);
+            }
+            j = k + 1;
+            continue;
+        }
+        // Skip nested groups (default expressions do not exist in struct
+        // bodies, but enum-style data keeps this robust).
+        if toks[j].kind == TokenKind::Open {
+            if let Some(c) = matching_close(toks, masked, j) {
+                j = c;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Records a field hint, dropping the name on conflict.
+fn merge_hint(out: &mut BTreeMap<String, Option<Hint>>, name: String, hint: Hint) {
+    match out.get(&name) {
+        None => {
+            out.insert(name, Some(hint));
+        }
+        Some(Some(h)) if *h == hint => {}
+        Some(_) => {
+            out.insert(name, None);
+        }
+    }
+}
+
+/// Parameter hints from a signature token range: `name : type` pairs at
+/// paren depth 1.
+fn param_hints(fm: &FileModel, sig: (usize, usize), out: &mut BTreeMap<String, Option<Hint>>) {
+    let toks = &fm.tokens;
+    let masked = &fm.src.masked_text;
+    // Locate the parameter list: first `(` after the fn name.
+    let Some(open) = (sig.0..sig.1).find(|&j| toks[j].text(masked) == "(") else {
+        return;
+    };
+    let Some(close) = matching_close(toks, masked, open) else {
+        return;
+    };
+    let mut j = open + 1;
+    while j < close {
+        if toks[j].kind == TokenKind::Ident
+            && toks.get(j + 1).is_some_and(|t| t.text(masked) == ":")
+        {
+            let name = toks[j].text(masked).to_owned();
+            let ty_start = j + 2;
+            let mut k = ty_start;
+            let mut depth = 0usize;
+            while k < close {
+                match toks[k].kind {
+                    TokenKind::Open => depth += 1,
+                    TokenKind::Close => depth = depth.saturating_sub(1),
+                    TokenKind::Punct if depth == 0 && toks[k].text(masked) == "," => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            out.insert(name, classify(fm, ty_start, k));
+            j = k + 1;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+/// `let` binding hints from a body token range. Handles
+/// `let [mut] name [: Type] = init ;` — hints come from the type
+/// annotation when present, else from the initializer expression.
+fn let_hints(fm: &FileModel, open: usize, close: usize, out: &mut BTreeMap<String, Option<Hint>>) {
+    let toks = &fm.tokens;
+    let masked = &fm.src.masked_text;
+    let mut j = open + 1;
+    while j < close {
+        if !(toks[j].kind == TokenKind::Ident && toks[j].text(masked) == "let") {
+            j += 1;
+            continue;
+        }
+        let mut k = j + 1;
+        if toks.get(k).is_some_and(|t| t.text(masked) == "mut") {
+            k += 1;
+        }
+        let Some(name_tok) = toks.get(k) else { break };
+        if name_tok.kind != TokenKind::Ident {
+            // Destructuring pattern — no single name to hint.
+            j = k + 1;
+            continue;
+        }
+        let name = name_tok.text(masked).to_owned();
+        // Find `=` and `;` at depth 0 from here.
+        let mut eq = None;
+        let mut end = close;
+        let mut m = k + 1;
+        let mut depth = 0usize;
+        while m < close {
+            match toks[m].kind {
+                TokenKind::Open => depth += 1,
+                TokenKind::Close => depth = depth.saturating_sub(1),
+                TokenKind::Punct if depth == 0 => match toks[m].text(masked) {
+                    "=" if eq.is_none() => eq = Some(m),
+                    ";" => {
+                        end = m;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            m += 1;
+        }
+        // Annotation range (between `:` and `=`/`;`) wins over the
+        // initializer range (between `=` and `;`).
+        let ann = toks
+            .get(k + 1)
+            .filter(|t| t.text(masked) == ":")
+            .map(|_| (k + 2, eq.unwrap_or(end)));
+        let init = eq.map(|e| (e + 1, end));
+        let hint = ann
+            .and_then(|(a, b)| classify(fm, a, b))
+            .or_else(|| init.and_then(|(a, b)| classify_init(fm, a, b)));
+        out.insert(name, hint);
+        j = end + 1;
+    }
+}
+
+/// Classifies a *type* token range into a hint. Container evidence wins
+/// over element evidence (`Vec<f64>` is a Vec, `FxHashMap<NodeId, f64>`
+/// is a hash container).
+fn classify(fm: &FileModel, start: usize, end: usize) -> Option<Hint> {
+    let masked = &fm.src.masked_text;
+    let mut float = false;
+    let mut int = false;
+    for j in start..end.min(fm.tokens.len()) {
+        let t = fm.tokens[j];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text(masked) {
+            "FxHashMap" | "FxHashSet" | "HashMap" | "HashSet" | "BTreeMap" | "BTreeSet" => {
+                return Some(Hint::Hash)
+            }
+            "Vec" | "VecDeque" => return Some(Hint::Vec),
+            "f64" | "f32" => float = true,
+            "usize" | "u64" | "u32" | "u16" | "u8" | "isize" | "i64" | "i32" | "i16" | "i8"
+            | "NodeId" => int = true,
+            _ => {}
+        }
+    }
+    if float {
+        Some(Hint::Float)
+    } else if int {
+        Some(Hint::Int)
+    } else {
+        None
+    }
+}
+
+/// Classifies an *initializer* token range: type evidence as in
+/// [`classify`] plus literal evidence (`0.0` ⇒ float, `0` ⇒ int,
+/// `vec![…]` ⇒ vec) and a few well-known constructors.
+fn classify_init(fm: &FileModel, start: usize, end: usize) -> Option<Hint> {
+    let masked = &fm.src.masked_text;
+    if let Some(h) = classify(fm, start, end) {
+        return Some(h);
+    }
+    let mut first_lit = None;
+    for j in start..end.min(fm.tokens.len()) {
+        let t = fm.tokens[j];
+        match t.kind {
+            TokenKind::Float => first_lit = first_lit.or(Some(Hint::Float)),
+            TokenKind::Int => first_lit = first_lit.or(Some(Hint::Int)),
+            TokenKind::Ident => {
+                let s = t.text(masked);
+                if s == "vec" && fm.tokens.get(j + 1).is_some_and(|n| n.text(masked) == "!") {
+                    return Some(Hint::Vec);
+                }
+                if s == "len" || s == "count" {
+                    first_lit = first_lit.or(Some(Hint::Int));
+                }
+            }
+            _ => {}
+        }
+    }
+    first_lit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::build(vec![SourceFile::from_text("crates/x/src/lib.rs", src)])
+    }
+
+    #[test]
+    fn finds_free_and_method_fns() {
+        let w = ws("pub fn free(a: u32) -> u32 { a }\n\
+                    struct S { x: f64 }\n\
+                    impl S {\n    fn method(&self) -> f64 { self.x }\n}\n\
+                    impl Clone for S {\n    fn clone(&self) -> S { S { x: self.x } }\n}\n\
+                    trait T {\n    fn decl(&self);\n    fn defaulted(&self) {}\n}\n");
+        let names: Vec<String> = w.fns.iter().map(FnDef::qualified).collect();
+        assert_eq!(
+            names,
+            vec!["free", "S::method", "S::clone", "T::decl", "T::defaulted"]
+        );
+        let decl = &w.fns[3];
+        assert!(decl.body.is_none(), "trait decl has no body");
+        assert!(w.fns[4].body.is_some(), "default method has a body");
+    }
+
+    #[test]
+    fn field_and_local_hints() {
+        let w = ws("use std::collections::HashMap;\n\
+                    struct S { slot_of: HashMap<u32, usize>, total: f64 }\n\
+                    impl S {\n\
+                    fn f(&self, n: usize) {\n\
+                        let mut acc = 0.0;\n\
+                        let ids: Vec<u32> = Vec::new();\n\
+                        let m = n + 1;\n\
+                        let _ = (acc, ids, m);\n\
+                    }\n}\n");
+        assert_eq!(w.field_hints.get("slot_of"), Some(&Hint::Hash));
+        assert_eq!(w.field_hints.get("total"), Some(&Hint::Float));
+        let f = w
+            .fns
+            .iter()
+            .position(|d| d.name == "f")
+            .expect("fn f exists");
+        let locals = w.local_hints(f);
+        assert_eq!(locals.get("acc"), Some(&Some(Hint::Float)));
+        assert_eq!(locals.get("ids"), Some(&Some(Hint::Vec)));
+        assert_eq!(locals.get("m"), Some(&Some(Hint::Int)));
+        assert_eq!(locals.get("n"), Some(&Some(Hint::Int)));
+        assert_eq!(w.hint_of(&locals, "slot_of"), Some(Hint::Hash));
+    }
+
+    #[test]
+    fn unknown_typed_local_shadows_field_hint() {
+        // A struct elsewhere has a hash-typed `candidates` field; a fn
+        // whose *own* `candidates` param has an opaque type must not
+        // inherit that field hint.
+        let w = ws("use std::collections::HashMap;\n\
+                    struct Other { candidates: HashMap<u32, f64> }\n\
+                    fn f(candidates: Cow<SignatureSet>) -> usize { candidates.len() }\n");
+        assert_eq!(w.field_hints.get("candidates"), Some(&Hint::Hash));
+        let f = w
+            .fns
+            .iter()
+            .position(|d| d.name == "f")
+            .expect("fn f exists");
+        let locals = w.local_hints(f);
+        assert_eq!(
+            w.hint_of(&locals, "candidates"),
+            None,
+            "declared-but-unknown local must shadow the workspace field hint"
+        );
+    }
+
+    #[test]
+    fn nested_fns_and_test_regions() {
+        let w = ws("fn outer() {\n    fn inner() {}\n}\n\
+                    #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n");
+        let names: Vec<&str> = w.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "t"]);
+        assert!(!w.fns[0].is_test);
+        assert!(w.fns[2].is_test);
+    }
+
+    #[test]
+    fn impl_for_owner_is_the_type() {
+        let w = ws("impl<'a, T: Clone> Iterator for Windows<'a, T> {\n    fn next(&mut self) -> Option<T> { None }\n}\n");
+        assert_eq!(w.fns[0].qualified(), "Windows::next");
+    }
+}

@@ -20,6 +20,9 @@ pub struct Diagnostic {
     pub message: String,
     /// Trimmed verbatim source line (allowlist needles match this).
     pub snippet: String,
+    /// Call-chain evidence (qualified fn names, root first) for
+    /// reachability rules; empty for line-level rules.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
@@ -30,6 +33,7 @@ impl Diagnostic {
             line,
             message,
             snippet: file.snippet(line).to_owned(),
+            chain: Vec::new(),
         }
     }
 }

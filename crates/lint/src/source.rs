@@ -30,6 +30,9 @@ pub struct SourceFile {
     pub raw: Vec<String>,
     /// Lines with comments blanked and literal contents spaced out.
     pub masked: Vec<String>,
+    /// The full masked text (same bytes the lines were split from) — the
+    /// input of the token layer ([`crate::lexer`]).
+    pub masked_text: String,
     /// `true` for every line inside a `#[cfg(test)]` / `#[test]` item.
     pub is_test: Vec<bool>,
 }
@@ -46,11 +49,19 @@ impl SourceFile {
         let masked_text = mask_source(text);
         let raw: Vec<String> = text.lines().map(str::to_owned).collect();
         let masked: Vec<String> = masked_text.lines().map(str::to_owned).collect();
-        let is_test = test_region_mask(&masked);
+        let is_test = if is_test_surface(rel_path) {
+            // Integration tests and examples are test-grade surface: the
+            // whole file relaxes the test-relaxed rules, exactly like a
+            // `#[cfg(test)]` module in library code.
+            vec![true; masked.len()]
+        } else {
+            test_region_mask(&masked)
+        };
         SourceFile {
             path: rel_path.to_owned(),
             raw,
             masked,
+            masked_text,
             is_test,
         }
     }
@@ -247,6 +258,13 @@ fn test_region_mask(masked: &[String]) -> Vec<bool> {
         }
     }
     mask
+}
+
+/// Whether a workspace-relative path is wholly test-grade surface:
+/// integration tests (`crates/*/tests/`) and `examples/`. Rules that are
+/// relaxed inside `#[cfg(test)]` regions are relaxed for the entire file.
+pub fn is_test_surface(rel_path: &str) -> bool {
+    rel_path.starts_with("examples/") || rel_path.contains("/tests/")
 }
 
 /// Recognises `#[test]` and any `#[cfg(…)]` attribute whose predicate

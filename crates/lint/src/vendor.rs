@@ -100,6 +100,7 @@ pub fn check(root: &Path) -> Vec<Diagnostic> {
         line: 1,
         message,
         snippet: String::new(),
+        chain: Vec::new(),
     };
     let actual = match collect(root) {
         Ok(a) => a,

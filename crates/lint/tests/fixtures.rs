@@ -1,0 +1,116 @@
+//! Fixture corpus for the dataflow rules: every rule has a known-bad
+//! fixture that must fire and a known-good twin that must stay silent.
+//!
+//! Fixtures live under `tests/fixtures/` (excluded from the workspace
+//! scan — they contain deliberate violations) and are loaded through
+//! [`comsig_lint::analyze`] under a *virtual* path that places them in
+//! the rule's scope: the dataflow rules are scoped to the streaming
+//! modules, so a fixture pretending to be `crates/core/src/pipeline.rs`
+//! is linted exactly like the real file.
+
+use comsig_lint::source::SourceFile;
+use comsig_lint::Diagnostic;
+
+/// Loads a fixture file and presents it to the engine under `vpath`.
+fn lint_fixture(fixture: &str, vpath: &str) -> Vec<Diagnostic> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    comsig_lint::analyze(vec![SourceFile::from_text(vpath, &text)])
+}
+
+/// Asserts the bad fixture fires `rule` and the good twin does not.
+fn assert_pair(rule: &str, bad: &str, good: &str, vpath: &str) {
+    let fired = lint_fixture(bad, vpath);
+    assert!(
+        fired.iter().any(|d| d.rule == rule),
+        "{bad} under {vpath} must fire `{rule}`; got {fired:?}"
+    );
+    let clean = lint_fixture(good, vpath);
+    let leaked: Vec<_> = clean.iter().filter(|d| d.rule == rule).collect();
+    assert!(
+        leaked.is_empty(),
+        "{good} under {vpath} must not fire `{rule}`; got {leaked:?}"
+    );
+}
+
+#[test]
+fn unordered_iter_pair() {
+    assert_pair(
+        "unordered-iter",
+        "unordered_iter_bad.rs",
+        "unordered_iter_good.rs",
+        "crates/core/src/pipeline.rs",
+    );
+}
+
+#[test]
+fn unordered_iter_is_scoped() {
+    // The same violation outside the bit-identical modules is silent.
+    let d = lint_fixture("unordered_iter_bad.rs", "crates/datagen/src/workload.rs");
+    assert!(
+        d.iter().all(|d| d.rule != "unordered-iter"),
+        "out-of-scope file must not fire: {d:?}"
+    );
+}
+
+#[test]
+fn shard_float_order_pair() {
+    assert_pair(
+        "shard-float-order",
+        "shard_float_order_bad.rs",
+        "shard_float_order_good.rs",
+        "crates/core/src/pipeline.rs",
+    );
+}
+
+#[test]
+fn panic_path_pair() {
+    assert_pair(
+        "panic-path",
+        "panic_path_bad.rs",
+        "panic_path_good.rs",
+        "crates/core/src/pipeline.rs",
+    );
+}
+
+#[test]
+fn panic_path_carries_call_chain() {
+    let d = lint_fixture("panic_path_bad.rs", "crates/core/src/pipeline.rs");
+    let hit = d
+        .iter()
+        .find(|d| d.rule == "panic-path")
+        .expect("bad fixture fires panic-path");
+    assert_eq!(
+        hit.chain,
+        vec!["SignaturePipeline::advance".to_owned(), "helper".to_owned()],
+        "diagnostic must carry root-to-site chain evidence"
+    );
+    assert!(
+        hit.message.contains("SignaturePipeline::advance -> helper"),
+        "chain rendered in the message: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn panic_path_roots_are_scoped() {
+    // The same root outside the hot-path crates is not a root at all.
+    let d = lint_fixture("panic_path_bad.rs", "crates/chaos/src/lib.rs");
+    assert!(
+        d.iter().all(|d| d.rule != "panic-path"),
+        "off-path crates are outside the traversal: {d:?}"
+    );
+}
+
+#[test]
+fn alloc_in_hot_loop_pair() {
+    assert_pair(
+        "alloc-in-hot-loop",
+        "alloc_in_hot_loop_bad.rs",
+        "alloc_in_hot_loop_good.rs",
+        "crates/eval/src/index.rs",
+    );
+}

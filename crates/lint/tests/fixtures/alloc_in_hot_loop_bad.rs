@@ -1,0 +1,15 @@
+// Fixture: MUST fire `alloc-in-hot-loop`.
+//
+// `PostingsIndex::update` is a streaming root; allocating a fresh Vec on
+// every loop iteration violates the workspace-reuse discipline.
+
+pub struct PostingsIndex;
+
+impl PostingsIndex {
+    pub fn update(&mut self, n: usize) {
+        for _ in 0..n {
+            let scratch: Vec<u32> = Vec::with_capacity(8);
+            drop(scratch);
+        }
+    }
+}

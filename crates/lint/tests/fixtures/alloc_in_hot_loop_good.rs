@@ -1,0 +1,16 @@
+// Fixture: must NOT fire `alloc-in-hot-loop`.
+//
+// The buffer is hoisted out of the loop and reused — the sanctioned
+// workspace pattern. The allocation outside the loop is fine.
+
+pub struct PostingsIndex;
+
+impl PostingsIndex {
+    pub fn update(&mut self, n: usize) {
+        let mut scratch: Vec<u32> = Vec::with_capacity(8);
+        for i in 0..n {
+            scratch.push(i as u32);
+        }
+        drop(scratch);
+    }
+}

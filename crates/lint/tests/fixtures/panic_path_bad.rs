@@ -1,0 +1,18 @@
+// Fixture: MUST fire `panic-path` with call-chain evidence.
+//
+// `SignaturePipeline::advance` is a streaming root; it calls a helper
+// whose `.unwrap()` makes a panic reachable from the hot path. The
+// diagnostic must carry the chain `SignaturePipeline::advance -> helper`.
+
+pub struct SignaturePipeline;
+
+impl SignaturePipeline {
+    pub fn advance(&mut self) {
+        helper();
+    }
+}
+
+fn helper() {
+    let slot: Option<u32> = None;
+    let _ = slot.unwrap();
+}

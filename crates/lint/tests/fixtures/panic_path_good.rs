@@ -1,0 +1,20 @@
+// Fixture: must NOT fire `panic-path`.
+//
+// Same root and call shape as the bad twin, but the helper degrades
+// gracefully with `if let` instead of unwrapping — nothing reachable
+// from the streaming root can panic.
+
+pub struct SignaturePipeline;
+
+impl SignaturePipeline {
+    pub fn advance(&mut self) {
+        helper();
+    }
+}
+
+fn helper() {
+    let slot: Option<u32> = None;
+    if let Some(v) = slot {
+        let _ = v;
+    }
+}

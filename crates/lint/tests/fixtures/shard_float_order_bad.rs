@@ -1,0 +1,13 @@
+// Fixture: MUST fire `shard-float-order`.
+//
+// A float accumulator declared outside the `scope_chunks` closure is
+// updated inside it: the sum's value then depends on shard interleaving,
+// so the result is not bit-identical across thread counts.
+
+pub fn reduce_shards(grand_total: &mut f64) {
+    let mut total = *grand_total;
+    rayon::scope_chunks(4, 8, |_shard, _range| {
+        total += 1.0;
+    });
+    *grand_total = total;
+}

@@ -1,0 +1,13 @@
+// Fixture: must NOT fire `shard-float-order`.
+//
+// The accumulator is declared inside the shard closure, so each shard
+// owns its partial sum; reduction happens outside in subject order.
+
+pub fn reduce_shards() {
+    rayon::scope_chunks(4, 8, |_shard, range| {
+        let mut acc = 0.0;
+        for _ in range {
+            acc += 1.0;
+        }
+    });
+}

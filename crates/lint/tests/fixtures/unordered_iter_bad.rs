@@ -1,0 +1,15 @@
+// Fixture: MUST fire `unordered-iter`.
+//
+// A hash container is iterated and its elements pushed into a Vec that is
+// never sorted afterwards — the Vec's order is whatever the hash seed
+// dictates, which breaks the bit-identical output contract.
+
+use rustc_hash::FxHashSet;
+
+pub fn drain_dirty(dirty: FxHashSet<u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for v in dirty.iter() {
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,15 @@
+// Fixture: must NOT fire `unordered-iter`.
+//
+// Same hash iteration as the bad twin, but the Vec is sorted before it
+// escapes — the sanctioned collect-then-sort idiom.
+
+use rustc_hash::FxHashSet;
+
+pub fn drain_dirty(dirty: FxHashSet<u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for v in dirty.iter() {
+        out.push(*v);
+    }
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,121 @@
+//! Pins the token layer's reconstruction invariant: for any input,
+//! `reconstruct(masked, &tokenize(masked)) == masked` byte-for-byte, and
+//! every inter-token gap is whitespace.
+//!
+//! Two pins: a deterministic pass over **every** scanned workspace file
+//! (the invariant the symbol-table and dataflow passes rely on in
+//! production), and a proptest over adversarial fragment soup (unclosed
+//! strings, raw strings, lifetimes vs char literals, multi-byte chars,
+//! comment markers mid-token).
+
+use comsig_lint::lexer::{reconstruct, tokenize};
+use comsig_lint::source::mask_source;
+use proptest::prelude::*;
+
+/// Asserts the full invariant on one masked text.
+fn assert_roundtrip(masked: &str, what: &str) {
+    let toks = tokenize(masked);
+    assert_eq!(
+        reconstruct(masked, &toks),
+        masked,
+        "reconstruction drift in {what}"
+    );
+    let mut at = 0usize;
+    for t in &toks {
+        assert!(
+            t.start >= at && t.end >= t.start,
+            "token spans must be ascending and well-formed in {what}"
+        );
+        assert!(
+            masked[at..t.start].chars().all(char::is_whitespace),
+            "non-whitespace byte fell between tokens in {what}"
+        );
+        at = t.end;
+    }
+    assert!(
+        masked[at..].chars().all(char::is_whitespace),
+        "non-whitespace trailing bytes after the last token in {what}"
+    );
+}
+
+#[test]
+fn every_workspace_file_reconstructs_byte_equal() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let sources = comsig_lint::load_sources(&root).expect("scan workspace sources");
+    assert!(
+        sources.len() > 50,
+        "workspace scan looks truncated: {} files",
+        sources.len()
+    );
+    for src in &sources {
+        assert_roundtrip(&src.masked_text, &src.path);
+    }
+}
+
+/// Fragment alphabet for adversarial inputs: every lexer edge the masking
+/// and token layers special-case, plus glue that splices them into
+/// torn/overlapping positions.
+const FRAGS: &[&str] = &[
+    "fn ",
+    "let ",
+    "x",
+    "_y2",
+    "αβ",
+    "self",
+    "1",
+    "42u32",
+    "0x1f",
+    "1.0",
+    "1.5e-3",
+    "1e9",
+    "2f64",
+    "1..",
+    "..=",
+    "..",
+    "::",
+    "->",
+    "=>",
+    "==",
+    "+=",
+    "<<=",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "\"",
+    "\"lit\"",
+    "r#\"raw\"#",
+    "r\"",
+    "'a",
+    "'x'",
+    "'\\n'",
+    "'",
+    "\\",
+    "//c",
+    "/*",
+    "*/",
+    "/**/",
+    "\n",
+    " ",
+    "\t",
+    "#[cfg(test)]",
+    "π≈3",
+];
+
+proptest! {
+    /// Any splice of edge-case fragments must mask to a text the lexer
+    /// reconstructs byte-equal, with whitespace-only gaps.
+    #[test]
+    fn fragment_soup_reconstructs(picks in collection::vec(0usize..FRAGS.len(), 0..64)) {
+        let src: String = picks.iter().map(|&i| FRAGS[i]).collect();
+        let masked = mask_source(&src);
+        // Masking is char-count preserving (positions stay valid).
+        prop_assert_eq!(masked.chars().count(), src.chars().count());
+        assert_roundtrip(&masked, "fragment soup");
+    }
+}
