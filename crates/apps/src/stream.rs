@@ -71,6 +71,48 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
         }
     }
 
+    /// Reassembles a detector from persisted parts without any cold
+    /// recompute: graph, current/previous signature sets and the patched
+    /// index restore exactly as captured — the `comsig serve` recovery
+    /// path, which verifies the result against a state digest recorded
+    /// at capture time.
+    ///
+    /// # Errors
+    /// Returns an error when the parts are structurally inconsistent
+    /// (subject out of range, index candidates diverging from the
+    /// pipeline's signatures, prev/current subject mismatch).
+    pub fn resume(
+        scheme: &'a S,
+        graph: CommGraph,
+        current: SignatureSet,
+        prev: SignatureSet,
+        index: PostingsIndex<'static>,
+        cfg: DetectorConfig,
+        plan: ShardPlan,
+    ) -> Result<Self, String> {
+        if prev.subjects() != current.subjects() {
+            return Err("detector resume: prev/current subject lists differ".into());
+        }
+        if index.candidates().subjects() != current.subjects() {
+            return Err("detector resume: index candidates diverge from the signature set".into());
+        }
+        for ((_, a), (_, b)) in index.candidates().iter().zip(current.iter()) {
+            if a != b {
+                return Err(
+                    "detector resume: index candidate signatures diverge from the set".into(),
+                );
+            }
+        }
+        let pipeline = SignaturePipeline::resume(scheme, graph, current, cfg.k, plan)?;
+        Ok(StreamingMasquerade {
+            pipeline,
+            index,
+            cfg,
+            plan,
+            prev,
+        })
+    }
+
     /// The detector configuration.
     #[must_use]
     pub fn config(&self) -> &DetectorConfig {
@@ -83,10 +125,59 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
         self.pipeline.graph()
     }
 
+    /// The current window's signatures.
+    #[must_use]
+    pub fn signatures(&self) -> &SignatureSet {
+        self.pipeline.signatures()
+    }
+
+    /// The previous window's signatures (the double buffer's back side).
+    #[must_use]
+    pub fn prev_signatures(&self) -> &SignatureSet {
+        &self.prev
+    }
+
+    /// The maintained postings index over the current signatures.
+    #[must_use]
+    pub fn index(&self) -> &PostingsIndex<'static> {
+        &self.index
+    }
+
+    /// The shard plan every advance runs under.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
     /// Consumes the next window's delta and runs Algorithm 1 between the
     /// previous and the new window. Returns the detection plus the
     /// pipeline's advance report.
     pub fn advance(&mut self, dist: &dyn BatchDistance, delta: &WindowDelta) -> StreamDetection {
+        let (detection, _) = self.advance_inner(dist, delta, false);
+        detection
+    }
+
+    /// [`advance`](Self::advance) that additionally computes the
+    /// per-subject anomaly scores for the same window pair **before**
+    /// rolling the double buffer, so one maintained detector serves both
+    /// verdicts (the `comsig serve` query plane). Scores are
+    /// bit-identical to [`StreamingAnomaly::advance`] over the same
+    /// stream.
+    pub fn advance_with_anomaly(
+        &mut self,
+        dist: &dyn BatchDistance,
+        delta: &WindowDelta,
+    ) -> (StreamDetection, Vec<AnomalyScore>) {
+        let (detection, scores) = self.advance_inner(dist, delta, true);
+        (detection, scores.unwrap_or_default())
+    }
+
+    fn advance_inner(
+        &mut self,
+        dist: &dyn BatchDistance,
+        delta: &WindowDelta,
+        with_anomaly: bool,
+    ) -> (StreamDetection, Option<Vec<AnomalyScore>>) {
         let report = self.pipeline.advance(delta);
         let new_sigs = self.pipeline.signatures();
         // The pipeline maintains every subject it reports dirty; a miss
@@ -100,6 +191,7 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
             &self.plan,
         );
         let detection = run_algorithm1_with(dist, &self.prev, &self.index, &self.cfg, &self.plan);
+        let scores = with_anomaly.then(|| anomaly_scores_from_sets(dist, &self.prev, new_sigs));
         // Roll the double buffer forward: only the dirty subjects differ
         // between the windows.
         for &v in &report.dirty {
@@ -107,7 +199,7 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
                 let _ = self.prev.replace(v, sig.clone());
             }
         }
-        StreamDetection { detection, report }
+        (StreamDetection { detection, report }, scores)
     }
 }
 
@@ -403,6 +495,107 @@ mod tests {
                 assert_eq!(a.score.to_bits(), b.score.to_bits());
             }
             prev_graph = cur_graph;
+        }
+    }
+
+    /// `advance_with_anomaly` must produce the exact detection of
+    /// `advance` and the exact scores of a parallel `StreamingAnomaly`
+    /// over the same stream.
+    #[test]
+    fn advance_with_anomaly_matches_both_detectors() {
+        let scheme = Rwr::truncated(0.15, 2);
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..6).map(n).collect();
+        let cfg = DetectorConfig {
+            k: 4,
+            ..DetectorConfig::default()
+        };
+        let mut w1 = SlidingWindower::tumbling(0, 10);
+        let mut w2 = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w1.push(e);
+            w2.push(e);
+        }
+        let mut combined =
+            StreamingMasquerade::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, cfg);
+        let mut masq =
+            StreamingMasquerade::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, cfg);
+        let mut anom = StreamingAnomaly::new(&scheme, CommGraph::empty(NUM_NODES), &subjects, 4);
+        for _ in 0..4 {
+            let delta = w1.advance();
+            let delta2 = w2.advance();
+            let (det, scores) = combined.advance_with_anomaly(&SHel, &delta);
+            let want_det = masq.advance(&SHel, &delta2);
+            let (want_scores, _) = anom.advance(&SHel, &delta2);
+            assert_eq!(
+                det.detection.delta.to_bits(),
+                want_det.detection.delta.to_bits()
+            );
+            assert_eq!(det.detection.detected, want_det.detection.detected);
+            assert_eq!(scores.len(), want_scores.len());
+            for (a, b) in scores.iter().zip(&want_scores) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    /// A detector reassembled from its exported parts mid-stream must
+    /// continue bit-identically to the uninterrupted one.
+    #[test]
+    fn resume_from_parts_continues_bit_identically() {
+        let scheme = Rwr::truncated(0.15, 2);
+        let events = stream();
+        let subjects: Vec<NodeId> = (0..NUM_NODES).map(n).collect();
+        let cfg = DetectorConfig {
+            k: 4,
+            ..DetectorConfig::default()
+        };
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det = StreamingMasquerade::with_plan(
+            &scheme,
+            CommGraph::empty(NUM_NODES),
+            &subjects,
+            cfg,
+            ShardPlan::new(2),
+        );
+        let d0 = w.advance();
+        let d1 = w.advance();
+        let _ = det.advance(&SHel, &d0);
+        let _ = det.advance(&SHel, &d1);
+        // Capture the parts, as a snapshot would.
+        let graph = det.graph().clone();
+        let current = det.signatures().clone();
+        let prev = det.prev_signatures().clone();
+        let layout = det.index().export_layout();
+        let index = PostingsIndex::from_layout(det.index().candidates().clone(), layout)
+            .expect("exported layout restores");
+        let mut resumed = StreamingMasquerade::resume(
+            &scheme,
+            graph,
+            current,
+            prev,
+            index,
+            cfg,
+            ShardPlan::new(2),
+        )
+        .expect("parts are consistent");
+        assert_eq!(resumed.index().layout_digest(), det.index().layout_digest());
+        for _ in 0..2 {
+            let delta = w.advance();
+            let (a, sa) = det.advance_with_anomaly(&SHel, &delta);
+            let (b, sb) = resumed.advance_with_anomaly(&SHel, &delta);
+            assert_eq!(a.detection.delta.to_bits(), b.detection.delta.to_bits());
+            assert_eq!(a.detection.detected, b.detection.detected);
+            assert_eq!(a.report.dirty, b.report.dirty);
+            assert_eq!(resumed.index().layout_digest(), det.index().layout_digest());
+            for (x, y) in sa.iter().zip(&sb) {
+                assert_eq!(x.node, y.node);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
         }
     }
 

@@ -9,19 +9,22 @@
 //! about, and recomputed rather than trusted.
 //!
 //! The payload is a small line-based text format (the offline build has
-//! no generic serde machinery): a four-line header followed by `T`
+//! no generic serde machinery): an `id`/`scale` header followed by `T`
 //! (title), `H` (headers) and `R` (row) records with tab-separated,
-//! backslash-escaped cells.
+//! backslash-escaped cells. The atomic write-then-rename container and
+//! the FNV-1a digest come from [`comsig_core::persist`] — the same
+//! primitives the `comsig serve` durability plane is built on.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use comsig_core::persist;
 use comsig_eval::report::Table;
 
 use crate::datasets::Scale;
 
-const MAGIC: &str = "comsig-checkpoint v1";
+const MAGIC: &str = "comsig-checkpoint v2";
 
 /// Result of probing a checkpoint.
 #[derive(Debug)]
@@ -38,18 +41,6 @@ pub enum LoadOutcome {
 /// The checkpoint path for a cell.
 pub fn path(dir: &Path, id: &str, scale: Scale) -> PathBuf {
     dir.join(format!("{id}.{}.ckpt", scale.name()))
-}
-
-/// FNV-1a over the serialised tables: cheap, dependency-free, and enough
-/// to catch truncation and bit rot (this guards against accidents, not
-/// adversaries).
-fn digest(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
 }
 
 fn escape(cell: &str) -> String {
@@ -150,66 +141,44 @@ fn parse_tables(body: &str) -> Result<Vec<Table>, String> {
     Ok(tables)
 }
 
-/// Atomically writes the checkpoint for a cell: the payload goes to a
-/// `.tmp` sibling first and is renamed into place, so readers never see a
-/// partial file.
+/// Atomically writes the checkpoint for a cell via
+/// [`persist::write_atomic`]: the digest-guarded payload goes to a
+/// `.tmp` sibling first and is renamed into place, so readers never see
+/// a partial file.
 pub fn save(dir: &Path, id: &str, scale: Scale, tables: &[Table]) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
-    let body = serialize_tables(tables);
-    let payload = format!(
-        "{MAGIC}\nid {id}\nscale {}\ndigest {:016x}\n{body}",
+    let body = format!(
+        "id {id}\nscale {}\n{}",
         scale.name(),
-        digest(body.as_bytes())
+        serialize_tables(tables)
     );
     let target = path(dir, id, scale);
-    let tmp = target.with_extension("ckpt.tmp");
-    fs::write(&tmp, payload)?;
-    fs::rename(&tmp, &target)?;
+    persist::write_atomic(&target, MAGIC, body.as_bytes())?;
     Ok(target)
 }
 
 /// Probes the checkpoint for a cell.
 pub fn load(dir: &Path, id: &str, scale: Scale) -> LoadOutcome {
     let target = path(dir, id, scale);
-    let bytes = match fs::read(&target) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return LoadOutcome::Miss,
-        Err(e) => return LoadOutcome::Corrupt(format!("unreadable: {e}")),
+    let body = match persist::read_atomic(&target, MAGIC) {
+        persist::LoadOutcome::Hit(body) => body,
+        persist::LoadOutcome::Miss => return LoadOutcome::Miss,
+        persist::LoadOutcome::Corrupt(reason) => return LoadOutcome::Corrupt(reason),
     };
-    let text = match String::from_utf8(bytes) {
+    let text = match String::from_utf8(body) {
         Ok(text) => text,
         Err(e) => return LoadOutcome::Corrupt(format!("not UTF-8: {e}")),
     };
-    let mut header = text.splitn(5, '\n');
-    let (Some(magic), Some(id_line), Some(scale_line), Some(digest_line), Some(body)) = (
-        header.next(),
-        header.next(),
-        header.next(),
-        header.next(),
-        header.next(),
-    ) else {
+    let mut header = text.splitn(3, '\n');
+    let (Some(id_line), Some(scale_line), Some(body)) =
+        (header.next(), header.next(), header.next())
+    else {
         return LoadOutcome::Corrupt("truncated header".to_owned());
     };
-    if magic != MAGIC {
-        return LoadOutcome::Corrupt(format!("bad magic `{magic}`"));
-    }
     if id_line != format!("id {id}") || scale_line != format!("scale {}", scale.name()) {
         return LoadOutcome::Corrupt(format!(
             "cell mismatch: file says `{id_line}; {scale_line}`, expected ({id}, {})",
             scale.name()
-        ));
-    }
-    let stored = match digest_line
-        .strip_prefix("digest ")
-        .and_then(|d| u64::from_str_radix(d, 16).ok())
-    {
-        Some(stored) => stored,
-        None => return LoadOutcome::Corrupt(format!("bad digest line `{digest_line}`")),
-    };
-    let computed = digest(body.as_bytes());
-    if stored != computed {
-        return LoadOutcome::Corrupt(format!(
-            "digest mismatch: stored {stored:016x}, computed {computed:016x}"
         ));
     }
     match parse_tables(body) {

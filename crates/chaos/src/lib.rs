@@ -25,10 +25,15 @@
 //!   interleaved garbage lines.
 //! * [`scenarios`] — the named scenario corpus, runnable as `cargo test
 //!   -p comsig-chaos` and via `comsig chaos`.
+//! * [`durability`] — crash-and-recover scenarios for the `comsig
+//!   serve` snapshot + WAL plane: kills between durable records, stale
+//!   snapshot temp files, torn and bit-flipped WAL tails, with
+//!   bit-identical recovery as the acceptance bar.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durability;
 pub mod events;
 pub mod reader;
 pub mod scenarios;

@@ -178,6 +178,36 @@ pub fn all() -> Vec<Scenario> {
             "Repair on a clean corpus is byte-identical to Strict with a clean report",
             repair_identity_on_clean,
         ),
+        sc(
+            "serve-kill-and-resume",
+            "a service killed between windows recovers to the bit-identical digest",
+            crate::durability::serve_kill_and_resume,
+        ),
+        sc(
+            "serve-kill-mid-snapshot",
+            "a stale snapshot.bin.tmp from a mid-write kill is ignored by recovery",
+            crate::durability::serve_kill_mid_snapshot,
+        ),
+        sc(
+            "serve-wal-torn-tail",
+            "a torn WAL tail is truncated; every complete record survives replay",
+            crate::durability::serve_wal_torn_tail,
+        ),
+        sc(
+            "serve-wal-bitflip",
+            "a flipped WAL bit drops the untrustworthy suffix, never panics",
+            crate::durability::serve_wal_bitflip,
+        ),
+        sc(
+            "serve-double-restart-idempotent",
+            "two restarts with no mutations agree bit-for-bit and rewrite nothing",
+            crate::durability::serve_double_restart_idempotent,
+        ),
+        sc(
+            "serve-snapshot-plus-tail-replay",
+            "recovery seeds from the rotated snapshot and replays only the WAL tail",
+            crate::durability::serve_snapshot_plus_tail_replay,
+        ),
     ]
 }
 

@@ -41,6 +41,15 @@ commands:
   compare             measure persistence/uniqueness/robustness of the
                       standard schemes on an event file (derived Table IV)
   advise              recommend a scheme for an application (Tables I-III)
+  serve               run the crash-safe signature service: ingest events
+                      and answer queries over a loopback JSONL socket,
+                      with snapshot + WAL durability in --data-dir
+                      (--seed-events FILE fixes the label space;
+                      --listen ADDR, --addr-file FILE, --snapshot-every N,
+                      --threads N; scheme/dist/k/window flags as below)
+  call                send JSONL request lines to a running service
+                      (--addr ADDR or --addr-file FILE; requests as
+                      positional args, or stdin when none given)
   chaos               run the fault-injection scenario corpus
                       (--list | --scenario NAME; --seed N)
   lint                run the in-tree static-analysis pass over the
@@ -75,6 +84,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("stream") => cmd_stream(&parsed, out),
         Some("compare") => cmd_compare(&parsed, out),
         Some("advise") => cmd_advise(&parsed, out),
+        Some("serve") => cmd_serve(&parsed, out),
+        Some("call") => cmd_call(&parsed, out),
         Some("chaos") => cmd_chaos(&parsed, out),
         Some("lint") => cmd_lint(&parsed, out),
         Some("help") | None => {
@@ -734,6 +745,98 @@ fn cmd_advise(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             format!("missing {:?}", rec.gaps)
         };
         writeln!(out, "  {:6} score = {}  ({gaps})", rec.scheme, rec.score)?;
+    }
+    Ok(())
+}
+
+// --- serve ------------------------------------------------------------------
+
+fn cmd_serve(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    use comsig_serve::{run_server, ServeConfig, ServerOpts};
+
+    let data_dir = parsed.require("data-dir")?;
+    let seed_path = parsed.require("seed-events")?;
+    let file = File::open(seed_path)
+        .map_err(|e| CliError::Failed(format!("cannot open {seed_path}: {e}")))?;
+    let mut interner = Interner::new();
+    let ingest = ingest_policy(parsed)?;
+    let (seed_events, _report) =
+        read_events_with_policy(BufReader::new(file), &mut interner, ingest)?;
+    if seed_events.is_empty() {
+        return Err(CliError::Failed(format!(
+            "{seed_path} contains no events (the seed fixes the label space)"
+        )));
+    }
+    let subjects = comsig_serve::state::subject_sources(&seed_events);
+
+    let scheme_spec = parsed.get("scheme").unwrap_or("tt").to_owned();
+    let dist_spec = parsed.get("dist").unwrap_or("shel").to_owned();
+    let scheme = parse_delta_scheme(&scheme_spec)?;
+    let dist = parse_distance(&dist_spec)?;
+    let width = window_width(parsed)?;
+    let slide: u64 = parsed.num("slide", width)?;
+    if slide == 0 {
+        return Err(CliError::Usage("--slide must be >= 1".into()));
+    }
+    let default_start = seed_events.iter().map(|e| e.time).min().unwrap_or(0);
+    let config = ServeConfig {
+        scheme_spec,
+        dist_spec,
+        k: parsed.num("k", 10)?,
+        width,
+        slide,
+        start: parsed.num("start", default_start)?,
+        threshold_divisor: parsed.num("c", 5.0)?,
+        top_l: parsed.num("l", 3)?,
+        snapshot_every: parsed.num("snapshot-every", 0)?,
+        threads: parsed.num("threads", 0)?,
+        ingest,
+    };
+    let opts = ServerOpts {
+        listen: parsed.get("listen").unwrap_or("127.0.0.1:0").to_owned(),
+        addr_file: parsed.get("addr-file").map(std::path::PathBuf::from),
+    };
+    run_server(
+        scheme.as_ref(),
+        dist.as_ref(),
+        config,
+        std::path::Path::new(data_dir),
+        comsig_serve::state::GenesisSpace { interner, subjects },
+        &opts,
+        out,
+    )
+    .map_err(|e| CliError::Failed(e.to_string()))
+}
+
+fn cmd_call(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = match (parsed.get("addr"), parsed.get("addr-file")) {
+        (Some(addr), _) => addr.to_owned(),
+        (None, Some(path)) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::Failed(format!("cannot read {path}: {e}")))?
+            .trim()
+            .to_owned(),
+        (None, None) => {
+            return Err(CliError::Usage("call needs --addr or --addr-file".into()));
+        }
+    };
+    let mut requests: Vec<String> = parsed.positional[1..].to_vec();
+    if requests.is_empty() {
+        for line in std::io::stdin().lines() {
+            let line = line?;
+            if !line.trim().is_empty() {
+                requests.push(line);
+            }
+        }
+    }
+    if requests.is_empty() {
+        return Err(CliError::Usage(
+            "call needs at least one request line (argument or stdin)".into(),
+        ));
+    }
+    let responses = comsig_serve::call(&addr, &requests)
+        .map_err(|e| CliError::Failed(format!("call to {addr} failed: {e}")))?;
+    for response in responses {
+        writeln!(out, "{response}")?;
     }
     Ok(())
 }

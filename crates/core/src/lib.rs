@@ -51,6 +51,7 @@
 pub mod contract;
 pub mod distance;
 pub mod engine;
+pub mod persist;
 pub mod pipeline;
 pub mod properties;
 pub mod scheme;

@@ -267,6 +267,46 @@ impl<'a, S: DeltaScheme + ?Sized> SignaturePipeline<'a, S> {
         }
     }
 
+    /// Reassembles a pipeline from persisted parts **without** the cold
+    /// signature recompute [`with_plan`](Self::with_plan) performs: the
+    /// caller supplies the window graph and the signature set exactly as
+    /// they were when the pipeline was captured. The restored pipeline
+    /// is bit-identical to the captured one — callers are expected to
+    /// verify this against a digest recorded at capture time (the
+    /// `comsig serve` recovery path does).
+    ///
+    /// # Errors
+    /// Returns an error if a signature-set subject is out of range for
+    /// the graph's node space; deeper mismatches (a set that is not the
+    /// scheme's output for this graph) are the caller's digest check to
+    /// catch.
+    pub fn resume(
+        scheme: &'a S,
+        graph: CommGraph,
+        set: SignatureSet,
+        k: usize,
+        plan: ShardPlan,
+    ) -> Result<Self, String> {
+        if let Some(&v) = set
+            .subjects()
+            .iter()
+            .find(|v| v.index() >= graph.num_nodes())
+        {
+            return Err(format!(
+                "pipeline resume: subject {v} out of range for |V| = {}",
+                graph.num_nodes()
+            ));
+        }
+        Ok(SignaturePipeline {
+            scheme,
+            k,
+            graph,
+            set,
+            plan,
+            dirty_buf: Vec::new(),
+        })
+    }
+
     /// The signature length `k`.
     #[must_use]
     pub fn k(&self) -> usize {

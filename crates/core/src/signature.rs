@@ -28,6 +28,31 @@ impl Signature {
         }
     }
 
+    /// Rebuilds a signature from entries already in canonical form —
+    /// strictly ascending node ids with finite positive weights — as
+    /// produced by [`iter`](Self::iter). This is the deserialisation
+    /// constructor: it validates instead of re-selecting, so a persisted
+    /// signature round-trips bit-identically.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant; it never
+    /// panics (it runs on the recovery path).
+    pub fn from_sorted_entries(entries: Vec<(NodeId, f64)>) -> Result<Self, String> {
+        let mut last: Option<NodeId> = None;
+        for &(u, w) in &entries {
+            if last.is_some_and(|p| p >= u) {
+                return Err("signature entries not strictly ascending by node id".into());
+            }
+            last = Some(u);
+            if !(w.is_finite() && w > 0.0) {
+                return Err(format!("signature entry {u} has invalid weight {w}"));
+            }
+        }
+        let sig = Signature { entries };
+        crate::contract::check_signature(&sig);
+        Ok(sig)
+    }
+
     /// Builds a signature for subject `v` by selecting the `k` candidates
     /// with the largest weights (Definition 1).
     ///
@@ -233,6 +258,33 @@ impl SignatureSet {
             signatures,
             index,
         }
+    }
+
+    /// Fallible [`new`](Self::new): builds a set from parallel vectors,
+    /// returning a typed error on length mismatch or duplicate subjects
+    /// instead of panicking. The deserialisation constructor.
+    ///
+    /// # Errors
+    /// Returns a description of the violated invariant.
+    pub fn try_new(subjects: Vec<NodeId>, signatures: Vec<Signature>) -> Result<Self, String> {
+        if subjects.len() != signatures.len() {
+            return Err(format!(
+                "signature set: {} subjects but {} signatures",
+                subjects.len(),
+                signatures.len()
+            ));
+        }
+        let mut index = FxHashMap::default();
+        for (pos, &v) in subjects.iter().enumerate() {
+            if index.insert(v, pos).is_some() {
+                return Err(format!("signature set: duplicate subject {v}"));
+            }
+        }
+        Ok(SignatureSet {
+            subjects,
+            signatures,
+            index,
+        })
     }
 
     /// Number of subjects.

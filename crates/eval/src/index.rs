@@ -79,6 +79,20 @@ pub struct PostingsIndex<'a> {
     patch_ops: Vec<PatchOp>,
 }
 
+/// A [`PostingsIndex`]'s serialisable physical layout, produced by
+/// [`PostingsIndex::export_layout`] and consumed by
+/// [`PostingsIndex::from_layout`]. Covers exactly the history-dependent
+/// state a cold rebuild cannot reproduce: the member→slot assignment
+/// and each slot's posting list in its current physical order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexLayout {
+    /// `(member node, slot)`, strictly ascending by member.
+    pub members: Vec<(NodeId, u32)>,
+    /// Per-slot posting lists of `(candidate position, weight)`,
+    /// verbatim.
+    pub postings: Vec<Vec<(u32, f64)>>,
+}
+
 /// One posting-list edit of a sharded update: remove candidate `pos`
 /// from `slot`, or insert `(pos, weight)` into it. `seq` is the op's
 /// position in the serial edit order; applying each slot's ops in
@@ -334,6 +348,120 @@ impl<'a> PostingsIndex<'a> {
         }
         fold(self.posting_mass as u64);
         h
+    }
+
+    /// Exports the index's physical layout — exactly what
+    /// [`layout_digest`](Self::layout_digest) fingerprints: the
+    /// member→slot assignment (sorted by member for determinism) and
+    /// every posting list verbatim. Together with the candidate set this
+    /// is sufficient to reconstruct the index byte-identically via
+    /// [`from_layout`](Self::from_layout); scalars, id order and posting
+    /// mass are derived.
+    ///
+    /// An *exported-then-restored* index matters because a patched
+    /// layout is not the layout a cold rebuild would produce (slot
+    /// allocation and `swap_remove` order are history-dependent), so a
+    /// crash-recovered index must restore the physical layout, not
+    /// rebuild it.
+    #[must_use]
+    pub fn export_layout(&self) -> IndexLayout {
+        let mut members: Vec<(NodeId, u32)> = self.slot_of.iter().map(|(&u, &s)| (u, s)).collect();
+        members.sort_unstable();
+        IndexLayout {
+            members,
+            postings: self.postings.clone(),
+        }
+    }
+
+    /// Reconstructs an index byte-identically from a candidate set and
+    /// an exported layout: `restored.layout_digest() ==
+    /// original.layout_digest()`.
+    ///
+    /// # Errors
+    /// Validates the layout against the candidate set — slot bijection,
+    /// posting positions in range, every entry present in (and
+    /// bit-equal to) its candidate's signature, total mass accounted —
+    /// and returns a description of the first violation instead of
+    /// panicking (this runs on the recovery path).
+    pub fn from_layout(
+        candidates: SignatureSet,
+        layout: IndexLayout,
+    ) -> Result<PostingsIndex<'static>, String> {
+        let IndexLayout { members, postings } = layout;
+        if members.len() != postings.len() {
+            return Err(format!(
+                "index layout: {} members but {} posting lists",
+                members.len(),
+                postings.len()
+            ));
+        }
+        let mut slot_of: FxHashMap<NodeId, u32> = FxHashMap::default();
+        let mut seen_slot = vec![false; postings.len()];
+        let mut last: Option<NodeId> = None;
+        for &(u, s) in &members {
+            if last.is_some_and(|p| p >= u) {
+                return Err("index layout: members not strictly ascending".into());
+            }
+            last = Some(u);
+            let Some(slot_seen) = seen_slot.get_mut(s as usize) else {
+                return Err(format!("index layout: slot {s} out of range"));
+            };
+            if std::mem::replace(slot_seen, true) {
+                return Err(format!("index layout: slot {s} assigned twice"));
+            }
+            slot_of.insert(u, s);
+        }
+        // Every posting entry must be backed by the candidate's actual
+        // signature, bit for bit, each candidate at most once per slot,
+        // and the totals must account for every signature member.
+        let n = candidates.len();
+        let subjects = candidates.subjects();
+        let mut posting_mass = 0usize;
+        for &(u, s) in &members {
+            let list = &postings[s as usize];
+            let mut prev_pos: Vec<u32> = Vec::with_capacity(list.len());
+            for &(pos, w) in list {
+                if pos as usize >= n {
+                    return Err(format!("index layout: posting position {pos} out of range"));
+                }
+                if prev_pos.contains(&pos) {
+                    return Err(format!(
+                        "index layout: candidate {pos} appears twice in slot of {u}"
+                    ));
+                }
+                prev_pos.push(pos);
+                let sig = candidates
+                    .get(subjects[pos as usize])
+                    .ok_or_else(|| format!("index layout: no signature at position {pos}"))?;
+                if sig.get(u).map(f64::to_bits) != Some(w.to_bits()) {
+                    return Err(format!(
+                        "index layout: posting ({u}, {w}) not backed by candidate {pos}"
+                    ));
+                }
+                posting_mass += 1;
+            }
+        }
+        let expected_mass: usize = candidates.iter().map(|(_, sig)| sig.len()).sum();
+        if posting_mass != expected_mass {
+            return Err(format!(
+                "index layout: posting mass {posting_mass} != total signature members {expected_mass}"
+            ));
+        }
+        let scalars = candidates
+            .iter()
+            .map(|(_, sig)| SigScalars::of(sig))
+            .collect();
+        let mut id_order: Vec<u32> = (0..n as u32).collect();
+        id_order.sort_unstable_by_key(|&p| subjects[p as usize]);
+        Ok(PostingsIndex {
+            candidates: Cow::Owned(candidates),
+            scalars,
+            id_order,
+            slot_of,
+            postings,
+            posting_mass,
+            patch_ops: Vec::new(),
+        })
     }
 
     /// The candidate set the index was built over (including any
@@ -860,6 +988,66 @@ mod tests {
             b.update_with(std::iter::empty(), &plan);
             assert_eq!(b.layout_digest(), before);
         }
+    }
+
+    /// An exported-then-restored index must be byte-identical to the
+    /// original — including after patched updates whose layout differs
+    /// from a cold rebuild.
+    #[test]
+    fn layout_export_restore_byte_identical() {
+        let mut idx = PostingsIndex::build_owned(candidates());
+        idx.update([
+            (n(7), sig(&[(11, 3.0), (30, 1.0)])),
+            (n(5), sig(&[(10, 2.0)])),
+        ]);
+        idx.update([(n(1), Signature::empty()), (n(3), sig(&[(12, 1.5)]))]);
+        let layout = idx.export_layout();
+        let restored =
+            PostingsIndex::from_layout(idx.candidates().clone(), layout.clone()).unwrap();
+        assert_eq!(restored.layout_digest(), idx.layout_digest());
+        assert_eq!(restored.export_layout(), layout);
+        // The restored index ranks bit-identically too.
+        let q = sig(&[(10, 1.0), (11, 1.0)]);
+        let a = idx.rank(&Jaccard, &q);
+        let b = restored.rank(&Jaccard, &q);
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+
+    /// Corrupt layouts come back as typed errors, never panics.
+    #[test]
+    fn corrupt_layout_rejected_with_error() {
+        let idx = PostingsIndex::build_owned(candidates());
+        let good = idx.export_layout();
+        let cands = || idx.candidates().clone();
+        let mut extra_slot = good.clone();
+        extra_slot.postings.push(Vec::new());
+        assert!(PostingsIndex::from_layout(cands(), extra_slot).is_err());
+        let mut dup_slot = good.clone();
+        if dup_slot.members.len() >= 2 {
+            dup_slot.members[1].1 = dup_slot.members[0].1;
+        }
+        assert!(PostingsIndex::from_layout(cands(), dup_slot).is_err());
+        let mut bad_weight = good.clone();
+        if let Some(e) = bad_weight
+            .postings
+            .iter_mut()
+            .find_map(|list| list.iter_mut().next())
+        {
+            e.1 += 1.0;
+        }
+        assert!(PostingsIndex::from_layout(cands(), bad_weight).is_err());
+        let mut dropped_entry = good.clone();
+        for list in &mut dropped_entry.postings {
+            if !list.is_empty() {
+                list.pop();
+                break;
+            }
+        }
+        assert!(PostingsIndex::from_layout(cands(), dropped_entry).is_err());
+        assert!(PostingsIndex::from_layout(cands(), good).is_ok());
     }
 
     #[test]

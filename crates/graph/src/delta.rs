@@ -351,6 +351,167 @@ impl SlidingWindower {
     pub fn gap_events(&self) -> u64 {
         self.gap_events
     }
+
+    /// Exports the windower's complete state as a deterministic,
+    /// serialisable image: map contents are emitted in sorted key order,
+    /// so two bit-identical windowers export byte-identical states
+    /// regardless of hash-map iteration order.
+    #[must_use]
+    pub fn export_state(&self) -> WindowerState {
+        let pending = self
+            .pending
+            .iter()
+            .map(|(&(time, seq), &(src, dst, w))| (time, seq, src, dst, w))
+            .collect();
+        let active = self
+            .active
+            .iter()
+            .map(|(&(time, seq), &(src, dst))| (time, seq, src, dst))
+            .collect();
+        let mut pair_events: Vec<((NodeId, NodeId), Vec<PairEvent>)> = self
+            .pair_events
+            .iter()
+            .map(|(&pair, events)| (pair, events.clone()))
+            .collect();
+        pair_events.sort_unstable_by_key(|&(pair, _)| pair);
+        let mut agg: Vec<((NodeId, NodeId), Weight)> =
+            self.agg.iter().map(|(&pair, &w)| (pair, w)).collect();
+        agg.sort_unstable_by_key(|&(pair, _)| pair);
+        WindowerState {
+            width: self.width,
+            slide: self.slide,
+            next_start: self.next_start,
+            seq: self.seq,
+            invalid_events: self.invalid_events,
+            late_events: self.late_events,
+            gap_events: self.gap_events,
+            pending,
+            active,
+            pair_events,
+            agg,
+        }
+    }
+
+    /// Rebuilds a windower from an exported state. The result is
+    /// bit-identical to the windower that produced the state: every
+    /// future [`push`](Self::push)/[`advance`](Self::advance) sequence
+    /// yields the same deltas.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant (zero
+    /// width/slide, unsorted or duplicated keys, invalid event weights)
+    /// instead of panicking — restore runs on the recovery path, where
+    /// corrupt input must degrade into a typed error.
+    pub fn from_state(state: WindowerState) -> Result<SlidingWindower, String> {
+        if state.width == 0 {
+            return Err("windower state: zero window width".into());
+        }
+        if state.slide == 0 {
+            return Err("windower state: zero window slide".into());
+        }
+        let valid_event =
+            |src: NodeId, dst: NodeId, w: Weight| src != dst && w.is_finite() && w > 0.0;
+        let mut pending = BTreeMap::new();
+        let mut last: Option<(u64, u64)> = None;
+        for &(time, seq, src, dst, w) in &state.pending {
+            if last.is_some_and(|k| k >= (time, seq)) {
+                return Err("windower state: pending keys not strictly ascending".into());
+            }
+            last = Some((time, seq));
+            if !valid_event(src, dst, w) {
+                return Err(format!(
+                    "windower state: invalid pending event ({time}, {seq})"
+                ));
+            }
+            pending.insert((time, seq), (src, dst, w));
+        }
+        let mut active = BTreeMap::new();
+        let mut last: Option<(u64, u64)> = None;
+        for &(time, seq, src, dst) in &state.active {
+            if last.is_some_and(|k| k >= (time, seq)) {
+                return Err("windower state: active keys not strictly ascending".into());
+            }
+            last = Some((time, seq));
+            active.insert((time, seq), (src, dst));
+        }
+        let mut pair_events = FxHashMap::default();
+        let mut last_pair: Option<(NodeId, NodeId)> = None;
+        for (pair, events) in &state.pair_events {
+            if last_pair.is_some_and(|p| p >= *pair) {
+                return Err("windower state: pair_events keys not strictly ascending".into());
+            }
+            last_pair = Some(*pair);
+            for &(_, _, w) in events {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(format!("windower state: invalid pair event for {pair:?}"));
+                }
+            }
+            pair_events.insert(*pair, events.clone());
+        }
+        let mut agg = FxHashMap::default();
+        let mut last_pair: Option<(NodeId, NodeId)> = None;
+        for &(pair, w) in &state.agg {
+            if last_pair.is_some_and(|p| p >= pair) {
+                return Err("windower state: agg keys not strictly ascending".into());
+            }
+            last_pair = Some(pair);
+            if !(w.is_finite() && w > 0.0) {
+                return Err(format!("windower state: invalid aggregate for {pair:?}"));
+            }
+            agg.insert(pair, w);
+        }
+        Ok(SlidingWindower {
+            width: state.width,
+            slide: state.slide,
+            next_start: state.next_start,
+            seq: state.seq,
+            pending,
+            active,
+            pair_events,
+            agg,
+            invalid_events: state.invalid_events,
+            late_events: state.late_events,
+            gap_events: state.gap_events,
+        })
+    }
+}
+
+/// One pair's surviving events, as `(seq, time, weight)` triples keyed
+/// by the `(src, dst)` pair.
+pub type PairEvents = ((NodeId, NodeId), Vec<(u64, u64, Weight)>);
+
+/// A complete, deterministic image of a [`SlidingWindower`], produced by
+/// [`SlidingWindower::export_state`] and consumed by
+/// [`SlidingWindower::from_state`]. All map contents appear in sorted key
+/// order, so equal windowers produce equal states (and byte-identical
+/// serialisations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowerState {
+    /// Window width.
+    pub width: u64,
+    /// Window slide.
+    pub slide: u64,
+    /// Start of the next unemitted window.
+    pub next_start: u64,
+    /// Next arrival sequence number.
+    pub seq: u64,
+    /// Events rejected by the validity gate so far.
+    pub invalid_events: u64,
+    /// Events dropped as too late so far.
+    pub late_events: u64,
+    /// Events dropped in inter-window gaps so far.
+    pub gap_events: u64,
+    /// Buffered future events as `(time, seq, src, dst, weight)`,
+    /// strictly ascending by `(time, seq)`.
+    pub pending: Vec<(u64, u64, NodeId, NodeId, Weight)>,
+    /// Active-window events as `(time, seq, src, dst)`, strictly
+    /// ascending by `(time, seq)`.
+    pub active: Vec<(u64, u64, NodeId, NodeId)>,
+    /// Per-pair surviving events `(seq, time, weight)`, pairs strictly
+    /// ascending.
+    pub pair_events: Vec<PairEvents>,
+    /// Aggregated weight per pair, pairs strictly ascending.
+    pub agg: Vec<((NodeId, NodeId), Weight)>,
 }
 
 #[cfg(test)]
@@ -562,5 +723,67 @@ mod tests {
     #[should_panic(expected = "slide must be positive")]
     fn zero_slide_rejected() {
         let _ = SlidingWindower::new(0, 10, 0);
+    }
+
+    /// A restored windower must be bit-indistinguishable from the
+    /// original: identical counters, identical future deltas, and a
+    /// byte-identical re-export.
+    #[test]
+    fn export_restore_roundtrip_bit_identical() {
+        let events = vec![
+            ev(1, 0, 1, 0.1),
+            ev(6, 0, 1, 0.2),
+            ev(7, 1, 2, 1.5),
+            ev(9, 0, 1, 0.3),
+            ev(12, 0, 1, 0.7),
+            ev(14, 2, 1, 2.0),
+            ev(22, 1, 0, 0.25),
+        ];
+        let mut w = SlidingWindower::new(0, 10, 5);
+        for &e in &events {
+            w.push(e);
+        }
+        let _ = w.advance();
+        let _ = w.advance();
+        let state = w.export_state();
+        let mut restored = SlidingWindower::from_state(state.clone()).expect("valid state");
+        assert_eq!(restored.export_state(), state, "re-export must round-trip");
+        // Both continue identically: same pushes, same deltas.
+        let more = vec![ev(16, 0, 2, 1.0), ev(21, 2, 0, 0.5)];
+        for &e in &more {
+            assert_eq!(w.push(e), restored.push(e));
+        }
+        for _ in 0..3 {
+            let a = w.advance();
+            let b = restored.advance();
+            assert_eq!((a.start, a.end), (b.start, b.end));
+            assert_eq!(a.changes.len(), b.changes.len());
+            for (x, y) in a.changes.iter().zip(&b.changes) {
+                assert_eq!(x.pair(), y.pair());
+                assert_eq!(x.old.map(f64::to_bits), y.old.map(f64::to_bits));
+                assert_eq!(x.new.map(f64::to_bits), y.new.map(f64::to_bits));
+            }
+        }
+        assert_eq!(w.invalid_events(), restored.invalid_events());
+        assert_eq!(w.late_events(), restored.late_events());
+        assert_eq!(w.gap_events(), restored.gap_events());
+        assert_eq!(w.pending_events(), restored.pending_events());
+        assert_eq!(w.active_edges(), restored.active_edges());
+    }
+
+    /// Corrupt states must come back as typed errors, never panics.
+    #[test]
+    fn corrupt_state_rejected_with_error() {
+        let base = SlidingWindower::tumbling(0, 10).export_state();
+        let mut zero_width = base.clone();
+        zero_width.width = 0;
+        assert!(SlidingWindower::from_state(zero_width).is_err());
+        let mut bad_agg = base.clone();
+        bad_agg.agg.push(((n(0), n(1)), f64::NAN));
+        assert!(SlidingWindower::from_state(bad_agg).is_err());
+        let mut dup_pending = base;
+        dup_pending.pending.push((5, 1, n(0), n(1), 1.0));
+        dup_pending.pending.push((5, 1, n(0), n(2), 1.0));
+        assert!(SlidingWindower::from_state(dup_pending).is_err());
     }
 }

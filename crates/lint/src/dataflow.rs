@@ -24,6 +24,17 @@ pub const PANIC_ROOTS: &[&str] = &[
     "merge_score",
     "StreamingMasquerade::advance",
     "StreamingAnomaly::advance",
+    // The serve daemon's request plane: a panic here kills the service,
+    // so everything reachable from a request or from recovery must
+    // degrade through typed errors instead.
+    "handle_line",
+    "dispatch",
+    "DurableState::open",
+    "DurableState::ingest_lines",
+    "DurableState::advance",
+    "DurableState::snapshot_now",
+    "accept_loop",
+    "serve_connection",
 ];
 
 /// Files where `unordered-iter` applies: modules whose output order is
@@ -44,6 +55,7 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/eval/src/",
     "crates/graph/src/",
     "crates/apps/src/",
+    "crates/serve/src/",
 ];
 
 /// Runs all four dataflow rules over the workspace model.

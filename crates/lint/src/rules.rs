@@ -178,9 +178,12 @@ fn must_use(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
         }
         let returns_value = sig.contains("-> ");
         let mutates = sig.contains("&mut self");
-        // `impl Iterator` returns are already `#[must_use]` via the trait;
+        // `impl Iterator`, `Result` and `Option` returns are already
+        // `#[must_use]` (via the trait / the std type annotation);
         // clippy's `double_must_use` rejects a second annotation.
-        let inherently_must_use = sig.contains("-> impl Iterator");
+        let inherently_must_use = sig.contains("-> impl Iterator")
+            || sig.contains("-> Result")
+            || sig.contains("-> Option");
         if !returns_value || mutates || inherently_must_use {
             continue;
         }

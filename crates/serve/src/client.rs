@@ -1,0 +1,34 @@
+//! A blocking line-protocol client, used by `comsig call` and the
+//! end-to-end tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Sends each request line over one connection and collects the
+/// response lines, strictly in order.
+///
+/// # Errors
+/// Propagates connect/read/write failures; a server that closes the
+/// stream before answering yields an [`io::ErrorKind::UnexpectedEof`]
+/// error.
+pub fn call(addr: &str, requests: &[String]) -> io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut responses = Vec::with_capacity(requests.len());
+    for request in requests {
+        writer.write_all(request.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            ));
+        }
+        responses.push(line.trim_end_matches(['\r', '\n']).to_owned());
+    }
+    Ok(responses)
+}

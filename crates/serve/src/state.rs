@@ -1,0 +1,273 @@
+//! The live in-memory state of the service and its digest oracle.
+//!
+//! [`LiveState`] bundles everything the daemon mutates between durable
+//! records: the sliding windower, the combined masquerade/anomaly
+//! detector (pipeline + patched index + double-buffered previous
+//! window), the frozen label space and the monotone counters. It is
+//! deliberately free of any I/O so the chaos scenarios and proptests
+//! can drive the exact production state machine without a socket.
+//!
+//! [`LiveState::state_digest`] is the bit-identity oracle: it folds the
+//! graph, both signature buffers, the physical index layout and the
+//! full windower state into one FNV-1a digest. An uninterrupted run and
+//! a kill-and-resume run must produce equal digests at every window
+//! boundary — the WAL records the expected digest per advance and
+//! recovery verifies it.
+
+use comsig_apps::anomaly::AnomalyScore;
+use comsig_apps::masquerade::DetectorConfig;
+use comsig_apps::stream::StreamingMasquerade;
+use comsig_core::distance::BatchDistance;
+use comsig_core::persist::{self, Enc, Fnv};
+use comsig_core::pipeline::DeltaScheme;
+use comsig_graph::{
+    CommGraph, EdgeEvent, Interner, NodeId, ShardPlan, SlidingWindower, WindowDelta,
+};
+
+use crate::config::ServeConfig;
+
+/// The query-visible residue of the most recent window advance: the
+/// masquerade verdict and the anomaly scores for the last window pair.
+/// Persisted in snapshots and recomputed by WAL replay, so queries
+/// answer byte-identically across a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LastWindow {
+    /// Window bounds `[start, end)` of the advanced window.
+    pub start: u64,
+    /// Exclusive end of the advanced window.
+    pub end: u64,
+    /// Aggregated-edge changes applied by the advance.
+    pub changed_edges: u64,
+    /// Subjects recomputed by the advance.
+    pub dirty: u64,
+    /// Subjects whose signature survived unchanged (non-suspects).
+    pub non_suspects: u64,
+    /// Algorithm 1's distance threshold `δ` for the pair.
+    pub delta: f64,
+    /// Re-identified (suspect, best-match) pairs.
+    pub detected: Vec<(NodeId, NodeId)>,
+    /// Per-subject anomaly scores, most anomalous first.
+    pub scores: Vec<AnomalyScore>,
+}
+
+/// The full in-memory state of the service between durable records.
+pub struct LiveState<'a> {
+    /// Frozen label space: interned once at genesis from the seed
+    /// events; ingested labels must already be known.
+    pub interner: Interner,
+    /// Fixed subject population (sorted, deduplicated seed sources).
+    pub subjects: Vec<NodeId>,
+    /// The sliding windower consuming accepted events.
+    pub windower: SlidingWindower,
+    /// The combined detector: signature pipeline, patched index, and
+    /// the previous window's signature buffer.
+    pub det: StreamingMasquerade<'a, dyn DeltaScheme + 'a>,
+    /// Windows advanced since genesis.
+    pub windows: u64,
+    /// Events accepted into the windower since genesis (pre-validation
+    /// count: the WAL logs batches before `push` filters them, and
+    /// replay repeats the same pushes).
+    pub ingested_events: u64,
+    /// The most recent advance's query-visible outputs.
+    pub last: Option<LastWindow>,
+}
+
+/// The frozen genesis node space: the interner and subject set derived
+/// from the seed events. Freezing both at genesis keeps signature
+/// indices dense and recovery deterministic.
+#[derive(Debug, Clone)]
+pub struct GenesisSpace {
+    /// The frozen label interner.
+    pub interner: Interner,
+    /// The fixed subject (source) population.
+    pub subjects: Vec<NodeId>,
+}
+
+/// The fixed subject population for a seed event stream: every source
+/// label, sorted and deduplicated (the same rule as `comsig stream`).
+#[must_use]
+pub fn subject_sources(events: &[EdgeEvent]) -> Vec<NodeId> {
+    let set: std::collections::BTreeSet<NodeId> = events.iter().map(|e| e.src).collect();
+    set.into_iter().collect()
+}
+
+impl<'a> LiveState<'a> {
+    /// The genesis state: an empty first window over the frozen label
+    /// space, deterministic in `(config, interner, subjects)`.
+    #[must_use]
+    pub fn genesis(
+        scheme: &'a dyn DeltaScheme,
+        config: &ServeConfig,
+        interner: Interner,
+        subjects: Vec<NodeId>,
+    ) -> Self {
+        let windower = SlidingWindower::new(config.start, config.width, config.slide);
+        let det = StreamingMasquerade::with_plan(
+            scheme,
+            CommGraph::empty(interner.len()),
+            &subjects,
+            detector_config(config),
+            plan_of(config),
+        );
+        LiveState {
+            interner,
+            subjects,
+            windower,
+            det,
+            windows: 0,
+            ingested_events: 0,
+            last: None,
+        }
+    }
+
+    /// Pushes an accepted event batch into the windower, in batch
+    /// order. Events the windower rejects (late, invalid) are counted
+    /// by the windower itself; the decision is deterministic, so replay
+    /// of the same batch reproduces the same counters.
+    pub fn push_events(&mut self, events: &[EdgeEvent]) {
+        for &e in events {
+            let _ = self.windower.push(e);
+        }
+        self.ingested_events += events.len() as u64;
+    }
+
+    /// Applies one window delta to the detector and records the
+    /// query-visible outputs. The delta must come from this state's
+    /// windower (live path) or from the WAL (replay path, where it is
+    /// verified against a fresh `windower.advance()` first).
+    pub fn apply_window(&mut self, dist: &dyn BatchDistance, delta: &WindowDelta) {
+        let (step, scores) = self.det.advance_with_anomaly(dist, delta);
+        self.windows += 1;
+        self.last = Some(LastWindow {
+            start: delta.start,
+            end: delta.end,
+            changed_edges: step.report.changed_edges as u64,
+            dirty: step.report.dirty.len() as u64,
+            non_suspects: step.detection.non_suspects.len() as u64,
+            delta: step.detection.delta,
+            detected: step.detection.detected,
+            scores,
+        });
+    }
+
+    /// Advances the windower one slide and applies the delta — the
+    /// uninterrupted (non-replay) path.
+    pub fn advance_once(&mut self, dist: &dyn BatchDistance) -> WindowDelta {
+        let delta = self.windower.advance();
+        self.apply_window(dist, &delta);
+        delta
+    }
+
+    /// The bit-identity oracle: an FNV-1a digest over the graph, both
+    /// signature buffers, the physical index layout and the complete
+    /// windower state, plus the monotone counters. Equal digests mean
+    /// equal service state, byte for byte.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut enc = Enc::new();
+        persist::encode_graph(&mut enc, self.det.graph());
+        persist::encode_signature_set(&mut enc, self.det.signatures());
+        persist::encode_signature_set(&mut enc, self.det.prev_signatures());
+        persist::encode_windower(&mut enc, &self.windower.export_state());
+        let mut h = Fnv::new();
+        h.write(&enc.into_bytes());
+        h.write_u64(self.det.index().layout_digest());
+        h.write_u64(self.windows);
+        h.write_u64(self.ingested_events);
+        h.finish()
+    }
+}
+
+/// The Algorithm 1 knobs carried by the service configuration.
+#[must_use]
+pub fn detector_config(config: &ServeConfig) -> DetectorConfig {
+    DetectorConfig {
+        k: config.k,
+        threshold_divisor: config.threshold_divisor,
+        top_l: config.top_l,
+    }
+}
+
+/// The shard plan for the configured worker count (0 = machine-sized).
+#[must_use]
+pub fn plan_of(config: &ServeConfig) -> ShardPlan {
+    if config.threads == 0 {
+        ShardPlan::auto()
+    } else {
+        ShardPlan::new(config.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_core::distance::SHel;
+    use comsig_core::scheme::TopTalkers;
+
+    fn seeded() -> (Interner, Vec<EdgeEvent>) {
+        let mut interner = Interner::new();
+        let mut events = Vec::new();
+        for t in 0..20u64 {
+            let src = interner.intern(&format!("h{}", t % 4));
+            let dst = interner.intern(&format!("h{}", (t + 1) % 5));
+            if src != dst {
+                events.push(EdgeEvent {
+                    time: t,
+                    src,
+                    dst,
+                    weight: 1.0 + (t % 3) as f64,
+                });
+            }
+        }
+        (interner, events)
+    }
+
+    #[test]
+    fn digest_changes_with_state_and_repeats_without() {
+        let scheme = TopTalkers;
+        let config = ServeConfig {
+            width: 5,
+            slide: 5,
+            ..ServeConfig::default()
+        };
+        let (interner, events) = seeded();
+        let subjects = subject_sources(&events);
+        let mut live = LiveState::genesis(&scheme, &config, interner, subjects);
+        let d0 = live.state_digest();
+        assert_eq!(d0, live.state_digest(), "digest must be a pure function");
+        live.push_events(&events);
+        let d1 = live.state_digest();
+        assert_ne!(d0, d1, "pushed events must change the digest");
+        let _ = live.advance_once(&SHel);
+        let d2 = live.state_digest();
+        assert_ne!(d1, d2, "an advance must change the digest");
+        assert!(live.last.is_some());
+    }
+
+    #[test]
+    fn two_identical_runs_share_every_window_digest() {
+        let scheme = TopTalkers;
+        let config = ServeConfig {
+            width: 5,
+            slide: 5,
+            ..ServeConfig::default()
+        };
+        let (interner, events) = seeded();
+        let subjects = subject_sources(&events);
+        let run = |threads: usize| {
+            let config = ServeConfig {
+                threads,
+                ..config.clone()
+            };
+            let mut live = LiveState::genesis(&scheme, &config, interner.clone(), subjects.clone());
+            live.push_events(&events);
+            let mut digests = Vec::new();
+            while live.windower.pending_events() > 0 {
+                let _ = live.advance_once(&SHel);
+                digests.push(live.state_digest());
+            }
+            digests
+        };
+        assert_eq!(run(1), run(4), "shard plans must be bit-identical");
+    }
+}

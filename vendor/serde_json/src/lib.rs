@@ -119,6 +119,14 @@ impl<'a> IntoIterator for &'a Map {
 }
 
 impl Value {
+    /// The value at `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -358,13 +366,28 @@ impl From<Map> for Value {
     }
 }
 
-/// Serialisation error (the offline stand-in never fails).
+/// Serialisation or parse error. Serialisation in the offline stand-in
+/// never fails; parse errors carry a message with the byte offset.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn parse(at: usize, msg: impl Into<String>) -> Error {
+        Error {
+            msg: format!("{} at byte {at}", msg.into()),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json stand-in error")
+        if self.msg.is_empty() {
+            f.write_str("serde_json stand-in error")
+        } else {
+            f.write_str(&self.msg)
+        }
     }
 }
 
@@ -380,6 +403,281 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
 /// Compact-prints a [`Value`].
 pub fn to_string(value: &Value) -> Result<String, Error> {
     Ok(value.to_string())
+}
+
+/// Parses a JSON document into a [`Value`]. Supports the full JSON
+/// grammar: the literals, numbers (parsed as `f64`), strings with all
+/// escape forms including `\uXXXX` surrogate pairs, arrays and objects
+/// (later duplicate keys replace earlier ones, as serde_json's default
+/// map behaviour). Trailing non-whitespace input is an error. Nesting
+/// is bounded so adversarial input cannot overflow the stack.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+/// Maximum nesting depth [`from_str`] accepts.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::parse(
+                self.pos,
+                format!("unexpected character `{}`", other as char),
+            )),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(Error::parse(self.pos, "expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::parse(self.pos, "expected fraction digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::parse(self.pos, "expected exponent digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        let x: f64 = text
+            .parse()
+            .map_err(|_| Error::parse(start, format!("invalid number `{text}`")))?;
+        Number::from_f64(x)
+            .map(Value::Number)
+            .ok_or_else(|| Error::parse(start, format!("number `{text}` overflows f64")))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::parse(self.pos, "truncated \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(Error::parse(self.pos, "bad \\u escape digit")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes (valid UTF-8 by input
+            // contract) up to the next quote or escape.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse(start, "invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse(self.pos, "truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let at = self.pos;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // High surrogate: require \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err(Error::parse(at, "unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(Error::parse(at, "unpaired surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(Error::parse(at, "unpaired surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| Error::parse(at, "invalid code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos - 1,
+                                format!("bad escape `\\{}`", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::parse(self.pos, "control character in string")),
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
 }
 
 /// Builds a [`Value`] from object/array/literal syntax. Values in
@@ -452,5 +750,82 @@ mod tests {
         let old = m.insert("k".into(), json!(2u32));
         assert_eq!(old, Some(json!(1u32)));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("0").unwrap(), json!(0u32));
+        assert_eq!(from_str("-2.5e3").unwrap(), Value::from(-2500.0));
+        assert_eq!(from_str("1E2").unwrap(), Value::from(100.0));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Value::from("hi"));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = from_str(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap();
+        assert_eq!(v, Value::from("a\"b\\c/d\u{8}\u{c}\n\r\t"));
+        assert_eq!(from_str(r#""A""#).unwrap(), Value::from("A"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::from("\u{1f600}"));
+        assert_eq!(from_str("\"caf\u{e9}\"").unwrap(), Value::from("café"));
+    }
+
+    #[test]
+    fn parse_containers() {
+        let v = from_str(r#"{"a": [1, 2.5, "x"], "b": {"c": null}, "a": 9}"#).unwrap();
+        assert_eq!(v["a"], json!(9u32), "later duplicate key wins");
+        assert_eq!(v["b"]["c"], Value::Null);
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{ }").unwrap(), Value::Object(Map::new()));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = json!({
+            "name": "com\"sig\n",
+            "count": 3usize,
+            "ratio": 0.5,
+            "flags": vec![Value::Bool(true), Value::Null],
+        });
+        assert_eq!(from_str(&v.to_string()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_typed_not_panics() {
+        for bad in [
+            "",
+            "tru",
+            "nulls",
+            "[1,]",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "1 2",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"\\ud83d alone\"",
+            "01",
+            "-",
+            "1.",
+            "1e",
+            "\u{1}",
+        ] {
+            let err = from_str(bad).expect_err(bad);
+            assert!(err.to_string().contains("at byte"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"));
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(from_str(&ok).is_ok());
     }
 }
