@@ -223,6 +223,9 @@ pub fn run_algorithm1_with(
     }
     let verdicts: Vec<Verdict> = rayon::scope_chunks(&ranges, |_, r| {
         let mut ws = MatchWorkspace::new();
+        // One top-ℓ buffer per shard, recycled across its suspects —
+        // `rank_top_l_into` clears it, so no per-subject Vec churn.
+        let mut top: Vec<(NodeId, f64)> = Vec::new();
         subjects[r]
             .iter()
             .map(|&v| {
@@ -236,9 +239,8 @@ pub fn run_algorithm1_with(
                 let Some(q) = sigs_t.get(v) else {
                     return Verdict::Clear;
                 };
-                let top = index_t1.rank_top_l_with(dist, q, cfg.top_l, &mut ws);
+                index_t1.rank_top_l_into(dist, q, cfg.top_l, &mut ws, &mut top);
                 let hit = top
-                    .entries()
                     .iter()
                     .find(|&&(u, _)| u != v && self_sim.get(&u).is_some_and(|&s| s <= delta));
                 match hit {

@@ -1,0 +1,78 @@
+//! Criterion benches: the blocked lane-chunked kernels (DESIGN.md §15).
+//!
+//! Two groups, one per hot loop:
+//!
+//! * `scatter_kernel` — one full batched RWR occupancy per subject
+//!   (blocked CSR scatter + lane-reduced norms + blocked prune),
+//!   against the per-subject `SparseVec` reference walk;
+//! * `posting_merge` — indexed top-ℓ ranking sweeps (lane-chunked
+//!   posting merges + batched `finish_touched` epilogue), against the
+//!   brute-force merge-join scan over the same queries.
+//!
+//! This file is its own `[[bench]]` target so CI's `kernel-bench-smoke`
+//! step can run exactly these groups once in release without dragging
+//! the full bench suite along.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use comsig_bench::synth::{matching_population, query_subset};
+use comsig_bench::{datasets, Scale};
+use comsig_core::distance::SHel;
+use comsig_core::engine::RwrWorkspace;
+use comsig_core::scheme::Rwr;
+use comsig_eval::index::{MatchWorkspace, PostingsIndex};
+use comsig_eval::matcher::rank_all_reference;
+use comsig_graph::NodeId;
+
+fn bench_scatter_kernel(c: &mut Criterion) {
+    let d = datasets::flow(Scale::Medium, 7);
+    let g = d.windows.window(0).expect("window 0");
+    let subjects = d.local_nodes();
+    let rwr = Rwr::truncated(0.1, 3);
+
+    let mut group = c.benchmark_group("scatter_kernel");
+    group.sample_size(10);
+    group.bench_function("rwr3_blocked_workspace", |b| {
+        let mut ws = RwrWorkspace::new();
+        b.iter(|| {
+            for &v in &subjects {
+                black_box(ws.occupancy_unsorted(&rwr.config, g, v).len());
+            }
+        })
+    });
+    group.bench_function("rwr3_sparsevec_reference", |b| {
+        b.iter(|| {
+            for &v in &subjects {
+                black_box(rwr.occupancy(g, v).nnz());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_posting_merge(c: &mut Criterion) {
+    let pop = matching_population(10_000, 10, 42);
+    let queries = query_subset(&pop, 32);
+    let index = PostingsIndex::build(&pop);
+
+    let mut group = c.benchmark_group("posting_merge");
+    group.sample_size(10);
+    group.bench_function("rank_indexed_chunked", |b| {
+        let mut ws = MatchWorkspace::new();
+        let mut top: Vec<(NodeId, f64)> = Vec::new();
+        b.iter(|| {
+            for (_, q) in queries.iter() {
+                index.rank_top_l_into(&SHel, q, 10, &mut ws, &mut top);
+                black_box(top.len());
+            }
+        })
+    });
+    group.bench_function("rank_brute_merge_join", |b| {
+        b.iter(|| black_box(rank_all_reference(&SHel, &queries, &pop)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scatter_kernel, bench_posting_merge);
+criterion_main!(benches);

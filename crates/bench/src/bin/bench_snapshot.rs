@@ -30,6 +30,12 @@ use comsig_graph::{CommGraph, NodeId, ShardPlan};
 /// Samples per measurement; the median is reported.
 const SAMPLES: usize = 7;
 
+/// Kernel variant axis recorded in every snapshot: the blocked,
+/// 4-lane-chunked f64 kernels of DESIGN.md §15. The opt-in
+/// `f32-scatter` feature never changes the default path these snapshots
+/// measure, so the axis is a constant of the build, not a sweep.
+const KERNEL: &str = "blocked-lane4-f64";
+
 fn median_ns(mut f: impl FnMut()) -> f64 {
     // One untimed warm-up run (fills lazy caches such as the merged
     // undirected CSR, touches the page cache).
@@ -114,6 +120,7 @@ fn main() {
         "num_edges": g.num_edges(),
         "k": k,
         "samples": SAMPLES,
+        "kernel": KERNEL,
         "schemes": Value::Object(schemes),
     });
 
@@ -172,6 +179,7 @@ fn matching_snapshot() {
         "k": MATCH_K,
         "queries": MATCH_QUERIES,
         "samples": SAMPLES,
+        "kernel": KERNEL,
         "candidates": Value::Object(sizes),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json");
@@ -280,6 +288,7 @@ fn pipeline_snapshot() {
         "edges": STREAM_LOCALS * STREAM_OUT_DEGREE,
         "k": STREAM_K,
         "samples": SAMPLES,
+        "kernel": KERNEL,
         "churn": Value::Object(churn_map),
         "thread_scaling": thread_scaling_axis(),
     });

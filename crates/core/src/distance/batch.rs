@@ -109,6 +109,17 @@ impl InterAcc {
 /// * `distance_raw(σ₁, σ₂)` equals `finish` over the merge-join
 ///   bit-for-bit (guaranteed by implementing `distance_raw` via
 ///   [`merge_score`]).
+///
+/// The provided methods [`accumulate_list`] and [`finish_touched`] are
+/// the index matcher's kernels. They are *provided* deliberately: a
+/// default trait body is instantiated once per implementing type, so a
+/// single `dyn BatchDistance` dispatch per posting list (or per scoring
+/// epilogue) lands in a monomorphized loop whose inner
+/// `accumulate`/`finish` calls are static and inlinable — instead of one
+/// virtual call per posting entry.
+///
+/// [`accumulate_list`]: BatchDistance::accumulate_list
+/// [`finish_touched`]: BatchDistance::finish_touched
 pub trait BatchDistance: SignatureDistance {
     /// The contribution of one shared member with weights `(wq, wc)` to
     /// the two intersection sums. Called in ascending node-id order of
@@ -122,6 +133,48 @@ pub trait BatchDistance: SignatureDistance {
     /// first on both matching paths).
     #[must_use]
     fn finish(&self, q: &SigScalars, c: &SigScalars, inter: &InterAcc) -> f64;
+
+    /// Sweeps one posting list for one query member of weight `wq`,
+    /// folding every `(candidate position, candidate weight)` entry into
+    /// `ws`. Entries are processed in 4-wide lane chunks: the four pure
+    /// `accumulate` contributions of a chunk are computed first (a
+    /// branch-free strip the autovectorizer can keep in registers), then
+    /// applied in entry order — so the per-candidate fold sequence, and
+    /// with it the bit-identity to the brute-force merge-join, is
+    /// exactly that of a scalar entry-by-entry loop.
+    fn accumulate_list(&self, wq: f64, postings: &[(u32, f64)], ws: &mut MatchWorkspace) {
+        let mut chunks = postings.chunks_exact(4);
+        for lane in &mut chunks {
+            let c0 = self.accumulate(wq, lane[0].1);
+            let c1 = self.accumulate(wq, lane[1].1);
+            let c2 = self.accumulate(wq, lane[2].1);
+            let c3 = self.accumulate(wq, lane[3].1);
+            ws.add(lane[0].0, c0);
+            ws.add(lane[1].0, c1);
+            ws.add(lane[2].0, c2);
+            ws.add(lane[3].0, c3);
+        }
+        for &(pos, wc) in chunks.remainder() {
+            ws.add(pos, self.accumulate(wq, wc));
+        }
+    }
+
+    /// Batched scoring epilogue: finishes every candidate touched in
+    /// `ws` this epoch against its precomputed scalars, pushing
+    /// `(position, distance)` pairs onto `out` in first-touch order.
+    /// One virtual dispatch covers the whole epilogue; the per-candidate
+    /// `finish` calls inside are static.
+    fn finish_touched(
+        &self,
+        q: &SigScalars,
+        scalars: &[SigScalars],
+        ws: &MatchWorkspace,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        for &p in ws.touched() {
+            out.push((p, self.finish(q, &scalars[p as usize], &ws.inter(p))));
+        }
+    }
 }
 
 /// The shared brute-force evaluation: scalars of both sides, one `O(k)`
@@ -140,6 +193,117 @@ pub fn merge_score<D: BatchDistance + ?Sized>(dist: &D, a: &Signature, b: &Signa
         }
     }
     dist.finish(&qs, &cs, &inter)
+}
+
+/// Reusable per-worker accumulation state for index sweeps: dense
+/// per-candidate [`InterAcc`] slots with an epoch stamp per slot and a
+/// touched list — the same sparse-accumulator pattern as
+/// `comsig_core::engine::DenseScatter`, keyed by candidate position
+/// instead of node id. Lives here (rather than in `comsig_eval`) so the
+/// [`BatchDistance`] kernels can sweep it without a per-entry virtual
+/// call; `comsig_eval::index` re-exports it.
+#[derive(Debug, Default)]
+pub struct MatchWorkspace {
+    count: Vec<u32>,
+    acc_a: Vec<f64>,
+    acc_b: Vec<f64>,
+    stamp: Vec<u32>,
+    touched: Vec<u32>,
+    epoch: u32,
+    scored: Vec<(u32, f64)>,
+}
+
+impl MatchWorkspace {
+    /// An empty workspace; slots are allocated by the first
+    /// [`begin`](MatchWorkspace::begin).
+    #[must_use]
+    pub fn new() -> MatchWorkspace {
+        MatchWorkspace::default()
+    }
+
+    /// Starts a new accumulation over candidate positions `0..n`,
+    /// logically clearing all slots in O(1) via an epoch bump.
+    pub fn begin(&mut self, n: usize) {
+        if self.count.len() < n {
+            self.count.resize(n, 0);
+            self.acc_a.resize(n, 0.0);
+            self.acc_b.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+        }
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps could collide, so pay one O(n)
+            // reset every 2^32 generations.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Folds one shared-member contribution into candidate `pos`,
+    /// registering the slot as touched on first use this epoch.
+    #[inline]
+    pub fn add(&mut self, pos: u32, (a, b): (f64, f64)) {
+        let i = pos as usize;
+        if self.stamp[i] == self.epoch {
+            self.count[i] += 1;
+            self.acc_a[i] += a;
+            self.acc_b[i] += b;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.count[i] = 1;
+            self.acc_a[i] = a;
+            self.acc_b[i] = b;
+            self.touched.push(pos);
+        }
+    }
+
+    /// Whether candidate `pos` shares at least one member with the
+    /// query swept this epoch.
+    #[inline]
+    #[must_use]
+    pub fn is_touched(&self, pos: u32) -> bool {
+        self.stamp[pos as usize] == self.epoch
+    }
+
+    /// The intersection statistics of candidate `pos` this epoch.
+    /// Meaningless (zeroed or stale) unless
+    /// [`is_touched`](MatchWorkspace::is_touched).
+    #[inline]
+    #[must_use]
+    pub fn inter(&self, pos: u32) -> InterAcc {
+        let i = pos as usize;
+        InterAcc {
+            count: self.count[i] as usize,
+            a: self.acc_a[i],
+            b: self.acc_b[i],
+        }
+    }
+
+    /// Candidate positions touched this epoch, in first-touch order.
+    #[must_use]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Detaches the workspace-owned `(position, distance)` scoring
+    /// scratch, cleared and ready to fill. Return it with
+    /// [`put_scored`](MatchWorkspace::put_scored) after use so the
+    /// allocation is reused across queries. (Detaching sidesteps the
+    /// aliasing conflict between `&self` sweep reads and `&mut` pushes.)
+    #[must_use]
+    pub fn take_scored(&mut self) -> Vec<(u32, f64)> {
+        let mut scored = std::mem::take(&mut self.scored);
+        scored.clear();
+        scored
+    }
+
+    /// Returns the scoring scratch taken by
+    /// [`take_scored`](MatchWorkspace::take_scored), keeping its
+    /// capacity for the next query.
+    pub fn put_scored(&mut self, scored: Vec<(u32, f64)>) {
+        self.scored = scored;
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +345,52 @@ mod tests {
                 "{}",
                 d.name()
             );
+        }
+    }
+
+    #[test]
+    fn accumulate_list_matches_scalar_adds_at_every_remainder() {
+        // The 4-lane chunked posting sweep must be bit-identical to the
+        // scalar entry-order loop at every length mod 4 — including the
+        // touch order the scoring epilogue iterates in.
+        for d in all_distances() {
+            for len in 0..=9usize {
+                let postings: Vec<(u32, f64)> = (0..len)
+                    .map(|i| ((i as u32 * 7) % 13, 0.125 + i as f64 * 0.375))
+                    .collect();
+                let wq = 0.625;
+                let mut blocked = MatchWorkspace::new();
+                blocked.begin(16);
+                d.accumulate_list(wq, &postings, &mut blocked);
+                let mut scalar = MatchWorkspace::new();
+                scalar.begin(16);
+                for &(pos, wc) in &postings {
+                    scalar.add(pos, d.accumulate(wq, wc));
+                }
+                assert_eq!(
+                    blocked.touched(),
+                    scalar.touched(),
+                    "{} len {len}",
+                    d.name()
+                );
+                for &p in blocked.touched() {
+                    let a = blocked.inter(p);
+                    let b = scalar.inter(p);
+                    assert_eq!(a.count, b.count, "{} len {len} pos {p}", d.name());
+                    assert_eq!(
+                        a.a.to_bits(),
+                        b.a.to_bits(),
+                        "{} len {len} pos {p}",
+                        d.name()
+                    );
+                    assert_eq!(
+                        a.b.to_bits(),
+                        b.b.to_bits(),
+                        "{} len {len} pos {p}",
+                        d.name()
+                    );
+                }
+            }
         }
     }
 

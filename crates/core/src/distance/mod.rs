@@ -28,7 +28,7 @@ mod ruzicka;
 mod sdice;
 mod shel;
 
-pub use batch::{merge_score, BatchDistance, InterAcc, SigScalars};
+pub use batch::{merge_score, BatchDistance, InterAcc, MatchWorkspace, SigScalars};
 pub use cosine::Cosine;
 pub use dice::Dice;
 pub use jaccard::Jaccard;

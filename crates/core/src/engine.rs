@@ -234,6 +234,31 @@ impl DenseScatter {
         }
     }
 
+    /// Blocked scatter-add of one CSR row: adds `scale * weights[j]` to
+    /// slot `targets[j]` for every `j`, walking both unit-stride slices
+    /// in 4-wide lane chunks. The scaled deltas of a chunk are computed
+    /// first into a `[f64; 4]` strip (branch-free, register-resident),
+    /// then applied in entry order — so each slot receives exactly the
+    /// additions, in exactly the order, of a scalar
+    /// `for j { add(targets[j], scale * weights[j]) }` loop, and the
+    /// touch order (hence downstream iteration order) is unchanged.
+    /// Row targets are distinct by CSR construction.
+    pub fn scatter_row(&mut self, targets: &[NodeId], weights: &[f64], scale: f64) {
+        debug_assert_eq!(targets.len(), weights.len());
+        let mut t = targets.chunks_exact(4);
+        let mut w = weights.chunks_exact(4);
+        for (ts, wv) in (&mut t).zip(&mut w) {
+            let d = [scale * wv[0], scale * wv[1], scale * wv[2], scale * wv[3]];
+            self.add(ts[0], d[0]);
+            self.add(ts[1], d[1]);
+            self.add(ts[2], d[2]);
+            self.add(ts[3], d[3]);
+        }
+        for (&u, &wv) in t.remainder().iter().zip(w.remainder()) {
+            self.add(u, scale * wv);
+        }
+    }
+
     /// The value of slot `u` this epoch (0 if untouched).
     #[inline]
     #[must_use]
@@ -271,35 +296,66 @@ impl DenseScatter {
         self.touched.is_empty() && self.stamp.iter().all(|&s| s != self.epoch)
     }
 
-    /// Sum of absolute values over live slots.
+    /// Sum of absolute values over live slots, gathered in 4 independent
+    /// lanes reduced in a fixed order (`(l0+l1) + (l2+l3) + tail`) — the
+    /// blessed lane-chunked idiom: deterministic for any input, so every
+    /// thread count produces the same bits, while the four accumulation
+    /// chains run without a loop-carried dependency.
     #[must_use]
     pub fn l1_norm(&self) -> f64 {
-        self.touched
-            .iter()
-            .map(|&u| self.values[u.index()].abs())
-            .sum()
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = self.touched.chunks_exact(4);
+        for ch in &mut chunks {
+            lanes[0] += self.values[ch[0].index()].abs();
+            lanes[1] += self.values[ch[1].index()].abs();
+            lanes[2] += self.values[ch[2].index()].abs();
+            lanes[3] += self.values[ch[3].index()].abs();
+        }
+        let mut tail = 0.0;
+        for &u in chunks.remainder() {
+            tail += self.values[u.index()].abs();
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
     }
 
     /// Drops live slots whose absolute value is at most `threshold`
     /// (same retention rule as `SparseVec::prune`). Dropped slots read
-    /// as 0 again.
+    /// as 0 again. The scan tests 4 slots per strip into a keep-mask
+    /// before compacting, keeping the comparison strip branch-free;
+    /// the compaction itself is stable, so survivor order is identical
+    /// to an element-by-element `retain`.
     pub fn prune(&mut self, threshold: f64) {
         let values = &mut self.values;
         let stamp = &mut self.stamp;
         let epoch = self.epoch;
-        self.touched.retain(|&u| {
-            let i = u.index();
-            if values[i].abs() > threshold {
-                true
-            } else {
-                // Retract the stamp so the slot reads as absent; a later
-                // add() this epoch then re-registers it in `touched`
-                // instead of accumulating into an untracked slot.
-                stamp[i] = epoch.wrapping_sub(1);
-                values[i] = 0.0;
-                false
+        let touched = &mut self.touched;
+        let n = touched.len();
+        let mut keep = [false; 4];
+        let mut write = 0usize;
+        let mut read = 0usize;
+        while read < n {
+            let strip = (n - read).min(4);
+            for (lane, k) in keep.iter_mut().take(strip).enumerate() {
+                *k = values[touched[read + lane].index()].abs() > threshold;
             }
-        });
+            for (lane, &k) in keep.iter().take(strip).enumerate() {
+                let u = touched[read + lane];
+                if k {
+                    touched[write] = u;
+                    write += 1;
+                } else {
+                    // Retract the stamp so the slot reads as absent; a
+                    // later add() this epoch then re-registers it in
+                    // `touched` instead of accumulating into an
+                    // untracked slot.
+                    let i = u.index();
+                    stamp[i] = epoch.wrapping_sub(1);
+                    values[i] = 0.0;
+                }
+            }
+            read += strip;
+        }
+        touched.truncate(write);
     }
 
     /// Iterates `(node, value)` over live slots in touch order.
@@ -308,13 +364,25 @@ impl DenseScatter {
     }
 
     /// L1 distance to another accumulator (the steady-state convergence
-    /// test). Costs O(touched(self) + touched(other)).
+    /// test). Costs O(touched(self) + touched(other)). The self-side
+    /// gather runs in the same 4-lane chunked form as
+    /// [`l1_norm`](DenseScatter::l1_norm); the other-side pass stays
+    /// scalar (its contribution is branch-gated on liveness).
     #[must_use]
     pub fn l1_distance(&self, other: &DenseScatter) -> f64 {
-        let mut d = 0.0;
-        for (u, v) in self.iter() {
-            d += (v - other.get(u)).abs();
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = self.touched.chunks_exact(4);
+        for ch in &mut chunks {
+            lanes[0] += (self.values[ch[0].index()] - other.get(ch[0])).abs();
+            lanes[1] += (self.values[ch[1].index()] - other.get(ch[1])).abs();
+            lanes[2] += (self.values[ch[2].index()] - other.get(ch[2])).abs();
+            lanes[3] += (self.values[ch[3].index()] - other.get(ch[3])).abs();
         }
+        let mut tail = 0.0;
+        for &u in chunks.remainder() {
+            tail += (self.values[u.index()] - other.get(u)).abs();
+        }
+        let mut d = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
         for (u, v) in other.iter() {
             if !self.is_live(u) {
                 d += v.abs();
@@ -323,22 +391,45 @@ impl DenseScatter {
         d
     }
 
+    /// Extracts the live entries sorted by node id into a caller-owned
+    /// buffer (cleared first) — the allocation-free form of
+    /// [`sorted_entries`](DenseScatter::sorted_entries) the batched
+    /// per-subject loop runs on.
+    pub fn sorted_entries_into(&self, out: &mut Vec<(NodeId, f64)>) {
+        out.clear();
+        out.extend(self.iter());
+        out.sort_unstable_by_key(|&(u, _)| u);
+    }
+
     /// Extracts the live entries sorted by node id.
     #[must_use]
     pub fn sorted_entries(&self) -> Vec<(NodeId, f64)> {
-        let mut v: Vec<(NodeId, f64)> = self.iter().collect();
-        v.sort_unstable_by_key(|&(u, _)| u);
+        let mut v = Vec::new();
+        self.sorted_entries_into(&mut v);
         v
+    }
+
+    /// Extracts the live entries in accumulator **touch order** into a
+    /// caller-owned buffer (cleared first). Same multiset of
+    /// `(node, mass)` pairs as [`sorted_entries_into`](DenseScatter::sorted_entries_into),
+    /// bit for bit — only the order differs. Consumers that immediately
+    /// run a top-`k` selection (which id-sorts just the `k` survivors)
+    /// use this to skip the O(t log t) sort of the full vector.
+    pub fn entries_into(&self, out: &mut Vec<(NodeId, f64)>) {
+        out.clear();
+        out.extend(self.iter());
     }
 }
 
 /// Reusable per-worker state for batched RWR power iterations: two
 /// [`DenseScatter`] accumulators flipped between the current and next
-/// occupancy vector each hop.
+/// occupancy vector each hop, plus a workspace-owned sorted-entries
+/// scratch so extracting a subject's occupancy allocates nothing.
 #[derive(Debug, Default)]
 pub struct RwrWorkspace {
     cur: DenseScatter,
     nxt: DenseScatter,
+    entries: Vec<(NodeId, f64)>,
 }
 
 impl RwrWorkspace {
@@ -352,16 +443,41 @@ impl RwrWorkspace {
     /// workspace's storage, and returns the occupancy vector sorted by
     /// node id — the same vector (up to accumulation-order float noise)
     /// as `Rwr::occupancy(g, start).into_sorted_entries()`.
+    ///
+    /// The returned buffer is the workspace-owned scratch: it is valid
+    /// until the next `occupancy`/`try_occupancy` call, and handing it
+    /// out `&mut` lets `Signature::top_k_scratch` run its top-`k`
+    /// selection in place without a transient allocation.
     pub fn occupancy(
         &mut self,
         config: &RwrConfig,
         g: &CommGraph,
         start: NodeId,
-    ) -> Vec<(NodeId, f64)> {
+    ) -> &mut Vec<(NodeId, f64)> {
         let _ = self.iterate(config, g, start);
-        let entries = self.cur.sorted_entries();
-        crate::contract::check_occupancy(&entries);
-        entries
+        self.cur.sorted_entries_into(&mut self.entries);
+        crate::contract::check_occupancy(&self.entries);
+        &mut self.entries
+    }
+
+    /// [`occupancy`](RwrWorkspace::occupancy) without the id-sort: the
+    /// entries come back in accumulator touch order. Same `(node, mass)`
+    /// pairs, bit for bit — only the order differs (and
+    /// [`contract::check_occupancy`](crate::contract::check_occupancy)
+    /// is order-independent). This is the extraction the batched
+    /// signature paths use: `Signature::top_k_scratch` id-sorts only
+    /// the `k` survivors, so sorting all `t` touched entries per
+    /// subject would be wasted work.
+    pub fn occupancy_unsorted(
+        &mut self,
+        config: &RwrConfig,
+        g: &CommGraph,
+        start: NodeId,
+    ) -> &mut Vec<(NodeId, f64)> {
+        let _ = self.iterate(config, g, start);
+        self.cur.entries_into(&mut self.entries);
+        crate::contract::check_occupancy(&self.entries);
+        &mut self.entries
     }
 
     /// Fault-isolating variant of [`occupancy`](RwrWorkspace::occupancy):
@@ -370,23 +486,26 @@ impl RwrWorkspace {
     /// [`DegradeReason`] so the caller can mark the subject degraded and
     /// continue the batch. On a healthy subject the returned entries are
     /// bit-identical to `occupancy`'s — both run the same iteration.
+    /// Returns the workspace-owned scratch, mutable so fault-injection
+    /// seams can corrupt it in place (see
+    /// `Rwr::signature_set_outcome_injected`).
     pub fn try_occupancy(
         &mut self,
         config: &RwrConfig,
         g: &CommGraph,
         start: NodeId,
-    ) -> Result<Vec<(NodeId, f64)>, DegradeReason> {
+    ) -> Result<&mut Vec<(NodeId, f64)>, DegradeReason> {
         let status = self.iterate(config, g, start);
-        let entries = self.cur.sorted_entries();
-        validate_occupancy(&entries)?;
+        self.cur.sorted_entries_into(&mut self.entries);
+        validate_occupancy(&self.entries)?;
         if !status.converged {
             return Err(DegradeReason::IterationBudget {
                 residual: status.residual,
                 budget: config.max_iterations,
             });
         }
-        crate::contract::check_occupancy(&entries);
-        Ok(entries)
+        crate::contract::check_occupancy(&self.entries);
+        Ok(&mut self.entries)
     }
 
     /// The shared power iteration: leaves the final occupancy vector in
@@ -414,7 +533,11 @@ impl RwrWorkspace {
         for _ in 0..iterations {
             self.nxt.begin(n);
             let mut reset_mass = c * self.cur.l1_norm();
-            // Split borrows: read `cur`, scatter into `nxt`.
+            // Split borrows: read `cur`, scatter into `nxt`. Each live
+            // node's CSR row is scattered as raw unit-stride slices by
+            // the blocked [`DenseScatter::scatter_row`] kernel; for
+            // directed walks the per-row normaliser is folded into the
+            // scale once (one divide per row instead of one per edge).
             let nxt = &mut self.nxt;
             for (v, mass) in self.cur.iter() {
                 let step = (1.0 - c) * mass;
@@ -425,19 +548,16 @@ impl RwrWorkspace {
                     WalkDirection::Directed => {
                         let sum = g.out_weight_sum(v);
                         if sum > 0.0 {
-                            for (u, w) in g.out_neighbors(v) {
-                                nxt.add(u, step * w / sum);
-                            }
+                            let (targets, weights) = g.out_row(v);
+                            nxt.scatter_row(targets, weights, step / sum);
                             false
                         } else {
                             true
                         }
                     }
                     WalkDirection::Undirected => {
-                        if let Some(row) = g.undirected_transition_row(v) {
-                            for (u, p) in row {
-                                nxt.add(u, step * p);
-                            }
+                        if let Some((neighbors, probs)) = g.undirected_row(v) {
+                            nxt.scatter_row(neighbors, probs, step);
                             false
                         } else {
                             true
@@ -502,6 +622,76 @@ mod tests {
         s.begin(5);
         assert_eq!(s.get(n(3)), 0.0);
         assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn scatter_row_matches_scalar_adds_at_every_remainder() {
+        // Lane-remainder sweep: rows of length n ≡ 0..3 (mod 4) must be
+        // bit-identical to the scalar add loop, in values and in touch
+        // order.
+        for len in 0..=9usize {
+            let targets: Vec<NodeId> = (0..len).map(|i| n((i * 3) % 11)).collect();
+            let weights: Vec<f64> = (0..len).map(|i| 0.125 + i as f64 * 0.37).collect();
+            let scale = 0.71;
+            let mut blocked = DenseScatter::new();
+            blocked.begin(16);
+            blocked.scatter_row(&targets, &weights, scale);
+            let mut scalar = DenseScatter::new();
+            scalar.begin(16);
+            for (&u, &w) in targets.iter().zip(&weights) {
+                scalar.add(u, scale * w);
+            }
+            let (b, s) = (blocked.sorted_entries(), scalar.sorted_entries());
+            assert_eq!(b.len(), s.len(), "len {len}");
+            for (&(bu, bw), &(su, sw)) in b.iter().zip(s.iter()) {
+                assert_eq!(bu, su, "len {len}");
+                assert_eq!(bw.to_bits(), sw.to_bits(), "len {len} node {bu}");
+            }
+            let touched_b: Vec<NodeId> = blocked.iter().map(|(u, _)| u).collect();
+            let touched_s: Vec<NodeId> = scalar.iter().map(|(u, _)| u).collect();
+            assert_eq!(touched_b, touched_s, "len {len}");
+        }
+    }
+
+    #[test]
+    fn l1_kernels_match_reference_at_every_remainder() {
+        // n ≡ 0..3 (mod 4) live slots: the lane-chunked l1_norm /
+        // l1_distance / prune passes must agree with scalar references.
+        for len in 0..=9usize {
+            let mut s = DenseScatter::new();
+            s.begin(32);
+            for i in 0..len {
+                s.add(
+                    n(i * 2),
+                    (i as f64 + 1.0) * if i % 2 == 0 { 0.25 } else { -0.5 },
+                );
+            }
+            let scalar_l1: f64 = s.iter().map(|(_, v)| v.abs()).sum();
+            assert!((s.l1_norm() - scalar_l1).abs() < 1e-12, "len {len}");
+
+            let mut o = DenseScatter::new();
+            o.begin(32);
+            for i in 0..len / 2 {
+                o.add(n(i * 3), 0.125 * (i as f64 + 1.0));
+            }
+            let mut scalar_d: f64 = s.iter().map(|(u, v)| (v - o.get(u)).abs()).sum();
+            for (u, v) in o.iter() {
+                if !s.is_live(u) {
+                    scalar_d += v.abs();
+                }
+            }
+            assert!((s.l1_distance(&o) - scalar_d).abs() < 1e-12, "len {len}");
+
+            let expect: Vec<NodeId> = s
+                .iter()
+                .filter(|&(_, v)| v.abs() > 0.6)
+                .map(|(u, _)| u)
+                .collect();
+            s.prune(0.6);
+            let kept: Vec<NodeId> = s.iter().map(|(u, _)| u).collect();
+            assert_eq!(kept, expect, "len {len}");
+            assert_eq!(s.live(), expect.len(), "len {len}");
+        }
     }
 
     #[test]
@@ -615,7 +805,7 @@ mod tests {
         let mut ws = RwrWorkspace::new();
         for rwr in [Rwr::truncated(0.1, 3), Rwr::full(0.15)] {
             for v in g.nodes() {
-                let strict = ws.occupancy(&rwr.config, &g, v);
+                let strict = ws.occupancy(&rwr.config, &g, v).clone();
                 let degrading = ws.try_occupancy(&rwr.config, &g, v).unwrap();
                 assert_eq!(strict.len(), degrading.len());
                 for (&(su, sw), &(du, dw)) in strict.iter().zip(degrading.iter()) {

@@ -1,0 +1,523 @@
+//! Opt-in single-precision RWR scatter path (`f32-scatter` feature).
+//!
+//! A mirror of the `engine` kernels with `f32` accumulators: half the
+//! value-array memory traffic per hop, at documented — not bit-exact —
+//! accuracy. The default `f64` path is completely untouched by this
+//! module; enabling the feature only *adds* the `32`-suffixed types and
+//! the `Rwr::signature_set_f32*` entry points.
+//!
+//! ## Accuracy contract (the epsilon band)
+//!
+//! For a healthy subject, let `w64` be an entry of the f64 occupancy
+//! and `w32` the same node's entry widened from the f32 path. The
+//! contract, pinned by the `f32_equiv` proptests, is:
+//!
+//! * **Shared entries** agree within
+//!   [`epsilon_band`]`(w64, touched, hops, prune_threshold)` =
+//!   `F32_ABS_TOL + F32_REL_TOL·w64 + 2·touched·hops·prune_threshold`.
+//!   The first two terms bound f32 rounding (≈ 6·10⁻⁸ per operation,
+//!   amplified over at most `touched·hops` accumulations); the last
+//!   bounds *prune cascading* — each hop can prune at most `touched`
+//!   slots differently between the two paths, each carrying at most
+//!   `prune_threshold` mass.
+//! * **Membership** may differ only for entries whose mass (on either
+//!   side) is within the same band of the prune threshold: a value
+//!   that straddles `prune_threshold` after f32 rounding is legally
+//!   kept by one path and dropped by the other.
+//! * **Mass** may exceed 1 by up to [`F32_MASS_TOL`] (the f64 path's
+//!   `1e-9` contract tolerance is below f32 resolution); anything
+//!   worse degrades the subject, exactly like the f64 path.
+//! * **Degradation parity**: a subject that cannot converge within its
+//!   iteration budget degrades on both paths. Steady-state configs
+//!   with `tolerance` below ~`1e-6` (f32 resolution) may degrade on
+//!   the f32 path while the f64 path converges — callers opting into
+//!   f32 accept hop-truncated or loose-tolerance workloads.
+
+use rayon::prelude::*;
+
+use comsig_graph::{CommGraph, NodeId};
+
+use crate::engine::{BatchOutcome, DegradeReason};
+use crate::scheme::{Rwr, RwrConfig, WalkDirection};
+use crate::signature::{Signature, SignatureSet};
+
+/// Relative rounding term of the epsilon band.
+pub const F32_REL_TOL: f64 = 1e-3;
+
+/// Absolute rounding floor of the epsilon band.
+pub const F32_ABS_TOL: f64 = 1e-6;
+
+/// How far total occupancy mass may exceed 1 on the f32 path before the
+/// subject degrades with `MassOverflow`.
+pub const F32_MASS_TOL: f64 = 1e-4;
+
+/// The documented f32-vs-f64 tolerance for one occupancy entry of mass
+/// `w64`, on a walk that touched at most `touched` nodes per hop for
+/// `hops` hops with the given prune threshold. See the module docs.
+#[must_use]
+pub fn epsilon_band(w64: f64, touched: usize, hops: u32, prune_threshold: f64) -> f64 {
+    F32_ABS_TOL + F32_REL_TOL * w64 + 2.0 * touched as f64 * f64::from(hops) * prune_threshold
+}
+
+/// `engine::DenseScatter` with `f32` values: same epoch-stamped sparse
+/// accumulator, same blocked 4-lane kernels, half the value traffic.
+#[derive(Debug, Default)]
+pub struct DenseScatter32 {
+    values: Vec<f32>,
+    stamp: Vec<u32>,
+    touched: Vec<NodeId>,
+    epoch: u32,
+}
+
+impl DenseScatter32 {
+    /// An empty accumulator; slots are allocated by the first `begin`.
+    #[must_use]
+    pub fn new() -> Self {
+        DenseScatter32::default()
+    }
+
+    /// Starts a new accumulation over node ids `0..n` (O(1) epoch bump).
+    pub fn begin(&mut self, n: usize) {
+        if self.values.len() < n {
+            self.values.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+        }
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Adds `delta` to slot `u`, registering it as touched on first use.
+    #[inline]
+    pub fn add(&mut self, u: NodeId, delta: f32) {
+        let i = u.index();
+        if self.stamp[i] == self.epoch {
+            self.values[i] += delta;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.values[i] = delta;
+            self.touched.push(u);
+        }
+    }
+
+    /// The value of slot `u` this epoch (0 if untouched).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, u: NodeId) -> f32 {
+        let i = u.index();
+        if self.stamp[i] == self.epoch {
+            self.values[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether slot `u` is live this epoch.
+    #[inline]
+    #[must_use]
+    pub fn is_live(&self, u: NodeId) -> bool {
+        self.stamp[u.index()] == self.epoch
+    }
+
+    /// Number of live slots.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Blocked scatter-add of one CSR row (single-precision twin of
+    /// `DenseScatter::scatter_row`): adds `scale * weights[j] as f32`
+    /// to slot `targets[j]`, in 4-wide lane chunks, entry order
+    /// preserved.
+    pub fn scatter_row(&mut self, targets: &[NodeId], weights: &[f64], scale: f32) {
+        debug_assert_eq!(targets.len(), weights.len());
+        let mut t = targets.chunks_exact(4);
+        let mut w = weights.chunks_exact(4);
+        for (ts, wv) in (&mut t).zip(&mut w) {
+            let d = [
+                scale * wv[0] as f32,
+                scale * wv[1] as f32,
+                scale * wv[2] as f32,
+                scale * wv[3] as f32,
+            ];
+            self.add(ts[0], d[0]);
+            self.add(ts[1], d[1]);
+            self.add(ts[2], d[2]);
+            self.add(ts[3], d[3]);
+        }
+        for (&u, &wv) in t.remainder().iter().zip(w.remainder()) {
+            self.add(u, scale * wv as f32);
+        }
+    }
+
+    /// Sum of absolute values over live slots, 4-lane chunked with the
+    /// same fixed reduction order as the f64 kernel.
+    #[must_use]
+    pub fn l1_norm(&self) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        let mut chunks = self.touched.chunks_exact(4);
+        for ch in &mut chunks {
+            lanes[0] += self.values[ch[0].index()].abs();
+            lanes[1] += self.values[ch[1].index()].abs();
+            lanes[2] += self.values[ch[2].index()].abs();
+            lanes[3] += self.values[ch[3].index()].abs();
+        }
+        let mut tail = 0.0f32;
+        for &u in chunks.remainder() {
+            tail += self.values[u.index()].abs();
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    }
+
+    /// Drops live slots with `|value| <= threshold` (stable blocked
+    /// compaction, stamp retraction — same semantics as the f64 prune).
+    pub fn prune(&mut self, threshold: f32) {
+        let values = &mut self.values;
+        let stamp = &mut self.stamp;
+        let epoch = self.epoch;
+        let touched = &mut self.touched;
+        let n = touched.len();
+        let mut keep = [false; 4];
+        let mut write = 0usize;
+        let mut read = 0usize;
+        while read < n {
+            let strip = (n - read).min(4);
+            for (lane, k) in keep.iter_mut().take(strip).enumerate() {
+                *k = values[touched[read + lane].index()].abs() > threshold;
+            }
+            for (lane, &k) in keep.iter().take(strip).enumerate() {
+                let u = touched[read + lane];
+                if k {
+                    touched[write] = u;
+                    write += 1;
+                } else {
+                    let i = u.index();
+                    stamp[i] = epoch.wrapping_sub(1);
+                    values[i] = 0.0;
+                }
+            }
+            read += strip;
+        }
+        touched.truncate(write);
+    }
+
+    /// Iterates `(node, value)` over live slots in touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f32)> + '_ {
+        self.touched.iter().map(|&u| (u, self.values[u.index()]))
+    }
+
+    /// L1 distance to another accumulator (f32 convergence test).
+    #[must_use]
+    pub fn l1_distance(&self, other: &DenseScatter32) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        let mut chunks = self.touched.chunks_exact(4);
+        for ch in &mut chunks {
+            lanes[0] += (self.values[ch[0].index()] - other.get(ch[0])).abs();
+            lanes[1] += (self.values[ch[1].index()] - other.get(ch[1])).abs();
+            lanes[2] += (self.values[ch[2].index()] - other.get(ch[2])).abs();
+            lanes[3] += (self.values[ch[3].index()] - other.get(ch[3])).abs();
+        }
+        let mut tail = 0.0f32;
+        for &u in chunks.remainder() {
+            tail += (self.values[u.index()] - other.get(u)).abs();
+        }
+        let mut d = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+        for (u, v) in other.iter() {
+            if !self.is_live(u) {
+                d += v.abs();
+            }
+        }
+        d
+    }
+
+    /// Extracts the live entries sorted by node id, widened to f64, into
+    /// a caller-owned buffer.
+    pub fn sorted_entries_into(&self, out: &mut Vec<(NodeId, f64)>) {
+        out.clear();
+        out.extend(self.iter().map(|(u, v)| (u, f64::from(v))));
+        out.sort_unstable_by_key(|&(u, _)| u);
+    }
+}
+
+/// Validates a widened f32 occupancy vector: finite, non-negative, and
+/// total mass at most `1 + F32_MASS_TOL`.
+#[must_use = "an ignored validation failure leaks NaN into every downstream distance"]
+pub fn validate_occupancy32(entries: &[(NodeId, f64)]) -> Result<(), DegradeReason> {
+    let mut total = 0.0;
+    for &(node, value) in entries {
+        if !value.is_finite() {
+            return Err(DegradeReason::NonFiniteOccupancy { node, value });
+        }
+        if value < 0.0 {
+            return Err(DegradeReason::NegativeOccupancy { node, value });
+        }
+        total += value;
+    }
+    if total > 1.0 + F32_MASS_TOL {
+        return Err(DegradeReason::MassOverflow { mass: total });
+    }
+    Ok(())
+}
+
+/// `engine::RwrWorkspace` with single-precision accumulators. Extracted
+/// occupancies are widened to `(NodeId, f64)` so all downstream
+/// machinery — `Signature::top_k_scratch`, validation, distances — is
+/// shared with the f64 path unchanged.
+#[derive(Debug, Default)]
+pub struct RwrWorkspace32 {
+    cur: DenseScatter32,
+    nxt: DenseScatter32,
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl RwrWorkspace32 {
+    /// An empty workspace; storage is sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        RwrWorkspace32::default()
+    }
+
+    /// Single-precision power iteration for one subject; panics (via
+    /// the degrade check) on a corrupt vector. Prefer
+    /// [`try_occupancy`](RwrWorkspace32::try_occupancy) in batches.
+    pub fn occupancy(
+        &mut self,
+        config: &RwrConfig,
+        g: &CommGraph,
+        start: NodeId,
+    ) -> &mut Vec<(NodeId, f64)> {
+        let _ = self.iterate(config, g, start);
+        self.cur.sorted_entries_into(&mut self.entries);
+        if let Err(reason) = validate_occupancy32(&self.entries) {
+            panic!("f32 occupancy of {start} is corrupt: {reason}");
+        }
+        &mut self.entries
+    }
+
+    /// Fault-isolating variant: corrupt or non-convergent subjects come
+    /// back as a [`DegradeReason`] (same taxonomy as the f64 path).
+    pub fn try_occupancy(
+        &mut self,
+        config: &RwrConfig,
+        g: &CommGraph,
+        start: NodeId,
+    ) -> Result<&mut Vec<(NodeId, f64)>, DegradeReason> {
+        let status = self.iterate(config, g, start);
+        self.cur.sorted_entries_into(&mut self.entries);
+        validate_occupancy32(&self.entries)?;
+        if !status.converged {
+            return Err(DegradeReason::IterationBudget {
+                residual: status.residual,
+                budget: config.max_iterations,
+            });
+        }
+        Ok(&mut self.entries)
+    }
+
+    fn iterate(&mut self, config: &RwrConfig, g: &CommGraph, start: NodeId) -> Status32 {
+        let c = config.restart as f32;
+        let threshold = config.prune_threshold as f32;
+        let n = g.num_nodes();
+        self.cur.begin(n);
+        self.cur.add(start, 1.0);
+        let iterations = match config.hops {
+            Some(h) => h,
+            None => config.max_iterations,
+        };
+        let mut status = Status32 {
+            converged: config.hops.is_some(),
+            residual: f64::INFINITY,
+        };
+        for _ in 0..iterations {
+            self.nxt.begin(n);
+            let mut reset_mass = c * self.cur.l1_norm();
+            let nxt = &mut self.nxt;
+            for (v, mass) in self.cur.iter() {
+                let step = (1.0 - c) * mass;
+                if step <= 0.0 {
+                    continue;
+                }
+                let dangling = match config.direction {
+                    WalkDirection::Directed => {
+                        let sum = g.out_weight_sum(v);
+                        if sum > 0.0 {
+                            let (targets, weights) = g.out_row(v);
+                            nxt.scatter_row(targets, weights, step / sum as f32);
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    WalkDirection::Undirected => {
+                        if let Some((neighbors, probs)) = g.undirected_row(v) {
+                            nxt.scatter_row(neighbors, probs, step);
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                };
+                if dangling {
+                    reset_mass += step;
+                }
+            }
+            self.nxt.add(start, reset_mass);
+            self.nxt.prune(threshold);
+            let mut converged = false;
+            if config.hops.is_none() {
+                status.residual = f64::from(self.cur.l1_distance(&self.nxt));
+                converged = status.residual < config.tolerance;
+            }
+            std::mem::swap(&mut self.cur, &mut self.nxt);
+            if converged {
+                status.converged = true;
+                break;
+            }
+        }
+        status
+    }
+}
+
+struct Status32 {
+    converged: bool,
+    residual: f64,
+}
+
+impl Rwr {
+    /// Single-precision batched signature run: like `signature_set`,
+    /// but each subject's occupancy is accumulated in f32 (epsilon-band
+    /// accuracy — see the [`scatter32`](crate::scatter32) module docs).
+    /// Only available under the `f32-scatter` feature.
+    #[must_use]
+    pub fn signature_set_f32(&self, g: &CommGraph, subjects: &[NodeId], k: usize) -> SignatureSet {
+        if self.config.direction == WalkDirection::Undirected {
+            g.warm_undirected_view();
+        }
+        let sigs: Vec<Signature> = subjects
+            .par_iter()
+            .map_init(RwrWorkspace32::new, |ws, &v| {
+                Signature::top_k_scratch(v, ws.occupancy(&self.config, g, v), k)
+            })
+            .collect();
+        SignatureSet::new(subjects.to_vec(), sigs)
+    }
+
+    /// Fault-isolating single-precision batch: corrupt or
+    /// non-convergent subjects degrade alone, with the same
+    /// [`DegradeReason`] taxonomy as `signature_set_outcome`.
+    #[must_use]
+    pub fn signature_set_f32_outcome(
+        &self,
+        g: &CommGraph,
+        subjects: &[NodeId],
+        k: usize,
+    ) -> BatchOutcome {
+        if self.config.direction == WalkDirection::Undirected {
+            g.warm_undirected_view();
+        }
+        let results: Vec<(NodeId, Result<Signature, DegradeReason>)> = subjects
+            .par_iter()
+            .map_init(RwrWorkspace32::new, |ws, &v| {
+                let outcome = ws
+                    .try_occupancy(&self.config, g, v)
+                    .map(|entries| Signature::top_k_scratch(v, entries, k));
+                (v, outcome)
+            })
+            .collect();
+        let mut healthy_subjects = Vec::with_capacity(results.len());
+        let mut healthy_sigs = Vec::with_capacity(results.len());
+        let mut degraded = Vec::new();
+        for (v, outcome) in results {
+            match outcome {
+                Ok(sig) => {
+                    healthy_subjects.push(v);
+                    healthy_sigs.push(sig);
+                }
+                Err(reason) => degraded.push((v, reason)),
+            }
+        }
+        BatchOutcome::new(SignatureSet::new(healthy_subjects, healthy_sigs), degraded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comsig_graph::GraphBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn diamond() -> CommGraph {
+        let mut b = GraphBuilder::new();
+        b.add_event(n(0), n(1), 3.0);
+        b.add_event(n(0), n(2), 1.0);
+        b.add_event(n(1), n(3), 1.0);
+        b.add_event(n(2), n(3), 1.0);
+        b.build(4)
+    }
+
+    #[test]
+    fn scatter32_row_matches_scalar_adds_at_every_remainder() {
+        for len in 0..=9usize {
+            let targets: Vec<NodeId> = (0..len).map(|i| n((i * 5) % 13)).collect();
+            let weights: Vec<f64> = (0..len).map(|i| 0.25 + i as f64 * 0.5).collect();
+            let scale = 0.4f32;
+            let mut blocked = DenseScatter32::new();
+            blocked.begin(16);
+            blocked.scatter_row(&targets, &weights, scale);
+            let mut scalar = DenseScatter32::new();
+            scalar.begin(16);
+            for (&u, &w) in targets.iter().zip(&weights) {
+                scalar.add(u, scale * w as f32);
+            }
+            for u in (0..16).map(n) {
+                assert_eq!(
+                    blocked.get(u).to_bits(),
+                    scalar.get(u).to_bits(),
+                    "len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_occupancy_tracks_f64_within_band() {
+        let g = diamond();
+        let rwr = Rwr::truncated(0.1, 3).undirected();
+        let mut ws64 = crate::engine::RwrWorkspace::new();
+        let mut ws32 = RwrWorkspace32::new();
+        for v in g.nodes() {
+            let e64 = ws64.occupancy(&rwr.config, &g, v).clone();
+            let e32 = ws32.occupancy(&rwr.config, &g, v).clone();
+            assert_eq!(e64.len(), e32.len(), "subject {v}");
+            for (&(u64n, w64), &(u32n, w32)) in e64.iter().zip(e32.iter()) {
+                assert_eq!(u64n, u32n);
+                let band = epsilon_band(w64, g.num_nodes(), 3, rwr.config.prune_threshold);
+                assert!((w64 - w32).abs() <= band, "subject {v} node {u64n}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_outcome_degrades_non_convergent_subjects() {
+        let g = diamond();
+        let mut rwr = Rwr::full(0.05);
+        rwr.config.max_iterations = 1;
+        rwr.config.tolerance = 1e-15;
+        let subjects: Vec<NodeId> = g.nodes().collect();
+        let outcome = rwr.signature_set_f32_outcome(&g, &subjects, 4);
+        // Node 3 is dangling (fixed point after one hop); 0..2 cannot
+        // converge in one iteration at 1e-15.
+        assert!(outcome
+            .degraded()
+            .iter()
+            .all(|(_, r)| matches!(r, DegradeReason::IterationBudget { .. })));
+        assert_eq!(outcome.degraded().len(), 3);
+        assert_eq!(outcome.set().len(), 1);
+    }
+}

@@ -216,7 +216,7 @@ impl SignatureScheme for Rwr {
         let mut ws = RwrWorkspace::new();
         subjects
             .iter()
-            .map(|&v| Signature::top_k(v, ws.occupancy(&self.config, g, v), k))
+            .map(|&v| Signature::top_k_scratch(v, ws.occupancy_unsorted(&self.config, g, v), k))
             .collect()
     }
 
@@ -234,11 +234,11 @@ impl SignatureScheme for Rwr {
         let sigs: Vec<Signature> = subjects
             .par_iter()
             .map_init(RwrWorkspace::new, |ws, &v| {
-                let candidates = ws
-                    .occupancy(&self.config, g, v)
-                    .into_iter()
-                    .filter(|&(u, _)| !partition.is_left(u));
-                Signature::top_k(v, candidates, k)
+                let candidates = ws.occupancy_unsorted(&self.config, g, v);
+                // In-place partition filter keeps the scratch
+                // duplicate-free, so the in-place fast path applies.
+                candidates.retain(|&(u, _)| !partition.is_left(u));
+                Signature::top_k_scratch(v, candidates, k)
             })
             .collect();
         SignatureSet::new(subjects, sigs)
@@ -282,13 +282,13 @@ impl Rwr {
         let results: Vec<(NodeId, Result<Signature, DegradeReason>)> = subjects
             .par_iter()
             .map_init(RwrWorkspace::new, |ws, &v| {
-                let outcome = ws
-                    .try_occupancy(&self.config, g, v)
-                    .and_then(|mut entries| {
-                        inject(v, &mut entries);
-                        engine::validate_occupancy(&entries)?;
-                        Ok(Signature::top_k(v, entries, k))
-                    });
+                let outcome = ws.try_occupancy(&self.config, g, v).and_then(|entries| {
+                    inject(v, entries);
+                    engine::validate_occupancy(entries)?;
+                    // Injected entries may be unsorted or duplicated, so
+                    // this path keeps the general hash-merge top_k.
+                    Ok(Signature::top_k(v, entries.iter().copied(), k))
+                });
                 (v, outcome)
             })
             .collect();

@@ -93,6 +93,43 @@ impl Signature {
         sig
     }
 
+    /// [`top_k`](Signature::top_k) for **duplicate-free** candidates in
+    /// any order — the shape every `RwrWorkspace` extraction has. Skips
+    /// the hash-map merge entirely and runs the filter + partial
+    /// selection **in place** on the caller's scratch buffer
+    /// (destructively), so the only allocation is the signature's own
+    /// exact-size entry vector. Candidates need not be id-sorted: only
+    /// the ≤ `k` survivors are sorted at the end, which is what lets
+    /// the batched engine hand over occupancies in accumulator touch
+    /// order instead of paying an O(t log t) sort per subject.
+    ///
+    /// Produces bit-identical signatures to `top_k` on the same
+    /// candidates: with unique ids the merge is the identity, and the
+    /// rank comparator is a strict total order, so the selected top-`k`
+    /// set — and the final id-sorted entry list — is unique regardless
+    /// of traversal order.
+    #[must_use]
+    pub fn top_k_scratch(subject: NodeId, candidates: &mut Vec<(NodeId, f64)>, k: usize) -> Self {
+        candidates.retain(|&(u, w)| u != subject && w.is_finite() && w > 0.0);
+        let rank = |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
+        if k > 0 && k < candidates.len() {
+            candidates.select_nth_unstable_by(k - 1, rank);
+            candidates.truncate(k);
+        } else {
+            candidates.truncate(k);
+        }
+        candidates.sort_unstable_by_key(|&(u, _)| u);
+        debug_assert!(
+            candidates.windows(2).all(|p| p[0].0 < p[1].0),
+            "top_k_scratch candidates must be duplicate-free"
+        );
+        let sig = Signature {
+            entries: candidates.as_slice().to_vec(),
+        };
+        crate::contract::check_signature(&sig);
+        sig
+    }
+
     /// Number of entries (at most the `k` used at construction).
     #[must_use]
     pub fn len(&self) -> usize {

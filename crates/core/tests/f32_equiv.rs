@@ -1,0 +1,196 @@
+//! Epsilon-band equivalence for the opt-in single-precision scatter
+//! path (`f32-scatter` feature).
+//!
+//! The f32 kernels promise *documented* accuracy, not bit-equality: the
+//! contract is the band published by [`scatter32::epsilon_band`] plus a
+//! membership rule at the prune threshold (an entry whose mass straddles
+//! the threshold after f32 rounding may legally be kept by one path and
+//! dropped by the other). These properties pin that contract on random
+//! graphs, on prune-threshold edge cases, and on degraded subjects.
+
+#![cfg(feature = "f32-scatter")]
+
+use comsig_core::engine::{DegradeReason, RwrWorkspace};
+use comsig_core::scatter32::{epsilon_band, RwrWorkspace32};
+use comsig_core::scheme::Rwr;
+use comsig_graph::{CommGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_graph() -> impl Strategy<Value = CommGraph> {
+    (
+        3usize..20,
+        prop::collection::vec((0u32..20, 0u32..20, 0.5f64..9.0), 1..60),
+    )
+        .prop_map(|(extra, raw)| {
+            let mut b = GraphBuilder::new();
+            for (s, d, w) in raw {
+                b.add_event(
+                    NodeId::new(s as usize % (extra + 3)),
+                    NodeId::new(d as usize % (extra + 3)),
+                    w,
+                );
+            }
+            b.build(extra + 3)
+        })
+}
+
+/// Checks the published contract for one subject: shared entries agree
+/// within the band, and membership differs only inside the band around
+/// the prune threshold.
+fn assert_band(rwr: &Rwr, g: &CommGraph, v: NodeId, hops: u32) {
+    let mut ws64 = RwrWorkspace::new();
+    let mut ws32 = RwrWorkspace32::new();
+    let e64: BTreeMap<NodeId, f64> = ws64.occupancy(&rwr.config, g, v).iter().copied().collect();
+    let e32: BTreeMap<NodeId, f64> = ws32.occupancy(&rwr.config, g, v).iter().copied().collect();
+    let touched = e64.len().max(e32.len());
+    let thresh = rwr.config.prune_threshold;
+    for (u, &w64) in &e64 {
+        match e32.get(u) {
+            Some(&w32) => {
+                let band = epsilon_band(w64, touched, hops, thresh);
+                assert!(
+                    (w64 - w32).abs() <= band,
+                    "{v}->{u}: |{w64} - {w32}| > band {band}"
+                );
+            }
+            None => {
+                // Membership rule: only threshold-straddling mass may
+                // disappear from the f32 side.
+                let band = epsilon_band(w64, touched, hops, thresh);
+                assert!(
+                    w64 <= thresh + band,
+                    "{v}->{u}: f64 mass {w64} missing from f32 path but far above \
+                     prune threshold {thresh} (band {band})"
+                );
+            }
+        }
+    }
+    for (u, &w32) in &e32 {
+        if !e64.contains_key(u) {
+            let band = epsilon_band(w32, touched, hops, thresh);
+            assert!(
+                w32 <= thresh + band,
+                "{v}->{u}: f32 mass {w32} absent from f64 path but far above \
+                 prune threshold {thresh} (band {band})"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Truncated walks in both directions stay inside the band on
+    /// random graphs.
+    #[test]
+    fn truncated_walks_stay_in_band(g in arb_graph(), hops in 1u32..5, undirected in 0u32..2) {
+        let mut rwr = Rwr::truncated(0.1, hops);
+        if undirected == 1 {
+            rwr = rwr.undirected();
+        }
+        for v in g.nodes() {
+            assert_band(&rwr, &g, v, hops);
+        }
+    }
+
+    /// Prune-threshold edge case: a threshold big enough to chop real
+    /// mass each hop makes prune decisions diverge between the paths —
+    /// the membership rule must absorb every divergence.
+    #[test]
+    fn aggressive_pruning_stays_in_band(g in arb_graph(), hops in 1u32..4) {
+        let mut rwr = Rwr::truncated(0.1, hops);
+        rwr.config.prune_threshold = 1e-3;
+        for v in g.nodes() {
+            assert_band(&rwr, &g, v, hops);
+        }
+    }
+
+    /// Loose-tolerance steady-state walks converge on both paths and
+    /// stay inside the band (using the iteration cap as the hop bound).
+    #[test]
+    fn loose_steady_state_stays_in_band(g in arb_graph()) {
+        let mut rwr = Rwr::full(0.3);
+        rwr.config.tolerance = 1e-4;
+        for v in g.nodes() {
+            assert_band(&rwr, &g, v, rwr.config.max_iterations);
+        }
+    }
+
+    /// The f32 batch and the f64 batch agree on the *signature* level
+    /// for well-separated weights: same subjects, same entry node sets
+    /// when every selected weight clears the band.
+    #[test]
+    fn f32_signatures_select_same_nodes_when_separated(g in arb_graph(), hops in 1u32..4) {
+        let rwr = Rwr::truncated(0.1, hops);
+        let subjects: Vec<NodeId> = g.nodes().collect();
+        let k = 4;
+        let s64 = comsig_core::scheme::SignatureScheme::signature_set(&rwr, &g, &subjects, k);
+        let s32 = rwr.signature_set_f32(&g, &subjects, k);
+        for &v in &subjects {
+            let a = s64.get(v).unwrap();
+            let b = s32.get(v).unwrap();
+            // Only compare when the f64 ranking is unambiguous at the
+            // band scale: the k-th selected weight must clear the first
+            // excluded weight by more than twice the band.
+            let mut ranked: Vec<f64> = a.iter().map(|(_, w)| w).collect();
+            ranked.sort_by(|x, y| y.total_cmp(x));
+            let margin_ok = a.len() < k
+                || ranked
+                    .last()
+                    .is_none_or(|&min| min > 2.0 * epsilon_band(min, g.num_nodes(), hops, rwr.config.prune_threshold));
+            if margin_ok && a.len() == b.len() {
+                for ((ua, _), (ub, _)) in a.iter().zip(b.iter()) {
+                    assert_eq!(ua, ub, "subject {v}");
+                }
+            }
+        }
+    }
+}
+
+/// Degradation parity: a subject that cannot converge within its budget
+/// degrades on the f32 path with the same reason taxonomy as the f64
+/// path.
+#[test]
+fn non_convergent_subjects_degrade_on_both_paths() {
+    let mut b = GraphBuilder::new();
+    b.add_event(NodeId::new(0), NodeId::new(1), 3.0);
+    b.add_event(NodeId::new(1), NodeId::new(2), 1.0);
+    b.add_event(NodeId::new(2), NodeId::new(0), 2.0);
+    let g = b.build(3);
+    let mut rwr = Rwr::full(0.05);
+    rwr.config.max_iterations = 1;
+    rwr.config.tolerance = 1e-15;
+    let subjects: Vec<NodeId> = g.nodes().collect();
+    let o64 = rwr.signature_set_outcome(&g, &subjects, 4);
+    let o32 = rwr.signature_set_f32_outcome(&g, &subjects, 4);
+    assert_eq!(o64.degraded().len(), o32.degraded().len());
+    for ((v64, r64), (v32, r32)) in o64.degraded().iter().zip(o32.degraded().iter()) {
+        assert_eq!(v64, v32);
+        assert!(matches!(r64, DegradeReason::IterationBudget { .. }));
+        assert!(matches!(r32, DegradeReason::IterationBudget { .. }));
+    }
+}
+
+/// Steady-state below f32 resolution: the f64 path converges, the f32
+/// path degrades with `IterationBudget` instead of silently returning a
+/// non-converged vector — the documented caveat of opting into f32.
+#[test]
+fn sub_f32_tolerance_degrades_instead_of_lying() {
+    let mut b = GraphBuilder::new();
+    for i in 0..6u32 {
+        b.add_event(
+            NodeId::new(i as usize),
+            NodeId::new(((i + 1) % 6) as usize),
+            1.0 + f64::from(i),
+        );
+    }
+    let g = b.build(6);
+    let mut rwr = Rwr::full(0.2);
+    rwr.config.tolerance = 1e-12;
+    let subjects: Vec<NodeId> = g.nodes().collect();
+    let o64 = rwr.signature_set_outcome(&g, &subjects, 4);
+    assert!(o64.is_fully_healthy(), "f64 path must converge at 1e-12");
+    let o32 = rwr.signature_set_f32_outcome(&g, &subjects, 4);
+    for (_, reason) in o32.degraded() {
+        assert!(matches!(reason, DegradeReason::IterationBudget { .. }));
+    }
+}

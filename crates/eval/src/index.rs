@@ -44,11 +44,13 @@ use std::borrow::Cow;
 use rustc_hash::FxHashMap;
 
 use comsig_core::contract;
-use comsig_core::distance::{BatchDistance, InterAcc, SigScalars};
+use comsig_core::distance::{BatchDistance, SigScalars};
 use comsig_core::{Signature, SignatureSet};
 use comsig_graph::{NodeId, ShardPlan};
 
 use crate::ranking::Ranking;
+
+pub use comsig_core::distance::MatchWorkspace;
 
 /// An inverted index over one candidate [`SignatureSet`]: for every
 /// member node, the posting list of `(candidate, weight)` pairs whose
@@ -521,13 +523,32 @@ impl<'a> PostingsIndex<'a> {
         l: usize,
         ws: &mut MatchWorkspace,
     ) -> Ranking {
+        let mut entries = Vec::with_capacity(l.min(self.len()));
+        self.rank_top_l_into(dist, query, l, ws, &mut entries);
+        Ranking::from_sorted(entries)
+    }
+
+    /// [`rank_top_l_with`](PostingsIndex::rank_top_l_with) into a
+    /// caller-owned buffer (cleared first), so per-query loops — the
+    /// masquerade detector scores one query per suspect per window —
+    /// reuse one allocation instead of materialising a fresh `Ranking`
+    /// each time. The buffer holds the same `(subject, distance)`
+    /// entries, in the same order, as the returned `Ranking` would.
+    pub fn rank_top_l_into(
+        &self,
+        dist: &dyn BatchDistance,
+        query: &Signature,
+        l: usize,
+        ws: &mut MatchWorkspace,
+        entries: &mut Vec<(NodeId, f64)>,
+    ) {
+        entries.clear();
         let n = self.len();
         let l = l.min(n);
         let subjects = self.candidates.subjects();
         if query.is_empty() {
             // Empty-signature rule: distance 0 to empty candidates, 1 to
             // non-empty ones; ties break by ascending id within each band.
-            let mut entries = Vec::with_capacity(l);
             for &p in &self.id_order {
                 if entries.len() == l {
                     break;
@@ -544,26 +565,25 @@ impl<'a> PostingsIndex<'a> {
                     entries.push((subjects[p as usize], 1.0));
                 }
             }
-            return Ranking::from_sorted(entries);
+            return;
         }
 
         self.sweep(dist, query, ws);
         let qs = SigScalars::of(query);
-        let mut touched: Vec<(u32, f64)> = ws
-            .touched()
-            .iter()
-            .map(|&p| {
-                let d = dist.finish(&qs, &self.scalars[p as usize], &ws.inter(p));
-                if contract::enabled() {
-                    let sig = self
-                        .candidates
-                        .get(subjects[p as usize])
-                        .expect("candidate position maps to a subject");
-                    contract::check_indexed_distance(dist, query, sig, d);
-                }
-                (p, d)
-            })
-            .collect();
+        // Batched epilogue: one virtual dispatch scores every touched
+        // candidate (statically-dispatched `finish` inside), into the
+        // workspace-owned scratch.
+        let mut touched = ws.take_scored();
+        dist.finish_touched(&qs, &self.scalars, ws, &mut touched);
+        if contract::enabled() {
+            for &(p, d) in &touched {
+                let sig = self
+                    .candidates
+                    .get(subjects[p as usize])
+                    .expect("candidate position maps to a subject");
+                contract::check_indexed_distance(dist, query, sig, d);
+            }
+        }
         touched.sort_unstable_by(|x, y| {
             x.1.total_cmp(&y.1)
                 .then(subjects[x.0 as usize].cmp(&subjects[y.0 as usize]))
@@ -573,7 +593,6 @@ impl<'a> PostingsIndex<'a> {
         // candidates carry distance exactly 1.0 (the disjoint shortcut
         // every BatchDistance::finish guarantees) and are already in
         // tie-break (ascending id) order via `id_order`.
-        let mut entries = Vec::with_capacity(l);
         let mut ti = 0usize;
         let mut ui = 0usize;
         while entries.len() < l {
@@ -606,7 +625,7 @@ impl<'a> PostingsIndex<'a> {
                 break;
             }
         }
-        Ranking::from_sorted(entries)
+        ws.put_scored(touched);
     }
 
     /// Distances from `query` (at candidate position `from`) to every
@@ -658,106 +677,18 @@ impl<'a> PostingsIndex<'a> {
     /// per-candidate intersection statistics into `ws`. Shared members
     /// are folded in ascending query node-id order — the same order as
     /// the brute-force merge-join, which is what makes the scores
-    /// bit-identical.
+    /// bit-identical. Each list is swept by one
+    /// [`BatchDistance::accumulate_list`] call — a single virtual
+    /// dispatch landing in a per-distance monomorphized lane-chunked
+    /// loop, instead of one dispatch per posting entry.
     fn sweep(&self, dist: &dyn BatchDistance, query: &Signature, ws: &mut MatchWorkspace) {
         ws.begin(self.len());
         for (u, wq) in query.iter() {
             let Some(&s) = self.slot_of.get(&u) else {
                 continue;
             };
-            for &(pos, wc) in &self.postings[s as usize] {
-                ws.add(pos, dist.accumulate(wq, wc));
-            }
+            dist.accumulate_list(wq, &self.postings[s as usize], ws);
         }
-    }
-}
-
-/// Reusable per-worker accumulation state for index sweeps: dense
-/// per-candidate [`InterAcc`] slots with an epoch stamp per slot and a
-/// touched list — the same sparse-accumulator pattern as
-/// `comsig_core::engine::DenseScatter`, keyed by candidate position
-/// instead of node id.
-#[derive(Debug, Default)]
-pub struct MatchWorkspace {
-    count: Vec<u32>,
-    acc_a: Vec<f64>,
-    acc_b: Vec<f64>,
-    stamp: Vec<u32>,
-    touched: Vec<u32>,
-    epoch: u32,
-}
-
-impl MatchWorkspace {
-    /// An empty workspace; slots are allocated by the first
-    /// [`begin`](MatchWorkspace::begin).
-    #[must_use]
-    pub fn new() -> MatchWorkspace {
-        MatchWorkspace::default()
-    }
-
-    /// Starts a new accumulation over candidate positions `0..n`,
-    /// logically clearing all slots in O(1) via an epoch bump.
-    pub fn begin(&mut self, n: usize) {
-        if self.count.len() < n {
-            self.count.resize(n, 0);
-            self.acc_a.resize(n, 0.0);
-            self.acc_b.resize(n, 0.0);
-            self.stamp.resize(n, 0);
-        }
-        self.touched.clear();
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // Epoch wrapped: stale stamps could collide, so pay one O(n)
-            // reset every 2^32 generations.
-            self.stamp.fill(0);
-            self.epoch = 1;
-        }
-    }
-
-    /// Folds one shared-member contribution into candidate `pos`,
-    /// registering the slot as touched on first use this epoch.
-    #[inline]
-    pub fn add(&mut self, pos: u32, (a, b): (f64, f64)) {
-        let i = pos as usize;
-        if self.stamp[i] == self.epoch {
-            self.count[i] += 1;
-            self.acc_a[i] += a;
-            self.acc_b[i] += b;
-        } else {
-            self.stamp[i] = self.epoch;
-            self.count[i] = 1;
-            self.acc_a[i] = a;
-            self.acc_b[i] = b;
-            self.touched.push(pos);
-        }
-    }
-
-    /// Whether candidate `pos` shares at least one member with the
-    /// query swept this epoch.
-    #[inline]
-    #[must_use]
-    pub fn is_touched(&self, pos: u32) -> bool {
-        self.stamp[pos as usize] == self.epoch
-    }
-
-    /// The intersection statistics of candidate `pos` this epoch.
-    /// Meaningless (zeroed or stale) unless
-    /// [`is_touched`](MatchWorkspace::is_touched).
-    #[inline]
-    #[must_use]
-    pub fn inter(&self, pos: u32) -> InterAcc {
-        let i = pos as usize;
-        InterAcc {
-            count: self.count[i] as usize,
-            a: self.acc_a[i],
-            b: self.acc_b[i],
-        }
-    }
-
-    /// Candidate positions touched this epoch, in first-touch order.
-    #[must_use]
-    pub fn touched(&self) -> &[u32] {
-        &self.touched
     }
 }
 

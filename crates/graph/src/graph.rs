@@ -309,6 +309,35 @@ impl CommGraph {
         )
     }
 
+    /// The out-row of `v` as raw unit-stride CSR slices
+    /// `(targets, weights)`, both in ascending target-id order — the
+    /// zero-overhead form of [`Self::out_neighbors`] consumed by the
+    /// blocked scatter kernels in `comsig_core::engine`.
+    #[inline]
+    #[must_use]
+    pub fn out_row(&self, v: NodeId) -> (&[NodeId], &[Weight]) {
+        let i = v.index();
+        let row = self.out_offsets[i]..self.out_offsets[i + 1];
+        (&self.out_targets[row.clone()], &self.out_weights[row])
+    }
+
+    /// The merged undirected row of `v` as raw unit-stride slices
+    /// `(neighbors, probabilities)` (pre-normalised, ascending id
+    /// order), or `None` for a node with no incident edges — the
+    /// zero-overhead form of [`Self::undirected_transition_row`]
+    /// consumed by the blocked scatter kernels in `comsig_core::engine`.
+    #[inline]
+    #[must_use]
+    pub fn undirected_row(&self, v: NodeId) -> Option<(&[NodeId], &[f64])> {
+        let und = self.undirected_view();
+        let i = v.index();
+        let row = und.offsets[i]..und.offsets[i + 1];
+        if row.is_empty() {
+            return None;
+        }
+        Some((&und.neighbors[row.clone()], &und.probs[row]))
+    }
+
     /// Number of distinct undirected neighbours of `v`.
     pub fn undirected_degree(&self, v: NodeId) -> usize {
         let und = self.undirected_view();

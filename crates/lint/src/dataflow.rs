@@ -425,6 +425,25 @@ fn shard_float_order(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Index of the `[`/`(` matching the `Close` token at `close`, scanning
+/// backward (never before `lower`).
+fn matching_open_back(fm: &FileModel, close: usize, lower: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for m in (lower..=close).rev() {
+        match fm.tokens[m].kind {
+            TokenKind::Close => depth += 1,
+            TokenKind::Open => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(m);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Flags `+=`/`-=` on float-hinted targets inside `(lo, hi)` that are not
 /// declared inside that span (i.e. they escape the shard closure).
 fn float_accum_escaping(
@@ -442,10 +461,25 @@ fn float_accum_escaping(
             continue;
         }
         // Identify the target identifier left of the operator: `x +=`,
-        // `self.x +=`, `*x +=` all end in an Ident just before the op.
-        let Some(prev) = k.checked_sub(1) else {
+        // `self.x +=`, `*x +=` all end in an Ident just before the op. A
+        // lane-chunked write `lanes[i] +=` ends in `]`, so hop over the
+        // matching `[` to the array identifier — the blessed kernel
+        // idiom (DESIGN.md §15) is a *closure-local* fixed-width lane
+        // array (`let mut lanes = [0.0f64; 4];`); an indexed float
+        // target that escapes the shard is the same ordering hazard as
+        // a scalar one.
+        let Some(mut prev) = k.checked_sub(1) else {
             continue;
         };
+        let mut indexed = false;
+        if toks[prev].kind == TokenKind::Close && fm.text(prev) == "]" {
+            let Some(name_pos) = matching_open_back(fm, prev, lo).and_then(|ob| ob.checked_sub(1))
+            else {
+                continue;
+            };
+            prev = name_pos;
+            indexed = true;
+        }
         if toks[prev].kind != TokenKind::Ident {
             continue;
         }
@@ -481,9 +515,10 @@ fn float_accum_escaping(
             fm,
             toks[k].line,
             format!(
-                "float accumulation into `{}{target}` inside a shard closure escapes the \
+                "float accumulation into `{}{target}{}` inside a shard closure escapes the \
                  shard; reduce per-shard sums in subject order instead",
-                if is_self_field { "self." } else { "" }
+                if is_self_field { "self." } else { "" },
+                if indexed { "[…]" } else { "" }
             ),
         ));
     }

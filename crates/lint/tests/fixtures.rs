@@ -67,6 +67,19 @@ fn shard_float_order_pair() {
 }
 
 #[test]
+fn shard_float_order_lane_array_pair() {
+    // Lane-chunked kernels: an indexed write into a lane array escaping
+    // the shard closure must fire; the blessed closure-local fixed-width
+    // lane array (DESIGN.md §15) must stay silent.
+    assert_pair(
+        "shard-float-order",
+        "shard_float_order_lanes_bad.rs",
+        "shard_float_order_lanes_good.rs",
+        "crates/core/src/pipeline.rs",
+    );
+}
+
+#[test]
 fn panic_path_pair() {
     assert_pair(
         "panic-path",

@@ -1,0 +1,17 @@
+// Fixture: MUST fire `shard-float-order`.
+//
+// A lane array declared OUTSIDE the shard closure is accumulated into
+// through an index inside it: the lane partials then mix contributions
+// from different shards, so the final reduction depends on shard
+// interleaving exactly like a scalar escaping accumulator.
+
+pub fn reduce_lanes(grand: &mut f64) {
+    let mut lanes = [0.0f64; 4];
+    rayon::scope_chunks(4, 8, |shard, range| {
+        for i in range {
+            lanes[i % 4] += 1.5;
+        }
+        let _ = shard;
+    });
+    *grand = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}

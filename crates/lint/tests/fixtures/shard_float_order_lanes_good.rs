@@ -1,0 +1,25 @@
+// Fixture: must NOT fire `shard-float-order`.
+//
+// The blessed lane-chunked kernel idiom (DESIGN.md §15): a fixed-width
+// lane array declared INSIDE the shard closure, accumulated by index,
+// and reduced in the fixed order `(l0 + l1) + (l2 + l3) + tail` before
+// the closure returns. Each shard owns its lanes, so the result is
+// bit-identical at every thread count.
+
+pub fn reduce_lanes() -> f64 {
+    let mut out = 0.0;
+    rayon::scope_chunks(4, 8, |_shard, range| {
+        let mut lanes = [0.0f64; 4];
+        let mut tail = 0.0f64;
+        for i in range {
+            if i % 5 == 0 {
+                tail += 0.5;
+            } else {
+                lanes[i % 4] += 1.5;
+            }
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    });
+    out += 1.0;
+    out
+}
