@@ -16,6 +16,7 @@ use rustc_hash::FxHashMap;
 use comsig_core::distance::BatchDistance;
 use comsig_core::scheme::SignatureScheme;
 use comsig_core::SignatureSet;
+use comsig_eval::ann::SubjectMatcher;
 use comsig_eval::index::{MatchWorkspace, PostingsIndex};
 use comsig_graph::{CommGraph, GraphBuilder, NodeId, ShardPlan};
 
@@ -164,8 +165,11 @@ pub fn run_algorithm1(
     run_algorithm1_with(dist, sigs_t, index_t1, cfg, &ShardPlan::new(1))
 }
 
-/// [`run_algorithm1`], sharded per `plan`. Both phases parallelise over
-/// subjects with an order-preserving merge, so the output is
+/// [`run_algorithm1`], sharded per `plan` and generic over the matcher
+/// seam ([`SubjectMatcher`]): pass a [`PostingsIndex`] for the exact
+/// tier or an [`AnnIndex`](comsig_eval::ann::AnnIndex) for LSH-fronted
+/// candidate generation with exact re-scoring. Both phases parallelise
+/// over subjects with an order-preserving merge, so the output is
 /// bit-identical at every thread count:
 ///
 /// * self-similarities are computed per shard but collected and **summed
@@ -174,15 +178,15 @@ pub fn run_algorithm1(
 /// * each shard resolves its suspects with a private [`MatchWorkspace`]
 ///   (index sweeps are read-only), and the per-subject verdicts are
 ///   folded into `non_suspects` / `detected` serially in subject order.
-pub fn run_algorithm1_with(
+pub fn run_algorithm1_with<M: SubjectMatcher + ?Sized>(
     dist: &dyn BatchDistance,
     sigs_t: &SignatureSet,
-    index_t1: &PostingsIndex<'_>,
+    index_t1: &M,
     cfg: &DetectorConfig,
     plan: &ShardPlan,
 ) -> Detection {
     let subjects = sigs_t.subjects();
-    let sigs_t1 = index_t1.candidates();
+    let sigs_t1 = index_t1.candidate_set();
     let ranges = plan.ranges(subjects.len());
 
     // Self-similarities A[v, v], in subject order.

@@ -1,42 +1,179 @@
-//! Online window-over-window detectors on the streaming pipeline.
+//! Online window-over-window detectors, generic over the signature
+//! tier.
 //!
 //! The batch detectors ([`masquerade`](crate::masquerade),
 //! [`anomaly`](crate::anomaly)) recompute every signature and rebuild
 //! the matching index for each pair of windows. The streaming variants
-//! here instead own a `SignaturePipeline` per window role and patch only
-//! the dirty subjects per [`WindowDelta`] — the signatures, the inverted
-//! index, and therefore the detector outputs are **bit-identical** to
-//! running the batch detector on cold rebuilds of the same windows
-//! (asserted by the tests below and, per advance, by the
-//! `check_pipeline_equiv` contract).
+//! here instead drive a [`SignatureTier`] — the exact
+//! `SignaturePipeline` or the bounded-memory
+//! [`SketchTier`](comsig_sketch::tier::SketchTier) — and patch only the
+//! dirty subjects per [`WindowDelta`] into a maintained
+//! [`SubjectMatcher`].
+//!
+//! [`TieredMasquerade`] / [`TieredAnomaly`] are the generic drivers;
+//! [`StreamingMasquerade`] / [`StreamingAnomaly`] are the exact-tier
+//! specialisations (pipeline + postings index), whose signatures, index
+//! and detector outputs are **bit-identical** to running the batch
+//! detector on cold rebuilds of the same windows (asserted by the tests
+//! below and, per advance, by the `check_pipeline_equiv` contract).
+//! [`SketchMasquerade`] / [`SketchAnomaly`] pair the sketch tier with an
+//! LSH-fronted [`AnnIndex`], trading documented one-sided error bands
+//! for bounded state.
 
 use comsig_core::distance::{BatchDistance, SignatureDistance};
 use comsig_core::pipeline::{AdvanceReport, DeltaScheme, SignaturePipeline};
-use comsig_core::SignatureSet;
+use comsig_core::{SignatureSet, SignatureTier, TierMemory};
+use comsig_eval::ann::{AnnConfig, AnnIndex, SubjectMatcher};
 use comsig_eval::index::PostingsIndex;
 use comsig_graph::{CommGraph, NodeId, ShardPlan, WindowDelta};
+use comsig_sketch::stream::StreamConfig;
+use comsig_sketch::tier::{SketchScheme, SketchTier};
 
 use crate::anomaly::{anomaly_scores_from_sets, AnomalyScore};
 use crate::masquerade::{run_algorithm1_with, Detection, DetectorConfig};
 
-/// Streaming label-masquerading detector (Algorithm 1, online).
-///
-/// Maintains the current window's signatures through a
-/// [`SignaturePipeline`] and an owned [`PostingsIndex`] over them,
-/// patched per advance via [`PostingsIndex::update`]. Each
-/// [`advance`](Self::advance) compares the previous window's signatures
-/// against the new window's, exactly as the batch detector would with
-/// `(G_t, G_{t+1})`.
+/// The generic streaming label-masquerading detector (Algorithm 1,
+/// online): any [`SignatureTier`] maintaining the window's signatures,
+/// any [`SubjectMatcher`] ranking them. Each [`advance`](Self::advance)
+/// compares the previous window's signatures against the new window's,
+/// exactly as the batch detector would with `(G_t, G_{t+1})`.
 #[derive(Debug)]
-pub struct StreamingMasquerade<'a, S: DeltaScheme + ?Sized> {
-    pipeline: SignaturePipeline<'a, S>,
-    index: PostingsIndex<'static>,
+pub struct TieredMasquerade<T: SignatureTier, M: SubjectMatcher> {
+    tier: T,
+    matcher: M,
     cfg: DetectorConfig,
     plan: ShardPlan,
     /// The previous window's signatures, double-buffered: after each
     /// advance only the dirty subjects are patched in, instead of
     /// cloning the full set every window.
     prev: SignatureSet,
+}
+
+impl<T: SignatureTier, M: SubjectMatcher> TieredMasquerade<T, M> {
+    /// Assembles a detector from an already-seeded tier, a matcher over
+    /// the tier's current signatures, and the previous window's
+    /// signatures. The caller guarantees the matcher's candidates equal
+    /// the tier's signatures; the constructors below do.
+    fn assemble(
+        tier: T,
+        matcher: M,
+        cfg: DetectorConfig,
+        plan: ShardPlan,
+        prev: SignatureSet,
+    ) -> Self {
+        TieredMasquerade {
+            tier,
+            matcher,
+            cfg,
+            plan,
+            prev,
+        }
+    }
+
+    /// The detector configuration.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// The signature tier driving the detector.
+    #[must_use]
+    pub fn tier(&self) -> &T {
+        &self.tier
+    }
+
+    /// The current window's signatures.
+    #[must_use]
+    pub fn signatures(&self) -> &SignatureSet {
+        self.tier.signatures()
+    }
+
+    /// The previous window's signatures (the double buffer's back side).
+    #[must_use]
+    pub fn prev_signatures(&self) -> &SignatureSet {
+        &self.prev
+    }
+
+    /// The maintained matcher over the current signatures.
+    #[must_use]
+    pub fn matcher(&self) -> &M {
+        &self.matcher
+    }
+
+    /// The shard plan every advance runs under.
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The tier's resident-state accounting.
+    #[must_use]
+    pub fn tier_memory(&self) -> TierMemory {
+        self.tier.memory()
+    }
+
+    /// Consumes the next window's delta and runs Algorithm 1 between the
+    /// previous and the new window. Returns the detection plus the
+    /// tier's advance report.
+    pub fn advance(&mut self, dist: &dyn BatchDistance, delta: &WindowDelta) -> StreamDetection {
+        let (detection, _) = self.advance_inner(dist, delta, false);
+        detection
+    }
+
+    /// [`advance`](Self::advance) that additionally computes the
+    /// per-subject anomaly scores for the same window pair **before**
+    /// rolling the double buffer, so one maintained detector serves both
+    /// verdicts (the `comsig serve` query plane). Scores are
+    /// bit-identical to [`TieredAnomaly::advance`] over the same tier
+    /// and stream.
+    pub fn advance_with_anomaly(
+        &mut self,
+        dist: &dyn BatchDistance,
+        delta: &WindowDelta,
+    ) -> (StreamDetection, Vec<AnomalyScore>) {
+        let (detection, scores) = self.advance_inner(dist, delta, true);
+        (detection, scores.unwrap_or_default())
+    }
+
+    fn advance_inner(
+        &mut self,
+        dist: &dyn BatchDistance,
+        delta: &WindowDelta,
+        with_anomaly: bool,
+    ) -> (StreamDetection, Option<Vec<AnomalyScore>>) {
+        let report = self.tier.advance_window(delta);
+        let new_sigs = self.tier.signatures();
+        // The tier maintains every subject it reports dirty; a miss
+        // would mean the maintained set drifted, and skipping the
+        // subject degrades the window instead of killing the stream.
+        self.matcher.patch(
+            report
+                .dirty
+                .iter()
+                .filter_map(|&v| new_sigs.get(v).map(|sig| (v, sig.clone())))
+                .collect(),
+            &self.plan,
+        );
+        let detection = run_algorithm1_with(dist, &self.prev, &self.matcher, &self.cfg, &self.plan);
+        let scores = with_anomaly.then(|| anomaly_scores_from_sets(dist, &self.prev, new_sigs));
+        // Roll the double buffer forward: only the dirty subjects differ
+        // between the windows.
+        for &v in &report.dirty {
+            if let Some(sig) = new_sigs.get(v) {
+                let _ = self.prev.replace(v, sig.clone());
+            }
+        }
+        (StreamDetection { detection, report }, scores)
+    }
+}
+
+/// Streaming label-masquerading detector on the **exact tier**: a
+/// [`SignaturePipeline`] maintaining the signatures and an owned
+/// [`PostingsIndex`] over them, patched per advance via
+/// [`PostingsIndex::update`].
+#[derive(Debug)]
+pub struct StreamingMasquerade<'a, S: DeltaScheme + ?Sized> {
+    inner: TieredMasquerade<SignaturePipeline<'a, S>, PostingsIndex<'static>>,
 }
 
 impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
@@ -63,11 +200,7 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
         let index = PostingsIndex::build_owned(pipeline.signatures().clone());
         let prev = pipeline.signatures().clone();
         StreamingMasquerade {
-            pipeline,
-            index,
-            cfg,
-            plan,
-            prev,
+            inner: TieredMasquerade::assemble(pipeline, index, cfg, plan, prev),
         }
     }
 
@@ -105,56 +238,57 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
         }
         let pipeline = SignaturePipeline::resume(scheme, graph, current, cfg.k, plan)?;
         Ok(StreamingMasquerade {
-            pipeline,
-            index,
-            cfg,
-            plan,
-            prev,
+            inner: TieredMasquerade::assemble(pipeline, index, cfg, plan, prev),
         })
     }
 
     /// The detector configuration.
     #[must_use]
     pub fn config(&self) -> &DetectorConfig {
-        &self.cfg
+        self.inner.config()
     }
 
     /// The current window's graph.
     #[must_use]
     pub fn graph(&self) -> &CommGraph {
-        self.pipeline.graph()
+        self.inner.tier().graph()
     }
 
     /// The current window's signatures.
     #[must_use]
     pub fn signatures(&self) -> &SignatureSet {
-        self.pipeline.signatures()
+        self.inner.signatures()
     }
 
     /// The previous window's signatures (the double buffer's back side).
     #[must_use]
     pub fn prev_signatures(&self) -> &SignatureSet {
-        &self.prev
+        self.inner.prev_signatures()
     }
 
     /// The maintained postings index over the current signatures.
     #[must_use]
     pub fn index(&self) -> &PostingsIndex<'static> {
-        &self.index
+        self.inner.matcher()
     }
 
     /// The shard plan every advance runs under.
     #[must_use]
     pub fn plan(&self) -> &ShardPlan {
-        &self.plan
+        self.inner.plan()
+    }
+
+    /// The tier's resident-state accounting (CSR edges + offsets).
+    #[must_use]
+    pub fn tier_memory(&self) -> TierMemory {
+        self.inner.tier_memory()
     }
 
     /// Consumes the next window's delta and runs Algorithm 1 between the
     /// previous and the new window. Returns the detection plus the
     /// pipeline's advance report.
     pub fn advance(&mut self, dist: &dyn BatchDistance, delta: &WindowDelta) -> StreamDetection {
-        let (detection, _) = self.advance_inner(dist, delta, false);
-        detection
+        self.inner.advance(dist, delta)
     }
 
     /// [`advance`](Self::advance) that additionally computes the
@@ -168,38 +302,67 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingMasquerade<'a, S> {
         dist: &dyn BatchDistance,
         delta: &WindowDelta,
     ) -> (StreamDetection, Vec<AnomalyScore>) {
-        let (detection, scores) = self.advance_inner(dist, delta, true);
-        (detection, scores.unwrap_or_default())
+        self.inner.advance_with_anomaly(dist, delta)
+    }
+}
+
+/// Streaming masquerade detection on the **sketch tier**: a
+/// [`SketchTier`] maintaining approximate signatures in bounded memory
+/// and an LSH-fronted [`AnnIndex`] ranking them.
+pub type SketchMasquerade = TieredMasquerade<SketchTier, AnnIndex>;
+
+impl SketchMasquerade {
+    /// Seeds a sketch-tier detector over a declared node space. The
+    /// signature length comes from `cfg.k`; the sketch sizing from
+    /// `stream_cfg`; the LSH banding from `ann`.
+    ///
+    /// # Panics
+    /// Panics if `subjects` contains duplicates or ids `≥ num_nodes`,
+    /// or if `cfg.k` is zero.
+    #[must_use]
+    pub fn new_sketch(
+        scheme: SketchScheme,
+        stream_cfg: StreamConfig,
+        subjects: &[NodeId],
+        num_nodes: usize,
+        cfg: DetectorConfig,
+        ann: AnnConfig,
+        plan: ShardPlan,
+    ) -> Self {
+        let tier = SketchTier::new(scheme, stream_cfg, subjects, cfg.k, num_nodes);
+        let prev = tier.signatures().clone();
+        let matcher = AnnIndex::build(tier.signatures(), ann);
+        TieredMasquerade::assemble(tier, matcher, cfg, plan, prev)
     }
 
-    fn advance_inner(
-        &mut self,
-        dist: &dyn BatchDistance,
-        delta: &WindowDelta,
-        with_anomaly: bool,
-    ) -> (StreamDetection, Option<Vec<AnomalyScore>>) {
-        let report = self.pipeline.advance(delta);
-        let new_sigs = self.pipeline.signatures();
-        // The pipeline maintains every subject it reports dirty; a miss
-        // would mean the maintained set drifted, and skipping the
-        // subject degrades the window instead of killing the stream.
-        self.index.update_with(
-            report
-                .dirty
-                .iter()
-                .filter_map(|&v| new_sigs.get(v).map(|sig| (v, sig.clone()))),
-            &self.plan,
-        );
-        let detection = run_algorithm1_with(dist, &self.prev, &self.index, &self.cfg, &self.plan);
-        let scores = with_anomaly.then(|| anomaly_scores_from_sets(dist, &self.prev, new_sigs));
-        // Roll the double buffer forward: only the dirty subjects differ
-        // between the windows.
-        for &v in &report.dirty {
-            if let Some(sig) = new_sigs.get(v) {
-                let _ = self.prev.replace(v, sig.clone());
+    /// Reassembles a sketch-tier detector from a (decoded) tier and the
+    /// previous window's signatures — the `comsig serve` recovery path.
+    /// `prev` defaults to the tier's current signatures when absent
+    /// (fresh start or snapshot taken at a window boundary). The ANN
+    /// index is rebuilt deterministically from the tier's signatures and
+    /// `ann` — LSH state is derived, never persisted.
+    ///
+    /// # Errors
+    /// Returns an error when `prev` covers a different subject
+    /// population than the tier.
+    pub fn resume_sketch(
+        tier: SketchTier,
+        prev: Option<SignatureSet>,
+        cfg: DetectorConfig,
+        ann: AnnConfig,
+        plan: ShardPlan,
+    ) -> Result<Self, String> {
+        let prev = match prev {
+            Some(p) => {
+                if p.subjects() != tier.signatures().subjects() {
+                    return Err("sketch detector resume: prev/current subject lists differ".into());
+                }
+                p
             }
-        }
-        (StreamDetection { detection, report }, scores)
+            None => tier.signatures().clone(),
+        };
+        let matcher = AnnIndex::build(tier.signatures(), ann);
+        Ok(TieredMasquerade::assemble(tier, matcher, cfg, plan, prev))
     }
 }
 
@@ -213,14 +376,75 @@ pub struct StreamDetection {
     pub report: AdvanceReport,
 }
 
-/// Streaming anomaly detector: scores every subject's signature change
-/// across consecutive windows, with signatures maintained incrementally.
+/// The generic streaming anomaly detector: scores every subject's
+/// signature change across consecutive windows, with signatures
+/// maintained incrementally by any [`SignatureTier`].
+#[derive(Debug)]
+pub struct TieredAnomaly<T: SignatureTier> {
+    tier: T,
+    /// Previous window's signatures, patched per advance from the dirty
+    /// list (same double-buffer discipline as [`TieredMasquerade`]).
+    prev: SignatureSet,
+}
+
+impl<T: SignatureTier> TieredAnomaly<T> {
+    /// Wraps an already-seeded tier; the previous-window buffer starts
+    /// at the tier's current signatures.
+    #[must_use]
+    pub fn from_tier(tier: T) -> Self {
+        let prev = tier.signatures().clone();
+        TieredAnomaly { tier, prev }
+    }
+
+    /// The signature tier driving the detector.
+    #[must_use]
+    pub fn tier(&self) -> &T {
+        &self.tier
+    }
+
+    /// The current window's signatures.
+    #[must_use]
+    pub fn signatures(&self) -> &SignatureSet {
+        self.tier.signatures()
+    }
+
+    /// The tier's resident-state accounting.
+    #[must_use]
+    pub fn tier_memory(&self) -> TierMemory {
+        self.tier.memory()
+    }
+
+    /// Consumes the next window's delta and returns the per-subject
+    /// anomaly scores between the previous and the new window (sorted
+    /// most-anomalous first), plus the tier's advance report.
+    pub fn advance(
+        &mut self,
+        dist: &dyn SignatureDistance,
+        delta: &WindowDelta,
+    ) -> (Vec<AnomalyScore>, AdvanceReport) {
+        let report = self.tier.advance_window(delta);
+        let new_sigs = self.tier.signatures();
+        let scores = anomaly_scores_from_sets(dist, &self.prev, new_sigs);
+        // Skip any dirty subject the maintained set no longer carries
+        // rather than panicking mid-stream (never hit in practice).
+        for &v in &report.dirty {
+            if let Some(sig) = new_sigs.get(v) {
+                let _ = self.prev.replace(v, sig.clone());
+            }
+        }
+        (scores, report)
+    }
+}
+
+/// Streaming anomaly detection on the **sketch tier**.
+pub type SketchAnomaly = TieredAnomaly<SketchTier>;
+
+/// Streaming anomaly detector on the **exact tier**: scores every
+/// subject's signature change across consecutive windows, with
+/// signatures maintained incrementally by a [`SignaturePipeline`].
 #[derive(Debug)]
 pub struct StreamingAnomaly<'a, S: DeltaScheme + ?Sized> {
-    pipeline: SignaturePipeline<'a, S>,
-    /// Previous window's signatures, patched per advance from the dirty
-    /// list (same double-buffer discipline as [`StreamingMasquerade`]).
-    prev: SignatureSet,
+    inner: TieredAnomaly<SignaturePipeline<'a, S>>,
 }
 
 impl<'a, S: DeltaScheme + ?Sized> StreamingAnomaly<'a, S> {
@@ -243,14 +467,15 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingAnomaly<'a, S> {
         plan: ShardPlan,
     ) -> Self {
         let pipeline = SignaturePipeline::with_plan(scheme, graph, subjects, k, plan);
-        let prev = pipeline.signatures().clone();
-        StreamingAnomaly { pipeline, prev }
+        StreamingAnomaly {
+            inner: TieredAnomaly::from_tier(pipeline),
+        }
     }
 
     /// The current window's signatures.
     #[must_use]
     pub fn signatures(&self) -> &SignatureSet {
-        self.pipeline.signatures()
+        self.inner.signatures()
     }
 
     /// Consumes the next window's delta and returns the per-subject
@@ -261,17 +486,7 @@ impl<'a, S: DeltaScheme + ?Sized> StreamingAnomaly<'a, S> {
         dist: &dyn SignatureDistance,
         delta: &WindowDelta,
     ) -> (Vec<AnomalyScore>, AdvanceReport) {
-        let report = self.pipeline.advance(delta);
-        let new_sigs = self.pipeline.signatures();
-        let scores = anomaly_scores_from_sets(dist, &self.prev, new_sigs);
-        // Skip any dirty subject the maintained set no longer carries
-        // rather than panicking mid-stream (never hit in practice).
-        for &v in &report.dirty {
-            if let Some(sig) = new_sigs.get(v) {
-                let _ = self.prev.replace(v, sig.clone());
-            }
-        }
-        (scores, report)
+        self.inner.advance(dist, delta)
     }
 }
 
@@ -421,8 +636,8 @@ mod tests {
             let delta = w.advance();
             let _ = det.advance(&SHel, &delta);
         }
-        let rebuilt = PostingsIndex::build(det.index.candidates());
-        assert_eq!(det.index.posting_mass(), rebuilt.posting_mass());
+        let rebuilt = PostingsIndex::build(det.index().candidates());
+        assert_eq!(det.index().posting_mass(), rebuilt.posting_mass());
     }
 
     /// Every shard plan must produce bit-identical streaming detections
@@ -452,7 +667,7 @@ mod tests {
                     ShardPlan::new(threads),
                 );
                 let steps = (0..4).map(|_| det.advance(&SHel, &w.advance())).collect();
-                (steps, det.index.layout_digest())
+                (steps, det.index().layout_digest())
             })
             .collect();
         let (base_steps, base_digest) = &runs[0];
@@ -617,5 +832,159 @@ mod tests {
         let (scores, _) = det.advance(&SHel, &w.advance());
         let top2: std::collections::HashSet<_> = scores[..2].iter().map(|s| s.node).collect();
         assert!(top2.contains(&n(0)) && top2.contains(&n(1)), "{scores:?}");
+    }
+
+    fn sketch_masquerade() -> SketchMasquerade {
+        let subjects: Vec<NodeId> = (0..6).map(n).collect();
+        let cfg = DetectorConfig {
+            k: 4,
+            ..DetectorConfig::default()
+        };
+        // Oversized sketches: estimates are near-exact, only the tier
+        // plumbing is under test.
+        let stream_cfg = StreamConfig {
+            cm_width: 512,
+            cm_depth: 4,
+            candidate_budget: 32,
+            fm_bitmaps: 64,
+            seed: 5,
+            ..StreamConfig::default()
+        };
+        SketchMasquerade::new_sketch(
+            SketchScheme::TopTalkers,
+            stream_cfg,
+            &subjects,
+            NUM_NODES,
+            cfg,
+            AnnConfig::default(),
+            ShardPlan::new(1),
+        )
+    }
+
+    /// The sketch-tier detector must flag the swap window just like the
+    /// exact one: the signatures are near-exact at oversized sketch
+    /// sizes and the swapped twins are well above the LSH threshold.
+    #[test]
+    fn sketch_masquerade_flags_swap_window() {
+        let events = stream();
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det = sketch_masquerade();
+        assert_eq!(det.tier().tier_name(), "sketch");
+        assert!(!det.tier().is_exact());
+        let mut swap_detected = false;
+        for _ in 0..3 {
+            let delta = w.advance();
+            let step = det.advance(&SHel, &delta);
+            let pairs: std::collections::HashSet<_> =
+                step.detection.detected.iter().copied().collect();
+            if pairs.contains(&(n(0), n(1))) && pairs.contains(&(n(1), n(0))) {
+                swap_detected = true;
+            }
+        }
+        assert!(swap_detected, "the window-2 swap must be detected");
+        let mem = det.tier_memory();
+        assert!(mem.state_entries > 0 && mem.state_bytes > 0);
+    }
+
+    /// The maintained ANN index must stay equivalent to one rebuilt cold
+    /// from the tier's current signatures after several advances.
+    #[test]
+    fn sketch_matcher_patch_matches_rebuild() {
+        use comsig_eval::index::MatchWorkspace;
+
+        let events = stream();
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det = sketch_masquerade();
+        for _ in 0..4 {
+            let _ = det.advance(&SHel, &w.advance());
+        }
+        let rebuilt = AnnIndex::build(det.signatures(), AnnConfig::default());
+        let mut ws = MatchWorkspace::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for &v in det.signatures().subjects() {
+            let q = det.signatures().get(v).expect("sig");
+            det.matcher().rank_top_l_into(&SHel, q, 6, &mut ws, &mut a);
+            rebuilt.rank_top_l_into(&SHel, q, 6, &mut ws, &mut b);
+            assert_eq!(a, b, "query {v}");
+        }
+    }
+
+    /// A sketch detector rebuilt from its tier's encoded state plus the
+    /// prev buffer must continue identically to the uninterrupted one —
+    /// the serve snapshot/recovery discipline for the sketch tier.
+    #[test]
+    fn sketch_resume_continues_identically() {
+        use comsig_core::persist::{Dec, Enc};
+        use comsig_sketch::tier::SketchTier;
+
+        let events = stream();
+        let mut w = SlidingWindower::tumbling(0, 10);
+        for &e in &events {
+            w.push(e);
+        }
+        let mut det = sketch_masquerade();
+        let d0 = w.advance();
+        let d1 = w.advance();
+        let _ = det.advance(&SHel, &d0);
+        let _ = det.advance(&SHel, &d1);
+
+        let mut enc = Enc::new();
+        det.tier().encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let tier = SketchTier::decode_state(&mut dec).expect("state decodes");
+        dec.finish("sketch tier state").expect("no trailing bytes");
+        let mut resumed = SketchMasquerade::resume_sketch(
+            tier,
+            Some(det.prev_signatures().clone()),
+            *det.config(),
+            AnnConfig::default(),
+            ShardPlan::new(1),
+        )
+        .expect("parts are consistent");
+
+        for _ in 0..2 {
+            let delta = w.advance();
+            let (a, sa) = det.advance_with_anomaly(&SHel, &delta);
+            let (b, sb) = resumed.advance_with_anomaly(&SHel, &delta);
+            assert_eq!(a.detection.delta.to_bits(), b.detection.delta.to_bits());
+            assert_eq!(a.detection.detected, b.detection.detected);
+            assert_eq!(a.detection.non_suspects, b.detection.non_suspects);
+            assert_eq!(a.report.dirty, b.report.dirty);
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(&sb) {
+                assert_eq!(x.node, y.node);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    /// Prev/current subject mismatches must be rejected on sketch resume.
+    #[test]
+    fn sketch_resume_rejects_subject_mismatch() {
+        use comsig_sketch::tier::SketchTier;
+
+        let tier = SketchTier::new(
+            SketchScheme::TopTalkers,
+            StreamConfig::default(),
+            &[n(0), n(1)],
+            4,
+            8,
+        );
+        let wrong = SignatureSet::new(vec![n(0)], vec![comsig_core::Signature::empty()]);
+        let err = SketchMasquerade::resume_sketch(
+            tier,
+            Some(wrong),
+            DetectorConfig::default(),
+            AnnConfig::default(),
+            ShardPlan::new(1),
+        );
+        assert!(err.is_err());
     }
 }

@@ -1,35 +1,109 @@
-//! Extension A5: semi-streaming signatures vs exact (Section VI,
-//! "Scalable signature computation").
+//! Extension A5: the sketch tier vs the exact tier at stream scale
+//! (Section VI, "Scalable signature computation").
 //!
-//! How close do the sketch-based TT/UT signatures come to the exact ones,
-//! as a function of the per-node memory budget?
+//! Both tiers consume the same [`WindowDelta`] sequence through the
+//! [`SignatureTier`] seam — the exact tier patches a materialised graph
+//! and recomputes dirty subjects; the sketch tier folds every change
+//! into bounded per-node sketches in one pass and never builds the
+//! graph. The cell reports, per sketch sizing, how far the approximate
+//! TT/UT signatures drift from the exact ones at the final window and
+//! what each tier's resident state costs per subject.
 
 use comsig_core::distance::{Jaccard, SignatureDistance};
-use comsig_core::scheme::{SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_core::pipeline::DeltaScheme;
+use comsig_core::scheme::{TopTalkers, UnexpectedTalkers};
+use comsig_core::{SignaturePipeline, SignatureSet, SignatureTier};
 use comsig_eval::report::{f3, Table};
-use comsig_sketch::stream::{SemiStream, StreamConfig};
+use comsig_graph::{CommGraph, EdgeChange, NodeId, WindowDelta};
+use comsig_sketch::stream::StreamConfig;
+use comsig_sketch::tier::{SketchScheme, SketchTier};
 
-use crate::datasets::{self, Scale};
+use crate::datasets::Scale;
+use crate::synth::{stream_workload, StreamWorkload};
 
-/// Runs the experiment across Count-Min widths.
+/// Stream dimensions per scale: (locals, externals, out_degree, churn,
+/// windows).
+fn dims(scale: Scale) -> (usize, usize, usize, f64, usize) {
+    match scale {
+        Scale::Small => (400, 1_600, 8, 0.05, 4),
+        Scale::Medium => (4_000, 16_000, 12, 0.02, 6),
+        Scale::Full => (20_000, 80_000, 16, 0.01, 8),
+    }
+}
+
+/// The initial graph replayed as one insertion-only delta, so a tier
+/// starting from empty state sees window 0 the same way the windower
+/// would deliver it. Shared with `bench_snapshot` and A6.
+#[must_use]
+pub fn genesis_delta(g: &CommGraph) -> WindowDelta {
+    WindowDelta {
+        start: 0,
+        end: 1,
+        changes: g
+            .edges()
+            .map(|e| EdgeChange {
+                src: e.src,
+                dst: e.dst,
+                old: None,
+                new: Some(e.weight),
+            })
+            .collect(),
+    }
+}
+
+/// Drives an exact pipeline over the workload and returns its
+/// final-window signatures plus the tier's resident state bytes.
+fn exact_final(
+    scheme: &dyn DeltaScheme,
+    wl: &StreamWorkload,
+    num_nodes: usize,
+    k: usize,
+) -> (SignatureSet, usize) {
+    let mut pipeline = SignaturePipeline::new(scheme, CommGraph::empty(num_nodes), &wl.subjects, k);
+    pipeline.advance(&genesis_delta(&wl.graph));
+    for delta in &wl.deltas {
+        pipeline.advance(delta);
+    }
+    let bytes = SignatureTier::memory(&pipeline).state_bytes;
+    (pipeline.signatures().clone(), bytes)
+}
+
+/// Mean Jaccard distance between paired signature sets over `subjects`
+/// — the accuracy axis `BENCH_sketch.json` records.
+#[must_use]
+pub fn mean_divergence(exact: &SignatureSet, approx: &SignatureSet, subjects: &[NodeId]) -> f64 {
+    let total: f64 = subjects
+        .iter()
+        .map(|&v| {
+            Jaccard.distance(
+                exact.get(v).expect("exact signature"),
+                approx.get(v).expect("approx signature"),
+            )
+        })
+        .sum();
+    total / subjects.len().max(1) as f64
+}
+
+/// Runs the experiment across Count-Min sizings.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let d = datasets::flow(scale, 99);
-    let subjects = d.local_nodes();
-    let g = d.windows.window(0).expect("window 0");
-    let k = scale.flow_k();
+    let (locals, externals, out_degree, churn, windows) = dims(scale);
+    let wl = stream_workload(locals, externals, out_degree, churn, windows, 99);
+    let num_nodes = locals + externals;
+    let k = 10;
 
-    let exact_tt = TopTalkers.signature_set(g, &subjects, k);
-    let exact_ut = UnexpectedTalkers::new().signature_set(g, &subjects, k);
+    let (exact_tt, exact_bytes) = exact_final(&TopTalkers, &wl, num_nodes, k);
+    let (exact_ut, _) = exact_final(&UnexpectedTalkers::new(), &wl, num_nodes, k);
 
     let mut table = Table::new(
-        "Extension A5: streaming vs exact signatures (mean Jaccard distance)",
+        "Extension A5: sketch tier vs exact tier at stream scale (mean Jaccard distance, final window)",
         &[
             "cm_width",
             "candidates",
             "fm_bitmaps",
             "TT dist",
             "UT dist",
-            "counters/node",
+            "sketch B/subject",
+            "exact B/subject",
         ],
     );
     for (cm_width, budget, fm_bitmaps) in [
@@ -44,32 +118,30 @@ pub fn run(scale: Scale) -> Vec<Table> {
             candidate_budget: budget,
             fm_bitmaps,
             seed: 5,
+            indeg_cells: 0,
+            indeg_depth: 2,
         };
-        let mut stream = SemiStream::new(cfg);
-        stream.observe_graph(g);
-
-        let mean_dist = |exact: &comsig_core::SignatureSet, ut: bool| -> f64 {
-            let mut total = 0.0;
-            for &v in &subjects {
-                let approx = if ut {
-                    stream.ut_signature(v, k)
-                } else {
-                    stream.tt_signature(v, k)
-                };
-                total += Jaccard.distance(exact.get(v).expect("sig"), &approx);
+        let run_tier = |scheme: SketchScheme| -> SketchTier {
+            let mut tier = SketchTier::new(scheme, cfg, &wl.subjects, k, num_nodes);
+            tier.advance_window(&genesis_delta(&wl.graph));
+            for delta in &wl.deltas {
+                tier.advance_window(delta);
             }
-            total / subjects.len().max(1) as f64
+            tier
         };
-        let tt_dist = mean_dist(&exact_tt, false);
-        let ut_dist = mean_dist(&exact_ut, true);
-        let per_node = stream.state_size() as f64 / stream.num_sources().max(1) as f64;
+        let tt_tier = run_tier(SketchScheme::TopTalkers);
+        let ut_tier = run_tier(SketchScheme::UnexpectedTalkers);
+        let tt_dist = mean_divergence(&exact_tt, tt_tier.signatures(), &wl.subjects);
+        let ut_dist = mean_divergence(&exact_ut, ut_tier.signatures(), &wl.subjects);
+        let sketch_bytes = tt_tier.memory().state_bytes;
         table.push_row(vec![
             cm_width.to_string(),
             budget.to_string(),
             fm_bitmaps.to_string(),
             f3(tt_dist),
             f3(ut_dist),
-            format!("{per_node:.0}"),
+            format!("{:.0}", sketch_bytes as f64 / locals as f64),
+            format!("{:.0}", exact_bytes as f64 / locals as f64),
         ]);
     }
     vec![table]
@@ -92,5 +164,18 @@ mod tests {
             last_tt < 0.1,
             "largest sketch should be near-exact: {last_tt}"
         );
+    }
+
+    #[test]
+    fn sketch_state_grows_with_sizing_while_exact_is_fixed() {
+        let tables = run(Scale::Small);
+        let json = tables[0].to_json();
+        let rows = json["rows"].as_array().unwrap();
+        let first = rows[0]["sketch B/subject"].as_f64().unwrap();
+        let last = rows.last().unwrap()["sketch B/subject"].as_f64().unwrap();
+        assert!(last > first, "sizing sweep must move the memory axis");
+        let exact_first = rows[0]["exact B/subject"].as_f64().unwrap();
+        let exact_last = rows.last().unwrap()["exact B/subject"].as_f64().unwrap();
+        assert!((exact_first - exact_last).abs() < 1e-9);
     }
 }

@@ -16,8 +16,10 @@ use comsig_core::distance::SHel;
 use comsig_core::scheme::TopTalkers;
 use comsig_graph::{EdgeEvent, Interner, NodeId};
 
+use comsig_serve::config::TierSpec;
 use comsig_serve::state::subject_sources;
 use comsig_serve::{DurableState, Recovery, RecoverySource, ServeConfig, ServeError};
+use comsig_sketch::stream::StreamConfig;
 
 /// A scratch data directory, wiped on creation and on drop.
 struct ScratchDir(PathBuf);
@@ -48,6 +50,25 @@ fn config() -> ServeConfig {
         slide: 10,
         k: 4,
         ..ServeConfig::default()
+    }
+}
+
+/// The sketch-tier twin of [`config`]: same windowing, but signatures
+/// come from a [`SketchTier`](comsig_sketch::tier::SketchTier) whose
+/// state is snapshotted and WAL-replayed instead of the exact CSR.
+fn sketch_config() -> ServeConfig {
+    ServeConfig {
+        tier: TierSpec::Sketch,
+        sketch: StreamConfig {
+            cm_width: 64,
+            cm_depth: 2,
+            candidate_budget: 8,
+            fm_bitmaps: 16,
+            seed: 1,
+            indeg_cells: 0,
+            indeg_depth: 2,
+        },
+        ..config()
     }
 }
 
@@ -85,8 +106,18 @@ fn open<'a>(
     dir: &Path,
     seed: u64,
 ) -> Result<Opened<'a>, ServeError> {
+    open_with(scheme, dist, config(), dir, seed)
+}
+
+fn open_with<'a>(
+    scheme: &'a TopTalkers,
+    dist: &'a SHel,
+    cfg: ServeConfig,
+    dir: &Path,
+    seed: u64,
+) -> Result<Opened<'a>, ServeError> {
     let (interner, subjects, _) = seed_stream(seed);
-    DurableState::open(scheme, dist, config(), dir, interner, subjects)
+    DurableState::open(scheme, dist, cfg, dir, interner, subjects)
 }
 
 fn err(e: impl std::fmt::Display) -> String {
@@ -156,6 +187,63 @@ pub fn serve_kill_and_resume(seed: u64) -> Result<String, String> {
     }
     Ok(format!(
         "kill after window 2 recovered; final digest {digest:016x} matches uninterrupted run"
+    ))
+}
+
+/// The sketch-tier twin of [`serve_kill_and_resume`]: the snapshot and
+/// WAL now carry the full `SemiStream` sketch state (per-source CMs,
+/// candidate maps, FM bitmaps). Kill between windows, reopen, finish —
+/// the final digest must equal the uninterrupted sketch-tier run's.
+pub fn serve_sketch_kill_and_resume(seed: u64) -> Result<String, String> {
+    let scheme = TopTalkers;
+    let dist = SHel;
+    let (_, _, lines) = seed_stream(seed);
+
+    let want = {
+        let dir = ScratchDir::new("sketch-uninterrupted", seed);
+        let (mut state, _) =
+            open_with(&scheme, &dist, sketch_config(), dir.path(), seed).map_err(err)?;
+        let mut digest = 0;
+        for w in 0..4 {
+            let lo = lines.len() * w / 4;
+            let hi = lines.len() * (w + 1) / 4;
+            digest = feed_window(&mut state, &lines, lo..hi)?;
+        }
+        digest
+    };
+
+    let dir = ScratchDir::new("sketch-kill-resume", seed);
+    {
+        let (mut state, _) =
+            open_with(&scheme, &dist, sketch_config(), dir.path(), seed).map_err(err)?;
+        for w in 0..2 {
+            let lo = lines.len() * w / 4;
+            let hi = lines.len() * (w + 1) / 4;
+            feed_window(&mut state, &lines, lo..hi)?;
+        }
+        // SIGKILL: the sketch state is dropped mid-stream, no snapshot.
+    }
+    let (mut state, recovery) =
+        open_with(&scheme, &dist, sketch_config(), dir.path(), seed).map_err(err)?;
+    if recovery.replayed_windows != 2 {
+        return Err(format!(
+            "expected 2 replayed windows, got {}",
+            recovery.replayed_windows
+        ));
+    }
+    let mut digest = recovery.digest;
+    for w in 2..4 {
+        let lo = lines.len() * w / 4;
+        let hi = lines.len() * (w + 1) / 4;
+        digest = feed_window(&mut state, &lines, lo..hi)?;
+    }
+    if digest != want {
+        return Err(format!(
+            "resumed sketch digest {digest:016x} != uninterrupted {want:016x}"
+        ));
+    }
+    Ok(format!(
+        "sketch tier killed after window 2 recovered; final digest {digest:016x} matches"
     ))
 }
 

@@ -18,6 +18,9 @@ use comsig_graph::{
 
 use comsig_core::engine::DegradeReason;
 use comsig_core::scheme::{PushRwr, Rwr, SignatureScheme, TopTalkers, UnexpectedTalkers};
+use comsig_core::SignatureTier;
+use comsig_graph::{EdgeChange, WindowDelta};
+use comsig_sketch::tier::{SketchScheme, SketchTier};
 
 use crate::events;
 use crate::reader::{FaultPlan, FaultyReader};
@@ -179,6 +182,21 @@ pub fn all() -> Vec<Scenario> {
             repair_identity_on_clean,
         ),
         sc(
+            "sketch-nan-weight-degrades",
+            "a NaN window aggregate degrades its sketch-tier subject for one window, then heals",
+            sketch_nan_weight_degrades,
+        ),
+        sc(
+            "sketch-negative-weight-degrades",
+            "a negative window aggregate degrades its sketch-tier subject with NegativeOccupancy",
+            sketch_negative_weight_degrades,
+        ),
+        sc(
+            "sketch-phantom-node-degrades",
+            "a change aimed outside the node space degrades its sketch-tier subject with PhantomNode",
+            sketch_phantom_node_degrades,
+        ),
+        sc(
             "serve-kill-and-resume",
             "a service killed between windows recovers to the bit-identical digest",
             crate::durability::serve_kill_and_resume,
@@ -207,6 +225,11 @@ pub fn all() -> Vec<Scenario> {
             "serve-snapshot-plus-tail-replay",
             "recovery seeds from the rotated snapshot and replays only the WAL tail",
             crate::durability::serve_snapshot_plus_tail_replay,
+        ),
+        sc(
+            "serve-sketch-kill-and-resume",
+            "a sketch-tier service killed between windows recovers its sketch state bit-identically",
+            crate::durability::serve_sketch_kill_and_resume,
         ),
     ]
 }
@@ -969,6 +992,159 @@ fn repair_identity_on_clean(_seed: u64) -> Result<String, String> {
         "{} events identical under Strict and Repair",
         strict.len()
     ))
+}
+
+// --- sketch-tier degradation scenarios ------------------------------------
+
+/// What the injected faulty change looks like, window 1 of the sketch
+/// fault scenarios.
+#[derive(Clone, Copy)]
+enum SketchFault {
+    /// A NaN window aggregate on the victim's outgoing edge.
+    NanWeight,
+    /// A negative window aggregate.
+    NegativeWeight,
+    /// A destination outside the declared node space.
+    PhantomNode,
+}
+
+fn sketch_tier(seed: u64, subjects: &[NodeId], num_nodes: usize) -> SketchTier {
+    let cfg = comsig_sketch::stream::StreamConfig {
+        cm_width: 64,
+        cm_depth: 2,
+        candidate_budget: 8,
+        fm_bitmaps: 16,
+        seed,
+        indeg_cells: 0,
+        indeg_depth: 2,
+    };
+    SketchTier::new(SketchScheme::TopTalkers, cfg, subjects, 4, num_nodes)
+}
+
+/// Three seeded insertion-only windows over a 10-node space; window 2
+/// re-touches every subject so healed signatures re-derive on both the
+/// faulty run and its clean twin.
+fn sketch_windows(seed: u64) -> Vec<WindowDelta> {
+    let change = |s: usize, d: usize, w: f64| EdgeChange {
+        src: NodeId::new(s),
+        dst: NodeId::new(d),
+        old: None,
+        new: Some(w),
+    };
+    (0..3u64)
+        .map(|w| WindowDelta {
+            start: w,
+            end: w + 1,
+            changes: (0..6)
+                .map(|s| {
+                    let d = (s + 1 + (w as usize + seed as usize) % 3) % 10;
+                    change(s, d, 1.0 + ((seed + w) % 5) as f64)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Drives a faulty [`SketchTier`] run against a clean twin: the fault is
+/// isolated to its carrying subject for exactly one window (empty
+/// signature, typed [`DegradeReason`], `dropped_changes` bumped), every
+/// other subject stays bit-identical throughout, and the victim heals on
+/// the next clean window.
+fn sketch_fault_scenario(seed: u64, fault: SketchFault) -> Result<String, String> {
+    let subjects: Vec<NodeId> = (0..6).map(NodeId::new).collect();
+    let victim = subjects[seed as usize % subjects.len()];
+    let windows = sketch_windows(seed);
+
+    let mut clean = sketch_tier(seed, &subjects, 10);
+    let mut faulty = sketch_tier(seed, &subjects, 10);
+
+    clean.advance_window(&windows[0]);
+    faulty.advance_window(&windows[0]);
+    check(
+        faulty.degraded().is_empty(),
+        "clean window must not degrade",
+    )?;
+
+    // Window 1 with one injected faulty change from the victim.
+    let mut poisoned = windows[1].clone();
+    let (dst, weight) = match fault {
+        SketchFault::NanWeight => (NodeId::new(9), f64::NAN),
+        SketchFault::NegativeWeight => (NodeId::new(9), -3.0),
+        SketchFault::PhantomNode => (NodeId::new(99), 1.0),
+    };
+    poisoned.changes.push(EdgeChange {
+        src: victim,
+        dst,
+        old: None,
+        new: Some(weight),
+    });
+    clean.advance_window(&windows[1]);
+    faulty.advance_window(&poisoned);
+
+    check(
+        faulty.degraded().len() == 1,
+        "exactly one subject must degrade",
+    )?;
+    let (dv, reason) = &faulty.degraded()[0];
+    check(*dv == victim, "the fault's source must be the degraded one")?;
+    let reason_ok = match fault {
+        SketchFault::NanWeight => {
+            matches!(reason, DegradeReason::NonFiniteOccupancy { .. })
+        }
+        SketchFault::NegativeWeight => {
+            matches!(reason, DegradeReason::NegativeOccupancy { .. })
+        }
+        SketchFault::PhantomNode => {
+            matches!(reason, DegradeReason::PhantomNode { space: 10, .. })
+        }
+    };
+    check(reason_ok, "the DegradeReason must name the injected fault")?;
+    check(
+        faulty.dropped_changes() == 1,
+        "the faulty change must be counted as dropped",
+    )?;
+    let sig = faulty
+        .signatures()
+        .get(victim)
+        .ok_or("victim must keep an (empty) signature slot")?;
+    check(sig.is_empty(), "degraded signature must be emptied")?;
+    for &v in &subjects {
+        if v == victim {
+            continue;
+        }
+        let a = clean.signatures().get(v).ok_or("clean lost a subject")?;
+        let b = faulty.signatures().get(v).ok_or("faulty lost a subject")?;
+        check(a == b, "healthy subjects must stay bit-identical")?;
+    }
+
+    // Window 2 is clean: the victim heals and both runs re-converge
+    // (the faulty change never reached the sketches).
+    clean.advance_window(&windows[2]);
+    faulty.advance_window(&windows[2]);
+    check(faulty.degraded().is_empty(), "victim must heal")?;
+    for &v in &subjects {
+        let a = clean.signatures().get(v).ok_or("clean lost a subject")?;
+        let b = faulty.signatures().get(v).ok_or("faulty lost a subject")?;
+        check(
+            a == b,
+            "after healing every signature must match the clean twin",
+        )?;
+    }
+    Ok(format!(
+        "subject {victim} degraded for one window and healed; 5 healthy subjects bit-identical"
+    ))
+}
+
+fn sketch_nan_weight_degrades(seed: u64) -> Result<String, String> {
+    sketch_fault_scenario(seed, SketchFault::NanWeight)
+}
+
+fn sketch_negative_weight_degrades(seed: u64) -> Result<String, String> {
+    sketch_fault_scenario(seed, SketchFault::NegativeWeight)
+}
+
+fn sketch_phantom_node_degrades(seed: u64) -> Result<String, String> {
+    sketch_fault_scenario(seed, SketchFault::PhantomNode)
 }
 
 #[cfg(test)]

@@ -37,7 +37,13 @@ commands:
                       incrementally (--task anomaly|masquerade;
                       --slide S for overlapping/gapped windows;
                       --threads N shard the advance over N workers —
-                      output is bit-identical for every N)
+                      output is bit-identical for every N;
+                      --tier exact|sketch picks the maintenance tier:
+                      sketch folds deltas into bounded per-node sketches
+                      [tt|ut only] and fronts matching with banded LSH —
+                      --cm-width/--cm-depth/--budget/--fm/--indeg-cells/
+                      --indeg-depth size the sketches, --bands/--rows
+                      tune LSH recall, --sketch-seed seeds both)
   compare             measure persistence/uniqueness/robustness of the
                       standard schemes on an event file (derived Table IV)
   advise              recommend a scheme for an application (Tables I-III)
@@ -46,7 +52,10 @@ commands:
                       with snapshot + WAL durability in --data-dir
                       (--seed-events FILE fixes the label space;
                       --listen ADDR, --addr-file FILE, --snapshot-every N,
-                      --threads N; scheme/dist/k/window flags as below)
+                      --threads N; --tier exact|sketch with the same
+                      sketch/LSH sizing flags as stream — the tier is
+                      stamped into the store and checked on reopen;
+                      scheme/dist/k/window flags as below)
   call                send JSONL request lines to a running service
                       (--addr ADDR or --addr-file FILE; requests as
                       positional args, or stdin when none given)
@@ -544,11 +553,17 @@ fn cmd_detect(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 // --- stream ------------------------------------------------------------------
 
 fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
-    use comsig_apps::stream::{StreamingAnomaly, StreamingMasquerade};
+    use comsig_apps::stream::{
+        SketchAnomaly, SketchMasquerade, StreamingAnomaly, StreamingMasquerade, TieredAnomaly,
+    };
+    use comsig_eval::ann::AnnConfig;
     use comsig_graph::SlidingWindower;
+    use comsig_sketch::stream::StreamConfig;
+    use comsig_sketch::tier::{SketchScheme, SketchTier};
 
     let (interner, events) = load_events(parsed, out)?;
-    let scheme = parse_delta_scheme(parsed.get("scheme").unwrap_or("tt"))?;
+    let scheme_spec = parsed.get("scheme").unwrap_or("tt");
+    let scheme = parse_delta_scheme(scheme_spec)?;
     let dist = dist_of(parsed)?;
     let k: usize = parsed.num("k", 10)?;
     let width = window_width(parsed)?;
@@ -566,6 +581,38 @@ fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
         ShardPlan::auto()
     } else {
         ShardPlan::new(threads)
+    };
+    // Tier choice: `exact` maintains the materialised graph and is
+    // bit-identical to cold recomputes; `sketch` folds the deltas into
+    // bounded per-node sketches (tt/ut only) and fronts matching with a
+    // banded-LSH index — documented one-sided error, Θ(1) state/node.
+    let tier = parsed.get("tier").unwrap_or("exact");
+    let sketch_scheme = match tier {
+        "exact" => None,
+        "sketch" => Some(SketchScheme::parse(scheme_spec).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--tier sketch supports tt|ut schemes, not `{scheme_spec}`"
+            ))
+        })?),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown tier `{other}` (exact|sketch)"
+            )));
+        }
+    };
+    let stream_cfg = StreamConfig {
+        cm_width: parsed.num("cm-width", 128)?,
+        cm_depth: parsed.num("cm-depth", 4)?,
+        candidate_budget: parsed.num("budget", 64)?,
+        fm_bitmaps: parsed.num("fm", 32)?,
+        seed: parsed.num("sketch-seed", 1)?,
+        indeg_cells: parsed.num("indeg-cells", 0)?,
+        indeg_depth: parsed.num("indeg-depth", 2)?,
+    };
+    let ann = AnnConfig {
+        bands: parsed.num("bands", AnnConfig::default().bands)?,
+        rows: parsed.num("rows", AnnConfig::default().rows)?,
+        seed: parsed.num("sketch-seed", AnnConfig::default().seed)?,
     };
 
     // Fixed subject population: every label that ever speaks.
@@ -590,32 +637,86 @@ fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
         dist.name()
     )?;
     let empty = CommGraph::empty(interner.len());
-    match task {
-        "anomaly" => {
+
+    // The per-window report lines are identical between tiers on
+    // purpose: `--tier exact` output stays byte-for-byte what it was
+    // before the tier seam existed.
+    fn report_anomaly(
+        out: &mut dyn Write,
+        interner: &Interner,
+        delta: &comsig_graph::WindowDelta,
+        scores: &[comsig_apps::anomaly::AnomalyScore],
+        report: &comsig_core::pipeline::AdvanceReport,
+        top: usize,
+    ) -> Result<(), CliError> {
+        writeln!(
+            out,
+            "window [{}, {}): {} edge changes, {}/{} recomputed",
+            delta.start,
+            delta.end,
+            report.changed_edges,
+            report.dirty_subjects(),
+            report.total_subjects
+        )?;
+        for s in scores.iter().take(top).filter(|s| s.score > 0.0) {
+            writeln!(
+                out,
+                "  {:16} score = {:.4}",
+                interner.label(s.node).unwrap_or("?"),
+                s.score
+            )?;
+        }
+        Ok(())
+    }
+    fn report_masquerade(
+        out: &mut dyn Write,
+        interner: &Interner,
+        delta: &comsig_graph::WindowDelta,
+        step: &comsig_apps::stream::StreamDetection,
+    ) -> Result<(), CliError> {
+        writeln!(
+            out,
+            "window [{}, {}): {} edge changes, {}/{} recomputed, delta = {:.4}, {} re-paired",
+            delta.start,
+            delta.end,
+            step.report.changed_edges,
+            step.report.dirty_subjects(),
+            step.report.total_subjects,
+            step.detection.delta,
+            step.detection.detected.len()
+        )?;
+        for (v, u) in &step.detection.detected {
+            writeln!(
+                out,
+                "  {} -> {}",
+                interner.label(*v).unwrap_or("?"),
+                interner.label(*u).unwrap_or("?")
+            )?;
+        }
+        Ok(())
+    }
+
+    let mut sketch_memory = None;
+    match (task, sketch_scheme) {
+        ("anomaly", None) => {
             let mut det = StreamingAnomaly::with_plan(scheme.as_ref(), empty, &subjects, k, plan);
             while windower.pending_events() > 0 {
                 let delta = windower.advance();
                 let (scores, report) = det.advance(dist.as_ref(), &delta);
-                writeln!(
-                    out,
-                    "window [{}, {}): {} edge changes, {}/{} recomputed",
-                    delta.start,
-                    delta.end,
-                    report.changed_edges,
-                    report.dirty_subjects(),
-                    report.total_subjects
-                )?;
-                for s in scores.iter().take(top).filter(|s| s.score > 0.0) {
-                    writeln!(
-                        out,
-                        "  {:16} score = {:.4}",
-                        interner.label(s.node).unwrap_or("?"),
-                        s.score
-                    )?;
-                }
+                report_anomaly(out, &interner, &delta, &scores, &report, top)?;
             }
         }
-        "masquerade" => {
+        ("anomaly", Some(s)) => {
+            let tier = SketchTier::new(s, stream_cfg, &subjects, k, interner.len());
+            let mut det: SketchAnomaly = TieredAnomaly::from_tier(tier);
+            while windower.pending_events() > 0 {
+                let delta = windower.advance();
+                let (scores, report) = det.advance(dist.as_ref(), &delta);
+                report_anomaly(out, &interner, &delta, &scores, &report, top)?;
+            }
+            sketch_memory = Some((det.tier_memory(), 0usize, det.tier().dropped_changes()));
+        }
+        ("masquerade", None) => {
             let cfg = DetectorConfig {
                 k,
                 threshold_divisor: parsed.num("c", 5.0)?,
@@ -626,32 +727,51 @@ fn cmd_stream(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
             while windower.pending_events() > 0 {
                 let delta = windower.advance();
                 let step = det.advance(dist.as_ref(), &delta);
-                writeln!(
-                    out,
-                    "window [{}, {}): {} edge changes, {}/{} recomputed, delta = {:.4}, {} re-paired",
-                    delta.start,
-                    delta.end,
-                    step.report.changed_edges,
-                    step.report.dirty_subjects(),
-                    step.report.total_subjects,
-                    step.detection.delta,
-                    step.detection.detected.len()
-                )?;
-                for (v, u) in &step.detection.detected {
-                    writeln!(
-                        out,
-                        "  {} -> {}",
-                        interner.label(*v).unwrap_or("?"),
-                        interner.label(*u).unwrap_or("?")
-                    )?;
-                }
+                report_masquerade(out, &interner, &delta, &step)?;
             }
         }
-        other => {
+        ("masquerade", Some(s)) => {
+            use comsig_eval::ann::SubjectMatcher;
+            let cfg = DetectorConfig {
+                k,
+                threshold_divisor: parsed.num("c", 5.0)?,
+                top_l: parsed.num("l", 3)?,
+            };
+            let mut det = SketchMasquerade::new_sketch(
+                s,
+                stream_cfg,
+                &subjects,
+                interner.len(),
+                cfg,
+                ann,
+                plan,
+            );
+            while windower.pending_events() > 0 {
+                let delta = windower.advance();
+                let step = det.advance(dist.as_ref(), &delta);
+                report_masquerade(out, &interner, &delta, &step)?;
+            }
+            sketch_memory = Some((
+                det.tier_memory(),
+                det.matcher().memory_entries(),
+                det.tier().dropped_changes(),
+            ));
+        }
+        (other, _) => {
             return Err(CliError::Usage(format!(
                 "unknown stream task `{other}` (anomaly|masquerade)"
             )));
         }
+    }
+    if let Some((mem, matcher_entries, dropped)) = sketch_memory {
+        writeln!(
+            out,
+            "sketch tier: {} state entries (~{} KiB), {} matcher entries, {} dropped changes",
+            mem.state_entries,
+            mem.state_bytes / 1024,
+            matcher_entries,
+            dropped
+        )?;
     }
     writeln!(
         out,
@@ -752,7 +872,11 @@ fn cmd_advise(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
 // --- serve ------------------------------------------------------------------
 
 fn cmd_serve(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    use comsig_eval::ann::AnnConfig;
+    use comsig_serve::config::TierSpec;
     use comsig_serve::{run_server, ServeConfig, ServerOpts};
+    use comsig_sketch::stream::StreamConfig;
+    use comsig_sketch::tier::SketchScheme;
 
     let data_dir = parsed.require("data-dir")?;
     let seed_path = parsed.require("seed-events")?;
@@ -779,6 +903,17 @@ fn cmd_serve(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::Usage("--slide must be >= 1".into()));
     }
     let default_start = seed_events.iter().map(|e| e.time).min().unwrap_or(0);
+    // Tier choice mirrors `comsig stream`: the sketch tier only covers
+    // tt/ut schemes, so reject the combination before the server stamps
+    // its config and the mistake becomes durable.
+    let tier_spec = parsed.get("tier").unwrap_or("exact");
+    let tier = TierSpec::parse(tier_spec)
+        .ok_or_else(|| CliError::Usage(format!("unknown tier `{tier_spec}` (exact|sketch)")))?;
+    if tier == TierSpec::Sketch && SketchScheme::parse(&scheme_spec).is_none() {
+        return Err(CliError::Usage(format!(
+            "--tier sketch supports tt|ut schemes, not `{scheme_spec}`"
+        )));
+    }
     let config = ServeConfig {
         scheme_spec,
         dist_spec,
@@ -791,6 +926,21 @@ fn cmd_serve(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
         snapshot_every: parsed.num("snapshot-every", 0)?,
         threads: parsed.num("threads", 0)?,
         ingest,
+        tier,
+        sketch: StreamConfig {
+            cm_width: parsed.num("cm-width", 128)?,
+            cm_depth: parsed.num("cm-depth", 4)?,
+            candidate_budget: parsed.num("budget", 64)?,
+            fm_bitmaps: parsed.num("fm", 32)?,
+            seed: parsed.num("sketch-seed", 1)?,
+            indeg_cells: parsed.num("indeg-cells", 0)?,
+            indeg_depth: parsed.num("indeg-depth", 2)?,
+        },
+        ann: AnnConfig {
+            bands: parsed.num("bands", AnnConfig::default().bands)?,
+            rows: parsed.num("rows", AnnConfig::default().rows)?,
+            seed: parsed.num("sketch-seed", AnnConfig::default().seed)?,
+        },
     };
     let opts = ServerOpts {
         listen: parsed.get("listen").unwrap_or("127.0.0.1:0").to_owned(),
@@ -1128,6 +1278,66 @@ mod tests {
         ));
         assert!(matches!(
             run_to_string(&["stream", "--input", &path, "--slide", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    /// `--tier sketch` runs both tasks end to end, reports its bounded
+    /// state, and rejects schemes the sketch substrate cannot cover.
+    #[test]
+    fn stream_sketch_tier() {
+        let path = temp_path("stream_sketch.events");
+        std::fs::write(
+            &path,
+            "0 a x 3\n0 b y 2\n1 c z 1\n\
+             10 a x 3\n10 b y 2\n11 c z 1\n\
+             20 a x 3\n20 b q 2\n21 c z 1\n",
+        )
+        .unwrap();
+        for task in ["anomaly", "masquerade"] {
+            let got = run_to_string(&[
+                "stream",
+                "--input",
+                &path,
+                "--window-width",
+                "10",
+                "--task",
+                task,
+                "--tier",
+                "sketch",
+            ])
+            .unwrap();
+            assert!(got.contains("window [20, 30)"), "{got}");
+            assert!(got.contains("sketch tier:"), "{got}");
+            assert!(got.contains("state entries"), "{got}");
+            assert!(got.contains("stream drained: 0 invalid"), "{got}");
+        }
+        // The exact tier must not print the sketch memory line.
+        let exact = run_to_string(&[
+            "stream",
+            "--input",
+            &path,
+            "--window-width",
+            "10",
+            "--tier",
+            "exact",
+        ])
+        .unwrap();
+        assert!(!exact.contains("sketch tier:"), "{exact}");
+        assert!(matches!(
+            run_to_string(&[
+                "stream",
+                "--input",
+                &path,
+                "--tier",
+                "sketch",
+                "--scheme",
+                "rwr:h=2,c=0.1",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(&["stream", "--input", &path, "--tier", "wat"]),
             Err(CliError::Usage(_))
         ));
     }

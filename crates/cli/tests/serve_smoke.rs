@@ -39,7 +39,7 @@ fn seed_lines() -> Vec<String> {
         .collect()
 }
 
-fn spawn_daemon(data_dir: &Path, seed_file: &Path, addr_file: &Path) -> Daemon {
+fn spawn_daemon(data_dir: &Path, seed_file: &Path, addr_file: &Path, extra: &[&str]) -> Daemon {
     let _ = std::fs::remove_file(addr_file);
     let child = Command::new(env!("CARGO_BIN_EXE_comsig"))
         .args([
@@ -57,6 +57,7 @@ fn spawn_daemon(data_dir: &Path, seed_file: &Path, addr_file: &Path) -> Daemon {
             "--k",
             "4",
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -111,9 +112,11 @@ fn final_queries() -> Vec<String> {
     ]
 }
 
-#[test]
-fn kill_and_resume_transcripts_are_byte_identical() {
-    let dir = scratch("kill-resume");
+/// Runs the uninterrupted-vs-SIGKILLed transcript comparison for one
+/// tier's extra flags. The acceptance bar is identical for both tiers:
+/// byte-identical transcripts after the crash.
+fn kill_and_resume_case(name: &str, extra: &[&str]) {
+    let dir = scratch(name);
     let seed_file = dir.join("seed.events");
     let lines = seed_lines();
     std::fs::write(&seed_file, format!("{}\n", lines.join("\n"))).unwrap();
@@ -123,7 +126,7 @@ fn kill_and_resume_transcripts_are_byte_identical() {
     let addr_file = dir.join("clean.addr");
     let mut reference = Vec::new();
     {
-        let _daemon = spawn_daemon(&clean_data, &seed_file, &addr_file);
+        let _daemon = spawn_daemon(&clean_data, &seed_file, &addr_file, extra);
         let addr = wait_ready(&addr_file);
         for w in 0..4 {
             reference.extend(call(&addr, &window_requests(&lines, w)).unwrap());
@@ -137,7 +140,7 @@ fn kill_and_resume_transcripts_are_byte_identical() {
     let addr_file = dir.join("crash.addr");
     let mut transcript = Vec::new();
     {
-        let daemon = spawn_daemon(&crash_data, &seed_file, &addr_file);
+        let daemon = spawn_daemon(&crash_data, &seed_file, &addr_file, extra);
         let addr = wait_ready(&addr_file);
         for w in 0..2 {
             transcript.extend(call(&addr, &window_requests(&lines, w)).unwrap());
@@ -145,7 +148,7 @@ fn kill_and_resume_transcripts_are_byte_identical() {
         drop(daemon); // SIGKILL, no shutdown handshake
     }
     {
-        let _daemon = spawn_daemon(&crash_data, &seed_file, &addr_file);
+        let _daemon = spawn_daemon(&crash_data, &seed_file, &addr_file, extra);
         let addr = wait_ready(&addr_file);
         for w in 2..4 {
             transcript.extend(call(&addr, &window_requests(&lines, w)).unwrap());
@@ -165,4 +168,17 @@ fn kill_and_resume_transcripts_are_byte_identical() {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_resume_transcripts_are_byte_identical() {
+    kill_and_resume_case("kill-resume", &[]);
+}
+
+#[test]
+fn sketch_tier_kill_and_resume_transcripts_are_byte_identical() {
+    kill_and_resume_case(
+        "kill-resume-sketch",
+        &["--tier", "sketch", "--cm-width", "64", "--budget", "16"],
+    );
 }

@@ -72,6 +72,18 @@ pub enum DegradeReason {
         /// The configured maximum number of pushes.
         budget: usize,
     },
+    /// An event referenced a node outside the declared node space (the
+    /// sketch tier's analogue of [`GraphError::NodeOutOfRange`]: the
+    /// exact path rejects the whole delta, the sketch tier degrades only
+    /// the subject whose stream carried the phantom).
+    ///
+    /// [`GraphError::NodeOutOfRange`]: comsig_graph::GraphError::NodeOutOfRange
+    PhantomNode {
+        /// The out-of-range node index.
+        node: NodeId,
+        /// The declared number of nodes.
+        space: usize,
+    },
 }
 
 impl fmt::Display for DegradeReason {
@@ -94,6 +106,9 @@ impl fmt::Display for DegradeReason {
             }
             DegradeReason::PushBudget { budget } => {
                 write!(f, "push budget of {budget} pushes exhausted")
+            }
+            DegradeReason::PhantomNode { node, space } => {
+                write!(f, "node {node} outside the declared space of {space} nodes")
             }
         }
     }

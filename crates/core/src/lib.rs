@@ -59,7 +59,9 @@ pub mod scatter32;
 pub mod scheme;
 mod signature;
 mod sparse;
+pub mod tier;
 
 pub use pipeline::{AdvanceReport, DeltaScheme, DirtySet, SignaturePipeline};
 pub use signature::{Signature, SignatureSet};
 pub use sparse::SparseVec;
+pub use tier::{SignatureTier, TierMemory};

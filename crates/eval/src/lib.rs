@@ -12,6 +12,9 @@
 //! * [`matcher`] — parallel all-pairs and cross-window distance
 //!   computation over [`SignatureSet`](comsig_core::SignatureSet)s,
 //!   routed through the index.
+//! * [`ann`] — the [`SubjectMatcher`](ann::SubjectMatcher) seam and the
+//!   LSH-fronted approximate matcher (Section VI): banded-MinHash
+//!   candidate generation with exact re-scoring of survivors.
 //! * [`roc`] — ROC curves and AUC, in both variants the paper uses:
 //!   single-target self-identification (Figures 2–4) and multi-target
 //!   ground-truth sets (Figure 5).
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ann;
 pub mod index;
 pub mod matcher;
 pub mod pr;

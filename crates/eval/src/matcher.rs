@@ -15,6 +15,7 @@ use comsig_core::distance::{BatchDistance, SignatureDistance};
 use comsig_core::SignatureSet;
 use comsig_graph::NodeId;
 
+use crate::ann::{AnnConfig, AnnIndex, SubjectMatcher};
 use crate::index::{MatchWorkspace, PostingsIndex};
 use crate::ranking::Ranking;
 
@@ -35,6 +36,33 @@ pub fn rank_all(
             let sig = queries.get(v).expect("subject has a signature");
             (v, index.rank_with(dist, sig, ws))
         })
+        .collect()
+}
+
+/// Approximate [`rank_all`]: one banded-LSH index over the candidates,
+/// survivors re-scored exactly, missed candidates reported at distance
+/// 1.0 (see [`ann`](crate::ann) for the error contract). Output order
+/// matches `queries.subjects()`; recall against [`rank_all`] is tunable
+/// via `cfg` and measurable with [`top_l_recall`](crate::ann::top_l_recall).
+pub fn rank_all_approx(
+    dist: &dyn BatchDistance,
+    queries: &SignatureSet,
+    candidates: &SignatureSet,
+    cfg: AnnConfig,
+) -> Vec<(NodeId, Ranking)> {
+    let index = AnnIndex::build(candidates, cfg);
+    let l = index.len();
+    queries
+        .subjects()
+        .par_iter()
+        .map_init(
+            || (MatchWorkspace::new(), Vec::new()),
+            |(ws, buf), &v| {
+                let sig = queries.get(v).expect("subject has a signature");
+                SubjectMatcher::rank_top_l_into(&index, dist, sig, l, ws, buf);
+                (v, Ranking::from_sorted(buf.clone()))
+            },
+        )
         .collect()
 }
 
@@ -71,6 +99,28 @@ pub fn pairwise_distances(dist: &dyn BatchDistance, set: &SignatureSet) -> Vec<f
         .map_init(MatchWorkspace::new, |ws, i| {
             let a = set.get(subjects[i]).expect("subject has a signature");
             index.distances_from(dist, a, i, ws)
+        })
+        .collect();
+    rows.into_iter().flatten().collect()
+}
+
+/// Approximate [`pairwise_distances`]: the same upper-triangle layout,
+/// but each row only scores the query's LSH survivors exactly — every
+/// missed pair is reported at the maximal distance 1.0. Uniqueness
+/// statistics computed over this sample are therefore one-sided: missed
+/// similarity inflates apparent uniqueness, never deflates it.
+pub fn pairwise_distances_approx(
+    dist: &dyn BatchDistance,
+    set: &SignatureSet,
+    cfg: AnnConfig,
+) -> Vec<f64> {
+    let index = AnnIndex::build(set, cfg);
+    let subjects = set.subjects();
+    let rows: Vec<Vec<f64>> = (0..subjects.len())
+        .into_par_iter()
+        .map(|i| {
+            let a = set.get(subjects[i]).expect("subject has a signature");
+            index.distances_from(dist, a, i)
         })
         .collect();
     rows.into_iter().flatten().collect()
@@ -201,6 +251,25 @@ mod tests {
             for (a, b) in fast.iter().zip(&brute) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{}", dist.name());
             }
+        }
+    }
+
+    #[test]
+    fn pairwise_approx_is_one_sided() {
+        let s = set(vec![
+            (0, vec![1, 2, 3]),
+            (1, vec![1, 2, 4]),
+            (2, vec![2, 3, 9]),
+            (3, vec![50, 51]),
+        ]);
+        let exact = pairwise_distances(&Jaccard, &s);
+        let approx = pairwise_distances_approx(&Jaccard, &s, AnnConfig::default());
+        assert_eq!(exact.len(), approx.len());
+        for (e, a) in exact.iter().zip(&approx) {
+            // A pair is either retrieved (exact distance) or missed
+            // (reported at 1.0) — never closer than the truth.
+            assert!(*a == 1.0 || a.to_bits() == e.to_bits());
+            assert!(a >= e);
         }
     }
 

@@ -81,8 +81,9 @@ impl Ranking {
     }
 
     /// Wraps entries already sorted by `(distance, id)` — the indexed
-    /// matcher's construction path.
-    pub(crate) fn from_sorted(entries: Vec<(NodeId, f64)>) -> Ranking {
+    /// and LSH-fronted matchers' construction path.
+    #[must_use]
+    pub fn from_sorted(entries: Vec<(NodeId, f64)>) -> Ranking {
         Ranking { entries }
     }
 

@@ -24,6 +24,15 @@ pub const PANIC_ROOTS: &[&str] = &[
     "merge_score",
     "StreamingMasquerade::advance",
     "StreamingAnomaly::advance",
+    // The tier seam: both detectors are now thin wrappers over the
+    // generic tiered drivers, and the sketch tier's advance is a hot
+    // path of its own (every window folds the delta into the sketches
+    // and re-ranks through the LSH-fronted matcher).
+    "TieredMasquerade::advance",
+    "TieredMasquerade::advance_with_anomaly",
+    "TieredAnomaly::advance",
+    "SketchTier::advance_window",
+    "AnnIndex::patch",
     // The serve daemon's request plane: a panic here kills the service,
     // so everything reachable from a request or from recovery must
     // degrade through typed errors instead.
@@ -56,6 +65,7 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/graph/src/",
     "crates/apps/src/",
     "crates/serve/src/",
+    "crates/sketch/src/",
 ];
 
 /// Runs all four dataflow rules over the workspace model.

@@ -4,7 +4,41 @@ use std::fmt;
 use std::io;
 
 use comsig_core::persist::{CodecError, Dec, Enc};
+use comsig_eval::ann::AnnConfig;
 use comsig_graph::IngestPolicy;
+use comsig_sketch::stream::StreamConfig;
+use comsig_sketch::tier::SketchScheme;
+
+/// Which signature tier the service runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierSpec {
+    /// The exact pipeline: materialised window graph + postings index.
+    Exact,
+    /// The bounded-memory sketch tier fronted by a banded-LSH matcher.
+    Sketch,
+}
+
+impl TierSpec {
+    /// Stable name (`"exact"` / `"sketch"`), matching the CLI `--tier`
+    /// values and the config stamp.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TierSpec::Exact => "exact",
+            TierSpec::Sketch => "sketch",
+        }
+    }
+
+    /// Parses a `--tier` value.
+    #[must_use]
+    pub fn parse(spec: &str) -> Option<Self> {
+        match spec {
+            "exact" => Some(TierSpec::Exact),
+            "sketch" => Some(TierSpec::Sketch),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of one `comsig serve` instance.
 ///
@@ -42,6 +76,18 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Fault handling for ingested event lines.
     pub ingest: IngestPolicy,
+    /// Which signature tier drives the service. Part of the stamp: a
+    /// data directory built on one tier never silently reopens on the
+    /// other (the durable state shapes differ entirely).
+    pub tier: TierSpec,
+    /// Sketch sizing (semantic only under [`TierSpec::Sketch`], where it
+    /// joins the stamp — resizing a sketch invalidates its state).
+    pub sketch: StreamConfig,
+    /// LSH banding for the sketch tier's approximate matcher (stamped
+    /// under [`TierSpec::Sketch`]: band/row/seed changes move the recall
+    /// contract, and the logged digests depend on nothing else deriving
+    /// the index differently).
+    pub ann: AnnConfig,
 }
 
 impl Default for ServeConfig {
@@ -58,11 +104,35 @@ impl Default for ServeConfig {
             snapshot_every: 0,
             threads: 0,
             ingest: IngestPolicy::Strict,
+            tier: TierSpec::Exact,
+            sketch: StreamConfig::default(),
+            ann: AnnConfig::default(),
         }
     }
 }
 
 impl ServeConfig {
+    /// Whether the service runs on the sketch tier.
+    #[must_use]
+    pub fn is_sketch(&self) -> bool {
+        self.tier == TierSpec::Sketch
+    }
+
+    /// The sketchable scheme of `scheme_spec`, required by the sketch
+    /// tier.
+    ///
+    /// # Errors
+    /// [`ServeError::Config`] when the tier is sketch but the scheme is
+    /// not semi-streamable (RWR needs the materialised graph).
+    pub fn sketch_scheme(&self) -> Result<SketchScheme, ServeError> {
+        SketchScheme::parse(&self.scheme_spec).ok_or_else(|| {
+            ServeError::Config(format!(
+                "the sketch tier supports tt|ut schemes, not `{}`",
+                self.scheme_spec
+            ))
+        })
+    }
+
     /// Encodes the semantic fields into the snapshot's config stamp.
     pub fn stamp(&self, enc: &mut Enc) {
         enc.str(&self.scheme_spec);
@@ -73,6 +143,23 @@ impl ServeConfig {
         enc.u64(self.start);
         enc.f64(self.threshold_divisor);
         enc.len(self.top_l);
+        enc.str(self.tier.name());
+        if self.is_sketch() {
+            // Sketch sizing and LSH banding shape the durable state and
+            // the query outputs, so they join the stamp — but only on
+            // the tier that reads them, keeping exact-tier stamps free
+            // of inert knobs.
+            enc.len(self.sketch.cm_width);
+            enc.len(self.sketch.cm_depth);
+            enc.len(self.sketch.candidate_budget);
+            enc.len(self.sketch.fm_bitmaps);
+            enc.u64(self.sketch.seed);
+            enc.len(self.sketch.indeg_cells);
+            enc.len(self.sketch.indeg_depth);
+            enc.len(self.ann.bands);
+            enc.len(self.ann.rows);
+            enc.u64(self.ann.seed);
+        }
     }
 
     /// Decodes a stamp and verifies it matches this configuration.
@@ -118,6 +205,40 @@ impl ServeConfig {
         }
         if top_l != self.top_l {
             return mismatch("l", &top_l, &self.top_l);
+        }
+        let tier = dec.str("stamp.tier")?;
+        if tier != self.tier.name() {
+            return mismatch("tier", &tier, &self.tier.name());
+        }
+        if self.is_sketch() {
+            let stored = StreamConfig {
+                cm_width: dec.u64("stamp.cm_width")? as usize,
+                cm_depth: dec.u64("stamp.cm_depth")? as usize,
+                candidate_budget: dec.u64("stamp.budget")? as usize,
+                fm_bitmaps: dec.u64("stamp.fm")? as usize,
+                seed: dec.u64("stamp.sketch_seed")?,
+                indeg_cells: dec.u64("stamp.indeg_cells")? as usize,
+                indeg_depth: dec.u64("stamp.indeg_depth")? as usize,
+            };
+            if stored != self.sketch {
+                return mismatch(
+                    "sketch sizing",
+                    &format!("{stored:?}"),
+                    &format!("{:?}", self.sketch),
+                );
+            }
+            let ann = AnnConfig {
+                bands: dec.u64("stamp.bands")? as usize,
+                rows: dec.u64("stamp.rows")? as usize,
+                seed: dec.u64("stamp.ann_seed")?,
+            };
+            if ann != self.ann {
+                return mismatch(
+                    "LSH banding",
+                    &format!("{ann:?}"),
+                    &format!("{:?}", self.ann),
+                );
+            }
         }
         Ok(())
     }

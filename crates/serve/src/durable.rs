@@ -32,7 +32,6 @@ use comsig_core::distance::BatchDistance;
 use comsig_core::persist::{self, WalTail, WalWriter};
 use comsig_core::pipeline::DeltaScheme;
 use comsig_core::Signature;
-use comsig_eval::index::MatchWorkspace;
 use comsig_eval::ranking::Ranking;
 use comsig_graph::io::read_events_with_policy;
 use comsig_graph::{EdgeEvent, Interner, NodeId};
@@ -158,7 +157,7 @@ impl<'a> DurableState<'a> {
             match persist::read_atomic(&snapshot_file(dir), SNAPSHOT_MAGIC) {
                 persist::LoadOutcome::Miss => {
                     let live =
-                        LiveState::genesis(scheme, &config, genesis_interner, genesis_subjects);
+                        LiveState::genesis(scheme, &config, genesis_interner, genesis_subjects)?;
                     (live, 0, RecoverySource::Genesis)
                 }
                 persist::LoadOutcome::Corrupt(reason) => {
@@ -416,17 +415,15 @@ impl<'a> DurableState<'a> {
 
     /// Ranks every subject against `label`'s current signature and
     /// returns the best `top` (label matching itself included — rank 0
-    /// self-identification is the healthy case).
+    /// self-identification is the healthy case). On the sketch tier the
+    /// ranking carries the LSH front's one-sided error: survivors score
+    /// exactly, missed candidates report at distance 1.0.
     ///
     /// # Errors
     /// [`ServeError::Request`] for unknown labels or non-subjects.
     pub fn rank(&self, label: &str, top: usize) -> Result<Ranking, ServeError> {
         let sig = self.signature_of(label)?;
-        Ok(self
-            .live
-            .det
-            .index()
-            .rank_top_l_with(self.dist, sig, top, &mut MatchWorkspace::new()))
+        Ok(self.live.det.rank_top_l(self.dist, sig, top))
     }
 
     /// The label of a node id (always known for ids the service emits).
@@ -562,9 +559,74 @@ mod tests {
             "post-recovery advance must be bit-identical"
         );
         assert_eq!(
-            b.live().det.index().layout_digest(),
-            a.live().det.index().layout_digest()
+            b.live().det.exact().unwrap().index().layout_digest(),
+            a.live().det.exact().unwrap().index().layout_digest()
         );
+    }
+
+    /// The same kill-and-resume discipline must hold on the sketch
+    /// tier: WAL replay rebuilds the sketch state bit-identically, and
+    /// the snapshot path persists + recovers it (the ANN index is
+    /// derived at resume, never persisted).
+    #[test]
+    fn sketch_kill_and_resume_is_bit_identical() {
+        let scheme = TopTalkers;
+        let dist = SHel;
+        let (interner, subjects, lines) = seed();
+        let text = lines.join("\n");
+        let cfg = ServeConfig {
+            tier: crate::config::TierSpec::Sketch,
+            ..config()
+        };
+
+        let dir_a = temp_dir("sketch-uninterrupted");
+        let (mut a, _) = DurableState::open(
+            &scheme,
+            &dist,
+            cfg.clone(),
+            &dir_a,
+            interner.clone(),
+            subjects.clone(),
+        )
+        .unwrap();
+        a.ingest_lines(&text).unwrap();
+        let mut digests_a = Vec::new();
+        for _ in 0..3 {
+            digests_a.push(a.advance().unwrap().digest);
+        }
+
+        // Crash after two windows + a snapshot, so recovery exercises
+        // the sketch snapshot codec, not just WAL replay from genesis.
+        let dir_b = temp_dir("sketch-killed");
+        let (mut b, _) = DurableState::open(
+            &scheme,
+            &dist,
+            cfg.clone(),
+            &dir_b,
+            interner.clone(),
+            subjects.clone(),
+        )
+        .unwrap();
+        b.ingest_lines(&text).unwrap();
+        let _ = b.advance().unwrap();
+        b.snapshot_now().unwrap();
+        let _ = b.advance().unwrap();
+        drop(b); // simulated SIGKILL: snapshot + one WAL record survive
+
+        let (mut b, recovery) =
+            DurableState::open(&scheme, &dist, cfg, &dir_b, interner, subjects).unwrap();
+        assert_eq!(recovery.source, RecoverySource::Snapshot { wal_epoch: 1 });
+        assert_eq!(recovery.replayed_windows, 1);
+        assert_eq!(
+            recovery.digest, digests_a[1],
+            "sketch recovery must land exactly where the log ends"
+        );
+        let third = b.advance().unwrap();
+        assert_eq!(
+            third.digest, digests_a[2],
+            "post-recovery sketch advance must be bit-identical"
+        );
+        assert!(b.live().det.sketch().is_some());
     }
 
     #[test]

@@ -5,27 +5,32 @@
 //! previous complete snapshot, or the new complete snapshot — a crash
 //! mid-write leaves at worst a stale `.tmp` sibling that the next
 //! rotation overwrites. The body carries the config stamp, the frozen
-//! label space, the complete windower state, the graph, **both**
-//! signature buffers, the physical index layout (patched layouts are
-//! history-dependent; a cold rebuild would not be bit-identical), the
-//! counters, the query-visible residue of the last advance, the WAL
-//! epoch this snapshot supersedes, and the state digest at capture —
-//! which decoding recomputes and verifies.
+//! label space, the complete windower state, the tier-specific durable
+//! state — **exact**: the graph, both signature buffers and the
+//! physical index layout (patched layouts are history-dependent; a cold
+//! rebuild would not be bit-identical); **sketch**: the tier's complete
+//! sketch state (which embeds the current signatures) plus the previous
+//! signature buffer, while the LSH index is *derived* from signatures
+//! and config at resume, never persisted — the counters, the
+//! query-visible residue of the last advance, the WAL epoch this
+//! snapshot supersedes, and the state digest at capture — which
+//! decoding recomputes and verifies.
 
 use std::path::{Path, PathBuf};
 
 use comsig_apps::anomaly::AnomalyScore;
-use comsig_apps::stream::StreamingMasquerade;
+use comsig_apps::stream::{SketchMasquerade, StreamingMasquerade};
 use comsig_core::persist::{self, Dec, Enc};
 use comsig_core::pipeline::DeltaScheme;
 use comsig_eval::index::{IndexLayout, PostingsIndex};
 use comsig_graph::{Interner, NodeId, SlidingWindower};
+use comsig_sketch::tier::SketchTier;
 
 use crate::config::{ServeConfig, ServeError};
-use crate::state::{detector_config, plan_of, LastWindow, LiveState};
+use crate::state::{detector_config, plan_of, LastWindow, LiveState, TierDetector};
 
-/// Magic line of the snapshot container.
-pub const SNAPSHOT_MAGIC: &str = "comsig-serve-snapshot v1";
+/// Magic line of the snapshot container (v2: tier-tagged body).
+pub const SNAPSHOT_MAGIC: &str = "comsig-serve-snapshot v2";
 
 /// The snapshot path inside a data directory.
 #[must_use]
@@ -41,6 +46,20 @@ pub fn wal_file(dir: &Path, epoch: u64) -> PathBuf {
 
 fn node(raw: u32) -> NodeId {
     NodeId::new(raw as usize)
+}
+
+/// Decoded tier-specific snapshot state, before detector reassembly.
+enum TierState {
+    Exact {
+        graph: comsig_graph::CommGraph,
+        current: comsig_core::SignatureSet,
+        prev: comsig_core::SignatureSet,
+        layout: IndexLayout,
+    },
+    Sketch {
+        tier: SketchTier,
+        prev: comsig_core::SignatureSet,
+    },
 }
 
 /// Encodes the snapshot body for `live`, superseding WAL epochs below
@@ -59,21 +78,31 @@ pub fn encode_snapshot(config: &ServeConfig, live: &LiveState<'_>, wal_epoch: u6
         enc.u32(s.raw());
     }
     persist::encode_windower(&mut enc, &live.windower.export_state());
-    persist::encode_graph(&mut enc, live.det.graph());
-    persist::encode_signature_set(&mut enc, live.det.signatures());
-    persist::encode_signature_set(&mut enc, live.det.prev_signatures());
-    let layout = live.det.index().export_layout();
-    enc.len(layout.members.len());
-    for &(u, slot) in &layout.members {
-        enc.u32(u.raw());
-        enc.u32(slot);
-    }
-    enc.len(layout.postings.len());
-    for list in &layout.postings {
-        enc.len(list.len());
-        for &(pos, w) in list {
-            enc.u32(pos);
-            enc.f64(w);
+    match &live.det {
+        TierDetector::Exact(det) => {
+            enc.u8(0);
+            persist::encode_graph(&mut enc, det.graph());
+            persist::encode_signature_set(&mut enc, det.signatures());
+            persist::encode_signature_set(&mut enc, det.prev_signatures());
+            let layout = det.index().export_layout();
+            enc.len(layout.members.len());
+            for &(u, slot) in &layout.members {
+                enc.u32(u.raw());
+                enc.u32(slot);
+            }
+            enc.len(layout.postings.len());
+            for list in &layout.postings {
+                enc.len(list.len());
+                for &(pos, w) in list {
+                    enc.u32(pos);
+                    enc.f64(w);
+                }
+            }
+        }
+        TierDetector::Sketch(det) => {
+            enc.u8(1);
+            det.tier().encode_state(&mut enc);
+            persist::encode_signature_set(&mut enc, det.prev_signatures());
         }
     }
     enc.u64(live.windows);
@@ -137,28 +166,61 @@ pub fn decode_snapshot<'a>(
     }
     let windower_state = persist::decode_windower(&mut dec)?;
     let windower = SlidingWindower::from_state(windower_state).map_err(ServeError::Corrupt)?;
-    let graph = persist::decode_graph(&mut dec)?;
-    let current = persist::decode_signature_set(&mut dec)?;
-    let prev = persist::decode_signature_set(&mut dec)?;
-    let n = dec.seq_len(8, "snapshot.layout.members")?;
-    let mut members = Vec::with_capacity(n);
-    for _ in 0..n {
-        let u = node(dec.u32("layout.member")?);
-        let slot = dec.u32("layout.slot")?;
-        members.push((u, slot));
+    let tier_tag = dec.u8("snapshot.tier")?;
+    let want_tag = u8::from(config.is_sketch());
+    if tier_tag != want_tag {
+        // The stamp already pins the tier; a disagreeing body tag means
+        // the file itself is inconsistent, not merely misconfigured.
+        return Err(ServeError::Corrupt(format!(
+            "snapshot tier tag {tier_tag} contradicts the stamped `{}` tier",
+            config.tier.name()
+        )));
     }
-    let n = dec.seq_len(8, "snapshot.layout.postings")?;
-    let mut postings = Vec::with_capacity(n);
-    for _ in 0..n {
-        let m = dec.seq_len(12, "layout.posting_list")?;
-        let mut list = Vec::with_capacity(m);
-        for _ in 0..m {
-            let pos = dec.u32("posting.pos")?;
-            let w = dec.f64("posting.weight")?;
-            list.push((pos, w));
+    let tier_state = match tier_tag {
+        0 => {
+            let graph = persist::decode_graph(&mut dec)?;
+            let current = persist::decode_signature_set(&mut dec)?;
+            let prev = persist::decode_signature_set(&mut dec)?;
+            let n = dec.seq_len(8, "snapshot.layout.members")?;
+            let mut members = Vec::with_capacity(n);
+            for _ in 0..n {
+                let u = node(dec.u32("layout.member")?);
+                let slot = dec.u32("layout.slot")?;
+                members.push((u, slot));
+            }
+            let n = dec.seq_len(8, "snapshot.layout.postings")?;
+            let mut postings = Vec::with_capacity(n);
+            for _ in 0..n {
+                let m = dec.seq_len(12, "layout.posting_list")?;
+                let mut list = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let pos = dec.u32("posting.pos")?;
+                    let w = dec.f64("posting.weight")?;
+                    list.push((pos, w));
+                }
+                postings.push(list);
+            }
+            TierState::Exact {
+                graph,
+                current,
+                prev,
+                layout: IndexLayout { members, postings },
+            }
         }
-        postings.push(list);
-    }
+        _ => {
+            let tier = SketchTier::decode_state(&mut dec)?;
+            let prev = persist::decode_signature_set(&mut dec)?;
+            if tier.k() != config.k
+                || tier.stream().config() != config.sketch
+                || tier.scheme() != config.sketch_scheme()?
+            {
+                return Err(ServeError::Corrupt(
+                    "snapshot sketch state disagrees with the stamped configuration".to_owned(),
+                ));
+            }
+            TierState::Sketch { tier, prev }
+        }
+    };
     let windows = dec.u64("snapshot.windows")?;
     let ingested_events = dec.u64("snapshot.ingested_events")?;
     let last = match dec.u8("snapshot.last.tag")? {
@@ -205,18 +267,39 @@ pub fn decode_snapshot<'a>(
     let stored_digest = dec.u64("snapshot.digest")?;
     dec.finish("snapshot")?;
 
-    let index = PostingsIndex::from_layout(current.clone(), IndexLayout { members, postings })
-        .map_err(ServeError::Corrupt)?;
-    let det = StreamingMasquerade::resume(
-        scheme,
-        graph,
-        current,
-        prev,
-        index,
-        detector_config(config),
-        plan_of(config),
-    )
-    .map_err(ServeError::Corrupt)?;
+    let det = match tier_state {
+        TierState::Exact {
+            graph,
+            current,
+            prev,
+            layout,
+        } => {
+            let index =
+                PostingsIndex::from_layout(current.clone(), layout).map_err(ServeError::Corrupt)?;
+            TierDetector::Exact(Box::new(
+                StreamingMasquerade::resume(
+                    scheme,
+                    graph,
+                    current,
+                    prev,
+                    index,
+                    detector_config(config),
+                    plan_of(config),
+                )
+                .map_err(ServeError::Corrupt)?,
+            ))
+        }
+        TierState::Sketch { tier, prev } => TierDetector::Sketch(Box::new(
+            SketchMasquerade::resume_sketch(
+                tier,
+                Some(prev),
+                detector_config(config),
+                config.ann,
+                plan_of(config),
+            )
+            .map_err(ServeError::Corrupt)?,
+        )),
+    };
     let live = LiveState {
         interner,
         subjects,
@@ -242,6 +325,7 @@ mod tests {
     use comsig_core::scheme::TopTalkers;
     use comsig_graph::EdgeEvent;
 
+    use crate::config::TierSpec;
     use crate::state::subject_sources;
 
     fn build_live<'a>(scheme: &'a TopTalkers, config: &ServeConfig) -> LiveState<'a> {
@@ -260,7 +344,7 @@ mod tests {
             }
         }
         let subjects = subject_sources(&events);
-        let mut live = LiveState::genesis(scheme, config, interner, subjects);
+        let mut live = LiveState::genesis(scheme, config, interner, subjects).unwrap();
         live.push_events(&events);
         let _ = live.advance_once(&SHel);
         let _ = live.advance_once(&SHel);
@@ -276,6 +360,13 @@ mod tests {
         }
     }
 
+    fn sketch_config() -> ServeConfig {
+        ServeConfig {
+            tier: TierSpec::Sketch,
+            ..test_config()
+        }
+    }
+
     #[test]
     fn snapshot_round_trips_bit_identically() {
         let scheme = TopTalkers;
@@ -287,12 +378,71 @@ mod tests {
         assert_eq!(back.state_digest(), live.state_digest());
         assert_eq!(back.last, live.last);
         assert_eq!(
-            back.det.index().layout_digest(),
-            live.det.index().layout_digest()
+            back.det.exact().unwrap().index().layout_digest(),
+            live.det.exact().unwrap().index().layout_digest()
         );
         // Re-encoding must be byte-equal — the snapshot codec is
         // deterministic.
         assert_eq!(encode_snapshot(&config, &back, 7), body);
+    }
+
+    #[test]
+    fn sketch_snapshot_round_trips_bit_identically() {
+        let scheme = TopTalkers;
+        let config = sketch_config();
+        let live = build_live(&scheme, &config);
+        assert_eq!(live.det.tier_name(), "sketch");
+        let body = encode_snapshot(&config, &live, 3);
+        let (back, epoch) = decode_snapshot(&scheme, &config, &body).unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(back.state_digest(), live.state_digest());
+        assert_eq!(back.last, live.last);
+        assert_eq!(encode_snapshot(&config, &back, 3), body);
+        // The rebuilt ANN matcher must carry the same candidates (it is
+        // derived from signatures, not persisted).
+        assert_eq!(
+            back.det.sketch().unwrap().matcher().len(),
+            live.det.sketch().unwrap().matcher().len()
+        );
+    }
+
+    #[test]
+    fn sketch_snapshot_rejects_tier_and_sizing_drift() {
+        let scheme = TopTalkers;
+        let config = sketch_config();
+        let live = build_live(&scheme, &config);
+        let body = encode_snapshot(&config, &live, 1);
+        // Reopening a sketch data dir under the exact tier is a config
+        // error, not silent reinterpretation.
+        assert!(matches!(
+            decode_snapshot(&scheme, &test_config(), &body),
+            Err(ServeError::Config(_))
+        ));
+        // Resizing the sketches invalidates the state: stamped.
+        let resized = ServeConfig {
+            sketch: comsig_sketch::stream::StreamConfig {
+                cm_width: 256,
+                ..config.sketch
+            },
+            ..config.clone()
+        };
+        assert!(matches!(
+            decode_snapshot(&scheme, &resized, &body),
+            Err(ServeError::Config(_))
+        ));
+        // Re-banding the LSH front moves the recall contract: stamped.
+        let rebanded = ServeConfig {
+            ann: comsig_eval::ann::AnnConfig {
+                bands: 8,
+                rows: 2,
+                ..config.ann
+            },
+            ..config.clone()
+        };
+        assert!(matches!(
+            decode_snapshot(&scheme, &rebanded, &body),
+            Err(ServeError::Config(_))
+        ));
     }
 
     #[test]

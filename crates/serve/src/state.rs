@@ -2,29 +2,38 @@
 //!
 //! [`LiveState`] bundles everything the daemon mutates between durable
 //! records: the sliding windower, the combined masquerade/anomaly
-//! detector (pipeline + patched index + double-buffered previous
-//! window), the frozen label space and the monotone counters. It is
-//! deliberately free of any I/O so the chaos scenarios and proptests
-//! can drive the exact production state machine without a socket.
+//! detector (either tier, behind [`TierDetector`]), the frozen label
+//! space and the monotone counters. It is deliberately free of any I/O
+//! so the chaos scenarios and proptests can drive the exact production
+//! state machine without a socket.
 //!
-//! [`LiveState::state_digest`] is the bit-identity oracle: it folds the
-//! graph, both signature buffers, the physical index layout and the
-//! full windower state into one FNV-1a digest. An uninterrupted run and
-//! a kill-and-resume run must produce equal digests at every window
+//! [`LiveState::state_digest`] is the bit-identity oracle. On the exact
+//! tier it folds the graph, both signature buffers, the physical index
+//! layout and the full windower state into one FNV-1a digest. On the
+//! sketch tier it folds the tier's deterministic state encoding (which
+//! covers the sketches *and* the current signatures) plus the previous
+//! signature buffer — the ANN index is derived from signatures and
+//! [`AnnConfig`](comsig_eval::ann::AnnConfig), so it never enters the
+//! digest. An uninterrupted run
+//! and a kill-and-resume run must produce equal digests at every window
 //! boundary — the WAL records the expected digest per advance and
 //! recovery verifies it.
 
 use comsig_apps::anomaly::AnomalyScore;
 use comsig_apps::masquerade::DetectorConfig;
-use comsig_apps::stream::StreamingMasquerade;
+use comsig_apps::stream::{SketchMasquerade, StreamDetection, StreamingMasquerade};
 use comsig_core::distance::BatchDistance;
 use comsig_core::persist::{self, Enc, Fnv};
 use comsig_core::pipeline::DeltaScheme;
+use comsig_core::{Signature, SignatureSet, TierMemory};
+use comsig_eval::ann::SubjectMatcher;
+use comsig_eval::index::MatchWorkspace;
+use comsig_eval::ranking::Ranking;
 use comsig_graph::{
     CommGraph, EdgeEvent, Interner, NodeId, ShardPlan, SlidingWindower, WindowDelta,
 };
 
-use crate::config::ServeConfig;
+use crate::config::{ServeConfig, ServeError};
 
 /// The query-visible residue of the most recent window advance: the
 /// masquerade verdict and the anomaly scores for the last window pair.
@@ -50,6 +59,114 @@ pub struct LastWindow {
     pub scores: Vec<AnomalyScore>,
 }
 
+/// The combined detector on whichever tier the service is configured
+/// for: the exact pipeline + postings index, or the sketch tier + ANN
+/// index. Both variants expose the same advance/query surface; the
+/// durable codecs branch on the variant because the persisted state
+/// shapes differ entirely.
+pub enum TierDetector<'a> {
+    /// Exact tier: materialised window graph, per-advance patched
+    /// postings index. Both variants are boxed so the enum stays
+    /// pointer-sized: each tier carries large inline workspaces.
+    Exact(Box<StreamingMasquerade<'a, dyn DeltaScheme + 'a>>),
+    /// Sketch tier: bounded sketch state, LSH-fronted matcher.
+    Sketch(Box<SketchMasquerade>),
+}
+
+impl<'a> TierDetector<'a> {
+    /// The tier's stable name (`"exact"` / `"sketch"`).
+    #[must_use]
+    pub fn tier_name(&self) -> &'static str {
+        match self {
+            TierDetector::Exact(_) => "exact",
+            TierDetector::Sketch(_) => "sketch",
+        }
+    }
+
+    /// The current window's signatures.
+    #[must_use]
+    pub fn signatures(&self) -> &SignatureSet {
+        match self {
+            TierDetector::Exact(det) => det.signatures(),
+            TierDetector::Sketch(det) => det.signatures(),
+        }
+    }
+
+    /// The previous window's signatures (the double buffer's back side).
+    #[must_use]
+    pub fn prev_signatures(&self) -> &SignatureSet {
+        match self {
+            TierDetector::Exact(det) => det.prev_signatures(),
+            TierDetector::Sketch(det) => det.prev_signatures(),
+        }
+    }
+
+    /// The exact-tier detector, when the service runs on it.
+    #[must_use]
+    pub fn exact(&self) -> Option<&StreamingMasquerade<'a, dyn DeltaScheme + 'a>> {
+        match self {
+            TierDetector::Exact(det) => Some(det),
+            TierDetector::Sketch(_) => None,
+        }
+    }
+
+    /// The sketch-tier detector, when the service runs on it.
+    #[must_use]
+    pub fn sketch(&self) -> Option<&SketchMasquerade> {
+        match self {
+            TierDetector::Exact(_) => None,
+            TierDetector::Sketch(det) => Some(det),
+        }
+    }
+
+    /// The tier's resident-state accounting plus the matcher's entry
+    /// count — the service's memory story, surfaced by `status`.
+    #[must_use]
+    pub fn memory(&self) -> (TierMemory, usize) {
+        match self {
+            TierDetector::Exact(det) => (det.tier_memory(), det.index().memory_entries()),
+            TierDetector::Sketch(det) => (det.tier_memory(), det.matcher().memory_entries()),
+        }
+    }
+
+    /// Advances one window on whichever tier is live.
+    pub fn advance_with_anomaly(
+        &mut self,
+        dist: &dyn BatchDistance,
+        delta: &WindowDelta,
+    ) -> (StreamDetection, Vec<AnomalyScore>) {
+        match self {
+            TierDetector::Exact(det) => det.advance_with_anomaly(dist, delta),
+            TierDetector::Sketch(det) => det.advance_with_anomaly(dist, delta),
+        }
+    }
+
+    /// Ranks `sig` against the maintained candidates, keeping the best
+    /// `top`. Exact tier: the postings-index sweep. Sketch tier: the
+    /// LSH-fronted matcher — survivors re-scored exactly, missed
+    /// candidates at distance 1.0 (the documented one-sided contract).
+    #[must_use]
+    pub fn rank_top_l(&self, dist: &dyn BatchDistance, sig: &Signature, top: usize) -> Ranking {
+        match self {
+            TierDetector::Exact(det) => {
+                det.index()
+                    .rank_top_l_with(dist, sig, top, &mut MatchWorkspace::new())
+            }
+            TierDetector::Sketch(det) => {
+                let mut entries = Vec::new();
+                det.matcher().rank_top_l_into(
+                    dist,
+                    sig,
+                    top,
+                    &mut MatchWorkspace::new(),
+                    &mut entries,
+                );
+                Ranking::from_sorted(entries)
+            }
+        }
+    }
+}
+
 /// The full in-memory state of the service between durable records.
 pub struct LiveState<'a> {
     /// Frozen label space: interned once at genesis from the seed
@@ -59,9 +176,8 @@ pub struct LiveState<'a> {
     pub subjects: Vec<NodeId>,
     /// The sliding windower consuming accepted events.
     pub windower: SlidingWindower,
-    /// The combined detector: signature pipeline, patched index, and
-    /// the previous window's signature buffer.
-    pub det: StreamingMasquerade<'a, dyn DeltaScheme + 'a>,
+    /// The combined detector on the configured tier.
+    pub det: TierDetector<'a>,
     /// Windows advanced since genesis.
     pub windows: u64,
     /// Events accepted into the windower since genesis (pre-validation
@@ -93,23 +209,41 @@ pub fn subject_sources(events: &[EdgeEvent]) -> Vec<NodeId> {
 
 impl<'a> LiveState<'a> {
     /// The genesis state: an empty first window over the frozen label
-    /// space, deterministic in `(config, interner, subjects)`.
-    #[must_use]
+    /// space, deterministic in `(config, interner, subjects)`. The
+    /// configured tier picks the detector; `scheme` drives the exact
+    /// tier and is ignored by the sketch tier (which approximates the
+    /// scheme named by `config.scheme_spec`).
+    ///
+    /// # Errors
+    /// [`ServeError::Config`] when the sketch tier is configured with a
+    /// non-sketchable scheme.
     pub fn genesis(
         scheme: &'a dyn DeltaScheme,
         config: &ServeConfig,
         interner: Interner,
         subjects: Vec<NodeId>,
-    ) -> Self {
+    ) -> Result<Self, ServeError> {
         let windower = SlidingWindower::new(config.start, config.width, config.slide);
-        let det = StreamingMasquerade::with_plan(
-            scheme,
-            CommGraph::empty(interner.len()),
-            &subjects,
-            detector_config(config),
-            plan_of(config),
-        );
-        LiveState {
+        let det = if config.is_sketch() {
+            TierDetector::Sketch(Box::new(SketchMasquerade::new_sketch(
+                config.sketch_scheme()?,
+                config.sketch,
+                &subjects,
+                interner.len(),
+                detector_config(config),
+                config.ann,
+                plan_of(config),
+            )))
+        } else {
+            TierDetector::Exact(Box::new(StreamingMasquerade::with_plan(
+                scheme,
+                CommGraph::empty(interner.len()),
+                &subjects,
+                detector_config(config),
+                plan_of(config),
+            )))
+        };
+        Ok(LiveState {
             interner,
             subjects,
             windower,
@@ -117,7 +251,7 @@ impl<'a> LiveState<'a> {
             windows: 0,
             ingested_events: 0,
             last: None,
-        }
+        })
     }
 
     /// Pushes an accepted event batch into the windower, in batch
@@ -158,20 +292,29 @@ impl<'a> LiveState<'a> {
         delta
     }
 
-    /// The bit-identity oracle: an FNV-1a digest over the graph, both
-    /// signature buffers, the physical index layout and the complete
-    /// windower state, plus the monotone counters. Equal digests mean
-    /// equal service state, byte for byte.
+    /// The bit-identity oracle: an FNV-1a digest over the complete
+    /// tier-specific durable state plus the windower and the monotone
+    /// counters. Equal digests mean equal service state, byte for byte.
     #[must_use]
     pub fn state_digest(&self) -> u64 {
         let mut enc = Enc::new();
-        persist::encode_graph(&mut enc, self.det.graph());
-        persist::encode_signature_set(&mut enc, self.det.signatures());
-        persist::encode_signature_set(&mut enc, self.det.prev_signatures());
-        persist::encode_windower(&mut enc, &self.windower.export_state());
         let mut h = Fnv::new();
-        h.write(&enc.into_bytes());
-        h.write_u64(self.det.index().layout_digest());
+        match &self.det {
+            TierDetector::Exact(det) => {
+                persist::encode_graph(&mut enc, det.graph());
+                persist::encode_signature_set(&mut enc, det.signatures());
+                persist::encode_signature_set(&mut enc, det.prev_signatures());
+                persist::encode_windower(&mut enc, &self.windower.export_state());
+                h.write(&enc.into_bytes());
+                h.write_u64(det.index().layout_digest());
+            }
+            TierDetector::Sketch(det) => {
+                det.tier().encode_state(&mut enc);
+                persist::encode_signature_set(&mut enc, det.prev_signatures());
+                persist::encode_windower(&mut enc, &self.windower.export_state());
+                h.write(&enc.into_bytes());
+            }
+        }
         h.write_u64(self.windows);
         h.write_u64(self.ingested_events);
         h.finish()
@@ -204,6 +347,8 @@ mod tests {
     use comsig_core::distance::SHel;
     use comsig_core::scheme::TopTalkers;
 
+    use crate::config::TierSpec;
+
     fn seeded() -> (Interner, Vec<EdgeEvent>) {
         let mut interner = Interner::new();
         let mut events = Vec::new();
@@ -232,7 +377,7 @@ mod tests {
         };
         let (interner, events) = seeded();
         let subjects = subject_sources(&events);
-        let mut live = LiveState::genesis(&scheme, &config, interner, subjects);
+        let mut live = LiveState::genesis(&scheme, &config, interner, subjects).unwrap();
         let d0 = live.state_digest();
         assert_eq!(d0, live.state_digest(), "digest must be a pure function");
         live.push_events(&events);
@@ -247,27 +392,83 @@ mod tests {
     #[test]
     fn two_identical_runs_share_every_window_digest() {
         let scheme = TopTalkers;
+        for tier in [TierSpec::Exact, TierSpec::Sketch] {
+            let config = ServeConfig {
+                width: 5,
+                slide: 5,
+                tier,
+                ..ServeConfig::default()
+            };
+            let (interner, events) = seeded();
+            let subjects = subject_sources(&events);
+            let run = |threads: usize| {
+                let config = ServeConfig {
+                    threads,
+                    ..config.clone()
+                };
+                let mut live =
+                    LiveState::genesis(&scheme, &config, interner.clone(), subjects.clone())
+                        .unwrap();
+                live.push_events(&events);
+                let mut digests = Vec::new();
+                while live.windower.pending_events() > 0 {
+                    let _ = live.advance_once(&SHel);
+                    digests.push(live.state_digest());
+                }
+                digests
+            };
+            assert_eq!(
+                run(1),
+                run(4),
+                "{} shard plans must be bit-identical",
+                tier.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_genesis_rejects_unsketchable_scheme() {
+        let scheme = TopTalkers;
         let config = ServeConfig {
-            width: 5,
-            slide: 5,
+            scheme_spec: "rwr:h=2,c=0.1".to_owned(),
+            tier: TierSpec::Sketch,
             ..ServeConfig::default()
         };
         let (interner, events) = seeded();
         let subjects = subject_sources(&events);
-        let run = |threads: usize| {
-            let config = ServeConfig {
-                threads,
-                ..config.clone()
-            };
-            let mut live = LiveState::genesis(&scheme, &config, interner.clone(), subjects.clone());
-            live.push_events(&events);
-            let mut digests = Vec::new();
-            while live.windower.pending_events() > 0 {
-                let _ = live.advance_once(&SHel);
-                digests.push(live.state_digest());
-            }
-            digests
+        assert!(matches!(
+            LiveState::genesis(&scheme, &config, interner, subjects),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn sketch_detector_answers_ranking_queries() {
+        let scheme = TopTalkers;
+        let config = ServeConfig {
+            width: 5,
+            slide: 5,
+            k: 4,
+            tier: TierSpec::Sketch,
+            ..ServeConfig::default()
         };
-        assert_eq!(run(1), run(4), "shard plans must be bit-identical");
+        let (interner, events) = seeded();
+        let subjects = subject_sources(&events);
+        let mut live = LiveState::genesis(&scheme, &config, interner, subjects).unwrap();
+        live.push_events(&events);
+        let _ = live.advance_once(&SHel);
+        assert_eq!(live.det.tier_name(), "sketch");
+        let v = live.subjects[0];
+        let sig = live.det.signatures().get(v).expect("subject has signature");
+        let ranking = live.det.rank_top_l(&SHel, sig, 3);
+        assert!(!ranking.entries().is_empty());
+        // Self-identification: the subject's own signature is at
+        // distance 0, and the LSH front never misses an identical twin
+        // (every band collides).
+        assert_eq!(ranking.entries()[0].0, v);
+        assert_eq!(ranking.entries()[0].1, 0.0);
+        let (mem, matcher_entries) = live.det.memory();
+        assert!(mem.state_entries > 0 && mem.state_bytes > 0);
+        assert!(matcher_entries > 0);
     }
 }

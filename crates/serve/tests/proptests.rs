@@ -129,7 +129,7 @@ proptest! {
         let events = to_events(&raw);
         let interner = frozen_interner();
         let subjects = subject_sources(&events);
-        let mut live = LiveState::genesis(&scheme, &cfg, interner, subjects);
+        let mut live = LiveState::genesis(&scheme, &cfg, interner, subjects).unwrap();
         live.push_events(&events);
         for _ in 0..windows {
             let _ = live.advance_once(&SHel);

@@ -105,11 +105,62 @@ impl CountMinSketch {
         }
     }
 
+    /// Adds a **signed** `delta` to `key` — the turnstile model.
+    ///
+    /// Only the linear (non-conservative) variant supports retractions:
+    /// each counter is then exactly the sum of the current aggregates of
+    /// the keys hashing to it, so as long as every key's *current*
+    /// aggregate stays `≥ 0`, colliding keys can only inflate a counter
+    /// and [`query`](Self::query) keeps the no-underestimate guarantee
+    /// even through deletions. Conservative update cannot retract (it
+    /// forgets how much of a counter belongs to which key), so it is
+    /// rejected.
+    ///
+    /// # Panics
+    /// Panics if `delta` is non-finite or the sketch is conservative.
+    pub fn update_signed(&mut self, key: u64, delta: f64) {
+        assert!(delta.is_finite(), "delta must be finite, got {delta}");
+        assert!(
+            !self.conservative,
+            "turnstile updates require the linear (non-conservative) variant"
+        );
+        self.total += delta;
+        for row in 0..self.depth {
+            let s = self.slot(row, key);
+            self.counters[s] += delta;
+        }
+    }
+
     /// Point query: an estimate `ĉ ≥ c` of the true count of `key`.
     pub fn query(&self, key: u64) -> f64 {
         (0..self.depth)
             .map(|row| self.counters[self.slot(row, key)])
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The raw counter array (row-major), for deterministic persistence.
+    pub fn counters(&self) -> &[f64] {
+        &self.counters
+    }
+
+    /// Restores the counter array and running total captured by
+    /// [`counters`](Self::counters) / [`total`](Self::total), for
+    /// snapshot recovery. The sketch must have been constructed with the
+    /// same dimensions and seed.
+    ///
+    /// # Errors
+    /// Returns a description if the counter count does not match.
+    pub fn restore(&mut self, counters: Vec<f64>, total: f64) -> Result<(), String> {
+        if counters.len() != self.counters.len() {
+            return Err(format!(
+                "count-min restore: {} counters, expected {}",
+                counters.len(),
+                self.counters.len()
+            ));
+        }
+        self.counters = counters;
+        self.total = total;
+        Ok(())
     }
 
     /// Memory footprint in counters.
@@ -187,5 +238,56 @@ mod tests {
     fn negative_weight_rejected() {
         let mut cm = CountMinSketch::new(8, 2, 1);
         cm.update(1, -1.0);
+    }
+
+    #[test]
+    fn signed_updates_never_underestimate_nonnegative_states() {
+        // Tight sketch with forced collisions; per-key aggregates go up
+        // and down but never below zero, so min-over-rows stays >= truth.
+        let mut cm = CountMinSketch::new(8, 2, 7);
+        let mut truth = vec![0.0f64; 40];
+        let steps: Vec<(usize, f64)> = (0..400)
+            .map(|i| {
+                let key = (i * 17 + 3) % 40;
+                let up = ((i * 31) % 5 + 1) as f64;
+                (key, if i % 3 == 2 { -truth[key].min(up) } else { up })
+            })
+            .collect();
+        for (key, delta) in steps {
+            truth[key] += delta;
+            cm.update_signed(key as u64, delta);
+        }
+        for (key, &t) in truth.iter().enumerate() {
+            assert!(cm.query(key as u64) >= t - 1e-9, "key {key}");
+        }
+    }
+
+    #[test]
+    fn signed_retraction_to_zero_restores_exactness_alone() {
+        let mut cm = CountMinSketch::new(16, 2, 9);
+        cm.update_signed(5, 10.0);
+        cm.update_signed(5, -10.0);
+        assert!(cm.query(5).abs() < 1e-12);
+        assert!(cm.total().abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-conservative")]
+    fn signed_update_rejected_on_conservative() {
+        let mut cm = CountMinSketch::new(8, 2, 1).conservative();
+        cm.update_signed(1, 1.0);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut cm = CountMinSketch::new(8, 2, 3);
+        cm.update(4, 2.5);
+        let counters = cm.counters().to_vec();
+        let total = cm.total();
+        let mut fresh = CountMinSketch::new(8, 2, 3);
+        fresh.restore(counters, total).expect("same dimensions");
+        assert_eq!(fresh.query(4), cm.query(4));
+        assert_eq!(fresh.total(), cm.total());
+        assert!(fresh.restore(vec![0.0; 3], 0.0).is_err());
     }
 }

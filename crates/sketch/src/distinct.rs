@@ -1,0 +1,166 @@
+//! Bounded per-key distinct counting: a Count-Min table of FM cells.
+//!
+//! The semi-streaming Unexpected Talkers path needs `|Î(j)|`, the number
+//! of distinct sources talking to destination `j`, for *every*
+//! destination a tracked candidate points at. One [`FmSketch`] per
+//! destination is Θ(#destinations) memory — fine while the destination
+//! universe is small, but at 10⁶+ nodes it loses the semi-streaming
+//! memory argument. [`DistinctCm`] fixes the footprint: a `depth × width`
+//! grid of FM cells, one hash function per row routing each key to one
+//! cell, estimate = **min over rows** of the cell estimates.
+//!
+//! Error model (one-sided, like Count-Min): a cell's FM sketch holds the
+//! union of the item sets of every key routed to it, and FM estimates a
+//! *union* at no less than any of its parts (modulo FM's own
+//! multiplicative error band of `≈ 0.78/√m`), so collisions only inflate
+//! a row's answer and the min over rows over-estimates the same way a CM
+//! point query does. The paper's UT normalisation divides by `|Î(j)|`,
+//! so over-estimated in-degrees only *discount* destinations — a popular
+//! destination is never mistaken for a novel one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fm::FmSketch;
+use crate::hash::MixHash;
+
+/// A fixed-size table estimating the distinct-item count per key.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistinctCm {
+    width: usize,
+    depth: usize,
+    cells: Vec<FmSketch>,
+    seeds: Vec<u64>,
+}
+
+impl DistinctCm {
+    /// Creates a `depth × width` table of FM cells with `m` bitmaps each.
+    ///
+    /// # Panics
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, m: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        let base = MixHash::new(seed);
+        let cells = (0..width * depth)
+            .map(|i| FmSketch::new(m, base.hash(0x5EED ^ i as u64)))
+            .collect();
+        DistinctCm {
+            width,
+            depth,
+            cells,
+            seeds: (0..depth).map(|r| base.hash(r as u64)).collect(),
+        }
+    }
+
+    /// Width `w` (cells per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth `d` (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, key: u64) -> usize {
+        row * self.width + MixHash::new(self.seeds[row]).bucket(key, self.width)
+    }
+
+    /// Records that `item` belongs to `key`'s set (idempotent).
+    ///
+    /// Returns whether any cell changed — `false` proves every estimate
+    /// is unchanged, so incremental callers can skip re-deriving
+    /// signatures that depend on this key.
+    pub fn insert(&mut self, key: u64, item: u64) -> bool {
+        let mut changed = false;
+        for row in 0..self.depth {
+            let s = self.slot(row, key);
+            changed |= self.cells[s].insert(item);
+        }
+        changed
+    }
+
+    /// Estimates the number of distinct items inserted for `key` — an
+    /// over-estimate up to FM's relative error band.
+    pub fn estimate(&self, key: u64) -> f64 {
+        (0..self.depth)
+            .map(|row| self.cells[self.slot(row, key)].estimate())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total bitmap words held — the (fixed) memory footprint.
+    pub fn num_bitmaps(&self) -> usize {
+        self.cells.iter().map(FmSketch::num_bitmaps).sum()
+    }
+
+    /// The FM cells (row-major), for deterministic persistence.
+    pub(crate) fn cells(&self) -> &[FmSketch] {
+        &self.cells
+    }
+
+    /// Mutable FM cells, for snapshot recovery.
+    pub(crate) fn cells_mut(&mut self) -> &mut [FmSketch] {
+        &mut self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_per_key_cardinality() {
+        let mut t = DistinctCm::new(64, 3, 64, 11);
+        // Key 1 sees 1000 distinct items, key 2 sees 10.
+        for item in 0..1000u64 {
+            t.insert(1, item);
+        }
+        for item in 0..10u64 {
+            t.insert(2, item);
+        }
+        let big = t.estimate(1);
+        let small = t.estimate(2);
+        assert!((650.0..1500.0).contains(&big), "big estimate {big}");
+        assert!(small < 80.0, "small estimate {small}");
+        assert!(big > small);
+    }
+
+    #[test]
+    fn collisions_only_inflate() {
+        // One cell per row: every key shares every cell, so each key's
+        // estimate is the union cardinality — the worst case, and still
+        // an over-estimate for each individual key.
+        let mut t = DistinctCm::new(1, 2, 64, 3);
+        for item in 0..300u64 {
+            t.insert(1, item);
+        }
+        for item in 0..50u64 {
+            t.insert(2, 10_000 + item);
+        }
+        assert!(t.estimate(2) >= t.estimate(1) * 0.9);
+    }
+
+    #[test]
+    fn insert_reports_change() {
+        let mut t = DistinctCm::new(8, 2, 16, 5);
+        assert!(t.insert(1, 42));
+        assert!(!t.insert(1, 42), "duplicate item changes nothing");
+    }
+
+    #[test]
+    fn memory_is_independent_of_key_count() {
+        let mut t = DistinctCm::new(32, 2, 16, 7);
+        let fixed = t.num_bitmaps();
+        for key in 0..10_000u64 {
+            t.insert(key, key % 97);
+        }
+        assert_eq!(t.num_bitmaps(), fixed);
+        assert_eq!(fixed, 32 * 2 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_width_rejected() {
+        DistinctCm::new(0, 2, 16, 1);
+    }
+}

@@ -43,11 +43,17 @@ impl FmSketch {
     }
 
     /// Inserts a key (idempotent: duplicates do not change the estimate).
-    pub fn insert(&mut self, key: u64) {
+    ///
+    /// Returns whether the sketch changed — `false` means the estimate
+    /// is provably unchanged, which lets incremental callers skip
+    /// re-deriving anything downstream of it.
+    pub fn insert(&mut self, key: u64) -> bool {
         let idx = MixHash::new(self.route).bucket(key, self.bitmaps.len());
         let h = MixHash::new(self.value).hash(key);
         let bit = h.trailing_zeros().min(63);
-        self.bitmaps[idx] |= 1u64 << bit;
+        let before = self.bitmaps[idx];
+        self.bitmaps[idx] = before | 1u64 << bit;
+        self.bitmaps[idx] != before
     }
 
     /// Merges another sketch built with the same parameters (union of key
@@ -65,6 +71,29 @@ impl FmSketch {
         for (a, b) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
             *a |= b;
         }
+    }
+
+    /// The raw bitmaps, for deterministic persistence.
+    pub fn bitmaps(&self) -> &[u64] {
+        &self.bitmaps
+    }
+
+    /// Restores bitmaps captured by [`bitmaps`](Self::bitmaps), for
+    /// snapshot recovery. The sketch must have been constructed with the
+    /// same size and seed.
+    ///
+    /// # Errors
+    /// Returns a description if the bitmap count does not match.
+    pub fn restore(&mut self, bitmaps: Vec<u64>) -> Result<(), String> {
+        if bitmaps.len() != self.bitmaps.len() {
+            return Err(format!(
+                "fm restore: {} bitmaps, expected {}",
+                bitmaps.len(),
+                self.bitmaps.len()
+            ));
+        }
+        self.bitmaps = bitmaps;
+        Ok(())
     }
 
     /// Estimates the number of distinct keys inserted.
@@ -155,6 +184,28 @@ mod tests {
         let mut a = FmSketch::new(8, 1);
         let b = FmSketch::new(8, 2);
         a.merge(&b);
+    }
+
+    #[test]
+    fn insert_reports_change_exactly_when_a_bit_flips() {
+        let mut fm = FmSketch::new(16, 5);
+        assert!(fm.insert(1), "first insert must set a bit");
+        assert!(!fm.insert(1), "duplicate insert changes nothing");
+        let before = fm.estimate();
+        fm.insert(1);
+        assert_eq!(fm.estimate(), before);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut fm = FmSketch::new(8, 6);
+        for key in 0..100u64 {
+            fm.insert(key);
+        }
+        let mut fresh = FmSketch::new(8, 6);
+        fresh.restore(fm.bitmaps().to_vec()).expect("same size");
+        assert_eq!(fresh.estimate(), fm.estimate());
+        assert!(fresh.restore(vec![0; 3]).is_err());
     }
 
     #[test]

@@ -23,11 +23,13 @@
 #![forbid(unsafe_code)]
 
 pub mod cm;
+pub mod distinct;
 pub mod fm;
 pub mod hash;
 pub mod hll;
 pub mod lsh;
 pub mod minhash;
 pub mod stream;
+pub mod tier;
 pub mod topk;
 pub mod wminhash;

@@ -23,6 +23,9 @@ pub struct LshIndex {
     rows: usize,
     tables: Vec<FxHashMap<u64, Vec<usize>>>,
     items: Vec<(NodeId, MinHashSignature)>,
+    /// Node → item slot, for in-place [`update`](Self::update)s over a
+    /// fixed population (the streaming contract).
+    pos_of: FxHashMap<NodeId, usize>,
     band_hash: MixHash,
 }
 
@@ -40,8 +43,19 @@ impl LshIndex {
             rows,
             tables: (0..bands).map(|_| FxHashMap::default()).collect(),
             items: Vec::new(),
+            pos_of: FxHashMap::default(),
             band_hash: MixHash::new(seed ^ 0xBA9D_u64),
         }
+    }
+
+    /// Number of bands `b`.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows per band `r`.
+    pub fn rows(&self) -> usize {
+        self.rows
     }
 
     /// The collision-probability threshold `(1/b)^(1/r)`: pairs with
@@ -70,14 +84,55 @@ impl LshIndex {
     }
 
     /// Indexes the signature of `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is already indexed — re-index with
+    /// [`update`](Self::update) instead.
     pub fn insert(&mut self, node: NodeId, sig: &Signature) {
         let mh = self.hasher.minhash(sig);
         let idx = self.items.len();
+        assert!(
+            self.pos_of.insert(node, idx).is_none(),
+            "node {node} is already indexed; use update()"
+        );
         for band in 0..self.bands {
             let key = self.band_key(&mh, band);
             self.tables[band].entry(key).or_default().push(idx);
         }
         self.items.push((node, mh));
+    }
+
+    /// Re-indexes `node` under a new signature, in place: its old band
+    /// entries are unhooked and the new MinHash is bucketed, leaving the
+    /// index equivalent (same buckets, any order) to one rebuilt from
+    /// scratch over the updated signatures. `O(bands)` hash-map edits —
+    /// the streaming counterpart of a `PostingsIndex` patch.
+    ///
+    /// # Panics
+    /// Panics if `node` was never inserted (the indexed population is
+    /// fixed, mirroring the postings-index contract).
+    pub fn update(&mut self, node: NodeId, sig: &Signature) {
+        let Some(&idx) = self.pos_of.get(&node) else {
+            panic!("node {node} is not indexed; the population is fixed");
+        };
+        let mh = self.hasher.minhash(sig);
+        for band in 0..self.bands {
+            let old_key = self.band_key(&self.items[idx].1, band);
+            let new_key = self.band_key(&mh, band);
+            if old_key == new_key {
+                continue;
+            }
+            if let Some(bucket) = self.tables[band].get_mut(&old_key) {
+                if let Some(at) = bucket.iter().position(|&i| i == idx) {
+                    let _ = bucket.swap_remove(at);
+                }
+                if bucket.is_empty() {
+                    let _ = self.tables[band].remove(&old_key);
+                }
+            }
+            self.tables[band].entry(new_key).or_default().push(idx);
+        }
+        self.items[idx].1 = mh;
     }
 
     /// Indexes every signature of a set.
@@ -135,6 +190,29 @@ impl LshIndex {
         });
         scored.truncate(top_n);
         scored
+    }
+
+    /// Logical entries held: one MinHash word per item per hash
+    /// function, one bucket entry per item per band, one slot per node —
+    /// the LSH memory axis surfaced by `bench_snapshot`.
+    pub fn memory_entries(&self) -> usize {
+        let buckets: usize = self
+            .tables
+            .iter()
+            .map(|t| t.values().map(Vec::len).sum::<usize>())
+            .sum();
+        self.items.len() * self.hasher.num_hashes() + buckets + self.pos_of.len()
+    }
+
+    /// Approximate resident bytes (`u64` MinHash words, `u32`-ish bucket
+    /// entries and slots).
+    pub fn memory_bytes(&self) -> usize {
+        let buckets: usize = self
+            .tables
+            .iter()
+            .map(|t| t.values().map(Vec::len).sum::<usize>())
+            .sum();
+        self.items.len() * self.hasher.num_hashes() * 8 + buckets * 8 + self.pos_of.len() * 12
     }
 }
 
@@ -216,6 +294,49 @@ mod tests {
         let mut index = LshIndex::new(8, 2, 5);
         index.insert_set(&set);
         assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn update_matches_rebuild_candidates() {
+        // Patch half the items in place; candidate retrieval must be
+        // set-equal to an index built cold over the updated signatures.
+        let mut sigs: Vec<Vec<usize>> = (0..30)
+            .map(|i| (0..8).map(|j| 100 * i + j).collect())
+            .collect();
+        let mut patched = LshIndex::new(12, 3, 7);
+        for (i, s) in sigs.iter().enumerate() {
+            patched.insert(n(i), &sig(s));
+        }
+        for (i, s) in sigs.iter_mut().enumerate().filter(|(i, _)| i % 2 == 0) {
+            s[7] = 5000 + i; // near-duplicate shift
+            s[0] = 6000 + i;
+            patched.update(n(i), &sig(s));
+        }
+        let mut rebuilt = LshIndex::new(12, 3, 7);
+        for (i, s) in sigs.iter().enumerate() {
+            rebuilt.insert(n(i), &sig(s));
+        }
+        for s in &sigs {
+            assert_eq!(patched.candidates(&sig(s)), rebuilt.candidates(&sig(s)));
+        }
+        assert_eq!(patched.len(), rebuilt.len());
+        assert_eq!(patched.memory_entries(), rebuilt.memory_entries());
+        assert!(patched.memory_bytes() > patched.memory_entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "not indexed")]
+    fn update_unknown_node_panics() {
+        let mut index = LshIndex::new(4, 2, 1);
+        index.update(n(3), &sig(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn duplicate_insert_panics() {
+        let mut index = LshIndex::new(4, 2, 1);
+        index.insert(n(3), &sig(&[1, 2]));
+        index.insert(n(3), &sig(&[1, 2]));
     }
 
     #[test]

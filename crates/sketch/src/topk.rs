@@ -70,16 +70,15 @@ impl SpaceSaving {
         }
         // Evict the minimum counter; the newcomer inherits its count as
         // error bound.
-        let (&min_key, &(min_count, _)) = self
+        // The map holds exactly `capacity` (> 0, asserted in `new`)
+        // entries on this branch, so a minimum always exists.
+        let Some((&min_key, &(min_count, _))) = self
             .counters
             .iter()
-            .min_by(|a, b| {
-                a.1 .0
-                    .partial_cmp(&b.1 .0)
-                    .expect("counts are finite")
-                    .then(a.0.cmp(b.0))
-            })
-            .expect("capacity > 0 so map is non-empty");
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.0.cmp(b.0)))
+        else {
+            return;
+        };
         self.counters.remove(&min_key);
         self.counters.insert(key, (min_count + weight, min_count));
     }
@@ -98,12 +97,7 @@ impl SpaceSaving {
             .iter()
             .map(|(&key, &(count, error))| Counter { key, count, error })
             .collect();
-        out.sort_by(|a, b| {
-            b.count
-                .partial_cmp(&a.count)
-                .expect("counts are finite")
-                .then(a.key.cmp(&b.key))
-        });
+        out.sort_by(|a, b| b.count.total_cmp(&a.count).then(a.key.cmp(&b.key)));
         out
     }
 
